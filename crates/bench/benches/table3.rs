@@ -1,0 +1,23 @@
+//! Criterion version of **Table 3**: the XMark 20-query suite under the
+//! four execution configurations, on a CI-sized document. The paper's
+//! finding is the ordering
+//! `no algebra ≥ algebra-no-optim > optim+NL > optim+hash`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use xqr_bench::{time_xmark_suite, xmark_engine};
+use xqr_engine::ExecutionMode;
+
+fn bench_table3(c: &mut Criterion) {
+    let (engine, len) = xmark_engine(300_000);
+    let mut group = c.benchmark_group(format!("table3/xmark20-{}K", len / 1000));
+    group.sample_size(10);
+    for mode in ExecutionMode::ALL {
+        group.bench_function(mode.label(), |b| {
+            b.iter(|| time_xmark_suite(&engine, mode));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

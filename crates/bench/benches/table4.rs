@@ -1,0 +1,33 @@
+//! Criterion version of **Table 4**: scalability of the join queries
+//! Q8/Q9/Q10/Q12 and the no-join control Q20, nested-loop vs hash join.
+//! The paper's finding: NL grows quadratically with document size, the
+//! typed hash join linearly, and Q20 is unaffected by the join algorithm.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xqr_bench::{time_eval, xmark_engine};
+use xqr_engine::ExecutionMode;
+
+fn bench_table4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4");
+    group.sample_size(10);
+    for bytes in [150_000usize, 300_000] {
+        let (engine, len) = xmark_engine(bytes);
+        for qn in [8usize, 9, 10, 12, 20] {
+            let q = xqr_xmark::query(qn);
+            for (label, mode) in [
+                ("nl", ExecutionMode::OptimNestedLoop),
+                ("hash", ExecutionMode::OptimHashJoin),
+            ] {
+                group.bench_with_input(
+                    BenchmarkId::new(format!("Q{qn}/{label}"), len / 1000),
+                    &(),
+                    |b, _| b.iter(|| time_eval(&engine, q, mode)),
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table4);
+criterion_main!(benches);

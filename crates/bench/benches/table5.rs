@@ -1,0 +1,32 @@
+//! Criterion version of **Table 5**: Clio mapping queries N2/N3 under
+//! no-optim / NL / hash configurations (plus the direct interpreter, the
+//! stand-in for the paper's Saxon column). The paper's finding: unnesting +
+//! hash joins turn the nested mappings from minutes into seconds, with the
+//! gap widening with nesting depth.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xqr_bench::{clio_engine, time_eval};
+use xqr_engine::ExecutionMode;
+
+fn bench_table5(c: &mut Criterion) {
+    let (engine, len) = clio_engine(40_000);
+    let mut group = c.benchmark_group(format!("table5/dblp-{}K", len / 1000));
+    group.sample_size(10);
+    for levels in [2usize, 3] {
+        let q = xqr_clio::mapping_query(levels);
+        for (label, mode) in [
+            ("no-optim", ExecutionMode::AlgebraNoOptim),
+            ("nl", ExecutionMode::OptimNestedLoop),
+            ("hash", ExecutionMode::OptimHashJoin),
+            ("interp", ExecutionMode::NoAlgebra),
+        ] {
+            group.bench_with_input(BenchmarkId::new(format!("N{levels}"), label), &(), |b, _| {
+                b.iter(|| time_eval(&engine, &q, mode))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table5);
+criterion_main!(benches);

@@ -1,0 +1,166 @@
+//! # xqr-clio — the Clio schema-mapping substrate
+//!
+//! Clio (Popa et al., VLDB 2002) generates XQuery transformations between
+//! schemas; the paper's Table 5 evaluates three generated mapping queries
+//! over a ~250 KB DBLP-style document:
+//!
+//! * **N2** — doubly nested FLWOR, 1 join (the Figure 1 query shape);
+//! * **N3** — triple-nested FLWOR, 3-way join;
+//! * **N4** — quadruple-nested FLWOR, 6-way join.
+//!
+//! Clio itself is closed-source; [`mapping_query`] reproduces the *shape*
+//! of its generated queries (nested blocks where level *k* joins back to
+//! the source on equalities with every outer level — k·(k−1)/2 join
+//! predicates in total), and [`generate_dblp`] provides the source data.
+
+use std::fmt::Write as _;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// DBLP-style generator configuration.
+#[derive(Clone, Debug)]
+pub struct DblpOptions {
+    pub publications: usize,
+    pub authors: usize,
+    pub seed: u64,
+}
+
+impl DblpOptions {
+    /// Approximately `bytes`-sized documents (~210 bytes/publication).
+    pub fn for_bytes(bytes: usize) -> DblpOptions {
+        let publications = (bytes / 210).max(10);
+        DblpOptions { publications, authors: (publications / 4).max(4), seed: 42 }
+    }
+}
+
+const VENUES: &[&str] = &["ICDE", "VLDB", "SIGMOD", "PODS", "EDBT", "CIKM", "WWW"];
+
+const TITLE_WORDS: &[&str] = &[
+    "Efficient", "Algebraic", "Query", "Processing", "Streams", "Indexing", "XML", "Semantics",
+    "Optimization", "Adaptive", "Parallel", "Views", "Schema", "Mappings", "Joins", "Storage",
+];
+
+/// Generates a DBLP-like document:
+/// `dblp/inproceedings(author+, title, pages, year, booktitle, url, cdrom?)`.
+pub fn generate_dblp(options: &DblpOptions) -> String {
+    let mut rng = StdRng::seed_from_u64(options.seed);
+    let mut out = String::with_capacity(options.publications * 220 + 64);
+    out.push_str("<dblp>");
+    for i in 0..options.publications {
+        let n_authors = rng.gen_range(1..=3);
+        out.push_str("<inproceedings>");
+        for _ in 0..n_authors {
+            let a = rng.gen_range(0..options.authors);
+            let _ = write!(out, "<author>Author {a}</author>");
+        }
+        let t1 = TITLE_WORDS[rng.gen_range(0..TITLE_WORDS.len())];
+        let t2 = TITLE_WORDS[rng.gen_range(0..TITLE_WORDS.len())];
+        let t3 = TITLE_WORDS[rng.gen_range(0..TITLE_WORDS.len())];
+        let year = rng.gen_range(1998..=2005);
+        let venue = VENUES[rng.gen_range(0..VENUES.len())];
+        let p1 = rng.gen_range(1..500);
+        let _ = write!(
+            out,
+            "<title>{t1} {t2} {t3} {i}</title><pages>{p1}-{}</pages>\
+             <year>{year}</year><booktitle>{venue}</booktitle>\
+             <url>db/conf/{venue}/{i}.html</url>",
+            p1 + rng.gen_range(5..20)
+        );
+        if rng.gen_bool(0.3) {
+            let _ = write!(out, "<cdrom>CD/{venue}/{i}</cdrom>");
+        }
+        out.push_str("</inproceedings>");
+    }
+    out.push_str("</dblp>");
+    out
+}
+
+/// Builds the Clio-style mapping query with `levels` nested FLWOR blocks
+/// (2 ⇒ N2, 3 ⇒ N3, 4 ⇒ N4). Level *k* (1-based, k ≥ 2) carries `k − 1`
+/// equality predicates joining back to every outer level, so the query
+/// contains `levels·(levels−1)/2` joins in total: 1, 3, and 6 — matching
+/// the paper's description of N2/N3/N4.
+pub fn mapping_query(levels: usize) -> String {
+    assert!((2..=5).contains(&levels), "supported nesting: 2..=5");
+    let mut q = String::from("let $doc0 := doc('dblp.xml') return <authorDB>{ ");
+    q.push_str(&nest(1, levels));
+    q.push_str(" }</authorDB>");
+    q
+}
+
+/// Join keys available at each level; level k joins on key[j] with outer
+/// level j for every j < k.
+const KEYS: &[&str] = &["author/text()", "year/text()", "booktitle/text()", "pages/text()"];
+
+fn nest(level: usize, max: usize) -> String {
+    let x = format!("$x{level}");
+    let mut s = format!(
+        "clio:deep-distinct(for {x} in $doc0/dblp/inproceedings "
+    );
+    if level > 1 {
+        let preds: Vec<String> = (1..level)
+            .map(|outer| format!("{x}/{key} = $x{outer}/{key}", key = KEYS[outer - 1]))
+            .collect();
+        let _ = write!(s, "where {} ", preds.join(" and "));
+    }
+    let _ = write!(
+        s,
+        "return <entry{level}><key>{{ {x}/{} }}</key><title{level}>{{ {x}/title/text() }}</title{level}>",
+        KEYS[level - 1]
+    );
+    if level < max {
+        let _ = write!(s, "<nested>{{ {} }}</nested>", nest(level + 1, max));
+    }
+    let _ = write!(s, "</entry{level}>)");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xqr_xml::parse::{parse_document, ParseOptions};
+
+    #[test]
+    fn dblp_parses_and_sizes() {
+        let xml = generate_dblp(&DblpOptions::for_bytes(50_000));
+        let ratio = xml.len() as f64 / 50_000.0;
+        assert!((0.6..1.6).contains(&ratio), "got {}", xml.len());
+        let doc = parse_document(&xml, &ParseOptions::default()).unwrap();
+        let dblp = &doc.root().children()[0];
+        assert_eq!(dblp.name().unwrap().local_part(), "dblp");
+        assert!(dblp.children().len() >= 10);
+        let pub0 = &dblp.children()[0];
+        let names: Vec<_> = pub0
+            .children()
+            .iter()
+            .map(|c| c.name().unwrap().local_part().to_string())
+            .collect();
+        assert!(names.contains(&"author".to_string()));
+        assert!(names.contains(&"year".to_string()));
+    }
+
+    #[test]
+    fn dblp_deterministic() {
+        let o = DblpOptions { publications: 20, authors: 5, seed: 7 };
+        assert_eq!(generate_dblp(&o), generate_dblp(&o));
+    }
+
+    #[test]
+    fn mapping_queries_have_expected_join_counts() {
+        // N2: 1 equality; N3: 3; N4: 6 (k·(k−1)/2).
+        for (levels, joins) in [(2, 1), (3, 3), (4, 6)] {
+            let q = mapping_query(levels);
+            let eq_count = q.matches(" = $x").count();
+            assert_eq!(eq_count, joins, "N{levels}: {q}");
+            assert_eq!(q.matches("for $x").count(), levels);
+            assert!(q.contains("clio:deep-distinct"));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn unsupported_nesting_panics() {
+        mapping_query(1);
+    }
+}

@@ -1,0 +1,556 @@
+//! Compilation of the XQuery Core into the algebra — Section 4, Figs. 2–3.
+//!
+//! The compiler maintains an environment mapping in-scope FLWOR/quantifier
+//! variables to tuple-field names; every reference to a bound variable
+//! compiles to `IN#field` (the paper's `Clauses[$Var/IN#Var]` substitution).
+//! Shadowed variables get fresh field names. Variables *not* in the tuple
+//! environment (globals and function parameters) compile to `Var[q]`, which
+//! resolves in the algebra context at evaluation time.
+//!
+//! A FLWOR nested inside an item expression compiles with `IN` as its
+//! initial tuple stream (so outer fields flow through the dependent join);
+//! a top-level FLWOR starts from `([])`, the singleton empty-tuple table
+//! (paper plan P1, line 13).
+
+use std::collections::HashMap;
+
+use xqr_frontend::core_ast::{CoreClause, CoreExpr, CoreModule, CoreOrderSpec};
+use xqr_frontend::CoreFunction;
+use xqr_xml::QName;
+
+use crate::algebra::{Field, NamePlan, Op, OrderSpecPlan, Plan};
+
+/// A compiled user function.
+#[derive(Clone, Debug)]
+pub struct CompiledFunction {
+    pub name: QName,
+    pub params: Vec<QName>,
+    pub param_types: Vec<Option<xqr_types::SequenceType>>,
+    pub return_type: Option<xqr_types::SequenceType>,
+    pub body: Plan,
+}
+
+/// A compiled module: the algebra context of Section 3 ("function
+/// parameters and the compiled query plans for user-defined functions").
+#[derive(Clone, Debug)]
+pub struct CompiledModule {
+    pub functions: HashMap<QName, CompiledFunction>,
+    /// Globals in declaration order (`None` = external).
+    pub globals: Vec<(QName, Option<Plan>)>,
+    pub body: Plan,
+}
+
+/// Compiles a normalized module.
+pub fn compile_module(m: &CoreModule) -> CompiledModule {
+    let mut c = Compiler::default();
+    let mut functions = HashMap::new();
+    for f in &m.functions {
+        functions.insert(f.name.clone(), compile_function(&mut c, f));
+    }
+    let mut globals: Vec<(QName, Option<Plan>)> = m
+        .variables
+        .iter()
+        .map(|(q, e)| (q.clone(), e.as_ref().map(|e| c.expr(e, &Env::empty()))))
+        .collect();
+    // Constant lifting applies only to the main body: leading `let` clauses
+    // of the top-level FLWOR whose values reference no tuple fields (e.g.
+    // `let $auction := doc('auction.xml')`) become algebra-context globals,
+    // so downstream plans that read them stay "independent of IN" and the
+    // join/unnesting rewritings apply.
+    c.allow_constant_lift = true;
+    let body = c.expr(&m.body, &Env::empty());
+    c.allow_constant_lift = false;
+    globals.extend(c.lifted.drain(..).map(|(q, p)| (q, Some(p))));
+    CompiledModule { functions, globals, body }
+}
+
+/// Compiles a single expression with no variables in scope (for tests).
+pub fn compile_expr(e: &CoreExpr) -> Plan {
+    Compiler::default().expr(e, &Env::empty())
+}
+
+fn compile_function(c: &mut Compiler, f: &CoreFunction) -> CompiledFunction {
+    // Function parameters live in the algebra context (Var), not in tuples.
+    let body = c.expr(&f.body, &Env::empty());
+    CompiledFunction {
+        name: f.name.clone(),
+        params: f.params.iter().map(|(q, _)| q.clone()).collect(),
+        param_types: f.params.iter().map(|(_, t)| t.clone()).collect(),
+        return_type: f.return_type.clone(),
+        body,
+    }
+}
+
+/// Variable → tuple-field environment (persistent: clones are cheap since
+/// scopes are small).
+#[derive(Clone, Default)]
+struct Env {
+    bindings: HashMap<QName, Field>,
+    /// Variables lifted into algebra-context constants (compile to `Var`).
+    constants: HashMap<QName, QName>,
+    /// True when an enclosing tuple stream exists (so nested FLWORs start
+    /// from `IN` rather than `([])`).
+    in_tuple_context: bool,
+    /// True inside conditionally-evaluated branches (if/typeswitch):
+    /// lifting a `let` out of those would evaluate it unconditionally and
+    /// change error behavior.
+    conditional: bool,
+}
+
+impl Env {
+    fn empty() -> Env {
+        Env::default()
+    }
+
+    fn lookup(&self, q: &QName) -> Option<&Field> {
+        self.bindings.get(q)
+    }
+}
+
+#[derive(Default)]
+struct Compiler {
+    fresh: usize,
+    /// Lifted constants, appended to the module globals (main body only).
+    lifted: Vec<(QName, Plan)>,
+    allow_constant_lift: bool,
+}
+
+impl Compiler {
+    /// Allocates a fresh field name derived from a variable name.
+    fn fresh_field(&mut self, base: &str) -> Field {
+        self.fresh += 1;
+        // Strip normalization prefixes for readability: fs:dot → dot.
+        let short = base.rsplit(':').next().unwrap_or(base);
+        let short = short.split('#').next().unwrap_or(short);
+        if self.fresh == 1 {
+            // Keep the very first binding of a name pretty when possible.
+        }
+        format!("{short}_{}", self.fresh).into()
+    }
+
+    fn expr(&mut self, e: &CoreExpr, env: &Env) -> Plan {
+        match e {
+            CoreExpr::Literal(v) => Plan::new(Op::Scalar(v.clone())),
+            CoreExpr::Var(q) => match env.lookup(q) {
+                Some(f) => Plan::new(Op::FieldAccess {
+                    field: f.clone(),
+                    input: Plan::boxed(Op::Input),
+                }),
+                None => match env.constants.get(q) {
+                    Some(lifted) => Plan::new(Op::Var(lifted.clone())),
+                    None => Plan::new(Op::Var(q.clone())),
+                },
+            },
+            CoreExpr::Seq(items) => {
+                Plan::new(Op::Sequence(items.iter().map(|i| self.expr(i, env)).collect()))
+            }
+            CoreExpr::Empty => Plan::new(Op::Empty),
+            CoreExpr::Flwor { clauses, ret } => self.flwor(clauses, ret, env),
+            CoreExpr::Quantified { every, clauses, satisfies } => {
+                let (plan, inner_env) = self.clauses(clauses, env);
+                let pred = self.expr(satisfies, &inner_env);
+                if *every {
+                    Plan::new(Op::MapEvery { dep: Box::new(pred), input: Box::new(plan) })
+                } else {
+                    Plan::new(Op::MapSome { dep: Box::new(pred), input: Box::new(plan) })
+                }
+            }
+            CoreExpr::Typeswitch { var, input, cases, default } => {
+                self.typeswitch(var, input, cases, default, env)
+            }
+            CoreExpr::If { cond, then, els } => {
+                let mut branch_env = env.clone();
+                branch_env.conditional = true;
+                Plan::new(Op::Cond {
+                    cond: Box::new(self.expr(cond, env)),
+                    then: Box::new(self.expr(then, &branch_env)),
+                    els: Box::new(self.expr(els, &branch_env)),
+                })
+            }
+            CoreExpr::Step { input, axis, test } => Plan::new(Op::TreeJoin {
+                axis: *axis,
+                test: test.clone(),
+                input: Box::new(self.expr(input, env)),
+            }),
+            CoreExpr::Call { name, args } => {
+                let args: Vec<Plan> = args.iter().map(|a| self.expr(a, env)).collect();
+                match name.local_part() {
+                    // fn:doc / document() compile to the Parse operator.
+                    "doc" | "document" if args.len() == 1 => Plan::new(Op::Parse {
+                        uri: Box::new(args.into_iter().next().expect("one arg")),
+                    }),
+                    "serialize" if args.len() == 1 => Plan::new(Op::Serialize {
+                        input: Box::new(args.into_iter().next().expect("one arg")),
+                    }),
+                    _ => Plan::new(Op::Call { name: name.clone(), args }),
+                }
+            }
+            CoreExpr::ElementCtor { name, content } => Plan::new(Op::Element {
+                name: self.name_plan(name, env),
+                content: Box::new(self.expr(content, env)),
+            }),
+            CoreExpr::AttributeCtor { name, content } => Plan::new(Op::Attribute {
+                name: self.name_plan(name, env),
+                content: Box::new(self.expr(content, env)),
+            }),
+            CoreExpr::TextCtor(c) => Plan::new(Op::Text(Box::new(self.expr(c, env)))),
+            CoreExpr::CommentCtor(c) => Plan::new(Op::Comment(Box::new(self.expr(c, env)))),
+            CoreExpr::PiCtor { target, content } => Plan::new(Op::Pi {
+                target: target.clone(),
+                content: Box::new(self.expr(content, env)),
+            }),
+            CoreExpr::DocumentCtor(c) => {
+                Plan::new(Op::DocumentNode(Box::new(self.expr(c, env))))
+            }
+            CoreExpr::Cast { expr, ty, optional } => Plan::new(Op::Cast {
+                ty: *ty,
+                optional: *optional,
+                input: Box::new(self.expr(expr, env)),
+            }),
+            CoreExpr::Castable { expr, ty, optional } => Plan::new(Op::Castable {
+                ty: *ty,
+                optional: *optional,
+                input: Box::new(self.expr(expr, env)),
+            }),
+            CoreExpr::TypeAssert { expr, st } => Plan::new(Op::TypeAssert {
+                st: st.clone(),
+                input: Box::new(self.expr(expr, env)),
+            }),
+            CoreExpr::InstanceOf { expr, st } => Plan::new(Op::TypeMatches {
+                st: st.clone(),
+                input: Box::new(self.expr(expr, env)),
+            }),
+            CoreExpr::Validate { mode, expr } => Plan::new(Op::Validate {
+                mode: *mode,
+                input: Box::new(self.expr(expr, env)),
+            }),
+        }
+    }
+
+    fn name_plan(
+        &mut self,
+        name: &Result<QName, Box<CoreExpr>>,
+        env: &Env,
+    ) -> NamePlan {
+        match name {
+            Ok(q) => NamePlan::Static(q.clone()),
+            Err(e) => NamePlan::Dynamic(Box::new(self.expr(e, env))),
+        }
+    }
+
+    /// Compiles a clause list into a tuple-stream plan, per Fig. 2,
+    /// returning the plan and the extended environment.
+    fn clauses(&mut self, clauses: &[CoreClause], env: &Env) -> (Plan, Env) {
+        let can_lift = self.allow_constant_lift && !env.in_tuple_context && !env.conditional;
+        let mut plan = if env.in_tuple_context {
+            Plan::input()
+        } else {
+            Plan::new(Op::TupleTable)
+        };
+        let mut env = env.clone();
+        env.in_tuple_context = true;
+        for clause in clauses {
+            match clause {
+                CoreClause::For { var, at, as_type, expr } => {
+                    // (FOR): MapConcat{MapFromItem{[x : [as T](IN)]}(E)}(Op0)
+                    let source = self.expr(expr, &env);
+                    let field = self.fresh_field(var.local_part());
+                    let item_plan = match as_type {
+                        Some(st) => Plan::new(Op::TypeAssert {
+                            st: per_item_type(st),
+                            input: Plan::boxed(Op::Input),
+                        }),
+                        None => Plan::input(),
+                    };
+                    let from_item = Plan::new(Op::MapFromItem {
+                        dep: Plan::boxed(Op::Tuple(vec![(field.clone(), item_plan)])),
+                        input: Box::new(source),
+                    });
+                    plan = Plan::new(Op::MapConcat {
+                        dep: Box::new(from_item),
+                        input: Box::new(plan),
+                    });
+                    env.bindings.insert(var.clone(), field);
+                    if let Some(at_var) = at {
+                        let at_field = self.fresh_field(at_var.local_part());
+                        plan = Plan::new(Op::MapIndex {
+                            field: at_field.clone(),
+                            input: Box::new(plan),
+                        });
+                        env.bindings.insert(at_var.clone(), at_field);
+                    }
+                }
+                CoreClause::Let { var, as_type, expr } => {
+                    // (LET): MapConcat{[x : [as T](E)]}(Op0)
+                    let mut value = self.expr(expr, &env);
+                    if let Some(st) = as_type {
+                        value = Plan::new(Op::TypeAssert {
+                            st: st.clone(),
+                            input: Box::new(value),
+                        });
+                    }
+                    // Constant lifting (main body, top-level FLWOR): a let
+                    // whose value reads no tuple fields is loop-invariant
+                    // and becomes an algebra-context constant.
+                    if can_lift && !crate::fields::uses_input(&value) {
+                        self.fresh += 1;
+                        let lifted_name =
+                            QName::local(&format!("fs:const-{}#{}", var.local_part(), self.fresh));
+                        self.lifted.push((lifted_name.clone(), value));
+                        env.bindings.remove(var);
+                        env.constants.insert(var.clone(), lifted_name);
+                        continue;
+                    }
+                    let field = self.fresh_field(var.local_part());
+                    plan = Plan::new(Op::MapConcat {
+                        dep: Plan::boxed(Op::Tuple(vec![(field.clone(), value)])),
+                        input: Box::new(plan),
+                    });
+                    env.bindings.insert(var.clone(), field);
+                }
+                CoreClause::Where(pred) => {
+                    // (WHERE): Select{E}(Op0)
+                    let p = self.expr(pred, &env);
+                    plan = Plan::new(Op::Select { pred: Box::new(p), input: Box::new(plan) });
+                }
+                CoreClause::OrderBy(specs) => {
+                    // (ORDERBY): OrderBy{keys}(Op0)
+                    let specs = specs
+                        .iter()
+                        .map(|s: &CoreOrderSpec| OrderSpecPlan {
+                            key: self.expr(&s.key, &env),
+                            descending: s.descending,
+                            empty_least: s.empty_least,
+                        })
+                        .collect();
+                    plan = Plan::new(Op::OrderBy { specs, input: Box::new(plan) });
+                }
+            }
+        }
+        // If every clause was lifted (the stream is still `([])` with no
+        // field bindings), the return clause is still in constant context:
+        // chains of top-level `let … return let … return …` keep lifting.
+        if can_lift && matches!(plan.op, Op::TupleTable) {
+            env.in_tuple_context = false;
+        }
+        (plan, env)
+    }
+
+    fn flwor(&mut self, clauses: &[CoreClause], ret: &CoreExpr, env: &Env) -> Plan {
+        let (plan, inner_env) = self.clauses(clauses, env);
+        let ret_plan = self.expr(ret, &inner_env);
+        Plan::new(Op::MapToItem { dep: Box::new(ret_plan), input: Box::new(plan) })
+    }
+
+    /// Fig. 3: typeswitch compiles to a tuple holding the operand in the
+    /// common variable's field, concatenated with the enclosing tuple, under
+    /// a MapToItem whose dependent plan is a Cond cascade of TypeMatches.
+    fn typeswitch(
+        &mut self,
+        var: &QName,
+        input: &CoreExpr,
+        cases: &[(xqr_types::SequenceType, CoreExpr)],
+        default: &CoreExpr,
+        env: &Env,
+    ) -> Plan {
+        let operand = self.expr(input, env);
+        let field = self.fresh_field(var.local_part());
+        let tuple = Plan::new(Op::Tuple(vec![(field.clone(), operand)]));
+        let table = if env.in_tuple_context {
+            Plan::new(Op::TupleConcat(Box::new(tuple), Plan::boxed(Op::Input)))
+        } else {
+            tuple
+        };
+        let mut inner_env = env.clone();
+        inner_env.in_tuple_context = true;
+        inner_env.conditional = true;
+        inner_env.bindings.insert(var.clone(), field.clone());
+        // Build the Cond cascade from the last case outward.
+        let mut acc = self.expr(default, &inner_env);
+        for (st, body) in cases.iter().rev() {
+            let then = self.expr(body, &inner_env);
+            let cond = Plan::new(Op::TypeMatches {
+                st: st.clone(),
+                input: Box::new(Plan::new(Op::FieldAccess {
+                    field: field.clone(),
+                    input: Plan::boxed(Op::Input),
+                })),
+            });
+            acc = Plan::new(Op::Cond {
+                cond: Box::new(cond),
+                then: Box::new(then),
+                els: Box::new(acc),
+            });
+        }
+        Plan::new(Op::MapToItem { dep: Box::new(acc), input: Box::new(table) })
+    }
+}
+
+/// For-clause `as T` assertions apply per item: strip the occurrence
+/// indicator down to exactly-one.
+fn per_item_type(st: &xqr_types::SequenceType) -> xqr_types::SequenceType {
+    xqr_types::SequenceType::new(st.item.clone(), xqr_types::Occurrence::One)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algebra::count_ops;
+    use crate::pretty::compact;
+    use xqr_frontend::parser::parse_expr_str;
+
+    fn compile(q: &str) -> Plan {
+        let e = parse_expr_str(q).unwrap();
+        let core = xqr_frontend::normalize::normalize_expr(&e);
+        compile_expr(&core)
+    }
+
+    #[test]
+    fn for_clause_matches_paper_rule() {
+        // Op_for from Section 4:
+        // MapConcat{MapFromItem{[p:IN]}(TreeJoin…)}(([])) under MapToItem.
+        let p = compile("for $p in $auction//person return $p");
+        let Op::MapToItem { dep, input } = &p.op else { panic!("MapToItem") };
+        assert!(matches!(dep.op, Op::FieldAccess { .. }));
+        let Op::MapConcat { dep: mc_dep, input: mc_in } = &input.op else {
+            panic!("MapConcat, got {}", compact(input));
+        };
+        assert!(matches!(mc_in.op, Op::TupleTable));
+        let Op::MapFromItem { dep: tuple, .. } = &mc_dep.op else { panic!("MapFromItem") };
+        assert!(matches!(tuple.op, Op::Tuple(ref fs) if fs.len() == 1));
+    }
+
+    #[test]
+    fn let_clause_matches_paper_rule() {
+        let p = compile("for $p in $s let $a := count($p) return $a");
+        // let compiles to MapConcat{[a: Call[count](IN#p)]}(…)
+        let Op::MapToItem { input, .. } = &p.op else { panic!() };
+        let Op::MapConcat { dep, .. } = &input.op else { panic!("let MapConcat") };
+        let Op::Tuple(fields) = &dep.op else { panic!("Tuple, got {}", compact(dep)) };
+        assert_eq!(fields.len(), 1);
+        assert!(fields[0].0.starts_with('a'));
+        assert!(matches!(fields[0].1.op, Op::Call { .. }));
+    }
+
+    #[test]
+    fn at_clause_adds_map_index() {
+        let p = compile("for $x at $i in (1,2,3) return $i");
+        assert_eq!(count_ops(&p, &|o| matches!(o, Op::MapIndex { .. })), 1);
+    }
+
+    #[test]
+    fn where_becomes_select() {
+        let p = compile("for $x in $s where $x = 1 return $x");
+        assert_eq!(count_ops(&p, &|o| matches!(o, Op::Select { .. })), 1);
+    }
+
+    #[test]
+    fn order_by_becomes_orderby() {
+        let p = compile("for $x in $s order by $x descending return $x");
+        assert_eq!(count_ops(&p, &|o| matches!(o, Op::OrderBy { .. })), 1);
+    }
+
+    #[test]
+    fn nested_flwor_starts_from_input() {
+        let p = compile("for $p in $s return (for $t in $u return ($p, $t))");
+        // The inner FLWOR's first MapConcat must have IN (not ([])) as input.
+        let mut found_inner_input = false;
+        fn walk(p: &Plan, found: &mut bool) {
+            if let Op::MapConcat { input, .. } = &p.op {
+                if matches!(input.op, Op::Input) {
+                    *found = true;
+                }
+            }
+            for (c, _) in p.op.children() {
+                walk(c, found);
+            }
+        }
+        walk(&p, &mut found_inner_input);
+        assert!(found_inner_input, "nested FLWOR compiled against IN: {}", compact(&p));
+    }
+
+    #[test]
+    fn variable_shadowing_gets_distinct_fields() {
+        let p = compile("for $x in $s return (for $x in $t return $x)");
+        // Two tuple constructors with different field names.
+        let mut fields = Vec::new();
+        fn collect(p: &Plan, out: &mut Vec<String>) {
+            if let Op::Tuple(fs) = &p.op {
+                for (f, _) in fs {
+                    out.push(f.to_string());
+                }
+            }
+            for (c, _) in p.op.children() {
+                collect(c, out);
+            }
+        }
+        collect(&p, &mut fields);
+        assert_eq!(fields.len(), 2);
+        assert_ne!(fields[0], fields[1]);
+    }
+
+    #[test]
+    fn quantifier_compiles_to_map_some() {
+        let p = compile("some $x in (1,2) satisfies $x = 2");
+        assert!(matches!(p.op, Op::MapSome { .. }));
+        let p = compile("every $x in (1,2) satisfies $x = 2");
+        assert!(matches!(p.op, Op::MapEvery { .. }));
+    }
+
+    #[test]
+    fn typeswitch_matches_fig3() {
+        let p = compile(
+            "typeswitch ($a) case $u as xs:integer return $u \
+             case xs:string return 1 default return 2",
+        );
+        // MapToItem{Cond{…, Cond{…}(TypeMatches)}(TypeMatches)}([x: $a])
+        let Op::MapToItem { dep, input } = &p.op else { panic!() };
+        assert!(matches!(input.op, Op::Tuple(_)), "top-level: no ++IN needed");
+        let Op::Cond { cond, els, .. } = &dep.op else { panic!("Cond cascade") };
+        assert!(matches!(cond.op, Op::TypeMatches { .. }));
+        assert!(matches!(els.op, Op::Cond { .. }), "second case nested in else");
+    }
+
+    #[test]
+    fn for_as_type_asserts_per_item() {
+        let p = compile("for $a as element(*,Auction)* in $s return $a");
+        let mut asserted = None;
+        fn find(p: &Plan, out: &mut Option<xqr_types::SequenceType>) {
+            if let Op::TypeAssert { st, .. } = &p.op {
+                *out = Some(st.clone());
+            }
+            for (c, _) in p.op.children() {
+                find(c, out);
+            }
+        }
+        find(&p, &mut asserted);
+        let st = asserted.expect("TypeAssert present");
+        assert_eq!(st.occ, xqr_types::Occurrence::One, "per-item assertion");
+    }
+
+    #[test]
+    fn doc_call_becomes_parse() {
+        let p = compile("doc('auction.xml')");
+        assert!(matches!(p.op, Op::Parse { .. }));
+    }
+
+    #[test]
+    fn paper_q8_naive_plan_shape() {
+        // The Section 2 example must produce the P1 ingredients: two
+        // MapFromItem/MapConcat pairs, a Select, a Validate, a TypeAssert.
+        let p = compile(
+            "for $p in $auction//person \
+             let $a as element(*,Auction)* := \
+                for $t in $auction//closed_auction \
+                where $t/buyer/@person = $p/@id \
+                return validate { $t } \
+             return <item person=\"{$p/name/text()}\">{ count($a/element(*,USSeller)) }</item>",
+        );
+        assert_eq!(count_ops(&p, &|o| matches!(o, Op::MapFromItem { .. })), 2);
+        assert_eq!(count_ops(&p, &|o| matches!(o, Op::Select { .. })), 1);
+        assert_eq!(count_ops(&p, &|o| matches!(o, Op::Validate { .. })), 1);
+        assert_eq!(count_ops(&p, &|o| matches!(o, Op::TypeAssert { .. })), 1);
+        assert_eq!(count_ops(&p, &|o| matches!(o, Op::Element { .. })), 1);
+        assert_eq!(count_ops(&p, &|o| matches!(o, Op::TupleTable)), 1);
+    }
+}

@@ -1,0 +1,216 @@
+//! Plan pretty-printer in the paper's `Op[params]{deps}(inputs)` notation.
+//!
+//! `IN#q` field accesses, tuple constructors `[q : e]`, and the boundary
+//! maps print exactly as in the paper's plans (P1/P2), which makes the
+//! rewrite tests readable against the paper text.
+
+use std::fmt::Write as _;
+
+use crate::algebra::{NamePlan, Op, Plan};
+
+/// Renders a plan on one line (paper style, no indentation).
+pub fn compact(p: &Plan) -> String {
+    let mut s = String::new();
+    write_plan(&mut s, p);
+    s
+}
+
+/// Renders a plan indented, one operator per line.
+pub fn indented(p: &Plan) -> String {
+    let mut s = String::new();
+    write_indented(&mut s, p, 0);
+    s
+}
+
+fn write_indented(out: &mut String, p: &Plan, depth: usize) {
+    // Small sub-plans print compactly; larger ones recurse.
+    let line = compact(p);
+    if line.len() <= 60 {
+        let _ = writeln!(out, "{}{}", "  ".repeat(depth), line);
+        return;
+    }
+    let _ = writeln!(out, "{}{}{}", "  ".repeat(depth), p.op.name(), params_of(&p.op));
+    for (c, kind) in p.op.children() {
+        let marker = match kind {
+            crate::algebra::ChildKind::Rebinds => "{} ",
+            crate::algebra::ChildKind::Inherit => "() ",
+        };
+        let _ = write!(out, "{}{}", "  ".repeat(depth + 1), marker);
+        let mut inner = String::new();
+        write_indented(&mut inner, c, 0);
+        // Re-indent the nested rendering.
+        let shifted = inner
+            .lines()
+            .enumerate()
+            .map(|(i, l)| {
+                if i == 0 {
+                    l.to_string()
+                } else {
+                    format!("{}{}", "  ".repeat(depth + 2), l)
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        let _ = writeln!(out, "{shifted}");
+    }
+}
+
+fn params_of(op: &Op) -> String {
+    match op {
+        Op::Scalar(v) => format!("[{}]", v.string_value()),
+        Op::Element { name, .. } | Op::Attribute { name, .. } => match name {
+            NamePlan::Static(q) => format!("[{q}]"),
+            NamePlan::Dynamic(_) => "[<dyn>]".to_string(),
+        },
+        Op::Pi { target, .. } => format!("[{target}]"),
+        Op::TreeJoin { axis, test, .. } => {
+            format!("[{}::{}]", axis.name(), node_test_display(test))
+        }
+        Op::Castable { ty, .. } | Op::Cast { ty, .. } => format!("[{ty}]"),
+        Op::TypeMatches { st, .. } | Op::TypeAssert { st, .. } => format!("[{st}]"),
+        Op::Var(q) => format!("[{q}]"),
+        Op::Call { name, .. } => format!("[{name}]"),
+        Op::FieldAccess { field, .. } => format!("#{field}"),
+        Op::LOuterJoin { null_field, .. } => format!("[{null_field}]"),
+        Op::OMap { null_field, .. } | Op::OMapConcat { null_field, .. } => {
+            format!("[{null_field}]")
+        }
+        Op::MapIndex { field, .. } | Op::MapIndexStep { field, .. } => format!("[{field}]"),
+        Op::GroupBy { agg, index_fields, null_fields, .. } => {
+            format!(
+                "[{},[{}],[{}]]",
+                agg,
+                index_fields.join(","),
+                null_fields.join(",")
+            )
+        }
+        _ => String::new(),
+    }
+}
+
+/// Renders a node test in path notation.
+pub fn node_test_display(test: &xqr_xml::axes::NodeTest) -> String {
+    match test {
+        xqr_xml::axes::NodeTest::Name(nt) => match (&nt.uri, &nt.local) {
+            (_, None) => "*".to_string(),
+            (None, Some(l)) if nt.any_uri => format!("*:{l}"),
+            (None, Some(l)) => l.clone(),
+            (Some(u), Some(l)) => format!("{u}:{l}"),
+        },
+        xqr_xml::axes::NodeTest::Kind(kt) => xqr_types::sequence_type::kind_test_display(kt),
+    }
+}
+
+trait JoinExt {
+    fn join(&self, sep: &str) -> String;
+}
+
+impl JoinExt for Vec<crate::algebra::Field> {
+    fn join(&self, sep: &str) -> String {
+        self.iter().map(|f| f.to_string()).collect::<Vec<_>>().join(sep)
+    }
+}
+
+fn write_plan(out: &mut String, p: &Plan) {
+    match &p.op {
+        Op::Input => out.push_str("IN"),
+        Op::TupleTable => out.push_str("([])"),
+        Op::Empty => out.push_str("Empty"),
+        Op::Scalar(v) => {
+            let _ = write!(out, "{:?}", v.string_value());
+        }
+        Op::Var(q) => {
+            let _ = write!(out, "${q}");
+        }
+        Op::FieldAccess { field, input } => {
+            if matches!(input.op, Op::Input) {
+                let _ = write!(out, "IN#{field}");
+            } else {
+                write_plan(out, input);
+                let _ = write!(out, "#{field}");
+            }
+        }
+        Op::Tuple(fields) => {
+            out.push('[');
+            for (i, (f, v)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("; ");
+                }
+                let _ = write!(out, "{f}:");
+                write_plan(out, v);
+            }
+            out.push(']');
+        }
+        Op::TupleConcat(a, b) => {
+            write_plan(out, a);
+            out.push_str(" ++ ");
+            write_plan(out, b);
+        }
+        _ => {
+            out.push_str(p.op.name());
+            out.push_str(&params_of(&p.op));
+            let (deps, inputs): (Vec<_>, Vec<_>) = p
+                .op
+                .children()
+                .into_iter()
+                .partition(|(_, k)| *k == crate::algebra::ChildKind::Rebinds);
+            if let Op::OrderBy { specs, .. } = &p.op {
+                let _ = specs;
+            }
+            for (d, _) in deps {
+                out.push('{');
+                write_plan(out, d);
+                out.push('}');
+            }
+            if !inputs.is_empty() {
+                out.push('(');
+                for (i, (c, _)) in inputs.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    write_plan(out, c);
+                }
+                out.push(')');
+            } else if matches!(p.op, Op::Call { .. } | Op::Sequence(_)) {
+                out.push_str("()");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algebra::Op;
+    use xqr_xml::QName;
+
+    #[test]
+    fn paper_notation() {
+        // MapConcat{MapFromItem{[p:IN]}($auction)}(([]))
+        let p = Plan::new(Op::MapConcat {
+            dep: Plan::boxed(Op::MapFromItem {
+                dep: Plan::boxed(Op::Tuple(vec![("p".into(), Plan::input())])),
+                input: Plan::boxed(Op::Var(QName::local("auction"))),
+            }),
+            input: Plan::boxed(Op::TupleTable),
+        });
+        assert_eq!(compact(&p), "MapConcat{MapFromItem{[p:IN]}($auction)}(([]))");
+    }
+
+    #[test]
+    fn field_access_notation() {
+        assert_eq!(compact(&Plan::in_field("p")), "IN#p");
+    }
+
+    #[test]
+    fn indented_renders_without_panic() {
+        let p = Plan::new(Op::Select {
+            pred: Plan::boxed(Op::Call {
+                name: QName::local("fs:general-eq"),
+                args: vec![Plan::in_field("a"), Plan::in_field("b")],
+            }),
+            input: Plan::boxed(Op::TupleTable),
+        });
+        assert!(indented(&p).contains("Select") || compact(&p).contains("Select"));
+    }
+}

@@ -1,0 +1,240 @@
+//! Document-projection inference — introducing the `TreeProject` operator.
+//!
+//! Table 1 lists `TreeProject[paths]` "in the style of" Marian & Siméon's
+//! *Projecting XML Documents* (the paper integrates that work into Galax).
+//! This pass infers, for every document-valued constant (a lifted global
+//! whose plan is `Parse`), the set of navigation chains the query applies
+//! to it, and wraps the `Parse` in a `TreeProject` so that everything
+//! outside those chains is pruned once, up front.
+//!
+//! Safety analysis (conservative):
+//!
+//! * every use of the document variable must be as the innermost input of
+//!   a `TreeJoin` chain — a bare use (e.g. `count($doc)`, serialization)
+//!   disables projection for that document;
+//! * only forward child/descendant steps may appear **anywhere** in the
+//!   module: parent/ancestor/sibling/following/preceding steps or
+//!   `fn:root` could navigate from a kept node into pruned territory, so
+//!   their presence disables the pass entirely;
+//! * a chain's end keeps its entire subtree, so navigation that continues
+//!   from bound variables (`$p/name` after `for $p in $doc//person`) stays
+//!   correct.
+
+use std::collections::HashMap;
+
+use xqr_xml::axes::{Axis, NodeTest};
+use xqr_xml::QName;
+
+use crate::algebra::{Op, Plan};
+use crate::compile::CompiledModule;
+
+/// One projection chain.
+pub type ProjectionPath = Vec<(Axis, NodeTest)>;
+
+/// Infers and installs `TreeProject` operators over the module's `Parse`
+/// globals. Returns the number of documents projected.
+pub fn apply_document_projection(m: &mut CompiledModule) -> usize {
+    // Which globals are document constants?
+    let doc_globals: Vec<QName> = m
+        .globals
+        .iter()
+        .filter(|(_, p)| matches!(p, Some(plan) if matches!(plan.op, Op::Parse { .. })))
+        .map(|(q, _)| q.clone())
+        .collect();
+    if doc_globals.is_empty() {
+        return 0;
+    }
+    // Global safety: no reverse/sideways axes or root() calls anywhere.
+    let mut all_plans: Vec<&Plan> = Vec::new();
+    all_plans.push(&m.body);
+    for f in m.functions.values() {
+        all_plans.push(&f.body);
+    }
+    for (_, g) in &m.globals {
+        if let Some(p) = g {
+            all_plans.push(p);
+        }
+    }
+    if all_plans.iter().any(|p| has_unsafe_navigation(p)) {
+        return 0;
+    }
+    // Per-document usage analysis.
+    let mut usages: HashMap<QName, Option<Vec<ProjectionPath>>> =
+        doc_globals.iter().map(|q| (q.clone(), Some(Vec::new()))).collect();
+    for plan in &all_plans {
+        collect_usages(plan, &mut usages);
+    }
+    // Install the projections.
+    let mut installed = 0;
+    for (name, global) in m.globals.iter_mut() {
+        let Some(Some(paths)) = usages.get(name) else { continue };
+        if paths.is_empty() {
+            continue; // document never navigated (or unused): leave it.
+        }
+        if let Some(plan) = global {
+            if matches!(plan.op, Op::Parse { .. }) {
+                let parse = std::mem::replace(plan, Plan::new(Op::Empty));
+                *plan = Plan::new(Op::TreeProject {
+                    paths: paths.clone(),
+                    input: Box::new(parse),
+                });
+                installed += 1;
+            }
+        }
+    }
+    installed
+}
+
+/// Steps the projection can push through. Reverse and sideways axes make
+/// pruning unsafe anywhere in the module.
+fn axis_is_safe(axis: Axis) -> bool {
+    matches!(axis, Axis::Child | Axis::Descendant | Axis::DescendantOrSelf | Axis::Attribute | Axis::SelfAxis)
+}
+
+fn has_unsafe_navigation(p: &Plan) -> bool {
+    let mut unsafe_found = false;
+    visit(p, &mut |node| match &node.op {
+        Op::TreeJoin { axis, .. } if !axis_is_safe(*axis) => unsafe_found = true,
+        Op::Call { name, .. }
+            if matches!(name.local_part(), "root" | "fs:root" | "fs:distinct-docorder") =>
+        {
+            // root() escapes subtrees; ddo over arbitrary unions is fine
+            // but may carry nodes reached through predicates on other
+            // documents — stay conservative only for root().
+            if matches!(name.local_part(), "root" | "fs:root") {
+                unsafe_found = true;
+            }
+        }
+        _ => {}
+    });
+    unsafe_found
+}
+
+fn visit(p: &Plan, f: &mut dyn FnMut(&Plan)) {
+    f(p);
+    for (c, _) in p.op.children() {
+        visit(c, f);
+    }
+}
+
+/// Walks a plan, recording each `TreeJoin` chain rooted at a tracked
+/// document variable; a tracked variable consumed any other way poisons
+/// that document's entry.
+fn collect_usages(p: &Plan, usages: &mut HashMap<QName, Option<Vec<ProjectionPath>>>) {
+    match &p.op {
+        Op::TreeJoin { .. } => {
+            // Collect the maximal chain.
+            let mut steps: ProjectionPath = Vec::new();
+            let mut cur = p;
+            while let Op::TreeJoin { axis, test, input } = &cur.op {
+                steps.push((*axis, test.clone()));
+                cur = input;
+            }
+            steps.reverse();
+            // Self steps are no-ops for projection; an attribute step ends
+            // structural navigation — truncate there so the owning element's
+            // subtree is kept whole (attributes are always retained).
+            let mut chain: ProjectionPath = Vec::new();
+            for (a, t) in steps {
+                match a {
+                    Axis::SelfAxis => {}
+                    Axis::Attribute => break,
+                    _ => chain.push((a, t)),
+                }
+            }
+            match &cur.op {
+                Op::Var(q) if usages.contains_key(q) => {
+                    if let Some(Some(paths)) = usages.get_mut(q) {
+                        paths.push(chain);
+                    }
+                    return; // fully consumed
+                }
+                _ => {
+                    // Chain rooted elsewhere: analyze the root normally.
+                    collect_usages(cur, usages);
+                    return;
+                }
+            }
+        }
+        Op::Var(q) => {
+            // A bare use of a tracked document: unsafe for that document.
+            if let Some(entry) = usages.get_mut(q) {
+                *entry = None;
+            }
+        }
+        _ => {}
+    }
+    for (c, _) in p.op.children() {
+        collect_usages(c, usages);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile_module;
+    use crate::rewrite::rewrite_module;
+    use xqr_frontend::frontend;
+
+    fn project(q: &str) -> (CompiledModule, usize) {
+        let core = frontend(q).unwrap();
+        let mut m = compile_module(&core);
+        rewrite_module(&mut m);
+        let n = apply_document_projection(&mut m);
+        (m, n)
+    }
+
+    fn projected_global(m: &CompiledModule) -> Option<&Plan> {
+        m.globals.iter().find_map(|(_, g)| match g {
+            Some(p) if matches!(p.op, Op::TreeProject { .. }) => Some(p),
+            _ => None,
+        })
+    }
+
+    #[test]
+    fn simple_navigation_is_projected() {
+        let (m, n) = project(
+            "let $d := doc('x.xml') return \
+             for $p in $d/site/people/person return $p/name",
+        );
+        assert_eq!(n, 1);
+        let p = projected_global(&m).expect("TreeProject installed");
+        let Op::TreeProject { paths, .. } = &p.op else { unreachable!() };
+        assert_eq!(paths.len(), 1, "one chain: /site/people/person");
+        assert_eq!(paths[0].len(), 3);
+    }
+
+    #[test]
+    fn multiple_chains_collected() {
+        let (m, n) = project(
+            "let $d := doc('x.xml') return \
+             (count($d//closed_auction), for $p in $d/site/people/person return $p)",
+        );
+        assert_eq!(n, 1);
+        let p = projected_global(&m).expect("TreeProject installed");
+        let Op::TreeProject { paths, .. } = &p.op else { unreachable!() };
+        assert_eq!(paths.len(), 2);
+    }
+
+    #[test]
+    fn bare_document_use_disables_projection() {
+        let (_, n) = project("let $d := doc('x.xml') return count($d)");
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn reverse_axis_disables_projection() {
+        let (_, n) = project(
+            "let $d := doc('x.xml') return \
+             for $p in $d//person return $p/../name",
+        );
+        assert_eq!(n, 0, "parent axis anywhere disables the pass");
+    }
+
+    #[test]
+    fn non_document_globals_untouched() {
+        let (m, n) = project("let $d := (1,2,3) return $d");
+        assert_eq!(n, 0);
+        assert!(projected_global(&m).is_none());
+    }
+}

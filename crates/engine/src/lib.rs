@@ -1,0 +1,456 @@
+//! # xqr-engine — the public facade
+//!
+//! Ties the pipeline together: parse → normalize (paper-modified Core) →
+//! compile into the algebra → optionally rewrite (Section 5 unnesting) →
+//! evaluate with the selected join algorithm (Section 6). The
+//! [`ExecutionMode`] enum matches the four configurations of the paper's
+//! **Table 3**:
+//!
+//! | mode | paper row |
+//! |---|---|
+//! | [`ExecutionMode::NoAlgebra`] | "No algebra" — direct Core interpreter |
+//! | [`ExecutionMode::AlgebraNoOptim`] | "Algebra + No optim" |
+//! | [`ExecutionMode::OptimNestedLoop`] | "Optim + nested-loop joins" |
+//! | [`ExecutionMode::OptimHashJoin`] | "Optim + XQuery joins" (hash) |
+//! | [`ExecutionMode::OptimSortJoin`] | "Optim + XQuery joins" (sort) |
+//!
+//! ```
+//! use xqr_engine::{CompileOptions, Engine, ExecutionMode};
+//!
+//! let mut engine = Engine::new();
+//! engine.bind_document("catalog.xml", "<items><item id='1'/><item id='2'/></items>").unwrap();
+//! let q = engine
+//!     .prepare(
+//!         "for $i in doc('catalog.xml')//item return <got>{ $i/@id }</got>",
+//!         &CompileOptions::default(),
+//!     )
+//!     .unwrap();
+//! let result = q.run(&engine).unwrap();
+//! assert_eq!(result.len(), 2);
+//! ```
+
+use std::collections::HashMap;
+
+use xqr_core::{compile_module, pretty, rewrite_module_with, CompiledModule, RewriteStats};
+
+pub use xqr_core::RuleConfig;
+use xqr_frontend::{frontend, CoreModule, SyntaxError};
+use xqr_runtime::{eval_core_module, Ctx};
+use xqr_types::Schema;
+use xqr_xml::parse::{parse_document, ParseOptions};
+use xqr_xml::{NodeHandle, QName, Sequence, XmlError};
+
+pub use xqr_runtime::JoinAlgorithm;
+
+/// How a prepared query executes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum ExecutionMode {
+    /// Direct Core interpretation — the paper's "No algebra" baseline.
+    NoAlgebra,
+    /// Algebraic compilation without the Section 5 rewritings.
+    AlgebraNoOptim,
+    /// Rewritten plans, all joins nested-loop.
+    OptimNestedLoop,
+    /// Rewritten plans, typed hash joins (Fig. 6) where applicable.
+    #[default]
+    OptimHashJoin,
+    /// Rewritten plans, order-preserving B-tree (sort) joins.
+    OptimSortJoin,
+}
+
+impl ExecutionMode {
+    /// All modes, in the order of Table 3.
+    pub const ALL: [ExecutionMode; 4] = [
+        ExecutionMode::NoAlgebra,
+        ExecutionMode::AlgebraNoOptim,
+        ExecutionMode::OptimNestedLoop,
+        ExecutionMode::OptimHashJoin,
+    ];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            ExecutionMode::NoAlgebra => "No algebra",
+            ExecutionMode::AlgebraNoOptim => "Algebra + No optim",
+            ExecutionMode::OptimNestedLoop => "Optim + nested-loop joins",
+            ExecutionMode::OptimHashJoin => "Optim + XQuery joins",
+            ExecutionMode::OptimSortJoin => "Optim + XQuery sort joins",
+        }
+    }
+
+    fn join_algorithm(self) -> JoinAlgorithm {
+        match self {
+            ExecutionMode::OptimHashJoin => JoinAlgorithm::Hash,
+            ExecutionMode::OptimSortJoin => JoinAlgorithm::Sort,
+            _ => JoinAlgorithm::NestedLoop,
+        }
+    }
+}
+
+/// Compilation options.
+#[derive(Clone, Debug, Default)]
+pub struct CompileOptions {
+    pub mode: ExecutionMode,
+    /// Rewrite-rule families applied in the optimizing modes (ablation
+    /// studies disable subsets; see `crates/bench/benches/ablation.rs`).
+    pub rules: Option<RuleConfig>,
+    /// Infer and install `TreeProject` document projections (see
+    /// `xqr_core::project`). Off by default: profitable for
+    /// navigation-heavy queries over large documents.
+    pub projection: bool,
+}
+
+impl CompileOptions {
+    pub fn mode(mode: ExecutionMode) -> CompileOptions {
+        CompileOptions { mode, ..CompileOptions::default() }
+    }
+
+    pub fn with_rules(mode: ExecutionMode, rules: RuleConfig) -> CompileOptions {
+        CompileOptions { mode, rules: Some(rules), ..CompileOptions::default() }
+    }
+
+    pub fn with_projection(mode: ExecutionMode) -> CompileOptions {
+        CompileOptions { mode, projection: true, ..CompileOptions::default() }
+    }
+}
+
+/// Errors from preparation or execution.
+#[derive(Debug, Clone)]
+pub enum EngineError {
+    Syntax(SyntaxError),
+    Dynamic(XmlError),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Syntax(e) => write!(f, "{e}"),
+            EngineError::Dynamic(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<SyntaxError> for EngineError {
+    fn from(e: SyntaxError) -> Self {
+        EngineError::Syntax(e)
+    }
+}
+
+impl From<XmlError> for EngineError {
+    fn from(e: XmlError) -> Self {
+        EngineError::Dynamic(e)
+    }
+}
+
+/// The engine: documents, schema, and external variable bindings shared by
+/// prepared queries.
+#[derive(Default)]
+pub struct Engine {
+    documents: HashMap<String, NodeHandle>,
+    schema: Schema,
+    externals: HashMap<QName, Sequence>,
+}
+
+impl Engine {
+    pub fn new() -> Engine {
+        Engine::default()
+    }
+
+    /// Parses and registers a document under a URI for `fn:doc`.
+    pub fn bind_document(&mut self, uri: &str, xml: &str) -> Result<(), EngineError> {
+        let doc = parse_document(xml, &ParseOptions::default())
+            .map_err(|e| EngineError::Dynamic(e.into()))?;
+        self.documents.insert(uri.to_string(), doc.root());
+        Ok(())
+    }
+
+    /// Registers an already-parsed node under a URI.
+    pub fn bind_document_node(&mut self, uri: &str, node: NodeHandle) {
+        self.documents.insert(uri.to_string(), node);
+    }
+
+    /// Binds an external variable.
+    pub fn bind_variable(&mut self, name: &str, value: Sequence) {
+        self.externals.insert(QName::local(name), value);
+    }
+
+    /// Installs the schema used by validation and `element(*, T)` tests.
+    pub fn set_schema(&mut self, schema: Schema) {
+        self.schema = schema;
+    }
+
+    pub fn schema_mut(&mut self) -> &mut Schema {
+        &mut self.schema
+    }
+
+    /// Parses, normalizes, and (depending on the mode) compiles + rewrites.
+    pub fn prepare(&self, query: &str, options: &CompileOptions) -> Result<PreparedQuery, EngineError> {
+        let core = frontend(query)?;
+        let mode = options.mode;
+        if mode == ExecutionMode::NoAlgebra {
+            return Ok(PreparedQuery { mode, core: Some(core), plan: None, stats: None });
+        }
+        let mut compiled = compile_module(&core);
+        let stats = if mode == ExecutionMode::AlgebraNoOptim {
+            None
+        } else {
+            let rules = options.rules.unwrap_or_default();
+            let stats = rewrite_module_with(&mut compiled, rules);
+            if options.projection {
+                xqr_core::apply_document_projection(&mut compiled);
+            }
+            Some(stats)
+        };
+        Ok(PreparedQuery { mode, core: None, plan: Some(compiled), stats })
+    }
+
+    /// One-shot convenience: prepare + run with default options.
+    pub fn execute(&self, query: &str) -> Result<Sequence, EngineError> {
+        self.prepare(query, &CompileOptions::default())?.run(self)
+    }
+
+    /// One-shot convenience returning serialized XML.
+    pub fn execute_to_string(&self, query: &str) -> Result<String, EngineError> {
+        Ok(xqr_xml::serialize_sequence(&self.execute(query)?))
+    }
+}
+
+/// A prepared query, bound to an execution mode.
+pub struct PreparedQuery {
+    mode: ExecutionMode,
+    core: Option<CoreModule>,
+    plan: Option<CompiledModule>,
+    stats: Option<RewriteStats>,
+}
+
+impl PreparedQuery {
+    pub fn mode(&self) -> ExecutionMode {
+        self.mode
+    }
+
+    /// Rewrite statistics (None for NoAlgebra / AlgebraNoOptim).
+    pub fn rewrite_stats(&self) -> Option<&RewriteStats> {
+        self.stats.as_ref()
+    }
+
+    /// The optimized (or naive) algebra plan, in the paper's notation.
+    pub fn explain(&self) -> String {
+        match &self.plan {
+            Some(m) => pretty::indented(&m.body),
+            None => "(no algebra: direct Core interpretation)".to_string(),
+        }
+    }
+
+    /// The compiled module (algebra modes only).
+    pub fn compiled(&self) -> Option<&CompiledModule> {
+        self.plan.as_ref()
+    }
+
+    /// Executes against the engine's documents/bindings.
+    pub fn run(&self, engine: &Engine) -> Result<Sequence, EngineError> {
+        match self.mode {
+            ExecutionMode::NoAlgebra => {
+                let core = self.core.as_ref().expect("core kept for NoAlgebra");
+                Ok(eval_core_module(
+                    core,
+                    &engine.schema,
+                    &engine.documents,
+                    engine.externals.clone(),
+                )?)
+            }
+            mode => {
+                let module = self.plan.as_ref().expect("compiled plan");
+                let mut ctx = Ctx::new(
+                    module,
+                    &engine.schema,
+                    &engine.documents,
+                    mode.join_algorithm(),
+                );
+                ctx.globals = engine.externals.clone();
+                Ok(xqr_runtime::eval::eval_module(&mut ctx)?)
+            }
+        }
+    }
+
+    /// Executes and serializes.
+    pub fn run_to_string(&self, engine: &Engine) -> Result<String, EngineError> {
+        Ok(xqr_xml::serialize_sequence(&self.run(engine)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine_with(xml: &str) -> Engine {
+        let mut e = Engine::new();
+        e.bind_document("doc.xml", xml).unwrap();
+        e
+    }
+
+    fn run_all_modes(engine: &Engine, q: &str) -> Vec<String> {
+        ExecutionMode::ALL
+            .iter()
+            .map(|m| {
+                engine
+                    .prepare(q, &CompileOptions::mode(*m))
+                    .unwrap_or_else(|e| panic!("{m:?} prepare: {e}"))
+                    .run_to_string(engine)
+                    .unwrap_or_else(|e| panic!("{m:?} run: {e}"))
+            })
+            .collect()
+    }
+
+    /// All four execution modes must agree — the central cross-check.
+    fn assert_modes_agree(engine: &Engine, q: &str) -> String {
+        let results = run_all_modes(engine, q);
+        for w in results.windows(2) {
+            assert_eq!(w[0], w[1], "modes disagree on {q:?}");
+        }
+        results.into_iter().next().expect("non-empty")
+    }
+
+    #[test]
+    fn arithmetic_and_sequences() {
+        let e = Engine::new();
+        assert_eq!(assert_modes_agree(&e, "1 + 2 * 3"), "7");
+        assert_eq!(assert_modes_agree(&e, "(1, 2, 3)"), "1 2 3");
+        assert_eq!(assert_modes_agree(&e, "sum(1 to 10)"), "55");
+        assert_eq!(assert_modes_agree(&e, "7 div 2"), "3.5");
+        assert_eq!(assert_modes_agree(&e, "7 idiv 2"), "3");
+    }
+
+    #[test]
+    fn flwor_basics() {
+        let e = Engine::new();
+        assert_eq!(
+            assert_modes_agree(&e, "for $x in (1,2,3) where $x > 1 return $x * 10"),
+            "20 30"
+        );
+        assert_eq!(
+            assert_modes_agree(&e, "for $x at $i in ('a','b') return $i"),
+            "1 2"
+        );
+        assert_eq!(
+            assert_modes_agree(&e, "for $x in (3,1,2) order by $x descending return $x"),
+            "3 2 1"
+        );
+        assert_eq!(
+            assert_modes_agree(&e, "for $x in (1,2), $y in (10,20) return $x + $y"),
+            "11 21 12 22"
+        );
+    }
+
+    #[test]
+    fn figure4_query_all_modes() {
+        // The Section 5 / Fig. 4 example; ensures the GroupBy pipeline
+        // computes the same result as plain interpretation.
+        let e = Engine::new();
+        assert_eq!(
+            assert_modes_agree(
+                &e,
+                "for $x in (1,1,3) \
+                 let $a := avg(for $y in (1,2) where $x <= $y return $y * 10) \
+                 return ($x, $a)"
+            ),
+            "1 15 1 15 3"
+        );
+    }
+
+    #[test]
+    fn paths_and_predicates() {
+        let e = engine_with("<r><a id='1'>x</a><a id='2'>y</a><b/></r>");
+        assert_eq!(
+            assert_modes_agree(&e, "doc('doc.xml')/r/a[@id = '2']/text()"),
+            "y"
+        );
+        assert_eq!(assert_modes_agree(&e, "count(doc('doc.xml')//a)"), "2");
+        assert_eq!(
+            assert_modes_agree(&e, "doc('doc.xml')/r/a[2]/@id/string(.)"),
+            "2"
+        );
+        assert_eq!(assert_modes_agree(&e, "doc('doc.xml')/r/a[last()]/text()"), "y");
+    }
+
+    #[test]
+    fn join_query_all_modes() {
+        let e = engine_with(
+            "<db><p id='1'/><p id='2'/><o ref='1'/><o ref='1'/><o ref='3'/></db>",
+        );
+        // Correlated count per p — the unnesting pipeline.
+        assert_eq!(
+            assert_modes_agree(
+                &e,
+                "for $p in doc('doc.xml')//p \
+                 let $os := for $o in doc('doc.xml')//o \
+                            where $o/@ref = $p/@id return $o \
+                 return count($os)"
+            ),
+            "2 0"
+        );
+    }
+
+    #[test]
+    fn constructors() {
+        let e = Engine::new();
+        assert_eq!(
+            assert_modes_agree(&e, "<a x=\"{1+1}\">t{2+3}</a>"),
+            "<a x=\"2\">t5</a>"
+        );
+        assert_eq!(
+            assert_modes_agree(&e, "element item { attribute id {'7'}, text {'v'} }"),
+            "<item id=\"7\">v</item>"
+        );
+    }
+
+    #[test]
+    fn quantifiers_and_conditionals() {
+        let e = Engine::new();
+        assert_eq!(assert_modes_agree(&e, "some $x in (1,2,3) satisfies $x = 2"), "true");
+        assert_eq!(assert_modes_agree(&e, "every $x in (1,2,3) satisfies $x < 3"), "false");
+        assert_eq!(assert_modes_agree(&e, "if (1 = 1) then 'y' else 'n'"), "y");
+    }
+
+    #[test]
+    fn user_functions() {
+        let e = Engine::new();
+        let q = "declare function local:fact($n as xs:integer) as xs:integer \
+                 { if ($n <= 1) then 1 else $n * local:fact($n - 1) }; \
+                 local:fact(6)";
+        assert_eq!(assert_modes_agree(&e, q), "720");
+    }
+
+    #[test]
+    fn external_variables() {
+        let mut e = Engine::new();
+        e.bind_variable("size", Sequence::integers([5]));
+        let q = "declare variable $size external; $size * 2";
+        assert_eq!(assert_modes_agree(&e, q), "10");
+    }
+
+    #[test]
+    fn explain_shows_group_by_for_nested_query() {
+        let e = Engine::new();
+        let q = "for $x in (1,2) let $a := (for $y in (1,2) where $y = $x return $y) \
+                 return count($a)";
+        let prepared = e
+            .prepare(q, &CompileOptions::mode(ExecutionMode::OptimHashJoin))
+            .unwrap();
+        assert!(prepared.explain().contains("GroupBy"), "{}", prepared.explain());
+        assert!(prepared.explain().contains("LOuterJoin"));
+        assert!(prepared.rewrite_stats().unwrap().count("insert group-by") >= 1);
+    }
+
+    #[test]
+    fn mode_errors_match() {
+        let e = Engine::new();
+        for m in ExecutionMode::ALL {
+            let r = e
+                .prepare("exactly-one(())", &CompileOptions::mode(m))
+                .unwrap()
+                .run(&e);
+            assert!(r.is_err(), "{m:?}");
+        }
+    }
+}

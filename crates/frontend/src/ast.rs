@@ -1,0 +1,241 @@
+//! Surface abstract syntax for XQuery 1.0.
+
+use xqr_types::SequenceType;
+use xqr_xml::axes::{Axis, NodeTest};
+use xqr_xml::{AtomicValue, QName};
+
+/// A query module: prolog declarations plus the query body.
+#[derive(Clone, Debug)]
+pub struct Module {
+    pub functions: Vec<FunctionDecl>,
+    pub variables: Vec<VariableDecl>,
+    pub body: Expr,
+}
+
+/// `declare function local:f($x as T, …) as T { body }`.
+#[derive(Clone, Debug)]
+pub struct FunctionDecl {
+    pub name: QName,
+    pub params: Vec<(QName, Option<SequenceType>)>,
+    pub return_type: Option<SequenceType>,
+    pub body: Expr,
+}
+
+/// `declare variable $x := expr;` or `declare variable $x external;`.
+#[derive(Clone, Debug)]
+pub struct VariableDecl {
+    pub name: QName,
+    pub as_type: Option<SequenceType>,
+    /// `None` means `external`.
+    pub value: Option<Expr>,
+}
+
+/// Binary operators (surface level; normalization lowers them to calls,
+/// conditionals and quantifiers).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BinOp {
+    Or,
+    And,
+    // General comparisons.
+    GenEq,
+    GenNe,
+    GenLt,
+    GenLe,
+    GenGt,
+    GenGe,
+    // Value comparisons.
+    ValEq,
+    ValNe,
+    ValLt,
+    ValLe,
+    ValGt,
+    ValGe,
+    // Node comparisons.
+    Is,
+    Before,
+    After,
+    // Arithmetic.
+    Add,
+    Sub,
+    Mul,
+    Div,
+    IDiv,
+    Mod,
+    // Sequence operators.
+    Range,
+    Union,
+    Intersect,
+    Except,
+}
+
+impl BinOp {
+    /// Does this operator produce a boolean (used to skip EBV wrapping)?
+    pub fn is_boolean(self) -> bool {
+        use BinOp::*;
+        matches!(
+            self,
+            Or | And
+                | GenEq
+                | GenNe
+                | GenLt
+                | GenLe
+                | GenGt
+                | GenGe
+                | ValEq
+                | ValNe
+                | ValLt
+                | ValLe
+                | ValGt
+                | ValGe
+                | Is
+                | Before
+                | After
+        )
+    }
+}
+
+/// FLWOR clauses (surface).
+#[derive(Clone, Debug)]
+pub enum FlworClause {
+    For {
+        var: QName,
+        as_type: Option<SequenceType>,
+        at: Option<QName>,
+        expr: Expr,
+    },
+    Let {
+        var: QName,
+        as_type: Option<SequenceType>,
+        expr: Expr,
+    },
+    Where(Expr),
+    OrderBy {
+        stable: bool,
+        specs: Vec<OrderSpec>,
+    },
+}
+
+/// One `order by` key.
+#[derive(Clone, Debug)]
+pub struct OrderSpec {
+    pub key: Expr,
+    pub descending: bool,
+    pub empty_least: bool,
+}
+
+/// One `case $v as T return E` clause of a typeswitch.
+#[derive(Clone, Debug)]
+pub struct CaseClause {
+    pub var: Option<QName>,
+    pub seq_type: SequenceType,
+    pub body: Expr,
+}
+
+/// Content of a direct element constructor.
+#[derive(Clone, Debug)]
+pub enum DirectContent {
+    Text(String),
+    Enclosed(Expr),
+    Child(Expr),
+}
+
+/// Attribute value template parts.
+#[derive(Clone, Debug)]
+pub enum AttrValuePart {
+    Text(String),
+    Enclosed(Expr),
+}
+
+/// Validation mode keyword.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ValidationModeAst {
+    Lax,
+    Strict,
+}
+
+/// Surface expressions.
+#[derive(Clone, Debug)]
+pub enum Expr {
+    Literal(AtomicValue),
+    VarRef(QName),
+    ContextItem,
+    /// `(e1, e2, …)` / `()`.
+    Sequence(Vec<Expr>),
+    Flwor {
+        clauses: Vec<FlworClause>,
+        return_expr: Box<Expr>,
+    },
+    Quantified {
+        every: bool,
+        bindings: Vec<(QName, Option<SequenceType>, Expr)>,
+        satisfies: Box<Expr>,
+    },
+    Typeswitch {
+        input: Box<Expr>,
+        cases: Vec<CaseClause>,
+        default_var: Option<QName>,
+        default: Box<Expr>,
+    },
+    If {
+        cond: Box<Expr>,
+        then: Box<Expr>,
+        els: Box<Expr>,
+    },
+    Binary {
+        op: BinOp,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+    },
+    UnaryMinus(Box<Expr>),
+    /// `fn:root(self::node()) treated as document-node()` — a leading `/`.
+    Root,
+    /// `E1/E2` (each `//` is desugared by the parser).
+    PathSlash(Box<Expr>, Box<Expr>),
+    /// An axis step with predicates, relative to the context item.
+    AxisStep {
+        axis: Axis,
+        test: NodeTest,
+        predicates: Vec<Expr>,
+    },
+    /// A primary expression filtered by predicates: `E[p1][p2]`.
+    Filter {
+        primary: Box<Expr>,
+        predicates: Vec<Expr>,
+    },
+    FunctionCall {
+        name: QName,
+        args: Vec<Expr>,
+    },
+    DirectElement {
+        name: QName,
+        attributes: Vec<(QName, Vec<AttrValuePart>)>,
+        content: Vec<DirectContent>,
+    },
+    CompElement {
+        name: Result<QName, Box<Expr>>,
+        content: Option<Box<Expr>>,
+    },
+    CompAttribute {
+        name: Result<QName, Box<Expr>>,
+        content: Option<Box<Expr>>,
+    },
+    CompText(Box<Expr>),
+    CompComment(Box<Expr>),
+    CompPi {
+        target: String,
+        content: Option<Box<Expr>>,
+    },
+    CompDocument(Box<Expr>),
+    InstanceOf(Box<Expr>, SequenceType),
+    TreatAs(Box<Expr>, SequenceType),
+    CastableAs(Box<Expr>, xqr_xml::AtomicType, bool),
+    CastAs(Box<Expr>, xqr_xml::AtomicType, bool),
+    Validate(ValidationModeAst, Box<Expr>),
+}
+
+impl Expr {
+    /// Convenience: an empty sequence literal `()`.
+    pub fn empty() -> Expr {
+        Expr::Sequence(Vec::new())
+    }
+}

@@ -1,0 +1,363 @@
+//! The XQuery Core, as modified by the paper (Section 4).
+//!
+//! Differences from the W3C Formal Semantics Core, following the paper:
+//!
+//! * **FLWOR blocks are preserved** instead of being broken into single
+//!   `for`/`let` expressions — this keeps tuple streams visible so that the
+//!   compilation rules of Fig. 2 can introduce tuple operators, and gives
+//!   `order by` a meaningful semantics.
+//! * **Path steps normalize into complete FLWOR blocks** with an `at`
+//!   clause and a `where` clause for positional predicates (instead of
+//!   for + if-then-else chains).
+//! * **Typeswitch uses one common variable** bound once to the operand.
+//!
+//! General comparisons, arithmetic, and set operators are lowered to
+//! `fs:`/`op:` function calls whose implementations (in `xqr-runtime`)
+//! carry the full atomization/convert-operand semantics.
+
+use xqr_types::{SequenceType, ValidationMode};
+use xqr_xml::axes::{Axis, NodeTest};
+use xqr_xml::{AtomicType, AtomicValue, QName};
+
+/// A normalized module.
+#[derive(Clone, Debug)]
+pub struct CoreModule {
+    pub functions: Vec<CoreFunction>,
+    /// Global variables in declaration order; `None` value means external.
+    pub variables: Vec<(QName, Option<CoreExpr>)>,
+    pub body: CoreExpr,
+}
+
+/// A normalized user function.
+#[derive(Clone, Debug)]
+pub struct CoreFunction {
+    pub name: QName,
+    pub params: Vec<(QName, Option<SequenceType>)>,
+    pub return_type: Option<SequenceType>,
+    pub body: CoreExpr,
+}
+
+/// FLWOR clauses in the Core.
+#[derive(Clone, Debug)]
+pub enum CoreClause {
+    For {
+        var: QName,
+        at: Option<QName>,
+        as_type: Option<SequenceType>,
+        expr: CoreExpr,
+    },
+    Let {
+        var: QName,
+        as_type: Option<SequenceType>,
+        expr: CoreExpr,
+    },
+    Where(CoreExpr),
+    OrderBy(Vec<CoreOrderSpec>),
+}
+
+/// One order-by key in the Core.
+#[derive(Clone, Debug)]
+pub struct CoreOrderSpec {
+    pub key: CoreExpr,
+    pub descending: bool,
+    pub empty_least: bool,
+}
+
+/// Core expressions.
+#[derive(Clone, Debug)]
+pub enum CoreExpr {
+    Literal(AtomicValue),
+    Var(QName),
+    /// `(e1, e2)` — n-ary for convenience; `Empty` is the 0-ary case.
+    Seq(Vec<CoreExpr>),
+    Empty,
+    Flwor {
+        clauses: Vec<CoreClause>,
+        ret: Box<CoreExpr>,
+    },
+    Quantified {
+        every: bool,
+        clauses: Vec<CoreClause>,
+        satisfies: Box<CoreExpr>,
+    },
+    Typeswitch {
+        /// The paper's common variable: `typeswitch x := (Expr) CaseClauses`.
+        var: QName,
+        input: Box<CoreExpr>,
+        cases: Vec<(SequenceType, CoreExpr)>,
+        default: Box<CoreExpr>,
+    },
+    If {
+        cond: Box<CoreExpr>,
+        then: Box<CoreExpr>,
+        els: Box<CoreExpr>,
+    },
+    /// A single axis step applied set-at-a-time: compiles to `TreeJoin`.
+    Step {
+        input: Box<CoreExpr>,
+        axis: Axis,
+        test: NodeTest,
+    },
+    /// Built-in (`fn:`/`op:`/`fs:`) or user function call.
+    Call {
+        name: QName,
+        args: Vec<CoreExpr>,
+    },
+    ElementCtor {
+        name: Result<QName, Box<CoreExpr>>,
+        content: Box<CoreExpr>,
+    },
+    AttributeCtor {
+        name: Result<QName, Box<CoreExpr>>,
+        content: Box<CoreExpr>,
+    },
+    TextCtor(Box<CoreExpr>),
+    CommentCtor(Box<CoreExpr>),
+    PiCtor {
+        target: String,
+        content: Box<CoreExpr>,
+    },
+    DocumentCtor(Box<CoreExpr>),
+    Cast {
+        expr: Box<CoreExpr>,
+        ty: AtomicType,
+        optional: bool,
+    },
+    Castable {
+        expr: Box<CoreExpr>,
+        ty: AtomicType,
+        optional: bool,
+    },
+    /// `treat as` / the `as` clauses of FLWOR — the algebra's `TypeAssert`.
+    TypeAssert {
+        expr: Box<CoreExpr>,
+        st: SequenceType,
+    },
+    /// `instance of` — the algebra's `TypeMatches`.
+    InstanceOf {
+        expr: Box<CoreExpr>,
+        st: SequenceType,
+    },
+    Validate {
+        mode: ValidationMode,
+        expr: Box<CoreExpr>,
+    },
+}
+
+impl CoreExpr {
+    pub fn call(name: &str, args: Vec<CoreExpr>) -> CoreExpr {
+        CoreExpr::Call { name: QName::local(name), args }
+    }
+
+    pub fn var(name: &str) -> CoreExpr {
+        CoreExpr::Var(QName::local(name))
+    }
+
+    pub fn boolean(b: bool) -> CoreExpr {
+        CoreExpr::Literal(AtomicValue::Boolean(b))
+    }
+
+    pub fn integer(i: i64) -> CoreExpr {
+        CoreExpr::Literal(AtomicValue::Integer(i))
+    }
+
+    /// Is this expression statically boolean-valued (so EBV wrapping can be
+    /// skipped)? Conservative.
+    pub fn is_statically_boolean(&self) -> bool {
+        match self {
+            CoreExpr::Literal(AtomicValue::Boolean(_)) => true,
+            CoreExpr::Quantified { .. } => true,
+            CoreExpr::InstanceOf { .. } | CoreExpr::Castable { .. } => true,
+            CoreExpr::If { then, els, .. } => {
+                then.is_statically_boolean() && els.is_statically_boolean()
+            }
+            CoreExpr::Call { name, .. } => {
+                matches!(
+                    name.local_part(),
+                    "boolean"
+                        | "true"
+                        | "false"
+                        | "not"
+                        | "exists"
+                        | "empty"
+                        | "contains"
+                        | "starts-with"
+                        | "ends-with"
+                        | "deep-equal"
+                        | "lang"
+                ) || name.local_part().starts_with("fs:general-")
+                    || name.local_part().starts_with("fs:value-")
+                    || name.local_part().starts_with("fs:predicate-test")
+                    || matches!(
+                        name.local_part(),
+                        "op:is-same-node" | "op:node-before" | "op:node-after"
+                    )
+            }
+            _ => false,
+        }
+    }
+
+    /// Is this expression statically numeric-valued (used to turn numeric
+    /// predicates into position tests)? Conservative.
+    pub fn is_statically_numeric(&self) -> bool {
+        match self {
+            CoreExpr::Literal(v) => v.type_of().is_numeric(),
+            CoreExpr::Call { name, .. } => {
+                name.local_part().starts_with("fs:numeric-")
+                    || matches!(
+                        name.local_part(),
+                        "count"
+                            | "sum"
+                            | "avg"
+                            | "round"
+                            | "floor"
+                            | "ceiling"
+                            | "abs"
+                            | "string-length"
+                    )
+            }
+            CoreExpr::Var(q) => matches!(q.local_part(), "fs:position" | "fs:last"),
+            _ => false,
+        }
+    }
+}
+
+/// Walks every sub-expression of `e` (including `e`), immutably.
+pub fn visit_exprs(e: &CoreExpr, f: &mut dyn FnMut(&CoreExpr)) {
+    f(e);
+    match e {
+        CoreExpr::Literal(_) | CoreExpr::Var(_) | CoreExpr::Empty => {}
+        CoreExpr::Seq(items) => {
+            for i in items {
+                visit_exprs(i, f);
+            }
+        }
+        CoreExpr::Flwor { clauses, ret } => {
+            for c in clauses {
+                visit_clause(c, f);
+            }
+            visit_exprs(ret, f);
+        }
+        CoreExpr::Quantified { clauses, satisfies, .. } => {
+            for c in clauses {
+                visit_clause(c, f);
+            }
+            visit_exprs(satisfies, f);
+        }
+        CoreExpr::Typeswitch { input, cases, default, .. } => {
+            visit_exprs(input, f);
+            for (_, b) in cases {
+                visit_exprs(b, f);
+            }
+            visit_exprs(default, f);
+        }
+        CoreExpr::If { cond, then, els } => {
+            visit_exprs(cond, f);
+            visit_exprs(then, f);
+            visit_exprs(els, f);
+        }
+        CoreExpr::Step { input, .. } => visit_exprs(input, f),
+        CoreExpr::Call { args, .. } => {
+            for a in args {
+                visit_exprs(a, f);
+            }
+        }
+        CoreExpr::ElementCtor { name, content } | CoreExpr::AttributeCtor { name, content } => {
+            if let Err(ne) = name {
+                visit_exprs(ne, f);
+            }
+            visit_exprs(content, f);
+        }
+        CoreExpr::TextCtor(c)
+        | CoreExpr::CommentCtor(c)
+        | CoreExpr::DocumentCtor(c)
+        | CoreExpr::PiCtor { content: c, .. } => visit_exprs(c, f),
+        CoreExpr::Cast { expr, .. }
+        | CoreExpr::Castable { expr, .. }
+        | CoreExpr::TypeAssert { expr, .. }
+        | CoreExpr::InstanceOf { expr, .. }
+        | CoreExpr::Validate { expr, .. } => visit_exprs(expr, f),
+    }
+}
+
+fn visit_clause(c: &CoreClause, f: &mut dyn FnMut(&CoreExpr)) {
+    match c {
+        CoreClause::For { expr, .. } | CoreClause::Let { expr, .. } => visit_exprs(expr, f),
+        CoreClause::Where(e) => visit_exprs(e, f),
+        CoreClause::OrderBy(specs) => {
+            for s in specs {
+                visit_exprs(&s.key, f);
+            }
+        }
+    }
+}
+
+/// Walks every sub-expression of `e` (including `e`), mutably.
+pub fn visit_exprs_mut(e: &mut CoreExpr, f: &mut dyn FnMut(&mut CoreExpr)) {
+    f(e);
+    match e {
+        CoreExpr::Literal(_) | CoreExpr::Var(_) | CoreExpr::Empty => {}
+        CoreExpr::Seq(items) => {
+            for i in items {
+                visit_exprs_mut(i, f);
+            }
+        }
+        CoreExpr::Flwor { clauses, ret } => {
+            for c in clauses {
+                visit_clause_mut(c, f);
+            }
+            visit_exprs_mut(ret, f);
+        }
+        CoreExpr::Quantified { clauses, satisfies, .. } => {
+            for c in clauses {
+                visit_clause_mut(c, f);
+            }
+            visit_exprs_mut(satisfies, f);
+        }
+        CoreExpr::Typeswitch { input, cases, default, .. } => {
+            visit_exprs_mut(input, f);
+            for (_, b) in cases {
+                visit_exprs_mut(b, f);
+            }
+            visit_exprs_mut(default, f);
+        }
+        CoreExpr::If { cond, then, els } => {
+            visit_exprs_mut(cond, f);
+            visit_exprs_mut(then, f);
+            visit_exprs_mut(els, f);
+        }
+        CoreExpr::Step { input, .. } => visit_exprs_mut(input, f),
+        CoreExpr::Call { args, .. } => {
+            for a in args {
+                visit_exprs_mut(a, f);
+            }
+        }
+        CoreExpr::ElementCtor { name, content } | CoreExpr::AttributeCtor { name, content } => {
+            if let Err(ne) = name {
+                visit_exprs_mut(ne, f);
+            }
+            visit_exprs_mut(content, f);
+        }
+        CoreExpr::TextCtor(c)
+        | CoreExpr::CommentCtor(c)
+        | CoreExpr::DocumentCtor(c)
+        | CoreExpr::PiCtor { content: c, .. } => visit_exprs_mut(c, f),
+        CoreExpr::Cast { expr, .. }
+        | CoreExpr::Castable { expr, .. }
+        | CoreExpr::TypeAssert { expr, .. }
+        | CoreExpr::InstanceOf { expr, .. }
+        | CoreExpr::Validate { expr, .. } => visit_exprs_mut(expr, f),
+    }
+}
+
+fn visit_clause_mut(c: &mut CoreClause, f: &mut dyn FnMut(&mut CoreExpr)) {
+    match c {
+        CoreClause::For { expr, .. } | CoreClause::Let { expr, .. } => visit_exprs_mut(expr, f),
+        CoreClause::Where(e) => visit_exprs_mut(e, f),
+        CoreClause::OrderBy(specs) => {
+            for s in specs {
+                visit_exprs_mut(&mut s.key, f);
+            }
+        }
+    }
+}

@@ -1,0 +1,526 @@
+//! Tokenizer for XQuery.
+//!
+//! XQuery has no reserved words, so the lexer emits generic [`Token::Name`]
+//! tokens and lets the parser interpret them contextually. Direct element
+//! constructors are character-level constructs; the parser drives those by
+//! borrowing the lexer's raw cursor (see [`Lexer::raw_pos`] /
+//! [`Lexer::set_pos`]).
+
+use std::fmt;
+
+use xqr_xml::{AtomicValue, Decimal};
+
+/// A lexical token.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Token {
+    /// A (possibly prefixed) name: `count`, `fn:count`, `for`, …
+    Name(Option<String>, String),
+    IntegerLit(i64),
+    DecimalLit(Decimal),
+    DoubleLit(f64),
+    StringLit(String),
+    /// `$`
+    Dollar,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    LBrace,
+    RBrace,
+    Comma,
+    Semicolon,
+    Dot,
+    DotDot,
+    Slash,
+    SlashSlash,
+    At,
+    Star,
+    Plus,
+    Minus,
+    Pipe,
+    Question,
+    Eq,
+    NotEq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    LtLt,
+    GtGt,
+    ColonEq,
+    DoubleColon,
+    /// `=>`-style arrow does not exist in 1.0; kept out.
+    Eof,
+}
+
+impl Token {
+    pub fn is_name(&self, s: &str) -> bool {
+        matches!(self, Token::Name(None, n) if n == s)
+    }
+
+    pub fn name_str(&self) -> Option<&str> {
+        match self {
+            Token::Name(None, n) => Some(n),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Name(Some(p), n) => write!(f, "{p}:{n}"),
+            Token::Name(None, n) => write!(f, "{n}"),
+            Token::IntegerLit(i) => write!(f, "{i}"),
+            Token::DecimalLit(d) => write!(f, "{d}"),
+            Token::DoubleLit(d) => write!(f, "{d}"),
+            Token::StringLit(s) => write!(f, "{s:?}"),
+            other => write!(f, "{}", symbol_of(other)),
+        }
+    }
+}
+
+fn symbol_of(t: &Token) -> &'static str {
+    match t {
+        Token::Dollar => "$",
+        Token::LParen => "(",
+        Token::RParen => ")",
+        Token::LBracket => "[",
+        Token::RBracket => "]",
+        Token::LBrace => "{",
+        Token::RBrace => "}",
+        Token::Comma => ",",
+        Token::Semicolon => ";",
+        Token::Dot => ".",
+        Token::DotDot => "..",
+        Token::Slash => "/",
+        Token::SlashSlash => "//",
+        Token::At => "@",
+        Token::Star => "*",
+        Token::Plus => "+",
+        Token::Minus => "-",
+        Token::Pipe => "|",
+        Token::Question => "?",
+        Token::Eq => "=",
+        Token::NotEq => "!=",
+        Token::Lt => "<",
+        Token::Le => "<=",
+        Token::Gt => ">",
+        Token::Ge => ">=",
+        Token::LtLt => "<<",
+        Token::GtGt => ">>",
+        Token::ColonEq => ":=",
+        Token::DoubleColon => "::",
+        Token::Eof => "<eof>",
+        _ => "<tok>",
+    }
+}
+
+/// Lexer error with byte offset.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LexError {
+    pub message: String,
+    pub offset: usize,
+}
+
+pub struct Lexer<'a> {
+    pub input: &'a str,
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    pub fn new(input: &'a str) -> Self {
+        Lexer { input, pos: 0 }
+    }
+
+    /// Current raw byte offset (used by the parser for direct constructors).
+    pub fn raw_pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Moves the cursor (after the parser consumed raw characters).
+    pub fn set_pos(&mut self, pos: usize) {
+        self.pos = pos;
+    }
+
+    fn bytes(&self) -> &'a [u8] {
+        self.input.as_bytes()
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes().get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.bytes().get(self.pos + 1).copied()
+    }
+
+    /// Skips whitespace and (nested) `(: … :)` comments.
+    pub fn skip_trivia(&mut self) -> Result<(), LexError> {
+        loop {
+            match self.peek() {
+                Some(b' ' | b'\t' | b'\r' | b'\n') => self.pos += 1,
+                Some(b'(') if self.peek2() == Some(b':') => {
+                    let start = self.pos;
+                    self.pos += 2;
+                    let mut depth = 1;
+                    while depth > 0 {
+                        match (self.peek(), self.peek2()) {
+                            (Some(b'('), Some(b':')) => {
+                                depth += 1;
+                                self.pos += 2;
+                            }
+                            (Some(b':'), Some(b')')) => {
+                                depth -= 1;
+                                self.pos += 2;
+                            }
+                            (Some(_), _) => self.pos += 1,
+                            (None, _) => {
+                                return Err(LexError {
+                                    message: "unterminated comment".into(),
+                                    offset: start,
+                                })
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    /// Scans the next token.
+    pub fn next_token(&mut self) -> Result<Token, LexError> {
+        self.skip_trivia()?;
+        let Some(c) = self.peek() else {
+            return Ok(Token::Eof);
+        };
+        let tok = match c {
+            b'$' => self.one(Token::Dollar),
+            b'(' => self.one(Token::LParen),
+            b')' => self.one(Token::RParen),
+            b'[' => self.one(Token::LBracket),
+            b']' => self.one(Token::RBracket),
+            b'{' => self.one(Token::LBrace),
+            b'}' => self.one(Token::RBrace),
+            b',' => self.one(Token::Comma),
+            b';' => self.one(Token::Semicolon),
+            b'@' => self.one(Token::At),
+            b'*' => self.one(Token::Star),
+            b'+' => self.one(Token::Plus),
+            b'-' => self.one(Token::Minus),
+            b'|' => self.one(Token::Pipe),
+            b'?' => self.one(Token::Question),
+            b'=' => self.one(Token::Eq),
+            b'.' => {
+                if self.peek2() == Some(b'.') {
+                    self.two(Token::DotDot)
+                } else if self.peek2().is_some_and(|b| b.is_ascii_digit()) {
+                    return self.number();
+                } else {
+                    self.one(Token::Dot)
+                }
+            }
+            b'/' => {
+                if self.peek2() == Some(b'/') {
+                    self.two(Token::SlashSlash)
+                } else {
+                    self.one(Token::Slash)
+                }
+            }
+            b'!' => {
+                if self.peek2() == Some(b'=') {
+                    self.two(Token::NotEq)
+                } else {
+                    return Err(self.err("unexpected '!'"));
+                }
+            }
+            b'<' => match self.peek2() {
+                Some(b'=') => self.two(Token::Le),
+                Some(b'<') => self.two(Token::LtLt),
+                _ => self.one(Token::Lt),
+            },
+            b'>' => match self.peek2() {
+                Some(b'=') => self.two(Token::Ge),
+                Some(b'>') => self.two(Token::GtGt),
+                _ => self.one(Token::Gt),
+            },
+            b':' => match self.peek2() {
+                Some(b'=') => self.two(Token::ColonEq),
+                Some(b':') => self.two(Token::DoubleColon),
+                _ => return Err(self.err("unexpected ':'")),
+            },
+            b'"' | b'\'' => return self.string_literal(c),
+            b'0'..=b'9' => return self.number(),
+            _ if is_name_start(c) => return self.name(),
+            _ => return Err(self.err(format!("unexpected character {:?}", c as char))),
+        };
+        Ok(tok)
+    }
+
+    fn one(&mut self, t: Token) -> Token {
+        self.pos += 1;
+        t
+    }
+
+    fn two(&mut self, t: Token) -> Token {
+        self.pos += 2;
+        t
+    }
+
+    fn err(&self, message: impl Into<String>) -> LexError {
+        LexError { message: message.into(), offset: self.pos }
+    }
+
+    fn name(&mut self) -> Result<Token, LexError> {
+        let first = self.read_ncname();
+        // A following ':' + name char (but not '::' or ':=') is a QName.
+        if self.peek() == Some(b':')
+            && self.peek2().is_some_and(is_name_start)
+        {
+            self.pos += 1;
+            let second = self.read_ncname();
+            return Ok(Token::Name(Some(first), second));
+        }
+        Ok(Token::Name(None, first))
+    }
+
+    fn read_ncname(&mut self) -> String {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if (self.pos == start && is_name_start(b)) || (self.pos > start && is_name_char(b)) {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        self.input[start..self.pos].to_string()
+    }
+
+    fn number(&mut self) -> Result<Token, LexError> {
+        let start = self.pos;
+        let mut saw_dot = false;
+        let mut saw_exp = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' if !saw_dot && !saw_exp => {
+                    // `1..2` must not swallow the dots; `.` then non-digit
+                    // ends the number (e.g. `1.`, valid decimal).
+                    if self.peek2() == Some(b'.') {
+                        break;
+                    }
+                    saw_dot = true;
+                    self.pos += 1;
+                }
+                b'e' | b'E' if !saw_exp => {
+                    saw_exp = true;
+                    self.pos += 1;
+                    if matches!(self.peek(), Some(b'+' | b'-')) {
+                        self.pos += 1;
+                    }
+                }
+                _ => break,
+            }
+        }
+        let text = &self.input[start..self.pos];
+        if saw_exp {
+            text.parse::<f64>()
+                .map(Token::DoubleLit)
+                .map_err(|_| self.err(format!("invalid double literal {text:?}")))
+        } else if saw_dot {
+            Decimal::parse(text)
+                .map(Token::DecimalLit)
+                .map_err(|e| self.err(e.message))
+        } else {
+            text.parse::<i64>()
+                .map(Token::IntegerLit)
+                .map_err(|_| self.err(format!("integer literal out of range: {text}")))
+        }
+    }
+
+    fn string_literal(&mut self, quote: u8) -> Result<Token, LexError> {
+        let start = self.pos;
+        self.pos += 1;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => {
+                    return Err(LexError {
+                        message: "unterminated string literal".into(),
+                        offset: start,
+                    })
+                }
+                Some(q) if q == quote => {
+                    // Doubled quote is an escaped quote.
+                    if self.peek2() == Some(quote) {
+                        out.push(quote as char);
+                        self.pos += 2;
+                    } else {
+                        self.pos += 1;
+                        return Ok(Token::StringLit(out));
+                    }
+                }
+                Some(b'&') => {
+                    let rest = &self.input[self.pos..];
+                    let semi = rest.find(';').ok_or_else(|| self.err("bad entity reference"))?;
+                    let ent = &rest[1..semi];
+                    let repl = match ent {
+                        "lt" => "<".to_string(),
+                        "gt" => ">".to_string(),
+                        "amp" => "&".to_string(),
+                        "quot" => "\"".to_string(),
+                        "apos" => "'".to_string(),
+                        _ if ent.starts_with("#x") => char::from_u32(
+                            u32::from_str_radix(&ent[2..], 16)
+                                .map_err(|_| self.err("bad char ref"))?,
+                        )
+                        .ok_or_else(|| self.err("bad char ref"))?
+                        .to_string(),
+                        _ if ent.starts_with('#') => char::from_u32(
+                            ent[1..].parse().map_err(|_| self.err("bad char ref"))?,
+                        )
+                        .ok_or_else(|| self.err("bad char ref"))?
+                        .to_string(),
+                        _ => return Err(self.err(format!("unknown entity &{ent};"))),
+                    };
+                    out.push_str(&repl);
+                    self.pos += semi + 1;
+                }
+                Some(_) => {
+                    let c = self.input[self.pos..].chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    /// Turns an atomic literal token into its value (used by the parser).
+    pub fn literal_value(tok: &Token) -> Option<AtomicValue> {
+        match tok {
+            Token::IntegerLit(i) => Some(AtomicValue::Integer(*i)),
+            Token::DecimalLit(d) => Some(AtomicValue::Decimal(*d)),
+            Token::DoubleLit(d) => Some(AtomicValue::Double(*d)),
+            Token::StringLit(s) => Some(AtomicValue::string(s.as_str())),
+            _ => None,
+        }
+    }
+}
+
+fn is_name_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_name_char(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.') || b >= 0x80
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_tokens(s: &str) -> Vec<Token> {
+        let mut lx = Lexer::new(s);
+        let mut out = Vec::new();
+        loop {
+            let t = lx.next_token().unwrap();
+            if t == Token::Eof {
+                return out;
+            }
+            out.push(t);
+        }
+    }
+
+    #[test]
+    fn names_and_qnames() {
+        assert_eq!(
+            all_tokens("for fn:count a-b"),
+            vec![
+                Token::Name(None, "for".into()),
+                Token::Name(Some("fn".into()), "count".into()),
+                Token::Name(None, "a-b".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn axis_double_colon_not_confused_with_qname() {
+        assert_eq!(
+            all_tokens("child::a"),
+            vec![
+                Token::Name(None, "child".into()),
+                Token::DoubleColon,
+                Token::Name(None, "a".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            all_tokens("1 2.5 1e3 .5"),
+            vec![
+                Token::IntegerLit(1),
+                Token::DecimalLit(Decimal::parse("2.5").unwrap()),
+                Token::DoubleLit(1000.0),
+                Token::DecimalLit(Decimal::parse("0.5").unwrap()),
+            ]
+        );
+    }
+
+    #[test]
+    fn range_dots_not_swallowed() {
+        assert_eq!(
+            all_tokens("1 to 2"),
+            vec![Token::IntegerLit(1), Token::Name(None, "to".into()), Token::IntegerLit(2)]
+        );
+        // `(1,2.5)` style
+        assert_eq!(
+            all_tokens("(1,2)"),
+            vec![Token::LParen, Token::IntegerLit(1), Token::Comma, Token::IntegerLit(2), Token::RParen]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(
+            all_tokens(r#""he said ""hi"" &amp; &lt;that&gt;""#),
+            vec![Token::StringLit("he said \"hi\" & <that>".into())]
+        );
+        assert_eq!(all_tokens("'it''s'"), vec![Token::StringLit("it's".into())]);
+    }
+
+    #[test]
+    fn comments_nest() {
+        assert_eq!(
+            all_tokens("1 (: outer (: inner :) still :) 2"),
+            vec![Token::IntegerLit(1), Token::IntegerLit(2)]
+        );
+    }
+
+    #[test]
+    fn compound_symbols() {
+        assert_eq!(
+            all_tokens(":= :: // << >> <= >= !="),
+            vec![
+                Token::ColonEq,
+                Token::DoubleColon,
+                Token::SlashSlash,
+                Token::LtLt,
+                Token::GtGt,
+                Token::Le,
+                Token::Ge,
+                Token::NotEq,
+            ]
+        );
+    }
+
+    #[test]
+    fn errors() {
+        let mut lx = Lexer::new("(: never closed");
+        assert!(lx.next_token().is_err());
+        let mut lx = Lexer::new("\"unterminated");
+        assert!(lx.next_token().is_err());
+    }
+}

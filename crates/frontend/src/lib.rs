@@ -1,0 +1,32 @@
+//! # xqr-frontend — the XQuery 1.0 language frontend
+//!
+//! * [`lexer`] — a hand-written tokenizer (XQuery has no reserved words;
+//!   keywords are recognized contextually by the parser);
+//! * [`ast`] — the surface abstract syntax;
+//! * [`parser`] — a recursive-descent parser for the XQuery expression
+//!   language, FLWOR, quantified expressions, typeswitch, path expressions,
+//!   direct and computed constructors, and a prolog with function and
+//!   variable declarations;
+//! * [`core_ast`] — the XQuery Core as modified by the paper (Section 4):
+//!   FLWOR blocks preserved, path steps normalized into single FLWOR blocks
+//!   with `at`/`where` clauses, typeswitch with one common variable;
+//! * [`normalize`] — surface → Core normalization, plus the nested-FLWOR
+//!   hoisting pass that makes the unnesting rewritings of Section 5 robust
+//!   against constructors wrapped around nested blocks.
+
+pub mod ast;
+pub mod core_ast;
+pub mod lexer;
+pub mod normalize;
+pub mod parser;
+
+pub use ast::{Expr, Module};
+pub use core_ast::{CoreClause, CoreExpr, CoreFunction, CoreModule};
+pub use normalize::normalize_module;
+pub use parser::{parse_query, SyntaxError};
+
+/// Parses and normalizes a query in one step.
+pub fn frontend(query: &str) -> Result<CoreModule, SyntaxError> {
+    let module = parse_query(query)?;
+    Ok(normalize_module(&module))
+}

@@ -1,0 +1,1662 @@
+//! Recursive-descent parser for XQuery 1.0.
+//!
+//! Covers the full expression language: FLWOR (for/at/let/where/order
+//! by/return), quantified expressions, typeswitch, conditionals, the
+//! operator grammar, path expressions with all axes and predicates, direct
+//! and computed constructors, `instance of`/`treat`/`castable`/`cast`,
+//! `validate`, plus a prolog with namespace, variable, and function
+//! declarations. Keywords are recognized contextually (XQuery has no
+//! reserved words).
+
+use xqr_types::{ItemType, Occurrence, SequenceType};
+use xqr_xml::axes::{Axis, KindTest, NameTest, NodeTest};
+use xqr_xml::{AtomicType, AtomicValue, QName};
+
+use crate::ast::*;
+use crate::lexer::{LexError, Lexer, Token};
+
+/// A syntax error with byte offset into the query text.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SyntaxError {
+    pub message: String,
+    pub offset: usize,
+}
+
+impl std::fmt::Display for SyntaxError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "syntax error at offset {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for SyntaxError {}
+
+impl From<LexError> for SyntaxError {
+    fn from(e: LexError) -> Self {
+        SyntaxError { message: e.message, offset: e.offset }
+    }
+}
+
+type PResult<T> = Result<T, SyntaxError>;
+
+/// Parses a complete query (prolog + body).
+pub fn parse_query(input: &str) -> PResult<Module> {
+    let mut p = Parser::new(input)?;
+    let module = p.parse_module()?;
+    p.expect_eof()?;
+    Ok(module)
+}
+
+/// Parses a single expression (no prolog) — convenient for tests.
+pub fn parse_expr_str(input: &str) -> PResult<Expr> {
+    let mut p = Parser::new(input)?;
+    let e = p.parse_expr()?;
+    p.expect_eof()?;
+    Ok(e)
+}
+
+struct Parser<'a> {
+    lexer: Lexer<'a>,
+    tok: Token,
+    /// Byte offset where `tok` starts.
+    tok_pos: usize,
+    /// Expression nesting depth (guards against stack exhaustion on
+    /// pathological inputs).
+    depth: usize,
+}
+
+const MAX_PARSE_DEPTH: usize = 128;
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> PResult<Self> {
+        let mut lexer = Lexer::new(input);
+        lexer.skip_trivia()?;
+        let tok_pos = lexer.raw_pos();
+        let tok = lexer.next_token()?;
+        Ok(Parser { lexer, tok, tok_pos, depth: 0 })
+    }
+
+    fn advance(&mut self) -> PResult<Token> {
+        self.lexer.skip_trivia()?;
+        self.tok_pos = self.lexer.raw_pos();
+        let next = self.lexer.next_token()?;
+        Ok(std::mem::replace(&mut self.tok, next))
+    }
+
+    fn err(&self, message: impl Into<String>) -> SyntaxError {
+        SyntaxError { message: message.into(), offset: self.tok_pos }
+    }
+
+    fn expect(&mut self, t: &Token) -> PResult<()> {
+        if &self.tok == t {
+            self.advance()?;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {t}, found {}", self.tok)))
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> PResult<()> {
+        if self.tok.is_name(kw) {
+            self.advance()?;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{kw}', found {}", self.tok)))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> PResult<bool> {
+        if self.tok.is_name(kw) {
+            self.advance()?;
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    fn expect_eof(&mut self) -> PResult<()> {
+        if self.tok == Token::Eof {
+            Ok(())
+        } else {
+            Err(self.err(format!("unexpected trailing input: {}", self.tok)))
+        }
+    }
+
+    /// Peeks at the token after the current one without consuming anything.
+    fn peek_next(&mut self) -> PResult<Token> {
+        let save = self.lexer.raw_pos();
+        self.lexer.skip_trivia()?;
+        let t = self.lexer.next_token()?;
+        self.lexer.set_pos(save);
+        Ok(t)
+    }
+
+    fn qname_from_token(&mut self) -> PResult<QName> {
+        match self.advance()? {
+            Token::Name(Some(p), l) => Ok(QName::full(Some(&p), None, &l)),
+            Token::Name(None, l) => Ok(QName::local(&l)),
+            other => Err(self.err(format!("expected a name, found {other}"))),
+        }
+    }
+
+    fn parse_var_name(&mut self) -> PResult<QName> {
+        self.expect(&Token::Dollar)?;
+        self.qname_from_token()
+    }
+
+    // ----- Prolog -------------------------------------------------------
+
+    fn parse_module(&mut self) -> PResult<Module> {
+        let mut functions = Vec::new();
+        let mut variables = Vec::new();
+        // Optional version declaration.
+        if self.tok.is_name("xquery") && self.peek_next()?.is_name("version") {
+            self.advance()?; // xquery
+            self.advance()?; // version
+            match self.advance()? {
+                Token::StringLit(_) => {}
+                other => return Err(self.err(format!("expected version string, got {other}"))),
+            }
+            self.expect(&Token::Semicolon)?;
+        }
+        while self.tok.is_name("declare") {
+            let next = self.peek_next()?;
+            if next.is_name("function") {
+                self.advance()?;
+                self.advance()?;
+                functions.push(self.parse_function_decl()?);
+            } else if next.is_name("variable") {
+                self.advance()?;
+                self.advance()?;
+                variables.push(self.parse_variable_decl()?);
+            } else if next.is_name("namespace") || next.is_name("default")
+                || next.is_name("boundary-space") || next.is_name("base-uri")
+            {
+                // Accepted and ignored: namespace bindings resolve lexically.
+                while self.tok != Token::Semicolon && self.tok != Token::Eof {
+                    self.advance()?;
+                }
+                self.expect(&Token::Semicolon)?;
+            } else {
+                break;
+            }
+        }
+        let body = self.parse_expr()?;
+        Ok(Module { functions, variables, body })
+    }
+
+    fn parse_function_decl(&mut self) -> PResult<FunctionDecl> {
+        let name = self.qname_from_token()?;
+        self.expect(&Token::LParen)?;
+        let mut params = Vec::new();
+        if self.tok != Token::RParen {
+            loop {
+                let pname = self.parse_var_name()?;
+                let ty = if self.eat_keyword("as")? {
+                    Some(self.parse_sequence_type()?)
+                } else {
+                    None
+                };
+                params.push((pname, ty));
+                if self.tok == Token::Comma {
+                    self.advance()?;
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(&Token::RParen)?;
+        let return_type =
+            if self.eat_keyword("as")? { Some(self.parse_sequence_type()?) } else { None };
+        self.expect(&Token::LBrace)?;
+        let body = self.parse_expr()?;
+        self.expect(&Token::RBrace)?;
+        self.expect(&Token::Semicolon)?;
+        Ok(FunctionDecl { name, params, return_type, body })
+    }
+
+    fn parse_variable_decl(&mut self) -> PResult<VariableDecl> {
+        let name = self.parse_var_name()?;
+        let as_type =
+            if self.eat_keyword("as")? { Some(self.parse_sequence_type()?) } else { None };
+        let value = if self.tok == Token::ColonEq {
+            self.advance()?;
+            Some(self.parse_expr_single()?)
+        } else {
+            self.expect_keyword("external")?;
+            None
+        };
+        self.expect(&Token::Semicolon)?;
+        Ok(VariableDecl { name, as_type, value })
+    }
+
+    // ----- Expressions ---------------------------------------------------
+
+    fn parse_expr(&mut self) -> PResult<Expr> {
+        let first = self.parse_expr_single()?;
+        if self.tok != Token::Comma {
+            return Ok(first);
+        }
+        let mut items = vec![first];
+        while self.tok == Token::Comma {
+            self.advance()?;
+            items.push(self.parse_expr_single()?);
+        }
+        Ok(Expr::Sequence(items))
+    }
+
+    fn parse_expr_single(&mut self) -> PResult<Expr> {
+        self.depth += 1;
+        if self.depth > MAX_PARSE_DEPTH {
+            self.depth -= 1;
+            return Err(self.err("expression nesting too deep"));
+        }
+        let result = self.parse_expr_single_inner();
+        self.depth -= 1;
+        result
+    }
+
+    fn parse_expr_single_inner(&mut self) -> PResult<Expr> {
+        if (self.tok.is_name("for") || self.tok.is_name("let"))
+            && self.peek_next()? == Token::Dollar
+        {
+            return self.parse_flwor();
+        }
+        if (self.tok.is_name("some") || self.tok.is_name("every"))
+            && self.peek_next()? == Token::Dollar
+        {
+            return self.parse_quantified();
+        }
+        if self.tok.is_name("typeswitch") && self.peek_next()? == Token::LParen {
+            return self.parse_typeswitch();
+        }
+        if self.tok.is_name("if") && self.peek_next()? == Token::LParen {
+            return self.parse_if();
+        }
+        self.parse_or()
+    }
+
+    fn parse_flwor(&mut self) -> PResult<Expr> {
+        let mut clauses = Vec::new();
+        loop {
+            if self.tok.is_name("for") && self.peek_next()? == Token::Dollar {
+                self.advance()?;
+                loop {
+                    let var = self.parse_var_name()?;
+                    let as_type = if self.eat_keyword("as")? {
+                        Some(self.parse_sequence_type()?)
+                    } else {
+                        None
+                    };
+                    let at = if self.eat_keyword("at")? {
+                        Some(self.parse_var_name()?)
+                    } else {
+                        None
+                    };
+                    self.expect_keyword("in")?;
+                    let expr = self.parse_expr_single()?;
+                    clauses.push(FlworClause::For { var, as_type, at, expr });
+                    if self.tok == Token::Comma {
+                        self.advance()?;
+                    } else {
+                        break;
+                    }
+                }
+            } else if self.tok.is_name("let") && self.peek_next()? == Token::Dollar {
+                self.advance()?;
+                loop {
+                    let var = self.parse_var_name()?;
+                    let as_type = if self.eat_keyword("as")? {
+                        Some(self.parse_sequence_type()?)
+                    } else {
+                        None
+                    };
+                    self.expect(&Token::ColonEq)?;
+                    let expr = self.parse_expr_single()?;
+                    clauses.push(FlworClause::Let { var, as_type, expr });
+                    if self.tok == Token::Comma {
+                        self.advance()?;
+                    } else {
+                        break;
+                    }
+                }
+            } else if self.tok.is_name("where") {
+                self.advance()?;
+                clauses.push(FlworClause::Where(self.parse_expr_single()?));
+            } else if self.tok.is_name("stable") || self.tok.is_name("order") {
+                let stable = self.eat_keyword("stable")?;
+                self.expect_keyword("order")?;
+                self.expect_keyword("by")?;
+                let mut specs = Vec::new();
+                loop {
+                    let key = self.parse_expr_single()?;
+                    let descending = if self.eat_keyword("descending")? {
+                        true
+                    } else {
+                        self.eat_keyword("ascending")?;
+                        false
+                    };
+                    let mut empty_least = true;
+                    if self.eat_keyword("empty")? {
+                        if self.eat_keyword("greatest")? {
+                            empty_least = false;
+                        } else {
+                            self.expect_keyword("least")?;
+                        }
+                    }
+                    specs.push(OrderSpec { key, descending, empty_least });
+                    if self.tok == Token::Comma {
+                        self.advance()?;
+                    } else {
+                        break;
+                    }
+                }
+                clauses.push(FlworClause::OrderBy { stable, specs });
+            } else {
+                break;
+            }
+        }
+        self.expect_keyword("return")?;
+        let return_expr = Box::new(self.parse_expr_single()?);
+        if clauses.is_empty() {
+            return Err(self.err("FLWOR expression requires at least one for/let clause"));
+        }
+        Ok(Expr::Flwor { clauses, return_expr })
+    }
+
+    fn parse_quantified(&mut self) -> PResult<Expr> {
+        let every = self.tok.is_name("every");
+        self.advance()?;
+        let mut bindings = Vec::new();
+        loop {
+            let var = self.parse_var_name()?;
+            let ty =
+                if self.eat_keyword("as")? { Some(self.parse_sequence_type()?) } else { None };
+            self.expect_keyword("in")?;
+            let expr = self.parse_expr_single()?;
+            bindings.push((var, ty, expr));
+            if self.tok == Token::Comma {
+                self.advance()?;
+            } else {
+                break;
+            }
+        }
+        self.expect_keyword("satisfies")?;
+        let satisfies = Box::new(self.parse_expr_single()?);
+        Ok(Expr::Quantified { every, bindings, satisfies })
+    }
+
+    fn parse_typeswitch(&mut self) -> PResult<Expr> {
+        self.advance()?; // typeswitch
+        self.expect(&Token::LParen)?;
+        let input = Box::new(self.parse_expr()?);
+        self.expect(&Token::RParen)?;
+        let mut cases = Vec::new();
+        while self.tok.is_name("case") {
+            self.advance()?;
+            let var = if self.tok == Token::Dollar {
+                let v = self.parse_var_name()?;
+                self.expect_keyword("as")?;
+                Some(v)
+            } else {
+                None
+            };
+            let seq_type = self.parse_sequence_type()?;
+            self.expect_keyword("return")?;
+            let body = self.parse_expr_single()?;
+            cases.push(CaseClause { var, seq_type, body });
+        }
+        self.expect_keyword("default")?;
+        let default_var =
+            if self.tok == Token::Dollar { Some(self.parse_var_name()?) } else { None };
+        self.expect_keyword("return")?;
+        let default = Box::new(self.parse_expr_single()?);
+        if cases.is_empty() {
+            return Err(self.err("typeswitch requires at least one case"));
+        }
+        Ok(Expr::Typeswitch { input, cases, default_var, default })
+    }
+
+    fn parse_if(&mut self) -> PResult<Expr> {
+        self.advance()?; // if
+        self.expect(&Token::LParen)?;
+        let cond = Box::new(self.parse_expr()?);
+        self.expect(&Token::RParen)?;
+        self.expect_keyword("then")?;
+        let then = Box::new(self.parse_expr_single()?);
+        self.expect_keyword("else")?;
+        let els = Box::new(self.parse_expr_single()?);
+        Ok(Expr::If { cond, then, els })
+    }
+
+    fn parse_or(&mut self) -> PResult<Expr> {
+        let mut lhs = self.parse_and()?;
+        while self.tok.is_name("or") {
+            self.advance()?;
+            let rhs = self.parse_and()?;
+            lhs = Expr::Binary { op: BinOp::Or, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn parse_and(&mut self) -> PResult<Expr> {
+        let mut lhs = self.parse_comparison()?;
+        while self.tok.is_name("and") {
+            self.advance()?;
+            let rhs = self.parse_comparison()?;
+            lhs = Expr::Binary { op: BinOp::And, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn comparison_op(&mut self) -> PResult<Option<BinOp>> {
+        let op = match &self.tok {
+            Token::Eq => Some(BinOp::GenEq),
+            Token::NotEq => Some(BinOp::GenNe),
+            Token::Lt => Some(BinOp::GenLt),
+            Token::Le => Some(BinOp::GenLe),
+            Token::Gt => Some(BinOp::GenGt),
+            Token::Ge => Some(BinOp::GenGe),
+            Token::LtLt => Some(BinOp::Before),
+            Token::GtGt => Some(BinOp::After),
+            Token::Name(None, n) => match n.as_str() {
+                "eq" => Some(BinOp::ValEq),
+                "ne" => Some(BinOp::ValNe),
+                "lt" => Some(BinOp::ValLt),
+                "le" => Some(BinOp::ValLe),
+                "gt" => Some(BinOp::ValGt),
+                "ge" => Some(BinOp::ValGe),
+                "is" => Some(BinOp::Is),
+                _ => None,
+            },
+            _ => None,
+        };
+        if op.is_some() {
+            self.advance()?;
+        }
+        Ok(op)
+    }
+
+    fn parse_comparison(&mut self) -> PResult<Expr> {
+        let lhs = self.parse_range()?;
+        if let Some(op) = self.comparison_op()? {
+            let rhs = self.parse_range()?;
+            return Ok(Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) });
+        }
+        Ok(lhs)
+    }
+
+    fn parse_range(&mut self) -> PResult<Expr> {
+        let lhs = self.parse_additive()?;
+        if self.tok.is_name("to") {
+            self.advance()?;
+            let rhs = self.parse_additive()?;
+            return Ok(Expr::Binary { op: BinOp::Range, lhs: Box::new(lhs), rhs: Box::new(rhs) });
+        }
+        Ok(lhs)
+    }
+
+    fn parse_additive(&mut self) -> PResult<Expr> {
+        let mut lhs = self.parse_multiplicative()?;
+        loop {
+            let op = match self.tok {
+                Token::Plus => BinOp::Add,
+                Token::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.advance()?;
+            let rhs = self.parse_multiplicative()?;
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn parse_multiplicative(&mut self) -> PResult<Expr> {
+        let mut lhs = self.parse_union()?;
+        loop {
+            let op = match &self.tok {
+                Token::Star => BinOp::Mul,
+                Token::Name(None, n) if n == "div" => BinOp::Div,
+                Token::Name(None, n) if n == "idiv" => BinOp::IDiv,
+                Token::Name(None, n) if n == "mod" => BinOp::Mod,
+                _ => break,
+            };
+            self.advance()?;
+            let rhs = self.parse_union()?;
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn parse_union(&mut self) -> PResult<Expr> {
+        let mut lhs = self.parse_intersect_except()?;
+        loop {
+            let is_union = self.tok == Token::Pipe || self.tok.is_name("union");
+            if !is_union {
+                break;
+            }
+            self.advance()?;
+            let rhs = self.parse_intersect_except()?;
+            lhs = Expr::Binary { op: BinOp::Union, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn parse_intersect_except(&mut self) -> PResult<Expr> {
+        let mut lhs = self.parse_postfix_type_exprs()?;
+        loop {
+            let op = if self.tok.is_name("intersect") {
+                BinOp::Intersect
+            } else if self.tok.is_name("except") {
+                BinOp::Except
+            } else {
+                break;
+            };
+            self.advance()?;
+            let rhs = self.parse_postfix_type_exprs()?;
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    /// instance of / treat as / castable as / cast as (in precedence order).
+    fn parse_postfix_type_exprs(&mut self) -> PResult<Expr> {
+        let mut e = self.parse_unary()?;
+        loop {
+            if self.tok.is_name("instance") && self.peek_next()?.is_name("of") {
+                self.advance()?;
+                self.advance()?;
+                let st = self.parse_sequence_type()?;
+                e = Expr::InstanceOf(Box::new(e), st);
+            } else if self.tok.is_name("treat") && self.peek_next()?.is_name("as") {
+                self.advance()?;
+                self.advance()?;
+                let st = self.parse_sequence_type()?;
+                e = Expr::TreatAs(Box::new(e), st);
+            } else if self.tok.is_name("castable") && self.peek_next()?.is_name("as") {
+                self.advance()?;
+                self.advance()?;
+                let (ty, opt) = self.parse_single_type()?;
+                e = Expr::CastableAs(Box::new(e), ty, opt);
+            } else if self.tok.is_name("cast") && self.peek_next()?.is_name("as") {
+                self.advance()?;
+                self.advance()?;
+                let (ty, opt) = self.parse_single_type()?;
+                e = Expr::CastAs(Box::new(e), ty, opt);
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    fn parse_unary(&mut self) -> PResult<Expr> {
+        let mut negate = false;
+        loop {
+            match self.tok {
+                Token::Minus => {
+                    negate = !negate;
+                    self.advance()?;
+                }
+                Token::Plus => {
+                    self.advance()?;
+                }
+                _ => break,
+            }
+        }
+        let e = self.parse_path()?;
+        Ok(if negate { Expr::UnaryMinus(Box::new(e)) } else { e })
+    }
+
+    // ----- Paths ----------------------------------------------------------
+
+    fn parse_path(&mut self) -> PResult<Expr> {
+        match self.tok {
+            Token::Slash => {
+                self.advance()?;
+                if self.starts_step()? {
+                    let rel = self.parse_relative_path(Expr::Root)?;
+                    Ok(rel)
+                } else {
+                    Ok(Expr::Root)
+                }
+            }
+            Token::SlashSlash => {
+                self.advance()?;
+                let dos = Expr::PathSlash(
+                    Box::new(Expr::Root),
+                    Box::new(Expr::AxisStep {
+                        axis: Axis::DescendantOrSelf,
+                        test: NodeTest::Kind(KindTest::AnyKind),
+                        predicates: Vec::new(),
+                    }),
+                );
+                self.parse_relative_path(dos)
+            }
+            _ => {
+                let first = self.parse_step()?;
+                self.parse_relative_path_cont(first)
+            }
+        }
+    }
+
+    fn parse_relative_path(&mut self, root: Expr) -> PResult<Expr> {
+        let step = self.parse_step()?;
+        let combined = Expr::PathSlash(Box::new(root), Box::new(step));
+        self.parse_relative_path_cont(combined)
+    }
+
+    fn parse_relative_path_cont(&mut self, mut lhs: Expr) -> PResult<Expr> {
+        loop {
+            match self.tok {
+                Token::Slash => {
+                    self.advance()?;
+                    let step = self.parse_step()?;
+                    lhs = Expr::PathSlash(Box::new(lhs), Box::new(step));
+                }
+                Token::SlashSlash => {
+                    self.advance()?;
+                    lhs = Expr::PathSlash(
+                        Box::new(lhs),
+                        Box::new(Expr::AxisStep {
+                            axis: Axis::DescendantOrSelf,
+                            test: NodeTest::Kind(KindTest::AnyKind),
+                            predicates: Vec::new(),
+                        }),
+                    );
+                    let step = self.parse_step()?;
+                    lhs = Expr::PathSlash(Box::new(lhs), Box::new(step));
+                }
+                _ => return Ok(lhs),
+            }
+        }
+    }
+
+    /// Could the current token start a path step?
+    fn starts_step(&mut self) -> PResult<bool> {
+        #[allow(clippy::match_like_matches_macro)]
+        Ok(match &self.tok {
+            Token::Name(..) | Token::Star | Token::At | Token::DotDot | Token::Dot => true,
+            Token::Dollar | Token::LParen | Token::StringLit(_) => true,
+            Token::IntegerLit(_) | Token::DecimalLit(_) | Token::DoubleLit(_) => true,
+            Token::Lt => true,
+            _ => false,
+        })
+    }
+
+    fn parse_step(&mut self) -> PResult<Expr> {
+        // Abbreviations first.
+        match &self.tok {
+            Token::At => {
+                self.advance()?;
+                let test = self.parse_node_test(Axis::Attribute)?;
+                let predicates = self.parse_predicates()?;
+                return Ok(Expr::AxisStep { axis: Axis::Attribute, test, predicates });
+            }
+            Token::DotDot => {
+                self.advance()?;
+                let predicates = self.parse_predicates()?;
+                return Ok(Expr::AxisStep {
+                    axis: Axis::Parent,
+                    test: NodeTest::Kind(KindTest::AnyKind),
+                    predicates,
+                });
+            }
+            Token::Name(None, n) => {
+                // axis::... ?
+                if let Some(axis) = Axis::by_name(n) {
+                    if self.peek_next()? == Token::DoubleColon {
+                        self.advance()?;
+                        self.advance()?;
+                        let test = self.parse_node_test(axis)?;
+                        let predicates = self.parse_predicates()?;
+                        return Ok(Expr::AxisStep { axis, test, predicates });
+                    }
+                }
+            }
+            _ => {}
+        }
+        // A kind test or plain name test is a child-axis step — unless the
+        // name is followed by '(' and is not a kind-test keyword (function
+        // call → primary / filter expression).
+        let is_step_name = match self.tok.clone() {
+            Token::Star => true,
+            Token::Name(_, ref local) => {
+                let next = self.peek_next()?;
+                if next == Token::LParen {
+                    is_kind_test_name(local)
+                } else {
+                    // Not a function call; also exclude computed
+                    // constructors (`element foo {`), `validate`/`ordered`/
+                    // `unordered` blocks — those are primaries.
+                    !(self.is_computed_ctor_start()?) && !self.is_block_primary_start(local, &next)
+                }
+            }
+            _ => false,
+        };
+        if is_step_name {
+            let test = self.parse_node_test(Axis::Child)?;
+            let axis = Axis::Child;
+            let predicates = self.parse_predicates()?;
+            return Ok(Expr::AxisStep { axis, test, predicates });
+        }
+        // Otherwise: a primary expression with optional predicates.
+        let primary = self.parse_primary()?;
+        let predicates = self.parse_predicates()?;
+        if predicates.is_empty() {
+            Ok(primary)
+        } else {
+            Ok(Expr::Filter { primary: Box::new(primary), predicates })
+        }
+    }
+
+    fn parse_predicates(&mut self) -> PResult<Vec<Expr>> {
+        let mut preds = Vec::new();
+        while self.tok == Token::LBracket {
+            self.advance()?;
+            preds.push(self.parse_expr()?);
+            self.expect(&Token::RBracket)?;
+        }
+        Ok(preds)
+    }
+
+    fn parse_node_test(&mut self, axis: Axis) -> PResult<NodeTest> {
+        match self.tok.clone() {
+            Token::Star => {
+                self.advance()?;
+                // `*:local`?
+                if self.tok == Token::DoubleColon {
+                    return Err(self.err("unexpected '::' after '*'"));
+                }
+                Ok(NodeTest::Name(NameTest::any()))
+            }
+            Token::Name(prefix, local) => {
+                if self.peek_next()? == Token::LParen && is_kind_test_name(&local) {
+                    let kt = self.parse_kind_test()?;
+                    return Ok(NodeTest::Kind(kt));
+                }
+                self.advance()?;
+                let _ = axis;
+                match prefix {
+                    Some(p) if p == "*" => Ok(NodeTest::Name(NameTest {
+                        uri: None,
+                        local: Some(local),
+                        any_uri: true,
+                    })),
+                    Some(p) => Ok(NodeTest::Name(NameTest {
+                        // Prefixes resolve to themselves as URIs in this
+                        // engine (no in-scope namespace env at parse level).
+                        uri: Some(p),
+                        local: Some(local),
+                        any_uri: false,
+                    })),
+                    None => Ok(NodeTest::Name(NameTest::local(&local))),
+                }
+            }
+            other => Err(self.err(format!("expected a node test, found {other}"))),
+        }
+    }
+
+    fn parse_kind_test(&mut self) -> PResult<KindTest> {
+        let name = match self.advance()? {
+            Token::Name(None, n) => n,
+            other => return Err(self.err(format!("expected kind test, found {other}"))),
+        };
+        self.expect(&Token::LParen)?;
+        let kt = match name.as_str() {
+            "node" => KindTest::AnyKind,
+            "text" => KindTest::Text,
+            "comment" => KindTest::Comment,
+            "document-node" => KindTest::Document,
+            "processing-instruction" => {
+                let target = match &self.tok {
+                    Token::Name(None, t) => {
+                        let t = t.clone();
+                        self.advance()?;
+                        Some(t)
+                    }
+                    Token::StringLit(s) => {
+                        let s = s.clone();
+                        self.advance()?;
+                        Some(s)
+                    }
+                    _ => None,
+                };
+                KindTest::Pi(target)
+            }
+            "element" | "attribute" => {
+                let mut name_test = None;
+                let mut type_name = None;
+                if self.tok != Token::RParen {
+                    name_test = Some(match self.tok.clone() {
+                        Token::Star => {
+                            self.advance()?;
+                            NameTest::any()
+                        }
+                        Token::Name(None, n) => {
+                            self.advance()?;
+                            NameTest::local(&n)
+                        }
+                        other => {
+                            return Err(self.err(format!("expected name or *, found {other}")))
+                        }
+                    });
+                    if self.tok == Token::Comma {
+                        self.advance()?;
+                        type_name = Some(self.qname_from_token()?);
+                    }
+                }
+                // element(*) means any name — represent as None for clarity.
+                let nt = match &name_test {
+                    Some(nt) if nt.local.is_none() => None,
+                    other => other.clone(),
+                };
+                if name == "element" {
+                    KindTest::Element(nt, type_name)
+                } else {
+                    KindTest::Attribute(nt, type_name)
+                }
+            }
+            other => return Err(self.err(format!("unknown kind test {other}()"))),
+        };
+        self.expect(&Token::RParen)?;
+        Ok(kt)
+    }
+
+    // ----- Primaries ------------------------------------------------------
+
+    /// `validate { … }`, `validate lax/strict { … }`, `ordered { … }`,
+    /// `unordered { … }` are primaries, not path steps.
+    fn is_block_primary_start(&self, name: &str, next: &Token) -> bool {
+        match name {
+            "validate" => {
+                *next == Token::LBrace || next.is_name("lax") || next.is_name("strict")
+            }
+            "ordered" | "unordered" => *next == Token::LBrace,
+            _ => false,
+        }
+    }
+
+    fn is_computed_ctor_start(&mut self) -> PResult<bool> {
+        let Token::Name(None, n) = &self.tok else { return Ok(false) };
+        let n = n.clone();
+        if !matches!(
+            n.as_str(),
+            "element" | "attribute" | "text" | "comment" | "processing-instruction" | "document"
+        ) {
+            return Ok(false);
+        }
+        let next = self.peek_next()?;
+        Ok(next == Token::LBrace || matches!(next, Token::Name(..)) && n != "text")
+    }
+
+    fn parse_primary(&mut self) -> PResult<Expr> {
+        match self.tok.clone() {
+            Token::IntegerLit(_) | Token::DecimalLit(_) | Token::DoubleLit(_)
+            | Token::StringLit(_) => {
+                let v = Lexer::literal_value(&self.tok).expect("literal");
+                self.advance()?;
+                Ok(Expr::Literal(v))
+            }
+            Token::Dollar => Ok(Expr::VarRef(self.parse_var_name()?)),
+            Token::Dot => {
+                self.advance()?;
+                Ok(Expr::ContextItem)
+            }
+            Token::LParen => {
+                self.advance()?;
+                if self.tok == Token::RParen {
+                    self.advance()?;
+                    return Ok(Expr::empty());
+                }
+                let e = self.parse_expr()?;
+                self.expect(&Token::RParen)?;
+                Ok(e)
+            }
+            Token::Lt => self.parse_direct_constructor(),
+            Token::Name(None, ref n) => {
+                let n = n.clone();
+                // Computed constructors and validate / ordered / unordered.
+                match n.as_str() {
+                    "validate" => {
+                        let next = self.peek_next()?;
+                        if next == Token::LBrace || next.is_name("lax") || next.is_name("strict") {
+                            self.advance()?;
+                            let mode = if self.eat_keyword("strict")? {
+                                ValidationModeAst::Strict
+                            } else {
+                                self.eat_keyword("lax")?;
+                                ValidationModeAst::Lax
+                            };
+                            self.expect(&Token::LBrace)?;
+                            let e = self.parse_expr()?;
+                            self.expect(&Token::RBrace)?;
+                            return Ok(Expr::Validate(mode, Box::new(e)));
+                        }
+                    }
+                    "ordered" | "unordered"
+                        if self.peek_next()? == Token::LBrace => {
+                            self.advance()?;
+                            self.advance()?;
+                            let e = self.parse_expr()?;
+                            self.expect(&Token::RBrace)?;
+                            return Ok(e);
+                        }
+                    "element" | "attribute" if self.is_computed_ctor_start()? => {
+                        self.advance()?;
+                        let name = if self.tok == Token::LBrace {
+                            self.advance()?;
+                            let e = self.parse_expr()?;
+                            self.expect(&Token::RBrace)?;
+                            Err(Box::new(e))
+                        } else {
+                            Ok(self.qname_from_token()?)
+                        };
+                        self.expect(&Token::LBrace)?;
+                        let content = if self.tok == Token::RBrace {
+                            None
+                        } else {
+                            Some(Box::new(self.parse_expr()?))
+                        };
+                        self.expect(&Token::RBrace)?;
+                        return Ok(if n == "element" {
+                            Expr::CompElement { name, content }
+                        } else {
+                            Expr::CompAttribute { name, content }
+                        });
+                    }
+                    "text" | "comment" | "document" if self.peek_next()? == Token::LBrace => {
+                        self.advance()?;
+                        self.advance()?;
+                        let e = self.parse_expr()?;
+                        self.expect(&Token::RBrace)?;
+                        return Ok(match n.as_str() {
+                            "text" => Expr::CompText(Box::new(e)),
+                            "comment" => Expr::CompComment(Box::new(e)),
+                            _ => Expr::CompDocument(Box::new(e)),
+                        });
+                    }
+                    "processing-instruction" if self.is_computed_ctor_start()? => {
+                        self.advance()?;
+                        let target = match self.advance()? {
+                            Token::Name(None, t) => t,
+                            other => {
+                                return Err(self.err(format!("expected PI target, got {other}")))
+                            }
+                        };
+                        self.expect(&Token::LBrace)?;
+                        let content = if self.tok == Token::RBrace {
+                            None
+                        } else {
+                            Some(Box::new(self.parse_expr()?))
+                        };
+                        self.expect(&Token::RBrace)?;
+                        return Ok(Expr::CompPi { target, content });
+                    }
+                    _ => {}
+                }
+                // Function call?
+                if self.peek_next()? == Token::LParen {
+                    return self.parse_function_call();
+                }
+                Err(self.err(format!("unexpected name '{n}' in expression position")))
+            }
+            Token::Name(Some(_), _) => {
+                if self.peek_next()? == Token::LParen {
+                    return self.parse_function_call();
+                }
+                Err(self.err("unexpected qualified name"))
+            }
+            other => Err(self.err(format!("unexpected token {other}"))),
+        }
+    }
+
+    fn parse_function_call(&mut self) -> PResult<Expr> {
+        let name = self.qname_from_token()?;
+        self.expect(&Token::LParen)?;
+        let mut args = Vec::new();
+        if self.tok != Token::RParen {
+            loop {
+                args.push(self.parse_expr_single()?);
+                if self.tok == Token::Comma {
+                    self.advance()?;
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(&Token::RParen)?;
+        Ok(Expr::FunctionCall { name, args })
+    }
+
+    // ----- Direct constructors (character level) --------------------------
+
+    fn parse_direct_constructor(&mut self) -> PResult<Expr> {
+        // We sit on the `<` token; the element name must follow immediately
+        // in the raw input.
+        let mut pos = self.lexer.raw_pos();
+        let input = self.lexer.input;
+        let e = self.parse_direct_element(input, &mut pos)?;
+        // Resynchronize the token stream.
+        self.lexer.set_pos(pos);
+        self.advance()?;
+        Ok(e)
+    }
+
+    fn raw_err(&self, pos: usize, msg: impl Into<String>) -> SyntaxError {
+        SyntaxError { message: msg.into(), offset: pos }
+    }
+
+    fn read_raw_name(&self, input: &str, pos: &mut usize) -> PResult<String> {
+        let bytes = input.as_bytes();
+        let start = *pos;
+        while let Some(&b) = bytes.get(*pos) {
+            let ok = if *pos == start {
+                b.is_ascii_alphabetic() || b == b'_'
+            } else {
+                b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.' | b':')
+            };
+            if !ok {
+                break;
+            }
+            *pos += 1;
+        }
+        if *pos == start {
+            return Err(self.raw_err(start, "expected a name in constructor"));
+        }
+        Ok(input[start..*pos].to_string())
+    }
+
+    fn skip_raw_ws(&self, input: &str, pos: &mut usize) {
+        while matches!(input.as_bytes().get(*pos), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            *pos += 1;
+        }
+    }
+
+    fn parse_direct_element(&mut self, input: &str, pos: &mut usize) -> PResult<Expr> {
+        self.depth += 1;
+        if self.depth > MAX_PARSE_DEPTH {
+            self.depth -= 1;
+            return Err(self.raw_err(*pos, "constructor nesting too deep"));
+        }
+        let result = self.parse_direct_element_inner(input, pos);
+        self.depth -= 1;
+        result
+    }
+
+    fn parse_direct_element_inner(&mut self, input: &str, pos: &mut usize) -> PResult<Expr> {
+        let raw_name = self.read_raw_name(input, pos)?;
+        let name = qname_of(&raw_name);
+        let mut attributes = Vec::new();
+        loop {
+            self.skip_raw_ws(input, pos);
+            match input.as_bytes().get(*pos) {
+                Some(b'/') => {
+                    if input.as_bytes().get(*pos + 1) == Some(&b'>') {
+                        *pos += 2;
+                        return Ok(Expr::DirectElement { name, attributes, content: Vec::new() });
+                    }
+                    return Err(self.raw_err(*pos, "expected '/>'"));
+                }
+                Some(b'>') => {
+                    *pos += 1;
+                    break;
+                }
+                Some(_) => {
+                    let aname = self.read_raw_name(input, pos)?;
+                    self.skip_raw_ws(input, pos);
+                    if input.as_bytes().get(*pos) != Some(&b'=') {
+                        return Err(self.raw_err(*pos, "expected '=' in attribute"));
+                    }
+                    *pos += 1;
+                    self.skip_raw_ws(input, pos);
+                    let parts = self.parse_attr_value_template(input, pos)?;
+                    attributes.push((qname_of(&aname), parts));
+                }
+                None => return Err(self.raw_err(*pos, "unterminated start tag")),
+            }
+        }
+        // Element content.
+        let mut content = Vec::new();
+        let mut text = String::new();
+        loop {
+            match input.as_bytes().get(*pos) {
+                None => return Err(self.raw_err(*pos, "unterminated element constructor")),
+                Some(b'<') => {
+                    if input[*pos..].starts_with("</") {
+                        flush_text(&mut content, &mut text);
+                        *pos += 2;
+                        let close = self.read_raw_name(input, pos)?;
+                        if close != raw_name {
+                            return Err(self.raw_err(
+                                *pos,
+                                format!("mismatched constructor tags <{raw_name}> … </{close}>"),
+                            ));
+                        }
+                        self.skip_raw_ws(input, pos);
+                        if input.as_bytes().get(*pos) != Some(&b'>') {
+                            return Err(self.raw_err(*pos, "expected '>'"));
+                        }
+                        *pos += 1;
+                        return Ok(Expr::DirectElement { name, attributes, content });
+                    } else if input[*pos..].starts_with("<!--") {
+                        flush_text(&mut content, &mut text);
+                        let end = input[*pos + 4..]
+                            .find("-->")
+                            .ok_or_else(|| self.raw_err(*pos, "unterminated comment"))?;
+                        let c = input[*pos + 4..*pos + 4 + end].to_string();
+                        *pos += 4 + end + 3;
+                        content.push(DirectContent::Child(Expr::CompComment(Box::new(
+                            Expr::Literal(AtomicValue::string(c)),
+                        ))));
+                    } else if input[*pos..].starts_with("<![CDATA[") {
+                        let end = input[*pos + 9..]
+                            .find("]]>")
+                            .ok_or_else(|| self.raw_err(*pos, "unterminated CDATA"))?;
+                        text.push_str(&input[*pos + 9..*pos + 9 + end]);
+                        *pos += 9 + end + 3;
+                    } else {
+                        flush_text(&mut content, &mut text);
+                        *pos += 1;
+                        let child = self.parse_direct_element(input, pos)?;
+                        content.push(DirectContent::Child(child));
+                    }
+                }
+                Some(b'{') => {
+                    if input.as_bytes().get(*pos + 1) == Some(&b'{') {
+                        text.push('{');
+                        *pos += 2;
+                    } else {
+                        flush_text(&mut content, &mut text);
+                        *pos += 1;
+                        // Re-enter the token-level parser for the enclosed
+                        // expression.
+                        self.lexer.set_pos(*pos);
+                        self.advance()?;
+                        let e = self.parse_expr()?;
+                        if self.tok != Token::RBrace {
+                            return Err(self.err("expected '}' closing enclosed expression"));
+                        }
+                        // The raw cursor resumes right after the '}' token.
+                        *pos = self.lexer.raw_pos();
+                        content.push(DirectContent::Enclosed(e));
+                    }
+                }
+                Some(b'}') => {
+                    if input.as_bytes().get(*pos + 1) == Some(&b'}') {
+                        text.push('}');
+                        *pos += 2;
+                    } else {
+                        return Err(self.raw_err(*pos, "'}' must be doubled in element content"));
+                    }
+                }
+                Some(b'&') => {
+                    let (s, used) = parse_raw_entity(input, *pos)
+                        .ok_or_else(|| self.raw_err(*pos, "bad entity reference"))?;
+                    text.push_str(&s);
+                    *pos += used;
+                }
+                Some(_) => {
+                    let c = input[*pos..].chars().next().unwrap();
+                    text.push(c);
+                    *pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_attr_value_template(
+        &mut self,
+        input: &str,
+        pos: &mut usize,
+    ) -> PResult<Vec<AttrValuePart>> {
+        let quote = match input.as_bytes().get(*pos) {
+            Some(&q @ (b'"' | b'\'')) => q,
+            _ => return Err(self.raw_err(*pos, "expected quoted attribute value")),
+        };
+        *pos += 1;
+        let mut parts = Vec::new();
+        let mut text = String::new();
+        loop {
+            match input.as_bytes().get(*pos) {
+                None => return Err(self.raw_err(*pos, "unterminated attribute value")),
+                Some(&q) if q == quote => {
+                    if input.as_bytes().get(*pos + 1) == Some(&q) {
+                        text.push(q as char);
+                        *pos += 2;
+                    } else {
+                        *pos += 1;
+                        if !text.is_empty() {
+                            parts.push(AttrValuePart::Text(std::mem::take(&mut text)));
+                        }
+                        return Ok(parts);
+                    }
+                }
+                Some(b'{') => {
+                    if input.as_bytes().get(*pos + 1) == Some(&b'{') {
+                        text.push('{');
+                        *pos += 2;
+                    } else {
+                        if !text.is_empty() {
+                            parts.push(AttrValuePart::Text(std::mem::take(&mut text)));
+                        }
+                        *pos += 1;
+                        self.lexer.set_pos(*pos);
+                        self.advance()?;
+                        let e = self.parse_expr()?;
+                        if self.tok != Token::RBrace {
+                            return Err(self.err("expected '}' in attribute template"));
+                        }
+                        *pos = self.lexer.raw_pos();
+                        parts.push(AttrValuePart::Enclosed(e));
+                    }
+                }
+                Some(b'}') => {
+                    if input.as_bytes().get(*pos + 1) == Some(&b'}') {
+                        text.push('}');
+                        *pos += 2;
+                    } else {
+                        return Err(self.raw_err(*pos, "'}' must be doubled in attribute value"));
+                    }
+                }
+                Some(b'&') => {
+                    let (s, used) = parse_raw_entity(input, *pos)
+                        .ok_or_else(|| self.raw_err(*pos, "bad entity reference"))?;
+                    text.push_str(&s);
+                    *pos += used;
+                }
+                Some(_) => {
+                    let c = input[*pos..].chars().next().unwrap();
+                    text.push(c);
+                    *pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    // ----- Types ----------------------------------------------------------
+
+    fn parse_sequence_type(&mut self) -> PResult<SequenceType> {
+        if self.tok.is_name("empty-sequence") && self.peek_next()? == Token::LParen {
+            self.advance()?;
+            self.expect(&Token::LParen)?;
+            self.expect(&Token::RParen)?;
+            return Ok(SequenceType::empty_sequence());
+        }
+        let item = self.parse_item_type()?;
+        let occ = match self.tok {
+            Token::Question => {
+                self.advance()?;
+                Occurrence::Optional
+            }
+            Token::Star => {
+                self.advance()?;
+                Occurrence::Star
+            }
+            Token::Plus => {
+                self.advance()?;
+                Occurrence::Plus
+            }
+            _ => Occurrence::One,
+        };
+        Ok(SequenceType::new(item, occ))
+    }
+
+    fn parse_item_type(&mut self) -> PResult<ItemType> {
+        match self.tok.clone() {
+            Token::Name(None, n) if n == "item" && self.peek_next()? == Token::LParen => {
+                self.advance()?;
+                self.expect(&Token::LParen)?;
+                self.expect(&Token::RParen)?;
+                Ok(ItemType::AnyItem)
+            }
+            Token::Name(None, ref n)
+                if is_kind_test_name(n) && self.peek_next()? == Token::LParen =>
+            {
+                Ok(ItemType::Kind(self.parse_kind_test()?))
+            }
+            Token::Name(..) => {
+                let q = self.qname_from_token()?;
+                match atomic_type_of(&q) {
+                    Some(t) => Ok(ItemType::Atomic(t)),
+                    None => Err(self.err(format!("unknown atomic type {q}"))),
+                }
+            }
+            other => Err(self.err(format!("expected an item type, found {other}"))),
+        }
+    }
+
+    fn parse_single_type(&mut self) -> PResult<(AtomicType, bool)> {
+        let q = self.qname_from_token()?;
+        let t = atomic_type_of(&q)
+            .ok_or_else(|| self.err(format!("unknown atomic type {q}")))?;
+        let optional = if self.tok == Token::Question {
+            self.advance()?;
+            true
+        } else {
+            false
+        };
+        Ok((t, optional))
+    }
+}
+
+fn flush_text(content: &mut Vec<DirectContent>, text: &mut String) {
+    if !text.is_empty() {
+        // Boundary whitespace is stripped (boundary-space strip policy).
+        if !text.chars().all(char::is_whitespace) {
+            content.push(DirectContent::Text(std::mem::take(text)));
+        } else {
+            text.clear();
+        }
+    }
+}
+
+fn parse_raw_entity(input: &str, pos: usize) -> Option<(String, usize)> {
+    let rest = &input[pos..];
+    let semi = rest[..rest.len().min(16)].find(';')?;
+    let ent = &rest[1..semi];
+    let s = match ent {
+        "lt" => "<".to_string(),
+        "gt" => ">".to_string(),
+        "amp" => "&".to_string(),
+        "quot" => "\"".to_string(),
+        "apos" => "'".to_string(),
+        _ if ent.starts_with("#x") => {
+            char::from_u32(u32::from_str_radix(&ent[2..], 16).ok()?)?.to_string()
+        }
+        _ if ent.starts_with('#') => char::from_u32(ent[1..].parse().ok()?)?.to_string(),
+        _ => return None,
+    };
+    Some((s, semi + 1))
+}
+
+fn qname_of(raw: &str) -> QName {
+    match raw.split_once(':') {
+        Some((p, l)) => QName::full(Some(p), None, l),
+        None => QName::local(raw),
+    }
+}
+
+fn is_kind_test_name(n: &str) -> bool {
+    matches!(
+        n,
+        "node"
+            | "text"
+            | "comment"
+            | "processing-instruction"
+            | "element"
+            | "attribute"
+            | "document-node"
+    )
+}
+
+/// Maps a lexical type name (`xs:integer`, `integer`, `xdt:untypedAtomic`)
+/// to an [`AtomicType`].
+pub fn atomic_type_of(q: &QName) -> Option<AtomicType> {
+    let local = q.local_part().rsplit(':').next().unwrap_or(q.local_part());
+    AtomicType::by_local_name(local)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Expr {
+        parse_expr_str(s).unwrap_or_else(|e| panic!("parse failed for {s:?}: {e}"))
+    }
+
+    #[test]
+    fn literals_and_sequences() {
+        assert!(matches!(parse("42"), Expr::Literal(AtomicValue::Integer(42))));
+        assert!(matches!(parse("'x'"), Expr::Literal(AtomicValue::String(_))));
+        assert!(matches!(parse("()"), Expr::Sequence(v) if v.is_empty()));
+        assert!(matches!(parse("(1, 2, 3)"), Expr::Sequence(v) if v.len() == 3));
+    }
+
+    #[test]
+    fn operators_and_precedence() {
+        // 1 + 2 * 3 parses as 1 + (2 * 3)
+        let Expr::Binary { op: BinOp::Add, rhs, .. } = parse("1 + 2 * 3") else {
+            panic!("expected +");
+        };
+        assert!(matches!(*rhs, Expr::Binary { op: BinOp::Mul, .. }));
+        // comparisons beneath 'and'
+        let Expr::Binary { op: BinOp::And, lhs, .. } = parse("1 = 2 and 3 < 4") else {
+            panic!("expected and");
+        };
+        assert!(matches!(*lhs, Expr::Binary { op: BinOp::GenEq, .. }));
+        assert!(matches!(parse("1 to 5"), Expr::Binary { op: BinOp::Range, .. }));
+        assert!(matches!(parse("$a is $b"), Expr::Binary { op: BinOp::Is, .. }));
+        assert!(matches!(parse("1 eq 1"), Expr::Binary { op: BinOp::ValEq, .. }));
+    }
+
+    #[test]
+    fn flwor_full() {
+        let e = parse(
+            "for $x at $i in (1,2), $y in (3,4) let $z := $x + $y \
+             where $z > 3 order by $z descending empty greatest return ($x, $z)",
+        );
+        let Expr::Flwor { clauses, .. } = e else { panic!("expected flwor") };
+        assert_eq!(clauses.len(), 5);
+        assert!(matches!(&clauses[0], FlworClause::For { at: Some(_), .. }));
+        assert!(matches!(&clauses[2], FlworClause::Let { .. }));
+        assert!(matches!(&clauses[3], FlworClause::Where(_)));
+        assert!(
+            matches!(&clauses[4], FlworClause::OrderBy { specs, .. }
+                if specs.len() == 1 && specs[0].descending && !specs[0].empty_least)
+        );
+    }
+
+    #[test]
+    fn for_with_type_declaration() {
+        let e = parse("for $a as element(*,Auction)* in $x return $a");
+        let Expr::Flwor { clauses, .. } = e else { panic!() };
+        assert!(matches!(&clauses[0], FlworClause::For { as_type: Some(_), .. }));
+    }
+
+    #[test]
+    fn quantified() {
+        let e = parse("some $x in (1,2) satisfies $x = 2");
+        assert!(matches!(e, Expr::Quantified { every: false, .. }));
+        let e = parse("every $x in (1,2), $y in (3,4) satisfies $x < $y");
+        let Expr::Quantified { every: true, bindings, .. } = e else { panic!() };
+        assert_eq!(bindings.len(), 2);
+    }
+
+    #[test]
+    fn typeswitch() {
+        let e = parse(
+            "typeswitch ($a) case $u as element(*,USAuction) return $u \
+             case element(*,EUAuction) return 1 default $o return $o",
+        );
+        let Expr::Typeswitch { cases, default_var, .. } = e else { panic!() };
+        assert_eq!(cases.len(), 2);
+        assert!(cases[0].var.is_some());
+        assert!(cases[1].var.is_none());
+        assert!(default_var.is_some());
+    }
+
+    #[test]
+    fn conditionals() {
+        assert!(matches!(parse("if (1) then 2 else 3"), Expr::If { .. }));
+    }
+
+    #[test]
+    fn paths() {
+        // $d/descendant::person[position() = 1]
+        let e = parse("$d/descendant::person[position() = 1]");
+        let Expr::PathSlash(lhs, rhs) = e else { panic!("expected path") };
+        assert!(matches!(*lhs, Expr::VarRef(_)));
+        let Expr::AxisStep { axis: Axis::Descendant, predicates, .. } = *rhs else {
+            panic!("expected step")
+        };
+        assert_eq!(predicates.len(), 1);
+    }
+
+    #[test]
+    fn abbreviated_paths() {
+        // $a//b/@id and ..
+        let e = parse("$a//closed_auction/@person");
+        let Expr::PathSlash(inner, last) = e else { panic!() };
+        assert!(matches!(*last, Expr::AxisStep { axis: Axis::Attribute, .. }));
+        let Expr::PathSlash(inner2, step) = *inner else { panic!() };
+        assert!(matches!(*step, Expr::AxisStep { axis: Axis::Child, .. }));
+        let Expr::PathSlash(_, dos) = *inner2 else { panic!() };
+        assert!(matches!(*dos, Expr::AxisStep { axis: Axis::DescendantOrSelf, .. }));
+        assert!(matches!(parse(".."), Expr::AxisStep { axis: Axis::Parent, .. }));
+    }
+
+    #[test]
+    fn absolute_paths() {
+        assert!(matches!(parse("/"), Expr::Root));
+        let e = parse("/site/people");
+        let Expr::PathSlash(lhs, _) = e else { panic!() };
+        assert!(matches!(*lhs, Expr::PathSlash(r, _) if matches!(*r, Expr::Root)));
+    }
+
+    #[test]
+    fn kind_test_steps() {
+        let e = parse("$x/text()");
+        let Expr::PathSlash(_, step) = e else { panic!() };
+        assert!(matches!(
+            *step,
+            Expr::AxisStep { test: NodeTest::Kind(KindTest::Text), .. }
+        ));
+        let e = parse("$a/element(*, USSeller)");
+        let Expr::PathSlash(_, step) = e else { panic!() };
+        assert!(matches!(
+            *step,
+            Expr::AxisStep { test: NodeTest::Kind(KindTest::Element(None, Some(_))), .. }
+        ));
+    }
+
+    #[test]
+    fn function_calls_vs_steps() {
+        let e = parse("count($x)");
+        assert!(matches!(e, Expr::FunctionCall { ref name, ref args } if name.local_part() == "count" && args.len() == 1));
+        let e = parse("$d/fn:data(.)");
+        let Expr::PathSlash(_, rhs) = e else { panic!() };
+        assert!(matches!(*rhs, Expr::FunctionCall { .. }));
+    }
+
+    #[test]
+    fn predicates_on_primary() {
+        let e = parse("$items[3]");
+        assert!(matches!(e, Expr::Filter { ref predicates, .. } if predicates.len() == 1));
+    }
+
+    #[test]
+    fn direct_constructor_simple() {
+        let e = parse("<item/>");
+        let Expr::DirectElement { name, attributes, content } = e else { panic!() };
+        assert_eq!(name.local_part(), "item");
+        assert!(attributes.is_empty());
+        assert!(content.is_empty());
+    }
+
+    #[test]
+    fn direct_constructor_nested_with_enclosed() {
+        let e = parse(r#"<item person="{$p/name}"><name>{ $n }</name>static</item>"#);
+        let Expr::DirectElement { attributes, content, .. } = e else { panic!() };
+        assert_eq!(attributes.len(), 1);
+        assert!(matches!(&attributes[0].1[0], AttrValuePart::Enclosed(_)));
+        assert_eq!(content.len(), 2);
+        let DirectContent::Child(Expr::DirectElement { content: inner, .. }) = &content[0] else {
+            panic!("expected nested element")
+        };
+        assert!(matches!(&inner[0], DirectContent::Enclosed(_)));
+        assert!(matches!(&content[1], DirectContent::Text(t) if t == "static"));
+    }
+
+    #[test]
+    fn direct_constructor_escapes() {
+        let e = parse("<a>x {{ y }} &amp; z</a>");
+        let Expr::DirectElement { content, .. } = e else { panic!() };
+        assert!(matches!(&content[0], DirectContent::Text(t) if t == "x { y } & z"));
+    }
+
+    #[test]
+    fn computed_constructors() {
+        assert!(matches!(
+            parse("element item { 1 }"),
+            Expr::CompElement { name: Ok(_), content: Some(_) }
+        ));
+        assert!(matches!(
+            parse("element { $n } { 1 }"),
+            Expr::CompElement { name: Err(_), .. }
+        ));
+        assert!(matches!(parse("attribute id { 'x' }"), Expr::CompAttribute { .. }));
+        assert!(matches!(parse("text { 'x' }"), Expr::CompText(_)));
+        assert!(matches!(parse("comment { 'x' }"), Expr::CompComment(_)));
+        assert!(matches!(parse("document { <a/> }"), Expr::CompDocument(_)));
+    }
+
+    #[test]
+    fn type_expressions() {
+        assert!(matches!(parse("$x instance of xs:integer+"), Expr::InstanceOf(..)));
+        assert!(matches!(parse("$x cast as xs:double?"), Expr::CastAs(_, AtomicType::Double, true)));
+        assert!(matches!(parse("$x castable as xs:date"), Expr::CastableAs(..)));
+        assert!(matches!(
+            parse("$x treat as element(*,Auction)*"),
+            Expr::TreatAs(..)
+        ));
+        assert!(matches!(parse("validate strict { $d }"), Expr::Validate(ValidationModeAst::Strict, _)));
+        assert!(matches!(parse("validate { $d }"), Expr::Validate(ValidationModeAst::Lax, _)));
+    }
+
+    #[test]
+    fn union_and_set_ops() {
+        assert!(matches!(parse("$a | $b"), Expr::Binary { op: BinOp::Union, .. }));
+        assert!(matches!(parse("$a intersect $b"), Expr::Binary { op: BinOp::Intersect, .. }));
+        assert!(matches!(parse("$a except $b"), Expr::Binary { op: BinOp::Except, .. }));
+    }
+
+    #[test]
+    fn module_with_prolog() {
+        let m = parse_query(
+            "xquery version '1.0'; \
+             declare namespace foo = 'http://foo'; \
+             declare variable $size := 10; \
+             declare variable $ext external; \
+             declare function local:double($x as xs:integer) as xs:integer { $x * 2 }; \
+             local:double($size)",
+        )
+        .unwrap();
+        assert_eq!(m.functions.len(), 1);
+        assert_eq!(m.variables.len(), 2);
+        assert!(m.variables[1].value.is_none());
+        assert_eq!(m.functions[0].params.len(), 1);
+    }
+
+    #[test]
+    fn keywords_usable_as_names() {
+        // 'for' as an element name in a path.
+        let e = parse("$x/for");
+        let Expr::PathSlash(_, step) = e else { panic!() };
+        assert!(matches!(*step, Expr::AxisStep { .. }));
+        // 'if' as element name.
+        assert!(matches!(parse("$x/if"), Expr::PathSlash(..)));
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse_expr_str("for $x in").is_err());
+        assert!(parse_expr_str("(1,").is_err());
+        assert!(parse_expr_str("<a><b></a></b>").is_err());
+        assert!(parse_expr_str("if (1) then 2").is_err());
+        assert!(parse_expr_str("1 =").is_err());
+    }
+
+    #[test]
+    fn xmark_q8_variant_parses() {
+        // The paper's Section 2 running example.
+        let q = r#"
+            for $p in $auction//person
+            let $a as element(*,Auction)* :=
+                for $t in $auction//closed_auction
+                where $t/buyer/@person = $p/@id
+                return validate { $t }
+            return <item person="{$p/name/text()}">{ count($a/element(*,USSeller)) }</item>
+        "#;
+        let e = parse(q);
+        assert!(matches!(e, Expr::Flwor { .. }));
+    }
+}

@@ -1,0 +1,322 @@
+//! Comparison semantics: effective boolean value, `op:equal` (value
+//! comparisons with promotion), general comparisons (atomization +
+//! existential quantification + `fs:convert-operand`), and the total order
+//! used by `OrderBy`.
+
+use std::cmp::Ordering;
+
+use xqr_types::convert::convert_pair;
+use xqr_xml::{AtomicType, AtomicValue, Item, Sequence, XmlError};
+
+/// Comparison operators shared by value and general comparisons.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CmpOp {
+    pub fn by_suffix(s: &str) -> Option<CmpOp> {
+        Some(match s {
+            "eq" => CmpOp::Eq,
+            "ne" => CmpOp::Ne,
+            "lt" => CmpOp::Lt,
+            "le" => CmpOp::Le,
+            "gt" => CmpOp::Gt,
+            "ge" => CmpOp::Ge,
+            _ => return None,
+        })
+    }
+
+    fn holds(self, ord: Ordering) -> bool {
+        match self {
+            CmpOp::Eq => ord == Ordering::Equal,
+            CmpOp::Ne => ord != Ordering::Equal,
+            CmpOp::Lt => ord == Ordering::Less,
+            CmpOp::Le => ord != Ordering::Greater,
+            CmpOp::Gt => ord == Ordering::Greater,
+            CmpOp::Ge => ord != Ordering::Less,
+        }
+    }
+}
+
+/// `fn:boolean` — the effective boolean value.
+pub fn effective_boolean_value(seq: &Sequence) -> xqr_xml::Result<bool> {
+    if seq.is_empty() {
+        return Ok(false);
+    }
+    if let Item::Node(_) = seq.get(0).expect("non-empty") {
+        return Ok(true);
+    }
+    if seq.len() > 1 {
+        return Err(XmlError::new(
+            "FORG0006",
+            "effective boolean value of a multi-atomic sequence",
+        ));
+    }
+    let Item::Atomic(a) = seq.get(0).expect("non-empty") else { unreachable!() };
+    Ok(match a {
+        AtomicValue::Boolean(b) => *b,
+        AtomicValue::String(s) | AtomicValue::UntypedAtomic(s) | AtomicValue::AnyUri(s) => {
+            !s.is_empty()
+        }
+        AtomicValue::Integer(i) => *i != 0,
+        AtomicValue::Decimal(d) => *d != xqr_xml::Decimal::ZERO,
+        AtomicValue::Double(d) => *d != 0.0 && !d.is_nan(),
+        AtomicValue::Float(f) => *f != 0.0 && !f.is_nan(),
+        other => {
+            return Err(XmlError::new(
+                "FORG0006",
+                format!("no effective boolean value for {}", other.type_of()),
+            ))
+        }
+    })
+}
+
+/// Orders two atomic values that are already of a common comparable type
+/// (after `convert_pair`). `None` when incomparable at that type.
+fn ordering_of(a: &AtomicValue, b: &AtomicValue) -> Option<Ordering> {
+    use AtomicValue as V;
+    match (a, b) {
+        (V::String(x), V::String(y))
+        | (V::UntypedAtomic(x), V::UntypedAtomic(y))
+        | (V::AnyUri(x), V::AnyUri(y)) => Some(x.cmp(y)),
+        (V::Boolean(x), V::Boolean(y)) => Some(x.cmp(y)),
+        (V::Integer(x), V::Integer(y)) => Some(x.cmp(y)),
+        (V::Decimal(x), V::Decimal(y)) => Some(x.cmp(y)),
+        (V::Double(x), V::Double(y)) => x.partial_cmp(y),
+        (V::Float(x), V::Float(y)) => x.partial_cmp(y),
+        (V::Date(x), V::Date(y)) => x.partial_cmp(y),
+        (V::Time(x), V::Time(y)) => x.partial_cmp(y),
+        (V::DateTime(x), V::DateTime(y)) => x.partial_cmp(y),
+        (V::Duration(x), V::Duration(y)) => x.partial_cmp(y),
+        (V::GYear(x), V::GYear(y)) => Some(x.cmp(y)),
+        (V::GYearMonth(x1, x2), V::GYearMonth(y1, y2)) => Some((x1, x2).cmp(&(y1, y2))),
+        (V::GMonth(x), V::GMonth(y)) => Some(x.cmp(y)),
+        (V::GMonthDay(x1, x2), V::GMonthDay(y1, y2)) => Some((x1, x2).cmp(&(y1, y2))),
+        (V::GDay(x), V::GDay(y)) => Some(x.cmp(y)),
+        (V::HexBinary(x), V::HexBinary(y)) | (V::Base64Binary(x), V::Base64Binary(y)) => {
+            Some(x.cmp(y))
+        }
+        (V::QName(x), V::QName(y)) => {
+            if x == y {
+                Some(Ordering::Equal)
+            } else {
+                None
+            }
+        }
+        // Mixed numerics can remain after promotion of like-kinds; coerce
+        // through f64 as a last resort.
+        _ => {
+            let (fx, fy) = (a.as_f64()?, b.as_f64()?);
+            fx.partial_cmp(&fy)
+        }
+    }
+}
+
+/// `op:equal` and friends — value comparison of two single atomics,
+/// including `fs:convert-operand` on both sides and type promotion.
+pub fn value_compare(op: CmpOp, x: &AtomicValue, y: &AtomicValue) -> xqr_xml::Result<bool> {
+    let (cx, cy) = convert_pair(x, y)?;
+    match ordering_of(&cx, &cy) {
+        Some(ord) => Ok(op.holds(ord)),
+        None => {
+            // NaN: all comparisons false except ne.
+            if matches!(cx, AtomicValue::Double(d) if d.is_nan())
+                || matches!(cy, AtomicValue::Double(d) if d.is_nan())
+                || matches!(cx, AtomicValue::Float(f) if f.is_nan())
+                || matches!(cy, AtomicValue::Float(f) if f.is_nan())
+            {
+                return Ok(op == CmpOp::Ne);
+            }
+            Err(XmlError::new(
+                "XPTY0004",
+                format!("{} and {} are not comparable", x.type_of(), y.type_of()),
+            ))
+        }
+    }
+}
+
+/// The full general-comparison semantics of Section 6:
+///
+/// ```text
+/// some $x' in fn:data($x) satisfies some $y' in fn:data($y) satisfies
+///   op(fs:convert-operand($x',$y'), fs:convert-operand($y',$x'))
+/// ```
+///
+/// Incomparable pairs (e.g. a string against an integer) and untyped
+/// values whose lexical form fails the `fs:convert-operand` cast (e.g.
+/// content "x" compared to a number) are treated as non-matches rather
+/// than raising `XPTY0004`/`FORG0001`. This matches the paper's hash join:
+/// `materialize` stores no `xs:double` entry for an unparseable untyped
+/// key, and `allMatches` silently *skips* entries whose original types
+/// fail the Table 2 check (Fig. 6, line 25) — and it keeps every join
+/// algorithm and execution mode deterministic and in agreement.
+/// (Strict `eq`/`lt`/… value comparisons still raise both errors.)
+pub fn general_compare(op: CmpOp, xs: &Sequence, ys: &Sequence) -> xqr_xml::Result<bool> {
+    let dx = xs.atomized();
+    let dy = ys.atomized();
+    for x in &dx {
+        for y in &dy {
+            match value_compare(op, x, y) {
+                Ok(true) => return Ok(true),
+                Ok(false) => {}
+                Err(e) if matches!(e.code, "XPTY0004" | "FORG0001") => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+    Ok(false)
+}
+
+/// Order for `OrderBy` keys: atomized singleton values, empty-sequence
+/// handling per the `empty least/greatest` spec, untyped compared as
+/// strings unless the other side is numeric.
+pub fn order_key_compare(
+    a: &Sequence,
+    b: &Sequence,
+    empty_least: bool,
+) -> xqr_xml::Result<Ordering> {
+    let da = a.atomized();
+    let db = b.atomized();
+    match (da.first(), db.first()) {
+        (None, None) => Ok(Ordering::Equal),
+        (None, Some(_)) => Ok(if empty_least { Ordering::Less } else { Ordering::Greater }),
+        (Some(_), None) => Ok(if empty_least { Ordering::Greater } else { Ordering::Less }),
+        (Some(x), Some(y)) => {
+            let (cx, cy) = convert_pair(x, y)?;
+            ordering_of(&cx, &cy).ok_or_else(|| {
+                XmlError::new("XPTY0004", "order keys are not comparable")
+            })
+        }
+    }
+}
+
+/// Atomization helper that enforces a 0/1-item cardinality (used by casts
+/// and value comparisons at call sites that require singletons).
+pub fn atomize_optional(seq: &Sequence) -> xqr_xml::Result<Option<AtomicValue>> {
+    let atoms = seq.atomized();
+    match atoms.len() {
+        0 => Ok(None),
+        1 => Ok(Some(atoms.into_iter().next().expect("one"))),
+        _ => Err(XmlError::new("XPTY0004", "expected at most one atomic value")),
+    }
+}
+
+/// Numeric promotion of a pair for arithmetic: untyped casts to double,
+/// then both promote to their widest common numeric type.
+pub fn arithmetic_pair(
+    x: &AtomicValue,
+    y: &AtomicValue,
+) -> xqr_xml::Result<(AtomicValue, AtomicValue, AtomicType)> {
+    let cast_num = |v: &AtomicValue| -> xqr_xml::Result<AtomicValue> {
+        match v.type_of() {
+            AtomicType::UntypedAtomic => xqr_types::cast_atomic(v, AtomicType::Double),
+            t if t.is_numeric() => Ok(v.clone()),
+            t => Err(XmlError::new("XPTY0004", format!("{t} is not numeric"))),
+        }
+    };
+    let cx = cast_num(x)?;
+    let cy = cast_num(y)?;
+    let target = xqr_types::widest_numeric(cx.type_of(), cy.type_of())
+        .ok_or_else(|| XmlError::new("XPTY0004", "non-numeric operands"))?;
+    Ok((
+        xqr_types::promote_numeric(&cx, target)?,
+        xqr_types::promote_numeric(&cy, target)?,
+        target,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(vals: Vec<AtomicValue>) -> Sequence {
+        Sequence::from_atomics(vals)
+    }
+
+    #[test]
+    fn ebv_rules() {
+        assert!(!effective_boolean_value(&Sequence::empty()).unwrap());
+        assert!(effective_boolean_value(&seq(vec![AtomicValue::string("x")])).unwrap());
+        assert!(!effective_boolean_value(&seq(vec![AtomicValue::string("")])).unwrap());
+        assert!(!effective_boolean_value(&seq(vec![AtomicValue::Double(f64::NAN)])).unwrap());
+        assert!(effective_boolean_value(&seq(vec![AtomicValue::Integer(7)])).unwrap());
+        assert!(effective_boolean_value(&Sequence::integers([1, 2])).is_err());
+    }
+
+    #[test]
+    fn value_compare_with_promotion() {
+        // integer vs double
+        assert!(value_compare(CmpOp::Eq, &AtomicValue::Integer(5), &AtomicValue::Double(5.0))
+            .unwrap());
+        // untyped vs integer → double
+        assert!(value_compare(CmpOp::Eq, &AtomicValue::untyped("5"), &AtomicValue::Integer(5))
+            .unwrap());
+        // untyped vs untyped → string comparison ("10" < "9")
+        assert!(value_compare(CmpOp::Lt, &AtomicValue::untyped("10"), &AtomicValue::untyped("9"))
+            .unwrap());
+        // but untyped vs numeric → numeric comparison (10 > 9)
+        assert!(value_compare(CmpOp::Gt, &AtomicValue::untyped("10"), &AtomicValue::Integer(9))
+            .unwrap());
+        // incomparable
+        assert!(value_compare(CmpOp::Eq, &AtomicValue::Integer(1), &AtomicValue::string("1"))
+            .is_err());
+    }
+
+    #[test]
+    fn nan_comparisons() {
+        let nan = AtomicValue::Double(f64::NAN);
+        assert!(!value_compare(CmpOp::Eq, &nan, &nan).unwrap());
+        assert!(value_compare(CmpOp::Ne, &nan, &AtomicValue::Double(1.0)).unwrap());
+        assert!(!value_compare(CmpOp::Lt, &nan, &AtomicValue::Double(1.0)).unwrap());
+    }
+
+    #[test]
+    fn general_compare_is_existential() {
+        let xs = Sequence::integers([1, 2, 3]);
+        let ys = Sequence::integers([3, 4]);
+        assert!(general_compare(CmpOp::Eq, &xs, &ys).unwrap());
+        assert!(!general_compare(CmpOp::Eq, &xs, &Sequence::integers([9])).unwrap());
+        assert!(general_compare(CmpOp::Lt, &xs, &Sequence::integers([2])).unwrap());
+        assert!(!general_compare(CmpOp::Eq, &xs, &Sequence::empty()).unwrap());
+        // x != x is true for |x| > 1 (classic XQuery existential quirk)
+        assert!(general_compare(CmpOp::Ne, &xs, &xs).unwrap());
+    }
+
+    #[test]
+    fn dates_compare() {
+        let d1 = xqr_types::cast::cast_from_string("2001-01-01", AtomicType::Date).unwrap();
+        let d2 = xqr_types::cast::cast_from_string("2002-01-01", AtomicType::Date).unwrap();
+        assert!(value_compare(CmpOp::Lt, &d1, &d2).unwrap());
+        // untyped vs date: cast the untyped side.
+        assert!(value_compare(CmpOp::Eq, &AtomicValue::untyped("2001-01-01"), &d1).unwrap());
+    }
+
+    #[test]
+    fn order_key_semantics() {
+        let empty = Sequence::empty();
+        let one = Sequence::integers([1]);
+        assert_eq!(order_key_compare(&empty, &one, true).unwrap(), Ordering::Less);
+        assert_eq!(order_key_compare(&empty, &one, false).unwrap(), Ordering::Greater);
+        assert_eq!(order_key_compare(&one, &one, true).unwrap(), Ordering::Equal);
+    }
+
+    #[test]
+    fn arithmetic_promotion() {
+        let (x, y, t) =
+            arithmetic_pair(&AtomicValue::Integer(2), &AtomicValue::Double(0.5)).unwrap();
+        assert_eq!(t, AtomicType::Double);
+        assert_eq!(x, AtomicValue::Double(2.0));
+        assert_eq!(y, AtomicValue::Double(0.5));
+        let (x, _, t) =
+            arithmetic_pair(&AtomicValue::untyped("3"), &AtomicValue::Integer(1)).unwrap();
+        assert_eq!(t, AtomicType::Double);
+        assert_eq!(x, AtomicValue::Double(3.0));
+        assert!(arithmetic_pair(&AtomicValue::string("x"), &AtomicValue::Integer(1)).is_err());
+    }
+}

@@ -1,0 +1,91 @@
+//! The dynamic evaluation context (the paper's implicit *algebra context*:
+//! function parameters and compiled plans for user functions, plus globals,
+//! loaded documents, the schema, and physical-operator configuration).
+
+use std::collections::HashMap;
+
+use xqr_core::CompiledModule;
+use xqr_types::Schema;
+use xqr_xml::{NodeHandle, QName, Sequence, XmlError};
+
+/// Which physical algorithm `Join`/`LOuterJoin` use when an equality key
+/// can be split across the inputs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum JoinAlgorithm {
+    /// Always nested loop (the paper's "NL Join" column).
+    NestedLoop,
+    /// The typed, order-preserving hash join of Fig. 6.
+    Hash,
+    /// The order-preserving B-tree index (sort) join.
+    Sort,
+}
+
+/// Dynamic context for plan evaluation.
+pub struct Ctx<'a> {
+    pub module: &'a CompiledModule,
+    pub schema: &'a Schema,
+    /// Pre-loaded documents for `Parse` (fn:doc), keyed by URI.
+    pub documents: &'a HashMap<String, NodeHandle>,
+    /// Global variable values (externals and evaluated declarations).
+    pub globals: HashMap<QName, Sequence>,
+    /// Function-call frames (parameters by name).
+    frames: Vec<HashMap<QName, Sequence>>,
+    pub join_algorithm: JoinAlgorithm,
+    /// Recursion guard for user functions.
+    depth: usize,
+    max_depth: usize,
+}
+
+impl<'a> Ctx<'a> {
+    pub fn new(
+        module: &'a CompiledModule,
+        schema: &'a Schema,
+        documents: &'a HashMap<String, NodeHandle>,
+        join_algorithm: JoinAlgorithm,
+    ) -> Self {
+        Ctx {
+            module,
+            schema,
+            documents,
+            globals: HashMap::new(),
+            frames: Vec::new(),
+            join_algorithm,
+            depth: 0,
+            max_depth: 200,
+        }
+    }
+
+    /// Resolves a free variable: innermost function frame, then globals.
+    pub fn lookup_var(&self, q: &QName) -> xqr_xml::Result<Sequence> {
+        if let Some(frame) = self.frames.last() {
+            if let Some(v) = frame.get(q) {
+                return Ok(v.clone());
+            }
+        }
+        self.globals
+            .get(q)
+            .cloned()
+            .ok_or_else(|| XmlError::new("XPDY0002", format!("unbound variable ${q}")))
+    }
+
+    pub fn push_frame(&mut self, frame: HashMap<QName, Sequence>) -> xqr_xml::Result<()> {
+        self.depth += 1;
+        if self.depth > self.max_depth {
+            return Err(XmlError::new("XQRT0005", "function recursion limit exceeded"));
+        }
+        self.frames.push(frame);
+        Ok(())
+    }
+
+    pub fn pop_frame(&mut self) {
+        self.frames.pop();
+        self.depth -= 1;
+    }
+
+    pub fn resolve_document(&self, uri: &str) -> xqr_xml::Result<NodeHandle> {
+        self.documents
+            .get(uri)
+            .cloned()
+            .ok_or_else(|| XmlError::new("FODC0002", format!("document not available: {uri}")))
+    }
+}

@@ -1,0 +1,684 @@
+//! The plan evaluator: executes the logical algebra over materialized
+//! tables (the logical model's tables; the paper's cursor pipeline is an
+//! implementation alternative, see DESIGN.md).
+
+use std::collections::HashMap;
+
+use xqr_core::algebra::{NamePlan, Op, OrderSpecPlan, Plan};
+use xqr_types::validate_sequence;
+use xqr_xml::axes::{tree_join, Axis, NodeTest};
+use xqr_xml::{AtomicValue, Item, NodeHandle, NodeKind, QName, Sequence, TreeBuilder, XmlError};
+
+use crate::compare::{atomize_optional, effective_boolean_value, order_key_compare};
+use crate::context::Ctx;
+use crate::functions::{call_builtin, is_builtin, BuiltinCtx};
+use crate::groupby::execute_group_by;
+use crate::joins::execute_join;
+use crate::value::{InputVal, Table, Tuple, Value};
+
+/// Evaluates a module: globals in declaration order, then the body.
+pub fn eval_module(ctx: &mut Ctx<'_>) -> xqr_xml::Result<Sequence> {
+    let globals: Vec<(QName, Option<Plan>)> = ctx.module.globals.clone();
+    for (name, plan) in globals {
+        if let Some(p) = plan {
+            let v = eval_plan(&p, ctx)?;
+            ctx.globals.insert(name, v);
+        } else if !ctx.globals.contains_key(&name) {
+            return Err(XmlError::new(
+                "XPDY0002",
+                format!("external variable ${name} was not bound"),
+            ));
+        }
+    }
+    let body = ctx.module.body.clone();
+    eval_plan(&body, ctx)
+}
+
+/// Evaluates a plan with no `IN` in scope, expecting an item sequence.
+pub fn eval_plan(plan: &Plan, ctx: &mut Ctx<'_>) -> xqr_xml::Result<Sequence> {
+    eval(plan, ctx, None)?.into_items()
+}
+
+/// Evaluates a dependent sub-plan with the given `IN`, as items.
+pub fn eval_dep_items(
+    plan: &Plan,
+    ctx: &mut Ctx<'_>,
+    input: &InputVal,
+) -> xqr_xml::Result<Sequence> {
+    eval(plan, ctx, Some(input))?.into_items()
+}
+
+fn eval_items(
+    plan: &Plan,
+    ctx: &mut Ctx<'_>,
+    input: Option<&InputVal>,
+) -> xqr_xml::Result<Sequence> {
+    eval(plan, ctx, input)?.into_items()
+}
+
+fn eval_table(
+    plan: &Plan,
+    ctx: &mut Ctx<'_>,
+    input: Option<&InputVal>,
+) -> xqr_xml::Result<Table> {
+    eval(plan, ctx, input)?.into_table()
+}
+
+fn eval(plan: &Plan, ctx: &mut Ctx<'_>, input: Option<&InputVal>) -> xqr_xml::Result<Value> {
+    match &plan.op {
+        // ===== XML operators ==================================================
+        Op::Sequence(items) => {
+            let mut out = Sequence::empty();
+            for i in items {
+                out = out.concat(&eval_items(i, ctx, input)?);
+            }
+            Ok(Value::Items(out))
+        }
+        Op::Empty => Ok(Value::empty_items()),
+        Op::Scalar(v) => Ok(Value::Items(Sequence::singleton(v.clone()))),
+        Op::Element { name, content } => {
+            let q = resolve_name(name, ctx, input)?;
+            let items = eval_items(content, ctx, input)?;
+            Ok(Value::Items(Sequence::singleton(construct_element(&q, &items)?)))
+        }
+        Op::Attribute { name, content } => {
+            let q = resolve_name(name, ctx, input)?;
+            let items = eval_items(content, ctx, input)?;
+            Ok(Value::Items(Sequence::singleton(construct_attribute(&q, &items)?)))
+        }
+        Op::Text(c) => {
+            let items = eval_items(c, ctx, input)?;
+            Ok(Value::Items(construct_text(&items)?))
+        }
+        Op::Comment(c) => {
+            let items = eval_items(c, ctx, input)?;
+            let mut b = TreeBuilder::new();
+            b.comment(&joined_string(&items));
+            Ok(Value::Items(Sequence::singleton(b.finish(None).root())))
+        }
+        Op::Pi { target, content } => {
+            let items = eval_items(content, ctx, input)?;
+            let mut b = TreeBuilder::new();
+            b.pi(target, &joined_string(&items));
+            Ok(Value::Items(Sequence::singleton(b.finish(None).root())))
+        }
+        Op::DocumentNode(c) => {
+            let items = eval_items(c, ctx, input)?;
+            let mut b = TreeBuilder::new();
+            b.start_document();
+            copy_content(&mut b, &items)?;
+            b.end_document();
+            Ok(Value::Items(Sequence::singleton(b.try_finish(None)?.root())))
+        }
+        Op::TreeJoin { axis, test, input: src } => {
+            let items = eval_items(src, ctx, input)?;
+            Ok(Value::Items(tree_join(&items, *axis, test, ctx.schema)?))
+        }
+        Op::TreeProject { paths, input: src } => {
+            let items = eval_items(src, ctx, input)?;
+            Ok(Value::Items(tree_project(&items, paths, ctx)?))
+        }
+        Op::Cast { ty, optional, input: src } => {
+            let items = eval_items(src, ctx, input)?;
+            match atomize_optional(&items)? {
+                Some(a) => Ok(Value::Items(Sequence::singleton(xqr_types::cast_atomic(&a, *ty)?))),
+                None if *optional => Ok(Value::empty_items()),
+                None => Err(XmlError::new("XPTY0004", "cast of an empty sequence")),
+            }
+        }
+        Op::Castable { ty, optional, input: src } => {
+            let items = eval_items(src, ctx, input)?;
+            let ok = match atomize_optional(&items) {
+                Ok(Some(a)) => xqr_types::cast_atomic(&a, *ty).is_ok(),
+                Ok(None) => *optional,
+                Err(_) => false,
+            };
+            Ok(Value::Items(Sequence::singleton(AtomicValue::Boolean(ok))))
+        }
+        Op::Validate { mode, input: src } => {
+            let items = eval_items(src, ctx, input)?;
+            Ok(Value::Items(validate_sequence(&items, ctx.schema, *mode)?))
+        }
+        Op::TypeMatches { st, input: src } => {
+            let items = eval_items(src, ctx, input)?;
+            Ok(Value::Items(Sequence::singleton(AtomicValue::Boolean(
+                st.matches(&items, ctx.schema),
+            ))))
+        }
+        Op::TypeAssert { st, input: src } => {
+            let items = eval_items(src, ctx, input)?;
+            Ok(Value::Items(st.assert(&items, ctx.schema)?))
+        }
+        Op::Var(q) => Ok(Value::Items(ctx.lookup_var(q)?)),
+        Op::Call { name, args } => {
+            let mut argv = Vec::with_capacity(args.len());
+            for a in args {
+                argv.push(eval_items(a, ctx, input)?);
+            }
+            call_function(name, argv, ctx)
+        }
+        Op::Cond { cond, then, els } => {
+            let c = eval_items(cond, ctx, input)?;
+            if effective_boolean_value(&c)? {
+                eval(then, ctx, input)
+            } else {
+                eval(els, ctx, input)
+            }
+        }
+        Op::Parse { uri } => {
+            let u = eval_items(uri, ctx, input)?;
+            let s = u
+                .get(0)
+                .map(|i| i.string_value())
+                .ok_or_else(|| XmlError::new("FODC0002", "empty document URI"))?;
+            Ok(Value::Items(Sequence::singleton(ctx.resolve_document(&s)?)))
+        }
+        Op::Serialize { input: src } => {
+            let items = eval_items(src, ctx, input)?;
+            Ok(Value::Items(Sequence::singleton(AtomicValue::string(
+                xqr_xml::serialize_sequence(&items),
+            ))))
+        }
+
+        // ===== Tuple operators ================================================
+        Op::Input => match input {
+            None => Err(XmlError::new("XQRT0007", "IN referenced outside a dependent operator")),
+            Some(InputVal::Tuple(t)) => Ok(Value::Table(vec![t.clone()])),
+            Some(InputVal::Item(i)) => Ok(Value::Items(Sequence::singleton(i.clone()))),
+            Some(InputVal::Items(s)) => Ok(Value::Items(s.clone())),
+        },
+        Op::TupleTable => Ok(Value::Table(vec![Tuple::empty()])),
+        Op::Tuple(fields) => {
+            let mut fs = Vec::with_capacity(fields.len());
+            for (f, v) in fields {
+                fs.push((f.clone(), eval_items(v, ctx, input)?));
+            }
+            Ok(Value::Table(vec![Tuple::from_fields(fs)]))
+        }
+        Op::TupleConcat(a, b) => {
+            let ta = eval_table(a, ctx, input)?;
+            let tb = eval_table(b, ctx, input)?;
+            match (ta.len(), tb.len()) {
+                (1, 1) => Ok(Value::Table(vec![ta[0].concat(&tb[0])])),
+                _ => Err(XmlError::new("XQRT0008", "++ expects single tuples")),
+            }
+        }
+        Op::FieldAccess { field, input: src } => {
+            if matches!(src.op, Op::Input) {
+                // Fast path: IN#q.
+                match input {
+                    Some(InputVal::Tuple(t)) => return Ok(Value::Items(t.get(field))),
+                    _ => {
+                        return Err(XmlError::new(
+                            "XQRT0009",
+                            format!("IN#{field} used where IN is not a tuple"),
+                        ))
+                    }
+                }
+            }
+            let t = eval_table(src, ctx, input)?;
+            if t.len() != 1 {
+                return Err(XmlError::new("XQRT0009", "#field on a non-singleton table"));
+            }
+            Ok(Value::Items(t[0].get(field)))
+        }
+        Op::Select { pred, input: src } => {
+            let table = eval_table(src, ctx, input)?;
+            let mut out = Table::with_capacity(table.len());
+            for t in table {
+                let v = eval_dep_items(pred, ctx, &InputVal::Tuple(t.clone()))?;
+                if effective_boolean_value(&v)? {
+                    out.push(t);
+                }
+            }
+            Ok(Value::Table(out))
+        }
+        Op::Product(a, b) => {
+            let ta = eval_table(a, ctx, input)?;
+            let tb = eval_table(b, ctx, input)?;
+            let mut out = Table::with_capacity(ta.len() * tb.len());
+            for x in &ta {
+                for y in &tb {
+                    out.push(x.concat(y));
+                }
+            }
+            Ok(Value::Table(out))
+        }
+        Op::Join { pred, left, right } => {
+            let tl = eval_table(left, ctx, input)?;
+            let tr = eval_table(right, ctx, input)?;
+            Ok(Value::Table(execute_join(pred, left, right, &tl, &tr, None, ctx)?))
+        }
+        Op::LOuterJoin { null_field, pred, left, right } => {
+            let tl = eval_table(left, ctx, input)?;
+            let tr = eval_table(right, ctx, input)?;
+            Ok(Value::Table(execute_join(
+                pred,
+                left,
+                right,
+                &tl,
+                &tr,
+                Some(null_field),
+                ctx,
+            )?))
+        }
+        Op::MapOp { dep, input: src } => {
+            let table = eval_table(src, ctx, input)?;
+            let mut out = Table::with_capacity(table.len());
+            for t in table {
+                let mapped = eval(dep, ctx, Some(&InputVal::Tuple(t)))?.into_table()?;
+                out.extend(mapped);
+            }
+            Ok(Value::Table(out))
+        }
+        Op::OMap { null_field, input: src } => {
+            let table = eval_table(src, ctx, input)?;
+            if table.is_empty() {
+                return Ok(Value::Table(vec![Tuple::from_fields(vec![(
+                    null_field.clone(),
+                    Sequence::singleton(AtomicValue::Boolean(true)),
+                )])]));
+            }
+            Ok(Value::Table(
+                table
+                    .into_iter()
+                    .map(|t| {
+                        t.with(
+                            null_field.clone(),
+                            Sequence::singleton(AtomicValue::Boolean(false)),
+                        )
+                    })
+                    .collect(),
+            ))
+        }
+        Op::MapConcat { dep, input: src } => {
+            let table = eval_table(src, ctx, input)?;
+            let mut out = Table::new();
+            for t in table {
+                let produced = eval(dep, ctx, Some(&InputVal::Tuple(t.clone())))?.into_table()?;
+                for u in produced {
+                    out.push(t.concat(&u));
+                }
+            }
+            Ok(Value::Table(out))
+        }
+        Op::OMapConcat { null_field, dep, input: src } => {
+            let table = eval_table(src, ctx, input)?;
+            let mut out = Table::new();
+            for t in table {
+                let produced = eval(dep, ctx, Some(&InputVal::Tuple(t.clone())))?.into_table()?;
+                if produced.is_empty() {
+                    out.push(t.with(
+                        null_field.clone(),
+                        Sequence::singleton(AtomicValue::Boolean(true)),
+                    ));
+                } else {
+                    for u in produced {
+                        out.push(t.concat(&u).with(
+                            null_field.clone(),
+                            Sequence::singleton(AtomicValue::Boolean(false)),
+                        ));
+                    }
+                }
+            }
+            Ok(Value::Table(out))
+        }
+        Op::MapIndex { field, input: src } | Op::MapIndexStep { field, input: src } => {
+            let table = eval_table(src, ctx, input)?;
+            Ok(Value::Table(
+                table
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, t)| t.with(field.clone(), Sequence::integers([i as i64 + 1])))
+                    .collect(),
+            ))
+        }
+        Op::OrderBy { specs, input: src } => {
+            let table = eval_table(src, ctx, input)?;
+            Ok(Value::Table(order_by(specs, table, ctx)?))
+        }
+        Op::GroupBy { agg, index_fields, null_fields, per_partition, per_item, input: src } => {
+            let table = eval_table(src, ctx, input)?;
+            Ok(Value::Table(execute_group_by(
+                agg,
+                index_fields,
+                null_fields,
+                per_partition,
+                per_item,
+                table,
+                ctx,
+            )?))
+        }
+
+        // ===== Boundary operators =============================================
+        Op::MapFromItem { dep, input: src } => {
+            let items = eval_items(src, ctx, input)?;
+            let mut out = Table::with_capacity(items.len());
+            for item in items.iter() {
+                let t = eval(dep, ctx, Some(&InputVal::Item(item.clone())))?.into_table()?;
+                out.extend(t);
+            }
+            Ok(Value::Table(out))
+        }
+        Op::MapToItem { dep, input: src } => {
+            let table = eval_table(src, ctx, input)?;
+            let mut out = Sequence::empty();
+            for t in table {
+                out = out.concat(&eval_dep_items(dep, ctx, &InputVal::Tuple(t))?);
+            }
+            Ok(Value::Items(out))
+        }
+        Op::MapSome { dep, input: src } => {
+            let table = eval_table(src, ctx, input)?;
+            for t in table {
+                let v = eval_dep_items(dep, ctx, &InputVal::Tuple(t))?;
+                if effective_boolean_value(&v)? {
+                    return Ok(Value::Items(Sequence::singleton(AtomicValue::Boolean(true))));
+                }
+            }
+            Ok(Value::Items(Sequence::singleton(AtomicValue::Boolean(false))))
+        }
+        Op::MapEvery { dep, input: src } => {
+            let table = eval_table(src, ctx, input)?;
+            for t in table {
+                let v = eval_dep_items(dep, ctx, &InputVal::Tuple(t))?;
+                if !effective_boolean_value(&v)? {
+                    return Ok(Value::Items(Sequence::singleton(AtomicValue::Boolean(false))));
+                }
+            }
+            Ok(Value::Items(Sequence::singleton(AtomicValue::Boolean(true))))
+        }
+    }
+}
+
+fn call_function(
+    name: &QName,
+    argv: Vec<Sequence>,
+    ctx: &mut Ctx<'_>,
+) -> xqr_xml::Result<Value> {
+    let local = name.local_part();
+    if is_builtin(local) {
+        let bctx = BuiltinCtx { documents: Some(ctx.documents) };
+        return Ok(Value::Items(call_builtin(local, &argv, &bctx)?));
+    }
+    // User-defined function from the algebra context.
+    let func = ctx
+        .module
+        .functions
+        .get(name)
+        .cloned()
+        .ok_or_else(|| XmlError::new("XPST0017", format!("unknown function {name}()")))?;
+    if func.params.len() != argv.len() {
+        return Err(XmlError::new(
+            "XPST0017",
+            format!("{name}() expects {} arguments", func.params.len()),
+        ));
+    }
+    let mut frame = HashMap::new();
+    for ((p, v), ty) in func.params.iter().zip(argv).zip(func.param_types.iter()) {
+        if let Some(st) = ty {
+            st.assert(&v, ctx.schema)?;
+        }
+        frame.insert(p.clone(), v);
+    }
+    ctx.push_frame(frame)?;
+    let result = eval(&func.body, ctx, None);
+    ctx.pop_frame();
+    let v = result?.into_items()?;
+    if let Some(st) = &func.return_type {
+        st.assert(&v, ctx.schema)?;
+    }
+    Ok(Value::Items(v))
+}
+
+fn order_by(
+    specs: &[OrderSpecPlan],
+    table: Table,
+    ctx: &mut Ctx<'_>,
+) -> xqr_xml::Result<Table> {
+    // Precompute keys (one pass), then stable sort.
+    let mut keyed: Vec<(Vec<Sequence>, Tuple)> = Vec::with_capacity(table.len());
+    for t in table {
+        let mut keys = Vec::with_capacity(specs.len());
+        for s in specs {
+            keys.push(eval_dep_items(&s.key, ctx, &InputVal::Tuple(t.clone()))?);
+        }
+        keyed.push((keys, t));
+    }
+    let mut err: Option<XmlError> = None;
+    keyed.sort_by(|a, b| {
+        for (i, s) in specs.iter().enumerate() {
+            match order_key_compare(&a.0[i], &b.0[i], s.empty_least) {
+                Ok(ord) => {
+                    let ord = if s.descending { ord.reverse() } else { ord };
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                Err(e) => {
+                    if err.is_none() {
+                        err = Some(e);
+                    }
+                    return std::cmp::Ordering::Equal;
+                }
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    if let Some(e) = err {
+        return Err(e);
+    }
+    Ok(keyed.into_iter().map(|(_, t)| t).collect())
+}
+
+fn resolve_name(
+    name: &NamePlan,
+    ctx: &mut Ctx<'_>,
+    input: Option<&InputVal>,
+) -> xqr_xml::Result<QName> {
+    match name {
+        NamePlan::Static(q) => Ok(q.clone()),
+        NamePlan::Dynamic(p) => {
+            let items = eval_items(p, ctx, input)?;
+            let a = atomize_optional(&items)?
+                .ok_or_else(|| XmlError::new("XPTY0004", "empty constructor name"))?;
+            match a {
+                AtomicValue::QName(q) => Ok(q),
+                other => {
+                    let s = other.string_value();
+                    match s.split_once(':') {
+                        Some((p, l)) => Ok(QName::full(Some(p), None, l)),
+                        None => Ok(QName::local(&s)),
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn joined_string(items: &Sequence) -> String {
+    items
+        .atomized()
+        .iter()
+        .map(|a| a.string_value())
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Element construction: copies content (fresh node identities), merging
+/// adjacent atomic values into space-separated text, attributes collected
+/// onto the element. Exposed for reuse by the Core interpreter.
+pub fn construct_element(name: &QName, items: &Sequence) -> xqr_xml::Result<Item> {
+    let mut b = TreeBuilder::new();
+    b.start_element(name.clone());
+    copy_content(&mut b, items)?;
+    b.end_element();
+    Ok(Item::Node(b.try_finish(None)?.root()))
+}
+
+/// Attribute construction per the spec: value is the space-joined string
+/// value of the atomized content.
+pub fn construct_attribute(name: &QName, items: &Sequence) -> xqr_xml::Result<Item> {
+    let mut b = TreeBuilder::new();
+    b.attribute(name.clone(), &joined_string(items));
+    Ok(Item::Node(b.try_finish(None)?.root()))
+}
+
+/// Text-node construction; empty content constructs no node.
+pub fn construct_text(items: &Sequence) -> xqr_xml::Result<Sequence> {
+    if items.is_empty() {
+        return Ok(Sequence::empty());
+    }
+    let mut b = TreeBuilder::new();
+    b.start_element(QName::local("#wrap"));
+    b.text(&joined_string(items));
+    b.end_element();
+    let doc = b.try_finish(None)?;
+    let wrap = doc.root();
+    let children = wrap.children();
+    if children.is_empty() {
+        return Ok(Sequence::empty());
+    }
+    Ok(Sequence::singleton(children[0].clone()))
+}
+
+fn copy_content(b: &mut TreeBuilder, items: &Sequence) -> xqr_xml::Result<()> {
+    let mut pending_text = String::new();
+    let mut prev_atomic = false;
+    for item in items.iter() {
+        match item {
+            Item::Atomic(a) => {
+                if prev_atomic {
+                    pending_text.push(' ');
+                }
+                pending_text.push_str(&a.string_value());
+                prev_atomic = true;
+            }
+            Item::Node(n) => {
+                if !pending_text.is_empty() {
+                    b.text(&pending_text);
+                    pending_text.clear();
+                }
+                prev_atomic = false;
+                b.copy_node(n);
+            }
+        }
+    }
+    if !pending_text.is_empty() {
+        b.text(&pending_text);
+    }
+    Ok(())
+}
+
+/// `TreeProject[paths]`: structural projection — keeps, under each input
+/// node, only branches lying along one of the given step chains
+/// (child/descendant steps; a chain's end keeps its whole subtree). The
+/// projection inference in `xqr-core::project` guarantees reverse axes are
+/// absent before this operator is ever introduced.
+fn tree_project(
+    items: &Sequence,
+    paths: &[Vec<(Axis, NodeTest)>],
+    ctx: &Ctx<'_>,
+) -> xqr_xml::Result<Sequence> {
+    let mut out = Vec::with_capacity(items.len());
+    let active: Vec<&[(Axis, NodeTest)]> = paths.iter().map(|p| p.as_slice()).collect();
+    for item in items.iter() {
+        match item {
+            Item::Node(n) => {
+                let mut b = TreeBuilder::new();
+                project_node(&mut b, n, &active, ctx);
+                out.push(Item::Node(b.try_finish(None)?.root()));
+            }
+            Item::Atomic(_) => {
+                return Err(XmlError::new("XPTY0020", "TreeProject on a non-node"))
+            }
+        }
+    }
+    Ok(Sequence::from_vec(out))
+}
+
+fn project_node(
+    b: &mut TreeBuilder,
+    n: &NodeHandle,
+    active: &[&[(Axis, NodeTest)]],
+    ctx: &Ctx<'_>,
+) {
+    // Any exhausted chain keeps the whole subtree.
+    if active.iter().any(|p| p.is_empty()) {
+        b.copy_node(n);
+        return;
+    }
+    match n.kind() {
+        NodeKind::Document => {
+            b.start_document();
+            for c in n.children() {
+                project_child(b, &c, active, ctx);
+            }
+            b.end_document();
+        }
+        NodeKind::Element => {
+            b.start_element(n.name().expect("element").clone());
+            for a in n.attributes() {
+                b.copy_node(&a);
+            }
+            for c in n.children() {
+                project_child(b, &c, active, ctx);
+            }
+            b.end_element();
+        }
+        _ => b.copy_node(n),
+    }
+}
+
+fn project_child(
+    b: &mut TreeBuilder,
+    c: &NodeHandle,
+    active: &[&[(Axis, NodeTest)]],
+    ctx: &Ctx<'_>,
+) {
+    // Advance every chain against this child; a chain survives if the
+    // child matches its head (advanced) or if a descendant step may still
+    // match deeper (kept as-is).
+    let mut next: Vec<&[(Axis, NodeTest)]> = Vec::new();
+    for path in active {
+        let (axis, test) = &path[0];
+        match axis {
+            Axis::Child => {
+                if test.matches(c, Axis::Child, ctx.schema) {
+                    next.push(&path[1..]);
+                }
+            }
+            Axis::Descendant | Axis::DescendantOrSelf => {
+                if test.matches(c, Axis::Child, ctx.schema) {
+                    next.push(&path[1..]);
+                    // Deeper occurrences of the same pattern remain
+                    // reachable inside the kept subtree only when the chain
+                    // continues; keep scanning for them too.
+                    if path.len() > 1 {
+                        next.push(path);
+                    }
+                } else {
+                    next.push(path);
+                }
+            }
+            // Inference never emits other axes; keep the child whole if it
+            // ever happens (conservative).
+            _ => {
+                b.copy_node(c);
+                return;
+            }
+        }
+    }
+    if next.iter().any(|p| p.is_empty()) {
+        b.copy_node(c);
+        return;
+    }
+    if next.is_empty() {
+        return; // no chain can match below: prune.
+    }
+    if c.kind() == NodeKind::Element {
+        project_node(b, c, &next, ctx);
+    }
+    // Non-element children (text/comments/PIs) between structural levels
+    // are only kept inside fully-kept subtrees.
+}

@@ -1,0 +1,238 @@
+//! The physical XQuery `GroupBy` of Section 5.
+//!
+//! `GroupBy[qAgg, qIndices, qNulls]{Op2}{Op1}(Op0)`:
+//!
+//! 1. tuples from `Op0` are stably sorted ascending by the integer values
+//!    of the `qIndices` fields and partitioned on equal values;
+//! 2. the **pre-grouping** operator `Op1` is applied to each tuple whose
+//!    `qNulls` flags are all false, producing items (not tuples — the
+//!    paper's partitions "contain sequences of items instead of tuples of
+//!    individual items");
+//! 3. the **post-grouping** operator `Op2` is applied once per partition to
+//!    the concatenated item sequence and bound to `qAgg`;
+//! 4. each partition yields one tuple: its first input tuple extended with
+//!    the `qAgg` field.
+//!
+//! Fig. 4 of the paper is reproduced verbatim in this module's tests.
+
+use xqr_core::algebra::{Field, Plan};
+use xqr_xml::{AtomicValue, Item, Sequence, XmlError};
+
+use crate::compare::effective_boolean_value;
+use crate::context::Ctx;
+use crate::eval::eval_dep_items;
+use crate::value::{InputVal, Table, Tuple};
+
+/// Executes a GroupBy over a materialized input table.
+#[allow(clippy::too_many_arguments)]
+pub fn execute_group_by(
+    agg: &Field,
+    index_fields: &[Field],
+    null_fields: &[Field],
+    per_partition: &Plan,
+    per_item: &Plan,
+    input: Table,
+    ctx: &mut Ctx<'_>,
+) -> xqr_xml::Result<Table> {
+    // Sort stably by the index-field vector (ascending). The unnesting
+    // pipeline produces already-sorted input; the sort makes the operator
+    // correct for any input.
+    let mut keyed: Vec<(Vec<i64>, Tuple)> = input
+        .into_iter()
+        .map(|t| {
+            let key = index_fields
+                .iter()
+                .map(|f| index_value(&t, f))
+                .collect::<xqr_xml::Result<Vec<i64>>>()?;
+            Ok((key, t))
+        })
+        .collect::<xqr_xml::Result<_>>()?;
+    keyed.sort_by(|a, b| a.0.cmp(&b.0));
+
+    let mut out = Table::new();
+    let mut i = 0;
+    while i < keyed.len() {
+        let mut j = i + 1;
+        while j < keyed.len() && keyed[j].0 == keyed[i].0 {
+            j += 1;
+        }
+        let partition = &keyed[i..j];
+        let representative = partition[0].1.clone();
+        // Pre-grouping: per-item operator on non-null tuples only.
+        let mut items: Vec<Item> = Vec::new();
+        for (_, tup) in partition {
+            if all_nulls_false(tup, null_fields)? {
+                let produced = eval_dep_items(per_item, ctx, &InputVal::Tuple(tup.clone()))?;
+                items.extend(produced.iter().cloned());
+            }
+        }
+        // Post-grouping: per-partition operator on the item sequence.
+        let agg_value = eval_dep_items(
+            per_partition,
+            ctx,
+            &InputVal::Items(Sequence::from_vec(items)),
+        )?;
+        out.push(representative.with(agg.clone(), agg_value));
+        i = j;
+    }
+    Ok(out)
+}
+
+fn index_value(t: &Tuple, field: &Field) -> xqr_xml::Result<i64> {
+    let seq = t.get(field);
+    match seq.get(0) {
+        Some(Item::Atomic(AtomicValue::Integer(i))) => Ok(*i),
+        None => Ok(0),
+        other => Err(XmlError::new(
+            "XQRT0006",
+            format!("GroupBy index field {field} is not an integer: {other:?}"),
+        )),
+    }
+}
+
+fn all_nulls_false(t: &Tuple, null_fields: &[Field]) -> xqr_xml::Result<bool> {
+    for f in null_fields {
+        let seq = t.get(f);
+        if !seq.is_empty() && effective_boolean_value(&seq)? {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+    use xqr_core::algebra::Op;
+    use xqr_core::compile::CompiledModule;
+    use xqr_core::Plan;
+    use xqr_types::Schema;
+
+    fn empty_module() -> CompiledModule {
+        CompiledModule {
+            functions: HashMap::new(),
+            globals: Vec::new(),
+            body: Plan::new(Op::Empty),
+        }
+    }
+
+    fn int_field(name: &str, v: i64) -> (Field, Sequence) {
+        (name.into(), Sequence::integers([v]))
+    }
+
+    fn bool_field(name: &str, v: bool) -> (Field, Sequence) {
+        (name.into(), Sequence::singleton(AtomicValue::Boolean(v)))
+    }
+
+    /// Reproduces **Fig. 4** exactly: input/output of the GroupBy for
+    /// `for $x in (1,1,3) let $a := avg(for $y in (1,2) where $x <= $y
+    /// return $y * 10) return ($x, $a)`.
+    #[test]
+    fn figure4_input_output() {
+        let module = empty_module();
+        let schema = Schema::new();
+        let docs = HashMap::new();
+        let mut ctx = Ctx::new(&module, &schema, &docs, crate::JoinAlgorithm::Hash);
+
+        // Input table from the paper's Fig. 4.
+        let rows: Vec<(i64, Option<i64>, i64, bool)> = vec![
+            (1, Some(1), 1, false),
+            (1, Some(2), 1, false),
+            (1, Some(1), 2, false),
+            (1, Some(2), 2, false),
+            (3, None, 3, true),
+        ];
+        let input: Table = rows
+            .into_iter()
+            .map(|(x, y, index, null)| {
+                let mut fields = vec![int_field("x", x)];
+                if let Some(y) = y {
+                    fields.push(int_field("y", y));
+                }
+                fields.push(int_field("index", index));
+                fields.push(bool_field("null", null));
+                Tuple::from_fields(fields)
+            })
+            .collect();
+
+        // Pre-grouping operator: IN#y * 10.
+        let per_item = Plan::call(
+            "fs:numeric-multiply",
+            vec![Plan::in_field("y"), Plan::scalar(AtomicValue::Integer(10))],
+        );
+        // Post-grouping operator: avg(IN).
+        let per_partition = Plan::call("avg", vec![Plan::input()]);
+
+        let out = execute_group_by(
+            &Field::from("a"),
+            &["index".into()],
+            &["null".into()],
+            &per_partition,
+            &per_item,
+            input,
+            &mut ctx,
+        )
+        .unwrap();
+
+        // Expected output (paper Fig. 4): (x=1, a=15), (x=1, a=15), (x=3, a=()).
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0].get("x"), Sequence::integers([1]));
+        assert_eq!(out[0].get("a").atomized()[0].string_value(), "15");
+        assert_eq!(out[1].get("x"), Sequence::integers([1]));
+        assert_eq!(out[1].get("a").atomized()[0].string_value(), "15");
+        assert_eq!(out[2].get("x"), Sequence::integers([3]));
+        assert!(out[2].get("a").is_empty(), "null partition aggregates the empty sequence");
+    }
+
+    #[test]
+    fn trivial_group_by_single_partition() {
+        // No index fields: everything in one partition (the trivial GroupBy
+        // introduced by the (insert group-by) rule before map-through).
+        let module = empty_module();
+        let schema = Schema::new();
+        let docs = HashMap::new();
+        let mut ctx = Ctx::new(&module, &schema, &docs, crate::JoinAlgorithm::Hash);
+        let input: Table = (1..=3)
+            .map(|v| Tuple::from_fields(vec![int_field("y", v), bool_field("null", false)]))
+            .collect();
+        let out = execute_group_by(
+            &Field::from("a"),
+            &[],
+            &["null".into()],
+            &Plan::call("count", vec![Plan::input()]),
+            &Plan::new(Op::FieldAccess { field: "y".into(), input: Plan::boxed(Op::Input) }),
+            input,
+            &mut ctx,
+        )
+        .unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].get("a"), Sequence::integers([3]));
+    }
+
+    #[test]
+    fn unsorted_input_is_regrouped() {
+        let module = empty_module();
+        let schema = Schema::new();
+        let docs = HashMap::new();
+        let mut ctx = Ctx::new(&module, &schema, &docs, crate::JoinAlgorithm::Hash);
+        let input: Table = [2, 1, 2, 1]
+            .iter()
+            .map(|&k| Tuple::from_fields(vec![int_field("index", k), int_field("v", k * 10)]))
+            .collect();
+        let out = execute_group_by(
+            &Field::from("a"),
+            &["index".into()],
+            &[],
+            &Plan::call("count", vec![Plan::input()]),
+            &Plan::new(Op::FieldAccess { field: "v".into(), input: Plan::boxed(Op::Input) }),
+            input,
+            &mut ctx,
+        )
+        .unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].get("index"), Sequence::integers([1]));
+        assert_eq!(out[1].get("index"), Sequence::integers([2]));
+        assert_eq!(out[0].get("a"), Sequence::integers([2]));
+    }
+}

@@ -1,0 +1,447 @@
+//! The direct Core interpreter — the paper's **"No algebra"** baseline
+//! (Table 3, first row).
+//!
+//! Reproduces the original Galax evaluation strategy: expressions are
+//! evaluated directly off the normalized Core AST; variables live in a
+//! QName-keyed dynamic context that is *searched* at each reference (the
+//! paper attributes a large part of the algebra's 4× speedup to replacing
+//! those "dynamic lookups in the dynamic context by direct compiled memory
+//! access"); FLWOR tuple streams are materialized as vectors of
+//! environment maps; every nested block re-evaluates per binding
+//! (nested-loop semantics throughout, no join or unnesting optimization).
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use xqr_frontend::core_ast::{CoreClause, CoreExpr, CoreModule, CoreOrderSpec};
+use xqr_types::Schema;
+use xqr_xml::axes::tree_join;
+use xqr_xml::{AtomicValue, NodeHandle, QName, Sequence, XmlError};
+
+use crate::compare::{atomize_optional, effective_boolean_value, order_key_compare};
+use crate::eval::{construct_attribute, construct_element, construct_text};
+use crate::functions::{call_builtin, is_builtin, BuiltinCtx};
+
+/// A persistent environment: a linked list searched front-to-back — the
+/// deliberate "dynamic lookup" of the baseline.
+#[derive(Clone, Default)]
+struct Env(Option<Rc<EnvNode>>);
+
+struct EnvNode {
+    name: QName,
+    value: Sequence,
+    parent: Env,
+}
+
+impl Env {
+    fn bind(&self, name: QName, value: Sequence) -> Env {
+        Env(Some(Rc::new(EnvNode { name, value, parent: self.clone() })))
+    }
+
+    fn lookup(&self, name: &QName) -> Option<Sequence> {
+        let mut cur = &self.0;
+        while let Some(node) = cur {
+            if &node.name == name {
+                return Some(node.value.clone());
+            }
+            cur = &node.parent.0;
+        }
+        None
+    }
+}
+
+struct Interp<'a> {
+    module: &'a CoreModule,
+    schema: &'a Schema,
+    documents: &'a HashMap<String, NodeHandle>,
+    globals: HashMap<QName, Sequence>,
+    depth: usize,
+}
+
+/// Evaluates a normalized Core module directly (no algebra).
+pub fn eval_core_module(
+    module: &CoreModule,
+    schema: &Schema,
+    documents: &HashMap<String, NodeHandle>,
+    externals: HashMap<QName, Sequence>,
+) -> xqr_xml::Result<Sequence> {
+    let mut it = Interp { module, schema, documents, globals: externals, depth: 0 };
+    for (name, value) in &module.variables {
+        if let Some(v) = value {
+            let evaluated = it.eval(v, &Env::default())?;
+            it.globals.insert(name.clone(), evaluated);
+        } else if !it.globals.contains_key(name) {
+            return Err(XmlError::new(
+                "XPDY0002",
+                format!("external variable ${name} was not bound"),
+            ));
+        }
+    }
+    it.eval(&module.body, &Env::default())
+}
+
+impl<'a> Interp<'a> {
+    fn eval(&mut self, e: &CoreExpr, env: &Env) -> xqr_xml::Result<Sequence> {
+        match e {
+            CoreExpr::Literal(v) => Ok(Sequence::singleton(v.clone())),
+            CoreExpr::Var(q) => env
+                .lookup(q)
+                .or_else(|| self.globals.get(q).cloned())
+                .ok_or_else(|| XmlError::new("XPDY0002", format!("unbound variable ${q}"))),
+            CoreExpr::Seq(items) => {
+                let mut out = Sequence::empty();
+                for i in items {
+                    out = out.concat(&self.eval(i, env)?);
+                }
+                Ok(out)
+            }
+            CoreExpr::Empty => Ok(Sequence::empty()),
+            CoreExpr::Flwor { clauses, ret } => {
+                let envs = self.clause_stream(clauses, env)?;
+                let mut out = Sequence::empty();
+                for e2 in envs {
+                    out = out.concat(&self.eval(ret, &e2)?);
+                }
+                Ok(out)
+            }
+            CoreExpr::Quantified { every, clauses, satisfies } => {
+                let envs = self.clause_stream(clauses, env)?;
+                for e2 in envs {
+                    let v = self.eval(satisfies, &e2)?;
+                    let b = effective_boolean_value(&v)?;
+                    if *every && !b {
+                        return Ok(Sequence::singleton(AtomicValue::Boolean(false)));
+                    }
+                    if !*every && b {
+                        return Ok(Sequence::singleton(AtomicValue::Boolean(true)));
+                    }
+                }
+                Ok(Sequence::singleton(AtomicValue::Boolean(*every)))
+            }
+            CoreExpr::Typeswitch { var, input, cases, default } => {
+                let v = self.eval(input, env)?;
+                let env = env.bind(var.clone(), v.clone());
+                for (st, body) in cases {
+                    if st.matches(&v, self.schema) {
+                        return self.eval(body, &env);
+                    }
+                }
+                self.eval(default, &env)
+            }
+            CoreExpr::If { cond, then, els } => {
+                let c = self.eval(cond, env)?;
+                if effective_boolean_value(&c)? {
+                    self.eval(then, env)
+                } else {
+                    self.eval(els, env)
+                }
+            }
+            CoreExpr::Step { input, axis, test } => {
+                let items = self.eval(input, env)?;
+                tree_join(&items, *axis, test, self.schema)
+            }
+            CoreExpr::Call { name, args } => {
+                let mut argv = Vec::with_capacity(args.len());
+                for a in args {
+                    argv.push(self.eval(a, env)?);
+                }
+                self.call(name, argv)
+            }
+            CoreExpr::ElementCtor { name, content } => {
+                let q = self.resolve_name(name, env)?;
+                let items = self.eval(content, env)?;
+                Ok(Sequence::singleton_item(construct_element(&q, &items)?))
+            }
+            CoreExpr::AttributeCtor { name, content } => {
+                let q = self.resolve_name(name, env)?;
+                let items = self.eval(content, env)?;
+                Ok(Sequence::singleton_item(construct_attribute(&q, &items)?))
+            }
+            CoreExpr::TextCtor(c) => {
+                let items = self.eval(c, env)?;
+                construct_text(&items)
+            }
+            CoreExpr::CommentCtor(c) => {
+                let items = self.eval(c, env)?;
+                let mut b = xqr_xml::TreeBuilder::new();
+                let s: Vec<String> =
+                    items.atomized().iter().map(|a| a.string_value()).collect();
+                b.comment(&s.join(" "));
+                Ok(Sequence::singleton(b.finish(None).root()))
+            }
+            CoreExpr::PiCtor { target, content } => {
+                let items = self.eval(content, env)?;
+                let mut b = xqr_xml::TreeBuilder::new();
+                let s: Vec<String> =
+                    items.atomized().iter().map(|a| a.string_value()).collect();
+                b.pi(target, &s.join(" "));
+                Ok(Sequence::singleton(b.finish(None).root()))
+            }
+            CoreExpr::DocumentCtor(c) => {
+                let items = self.eval(c, env)?;
+                let mut b = xqr_xml::TreeBuilder::new();
+                b.start_document();
+                for item in items.iter() {
+                    match item {
+                        xqr_xml::Item::Node(n) => b.copy_node(n),
+                        xqr_xml::Item::Atomic(a) => b.text(&a.string_value()),
+                    }
+                }
+                b.end_document();
+                Ok(Sequence::singleton(b.try_finish(None)?.root()))
+            }
+            CoreExpr::Cast { expr, ty, optional } => {
+                let items = self.eval(expr, env)?;
+                match atomize_optional(&items)? {
+                    Some(a) => Ok(Sequence::singleton(xqr_types::cast_atomic(&a, *ty)?)),
+                    None if *optional => Ok(Sequence::empty()),
+                    None => Err(XmlError::new("XPTY0004", "cast of an empty sequence")),
+                }
+            }
+            CoreExpr::Castable { expr, ty, optional } => {
+                let items = self.eval(expr, env)?;
+                let ok = match atomize_optional(&items) {
+                    Ok(Some(a)) => xqr_types::cast_atomic(&a, *ty).is_ok(),
+                    Ok(None) => *optional,
+                    Err(_) => false,
+                };
+                Ok(Sequence::singleton(AtomicValue::Boolean(ok)))
+            }
+            CoreExpr::TypeAssert { expr, st } => {
+                let items = self.eval(expr, env)?;
+                st.assert(&items, self.schema)
+            }
+            CoreExpr::InstanceOf { expr, st } => {
+                let items = self.eval(expr, env)?;
+                Ok(Sequence::singleton(AtomicValue::Boolean(st.matches(&items, self.schema))))
+            }
+            CoreExpr::Validate { mode, expr } => {
+                let items = self.eval(expr, env)?;
+                xqr_types::validate_sequence(&items, self.schema, *mode)
+            }
+        }
+    }
+
+    /// Materializes the FLWOR tuple stream as environment vectors.
+    fn clause_stream(&mut self, clauses: &[CoreClause], env: &Env) -> xqr_xml::Result<Vec<Env>> {
+        let mut envs = vec![env.clone()];
+        for clause in clauses {
+            match clause {
+                CoreClause::For { var, at, as_type, expr } => {
+                    let mut next = Vec::new();
+                    for e2 in &envs {
+                        let items = self.eval(expr, e2)?;
+                        for (i, item) in items.iter().enumerate() {
+                            let v = Sequence::singleton_item(item.clone());
+                            if let Some(st) = as_type {
+                                let single = xqr_types::SequenceType::new(
+                                    st.item.clone(),
+                                    xqr_types::Occurrence::One,
+                                );
+                                single.assert(&v, self.schema)?;
+                            }
+                            let mut bound = e2.bind(var.clone(), v);
+                            if let Some(at_var) = at {
+                                bound = bound.bind(
+                                    at_var.clone(),
+                                    Sequence::integers([i as i64 + 1]),
+                                );
+                            }
+                            next.push(bound);
+                        }
+                    }
+                    envs = next;
+                }
+                CoreClause::Let { var, as_type, expr } => {
+                    let mut next = Vec::with_capacity(envs.len());
+                    for e2 in &envs {
+                        let mut v = self.eval(expr, e2)?;
+                        if let Some(st) = as_type {
+                            v = st.assert(&v, self.schema)?;
+                        }
+                        next.push(e2.bind(var.clone(), v));
+                    }
+                    envs = next;
+                }
+                CoreClause::Where(pred) => {
+                    let mut next = Vec::with_capacity(envs.len());
+                    for e2 in envs {
+                        let v = self.eval(pred, &e2)?;
+                        if effective_boolean_value(&v)? {
+                            next.push(e2);
+                        }
+                    }
+                    envs = next;
+                }
+                CoreClause::OrderBy(specs) => {
+                    envs = self.order_envs(specs, envs)?;
+                }
+            }
+        }
+        Ok(envs)
+    }
+
+    fn order_envs(
+        &mut self,
+        specs: &[CoreOrderSpec],
+        envs: Vec<Env>,
+    ) -> xqr_xml::Result<Vec<Env>> {
+        let mut keyed: Vec<(Vec<Sequence>, Env)> = Vec::with_capacity(envs.len());
+        for e in envs {
+            let mut keys = Vec::with_capacity(specs.len());
+            for s in specs {
+                keys.push(self.eval(&s.key, &e)?);
+            }
+            keyed.push((keys, e));
+        }
+        let mut err = None;
+        keyed.sort_by(|a, b| {
+            for (i, s) in specs.iter().enumerate() {
+                match order_key_compare(&a.0[i], &b.0[i], s.empty_least) {
+                    Ok(ord) => {
+                        let ord = if s.descending { ord.reverse() } else { ord };
+                        if ord != std::cmp::Ordering::Equal {
+                            return ord;
+                        }
+                    }
+                    Err(e) => {
+                        if err.is_none() {
+                            err = Some(e);
+                        }
+                        return std::cmp::Ordering::Equal;
+                    }
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        if let Some(e) = err {
+            return Err(e);
+        }
+        Ok(keyed.into_iter().map(|(_, e)| e).collect())
+    }
+
+    fn call(&mut self, name: &QName, argv: Vec<Sequence>) -> xqr_xml::Result<Sequence> {
+        let local = name.local_part();
+        if is_builtin(local) {
+            let bctx = BuiltinCtx { documents: Some(self.documents) };
+            return call_builtin(local, &argv, &bctx);
+        }
+        let func = self
+            .module
+            .functions
+            .iter()
+            .find(|f| &f.name == name)
+            .cloned()
+            .ok_or_else(|| XmlError::new("XPST0017", format!("unknown function {name}()")))?;
+        if func.params.len() != argv.len() {
+            return Err(XmlError::new(
+                "XPST0017",
+                format!("{name}() expects {} arguments", func.params.len()),
+            ));
+        }
+        self.depth += 1;
+        if self.depth > 200 {
+            self.depth -= 1;
+            return Err(XmlError::new("XQRT0005", "function recursion limit exceeded"));
+        }
+        let mut env = Env::default();
+        for ((p, ty), v) in func.params.iter().zip(argv) {
+            if let Some(st) = ty {
+                st.assert(&v, self.schema)?;
+            }
+            env = env.bind(p.clone(), v);
+        }
+        let result = self.eval(&func.body, &env);
+        self.depth -= 1;
+        let v = result?;
+        if let Some(st) = &func.return_type {
+            st.assert(&v, self.schema)?;
+        }
+        Ok(v)
+    }
+
+    fn resolve_name(
+        &mut self,
+        name: &Result<QName, Box<CoreExpr>>,
+        env: &Env,
+    ) -> xqr_xml::Result<QName> {
+        match name {
+            Ok(q) => Ok(q.clone()),
+            Err(e) => {
+                let items = self.eval(e, env)?;
+                let a = atomize_optional(&items)?
+                    .ok_or_else(|| XmlError::new("XPTY0004", "empty constructor name"))?;
+                match a {
+                    AtomicValue::QName(q) => Ok(q),
+                    other => {
+                        let s = other.string_value();
+                        Ok(match s.split_once(':') {
+                            Some((p, l)) => QName::full(Some(p), None, l),
+                            None => QName::local(&s),
+                        })
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Small extension trait: singleton from an `Item`.
+trait SeqExt {
+    fn singleton_item(item: xqr_xml::Item) -> Sequence;
+}
+
+impl SeqExt for Sequence {
+    fn singleton_item(item: xqr_xml::Item) -> Sequence {
+        Sequence::from_vec(vec![item])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_shadowing_and_lookup_order() {
+        let env = Env::default()
+            .bind(QName::local("x"), Sequence::integers([1]))
+            .bind(QName::local("y"), Sequence::integers([2]))
+            .bind(QName::local("x"), Sequence::integers([3]));
+        assert_eq!(env.lookup(&QName::local("x")), Some(Sequence::integers([3])));
+        assert_eq!(env.lookup(&QName::local("y")), Some(Sequence::integers([2])));
+        assert_eq!(env.lookup(&QName::local("z")), None);
+    }
+
+    #[test]
+    fn env_is_persistent() {
+        let base = Env::default().bind(QName::local("x"), Sequence::integers([1]));
+        let extended = base.bind(QName::local("x"), Sequence::integers([2]));
+        // The original binding is untouched by the extension.
+        assert_eq!(base.lookup(&QName::local("x")), Some(Sequence::integers([1])));
+        assert_eq!(extended.lookup(&QName::local("x")), Some(Sequence::integers([2])));
+    }
+
+    #[test]
+    fn module_evaluation_with_globals() {
+        let module = xqr_frontend::frontend(
+            "declare variable $base := 10; \
+             declare variable $derived := $base * 2; \
+             $base + $derived",
+        )
+        .unwrap();
+        let schema = Schema::new();
+        let docs = HashMap::new();
+        let out = eval_core_module(&module, &schema, &docs, HashMap::new()).unwrap();
+        assert_eq!(out, Sequence::integers([30]));
+    }
+
+    #[test]
+    fn missing_external_is_an_error() {
+        let module =
+            xqr_frontend::frontend("declare variable $missing external; $missing").unwrap();
+        let schema = Schema::new();
+        let docs = HashMap::new();
+        let err = eval_core_module(&module, &schema, &docs, HashMap::new()).unwrap_err();
+        assert_eq!(err.code, "XPDY0002");
+    }
+}

@@ -1,0 +1,36 @@
+//! # xqr-runtime — physical evaluation
+//!
+//! Executes logical plans from `xqr-core`:
+//!
+//! * [`value`] — tuples, tables, and the values flowing between operators;
+//! * [`context`] — the dynamic context (globals, function frames, document
+//!   resolver, schema, join-algorithm selection);
+//! * [`compare`] — effective boolean value, `op:equal` with promotion, the
+//!   full general-comparison semantics (atomization + existential
+//!   quantification + `fs:convert-operand`), and XQuery ordering;
+//! * [`functions`] — the built-in function library (`fn:`, `op:`, `fs:`);
+//! * [`eval`] — the plan evaluator;
+//! * [`groupby`] — the physical XQuery `GroupBy` of Section 5 (pre-grouping
+//!   per-item operator, post-grouping per-partition operator, index/null
+//!   fields — Fig. 4);
+//! * [`joins`] — the join algorithms of Section 6: order-preserving
+//!   nested-loop, the typed **hash join** of Fig. 6 (`materialize` /
+//!   `allMatches` / `equalityJoin` over `(value, type)` keys), and an
+//!   order-preserving B-tree (sort) join;
+//! * [`interp`] — the direct Core interpreter, reproducing the paper's "No
+//!   algebra" baseline (dynamic variable lookups in a QName-keyed context,
+//!   no tuple pipeline).
+
+pub mod compare;
+pub mod context;
+pub mod eval;
+pub mod functions;
+pub mod groupby;
+pub mod interp;
+pub mod joins;
+pub mod value;
+
+pub use context::{Ctx, JoinAlgorithm};
+pub use eval::eval_plan;
+pub use interp::eval_core_module;
+pub use value::{InputVal, Table, Tuple, Value};

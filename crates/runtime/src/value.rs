@@ -1,0 +1,165 @@
+//! Tuples, tables, and operator values.
+//!
+//! Tuples are immutable records of (field → item sequence); cloning is an
+//! `Rc` bump. There is no NULL value — absent fields read as the empty
+//! sequence, and the outer operators add boolean flag fields instead
+//! (paper, Section 3: "we do not model nulls with a special value").
+
+use std::rc::Rc;
+
+use xqr_core::Field;
+use xqr_xml::{Sequence, XmlError};
+
+/// An immutable tuple.
+#[derive(Clone, Debug, Default)]
+pub struct Tuple(Rc<Vec<(Field, Sequence)>>);
+
+impl Tuple {
+    pub fn empty() -> Tuple {
+        Tuple(Rc::new(Vec::new()))
+    }
+
+    pub fn from_fields(fields: Vec<(Field, Sequence)>) -> Tuple {
+        Tuple(Rc::new(fields))
+    }
+
+    /// Field access — absent fields are the empty sequence.
+    pub fn get(&self, field: &str) -> Sequence {
+        self.0
+            .iter()
+            .find(|(f, _)| &**f == field)
+            .map(|(_, s)| s.clone())
+            .unwrap_or_default()
+    }
+
+    pub fn has(&self, field: &str) -> bool {
+        self.0.iter().any(|(f, _)| &**f == field)
+    }
+
+    /// Tuple concatenation (`++`): right side wins on (rare) collisions.
+    pub fn concat(&self, other: &Tuple) -> Tuple {
+        if self.0.is_empty() {
+            return other.clone();
+        }
+        if other.0.is_empty() {
+            return self.clone();
+        }
+        let mut v: Vec<(Field, Sequence)> = Vec::with_capacity(self.0.len() + other.0.len());
+        for (f, s) in self.0.iter() {
+            if !other.has(f) {
+                v.push((f.clone(), s.clone()));
+            }
+        }
+        v.extend(other.0.iter().cloned());
+        Tuple(Rc::new(v))
+    }
+
+    /// Extends with one more field.
+    pub fn with(&self, field: Field, value: Sequence) -> Tuple {
+        let mut v: Vec<(Field, Sequence)> = (*self.0).clone();
+        v.retain(|(f, _)| f != &field);
+        v.push((field, value));
+        Tuple(Rc::new(v))
+    }
+
+    pub fn fields(&self) -> impl Iterator<Item = (&Field, &Sequence)> {
+        self.0.iter().map(|(f, s)| (f, s))
+    }
+
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+/// An ordered table of tuples.
+pub type Table = Vec<Tuple>;
+
+/// A value produced by an operator: an item sequence or a table.
+#[derive(Clone, Debug)]
+pub enum Value {
+    Items(Sequence),
+    Table(Table),
+}
+
+impl Value {
+    pub fn empty_items() -> Value {
+        Value::Items(Sequence::empty())
+    }
+
+    pub fn into_items(self) -> xqr_xml::Result<Sequence> {
+        match self {
+            Value::Items(s) => Ok(s),
+            Value::Table(_) => Err(XmlError::new(
+                "XQRT0001",
+                "expected an item sequence, found a tuple table",
+            )),
+        }
+    }
+
+    pub fn into_table(self) -> xqr_xml::Result<Table> {
+        match self {
+            Value::Table(t) => Ok(t),
+            Value::Items(_) => Err(XmlError::new(
+                "XQRT0002",
+                "expected a tuple table, found an item sequence",
+            )),
+        }
+    }
+}
+
+/// The value bound to `IN` while evaluating a dependent sub-operator.
+#[derive(Clone, Debug)]
+pub enum InputVal {
+    /// A tuple (Select predicates, MapConcat deps, per-item GroupBy op, …).
+    Tuple(Tuple),
+    /// A single item (MapFromItem deps).
+    Item(xqr_xml::Item),
+    /// An item sequence (GroupBy per-partition op).
+    Items(Sequence),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absent_fields_are_empty() {
+        let t = Tuple::empty();
+        assert!(t.get("x").is_empty());
+        assert!(!t.has("x"));
+    }
+
+    #[test]
+    fn concat_and_with() {
+        let a = Tuple::from_fields(vec![("x".into(), Sequence::integers([1]))]);
+        let b = Tuple::from_fields(vec![("y".into(), Sequence::integers([2]))]);
+        let c = a.concat(&b);
+        assert_eq!(c.get("x").len(), 1);
+        assert_eq!(c.get("y").len(), 1);
+        let d = c.with("x".into(), Sequence::integers([7, 8]));
+        assert_eq!(d.get("x").len(), 2);
+        assert_eq!(d.len(), 2, "with() replaces rather than duplicates");
+    }
+
+    #[test]
+    fn concat_right_wins() {
+        let a = Tuple::from_fields(vec![("x".into(), Sequence::integers([1]))]);
+        let b = Tuple::from_fields(vec![("x".into(), Sequence::integers([2]))]);
+        let c = a.concat(&b);
+        assert_eq!(c.len(), 1);
+        assert_eq!(
+            c.get("x").get(0).unwrap().as_atomic().unwrap(),
+            &xqr_xml::AtomicValue::Integer(2)
+        );
+    }
+
+    #[test]
+    fn value_coercions() {
+        assert!(Value::Items(Sequence::empty()).into_table().is_err());
+        assert!(Value::Table(vec![]).into_items().is_err());
+    }
+}

@@ -1,0 +1,261 @@
+//! The casting matrix: `cast as` / constructor-function semantics for the
+//! atomic types the engine supports.
+
+use xqr_xml::temporal::{Date, DateTime, Duration, Time};
+use xqr_xml::{atomic, AtomicType, AtomicValue, Decimal, XmlError};
+
+/// Casts an atomic value to a target atomic type, per XQuery semantics.
+/// Returns `FORG0001` on lexical failures and `XPTY0004` on unsupported
+/// source/target combinations.
+pub fn cast_atomic(v: &AtomicValue, to: AtomicType) -> xqr_xml::Result<AtomicValue> {
+    use AtomicType as T;
+    let ty = v.type_of();
+    if ty == to {
+        return Ok(v.clone());
+    }
+    // Everything casts to string / untypedAtomic via the canonical form.
+    match to {
+        T::String => return Ok(AtomicValue::string(v.string_value())),
+        T::UntypedAtomic => return Ok(AtomicValue::untyped(v.string_value())),
+        _ => {}
+    }
+    // From string / untypedAtomic: parse the lexical form.
+    if matches!(ty, T::String | T::UntypedAtomic) {
+        return cast_from_string(&v.string_value(), to);
+    }
+    // Numeric conversions.
+    match (v, to) {
+        (AtomicValue::Integer(i), T::Decimal) => Ok(AtomicValue::Decimal(Decimal::from_i64(*i))),
+        (AtomicValue::Integer(i), T::Double) => Ok(AtomicValue::Double(*i as f64)),
+        (AtomicValue::Integer(i), T::Float) => Ok(AtomicValue::Float(*i as f32)),
+        (AtomicValue::Decimal(d), T::Integer) => Ok(AtomicValue::Integer(d.trunc_to_i64())),
+        (AtomicValue::Decimal(d), T::Double) => Ok(AtomicValue::Double(d.to_f64())),
+        (AtomicValue::Decimal(d), T::Float) => Ok(AtomicValue::Float(d.to_f64() as f32)),
+        (AtomicValue::Double(d), T::Integer) => {
+            if d.is_finite() {
+                Ok(AtomicValue::Integer(d.trunc() as i64))
+            } else {
+                Err(XmlError::new("FOCA0002", "cannot cast non-finite double to integer"))
+            }
+        }
+        (AtomicValue::Double(d), T::Decimal) => Ok(AtomicValue::Decimal(Decimal::from_f64(*d)?)),
+        (AtomicValue::Double(d), T::Float) => Ok(AtomicValue::Float(*d as f32)),
+        (AtomicValue::Float(f), T::Integer) => {
+            if f.is_finite() {
+                Ok(AtomicValue::Integer(f.trunc() as i64))
+            } else {
+                Err(XmlError::new("FOCA0002", "cannot cast non-finite float to integer"))
+            }
+        }
+        (AtomicValue::Float(f), T::Decimal) => {
+            Ok(AtomicValue::Decimal(Decimal::from_f64(*f as f64)?))
+        }
+        (AtomicValue::Float(f), T::Double) => Ok(AtomicValue::Double(*f as f64)),
+        // Boolean ↔ numeric.
+        (AtomicValue::Boolean(b), T::Integer) => Ok(AtomicValue::Integer(*b as i64)),
+        (AtomicValue::Boolean(b), T::Decimal) => {
+            Ok(AtomicValue::Decimal(Decimal::from_i64(*b as i64)))
+        }
+        (AtomicValue::Boolean(b), T::Double) => Ok(AtomicValue::Double(*b as i64 as f64)),
+        (AtomicValue::Boolean(b), T::Float) => Ok(AtomicValue::Float(*b as i64 as f32)),
+        (AtomicValue::Integer(i), T::Boolean) => Ok(AtomicValue::Boolean(*i != 0)),
+        (AtomicValue::Decimal(d), T::Boolean) => Ok(AtomicValue::Boolean(*d != Decimal::ZERO)),
+        (AtomicValue::Double(d), T::Boolean) => Ok(AtomicValue::Boolean(*d != 0.0 && !d.is_nan())),
+        (AtomicValue::Float(f), T::Boolean) => Ok(AtomicValue::Boolean(*f != 0.0 && !f.is_nan())),
+        // anyURI → string is handled above; string → anyURI below via parse.
+        (AtomicValue::DateTime(dt), T::Date) => Ok(AtomicValue::Date(dt.date)),
+        (AtomicValue::DateTime(dt), T::Time) => Ok(AtomicValue::Time(Time {
+            millis: dt.millis,
+            tz_minutes: dt.date.tz_minutes,
+        })),
+        (AtomicValue::Date(d), T::DateTime) => {
+            Ok(AtomicValue::DateTime(DateTime { date: *d, millis: 0 }))
+        }
+        _ => Err(XmlError::new(
+            "XPTY0004",
+            format!("cannot cast {} to {}", ty, to),
+        )),
+    }
+}
+
+/// Casts from a lexical (string) form to a target type.
+pub fn cast_from_string(s: &str, to: AtomicType) -> xqr_xml::Result<AtomicValue> {
+    use AtomicType as T;
+    let trimmed = s.trim();
+    Ok(match to {
+        T::String => AtomicValue::string(s),
+        T::UntypedAtomic => AtomicValue::untyped(s),
+        T::Boolean => AtomicValue::Boolean(AtomicValue::parse_boolean(trimmed)?),
+        T::Integer => AtomicValue::Integer(AtomicValue::parse_integer(trimmed)?),
+        T::Decimal => AtomicValue::Decimal(Decimal::parse(trimmed)?),
+        T::Double => AtomicValue::Double(AtomicValue::parse_double(trimmed)?),
+        T::Float => AtomicValue::Float(AtomicValue::parse_double(trimmed)? as f32),
+        T::AnyUri => AtomicValue::AnyUri(trimmed.into()),
+        T::Date => AtomicValue::Date(Date::parse(trimmed)?),
+        T::Time => AtomicValue::Time(Time::parse(trimmed)?),
+        T::DateTime => AtomicValue::DateTime(DateTime::parse(trimmed)?),
+        T::Duration => AtomicValue::Duration(Duration::parse(trimmed)?),
+        T::HexBinary => {
+            if !trimmed.len().is_multiple_of(2) || !trimmed.bytes().all(|b| b.is_ascii_hexdigit()) {
+                return Err(XmlError::new("FORG0001", "invalid hexBinary"));
+            }
+            let bytes: Vec<u8> = (0..trimmed.len())
+                .step_by(2)
+                .map(|i| u8::from_str_radix(&trimmed[i..i + 2], 16).unwrap())
+                .collect();
+            AtomicValue::HexBinary(bytes.into())
+        }
+        T::Base64Binary => AtomicValue::Base64Binary(atomic::base64_decode(trimmed)?.into()),
+        T::GYear => AtomicValue::GYear(
+            trimmed
+                .parse()
+                .map_err(|_| XmlError::new("FORG0001", "invalid gYear"))?,
+        ),
+        T::GMonth => {
+            let body = trimmed
+                .strip_prefix("--")
+                .ok_or_else(|| XmlError::new("FORG0001", "invalid gMonth"))?;
+            AtomicValue::GMonth(
+                body.parse().map_err(|_| XmlError::new("FORG0001", "invalid gMonth"))?,
+            )
+        }
+        T::GDay => {
+            let body = trimmed
+                .strip_prefix("---")
+                .ok_or_else(|| XmlError::new("FORG0001", "invalid gDay"))?;
+            AtomicValue::GDay(body.parse().map_err(|_| XmlError::new("FORG0001", "invalid gDay"))?)
+        }
+        T::GYearMonth => {
+            let (y, m) = trimmed
+                .rsplit_once('-')
+                .ok_or_else(|| XmlError::new("FORG0001", "invalid gYearMonth"))?;
+            AtomicValue::GYearMonth(
+                y.parse().map_err(|_| XmlError::new("FORG0001", "invalid gYearMonth"))?,
+                m.parse().map_err(|_| XmlError::new("FORG0001", "invalid gYearMonth"))?,
+            )
+        }
+        T::GMonthDay => {
+            let body = trimmed
+                .strip_prefix("--")
+                .ok_or_else(|| XmlError::new("FORG0001", "invalid gMonthDay"))?;
+            let (m, d) = body
+                .split_once('-')
+                .ok_or_else(|| XmlError::new("FORG0001", "invalid gMonthDay"))?;
+            AtomicValue::GMonthDay(
+                m.parse().map_err(|_| XmlError::new("FORG0001", "invalid gMonthDay"))?,
+                d.parse().map_err(|_| XmlError::new("FORG0001", "invalid gMonthDay"))?,
+            )
+        }
+        T::QName | T::Notation => {
+            return Err(XmlError::new(
+                "XPTY0004",
+                format!("casting strings to {to} requires static context; unsupported"),
+            ))
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn string_to_numerics() {
+        assert_eq!(cast_from_string("42", AtomicType::Integer).unwrap(), AtomicValue::Integer(42));
+        assert_eq!(
+            cast_from_string(" 2.5 ", AtomicType::Decimal).unwrap().string_value(),
+            "2.5"
+        );
+        assert_eq!(cast_from_string("1e2", AtomicType::Double).unwrap(), AtomicValue::Double(100.0));
+        assert!(cast_from_string("abc", AtomicType::Integer).is_err());
+    }
+
+    #[test]
+    fn untyped_behaves_like_string_source() {
+        let u = AtomicValue::untyped("7");
+        assert_eq!(cast_atomic(&u, AtomicType::Integer).unwrap(), AtomicValue::Integer(7));
+        assert_eq!(
+            cast_atomic(&u, AtomicType::Double).unwrap(),
+            AtomicValue::Double(7.0)
+        );
+    }
+
+    #[test]
+    fn everything_to_string() {
+        assert_eq!(
+            cast_atomic(&AtomicValue::Integer(5), AtomicType::String).unwrap(),
+            AtomicValue::string("5")
+        );
+        assert_eq!(
+            cast_atomic(&AtomicValue::Boolean(true), AtomicType::String).unwrap(),
+            AtomicValue::string("true")
+        );
+    }
+
+    #[test]
+    fn numeric_conversions() {
+        assert_eq!(
+            cast_atomic(&AtomicValue::Double(2.9), AtomicType::Integer).unwrap(),
+            AtomicValue::Integer(2)
+        );
+        assert_eq!(
+            cast_atomic(&AtomicValue::Decimal(Decimal::parse("-3.7").unwrap()), AtomicType::Integer)
+                .unwrap(),
+            AtomicValue::Integer(-3)
+        );
+        assert!(cast_atomic(&AtomicValue::Double(f64::NAN), AtomicType::Integer).is_err());
+    }
+
+    #[test]
+    fn boolean_casts() {
+        assert_eq!(
+            cast_atomic(&AtomicValue::Integer(0), AtomicType::Boolean).unwrap(),
+            AtomicValue::Boolean(false)
+        );
+        assert_eq!(
+            cast_atomic(&AtomicValue::Double(f64::NAN), AtomicType::Boolean).unwrap(),
+            AtomicValue::Boolean(false)
+        );
+        assert_eq!(
+            cast_atomic(&AtomicValue::Boolean(true), AtomicType::Double).unwrap(),
+            AtomicValue::Double(1.0)
+        );
+    }
+
+    #[test]
+    fn temporal_casts() {
+        let dt = cast_from_string("2001-02-03T04:05:06Z", AtomicType::DateTime).unwrap();
+        let d = cast_atomic(&dt, AtomicType::Date).unwrap();
+        assert_eq!(d.string_value(), "2001-02-03Z");
+        let t = cast_atomic(&dt, AtomicType::Time).unwrap();
+        assert_eq!(t.string_value(), "04:05:06Z");
+    }
+
+    #[test]
+    fn binary_casts() {
+        let h = cast_from_string("0aFF", AtomicType::HexBinary).unwrap();
+        assert_eq!(h.string_value(), "0AFF");
+        assert!(cast_from_string("0a1", AtomicType::HexBinary).is_err());
+        let b = cast_from_string("Zm9v", AtomicType::Base64Binary).unwrap();
+        assert_eq!(b.string_value(), "Zm9v");
+    }
+
+    #[test]
+    fn gregorian_casts() {
+        assert_eq!(
+            cast_from_string("--02-29", AtomicType::GMonthDay).unwrap(),
+            AtomicValue::GMonthDay(2, 29)
+        );
+        assert_eq!(cast_from_string("---15", AtomicType::GDay).unwrap(), AtomicValue::GDay(15));
+        assert_eq!(
+            cast_from_string("2004-07", AtomicType::GYearMonth).unwrap(),
+            AtomicValue::GYearMonth(2004, 7)
+        );
+    }
+
+    #[test]
+    fn unsupported_casts_error() {
+        assert!(cast_atomic(&AtomicValue::Boolean(true), AtomicType::Date).is_err());
+        assert!(cast_from_string("p:n", AtomicType::QName).is_err());
+    }
+}

@@ -1,0 +1,130 @@
+//! The atomic-type derivation and promotion lattice.
+//!
+//! Derivation (per XML Schema): `xs:integer` derives from `xs:decimal`;
+//! every atomic type derives from `xs:anyAtomicType`. Promotion (per XQuery
+//! F&O): `xs:decimal` promotes to `xs:float` promotes to `xs:double`;
+//! `xs:anyURI` promotes to `xs:string`.
+
+use xqr_xml::{AtomicType, AtomicValue, Decimal, XmlError};
+
+/// Reflexive-transitive derivation between *atomic* types.
+pub fn atomic_derives_from(sub: AtomicType, sup: AtomicType) -> bool {
+    if sub == sup {
+        return true;
+    }
+    matches!((sub, sup), (AtomicType::Integer, AtomicType::Decimal))
+}
+
+/// Can `from` be promoted to `to` (not counting derivation)?
+pub fn promotes_to(from: AtomicType, to: AtomicType) -> bool {
+    use AtomicType::*;
+    matches!(
+        (from, to),
+        (Integer, Decimal)
+            | (Integer, Float)
+            | (Integer, Double)
+            | (Decimal, Float)
+            | (Decimal, Double)
+            | (Float, Double)
+            | (AnyUri, String)
+    )
+}
+
+/// Substitutability for function arguments / comparisons:
+/// derivation or promotion.
+pub fn substitutes_for(actual: AtomicType, expected: AtomicType) -> bool {
+    atomic_derives_from(actual, expected) || promotes_to(actual, expected)
+}
+
+/// The widest of two numeric types under promotion, when both are numeric.
+pub fn widest_numeric(a: AtomicType, b: AtomicType) -> Option<AtomicType> {
+    use AtomicType::*;
+    if !a.is_numeric() || !b.is_numeric() {
+        return None;
+    }
+    let rank = |t: AtomicType| match t {
+        Integer => 0,
+        Decimal => 1,
+        Float => 2,
+        Double => 3,
+        _ => unreachable!("numeric"),
+    };
+    Some(if rank(a) >= rank(b) { a } else { b })
+}
+
+/// Promotes a numeric value to the given numeric type (which must be at
+/// least as wide). Non-numeric input or narrowing requests are errors.
+pub fn promote_numeric(v: &AtomicValue, to: AtomicType) -> xqr_xml::Result<AtomicValue> {
+    use AtomicType as T;
+    let err = || {
+        XmlError::new(
+            "XPTY0004",
+            format!("cannot promote {} to {}", v.type_of(), to),
+        )
+    };
+    match (v, to) {
+        (AtomicValue::Integer(_), T::Integer)
+        | (AtomicValue::Decimal(_), T::Decimal)
+        | (AtomicValue::Float(_), T::Float)
+        | (AtomicValue::Double(_), T::Double) => Ok(v.clone()),
+        (AtomicValue::Integer(i), T::Decimal) => Ok(AtomicValue::Decimal(Decimal::from_i64(*i))),
+        (AtomicValue::Integer(i), T::Float) => Ok(AtomicValue::Float(*i as f32)),
+        (AtomicValue::Integer(i), T::Double) => Ok(AtomicValue::Double(*i as f64)),
+        (AtomicValue::Decimal(d), T::Float) => Ok(AtomicValue::Float(d.to_f64() as f32)),
+        (AtomicValue::Decimal(d), T::Double) => Ok(AtomicValue::Double(d.to_f64())),
+        (AtomicValue::Float(f), T::Double) => Ok(AtomicValue::Double(*f as f64)),
+        (AtomicValue::AnyUri(u), T::String) => Ok(AtomicValue::String(u.clone())),
+        _ => Err(err()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derivation() {
+        assert!(atomic_derives_from(AtomicType::Integer, AtomicType::Decimal));
+        assert!(atomic_derives_from(AtomicType::Integer, AtomicType::Integer));
+        assert!(!atomic_derives_from(AtomicType::Decimal, AtomicType::Integer));
+        assert!(!atomic_derives_from(AtomicType::String, AtomicType::Decimal));
+    }
+
+    #[test]
+    fn promotion_lattice() {
+        assert!(promotes_to(AtomicType::Integer, AtomicType::Double));
+        assert!(promotes_to(AtomicType::Decimal, AtomicType::Float));
+        assert!(promotes_to(AtomicType::Float, AtomicType::Double));
+        assert!(promotes_to(AtomicType::AnyUri, AtomicType::String));
+        assert!(!promotes_to(AtomicType::Double, AtomicType::Float));
+        assert!(!promotes_to(AtomicType::String, AtomicType::AnyUri));
+    }
+
+    #[test]
+    fn widest() {
+        assert_eq!(
+            widest_numeric(AtomicType::Integer, AtomicType::Double),
+            Some(AtomicType::Double)
+        );
+        assert_eq!(
+            widest_numeric(AtomicType::Decimal, AtomicType::Integer),
+            Some(AtomicType::Decimal)
+        );
+        assert_eq!(widest_numeric(AtomicType::String, AtomicType::Integer), None);
+    }
+
+    #[test]
+    fn numeric_value_promotion() {
+        let five = AtomicValue::Integer(5);
+        assert_eq!(
+            promote_numeric(&five, AtomicType::Double).unwrap(),
+            AtomicValue::Double(5.0)
+        );
+        assert_eq!(
+            promote_numeric(&five, AtomicType::Decimal).unwrap(),
+            AtomicValue::Decimal(Decimal::from_i64(5))
+        );
+        assert!(promote_numeric(&AtomicValue::Double(1.0), AtomicType::Float).is_err());
+        assert!(promote_numeric(&AtomicValue::string("x"), AtomicType::Double).is_err());
+    }
+}

@@ -1,0 +1,32 @@
+//! # xqr-types — the XQuery type substrate
+//!
+//! Everything the compiler and runtime need from XML Schema and the XQuery
+//! type system:
+//!
+//! * [`hierarchy`] — the atomic-type derivation/promotion lattice
+//!   (`xs:integer` ⊑ `xs:decimal`, numeric promotion to `xs:float`/
+//!   `xs:double`, `xs:anyURI` promotion to `xs:string`);
+//! * [`convert`] — `fs:convert-operand` exactly per **Table 2** of the
+//!   paper, plus the comparable-type computation and the
+//!   `promoteToSimpleTypes` enumeration used by the hash join (Fig. 6);
+//! * [`cast`] — the casting matrix (`cast as`, constructor functions);
+//! * [`sequence_type`] — `item()`, atomic, and kind-test sequence types
+//!   with occurrence indicators; `instance of` matching and `TypeAssert`;
+//! * [`schema`] / [`validate`] — a lightweight named-type schema and a
+//!   validation pass that annotates trees with type names and typed values
+//!   (the substrate behind the algebra's `Validate` operator and
+//!   `element(*, T)` kind tests).
+
+pub mod cast;
+pub mod convert;
+pub mod hierarchy;
+pub mod schema;
+pub mod sequence_type;
+pub mod validate;
+
+pub use cast::cast_atomic;
+pub use convert::{comparable_types, convert_operand, promote_to_simple_types, table2_target};
+pub use hierarchy::{atomic_derives_from, promote_numeric, widest_numeric};
+pub use schema::{ContentKind, Schema, TypeDef};
+pub use sequence_type::{ItemType, Occurrence, SequenceType};
+pub use validate::{validate_sequence, ValidationMode};

@@ -1,0 +1,193 @@
+//! A lightweight named-type schema substrate.
+//!
+//! The paper relies on schema validation only to (a) annotate nodes with
+//! named types so `element(*, T)` kind tests, `Validate` and `TypeAssert`
+//! are meaningful, and (b) produce typed atomic values for atomization.
+//! This module provides exactly that: named type definitions with
+//! single-inheritance derivation, element/attribute declarations mapping
+//! names to types, and a [`xqr_xml::node::TypeHierarchy`] implementation.
+//! It deliberately does not implement the rest of W3C XML Schema (content
+//! models, facets, …) — see DESIGN.md §4.
+
+use std::collections::HashMap;
+
+use xqr_xml::node::TypeHierarchy;
+use xqr_xml::{AtomicType, QName};
+
+/// What kind of content a named type has.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ContentKind {
+    /// Element-only or mixed content; no typed value.
+    Complex,
+    /// Simple content: atomizes to the given atomic type.
+    Simple(AtomicType),
+}
+
+/// A named type definition.
+#[derive(Clone, Debug)]
+pub struct TypeDef {
+    pub name: QName,
+    /// Base type for derivation (defaults to `xs:anyType`).
+    pub base: Option<QName>,
+    pub content: ContentKind,
+}
+
+/// A schema: named types plus element/attribute declarations.
+///
+/// Element declarations are matched *by name*, anywhere in the tree
+/// (a simplification over XSD's positional declarations, documented in
+/// DESIGN.md).
+#[derive(Clone, Debug, Default)]
+pub struct Schema {
+    types: HashMap<QName, TypeDef>,
+    elements: HashMap<QName, QName>,
+    attributes: HashMap<QName, QName>,
+}
+
+impl Schema {
+    pub fn new() -> Self {
+        Schema::default()
+    }
+
+    /// Declares a named complex type, optionally derived from `base`.
+    pub fn complex_type(&mut self, name: &str, base: Option<&str>) -> &mut Self {
+        let q = QName::local(name);
+        self.types.insert(
+            q.clone(),
+            TypeDef { name: q, base: base.map(QName::local), content: ContentKind::Complex },
+        );
+        self
+    }
+
+    /// Declares a named simple-content type whose value space is `atomic`.
+    pub fn simple_type(&mut self, name: &str, atomic: AtomicType, base: Option<&str>) -> &mut Self {
+        let q = QName::local(name);
+        self.types.insert(
+            q.clone(),
+            TypeDef {
+                name: q,
+                base: base.map(QName::local),
+                content: ContentKind::Simple(atomic),
+            },
+        );
+        self
+    }
+
+    /// Declares that elements named `element` have type `type_name`.
+    pub fn element(&mut self, element: &str, type_name: &str) -> &mut Self {
+        self.elements.insert(QName::local(element), QName::local(type_name));
+        self
+    }
+
+    /// Declares that attributes named `attribute` have type `type_name`.
+    pub fn attribute(&mut self, attribute: &str, type_name: &str) -> &mut Self {
+        self.attributes.insert(QName::local(attribute), QName::local(type_name));
+        self
+    }
+
+    pub fn type_def(&self, name: &QName) -> Option<&TypeDef> {
+        self.types.get(name)
+    }
+
+    pub fn element_type(&self, name: &QName) -> Option<&QName> {
+        self.elements.get(name)
+    }
+
+    pub fn attribute_type(&self, name: &QName) -> Option<&QName> {
+        self.attributes.get(name)
+    }
+
+    /// The atomic type a named type atomizes to, walking the base chain.
+    pub fn atomic_of(&self, name: &QName) -> Option<AtomicType> {
+        let mut cur = Some(name.clone());
+        let mut fuel = 64;
+        while let Some(q) = cur {
+            if fuel == 0 {
+                return None;
+            }
+            fuel -= 1;
+            match self.types.get(&q) {
+                Some(TypeDef { content: ContentKind::Simple(a), .. }) => return Some(*a),
+                Some(TypeDef { base, .. }) => cur = base.clone(),
+                None => {
+                    // Built-in atomic type name, possibly written with its
+                    // conventional prefix ("xs:integer").
+                    let local = q.local_part().rsplit(':').next().unwrap_or(q.local_part());
+                    return AtomicType::by_local_name(local);
+                }
+            }
+        }
+        None
+    }
+}
+
+impl TypeHierarchy for Schema {
+    fn derives_from(&self, sub: &QName, sup: &QName) -> bool {
+        if sup.local_part() == "anyType" {
+            return true;
+        }
+        let mut cur = Some(sub.clone());
+        let mut fuel = 64;
+        while let Some(q) = cur {
+            if fuel == 0 {
+                return false;
+            }
+            fuel -= 1;
+            if &q == sup {
+                return true;
+            }
+            cur = self.types.get(&q).and_then(|t| t.base.clone());
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn auction_schema() -> Schema {
+        let mut s = Schema::new();
+        s.complex_type("Auction", None)
+            .complex_type("USSeller", Some("Seller"))
+            .complex_type("Seller", None)
+            .simple_type("Price", AtomicType::Decimal, None)
+            .element("closed_auction", "Auction")
+            .element("price", "Price")
+            .attribute("id", "xs:string");
+        s
+    }
+
+    #[test]
+    fn derivation_chain() {
+        let s = auction_schema();
+        let us = QName::local("USSeller");
+        let seller = QName::local("Seller");
+        let auction = QName::local("Auction");
+        assert!(s.derives_from(&us, &seller));
+        assert!(s.derives_from(&us, &us));
+        assert!(!s.derives_from(&seller, &us));
+        assert!(!s.derives_from(&us, &auction));
+        assert!(s.derives_from(&us, &QName::local("anyType")));
+    }
+
+    #[test]
+    fn element_lookup_and_atomic_of() {
+        let s = auction_schema();
+        assert_eq!(
+            s.element_type(&QName::local("closed_auction")),
+            Some(&QName::local("Auction"))
+        );
+        assert_eq!(s.atomic_of(&QName::local("Price")), Some(AtomicType::Decimal));
+        assert_eq!(s.atomic_of(&QName::local("Auction")), None);
+        assert_eq!(s.atomic_of(&QName::local("string")), Some(AtomicType::String));
+    }
+
+    #[test]
+    fn cycle_safety() {
+        let mut s = Schema::new();
+        s.complex_type("A", Some("B")).complex_type("B", Some("A"));
+        assert!(!s.derives_from(&QName::local("A"), &QName::local("C")));
+        assert_eq!(s.atomic_of(&QName::local("A")), None);
+    }
+}

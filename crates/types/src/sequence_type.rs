@@ -1,0 +1,263 @@
+//! Sequence types, `instance of` matching, and `TypeAssert`.
+//!
+//! A [`SequenceType`] is an item type plus an occurrence indicator, e.g.
+//! `element(*, Auction)*` from the paper's running example, `xs:integer?`,
+//! `item()+`, or `empty-sequence()`.
+
+use std::fmt;
+
+use xqr_xml::axes::{kind_test_matches, KindTest};
+use xqr_xml::{AtomicType, Item, Sequence, XmlError};
+
+use crate::hierarchy::atomic_derives_from;
+use crate::schema::Schema;
+
+/// Occurrence indicators.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Occurrence {
+    /// exactly one
+    One,
+    /// `?` — zero or one
+    Optional,
+    /// `*` — zero or more
+    Star,
+    /// `+` — one or more
+    Plus,
+}
+
+impl Occurrence {
+    pub fn accepts(self, len: usize) -> bool {
+        match self {
+            Occurrence::One => len == 1,
+            Occurrence::Optional => len <= 1,
+            Occurrence::Star => true,
+            Occurrence::Plus => len >= 1,
+        }
+    }
+
+    pub fn symbol(self) -> &'static str {
+        match self {
+            Occurrence::One => "",
+            Occurrence::Optional => "?",
+            Occurrence::Star => "*",
+            Occurrence::Plus => "+",
+        }
+    }
+}
+
+/// Item types.
+#[derive(Clone, PartialEq, Debug)]
+pub enum ItemType {
+    /// `item()`
+    AnyItem,
+    /// A (built-in) atomic type, e.g. `xs:integer`.
+    Atomic(AtomicType),
+    /// A node kind test, e.g. `element(*, Auction)`, `text()`.
+    Kind(KindTest),
+}
+
+/// A full sequence type; `empty-sequence()` is encoded with the
+/// [`SequenceType::empty_sequence`] constructor (an explicit flag).
+#[derive(Clone, PartialEq, Debug)]
+pub struct SequenceType {
+    pub item: ItemType,
+    pub occ: Occurrence,
+    /// True for `empty-sequence()`.
+    pub empty_only: bool,
+}
+
+impl SequenceType {
+    pub fn new(item: ItemType, occ: Occurrence) -> Self {
+        SequenceType { item, occ, empty_only: false }
+    }
+
+    pub fn empty_sequence() -> Self {
+        SequenceType { item: ItemType::AnyItem, occ: Occurrence::Star, empty_only: true }
+    }
+
+    pub fn one(item: ItemType) -> Self {
+        SequenceType::new(item, Occurrence::One)
+    }
+
+    pub fn star(item: ItemType) -> Self {
+        SequenceType::new(item, Occurrence::Star)
+    }
+
+    /// `instance of` — the algebra's `TypeMatches` operator.
+    pub fn matches(&self, seq: &Sequence, schema: &Schema) -> bool {
+        if self.empty_only {
+            return seq.is_empty();
+        }
+        if !self.occ.accepts(seq.len()) {
+            return false;
+        }
+        seq.iter().all(|item| self.item_matches(item, schema))
+    }
+
+    fn item_matches(&self, item: &Item, schema: &Schema) -> bool {
+        match (&self.item, item) {
+            (ItemType::AnyItem, _) => true,
+            (ItemType::Atomic(t), Item::Atomic(a)) => atomic_derives_from(a.type_of(), *t),
+            (ItemType::Atomic(_), Item::Node(_)) => false,
+            (ItemType::Kind(kt), Item::Node(n)) => kind_test_matches(kt, n, schema),
+            (ItemType::Kind(_), Item::Atomic(_)) => false,
+        }
+    }
+
+    /// The algebra's `TypeAssert[Type]` operator: identity when the
+    /// sequence matches, dynamic error `XPDY0050` otherwise.
+    pub fn assert(&self, seq: &Sequence, schema: &Schema) -> xqr_xml::Result<Sequence> {
+        if self.matches(seq, schema) {
+            Ok(seq.clone())
+        } else {
+            Err(XmlError::new(
+                "XPDY0050",
+                format!("sequence does not match required type {self}"),
+            ))
+        }
+    }
+}
+
+impl fmt::Display for SequenceType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.empty_only {
+            return write!(f, "empty-sequence()");
+        }
+        match &self.item {
+            ItemType::AnyItem => write!(f, "item()")?,
+            ItemType::Atomic(t) => write!(f, "{t}")?,
+            ItemType::Kind(kt) => write!(f, "{}", kind_test_display(kt))?,
+        }
+        write!(f, "{}", self.occ.symbol())
+    }
+}
+
+/// Renders a kind test in the paper's notation.
+pub fn kind_test_display(kt: &KindTest) -> String {
+    match kt {
+        KindTest::AnyKind => "node()".into(),
+        KindTest::Text => "text()".into(),
+        KindTest::Comment => "comment()".into(),
+        KindTest::Pi(None) => "processing-instruction()".into(),
+        KindTest::Pi(Some(t)) => format!("processing-instruction({t})"),
+        KindTest::Document => "document-node()".into(),
+        KindTest::Element(name, ty) => {
+            let n = name.as_ref().map_or("*".to_string(), |nt| {
+                nt.local.clone().unwrap_or_else(|| "*".into())
+            });
+            match ty {
+                Some(t) => format!("element({n},{})", t.local_part()),
+                None => format!("element({n})"),
+            }
+        }
+        KindTest::Attribute(name, ty) => {
+            let n = name.as_ref().map_or("*".to_string(), |nt| {
+                nt.local.clone().unwrap_or_else(|| "*".into())
+            });
+            match ty {
+                Some(t) => format!("attribute({n},{})", t.local_part()),
+                None => format!("attribute({n})"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xqr_xml::axes::NameTest;
+    use xqr_xml::{AtomicValue, QName, TreeBuilder};
+
+    fn schema() -> Schema {
+        let mut s = Schema::new();
+        s.complex_type("Auction", None).complex_type("USAuction", Some("Auction"));
+        s
+    }
+
+    fn typed_element(name: &str, ty: Option<&str>) -> Item {
+        let mut b = TreeBuilder::new();
+        b.start_element(QName::local(name));
+        if let Some(t) = ty {
+            b.annotate_type(QName::local(t), None);
+        }
+        b.end_element();
+        Item::Node(b.finish(None).root())
+    }
+
+    #[test]
+    fn occurrence_indicators() {
+        let st = SequenceType::new(ItemType::Atomic(AtomicType::Integer), Occurrence::Plus);
+        assert!(!st.matches(&Sequence::empty(), &schema()));
+        assert!(st.matches(&Sequence::integers([1]), &schema()));
+        assert!(st.matches(&Sequence::integers([1, 2]), &schema()));
+        let opt = SequenceType::new(ItemType::Atomic(AtomicType::Integer), Occurrence::Optional);
+        assert!(opt.matches(&Sequence::empty(), &schema()));
+        assert!(!opt.matches(&Sequence::integers([1, 2]), &schema()));
+    }
+
+    #[test]
+    fn empty_sequence_type() {
+        let st = SequenceType::empty_sequence();
+        assert!(st.matches(&Sequence::empty(), &schema()));
+        assert!(!st.matches(&Sequence::integers([1]), &schema()));
+    }
+
+    #[test]
+    fn atomic_matching_uses_derivation() {
+        let st = SequenceType::one(ItemType::Atomic(AtomicType::Decimal));
+        assert!(st.matches(&Sequence::integers([1]), &schema()), "integer ⊑ decimal");
+        let st_int = SequenceType::one(ItemType::Atomic(AtomicType::Integer));
+        assert!(!st_int.matches(
+            &Sequence::from_atomics(vec![AtomicValue::Double(1.0)]),
+            &schema()
+        ));
+    }
+
+    #[test]
+    fn element_kind_test_with_type() {
+        // element(*, Auction)* — the paper's running type assertion.
+        let st = SequenceType::star(ItemType::Kind(KindTest::Element(
+            None,
+            Some(QName::local("Auction")),
+        )));
+        let s = schema();
+        let us = typed_element("closed_auction", Some("USAuction"));
+        let untyped = typed_element("closed_auction", None);
+        assert!(st.matches(&Sequence::from_vec(vec![us.clone()]), &s), "derived type matches");
+        assert!(!st.matches(&Sequence::from_vec(vec![untyped]), &s), "untyped does not");
+        assert!(st.matches(&Sequence::empty(), &s));
+        // With a name test too.
+        let st_named = SequenceType::one(ItemType::Kind(KindTest::Element(
+            Some(NameTest::local("open_auction")),
+            None,
+        )));
+        assert!(!st_named.matches(&Sequence::from_vec(vec![us]), &s));
+    }
+
+    #[test]
+    fn assert_is_identity_or_error() {
+        let st = SequenceType::star(ItemType::Atomic(AtomicType::Integer));
+        let seq = Sequence::integers([1, 2]);
+        assert_eq!(st.assert(&seq, &schema()).unwrap().len(), 2);
+        let bad = Sequence::from_atomics(vec![AtomicValue::string("x")]);
+        assert_eq!(st.assert(&bad, &schema()).unwrap_err().code, "XPDY0050");
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(
+            SequenceType::star(ItemType::Kind(KindTest::Element(
+                None,
+                Some(QName::local("Auction"))
+            )))
+            .to_string(),
+            "element(*,Auction)*"
+        );
+        assert_eq!(
+            SequenceType::new(ItemType::Atomic(AtomicType::Integer), Occurrence::Optional)
+                .to_string(),
+            "xs:integer?"
+        );
+        assert_eq!(SequenceType::empty_sequence().to_string(), "empty-sequence()");
+    }
+}

@@ -1,0 +1,227 @@
+//! Validation — the algebra's `Validate` operator.
+//!
+//! Walks a node tree, annotating each element/attribute with the type its
+//! (by-name) declaration assigns, and computing typed values for
+//! simple-content types. Produces an annotated *copy* (fresh node
+//! identities, per the XQuery `validate` expression).
+
+use std::rc::Rc;
+
+use xqr_xml::node::{Document, NodeHandle, NodeKind};
+use xqr_xml::{Item, QName, Sequence, TreeBuilder, XmlError};
+
+use crate::cast::cast_from_string;
+use crate::schema::{ContentKind, Schema};
+
+/// Validation modes per XQuery.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ValidationMode {
+    /// Undeclared elements are left untyped.
+    Lax,
+    /// Undeclared elements are an error (`XQDY0084`).
+    Strict,
+}
+
+/// Validates each node of a sequence, returning annotated copies.
+/// Atomic items are rejected (`XQTY0030`).
+pub fn validate_sequence(
+    seq: &Sequence,
+    schema: &Schema,
+    mode: ValidationMode,
+) -> xqr_xml::Result<Sequence> {
+    let mut out = Vec::with_capacity(seq.len());
+    for item in seq.iter() {
+        match item {
+            Item::Node(n) => out.push(Item::Node(validate_node(n, schema, mode)?)),
+            Item::Atomic(_) => {
+                return Err(XmlError::new("XQTY0030", "validate applied to an atomic value"))
+            }
+        }
+    }
+    Ok(Sequence::from_vec(out))
+}
+
+/// Validates a single node tree, returning the annotated copy's root.
+pub fn validate_node(
+    node: &NodeHandle,
+    schema: &Schema,
+    mode: ValidationMode,
+) -> xqr_xml::Result<NodeHandle> {
+    let mut b = TreeBuilder::new();
+    let is_doc = node.kind() == NodeKind::Document;
+    if is_doc {
+        b.start_document();
+        for c in node.children() {
+            copy_validated(&mut b, &c, schema, mode)?;
+        }
+        b.end_document();
+    } else {
+        copy_validated(&mut b, node, schema, mode)?;
+    }
+    let doc: Rc<Document> = b.try_finish(None)?;
+    Ok(doc.root())
+}
+
+fn copy_validated(
+    b: &mut TreeBuilder,
+    node: &NodeHandle,
+    schema: &Schema,
+    mode: ValidationMode,
+) -> xqr_xml::Result<()> {
+    match node.kind() {
+        NodeKind::Element => {
+            let name = node.name().expect("element has a name").clone();
+            let decl = schema.element_type(&name).cloned();
+            if decl.is_none() && mode == ValidationMode::Strict {
+                return Err(XmlError::new(
+                    "XQDY0084",
+                    format!("no declaration for element {name}"),
+                ));
+            }
+            b.start_element(name);
+            if let Some(ty) = &decl {
+                let typed = typed_value_for(node, ty, schema)?;
+                b.annotate_type(ty.clone(), typed);
+            }
+            for a in node.attributes() {
+                let aname = a.name().expect("attribute has a name").clone();
+                match schema.attribute_type(&aname) {
+                    Some(aty) => {
+                        let atomic = schema.atomic_of(aty).ok_or_else(|| {
+                            XmlError::new(
+                                "XQDY0027",
+                                format!("attribute type {aty} is not simple"),
+                            )
+                        })?;
+                        let raw = a.string_value();
+                        let tv = cast_from_string(&raw, atomic)?;
+                        b.typed_attribute(aname, &raw, aty.clone(), vec![tv]);
+                    }
+                    None => {
+                        if mode == ValidationMode::Strict {
+                            return Err(XmlError::new(
+                                "XQDY0084",
+                                format!("no declaration for attribute {aname}"),
+                            ));
+                        }
+                        b.attribute(aname, &a.string_value());
+                    }
+                }
+            }
+            for c in node.children() {
+                copy_validated(b, &c, schema, mode)?;
+            }
+            b.end_element();
+            Ok(())
+        }
+        NodeKind::Document => Err(XmlError::new(
+            "XQTY0030",
+            "nested document node during validation",
+        )),
+        // Leaves are copied verbatim.
+        _ => {
+            b.copy_node(node);
+            Ok(())
+        }
+    }
+}
+
+fn typed_value_for(
+    node: &NodeHandle,
+    type_name: &QName,
+    schema: &Schema,
+) -> xqr_xml::Result<Option<Vec<xqr_xml::AtomicValue>>> {
+    match schema.type_def(type_name).map(|t| &t.content) {
+        Some(ContentKind::Simple(atomic)) => {
+            let tv = cast_from_string(&node.string_value(), *atomic)?;
+            Ok(Some(vec![tv]))
+        }
+        Some(ContentKind::Complex) => Ok(None),
+        None => {
+            // Built-in atomic type name used directly as an element type.
+            match schema.atomic_of(type_name) {
+                Some(atomic) => {
+                    let tv = cast_from_string(&node.string_value(), atomic)?;
+                    Ok(Some(vec![tv]))
+                }
+                None => Ok(None),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xqr_xml::parse::{parse_document, ParseOptions};
+    use xqr_xml::{AtomicType, AtomicValue};
+
+    fn schema() -> Schema {
+        let mut s = Schema::new();
+        s.complex_type("Auction", None)
+            .simple_type("Price", AtomicType::Decimal, None)
+            .element("closed_auction", "Auction")
+            .element("price", "Price")
+            .attribute("id", "xs:integer");
+        s
+    }
+
+    fn doc(s: &str) -> NodeHandle {
+        parse_document(s, &ParseOptions::default()).unwrap().root()
+    }
+
+    #[test]
+    fn annotates_declared_elements() {
+        let root = doc(r#"<closed_auction id="7"><price>42.5</price></closed_auction>"#);
+        let v = validate_node(&root, &schema(), ValidationMode::Lax).unwrap();
+        let ca = &v.children()[0];
+        assert_eq!(ca.type_name().unwrap().local_part(), "Auction");
+        let price = &ca.children()[0];
+        assert_eq!(price.type_name().unwrap().local_part(), "Price");
+        assert_eq!(
+            price.typed_value(),
+            vec![AtomicValue::Decimal(xqr_xml::Decimal::parse("42.5").unwrap())]
+        );
+        let id = &ca.attributes()[0];
+        assert_eq!(id.typed_value(), vec![AtomicValue::Integer(7)]);
+    }
+
+    #[test]
+    fn lax_leaves_undeclared_untyped() {
+        let root = doc("<unknown><price>1</price></unknown>");
+        let v = validate_node(&root, &schema(), ValidationMode::Lax).unwrap();
+        let u = &v.children()[0];
+        assert!(u.type_name().is_none());
+        assert_eq!(u.children()[0].type_name().unwrap().local_part(), "Price");
+    }
+
+    #[test]
+    fn strict_errors_on_undeclared() {
+        let root = doc("<unknown/>");
+        let e = validate_node(&root, &schema(), ValidationMode::Strict).unwrap_err();
+        assert_eq!(e.code, "XQDY0084");
+    }
+
+    #[test]
+    fn invalid_simple_content_errors() {
+        let root = doc("<price>not-a-number</price>");
+        assert!(validate_node(&root, &schema(), ValidationMode::Lax).is_err());
+    }
+
+    #[test]
+    fn validation_copies_give_fresh_identity() {
+        let root = doc("<closed_auction/>");
+        let v = validate_node(&root, &schema(), ValidationMode::Lax).unwrap();
+        assert!(!v.same_node(&root));
+        assert!(!v.children()[0].same_node(&root.children()[0]));
+    }
+
+    #[test]
+    fn validate_sequence_rejects_atomics() {
+        let seq = Sequence::integers([1]);
+        assert_eq!(
+            validate_sequence(&seq, &schema(), ValidationMode::Lax).unwrap_err().code,
+            "XQTY0030"
+        );
+    }
+}

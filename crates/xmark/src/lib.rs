@@ -1,0 +1,19 @@
+//! # xqr-xmark — the XMark benchmark substrate
+//!
+//! A from-scratch, deterministic replacement for the XMark project's
+//! `xmlgen` data generator plus the twenty benchmark queries, adapted to
+//! the generated schema (the paper's Tables 3 and 4 run "XMark Queries
+//! 1–20" and the scalability subset Q8/Q9/Q10/Q12/Q20).
+//!
+//! The generator preserves the structural statistics the queries depend
+//! on: person/auction/item key–keyref links (`buyer/@person`,
+//! `itemref/@item`, `personref/@person`), optional `profile/@income` and
+//! `homepage` (Q17/Q20), interest categories (Q10), nested
+//! `parlist/listitem` descriptions (Q15/Q16), occasional "gold" in
+//! descriptions (Q14), and multi-bidder auctions (Q2/Q3/Q4).
+
+pub mod gen;
+pub mod queries;
+
+pub use gen::{generate, GenOptions};
+pub use queries::{query, QUERY_COUNT};

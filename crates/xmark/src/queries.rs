@@ -1,0 +1,215 @@
+//! The twenty XMark benchmark queries, adapted to the generated schema.
+//!
+//! Each query preserves the shape of the original benchmark query — the
+//! joins (Q8–Q12), aggregations, long paths (Q15/Q16), ordering (Q19),
+//! full-text-ish filter (Q14), and the counting query without joins (Q20)
+//! that Table 4 uses as its no-join control.
+
+/// Number of benchmark queries.
+pub const QUERY_COUNT: usize = 20;
+
+/// Returns the text of XMark query `n` (1-based) against `doc('auction.xml')`.
+pub fn query(n: usize) -> &'static str {
+    match n {
+        1 => {
+            // Return the name of the person with id person0.
+            "let $auction := doc('auction.xml') return \
+             for $b in $auction/site/people/person[@id = 'person0'] \
+             return $b/name/text()"
+        }
+        2 => {
+            // Initial increases of all open auctions.
+            "let $auction := doc('auction.xml') return \
+             for $b in $auction/site/open_auctions/open_auction \
+             return <increase>{ $b/bidder[1]/increase/text() }</increase>"
+        }
+        3 => {
+            // Auctions whose current increase is at least twice the first.
+            "let $auction := doc('auction.xml') return \
+             for $b in $auction/site/open_auctions/open_auction \
+             where zero-or-one($b/bidder[1]/increase/text()) * 2 \
+                   <= $b/bidder[last()]/increase/text() \
+             return <increase first=\"{$b/bidder[1]/increase/text()}\" \
+                    last=\"{$b/bidder[last()]/increase/text()}\"/>"
+        }
+        4 => {
+            // Auctions where person20 bid before person51 (document order).
+            "let $auction := doc('auction.xml') return \
+             for $b in $auction/site/open_auctions/open_auction \
+             where some $pr1 in $b/bidder/personref[@person = 'person20'], \
+                        $pr2 in $b/bidder/personref[@person = 'person51'] \
+                   satisfies $pr1 << $pr2 \
+             return <history>{ $b/reserve/text() }</history>"
+        }
+        5 => {
+            // How many sold items cost more than 40?
+            "let $auction := doc('auction.xml') return \
+             count(for $i in $auction/site/closed_auctions/closed_auction \
+                   where $i/price/text() >= 40 return $i/price)"
+        }
+        6 => {
+            // How many items are listed on all continents?
+            "let $auction := doc('auction.xml') return \
+             for $b in $auction/site/regions return count($b//item)"
+        }
+        7 => {
+            // How many pieces of prose are in the database?
+            "let $auction := doc('auction.xml') return \
+             for $p in $auction/site \
+             return count($p//description) + count($p//annotation) + count($p//emailaddress)"
+        }
+        8 => {
+            // How many items did each person buy? (person ⋈ closed_auction)
+            "let $auction := doc('auction.xml') return \
+             for $p in $auction/site/people/person \
+             let $a := for $t in $auction/site/closed_auctions/closed_auction \
+                       where $t/buyer/@person = $p/@id return $t \
+             return <item person=\"{$p/name/text()}\">{ count($a) }</item>"
+        }
+        9 => {
+            // Names of items each person bought in Europe (3-way join).
+            "let $auction := doc('auction.xml') return \
+             let $ca := $auction/site/closed_auctions/closed_auction return \
+             let $ei := $auction/site/regions/europe/item return \
+             for $p in $auction/site/people/person \
+             let $a := for $t in $ca \
+                       where $p/@id = $t/buyer/@person \
+                       return let $n := for $t2 in $ei \
+                                        where $t/itemref/@item = $t2/@id \
+                                        return $t2 \
+                              return <item>{ $n/name/text() }</item> \
+             return <person name=\"{$p/name/text()}\">{ $a }</person>"
+        }
+        10 => {
+            // Group customers by their interest (value join on categories).
+            "let $auction := doc('auction.xml') return \
+             for $i in distinct-values($auction/site/people/person/profile/interest/@category) \
+             let $p := for $t in $auction/site/people/person \
+                       where $t/profile/interest/@category = $i \
+                       return <personne>\
+                                <statistiques>\
+                                  <sexe>{ $t/profile/gender/text() }</sexe>\
+                                  <age>{ $t/profile/age/text() }</age>\
+                                  <education>{ $t/profile/education/text() }</education>\
+                                  <revenu>{ fn:data($t/profile/@income) }</revenu>\
+                                </statistiques>\
+                                <coordonnees>\
+                                  <nom>{ $t/name/text() }</nom>\
+                                  <rue>{ $t/address/street/text() }</rue>\
+                                  <ville>{ $t/address/city/text() }</ville>\
+                                  <pays>{ $t/address/country/text() }</pays>\
+                                  <reseau>\
+                                    <courrier>{ $t/emailaddress/text() }</courrier>\
+                                    <pagePerso>{ $t/homepage/text() }</pagePerso>\
+                                  </reseau>\
+                                </coordonnees>\
+                                <cartePaiement>{ $t/creditcard/text() }</cartePaiement>\
+                              </personne> \
+             return <categorie>{ <id>{ $i }</id>, $p }</categorie>"
+        }
+        11 => {
+            // For each person: open auctions whose initial bid fits the
+            // person's income (value inequality join — no hash key).
+            "let $auction := doc('auction.xml') return \
+             for $p in $auction/site/people/person \
+             let $l := for $i in $auction/site/open_auctions/open_auction/initial \
+                       where $p/profile/@income > 5000 * exactly-one($i/text()) \
+                       return $i \
+             return <items name=\"{$p/name/text()}\">{ count($l) }</items>"
+        }
+        12 => {
+            // Q11 restricted to incomes over 50 000.
+            "let $auction := doc('auction.xml') return \
+             for $p in $auction/site/people/person \
+             let $l := for $i in $auction/site/open_auctions/open_auction/initial \
+                       where $p/profile/@income > 5000 * exactly-one($i/text()) \
+                       return $i \
+             where $p/profile/@income > 50000 \
+             return <items person=\"{$p/profile/@income}\">{ count($l) }</items>"
+        }
+        13 => {
+            // Names and descriptions of Australian items.
+            "let $auction := doc('auction.xml') return \
+             for $i in $auction/site/regions/australia/item \
+             return <item name=\"{$i/name/text()}\">{ $i/description }</item>"
+        }
+        14 => {
+            // Items whose description contains the word 'gold'.
+            "let $auction := doc('auction.xml') return \
+             for $i in $auction/site//item \
+             where contains(string(exactly-one($i/description)), 'gold') \
+             return $i/name/text()"
+        }
+        15 => {
+            // A long path through nested descriptions.
+            "let $auction := doc('auction.xml') return \
+             for $a in $auction/site/closed_auctions/closed_auction/annotation/\
+description/parlist/listitem/text/text() \
+             return <text>{ $a }</text>"
+        }
+        16 => {
+            // Like Q15, returning the seller reference.
+            "let $auction := doc('auction.xml') return \
+             for $a in $auction/site/open_auctions/open_auction \
+             where exists($a/annotation/description/parlist/listitem/text/text()) \
+             return <person id=\"{$a/seller/@person}\"/>"
+        }
+        17 => {
+            // People without a homepage.
+            "let $auction := doc('auction.xml') return \
+             for $p in $auction/site/people/person \
+             where empty($p/homepage/text()) \
+             return <person name=\"{$p/name/text()}\"/>"
+        }
+        18 => {
+            // User-defined currency conversion over reserves.
+            "declare function local:convert($v as xs:decimal?) as xs:decimal* \
+             { 2.20371 * $v }; \
+             let $auction := doc('auction.xml') return \
+             for $i in $auction/site/open_auctions/open_auction \
+             return local:convert(zero-or-one($i/reserve/text()) cast as xs:decimal?)"
+        }
+        19 => {
+            // Items with location, alphabetical by name (order by).
+            "let $auction := doc('auction.xml') return \
+             for $b in $auction/site/regions//item \
+             let $k := $b/name/text() \
+             order by zero-or-one($b/location/text()) ascending \
+             return <item name=\"{$k}\">{ $b/location/text() }</item>"
+        }
+        20 => {
+            // Income brackets (no join — Table 4's control query).
+            "let $auction := doc('auction.xml') return \
+             <result>\
+               <preferred>{ count($auction/site/people/person/profile[@income >= 100000]) }</preferred>\
+               <standard>{ count($auction/site/people/person/profile[@income < 100000 and @income >= 30000]) }</standard>\
+               <challenge>{ count($auction/site/people/person/profile[@income < 30000]) }</challenge>\
+               <na>{ count(for $p in $auction/site/people/person \
+                           where empty($p/profile/@income) return $p) }</na>\
+             </result>"
+        }
+        other => panic!("XMark queries are numbered 1..=20, got {other}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_queries_nonempty_and_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for n in 1..=QUERY_COUNT {
+            let q = query(n);
+            assert!(!q.is_empty());
+            assert!(seen.insert(q), "duplicate query text for Q{n}");
+            assert!(q.contains("auction.xml"), "Q{n} must read the auction document");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_panics() {
+        query(21);
+    }
+}

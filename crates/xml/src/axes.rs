@@ -1,0 +1,461 @@
+//! XPath axes and node tests — the machinery behind the `TreeJoin` operator.
+//!
+//! `TreeJoin[axis, nodetest]` (paper Table 1) is "a set-at-a-time operator
+//! for navigation, which takes a set of nodes in document order and returns
+//! a set of nodes in document order after applying the given step". The
+//! entry point here is [`tree_join`].
+
+use crate::item::{Item, Sequence};
+use crate::node::{NodeHandle, NodeKind, TypeHierarchy};
+use crate::qname::QName;
+use crate::XmlError;
+
+/// The twelve XPath axes (the `namespace` axis is deprecated in XQuery and
+/// not supported).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum Axis {
+    Child,
+    Descendant,
+    DescendantOrSelf,
+    Attribute,
+    SelfAxis,
+    Parent,
+    Ancestor,
+    AncestorOrSelf,
+    FollowingSibling,
+    PrecedingSibling,
+    Following,
+    Preceding,
+}
+
+impl Axis {
+    pub fn name(self) -> &'static str {
+        match self {
+            Axis::Child => "child",
+            Axis::Descendant => "descendant",
+            Axis::DescendantOrSelf => "descendant-or-self",
+            Axis::Attribute => "attribute",
+            Axis::SelfAxis => "self",
+            Axis::Parent => "parent",
+            Axis::Ancestor => "ancestor",
+            Axis::AncestorOrSelf => "ancestor-or-self",
+            Axis::FollowingSibling => "following-sibling",
+            Axis::PrecedingSibling => "preceding-sibling",
+            Axis::Following => "following",
+            Axis::Preceding => "preceding",
+        }
+    }
+
+    pub fn by_name(s: &str) -> Option<Axis> {
+        Some(match s {
+            "child" => Axis::Child,
+            "descendant" => Axis::Descendant,
+            "descendant-or-self" => Axis::DescendantOrSelf,
+            "attribute" => Axis::Attribute,
+            "self" => Axis::SelfAxis,
+            "parent" => Axis::Parent,
+            "ancestor" => Axis::Ancestor,
+            "ancestor-or-self" => Axis::AncestorOrSelf,
+            "following-sibling" => Axis::FollowingSibling,
+            "preceding-sibling" => Axis::PrecedingSibling,
+            "following" => Axis::Following,
+            "preceding" => Axis::Preceding,
+            _ => return None,
+        })
+    }
+
+    /// Principal node kind: Attribute for the attribute axis, Element else.
+    pub fn principal_kind(self) -> NodeKind {
+        match self {
+            Axis::Attribute => NodeKind::Attribute,
+            _ => NodeKind::Element,
+        }
+    }
+}
+
+/// A name test: possibly wildcarded in the URI and/or local part.
+/// `*` = both None; `ns:*` = uri set, local None; `*:local` = uri None
+/// (distinguished from plain `local` by `any_uri`).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct NameTest {
+    pub uri: Option<String>,
+    pub local: Option<String>,
+    /// True for `*:local` (match any namespace); false means "no namespace"
+    /// when `uri` is None.
+    pub any_uri: bool,
+}
+
+impl NameTest {
+    pub fn any() -> Self {
+        NameTest { uri: None, local: None, any_uri: true }
+    }
+
+    pub fn local(name: &str) -> Self {
+        NameTest { uri: None, local: Some(name.to_string()), any_uri: false }
+    }
+
+    pub fn with_uri(uri: &str, name: &str) -> Self {
+        NameTest { uri: Some(uri.to_string()), local: Some(name.to_string()), any_uri: false }
+    }
+
+    pub fn matches(&self, name: &QName) -> bool {
+        if let Some(l) = &self.local {
+            if l != name.local_part() {
+                return false;
+            }
+        }
+        if self.any_uri {
+            return true;
+        }
+        match &self.uri {
+            Some(u) => name.uri() == Some(u.as_str()),
+            None => name.uri().is_none(),
+        }
+    }
+}
+
+/// Kind tests per XQuery sequence types.
+#[derive(Clone, PartialEq, Debug)]
+pub enum KindTest {
+    /// `node()`
+    AnyKind,
+    /// `text()`
+    Text,
+    /// `comment()`
+    Comment,
+    /// `processing-instruction(target?)`
+    Pi(Option<String>),
+    /// `document-node()`
+    Document,
+    /// `element(name-or-*, type?)`
+    Element(Option<NameTest>, Option<QName>),
+    /// `attribute(name-or-*, type?)`
+    Attribute(Option<NameTest>, Option<QName>),
+}
+
+/// A node test: either a name test (against the axis's principal node kind)
+/// or a kind test.
+#[derive(Clone, PartialEq, Debug)]
+pub enum NodeTest {
+    Name(NameTest),
+    Kind(KindTest),
+}
+
+impl NodeTest {
+    /// Does `node` satisfy this test on `axis`? Type constraints in
+    /// element/attribute kind tests consult the `types` hierarchy; untyped
+    /// nodes only satisfy a type constraint of `xs:anyType`/`xdt:untyped`.
+    pub fn matches(&self, node: &NodeHandle, axis: Axis, types: &dyn TypeHierarchy) -> bool {
+        match self {
+            NodeTest::Name(nt) => {
+                node.kind() == axis.principal_kind()
+                    && node.name().is_some_and(|n| nt.matches(n))
+            }
+            NodeTest::Kind(kt) => kind_test_matches(kt, node, types),
+        }
+    }
+}
+
+/// Kind-test matching shared with `instance of` checking in `xqr-types`.
+pub fn kind_test_matches(kt: &KindTest, node: &NodeHandle, types: &dyn TypeHierarchy) -> bool {
+    match kt {
+        KindTest::AnyKind => true,
+        KindTest::Text => node.kind() == NodeKind::Text,
+        KindTest::Comment => node.kind() == NodeKind::Comment,
+        KindTest::Pi(target) => {
+            node.kind() == NodeKind::Pi
+                && target
+                    .as_ref()
+                    .is_none_or(|t| node.name().is_some_and(|n| n.local_part() == t))
+        }
+        KindTest::Document => node.kind() == NodeKind::Document,
+        KindTest::Element(name, ty) => {
+            node.kind() == NodeKind::Element
+                && name.as_ref().is_none_or(|nt| node.name().is_some_and(|n| nt.matches(n)))
+                && type_constraint_ok(node, ty, types, "untyped")
+        }
+        KindTest::Attribute(name, ty) => {
+            node.kind() == NodeKind::Attribute
+                && name.as_ref().is_none_or(|nt| node.name().is_some_and(|n| nt.matches(n)))
+                && type_constraint_ok(node, ty, types, "untypedAtomic")
+        }
+    }
+}
+
+fn type_constraint_ok(
+    node: &NodeHandle,
+    constraint: &Option<QName>,
+    types: &dyn TypeHierarchy,
+    untyped_name: &str,
+) -> bool {
+    match constraint {
+        None => true,
+        Some(required) => {
+            let annotated = node.type_name().cloned().unwrap_or_else(|| QName::local(untyped_name));
+            types.derives_from(&annotated, required)
+        }
+    }
+}
+
+fn axis_nodes(node: &NodeHandle, axis: Axis) -> Vec<NodeHandle> {
+    match axis {
+        Axis::Child => node.children(),
+        Axis::Attribute => node.attributes(),
+        Axis::SelfAxis => vec![node.clone()],
+        Axis::Parent => node.parent().into_iter().collect(),
+        Axis::Descendant => node.descendants(),
+        Axis::DescendantOrSelf => {
+            let mut v = vec![node.clone()];
+            v.extend(node.descendants());
+            v
+        }
+        Axis::Ancestor => {
+            let mut v = Vec::new();
+            let mut cur = node.parent();
+            while let Some(p) = cur {
+                cur = p.parent();
+                v.push(p);
+            }
+            v.reverse(); // document order
+            v
+        }
+        Axis::AncestorOrSelf => {
+            let mut v = axis_nodes(node, Axis::Ancestor);
+            v.push(node.clone());
+            v
+        }
+        Axis::FollowingSibling => siblings(node, true),
+        Axis::PrecedingSibling => siblings(node, false),
+        Axis::Following => {
+            // Nodes after self in document order, excluding descendants.
+            let root = node.tree_root();
+            let key = node.order_key();
+            let desc_max = node
+                .descendants()
+                .last()
+                .map(|d| d.order_key())
+                .unwrap_or(key);
+            let mut v: Vec<NodeHandle> = Vec::new();
+            collect_subtree(&root, &mut v);
+            v.retain(|n| n.order_key() > desc_max && n.order_key() > key);
+            v
+        }
+        Axis::Preceding => {
+            // Nodes before self in document order, excluding ancestors.
+            let root = node.tree_root();
+            let key = node.order_key();
+            let mut ancestors = axis_nodes(node, Axis::Ancestor);
+            ancestors.push(root.clone());
+            let mut v: Vec<NodeHandle> = Vec::new();
+            collect_subtree(&root, &mut v);
+            v.retain(|n| {
+                n.order_key() < key && !ancestors.iter().any(|a| a.same_node(n))
+            });
+            v
+        }
+    }
+}
+
+fn collect_subtree(root: &NodeHandle, out: &mut Vec<NodeHandle>) {
+    out.push(root.clone());
+    out.extend(root.descendants());
+}
+
+fn siblings(node: &NodeHandle, following: bool) -> Vec<NodeHandle> {
+    let Some(parent) = node.parent() else {
+        return Vec::new();
+    };
+    if node.kind() == NodeKind::Attribute {
+        return Vec::new();
+    }
+    let sibs = parent.children();
+    let pos = sibs.iter().position(|s| s.same_node(node));
+    match pos {
+        Some(i) if following => sibs[i + 1..].to_vec(),
+        Some(i) => sibs[..i].to_vec(),
+        None => Vec::new(),
+    }
+}
+
+/// The `TreeJoin[axis, nodetest]` primitive: applies the step to every node
+/// of the input (erroring on non-node items, per XPTY0020), returning the
+/// result in document order without duplicates.
+pub fn tree_join(
+    input: &Sequence,
+    axis: Axis,
+    test: &NodeTest,
+    types: &dyn TypeHierarchy,
+) -> crate::Result<Sequence> {
+    let mut out: Vec<NodeHandle> = Vec::new();
+    for item in input.iter() {
+        let node = item.as_node().ok_or_else(|| {
+            XmlError::new("XPTY0020", "path step applied to a non-node item")
+        })?;
+        for candidate in axis_nodes(node, axis) {
+            if test.matches(&candidate, axis, types) {
+                out.push(candidate);
+            }
+        }
+    }
+    out.sort_by_key(|n| n.order_key());
+    out.dedup_by(|a, b| a.same_node(b));
+    Ok(Sequence::from_vec(out.into_iter().map(Item::Node).collect()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::TreeBuilder;
+    use crate::node::TrivialHierarchy;
+
+    /// <r><a i="1"><b/><c><b/></c></a><a i="2"/>text</r>
+    fn sample() -> NodeHandle {
+        let mut bld = TreeBuilder::new();
+        bld.start_document();
+        bld.start_element(QName::local("r"));
+        bld.start_element(QName::local("a"));
+        bld.attribute(QName::local("i"), "1");
+        bld.start_element(QName::local("b"));
+        bld.end_element();
+        bld.start_element(QName::local("c"));
+        bld.start_element(QName::local("b"));
+        bld.end_element();
+        bld.end_element();
+        bld.end_element();
+        bld.start_element(QName::local("a"));
+        bld.attribute(QName::local("i"), "2");
+        bld.end_element();
+        bld.text("text");
+        bld.end_element();
+        bld.end_document();
+        bld.finish(None).root()
+    }
+
+    fn names(seq: &Sequence) -> Vec<String> {
+        seq.iter()
+            .map(|i| {
+                let n = i.as_node().unwrap();
+                n.name().map(|q| q.local_part().to_string()).unwrap_or_else(|| "#text".into())
+            })
+            .collect()
+    }
+
+    fn step(input: &NodeHandle, axis: Axis, test: NodeTest) -> Sequence {
+        tree_join(&Sequence::singleton(input.clone()), axis, &test, &TrivialHierarchy).unwrap()
+    }
+
+    #[test]
+    fn child_axis_with_name_test() {
+        let doc = sample();
+        let r = step(&doc, Axis::Child, NodeTest::Name(NameTest::local("r")));
+        assert_eq!(names(&r), ["r"]);
+        let root = r.get(0).unwrap().as_node().unwrap().clone();
+        let aa = step(&root, Axis::Child, NodeTest::Name(NameTest::local("a")));
+        assert_eq!(names(&aa), ["a", "a"]);
+    }
+
+    #[test]
+    fn descendant_finds_all_in_doc_order() {
+        let doc = sample();
+        let bs = step(&doc, Axis::Descendant, NodeTest::Name(NameTest::local("b")));
+        assert_eq!(names(&bs), ["b", "b"]);
+        let keys: Vec<_> = bs.iter().map(|i| i.as_node().unwrap().order_key()).collect();
+        assert!(keys[0] < keys[1]);
+    }
+
+    #[test]
+    fn attribute_axis() {
+        let doc = sample();
+        let a_elems = step(&doc, Axis::Descendant, NodeTest::Name(NameTest::local("a")));
+        let attrs = tree_join(
+            &a_elems,
+            Axis::Attribute,
+            &NodeTest::Name(NameTest::local("i")),
+            &TrivialHierarchy,
+        )
+        .unwrap();
+        assert_eq!(attrs.len(), 2);
+        assert_eq!(attrs.get(0).unwrap().string_value(), "1");
+        assert_eq!(attrs.get(1).unwrap().string_value(), "2");
+    }
+
+    #[test]
+    fn name_test_does_not_match_attributes_on_child_axis() {
+        let doc = sample();
+        let any_child = step(&doc, Axis::Descendant, NodeTest::Name(NameTest::any()));
+        // Elements only — not the text node, not attributes.
+        assert_eq!(names(&any_child), ["r", "a", "b", "c", "b", "a"]);
+    }
+
+    #[test]
+    fn kind_tests() {
+        let doc = sample();
+        let texts = step(&doc, Axis::Descendant, NodeTest::Kind(KindTest::Text));
+        assert_eq!(texts.len(), 1);
+        assert_eq!(texts.get(0).unwrap().string_value(), "text");
+        let all = step(&doc, Axis::Descendant, NodeTest::Kind(KindTest::AnyKind));
+        assert_eq!(all.len(), 7); // 6 elements + 1 text (attributes not on descendant)
+    }
+
+    #[test]
+    fn parent_and_ancestor() {
+        let doc = sample();
+        let bs = step(&doc, Axis::Descendant, NodeTest::Name(NameTest::local("b")));
+        let deep_b = bs.get(1).unwrap().as_node().unwrap().clone();
+        let anc = step(&deep_b, Axis::Ancestor, NodeTest::Name(NameTest::any()));
+        assert_eq!(names(&anc), ["r", "a", "c"]);
+        let par = step(&deep_b, Axis::Parent, NodeTest::Kind(KindTest::AnyKind));
+        assert_eq!(names(&par), ["c"]);
+    }
+
+    #[test]
+    fn sibling_axes() {
+        let doc = sample();
+        let aa = step(&doc, Axis::Descendant, NodeTest::Name(NameTest::local("a")));
+        let first_a = aa.get(0).unwrap().as_node().unwrap().clone();
+        let foll = step(&first_a, Axis::FollowingSibling, NodeTest::Kind(KindTest::AnyKind));
+        assert_eq!(names(&foll), ["a", "#text"]);
+        let second_a = aa.get(1).unwrap().as_node().unwrap().clone();
+        let prec = step(&second_a, Axis::PrecedingSibling, NodeTest::Kind(KindTest::AnyKind));
+        assert_eq!(names(&prec), ["a"]);
+    }
+
+    #[test]
+    fn following_and_preceding() {
+        let doc = sample();
+        let cs = step(&doc, Axis::Descendant, NodeTest::Name(NameTest::local("c")));
+        let c = cs.get(0).unwrap().as_node().unwrap().clone();
+        let foll = step(&c, Axis::Following, NodeTest::Kind(KindTest::AnyKind));
+        assert_eq!(names(&foll), ["a", "#text"]);
+        let prec = step(&c, Axis::Preceding, NodeTest::Kind(KindTest::AnyKind));
+        assert_eq!(names(&prec), ["b"]);
+    }
+
+    #[test]
+    fn dedup_across_input_nodes() {
+        let doc = sample();
+        let aa = step(&doc, Axis::Descendant, NodeTest::Name(NameTest::local("a")));
+        // Both <a> nodes plus the root: descendants overlap; output must dedup.
+        let mut input: Vec<Item> = aa.items().to_vec();
+        input.push(Item::Node(doc.clone()));
+        let out = tree_join(
+            &Sequence::from_vec(input),
+            Axis::Descendant,
+            &NodeTest::Name(NameTest::local("b")),
+            &TrivialHierarchy,
+        )
+        .unwrap();
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn non_node_input_is_type_error() {
+        let r = tree_join(
+            &Sequence::integers([1]),
+            Axis::Child,
+            &NodeTest::Kind(KindTest::AnyKind),
+            &TrivialHierarchy,
+        );
+        assert_eq!(r.unwrap_err().code, "XPTY0020");
+    }
+}

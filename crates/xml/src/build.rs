@@ -1,0 +1,253 @@
+//! Tree construction.
+//!
+//! [`TreeBuilder`] assigns node ids in creation order; callers must emit
+//! nodes in document order (the builder's start/end API makes that the only
+//! possibility), which is what gives [`crate::node::NodeHandle::order_key`]
+//! its meaning. Used by the XML parser, by element/attribute constructor
+//! operators (which deep-copy their content per XQuery semantics), and by
+//! validation when producing annotated copies.
+
+use std::rc::Rc;
+
+use crate::atomic::AtomicValue;
+use crate::node::{Document, NodeData, NodeHandle, NodeId, NodeKind};
+use crate::qname::QName;
+use crate::XmlError;
+
+/// An incremental, document-order tree builder.
+pub struct TreeBuilder {
+    nodes: Vec<NodeData>,
+    stack: Vec<NodeId>,
+}
+
+impl TreeBuilder {
+    pub fn new() -> Self {
+        TreeBuilder { nodes: Vec::new(), stack: Vec::new() }
+    }
+
+    fn push_node(&mut self, data: NodeData) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        let mut data = data;
+        data.parent = self.stack.last().copied();
+        if let Some(&parent) = self.stack.last() {
+            if data.kind == NodeKind::Attribute {
+                self.nodes[parent.0 as usize].attributes.push(id);
+            } else {
+                self.nodes[parent.0 as usize].children.push(id);
+            }
+        }
+        self.nodes.push(data);
+        id
+    }
+
+    /// Opens a document node (must be the first node, if used).
+    pub fn start_document(&mut self) -> NodeId {
+        let id = self.push_node(NodeData::new(NodeKind::Document));
+        self.stack.push(id);
+        id
+    }
+
+    pub fn end_document(&mut self) {
+        let popped = self.stack.pop();
+        debug_assert!(popped.is_some());
+    }
+
+    pub fn start_element(&mut self, name: QName) -> NodeId {
+        let mut d = NodeData::new(NodeKind::Element);
+        d.name = Some(name);
+        let id = self.push_node(d);
+        self.stack.push(id);
+        id
+    }
+
+    /// Sets the type annotation on the currently open element.
+    pub fn annotate_type(&mut self, ty: QName, typed_value: Option<Vec<AtomicValue>>) {
+        if let Some(&id) = self.stack.last() {
+            self.nodes[id.0 as usize].type_name = Some(ty);
+            self.nodes[id.0 as usize].typed_value = typed_value;
+        }
+    }
+
+    pub fn end_element(&mut self) {
+        let popped = self.stack.pop();
+        debug_assert!(popped.is_some());
+    }
+
+    pub fn attribute(&mut self, name: QName, value: &str) -> NodeId {
+        let mut d = NodeData::new(NodeKind::Attribute);
+        d.name = Some(name);
+        d.value = Some(value.into());
+        self.push_node(d)
+    }
+
+    /// An attribute carrying a type annotation and typed value.
+    pub fn typed_attribute(
+        &mut self,
+        name: QName,
+        value: &str,
+        ty: QName,
+        typed: Vec<AtomicValue>,
+    ) -> NodeId {
+        let id = self.attribute(name, value);
+        self.nodes[id.0 as usize].type_name = Some(ty);
+        self.nodes[id.0 as usize].typed_value = Some(typed);
+        id
+    }
+
+    /// Appends a text node; consecutive text nodes are merged, and empty
+    /// text is dropped, per the data model's construction rules.
+    pub fn text(&mut self, content: &str) {
+        if content.is_empty() {
+            return;
+        }
+        if let Some(&parent) = self.stack.last() {
+            if let Some(&last) = self.nodes[parent.0 as usize].children.last() {
+                if self.nodes[last.0 as usize].kind == NodeKind::Text {
+                    let existing = self.nodes[last.0 as usize].value.take().unwrap_or_default();
+                    let merged: Rc<str> = format!("{existing}{content}").into();
+                    self.nodes[last.0 as usize].value = Some(merged);
+                    return;
+                }
+            }
+        }
+        let mut d = NodeData::new(NodeKind::Text);
+        d.value = Some(content.into());
+        self.push_node(d);
+    }
+
+    pub fn comment(&mut self, content: &str) {
+        let mut d = NodeData::new(NodeKind::Comment);
+        d.value = Some(content.into());
+        self.push_node(d);
+    }
+
+    pub fn pi(&mut self, target: &str, content: &str) {
+        let mut d = NodeData::new(NodeKind::Pi);
+        d.name = Some(QName::local(target));
+        d.value = Some(content.into());
+        self.push_node(d);
+    }
+
+    /// Deep-copies an existing node (and its subtree) into the builder,
+    /// preserving type annotations. This is what element construction does
+    /// with enclosed node sequences.
+    pub fn copy_node(&mut self, node: &NodeHandle) {
+        match node.kind() {
+            NodeKind::Document => {
+                for c in node.children() {
+                    self.copy_node(&c);
+                }
+            }
+            NodeKind::Element => {
+                let data = node.data();
+                self.start_element(data.name.clone().expect("element has a name"));
+                if let Some(&id) = self.stack.last() {
+                    self.nodes[id.0 as usize].type_name = data.type_name.clone();
+                    self.nodes[id.0 as usize].typed_value = data.typed_value.clone();
+                }
+                for a in node.attributes() {
+                    self.copy_node(&a);
+                }
+                for c in node.children() {
+                    self.copy_node(&c);
+                }
+                self.end_element();
+            }
+            NodeKind::Attribute => {
+                let data = node.data();
+                let id = self.attribute(
+                    data.name.clone().expect("attribute has a name"),
+                    data.value.as_deref().unwrap_or(""),
+                );
+                self.nodes[id.0 as usize].type_name = data.type_name.clone();
+                self.nodes[id.0 as usize].typed_value = data.typed_value.clone();
+            }
+            NodeKind::Text => self.text(node.data().value.as_deref().unwrap_or("")),
+            NodeKind::Comment => self.comment(node.data().value.as_deref().unwrap_or("")),
+            NodeKind::Pi => self.pi(
+                node.data().name.clone().expect("pi has a target").local_part(),
+                node.data().value.as_deref().unwrap_or(""),
+            ),
+        }
+    }
+
+    /// True when nothing is currently open and at least one node exists.
+    pub fn is_complete(&self) -> bool {
+        self.stack.is_empty() && !self.nodes.is_empty()
+    }
+
+    /// Freezes the builder into a document. Errors if elements are still open.
+    pub fn try_finish(self, base_uri: Option<String>) -> crate::Result<Rc<Document>> {
+        if !self.stack.is_empty() {
+            return Err(XmlError::new("XQDY0001", "unbalanced tree construction"));
+        }
+        if self.nodes.is_empty() {
+            return Err(XmlError::new("XQDY0002", "empty tree construction"));
+        }
+        Ok(Document::from_nodes(self.nodes, base_uri))
+    }
+
+    /// Freezes the builder, panicking on imbalance (internal use).
+    pub fn finish(self, base_uri: Option<String>) -> Rc<Document> {
+        self.try_finish(base_uri).expect("balanced construction")
+    }
+}
+
+impl Default for TreeBuilder {
+    fn default() -> Self {
+        TreeBuilder::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_merging() {
+        let mut b = TreeBuilder::new();
+        b.start_element(QName::local("e"));
+        b.text("a");
+        b.text("b");
+        b.text("");
+        b.end_element();
+        let doc = b.finish(None);
+        let e = doc.root();
+        assert_eq!(e.children().len(), 1);
+        assert_eq!(e.string_value(), "ab");
+    }
+
+    #[test]
+    fn copy_gives_fresh_identity() {
+        let mut b = TreeBuilder::new();
+        b.start_element(QName::local("e"));
+        b.attribute(QName::local("k"), "v");
+        b.text("x");
+        b.end_element();
+        let d1 = b.finish(None);
+        let orig = d1.root();
+
+        let mut b2 = TreeBuilder::new();
+        b2.start_element(QName::local("wrap"));
+        b2.copy_node(&orig);
+        b2.end_element();
+        let d2 = b2.finish(None);
+        let copy = &d2.root().children()[0];
+        assert!(!copy.same_node(&orig));
+        assert_eq!(copy.string_value(), "x");
+        assert_eq!(copy.attributes()[0].string_value(), "v");
+    }
+
+    #[test]
+    fn unbalanced_is_an_error() {
+        let mut b = TreeBuilder::new();
+        b.start_element(QName::local("e"));
+        assert!(b.try_finish(None).is_err());
+    }
+
+    #[test]
+    fn empty_is_an_error() {
+        let b = TreeBuilder::new();
+        assert!(b.try_finish(None).is_err());
+    }
+}

@@ -1,0 +1,278 @@
+//! Fixed-point decimal arithmetic for `xs:decimal`.
+//!
+//! Implemented as an `i128` count of millionths (scale 6). This departs from
+//! XML Schema's arbitrary precision — the deviation is documented in
+//! DESIGN.md and is ample for the paper's workloads, which only need money
+//! amounts and small counters.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use crate::XmlError;
+
+/// Number of fractional digits carried by [`Decimal`].
+pub const SCALE: u32 = 6;
+const UNIT: i128 = 1_000_000;
+
+/// A fixed-point decimal: `units` millionths.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Decimal {
+    units: i128,
+}
+
+impl Decimal {
+    pub const ZERO: Decimal = Decimal { units: 0 };
+    pub const ONE: Decimal = Decimal { units: UNIT };
+
+    /// Builds a decimal from a raw count of millionths.
+    pub fn from_units(units: i128) -> Self {
+        Decimal { units }
+    }
+
+    pub fn units(self) -> i128 {
+        self.units
+    }
+
+    pub fn from_i64(v: i64) -> Self {
+        Decimal { units: v as i128 * UNIT }
+    }
+
+    /// Lossy conversion from a double (used by casting).
+    pub fn from_f64(v: f64) -> crate::Result<Self> {
+        if !v.is_finite() {
+            return Err(XmlError::new("FOCA0002", format!("cannot cast {v} to xs:decimal")));
+        }
+        let scaled = v * UNIT as f64;
+        if scaled.abs() > i128::MAX as f64 / 2.0 {
+            return Err(XmlError::new("FOCA0001", "decimal overflow"));
+        }
+        Ok(Decimal { units: scaled.round() as i128 })
+    }
+
+    pub fn to_f64(self) -> f64 {
+        self.units as f64 / UNIT as f64
+    }
+
+    /// Truncating conversion to integer (toward zero), per `xs:integer` cast.
+    pub fn trunc_to_i64(self) -> i64 {
+        (self.units / UNIT) as i64
+    }
+
+    pub fn is_integral(self) -> bool {
+        self.units % UNIT == 0
+    }
+
+    pub fn checked_add(self, rhs: Decimal) -> Option<Decimal> {
+        self.units.checked_add(rhs.units).map(Decimal::from_units)
+    }
+
+    pub fn checked_sub(self, rhs: Decimal) -> Option<Decimal> {
+        self.units.checked_sub(rhs.units).map(Decimal::from_units)
+    }
+
+    pub fn checked_mul(self, rhs: Decimal) -> Option<Decimal> {
+        // (a/U) * (b/U) = a*b/U^2; rescale down by U.
+        self.units.checked_mul(rhs.units).map(|p| Decimal::from_units(p / UNIT))
+    }
+
+    pub fn checked_div(self, rhs: Decimal) -> Option<Decimal> {
+        if rhs.units == 0 {
+            return None;
+        }
+        self.units.checked_mul(UNIT).map(|n| Decimal::from_units(n / rhs.units))
+    }
+
+
+    pub fn abs(self) -> Decimal {
+        Decimal { units: self.units.abs() }
+    }
+
+    pub fn floor(self) -> Decimal {
+        Decimal { units: self.units.div_euclid(UNIT) * UNIT }
+    }
+
+    pub fn ceiling(self) -> Decimal {
+        Decimal { units: -(-self.units).div_euclid(UNIT) * UNIT }
+    }
+
+    /// Round half away from zero (fn:round semantics for positive halves:
+    /// round(2.5) = 3, round(-2.5) = -2 per F&O "round toward positive infinity").
+    pub fn round(self) -> Decimal {
+        let rem = self.units.rem_euclid(UNIT);
+        let base = self.units - rem;
+        if rem * 2 >= UNIT {
+            Decimal { units: base + UNIT }
+        } else {
+            Decimal { units: base }
+        }
+    }
+
+    /// Parses the XML Schema decimal lexical form: optional sign, digits,
+    /// optional fraction. Exponents are *not* allowed (that is xs:double).
+    pub fn parse(s: &str) -> crate::Result<Self> {
+        let t = s.trim();
+        let err = || XmlError::new("FORG0001", format!("invalid xs:decimal literal: {s:?}"));
+        if t.is_empty() {
+            return Err(err());
+        }
+        let (neg, rest) = match t.as_bytes()[0] {
+            b'-' => (true, &t[1..]),
+            b'+' => (false, &t[1..]),
+            _ => (false, t),
+        };
+        let (int_part, frac_part) = match rest.split_once('.') {
+            Some((i, f)) => (i, f),
+            None => (rest, ""),
+        };
+        if int_part.is_empty() && frac_part.is_empty() {
+            return Err(err());
+        }
+        if !int_part.bytes().all(|b| b.is_ascii_digit())
+            || !frac_part.bytes().all(|b| b.is_ascii_digit())
+        {
+            return Err(err());
+        }
+        let mut units: i128 = 0;
+        for b in int_part.bytes() {
+            units = units
+                .checked_mul(10)
+                .and_then(|u| u.checked_add((b - b'0') as i128))
+                .ok_or_else(|| XmlError::new("FOCA0001", "decimal overflow"))?;
+        }
+        units = units
+            .checked_mul(UNIT)
+            .ok_or_else(|| XmlError::new("FOCA0001", "decimal overflow"))?;
+        let mut frac: i128 = 0;
+        let mut scale = UNIT / 10;
+        for b in frac_part.bytes().take(SCALE as usize) {
+            frac += (b - b'0') as i128 * scale;
+            scale /= 10;
+        }
+        let mut total = units + frac;
+        if neg {
+            total = -total;
+        }
+        Ok(Decimal { units: total })
+    }
+}
+
+impl std::ops::Neg for Decimal {
+    type Output = Decimal;
+    fn neg(self) -> Decimal {
+        Decimal { units: -self.units }
+    }
+}
+
+impl PartialOrd for Decimal {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Decimal {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.units.cmp(&other.units)
+    }
+}
+
+impl fmt::Display for Decimal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let neg = self.units < 0;
+        let abs = self.units.unsigned_abs();
+        let int = abs / UNIT as u128;
+        let frac = abs % UNIT as u128;
+        if neg {
+            write!(f, "-")?;
+        }
+        if frac == 0 {
+            write!(f, "{int}")
+        } else {
+            let mut frac_str = format!("{frac:06}");
+            while frac_str.ends_with('0') {
+                frac_str.pop();
+            }
+            write!(f, "{int}.{frac_str}")
+        }
+    }
+}
+
+impl fmt::Debug for Decimal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        for s in ["0", "1", "-1", "3.14", "-2.5", "100.000001", "42"] {
+            let d = Decimal::parse(s).unwrap();
+            assert_eq!(d.to_string(), s, "round trip of {s}");
+        }
+    }
+
+    #[test]
+    fn parse_normalizes() {
+        assert_eq!(Decimal::parse("1.50").unwrap().to_string(), "1.5");
+        assert_eq!(Decimal::parse("+7").unwrap().to_string(), "7");
+        assert_eq!(Decimal::parse(".5").unwrap().to_string(), "0.5");
+        assert_eq!(Decimal::parse("5.").unwrap().to_string(), "5");
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for s in ["", "abc", "1.2.3", "1e5", "--3", "."] {
+            assert!(Decimal::parse(s).is_err(), "{s} should fail");
+        }
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Decimal::parse("2.5").unwrap();
+        let b = Decimal::parse("4").unwrap();
+        assert_eq!(a.checked_add(b).unwrap().to_string(), "6.5");
+        assert_eq!(a.checked_sub(b).unwrap().to_string(), "-1.5");
+        assert_eq!(a.checked_mul(b).unwrap().to_string(), "10");
+        assert_eq!(b.checked_div(a).unwrap().to_string(), "1.6");
+        assert!(b.checked_div(Decimal::ZERO).is_none());
+    }
+
+    #[test]
+    fn rounding_family() {
+        let d = Decimal::parse("2.5").unwrap();
+        assert_eq!(d.round().to_string(), "3");
+        assert_eq!(Decimal::parse("-2.5").unwrap().round().to_string(), "-2");
+        assert_eq!(Decimal::parse("-2.4").unwrap().floor().to_string(), "-3");
+        assert_eq!(Decimal::parse("-2.4").unwrap().ceiling().to_string(), "-2");
+        assert_eq!(Decimal::parse("2.4").unwrap().floor().to_string(), "2");
+        assert_eq!(Decimal::parse("2.4").unwrap().ceiling().to_string(), "3");
+    }
+
+    #[test]
+    fn ordering() {
+        let a = Decimal::parse("1.1").unwrap();
+        let b = Decimal::parse("1.10").unwrap();
+        let c = Decimal::parse("1.2").unwrap();
+        assert_eq!(a.cmp(&b), Ordering::Equal);
+        assert!(a < c);
+    }
+
+    #[test]
+    fn f64_conversions() {
+        let d = Decimal::from_f64(2.25).unwrap();
+        assert_eq!(d.to_string(), "2.25");
+        assert!((d.to_f64() - 2.25).abs() < 1e-9);
+        assert!(Decimal::from_f64(f64::NAN).is_err());
+        assert!(Decimal::from_f64(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn integral_checks() {
+        assert!(Decimal::from_i64(5).is_integral());
+        assert!(!Decimal::parse("5.5").unwrap().is_integral());
+        assert_eq!(Decimal::parse("-7.9").unwrap().trunc_to_i64(), -7);
+    }
+}

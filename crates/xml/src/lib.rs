@@ -1,0 +1,65 @@
+//! # xqr-xml — the XQuery Data Model substrate
+//!
+//! This crate implements, from scratch, everything the algebraic XQuery
+//! compiler (crates `xqr-core` / `xqr-runtime`) needs from the XQuery 1.0
+//! data model (XDM):
+//!
+//! * [`QName`] — expanded names with namespace URIs;
+//! * [`AtomicValue`] / [`AtomicType`] — all 19 primitive XML Schema atomic
+//!   types plus `xs:integer` and `xdt:untypedAtomic`, with a fixed-point
+//!   [`Decimal`], calendar types and durations implemented here;
+//! * [`Document`] / [`NodeHandle`] — an arena-backed node store with node
+//!   identity and **global document order** (every document draws a
+//!   monotonically increasing sequence number, node ids are assigned in
+//!   document order);
+//! * [`Item`] / [`Sequence`] — ordered, flattened item sequences, the value
+//!   domain of the logical algebra's XML side;
+//! * [`axes`] — the twelve XPath axes with name and kind tests (the engine
+//!   of the `TreeJoin` operator);
+//! * [`parse`] / [`serialize`] — an XML 1.0 parser and serializer.
+
+pub mod atomic;
+pub mod axes;
+pub mod build;
+pub mod decimal;
+pub mod item;
+pub mod node;
+pub mod parse;
+pub mod qname;
+pub mod serialize;
+pub mod temporal;
+
+pub use atomic::{AtomicType, AtomicValue};
+pub use axes::{Axis, KindTest, NameTest, NodeTest};
+pub use build::TreeBuilder;
+pub use decimal::Decimal;
+pub use item::{Item, Sequence};
+pub use node::{Document, NodeHandle, NodeId, NodeKind};
+pub use parse::{parse_document, ParseError, ParseOptions};
+pub use qname::QName;
+pub use serialize::serialize_sequence;
+pub use temporal::{Date, DateTime, Duration, Time};
+
+/// Errors raised by data-model operations (casts, parses, navigation).
+#[derive(Debug, Clone, PartialEq)]
+pub struct XmlError {
+    /// An error code in the spirit of the XQuery `err:` codes (e.g. `FORG0001`).
+    pub code: &'static str,
+    pub message: String,
+}
+
+impl XmlError {
+    pub fn new(code: &'static str, message: impl Into<String>) -> Self {
+        XmlError { code, message: message.into() }
+    }
+}
+
+impl std::fmt::Display for XmlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.code, self.message)
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+pub type Result<T> = std::result::Result<T, XmlError>;

@@ -1,0 +1,351 @@
+//! Arena-backed node store with node identity and global document order.
+//!
+//! Every [`Document`] (parsed *or* constructed — element constructors create
+//! fresh documents, giving new node identities per XQuery semantics) draws a
+//! unique sequence number from a global counter. Node ids inside a document
+//! are assigned in document order by [`crate::build::TreeBuilder`], so the
+//! pair `(document sequence, node id)` is a total document order across all
+//! live documents — exactly what the `TreeJoin` operator and order-based
+//! duplicate elimination need.
+//!
+//! Documents are immutable once built; validation (in `xqr-types`) produces
+//! an annotated *copy* rather than mutating in place.
+
+use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::atomic::AtomicValue;
+use crate::qname::QName;
+
+static DOC_COUNTER: AtomicU64 = AtomicU64::new(1);
+
+/// Kinds of nodes in the XQuery data model.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum NodeKind {
+    Document,
+    Element,
+    Attribute,
+    Text,
+    Comment,
+    Pi,
+}
+
+/// Index of a node within its document's arena.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Hash)]
+pub struct NodeId(pub u32);
+
+/// The per-node record stored in a document's arena.
+#[derive(Clone, Debug)]
+pub struct NodeData {
+    pub kind: NodeKind,
+    /// Element/attribute name; PI target is stored as a no-namespace name.
+    pub name: Option<QName>,
+    /// Text/comment/PI content or attribute string value.
+    pub value: Option<Rc<str>>,
+    pub parent: Option<NodeId>,
+    /// Child element/text/comment/PI nodes (not attributes), in order.
+    pub children: Vec<NodeId>,
+    /// Attribute nodes, in order.
+    pub attributes: Vec<NodeId>,
+    /// Validation type annotation; `None` means untyped
+    /// (`xdt:untyped` for elements, `xdt:untypedAtomic` for attributes).
+    pub type_name: Option<QName>,
+    /// Typed value produced by validation (simple-typed content only).
+    pub typed_value: Option<Vec<AtomicValue>>,
+}
+
+impl NodeData {
+    pub fn new(kind: NodeKind) -> Self {
+        NodeData {
+            kind,
+            name: None,
+            value: None,
+            parent: None,
+            children: Vec::new(),
+            attributes: Vec::new(),
+            type_name: None,
+            typed_value: None,
+        }
+    }
+}
+
+/// An immutable tree of nodes. The root is always node 0 and may be a
+/// document node (parsed documents) or an element/text/… node (constructed
+/// fragments).
+#[derive(Debug)]
+pub struct Document {
+    seq: u64,
+    base_uri: Option<String>,
+    nodes: Vec<NodeData>,
+}
+
+impl Document {
+    pub(crate) fn from_nodes(nodes: Vec<NodeData>, base_uri: Option<String>) -> Rc<Document> {
+        Rc::new(Document {
+            seq: DOC_COUNTER.fetch_add(1, Ordering::Relaxed),
+            base_uri,
+            nodes,
+        })
+    }
+
+    pub fn base_uri(&self) -> Option<&str> {
+        self.base_uri.as_deref()
+    }
+
+    /// Global creation sequence number (first component of document order).
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn data(&self, id: NodeId) -> &NodeData {
+        &self.nodes[id.0 as usize]
+    }
+
+    /// Handle to the root node (id 0).
+    pub fn root(self: &Rc<Self>) -> NodeHandle {
+        NodeHandle { doc: Rc::clone(self), id: NodeId(0) }
+    }
+}
+
+/// A reference to one node: the owning document plus the node's id.
+#[derive(Clone)]
+pub struct NodeHandle {
+    pub doc: Rc<Document>,
+    pub id: NodeId,
+}
+
+impl NodeHandle {
+    pub fn data(&self) -> &NodeData {
+        self.doc.data(self.id)
+    }
+
+    pub fn kind(&self) -> NodeKind {
+        self.data().kind
+    }
+
+    pub fn name(&self) -> Option<&QName> {
+        self.data().name.as_ref()
+    }
+
+    pub fn type_name(&self) -> Option<&QName> {
+        self.data().type_name.as_ref()
+    }
+
+    pub fn typed_value_annotation(&self) -> Option<&[AtomicValue]> {
+        self.data().typed_value.as_deref()
+    }
+
+    fn at(&self, id: NodeId) -> NodeHandle {
+        NodeHandle { doc: Rc::clone(&self.doc), id }
+    }
+
+    pub fn parent(&self) -> Option<NodeHandle> {
+        self.data().parent.map(|p| self.at(p))
+    }
+
+    pub fn children(&self) -> Vec<NodeHandle> {
+        self.data().children.iter().map(|&c| self.at(c)).collect()
+    }
+
+    pub fn attributes(&self) -> Vec<NodeHandle> {
+        self.data().attributes.iter().map(|&c| self.at(c)).collect()
+    }
+
+    /// Identity comparison (same node in the same document).
+    pub fn same_node(&self, other: &NodeHandle) -> bool {
+        self.id == other.id && Rc::ptr_eq(&self.doc, &other.doc)
+    }
+
+    /// Total document-order key across all documents.
+    pub fn order_key(&self) -> (u64, u32) {
+        (self.doc.seq, self.id.0)
+    }
+
+    /// The node's string value per the data model.
+    pub fn string_value(&self) -> String {
+        match self.kind() {
+            NodeKind::Text | NodeKind::Comment | NodeKind::Pi | NodeKind::Attribute => {
+                self.data().value.as_deref().unwrap_or("").to_string()
+            }
+            NodeKind::Element | NodeKind::Document => {
+                let mut out = String::new();
+                self.collect_text(self.id, &mut out);
+                out
+            }
+        }
+    }
+
+    fn collect_text(&self, id: NodeId, out: &mut String) {
+        let data = self.doc.data(id);
+        if data.kind == NodeKind::Text {
+            if let Some(v) = &data.value {
+                out.push_str(v);
+            }
+        }
+        for &c in &data.children {
+            self.collect_text(c, out);
+        }
+    }
+
+    /// The typed value: validation annotation if present, else untypedAtomic
+    /// of the string value (string for comments/PIs, per XDM).
+    pub fn typed_value(&self) -> Vec<AtomicValue> {
+        if let Some(tv) = self.typed_value_annotation() {
+            return tv.to_vec();
+        }
+        match self.kind() {
+            NodeKind::Comment | NodeKind::Pi => {
+                vec![AtomicValue::string(self.string_value())]
+            }
+            _ => vec![AtomicValue::untyped(self.string_value())],
+        }
+    }
+
+    /// Root of this node's tree.
+    pub fn tree_root(&self) -> NodeHandle {
+        let mut cur = self.id;
+        while let Some(p) = self.doc.data(cur).parent {
+            cur = p;
+        }
+        self.at(cur)
+    }
+
+    /// All descendant nodes in document order (excluding attributes),
+    /// not including `self`.
+    pub fn descendants(&self) -> Vec<NodeHandle> {
+        let mut out = Vec::new();
+        let mut stack: Vec<NodeId> = self.data().children.iter().rev().copied().collect();
+        while let Some(id) = stack.pop() {
+            out.push(self.at(id));
+            stack.extend(self.doc.data(id).children.iter().rev().copied());
+        }
+        out
+    }
+}
+
+impl PartialEq for NodeHandle {
+    fn eq(&self, other: &Self) -> bool {
+        self.same_node(other)
+    }
+}
+
+impl Eq for NodeHandle {}
+
+impl std::hash::Hash for NodeHandle {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.order_key().hash(state);
+    }
+}
+
+impl std::fmt::Debug for NodeHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.kind() {
+            NodeKind::Element => write!(f, "element({})", self.name().unwrap()),
+            NodeKind::Attribute => write!(
+                f,
+                "attribute({}=\"{}\")",
+                self.name().unwrap(),
+                self.data().value.as_deref().unwrap_or("")
+            ),
+            NodeKind::Text => write!(f, "text({:?})", self.data().value.as_deref().unwrap_or("")),
+            NodeKind::Comment => write!(f, "comment(…)"),
+            NodeKind::Pi => write!(f, "pi({})", self.name().unwrap().local_part()),
+            NodeKind::Document => write!(f, "document-node()"),
+        }
+    }
+}
+
+/// A type-derivation oracle used by kind-test matching; implemented by the
+/// schema in `xqr-types`. `derives_from(sub, sup)` answers whether type name
+/// `sub` derives (reflexively, transitively) from `sup`.
+pub trait TypeHierarchy {
+    fn derives_from(&self, sub: &QName, sup: &QName) -> bool;
+}
+
+/// A hierarchy with no user types: only reflexive derivation plus everything
+/// deriving from `xs:anyType`.
+pub struct TrivialHierarchy;
+
+impl TypeHierarchy for TrivialHierarchy {
+    fn derives_from(&self, sub: &QName, sup: &QName) -> bool {
+        sub == sup || sup.local_part() == "anyType"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::TreeBuilder;
+
+    fn sample() -> Rc<Document> {
+        // <a x="1"><b>hi</b><c/>tail</a>
+        let mut b = TreeBuilder::new();
+        b.start_document();
+        b.start_element(QName::local("a"));
+        b.attribute(QName::local("x"), "1");
+        b.start_element(QName::local("b"));
+        b.text("hi");
+        b.end_element();
+        b.start_element(QName::local("c"));
+        b.end_element();
+        b.text("tail");
+        b.end_element();
+        b.end_document();
+        b.finish(None)
+    }
+
+    #[test]
+    fn structure_navigation() {
+        let doc = sample();
+        let root = doc.root();
+        assert_eq!(root.kind(), NodeKind::Document);
+        let a = &root.children()[0];
+        assert_eq!(a.name().unwrap().local_part(), "a");
+        assert_eq!(a.children().len(), 3);
+        assert_eq!(a.attributes().len(), 1);
+        let b = &a.children()[0];
+        assert_eq!(b.parent().unwrap().name().unwrap().local_part(), "a");
+    }
+
+    #[test]
+    fn string_values() {
+        let doc = sample();
+        let a = &doc.root().children()[0];
+        assert_eq!(a.string_value(), "hitail");
+        assert_eq!(a.attributes()[0].string_value(), "1");
+        assert_eq!(a.children()[0].string_value(), "hi");
+    }
+
+    #[test]
+    fn document_order_ids_are_preorder() {
+        let doc = sample();
+        let a = &doc.root().children()[0];
+        let desc = a.descendants();
+        let keys: Vec<_> = desc.iter().map(|n| n.order_key()).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted, "descendants come out in document order");
+    }
+
+    #[test]
+    fn identity_and_cross_document_order() {
+        let d1 = sample();
+        let d2 = sample();
+        let a1 = &d1.root().children()[0];
+        let a2 = &d2.root().children()[0];
+        assert!(!a1.same_node(a2));
+        assert!(a1.same_node(&d1.root().children()[0]));
+        assert!(a1.order_key() < a2.order_key(), "earlier-created doc sorts first");
+    }
+
+    #[test]
+    fn typed_value_defaults_to_untyped_atomic() {
+        let doc = sample();
+        let a = &doc.root().children()[0];
+        assert_eq!(a.typed_value(), vec![AtomicValue::untyped("hitail")]);
+    }
+}

@@ -1,0 +1,543 @@
+//! A from-scratch XML 1.0 (+ Namespaces) non-validating parser.
+//!
+//! Supports elements, attributes, character data, entity & character
+//! references, CDATA sections, comments, processing instructions, an XML
+//! declaration, and a DOCTYPE declaration (skipped, internal subsets with
+//! nested brackets included). Namespace declarations (`xmlns`, `xmlns:p`)
+//! are resolved into expanded QNames.
+//!
+//! By default whitespace-only text between elements is stripped (the right
+//! default for the data-oriented documents of the benchmarks); set
+//! [`ParseOptions::preserve_whitespace`] for fidelity.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use crate::build::TreeBuilder;
+use crate::node::Document;
+use crate::qname::QName;
+use crate::XmlError;
+
+/// Parser configuration.
+#[derive(Clone, Debug)]
+#[derive(Default)]
+pub struct ParseOptions {
+    /// Keep whitespace-only text nodes (default: false).
+    pub preserve_whitespace: bool,
+}
+
+
+/// A parse failure, with 1-based line/column info.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    pub message: String,
+    pub line: usize,
+    pub column: usize,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "XML parse error at {}:{}: {}", self.line, self.column, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<ParseError> for XmlError {
+    fn from(e: ParseError) -> Self {
+        XmlError::new("FODC0006", e.to_string())
+    }
+}
+
+/// Parses a complete document; the result's root is a document node.
+pub fn parse_document(input: &str, options: &ParseOptions) -> Result<Rc<Document>, ParseError> {
+    let mut p = Parser::new(input, options.clone());
+    p.builder.start_document();
+    p.parse_prolog()?;
+    p.parse_element()?;
+    p.skip_misc()?;
+    if p.pos < p.bytes.len() {
+        return Err(p.err("content after document element"));
+    }
+    p.builder.end_document();
+    Ok(p.builder.finish(None))
+}
+
+struct Parser<'a> {
+    input: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    options: ParseOptions,
+    builder: TreeBuilder,
+    /// Namespace scopes: stack of prefix→uri maps.
+    ns_stack: Vec<HashMap<String, Option<String>>>,
+    depth: usize,
+}
+
+/// Element nesting limit: errors instead of exhausting the native stack on
+/// pathological documents.
+const MAX_ELEMENT_DEPTH: usize = 512;
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str, options: ParseOptions) -> Self {
+        let mut base = HashMap::new();
+        base.insert("xml".to_string(), Some("http://www.w3.org/XML/1998/namespace".to_string()));
+        Parser {
+            input,
+            bytes: input.as_bytes(),
+            pos: 0,
+            options,
+            builder: TreeBuilder::new(),
+            ns_stack: vec![base],
+            depth: 0,
+        }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        let consumed = &self.input[..self.pos.min(self.input.len())];
+        let line = consumed.bytes().filter(|&b| b == b'\n').count() + 1;
+        let column = consumed.len() - consumed.rfind('\n').map(|i| i + 1).unwrap_or(0) + 1;
+        ParseError { message: msg.into(), line, column }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.bytes[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn bump(&mut self, n: usize) {
+        self.pos += n;
+    }
+
+    fn expect(&mut self, s: &str) -> Result<(), ParseError> {
+        if self.starts_with(s) {
+            self.bump(s.len());
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {s:?}")))
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn parse_prolog(&mut self) -> Result<(), ParseError> {
+        if self.starts_with("<?xml") {
+            let end = self.input[self.pos..]
+                .find("?>")
+                .ok_or_else(|| self.err("unterminated XML declaration"))?;
+            self.bump(end + 2);
+        }
+        self.skip_misc()?;
+        if self.starts_with("<!DOCTYPE") {
+            self.skip_doctype()?;
+            self.skip_misc()?;
+        }
+        Ok(())
+    }
+
+    fn skip_doctype(&mut self) -> Result<(), ParseError> {
+        self.expect("<!DOCTYPE")?;
+        let mut depth = 1usize;
+        let mut in_subset = false;
+        while depth > 0 {
+            match self.peek() {
+                None => return Err(self.err("unterminated DOCTYPE")),
+                Some(b'[') => {
+                    in_subset = true;
+                    self.bump(1);
+                }
+                Some(b']') => {
+                    in_subset = false;
+                    self.bump(1);
+                }
+                Some(b'<') if in_subset => {
+                    depth += 1;
+                    self.bump(1);
+                }
+                Some(b'>') => {
+                    depth -= 1;
+                    self.bump(1);
+                }
+                Some(_) => self.bump(1),
+            }
+        }
+        Ok(())
+    }
+
+    /// Comments and PIs between markup at top level.
+    fn skip_misc(&mut self) -> Result<(), ParseError> {
+        loop {
+            self.skip_ws();
+            if self.starts_with("<!--") {
+                self.parse_comment()?;
+            } else if self.starts_with("<?") {
+                self.parse_pi()?;
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn read_name(&mut self) -> Result<&'a str, ParseError> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            let ok = if self.pos == start {
+                b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+            } else {
+                b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.' | b':') || b >= 0x80
+            };
+            if !ok {
+                break;
+            }
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.err("expected a name"));
+        }
+        Ok(&self.input[start..self.pos])
+    }
+
+    fn resolve(&self, raw: &str, is_attr: bool) -> Result<QName, ParseError> {
+        match raw.split_once(':') {
+            Some((prefix, local)) => {
+                for scope in self.ns_stack.iter().rev() {
+                    if let Some(uri) = scope.get(prefix) {
+                        return Ok(QName::full(Some(prefix), uri.as_deref(), local));
+                    }
+                }
+                Err(self.err(format!("undeclared namespace prefix {prefix:?}")))
+            }
+            None => {
+                if is_attr {
+                    // Unprefixed attributes are in no namespace.
+                    return Ok(QName::local(raw));
+                }
+                for scope in self.ns_stack.iter().rev() {
+                    if let Some(uri) = scope.get("") {
+                        return Ok(QName::full(None, uri.as_deref(), raw));
+                    }
+                }
+                Ok(QName::local(raw))
+            }
+        }
+    }
+
+    fn parse_element(&mut self) -> Result<(), ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_ELEMENT_DEPTH {
+            self.depth -= 1;
+            return Err(self.err("element nesting too deep"));
+        }
+        let result = self.parse_element_inner();
+        self.depth -= 1;
+        result
+    }
+
+    fn parse_element_inner(&mut self) -> Result<(), ParseError> {
+        self.expect("<")?;
+        let raw_name = self.read_name()?.to_string();
+
+        // First pass over attributes: gather raw (name, value) pairs and any
+        // namespace declarations for this scope.
+        let mut scope: HashMap<String, Option<String>> = HashMap::new();
+        let mut attrs: Vec<(String, String)> = Vec::new();
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'>') | Some(b'/') => break,
+                None => return Err(self.err("unterminated start tag")),
+                _ => {}
+            }
+            let aname = self.read_name()?.to_string();
+            self.skip_ws();
+            self.expect("=")?;
+            self.skip_ws();
+            let avalue = self.parse_attr_value()?;
+            if aname == "xmlns" {
+                scope.insert(
+                    String::new(),
+                    if avalue.is_empty() { None } else { Some(avalue) },
+                );
+            } else if let Some(prefix) = aname.strip_prefix("xmlns:") {
+                scope.insert(prefix.to_string(), Some(avalue));
+            } else {
+                attrs.push((aname, avalue));
+            }
+        }
+        self.ns_stack.push(scope);
+
+        let name = self.resolve(&raw_name, false)?;
+        self.builder.start_element(name);
+        for (aname, avalue) in attrs {
+            let q = self.resolve(&aname, true)?;
+            self.builder.attribute(q, &avalue);
+        }
+
+        if self.starts_with("/>") {
+            self.bump(2);
+            self.builder.end_element();
+            self.ns_stack.pop();
+            return Ok(());
+        }
+        self.expect(">")?;
+        self.parse_content()?;
+        self.expect("</")?;
+        let close = self.read_name()?;
+        if close != raw_name {
+            return Err(self.err(format!("mismatched end tag: <{raw_name}> … </{close}>")));
+        }
+        self.skip_ws();
+        self.expect(">")?;
+        self.builder.end_element();
+        self.ns_stack.pop();
+        Ok(())
+    }
+
+    fn parse_content(&mut self) -> Result<(), ParseError> {
+        let mut text = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unexpected end of input in element content")),
+                Some(b'<') => {
+                    if self.starts_with("</") {
+                        self.flush_text(&mut text);
+                        return Ok(());
+                    } else if self.starts_with("<!--") {
+                        self.flush_text(&mut text);
+                        self.parse_comment()?;
+                    } else if self.starts_with("<![CDATA[") {
+                        self.bump(9);
+                        let end = self.input[self.pos..]
+                            .find("]]>")
+                            .ok_or_else(|| self.err("unterminated CDATA"))?;
+                        text.push_str(&self.input[self.pos..self.pos + end]);
+                        self.bump(end + 3);
+                    } else if self.starts_with("<?") {
+                        self.flush_text(&mut text);
+                        self.parse_pi()?;
+                    } else {
+                        self.flush_text(&mut text);
+                        self.parse_element()?;
+                    }
+                }
+                Some(b'&') => {
+                    text.push_str(&self.parse_reference()?);
+                }
+                Some(_) => {
+                    let start = self.pos;
+                    while let Some(b) = self.peek() {
+                        if b == b'<' || b == b'&' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    text.push_str(&self.input[start..self.pos]);
+                }
+            }
+        }
+    }
+
+    fn flush_text(&mut self, text: &mut String) {
+        if text.is_empty() {
+            return;
+        }
+        if self.options.preserve_whitespace || !text.chars().all(char::is_whitespace) {
+            self.builder.text(text);
+        }
+        text.clear();
+    }
+
+    fn parse_comment(&mut self) -> Result<(), ParseError> {
+        self.expect("<!--")?;
+        let end = self.input[self.pos..]
+            .find("-->")
+            .ok_or_else(|| self.err("unterminated comment"))?;
+        let content = &self.input[self.pos..self.pos + end];
+        self.bump(end + 3);
+        self.builder.comment(content);
+        Ok(())
+    }
+
+    fn parse_pi(&mut self) -> Result<(), ParseError> {
+        self.expect("<?")?;
+        let target = self.read_name()?.to_string();
+        if target.eq_ignore_ascii_case("xml") {
+            return Err(self.err("the 'xml' PI target is reserved"));
+        }
+        self.skip_ws();
+        let end = self.input[self.pos..]
+            .find("?>")
+            .ok_or_else(|| self.err("unterminated processing instruction"))?;
+        let content = &self.input[self.pos..self.pos + end];
+        self.bump(end + 2);
+        self.builder.pi(&target, content);
+        Ok(())
+    }
+
+    fn parse_attr_value(&mut self) -> Result<String, ParseError> {
+        let quote = match self.peek() {
+            Some(q @ (b'"' | b'\'')) => q,
+            _ => return Err(self.err("expected quoted attribute value")),
+        };
+        self.bump(1);
+        let mut value = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated attribute value")),
+                Some(q) if q == quote => {
+                    self.bump(1);
+                    return Ok(value);
+                }
+                Some(b'&') => value.push_str(&self.parse_reference()?),
+                Some(b'<') => return Err(self.err("'<' not allowed in attribute value")),
+                Some(_) => {
+                    let start = self.pos;
+                    while let Some(b) = self.peek() {
+                        if b == quote || b == b'&' || b == b'<' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    value.push_str(&self.input[start..self.pos]);
+                }
+            }
+        }
+    }
+
+    fn parse_reference(&mut self) -> Result<String, ParseError> {
+        self.expect("&")?;
+        let end = self.input[self.pos..self.input.len().min(self.pos + 32)]
+            .find(';')
+            .ok_or_else(|| self.err("unterminated entity reference"))?;
+        let name = &self.input[self.pos..self.pos + end];
+        self.bump(end + 1);
+        Ok(match name {
+            "lt" => "<".to_string(),
+            "gt" => ">".to_string(),
+            "amp" => "&".to_string(),
+            "quot" => "\"".to_string(),
+            "apos" => "'".to_string(),
+            _ if name.starts_with("#x") || name.starts_with("#X") => {
+                let cp = u32::from_str_radix(&name[2..], 16)
+                    .map_err(|_| self.err(format!("bad character reference &{name};")))?;
+                char::from_u32(cp)
+                    .ok_or_else(|| self.err("invalid character reference"))?
+                    .to_string()
+            }
+            _ if name.starts_with('#') => {
+                let cp: u32 = name[1..]
+                    .parse()
+                    .map_err(|_| self.err(format!("bad character reference &{name};")))?;
+                char::from_u32(cp)
+                    .ok_or_else(|| self.err("invalid character reference"))?
+                    .to_string()
+            }
+            _ => return Err(self.err(format!("unknown entity &{name};"))),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeKind;
+
+    fn parse(s: &str) -> Rc<Document> {
+        parse_document(s, &ParseOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn minimal_document() {
+        let d = parse("<a/>");
+        let root = d.root();
+        assert_eq!(root.kind(), NodeKind::Document);
+        assert_eq!(root.children()[0].name().unwrap().local_part(), "a");
+    }
+
+    #[test]
+    fn nested_structure_and_attributes() {
+        let d = parse(r#"<a x="1" y='two'><b>text</b><c/></a>"#);
+        let a = &d.root().children()[0];
+        assert_eq!(a.attributes().len(), 2);
+        assert_eq!(a.attributes()[1].string_value(), "two");
+        assert_eq!(a.children().len(), 2);
+        assert_eq!(a.children()[0].string_value(), "text");
+    }
+
+    #[test]
+    fn whitespace_stripping_default_and_preserve() {
+        let src = "<a>\n  <b/>\n</a>";
+        let d = parse(src);
+        assert_eq!(d.root().children()[0].children().len(), 1);
+        let d2 = parse_document(src, &ParseOptions { preserve_whitespace: true }).unwrap();
+        assert_eq!(d2.root().children()[0].children().len(), 3);
+    }
+
+    #[test]
+    fn entities_and_char_refs() {
+        let d = parse("<a>&lt;&amp;&gt; &#65;&#x42;</a>");
+        assert_eq!(d.root().children()[0].string_value(), "<&> AB");
+    }
+
+    #[test]
+    fn cdata() {
+        let d = parse("<a><![CDATA[<not&markup>]]></a>");
+        assert_eq!(d.root().children()[0].string_value(), "<not&markup>");
+    }
+
+    #[test]
+    fn comments_and_pis() {
+        let d = parse("<?xml version=\"1.0\"?><!-- hi --><a><!--in--><?tgt data?></a>");
+        let a = &d.root().children()[1];
+        assert_eq!(a.children()[0].kind(), NodeKind::Comment);
+        assert_eq!(a.children()[1].kind(), NodeKind::Pi);
+        assert_eq!(a.children()[1].string_value(), "data");
+        assert_eq!(d.root().children()[0].kind(), NodeKind::Comment);
+    }
+
+    #[test]
+    fn doctype_skipped() {
+        let d = parse("<!DOCTYPE a [ <!ELEMENT a EMPTY> ]><a/>");
+        assert_eq!(d.root().children()[0].name().unwrap().local_part(), "a");
+    }
+
+    #[test]
+    fn namespaces() {
+        let d = parse(r#"<p:a xmlns:p="http://ns" xmlns="http://def"><b p:x="1"/></p:a>"#);
+        let a = &d.root().children()[0];
+        assert_eq!(a.name().unwrap().uri(), Some("http://ns"));
+        let b = &a.children()[0];
+        assert_eq!(b.name().unwrap().uri(), Some("http://def"));
+        assert_eq!(b.attributes()[0].name().unwrap().uri(), Some("http://ns"));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_document("<a>", &ParseOptions::default()).is_err());
+        assert!(parse_document("<a></b>", &ParseOptions::default()).is_err());
+        assert!(parse_document("<a>&bogus;</a>", &ParseOptions::default()).is_err());
+        assert!(parse_document("<a/><b/>", &ParseOptions::default()).is_err());
+        assert!(parse_document("<a x=1/>", &ParseOptions::default()).is_err());
+        let e = parse_document("<a>\n<b></c></a>", &ParseOptions::default()).unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn mixed_content_order() {
+        let d = parse("<a>one<b/>two<c/>three</a>");
+        let a = &d.root().children()[0];
+        let kinds: Vec<NodeKind> = a.children().iter().map(|c| c.kind()).collect();
+        assert_eq!(
+            kinds,
+            [NodeKind::Text, NodeKind::Element, NodeKind::Text, NodeKind::Element, NodeKind::Text]
+        );
+        assert_eq!(a.string_value(), "onetwothree");
+    }
+}

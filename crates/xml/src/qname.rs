@@ -1,0 +1,136 @@
+//! Expanded QNames.
+//!
+//! A [`QName`] is an (optional namespace URI, local part) pair plus an
+//! optional prefix retained only for serialization. Equality and hashing
+//! ignore the prefix, per the XQuery data model.
+
+use std::fmt;
+use std::rc::Rc;
+
+/// An expanded qualified name.
+#[derive(Clone)]
+pub struct QName {
+    prefix: Option<Rc<str>>,
+    local: Rc<str>,
+    uri: Option<Rc<str>>,
+}
+
+impl QName {
+    /// A name in no namespace.
+    pub fn local(local: &str) -> Self {
+        QName { prefix: None, local: local.into(), uri: None }
+    }
+
+    /// A name with an explicit namespace URI (and no prefix).
+    pub fn with_uri(uri: &str, local: &str) -> Self {
+        QName { prefix: None, local: local.into(), uri: Some(uri.into()) }
+    }
+
+    /// A fully specified name.
+    pub fn full(prefix: Option<&str>, uri: Option<&str>, local: &str) -> Self {
+        QName {
+            prefix: prefix.map(Into::into),
+            local: local.into(),
+            uri: uri.map(Into::into),
+        }
+    }
+
+    pub fn local_part(&self) -> &str {
+        &self.local
+    }
+
+    pub fn uri(&self) -> Option<&str> {
+        self.uri.as_deref()
+    }
+
+    pub fn prefix(&self) -> Option<&str> {
+        self.prefix.as_deref()
+    }
+
+    /// The lexical form used for serialization: `prefix:local` or `local`.
+    pub fn lexical(&self) -> String {
+        match &self.prefix {
+            Some(p) => format!("{}:{}", p, self.local),
+            None => self.local.to_string(),
+        }
+    }
+
+    /// True when `self` and `other` have the same expanded name.
+    pub fn same_expanded(&self, other: &QName) -> bool {
+        self == other
+    }
+}
+
+impl PartialEq for QName {
+    fn eq(&self, other: &Self) -> bool {
+        self.local == other.local && self.uri.as_deref() == other.uri.as_deref()
+    }
+}
+
+impl Eq for QName {}
+
+impl std::hash::Hash for QName {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.local.hash(state);
+        self.uri.as_deref().hash(state);
+    }
+}
+
+impl PartialOrd for QName {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for QName {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.uri.as_deref(), &*self.local).cmp(&(other.uri.as_deref(), &*other.local))
+    }
+}
+
+impl fmt::Debug for QName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for QName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.uri {
+            Some(u) => write!(f, "{{{}}}{}", u, self.local),
+            None => write!(f, "{}", self.local),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equality_ignores_prefix() {
+        let a = QName::full(Some("p"), Some("http://x"), "name");
+        let b = QName::full(Some("q"), Some("http://x"), "name");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn inequality_on_uri() {
+        let a = QName::with_uri("http://x", "name");
+        let b = QName::local("name");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn lexical_form() {
+        let a = QName::full(Some("p"), Some("http://x"), "name");
+        assert_eq!(a.lexical(), "p:name");
+        assert_eq!(QName::local("n").lexical(), "n");
+    }
+
+    #[test]
+    fn display_expanded() {
+        assert_eq!(QName::with_uri("u", "l").to_string(), "{u}l");
+        assert_eq!(QName::local("l").to_string(), "l");
+    }
+}

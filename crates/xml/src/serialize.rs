@@ -1,0 +1,246 @@
+//! Serialization of items and sequences back to XML text — the engine of
+//! the algebra's `Serialize` operator.
+
+use std::fmt::Write as _;
+
+use crate::item::{Item, Sequence};
+use crate::node::{NodeHandle, NodeKind};
+
+/// Serializes one node to markup.
+pub fn serialize_node(node: &NodeHandle) -> String {
+    let mut out = String::new();
+    write_node(&mut out, node);
+    out
+}
+
+/// Serializes a sequence per the XQuery serialization rules: adjacent atomic
+/// values are separated by single spaces; nodes are serialized as markup.
+pub fn serialize_sequence(seq: &Sequence) -> String {
+    let mut out = String::new();
+    let mut prev_atomic = false;
+    for item in seq.iter() {
+        match item {
+            Item::Atomic(a) => {
+                if prev_atomic {
+                    out.push(' ');
+                }
+                out.push_str(&a.string_value());
+                prev_atomic = true;
+            }
+            Item::Node(n) => {
+                write_node(&mut out, n);
+                prev_atomic = false;
+            }
+        }
+    }
+    out
+}
+
+fn write_node(out: &mut String, node: &NodeHandle) {
+    match node.kind() {
+        NodeKind::Document => {
+            for c in node.children() {
+                write_node(out, &c);
+            }
+        }
+        NodeKind::Element => {
+            let name = node.name().expect("element has a name").lexical();
+            let _ = write!(out, "<{name}");
+            for a in node.attributes() {
+                let _ = write!(
+                    out,
+                    " {}=\"{}\"",
+                    a.name().expect("attribute has a name").lexical(),
+                    escape_attr(a.data().value.as_deref().unwrap_or(""))
+                );
+            }
+            // Emit a namespace declaration for elements whose QName carries
+            // a URI but no ancestor declared it; keep it simple: redeclare on
+            // every element whose own name has a URI differing from parent's.
+            if let Some(uri) = node.name().unwrap().uri() {
+                let parent_uri =
+                    node.parent().and_then(|p| p.name().and_then(|n| n.uri().map(String::from)));
+                if parent_uri.as_deref() != Some(uri) {
+                    match node.name().unwrap().prefix() {
+                        Some(p) => {
+                            let _ = write!(out, " xmlns:{p}=\"{}\"", escape_attr(uri));
+                        }
+                        None => {
+                            let _ = write!(out, " xmlns=\"{}\"", escape_attr(uri));
+                        }
+                    }
+                }
+            }
+            let children = node.children();
+            if children.is_empty() {
+                out.push_str("/>");
+            } else {
+                out.push('>');
+                for c in children {
+                    write_node(out, &c);
+                }
+                let _ = write!(out, "</{name}>");
+            }
+        }
+        NodeKind::Text => out.push_str(&escape_text(node.data().value.as_deref().unwrap_or(""))),
+        NodeKind::Comment => {
+            let _ = write!(out, "<!--{}-->", node.data().value.as_deref().unwrap_or(""));
+        }
+        NodeKind::Pi => {
+            let _ = write!(
+                out,
+                "<?{} {}?>",
+                node.name().expect("pi has a target").local_part(),
+                node.data().value.as_deref().unwrap_or("")
+            );
+        }
+        NodeKind::Attribute => {
+            // A free-standing attribute serializes as name="value".
+            let _ = write!(
+                out,
+                "{}=\"{}\"",
+                node.name().expect("attribute has a name").lexical(),
+                escape_attr(node.data().value.as_deref().unwrap_or(""))
+            );
+        }
+    }
+}
+
+/// Serializes one node with two-space indentation (for human inspection;
+/// whitespace-sensitive mixed content is kept inline).
+pub fn serialize_node_pretty(node: &NodeHandle) -> String {
+    let mut out = String::new();
+    write_pretty(&mut out, node, 0);
+    out
+}
+
+fn write_pretty(out: &mut String, node: &NodeHandle, depth: usize) {
+    match node.kind() {
+        NodeKind::Document => {
+            for c in node.children() {
+                write_pretty(out, &c, depth);
+            }
+        }
+        NodeKind::Element => {
+            let name = node.name().expect("element has a name").lexical();
+            let _ = write!(out, "{}<{name}", "  ".repeat(depth));
+            for a in node.attributes() {
+                let _ = write!(
+                    out,
+                    " {}=\"{}\"",
+                    a.name().expect("attribute has a name").lexical(),
+                    escape_attr(a.data().value.as_deref().unwrap_or(""))
+                );
+            }
+            let children = node.children();
+            if children.is_empty() {
+                out.push_str("/>\n");
+            } else if children.iter().all(|c| c.kind() == NodeKind::Element) {
+                out.push_str(">\n");
+                for c in children {
+                    write_pretty(out, &c, depth + 1);
+                }
+                let _ = writeln!(out, "{}</{name}>", "  ".repeat(depth));
+            } else {
+                // Mixed or text content: keep inline to preserve values.
+                out.push('>');
+                for c in children {
+                    write_node(out, &c);
+                }
+                let _ = writeln!(out, "</{name}>");
+            }
+        }
+        _ => {
+            let _ = write!(out, "{}", "  ".repeat(depth));
+            write_node(out, node);
+            out.push('\n');
+        }
+    }
+}
+
+/// Escapes character data.
+pub fn escape_text(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escapes attribute values (double-quote delimited).
+pub fn escape_attr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '&' => out.push_str("&amp;"),
+            '"' => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atomic::AtomicValue;
+    use crate::parse::{parse_document, ParseOptions};
+
+    fn round_trip(s: &str) -> String {
+        let d = parse_document(s, &ParseOptions::default()).unwrap();
+        serialize_node(&d.root())
+    }
+
+    #[test]
+    fn simple_round_trip() {
+        assert_eq!(round_trip("<a><b x=\"1\">t</b><c/></a>"), "<a><b x=\"1\">t</b><c/></a>");
+    }
+
+    #[test]
+    fn escaping() {
+        assert_eq!(round_trip("<a>&lt;&amp;</a>"), "<a>&lt;&amp;</a>");
+        assert_eq!(round_trip("<a x=\"&quot;q&quot;\"/>"), "<a x=\"&quot;q&quot;\"/>");
+    }
+
+    #[test]
+    fn atomics_space_separated() {
+        let seq = Sequence::from_atomics(vec![
+            AtomicValue::Integer(1),
+            AtomicValue::Integer(2),
+            AtomicValue::string("x"),
+        ]);
+        assert_eq!(serialize_sequence(&seq), "1 2 x");
+    }
+
+    #[test]
+    fn comment_and_pi_round_trip() {
+        assert_eq!(round_trip("<a><!--c--><?t d?></a>"), "<a><!--c--><?t d?></a>");
+    }
+}
+
+#[cfg(test)]
+mod pretty_tests {
+    use super::*;
+    use crate::parse::{parse_document, ParseOptions};
+
+    #[test]
+    fn pretty_indents_element_only_content() {
+        let d = parse_document("<a><b><c/></b><d>text</d></a>", &ParseOptions::default())
+            .unwrap();
+        let out = serialize_node_pretty(&d.root());
+        assert_eq!(out, "<a>\n  <b>\n    <c/>\n  </b>\n  <d>text</d>\n</a>\n");
+    }
+
+    #[test]
+    fn pretty_preserves_mixed_content_inline() {
+        let d = parse_document("<a>x<b/>y</a>", &ParseOptions::default()).unwrap();
+        let out = serialize_node_pretty(&d.root());
+        assert_eq!(out, "<a>x<b/>y</a>\n");
+    }
+}

@@ -1,0 +1,183 @@
+//! `xqr` — command-line XQuery runner.
+//!
+//! ```text
+//! xqr [OPTIONS] (-q QUERY | QUERY_FILE)
+//!
+//!   -q, --query TEXT        inline query text
+//!   -d, --doc URI=PATH      bind an XML file under a URI (repeatable)
+//!       --var NAME=VALUE    bind an external variable to a string value
+//!       --mode MODE         no-algebra | no-optim | nl | hash | sort  [hash]
+//!       --explain           print the compiled plan instead of running
+//!       --stats             print rewrite-rule applications to stderr
+//!       --pretty            indent element-only output
+//!       --time              print evaluation time to stderr
+//! ```
+//!
+//! Example:
+//!
+//! ```sh
+//! xqr -d auction.xml=data/auction.xml \
+//!     -q "for $p in doc('auction.xml')//person return $p/name/text()"
+//! ```
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use xqr::engine::{CompileOptions, Engine, ExecutionMode};
+use xqr::xml::{AtomicValue, Item, Sequence};
+
+struct Args {
+    query: Option<String>,
+    query_file: Option<String>,
+    docs: Vec<(String, String)>,
+    vars: Vec<(String, String)>,
+    mode: ExecutionMode,
+    explain: bool,
+    stats: bool,
+    pretty: bool,
+    time: bool,
+}
+
+const USAGE: &str = "usage: xqr [OPTIONS] (-q QUERY | QUERY_FILE)
+  -q, --query TEXT        inline query text
+  -d, --doc URI=PATH      bind an XML file under a URI (repeatable)
+      --var NAME=VALUE    bind an external variable to a string value
+      --mode MODE         no-algebra | no-optim | nl | hash | sort  [hash]
+      --explain           print the compiled plan instead of running
+      --stats             print rewrite-rule applications to stderr
+      --pretty            indent element-only output
+      --time              print evaluation time to stderr";
+
+fn parse_args() -> Result<Args, String> {
+    let mut out = Args {
+        query: None,
+        query_file: None,
+        docs: Vec::new(),
+        vars: Vec::new(),
+        mode: ExecutionMode::OptimHashJoin,
+        explain: false,
+        stats: false,
+        pretty: false,
+        time: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let arg = argv[i].as_str();
+        let value = |i: &mut usize| -> Result<String, String> {
+            *i += 1;
+            argv.get(*i).cloned().ok_or_else(|| format!("{arg} requires a value"))
+        };
+        match arg {
+            "-q" | "--query" => out.query = Some(value(&mut i)?),
+            "-d" | "--doc" => {
+                let v = value(&mut i)?;
+                let (uri, path) = v
+                    .split_once('=')
+                    .ok_or_else(|| format!("--doc expects URI=PATH, got {v:?}"))?;
+                out.docs.push((uri.to_string(), path.to_string()));
+            }
+            "--var" => {
+                let v = value(&mut i)?;
+                let (name, val) = v
+                    .split_once('=')
+                    .ok_or_else(|| format!("--var expects NAME=VALUE, got {v:?}"))?;
+                out.vars.push((name.to_string(), val.to_string()));
+            }
+            "--mode" => {
+                out.mode = match value(&mut i)?.as_str() {
+                    "no-algebra" => ExecutionMode::NoAlgebra,
+                    "no-optim" => ExecutionMode::AlgebraNoOptim,
+                    "nl" => ExecutionMode::OptimNestedLoop,
+                    "hash" => ExecutionMode::OptimHashJoin,
+                    "sort" => ExecutionMode::OptimSortJoin,
+                    other => return Err(format!("unknown mode {other:?}")),
+                };
+            }
+            "--explain" => out.explain = true,
+            "--stats" => out.stats = true,
+            "--pretty" => out.pretty = true,
+            "--time" => out.time = true,
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other if !other.starts_with('-') && out.query_file.is_none() => {
+                out.query_file = Some(other.to_string());
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+        i += 1;
+    }
+    if out.query.is_none() && out.query_file.is_none() {
+        return Err("a query is required (use -q TEXT or a QUERY_FILE)".into());
+    }
+    Ok(out)
+}
+
+fn run(args: Args) -> Result<(), String> {
+    let query = match (&args.query, &args.query_file) {
+        (Some(q), _) => q.clone(),
+        (None, Some(f)) => {
+            std::fs::read_to_string(f).map_err(|e| format!("cannot read {f}: {e}"))?
+        }
+        _ => unreachable!(),
+    };
+    let mut engine = Engine::new();
+    for (uri, path) in &args.docs {
+        let xml =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        engine
+            .bind_document(uri, &xml)
+            .map_err(|e| format!("cannot parse {path}: {e}"))?;
+    }
+    for (name, val) in &args.vars {
+        engine.bind_variable(name, Sequence::singleton(AtomicValue::string(val.as_str())));
+    }
+    let prepared = engine
+        .prepare(&query, &CompileOptions::mode(args.mode))
+        .map_err(|e| e.to_string())?;
+    if args.stats {
+        if let Some(stats) = prepared.rewrite_stats() {
+            for (rule, n) in &stats.applications {
+                eprintln!("{n}\u{00d7} ({rule})");
+            }
+        }
+    }
+    if args.explain {
+        println!("{}", prepared.explain());
+        return Ok(());
+    }
+    let t = Instant::now();
+    let result = prepared.run(&engine).map_err(|e| e.to_string())?;
+    if args.time {
+        eprintln!("evaluation: {:?}", t.elapsed());
+    }
+    if args.pretty {
+        for item in result.iter() {
+            match item {
+                Item::Node(n) => print!("{}", xqr::xml::serialize::serialize_node_pretty(n)),
+                Item::Atomic(a) => println!("{}", a.string_value()),
+            }
+        }
+    } else {
+        println!("{}", xqr::xml::serialize_sequence(&result));
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match parse_args() {
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            ExitCode::from(2)
+        }
+        Ok(args) => match run(args) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+    }
+}

@@ -1,0 +1,133 @@
+//! Document projection (`TreeProject`, Table 1 / Marian & Siméon):
+//! correctness on the XMark workload, pruning effect, and the conservative
+//! safety analysis.
+
+use xqr::engine::{CompileOptions, Engine, ExecutionMode};
+use xqr_xmark::{generate, query, GenOptions};
+
+fn engine() -> Engine {
+    let xml = generate(&GenOptions::for_bytes(100_000));
+    let mut e = Engine::new();
+    e.bind_document("auction.xml", &xml).unwrap();
+    e
+}
+
+#[test]
+fn xmark_results_unchanged_under_projection() {
+    let e = engine();
+    for n in 1..=xqr_xmark::QUERY_COUNT {
+        let q = query(n);
+        let plain = e
+            .prepare(q, &CompileOptions::mode(ExecutionMode::OptimHashJoin))
+            .unwrap()
+            .run_to_string(&e)
+            .unwrap();
+        let projected = e
+            .prepare(q, &CompileOptions::with_projection(ExecutionMode::OptimHashJoin))
+            .unwrap()
+            .run_to_string(&e)
+            .unwrap_or_else(|err| panic!("Q{n} with projection: {err}"));
+        assert_eq!(plain, projected, "Q{n} changed under projection");
+    }
+}
+
+#[test]
+fn projection_appears_in_plan_for_navigation_queries() {
+    let e = engine();
+    // Q1 only touches /site/people/person[@id]/name — heavy pruning.
+    let p = e
+        .prepare(query(1), &CompileOptions::with_projection(ExecutionMode::OptimHashJoin))
+        .unwrap();
+    assert!(p.explain().contains("TreeProject") || {
+        // The projection wraps a *global*, not the body; check via compiled
+        // module instead.
+        p.compiled()
+            .map(|m| {
+                m.globals.iter().any(|(_, g)| {
+                    matches!(g, Some(plan) if format!("{plan:?}").contains("TreeProject"))
+                })
+            })
+            .unwrap_or(false)
+    });
+}
+
+#[test]
+fn projection_prunes_most_of_the_tree() {
+    // Direct check of the operator: project the auction doc down to the
+    // person names and compare node counts.
+    use xqr::core::algebra::{Op, Plan};
+    use xqr::xml::axes::{Axis, NameTest, NodeTest};
+
+    let xml = generate(&GenOptions::for_bytes(100_000));
+    let doc = xqr::xml::parse_document(&xml, &xqr::xml::ParseOptions::default()).unwrap();
+    let total_nodes = doc.node_count();
+
+    let mut e = Engine::new();
+    e.bind_document_node("auction.xml", doc.root());
+    // Build a tiny module around the operator through the public pipeline.
+    let q = "let $d := doc('auction.xml') return count($d/site/people/person/name)";
+    let with = e
+        .prepare(q, &CompileOptions::with_projection(ExecutionMode::OptimHashJoin))
+        .unwrap()
+        .run_to_string(&e)
+        .unwrap();
+    let without = e.execute_to_string(q).unwrap();
+    assert_eq!(with, without);
+
+    // And measure the pruning with the raw operator.
+    let path = vec![vec![
+        (Axis::Child, NodeTest::Name(NameTest::local("site"))),
+        (Axis::Child, NodeTest::Name(NameTest::local("people"))),
+        (Axis::Child, NodeTest::Name(NameTest::local("person"))),
+        (Axis::Child, NodeTest::Name(NameTest::local("name"))),
+    ]];
+    let _ = Plan::new(Op::Empty);
+    let projected = project_via_runtime(doc.root(), path);
+    assert!(
+        projected < total_nodes / 2,
+        "projection should prune most nodes: {projected} of {total_nodes}"
+    );
+}
+
+fn project_via_runtime(
+    root: xqr::xml::NodeHandle,
+    paths: Vec<Vec<(xqr::xml::axes::Axis, xqr::xml::axes::NodeTest)>>,
+) -> usize {
+    // Run TreeProject through a one-off engine query plan.
+    use std::collections::HashMap;
+    use xqr::core::algebra::{Op, Plan};
+    use xqr::core::compile::CompiledModule;
+
+    let module = CompiledModule {
+        functions: HashMap::new(),
+        globals: Vec::new(),
+        body: Plan::new(Op::TreeProject {
+            paths,
+            input: Box::new(Plan::new(Op::Parse {
+                uri: Box::new(Plan::scalar(xqr::xml::AtomicValue::string("auction.xml"))),
+            })),
+        }),
+    };
+    let schema = xqr::types::Schema::new();
+    let mut docs = HashMap::new();
+    docs.insert("auction.xml".to_string(), root);
+    let mut ctx = xqr::runtime::Ctx::new(&module, &schema, &docs, xqr::runtime::JoinAlgorithm::Hash);
+    let out = xqr::runtime::eval::eval_module(&mut ctx).unwrap();
+    let node = out.get(0).unwrap().as_node().unwrap().clone();
+    node.doc.node_count()
+}
+
+#[test]
+fn unsafe_queries_still_correct_with_projection_flag() {
+    // Queries using parent axes: the pass must decline, results unchanged.
+    let e = engine();
+    let q = "let $d := doc('auction.xml') return \
+             count(for $n in $d//name return $n/..)";
+    let plain = e.execute_to_string(q).unwrap();
+    let flagged = e
+        .prepare(q, &CompileOptions::with_projection(ExecutionMode::OptimHashJoin))
+        .unwrap()
+        .run_to_string(&e)
+        .unwrap();
+    assert_eq!(plain, flagged);
+}

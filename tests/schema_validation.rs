@@ -1,0 +1,151 @@
+//! Schema + validation end-to-end: the machinery behind the paper's
+//! `Validate`, `TypeAssert` and `element(*, T)` operators, exercised
+//! through the public API in every execution mode.
+
+use xqr::engine::{CompileOptions, Engine, ExecutionMode};
+use xqr::types::Schema;
+use xqr::xml::AtomicType;
+
+fn engine() -> Engine {
+    let mut e = Engine::new();
+    let mut s = Schema::new();
+    s.complex_type("Auction", None)
+        .complex_type("USAuction", Some("Auction"))
+        .complex_type("EUAuction", Some("Auction"))
+        .simple_type("Money", AtomicType::Decimal, None)
+        .simple_type("Count", AtomicType::Integer, None)
+        .element("us", "USAuction")
+        .element("eu", "EUAuction")
+        .element("price", "Money")
+        .element("qty", "Count")
+        .attribute("income", "Money");
+    e.set_schema(s);
+    e.bind_document(
+        "sales.xml",
+        r#"<sales>
+             <us><price>10.50</price><qty>2</qty></us>
+             <us><price>8.25</price><qty>1</qty></us>
+             <eu><price>20.00</price><qty>3</qty></eu>
+           </sales>"#,
+    )
+    .unwrap();
+    e
+}
+
+fn check(q: &str, expected: &str) {
+    let e = engine();
+    for mode in ExecutionMode::ALL {
+        let out = e
+            .prepare(q, &CompileOptions::mode(mode))
+            .unwrap()
+            .run_to_string(&e)
+            .unwrap_or_else(|err| panic!("{mode:?} {q:?}: {err}"));
+        assert_eq!(out, expected, "{mode:?}");
+    }
+}
+
+#[test]
+fn typed_values_flow_into_arithmetic() {
+    // After validation, price atomizes as xs:decimal and qty as xs:integer:
+    // revenue sums without explicit casts.
+    check(
+        "sum(for $s in validate { doc('sales.xml') }//us \
+         return data($s/price) * data($s/qty))",
+        "29.25",
+    );
+}
+
+#[test]
+fn kind_tests_with_derivation() {
+    // element(*, Auction) matches both us (USAuction) and eu (EUAuction)
+    // through derivation; element(*, USAuction) only the us elements.
+    check(
+        "count(validate { doc('sales.xml') }//element(*, Auction))",
+        "3",
+    );
+    check(
+        "count(validate { doc('sales.xml') }//element(*, USAuction))",
+        "2",
+    );
+    check(
+        "count(doc('sales.xml')//element(*, Auction))",
+        "0", // unvalidated elements are untyped
+    );
+}
+
+#[test]
+fn typeswitch_on_schema_types() {
+    check(
+        "for $a in validate { doc('sales.xml') }/sales/* \
+         return typeswitch ($a) \
+                case element(*, USAuction) return 'US' \
+                case element(*, EUAuction) return 'EU' \
+                default return '?'",
+        "US US EU",
+    );
+}
+
+#[test]
+fn instance_of_with_schema_types() {
+    check(
+        "validate { doc('sales.xml') }//us instance of element(*, Auction)+",
+        "true",
+    );
+    check(
+        "doc('sales.xml')//us instance of element(*, Auction)+",
+        "false",
+    );
+}
+
+#[test]
+fn treat_as_schema_type_gates_results() {
+    let e = engine();
+    // treat as element(*,EUAuction)+ over us elements must fail everywhere.
+    let q = "validate { doc('sales.xml') }//us treat as element(*, EUAuction)+";
+    for mode in ExecutionMode::ALL {
+        let r = e.prepare(q, &CompileOptions::mode(mode)).unwrap().run(&e);
+        assert!(r.is_err(), "{mode:?}");
+    }
+}
+
+#[test]
+fn validation_failure_surfaces() {
+    let mut e = engine();
+    e.bind_document("bad.xml", "<price>not-money</price>").unwrap();
+    for mode in ExecutionMode::ALL {
+        let r = e
+            .prepare("validate { doc('bad.xml') }", &CompileOptions::mode(mode))
+            .unwrap()
+            .run(&e);
+        assert!(r.is_err(), "{mode:?}: invalid simple content must fail validation");
+    }
+}
+
+#[test]
+fn typed_join_keys_via_validation() {
+    // Join on validated decimal content against integer-typed literals:
+    // promotion through the typed hash join.
+    let mut e = engine();
+    e.bind_document("k.xml", "<ks><k>2</k><k>3</k></ks>").unwrap();
+    let q = "let $s := validate { doc('sales.xml') } return \
+             for $k in validate { doc('k.xml') }//qty \
+             return count(for $u in $s//us where data($u/qty) = data($k) return $u)";
+    // k.xml has no qty elements — empty outer loop.
+    check_with(&e, q, "");
+    let q2 = "let $s := validate { doc('sales.xml') } return \
+              for $u in $s//us \
+              let $m := for $q in (1, 2.0) where data($u/qty) = $q return $q \
+              return count($m)";
+    check_with(&e, q2, "1 1");
+}
+
+fn check_with(e: &Engine, q: &str, expected: &str) {
+    for mode in ExecutionMode::ALL {
+        let out = e
+            .prepare(q, &CompileOptions::mode(mode))
+            .unwrap()
+            .run_to_string(e)
+            .unwrap_or_else(|err| panic!("{mode:?} {q:?}: {err}"));
+        assert_eq!(out, expected, "{mode:?}");
+    }
+}

@@ -1,0 +1,113 @@
+//! End-to-end reproduction of Section 2's running example: the XMark Q8
+//! variant (P1 → P2), with the schema/validation machinery the paper's
+//! version exercises (type assertion `element(*,Auction)*`, `validate`,
+//! and the `element(*,USSeller)` kind test).
+
+use xqr::engine::{CompileOptions, Engine, ExecutionMode};
+use xqr::types::Schema;
+use xqr::xml::AtomicType;
+
+const QUERY: &str = "for $p in $auction//person \
+     let $a as element(*,Auction)* := \
+        for $t in $auction//closed_auction \
+        where $t/buyer/@person = $p/@id \
+        return validate { $t } \
+     return <item person=\"{$p/name/text()}\">{ count($a//element(*,USSeller)) }</item>";
+
+fn engine() -> Engine {
+    let mut e = Engine::new();
+    let mut schema = Schema::new();
+    schema
+        .complex_type("Auction", None)
+        .complex_type("Seller", None)
+        .complex_type("USSeller", Some("Seller"))
+        .element("closed_auction", "Auction")
+        .element("seller", "USSeller")
+        .simple_type("Price", AtomicType::Decimal, None)
+        .element("price", "Price");
+    e.set_schema(schema);
+    let doc = r#"<auction>
+        <person id="p1"><name>Ann</name></person>
+        <person id="p2"><name>Bob</name></person>
+        <person id="p3"><name>Cid</name></person>
+        <closed_auction><buyer person="p1"/><seller/><price>10.5</price></closed_auction>
+        <closed_auction><buyer person="p1"/><seller/><price>20.0</price></closed_auction>
+        <closed_auction><buyer person="p2"/><seller/><price>30.0</price></closed_auction>
+    </auction>"#;
+    e.bind_document("auction.xml", doc).unwrap();
+    e
+}
+
+fn bound_query() -> String {
+    format!("let $auction := doc('auction.xml') return {QUERY}")
+}
+
+#[test]
+fn p2_results_agree_across_modes() {
+    let e = engine();
+    let mut results = Vec::new();
+    for mode in ExecutionMode::ALL {
+        let out = e
+            .prepare(&bound_query(), &CompileOptions::mode(mode))
+            .unwrap()
+            .run_to_string(&e)
+            .unwrap_or_else(|err| panic!("{mode:?}: {err}"));
+        results.push(out);
+    }
+    for w in results.windows(2) {
+        assert_eq!(w[0], w[1]);
+    }
+    // Ann bought two auctions (two validated USSellers), Bob one, Cid none.
+    assert_eq!(
+        results[0],
+        "<item person=\"Ann\">2</item><item person=\"Bob\">1</item><item person=\"Cid\">0</item>"
+    );
+}
+
+#[test]
+fn p2_plan_contains_papers_operators() {
+    let e = engine();
+    let p = e
+        .prepare(&bound_query(), &CompileOptions::mode(ExecutionMode::OptimHashJoin))
+        .unwrap();
+    let plan = p.explain();
+    for op in ["GroupBy", "LOuterJoin", "MapIndexStep", "TypeAssert", "Validate"] {
+        assert!(plan.contains(op), "P2 must contain {op}:\n{plan}");
+    }
+    let stats = p.rewrite_stats().unwrap();
+    for rule in
+        ["insert group-by", "map through group-by", "remove duplicate null", "insert outer-join"]
+    {
+        assert!(stats.count(rule) >= 1, "rule {rule} must fire: {stats:?}");
+    }
+}
+
+#[test]
+fn type_assertion_fails_without_validation() {
+    // Without `validate`, the nested block yields untyped elements that do
+    // not satisfy `element(*,Auction)*` — the TypeAssert must raise XPDY0050
+    // in every mode.
+    let e = engine();
+    let q = "let $auction := doc('auction.xml') return \
+             for $p in $auction//person \
+             let $a as element(*,Auction)* := \
+                for $t in $auction//closed_auction \
+                where $t/buyer/@person = $p/@id return $t \
+             return count($a)";
+    for mode in ExecutionMode::ALL {
+        let r = e.prepare(q, &CompileOptions::mode(mode)).unwrap().run(&e);
+        assert!(r.is_err(), "{mode:?} must fail the type assertion");
+    }
+}
+
+#[test]
+fn validation_provides_typed_values() {
+    // After validation, price atomizes to xs:decimal: arithmetic works
+    // without explicit casts.
+    let e = engine();
+    let q = "let $auction := doc('auction.xml') return \
+             sum(for $t in $auction//closed_auction return \
+                 data(validate { $t }/price))";
+    let out = e.execute_to_string(q).unwrap();
+    assert_eq!(out, "60.5");
+}

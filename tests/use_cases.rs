@@ -1,0 +1,212 @@
+//! A selection of the W3C *XML Query Use Cases* (the suite the paper's
+//! regression tests include), adapted to this engine, each checked across
+//! all execution modes.
+
+use xqr::engine::{CompileOptions, Engine, ExecutionMode};
+
+const BIB: &str = r#"<bib>
+  <book year="1994"><title>TCP/IP Illustrated</title>
+    <author><last>Stevens</last><first>W.</first></author>
+    <publisher>Addison-Wesley</publisher><price>65.95</price></book>
+  <book year="1992"><title>Advanced Programming in the Unix environment</title>
+    <author><last>Stevens</last><first>W.</first></author>
+    <publisher>Addison-Wesley</publisher><price>65.95</price></book>
+  <book year="2000"><title>Data on the Web</title>
+    <author><last>Abiteboul</last><first>Serge</first></author>
+    <author><last>Buneman</last><first>Peter</first></author>
+    <author><last>Suciu</last><first>Dan</first></author>
+    <publisher>Morgan Kaufmann Publishers</publisher><price>39.95</price></book>
+  <book year="1999"><title>The Economics of Technology and Content for Digital TV</title>
+    <author><last>Gerbarg</last><first>Darcy</first></author>
+    <publisher>Kluwer Academic Publishers</publisher><price>129.95</price></book>
+</bib>"#;
+
+const REVIEWS: &str = r#"<reviews>
+  <entry><title>Data on the Web</title><price>34.95</price>
+    <review>A very good discussion of semi-structured database systems and XML.</review></entry>
+  <entry><title>Advanced Programming in the Unix environment</title><price>65.95</price>
+    <review>A clear and detailed discussion of UNIX programming.</review></entry>
+  <entry><title>TCP/IP Illustrated</title><price>65.95</price>
+    <review>One of the best books on TCP/IP.</review></entry>
+</reviews>"#;
+
+fn engine() -> Engine {
+    let mut e = Engine::new();
+    e.bind_document("bib.xml", BIB).unwrap();
+    e.bind_document("reviews.xml", REVIEWS).unwrap();
+    e
+}
+
+fn check(q: &str, expected: &str) {
+    let e = engine();
+    for mode in ExecutionMode::ALL {
+        let out = e
+            .prepare(q, &CompileOptions::mode(mode))
+            .unwrap_or_else(|err| panic!("{mode:?} prepare {q:?}: {err}"))
+            .run_to_string(&e)
+            .unwrap_or_else(|err| panic!("{mode:?} run {q:?}: {err}"));
+        assert_eq!(out, expected, "{mode:?}: {q}");
+    }
+}
+
+/// XMP Q1: books published by Addison-Wesley after 1991.
+#[test]
+fn xmp_q1() {
+    check(
+        "<bib>{ for $b in doc('bib.xml')/bib/book \
+                where $b/publisher = 'Addison-Wesley' and $b/@year > 1991 \
+                return <book year=\"{ $b/@year }\">{ $b/title }</book> }</bib>",
+        "<bib><book year=\"1994\"><title>TCP/IP Illustrated</title></book>\
+         <book year=\"1992\"><title>Advanced Programming in the Unix environment</title></book></bib>",
+    );
+}
+
+/// XMP Q2: flat title/author pairs.
+#[test]
+fn xmp_q2() {
+    let e = engine();
+    let out = e
+        .execute(
+            "for $b in doc('bib.xml')/bib/book, $t in $b/title, $a in $b/author \
+             return <result>{ $t }{ $a }</result>",
+        )
+        .unwrap();
+    assert_eq!(out.len(), 6, "one result per (title, author) pair");
+}
+
+/// XMP Q3: title + all authors, per book.
+#[test]
+fn xmp_q3() {
+    let e = engine();
+    let out = e
+        .execute("for $b in doc('bib.xml')/bib/book return <result>{ $b/title }{ $b/author }</result>")
+        .unwrap();
+    assert_eq!(out.len(), 4);
+}
+
+/// XMP Q4: group books by author (join on nested structure).
+#[test]
+fn xmp_q4_author_grouping() {
+    let e = engine();
+    let q = "<results>{ \
+               for $last in distinct-values(doc('bib.xml')//author/last/text()) \
+               order by $last \
+               return <result><author>{ $last }</author>\
+                 { for $b in doc('bib.xml')/bib/book \
+                   where $b/author/last = $last \
+                   return $b/title }</result> }</results>";
+    let out = e.execute_to_string(q).unwrap();
+    assert!(out.contains("<author>Stevens</author><title>TCP/IP Illustrated</title>"));
+    // Stevens has two books in one group.
+    let stevens = out.split("Stevens").nth(1).unwrap();
+    assert!(stevens.contains("Advanced Programming"));
+    // Agreement across modes.
+    for mode in ExecutionMode::ALL {
+        let o2 = e
+            .prepare(q, &CompileOptions::mode(mode))
+            .unwrap()
+            .run_to_string(&e)
+            .unwrap();
+        assert_eq!(o2, out, "{mode:?}");
+    }
+}
+
+/// XMP Q5: join between bib and reviews on title.
+#[test]
+fn xmp_q5_two_document_join() {
+    let q = "for $b in doc('bib.xml')/bib/book, \
+                 $e in doc('reviews.xml')/reviews/entry \
+             where $b/title/text() = $e/title/text() \
+             order by $b/title/text() \
+             return <book-with-prices>{ $b/title }\
+                    <price-review>{ $e/price/text() }</price-review>\
+                    <price>{ $b/price/text() }</price></book-with-prices>";
+    check(
+        q,
+        "<book-with-prices><title>Advanced Programming in the Unix environment</title>\
+         <price-review>65.95</price-review><price>65.95</price></book-with-prices>\
+         <book-with-prices><title>Data on the Web</title>\
+         <price-review>34.95</price-review><price>39.95</price></book-with-prices>\
+         <book-with-prices><title>TCP/IP Illustrated</title>\
+         <price-review>65.95</price-review><price>65.95</price></book-with-prices>",
+    );
+}
+
+/// XMP Q6: books with more than one author use positional/filter logic.
+#[test]
+fn xmp_q6_multi_author_books() {
+    check(
+        "for $b in doc('bib.xml')//book where count($b/author) > 1 \
+         return <multi>{ $b/title/text() }</multi>",
+        "<multi>Data on the Web</multi>",
+    );
+}
+
+/// XMP Q12 (adapted): books priced between bounds, arithmetic on decimals.
+#[test]
+fn price_arithmetic() {
+    check(
+        "round(sum(for $b in doc('bib.xml')//book return $b/price))",
+        "302",
+    );
+    check(
+        "for $b in doc('bib.xml')//book where $b/price < 40 return $b/title/text()",
+        "Data on the Web",
+    );
+}
+
+/// Conditional + typeswitch over heterogeneous content.
+#[test]
+fn typeswitch_use_case() {
+    check(
+        "for $x in (1, 'two', 3.5) \
+         return typeswitch ($x) \
+                case $i as xs:integer return <int>{ $i }</int> \
+                case $s as xs:string return <str>{ $s }</str> \
+                default $d return <other>{ $d }</other>",
+        "<int>1</int><str>two</str><other>3.5</other>",
+    );
+}
+
+/// Quantifiers over document content.
+#[test]
+fn quantifier_use_case() {
+    check(
+        "if (some $b in doc('bib.xml')//book satisfies $b/price > 100) \
+         then 'expensive exists' else 'all cheap'",
+        "expensive exists",
+    );
+    check(
+        "every $b in doc('bib.xml')//book satisfies exists($b/author)",
+        "true",
+    );
+}
+
+/// Sequence/aggregate functions over node content.
+#[test]
+fn aggregates_use_case() {
+    check("count(doc('bib.xml')//author)", "6");
+    check("count(distinct-values(doc('bib.xml')//author/last/text()))", "5");
+    check("min(for $b in doc('bib.xml')//book return xs:decimal($b/price))", "39.95");
+}
+
+/// Computed constructors + dynamic names.
+#[test]
+fn computed_constructor_use_case() {
+    check(
+        "for $b in doc('bib.xml')/bib/book[1] \
+         return element { concat('book-', $b/@year) } { $b/title/text() }",
+        "<book-1994>TCP/IP Illustrated</book-1994>",
+    );
+}
+
+/// Node identity and order comparisons.
+#[test]
+fn node_comparisons() {
+    check(
+        "let $first := doc('bib.xml')//book[1] \
+         let $again := doc('bib.xml')//book[@year = '1994'] \
+         return ($first is $again, $first << doc('bib.xml')//book[2])",
+        "true true",
+    );
+}

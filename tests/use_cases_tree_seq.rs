@@ -1,0 +1,178 @@
+//! More W3C XML Query Use Cases: the TREE family (recursive document
+//! structure), the SEQ family (document-order operations over a medical
+//! report), and PARTS (recursive assembly construction) — the use-case
+//! suite is part of the paper's regression tests. All checked across
+//! execution modes.
+
+use xqr::engine::{CompileOptions, Engine, ExecutionMode};
+
+const BOOK: &str = r#"<book>
+  <title>Data on the Web</title>
+  <author>Serge Abiteboul</author>
+  <section id="intro" difficulty="easy">
+    <title>Introduction</title>
+    <p>Audience of this book.</p>
+    <section>
+      <title>Web Data and the Two Cultures</title>
+      <p>Diverse fields.</p>
+      <figure height="400" width="400"><title>Traditional client/server</title><image source="csarch.gif"/></figure>
+    </section>
+  </section>
+  <section id="syntax" difficulty="medium">
+    <title>A Syntax For Data</title>
+    <p>Base syntax.</p>
+    <figure height="200" width="500"><title>Graph representations</title><image source="graphs.gif"/></figure>
+    <section>
+      <title>Base Types</title>
+      <p>Basics.</p>
+    </section>
+    <section>
+      <title>Representing Relational Databases</title>
+      <p>Rows.</p>
+      <figure height="250" width="400"><title>Relational data</title><image source="relational.gif"/></figure>
+    </section>
+  </section>
+</book>"#;
+
+const REPORT: &str = r#"<report>
+  <section><section.title>Procedure</section.title>
+    <procedure>
+      <incision><instrument>scalpel</instrument><anesthesia>local</anesthesia></incision>
+      <incision><instrument>electrocautery</instrument></incision>
+      <action><instrument>curved scissors</instrument></action>
+      <observation>normal appearance</observation>
+    </procedure>
+  </section>
+</report>"#;
+
+fn engine() -> Engine {
+    let mut e = Engine::new();
+    e.bind_document("book.xml", BOOK).unwrap();
+    e.bind_document("report.xml", REPORT).unwrap();
+    e
+}
+
+fn check(q: &str, expected: &str) {
+    let e = engine();
+    for mode in ExecutionMode::ALL {
+        let out = e
+            .prepare(q, &CompileOptions::mode(mode))
+            .unwrap_or_else(|err| panic!("{mode:?} prepare {q:?}: {err}"))
+            .run_to_string(&e)
+            .unwrap_or_else(|err| panic!("{mode:?} run {q:?}: {err}"));
+        assert_eq!(out, expected, "{mode:?}: {q}");
+    }
+}
+
+/// TREE Q1: table of contents via a recursive function over sections.
+#[test]
+fn tree_q1_recursive_toc() {
+    let q = "declare function local:toc($s) \
+             { for $sec in $s/section \
+               return <section>{ $sec/title }{ local:toc($sec) }</section> }; \
+             <toc>{ local:toc(doc('book.xml')/book) }</toc>";
+    let e = engine();
+    let out = e.execute_to_string(q).unwrap();
+    assert!(out.starts_with("<toc><section><title>Introduction</title>"));
+    // Nested sections survive recursion.
+    assert!(out.contains("<section><title>Base Types</title></section>"));
+    // Modes agree on the recursive output.
+    for mode in ExecutionMode::ALL {
+        let o = e
+            .prepare(q, &CompileOptions::mode(mode))
+            .unwrap()
+            .run_to_string(&e)
+            .unwrap();
+        assert_eq!(o, out, "{mode:?}");
+    }
+}
+
+/// TREE Q2: count figures at any depth.
+#[test]
+fn tree_q2_count_figures() {
+    check("count(doc('book.xml')//figure)", "3");
+}
+
+/// TREE Q3/Q4: top-level vs deep section counts.
+#[test]
+fn tree_section_depths() {
+    check("count(doc('book.xml')/book/section)", "2");
+    check("count(doc('book.xml')//section)", "5");
+}
+
+/// TREE Q5: titles of sections directly containing figures.
+#[test]
+fn tree_q5_figures_with_titles() {
+    check(
+        "for $s in doc('book.xml')//section \
+         where exists($s/figure) \
+         return ($s/title/text(), ';')",
+        "Web Data and the Two Cultures;A Syntax For Data;Representing Relational Databases;",
+    );
+}
+
+/// TREE Q6: one-level projection of top sections (title + figure count).
+#[test]
+fn tree_q6_section_summary() {
+    check(
+        "for $s in doc('book.xml')/book/section \
+         return <summary title=\"{$s/title/text()}\" figures=\"{count($s//figure)}\"/>",
+        "<summary title=\"Introduction\" figures=\"1\"/>\
+         <summary title=\"A Syntax For Data\" figures=\"2\"/>",
+    );
+}
+
+/// SEQ Q1: instruments of the first two incisions, in document order.
+#[test]
+fn seq_q1_first_two_incisions() {
+    check(
+        "for $i in (doc('report.xml')//incision)[position() <= 2] \
+         return $i/instrument/text()",
+        "scalpelelectrocautery",
+    );
+}
+
+/// SEQ Q2: everything between the first and second incision (`<<`/`>>`).
+#[test]
+fn seq_q2_between_incisions() {
+    check(
+        "let $i1 := (doc('report.xml')//incision)[1] \
+         let $i2 := (doc('report.xml')//incision)[2] \
+         return count(for $n in doc('report.xml')//node() \
+                      where $i1 << $n and $n << $i2 return $n)",
+        "4", // instrument + its text + anesthesia + its text
+    );
+}
+
+/// SEQ Q4: actions after the second incision.
+#[test]
+fn seq_q4_after_second_incision() {
+    check(
+        "let $i2 := (doc('report.xml')//incision)[2] \
+         return count(for $a in doc('report.xml')//action \
+                      where $i2 << $a return $a)",
+        "1",
+    );
+}
+
+/// PARTS-style recursive construction with accumulated depth.
+#[test]
+fn parts_recursive_depth() {
+    let q = "declare function local:depth($n) as xs:integer \
+             { if (empty($n/*)) then 1 \
+               else 1 + max(for $c in $n/* return local:depth($c)) }; \
+             local:depth(doc('book.xml')/book)";
+    check(q, "5"); // book → section → section → figure → image
+}
+
+/// Mixed: conditional inside recursive construction.
+#[test]
+fn tree_conditional_rendering() {
+    check(
+        "for $s in doc('book.xml')/book/section \
+         return if ($s/@difficulty = 'easy') \
+                then <basic>{ $s/title/text() }</basic> \
+                else <advanced>{ $s/title/text() }</advanced>",
+        "<basic>Introduction</basic><advanced>A Syntax For Data</advanced>",
+    );
+}

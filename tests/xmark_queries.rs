@@ -1,0 +1,87 @@
+//! Integration: all twenty XMark queries run on a generated document and
+//! every execution mode (Table 3's four configurations) produces the same
+//! result.
+
+use xqr::engine::{CompileOptions, Engine, ExecutionMode};
+use xqr_xmark::{generate, query, GenOptions, QUERY_COUNT};
+
+fn engine() -> Engine {
+    let xml = generate(&GenOptions::for_bytes(120_000));
+    let mut e = Engine::new();
+    e.bind_document("auction.xml", &xml).expect("auction document parses");
+    e
+}
+
+#[test]
+fn all_queries_agree_across_modes() {
+    let e = engine();
+    for n in 1..=QUERY_COUNT {
+        let q = query(n);
+        let mut results: Vec<(ExecutionMode, String)> = Vec::new();
+        for mode in ExecutionMode::ALL {
+            let prepared = e
+                .prepare(q, &CompileOptions::mode(mode))
+                .unwrap_or_else(|err| panic!("Q{n} {mode:?} prepare failed: {err}"));
+            let out = prepared
+                .run_to_string(&e)
+                .unwrap_or_else(|err| panic!("Q{n} {mode:?} run failed: {err}"));
+            results.push((mode, out));
+        }
+        for w in results.windows(2) {
+            assert_eq!(
+                w[0].1, w[1].1,
+                "Q{n}: {:?} and {:?} disagree",
+                w[0].0, w[1].0
+            );
+        }
+    }
+}
+
+#[test]
+fn sanity_of_selected_answers() {
+    let e = engine();
+    // Q1: person0 exists and has exactly one name.
+    let r = e.execute_to_string(query(1)).unwrap();
+    assert!(!r.is_empty(), "person0 name: {r:?}");
+    // Q5: a count — single integer.
+    let r = e.execute(query(5)).unwrap();
+    assert_eq!(r.len(), 1);
+    // Q6: one count over the regions subtree.
+    let r = e.execute(query(6)).unwrap();
+    assert_eq!(r.len(), 1);
+    // Q8: one element per person.
+    let r = e.execute(query(8)).unwrap();
+    let people = e.execute("count(doc('auction.xml')/site/people/person)").unwrap();
+    assert_eq!(r.len().to_string(), people.get(0).unwrap().string_value());
+    // Q20: four buckets summing to the number of people with profiles
+    // (every person has a profile) — na counts people, others profiles.
+    let out = e.execute_to_string(query(20)).unwrap();
+    assert!(out.starts_with("<result>"), "{out}");
+}
+
+#[test]
+fn q8_unnesting_produces_group_by_and_outer_join() {
+    let e = engine();
+    let prepared = e
+        .prepare(query(8), &CompileOptions::mode(ExecutionMode::OptimHashJoin))
+        .unwrap();
+    let stats = prepared.rewrite_stats().unwrap();
+    assert!(stats.count("insert group-by") >= 1, "{stats:?}");
+    assert!(stats.count("insert outer-join") >= 1, "{stats:?}");
+    let plan = prepared.explain();
+    assert!(plan.contains("GroupBy"), "{plan}");
+    assert!(plan.contains("LOuterJoin"), "{plan}");
+}
+
+#[test]
+fn q9_three_way_join_unnests() {
+    let e = engine();
+    let prepared = e
+        .prepare(query(9), &CompileOptions::mode(ExecutionMode::OptimHashJoin))
+        .unwrap();
+    let stats = prepared.rewrite_stats().unwrap();
+    assert!(
+        stats.count("insert outer-join") >= 2,
+        "both nesting levels become outer joins: {stats:?}"
+    );
+}
