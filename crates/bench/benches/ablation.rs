@@ -23,15 +23,30 @@ fn configs() -> Vec<(&'static str, RuleConfig)> {
         ("none", RuleConfig::none()),
         (
             "joins-only",
-            RuleConfig { remove_map: true, unnesting: false, join_insertion: true, push_rules: false },
+            RuleConfig {
+                remove_map: true,
+                unnesting: false,
+                join_insertion: true,
+                push_rules: false,
+            },
         ),
         (
             "unnest-only",
-            RuleConfig { remove_map: true, unnesting: true, join_insertion: false, push_rules: false },
+            RuleConfig {
+                remove_map: true,
+                unnesting: true,
+                join_insertion: false,
+                push_rules: false,
+            },
         ),
         (
             "paper",
-            RuleConfig { remove_map: true, unnesting: true, join_insertion: true, push_rules: false },
+            RuleConfig {
+                remove_map: true,
+                unnesting: true,
+                join_insertion: true,
+                push_rules: false,
+            },
         ),
         ("full", RuleConfig::all()),
     ]
@@ -68,7 +83,10 @@ fn bench_projection(c: &mut Criterion) {
         b.iter(|| plain.run(&engine).expect("run"))
     });
     let projected = engine
-        .prepare(q, &CompileOptions::with_projection(ExecutionMode::OptimHashJoin))
+        .prepare(
+            q,
+            &CompileOptions::with_projection(ExecutionMode::OptimHashJoin),
+        )
         .expect("prepare");
     group.bench_function("with-projection", |b| {
         b.iter(|| projected.run(&engine).expect("run"))

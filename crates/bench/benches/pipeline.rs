@@ -1,0 +1,63 @@
+//! Pipeline ablation: pipelined (cursor) execution vs full materialization.
+//!
+//! Every query is compiled twice under the same mode (hash joins, all
+//! rewrite rules): once with the default pipelined strategy, once with
+//! `CompileOptions::materialized` (every tuple operator evaluates to a
+//! complete intermediate table).  The gap is the cost of allocating and
+//! retaining the intermediate tables that the cursor layer fuses away.
+//!
+//! Coverage: all twenty XMark queries (including the join-heavy Q8–Q10,
+//! where the probe side streams) and the Clio mapping queries N2–N4
+//! (nested FLWOR blocks that unnest into join/group-by pipelines).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xqr_bench::{clio_engine, xmark_engine};
+use xqr_engine::{CompileOptions, ExecutionMode};
+
+const MODE: ExecutionMode = ExecutionMode::OptimHashJoin;
+
+fn strategies() -> Vec<(&'static str, CompileOptions)> {
+    vec![
+        ("pipelined", CompileOptions::mode(MODE)),
+        ("materialized", CompileOptions::materialized(MODE)),
+    ]
+}
+
+fn bench_xmark(c: &mut Criterion) {
+    let (engine, len) = xmark_engine(1_000_000);
+    let mut group = c.benchmark_group(format!("pipeline/xmark-{}K", len / 1000));
+    group.sample_size(10);
+    for n in 1..=xqr_xmark::QUERY_COUNT {
+        let q = xqr_xmark::query(n);
+        for (label, options) in strategies() {
+            let prepared = engine.prepare(q, &options).expect("prepare");
+            group.bench_with_input(BenchmarkId::new(label, format!("Q{n}")), &n, |b, _| {
+                b.iter(|| prepared.run(&engine).expect("run"));
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_clio(c: &mut Criterion) {
+    let (engine, len) = clio_engine(100_000);
+    let mut group = c.benchmark_group(format!("pipeline/clio-{}K", len / 1000));
+    group.sample_size(10);
+    for levels in [2usize, 3, 4] {
+        let q = xqr_clio::mapping_query(levels);
+        for (label, options) in strategies() {
+            let prepared = engine.prepare(&q, &options).expect("prepare");
+            group.bench_with_input(
+                BenchmarkId::new(label, format!("N{levels}")),
+                &levels,
+                |b, _| {
+                    b.iter(|| prepared.run(&engine).expect("run"));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_xmark, bench_clio);
+criterion_main!(benches);

@@ -20,9 +20,11 @@ fn bench_table5(c: &mut Criterion) {
             ("hash", ExecutionMode::OptimHashJoin),
             ("interp", ExecutionMode::NoAlgebra),
         ] {
-            group.bench_with_input(BenchmarkId::new(format!("N{levels}"), label), &(), |b, _| {
-                b.iter(|| time_eval(&engine, &q, mode))
-            });
+            group.bench_with_input(
+                BenchmarkId::new(format!("N{levels}"), label),
+                &(),
+                |b, _| b.iter(|| time_eval(&engine, &q, mode)),
+            );
         }
     }
     group.finish();

@@ -1,0 +1,27 @@
+//! Prints the compiled plan + pipeline report for the bench queries
+//! (dev aid; `cargo run -p xqr-bench --example explain [n3|q8|q9]`).
+
+use xqr_engine::{CompileOptions, Engine, ExecutionMode};
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "n3".into());
+    let (engine, q): (Engine, String) = match which.as_str() {
+        "n3" => {
+            let xml = xqr_clio::generate_dblp(&xqr_clio::DblpOptions::for_bytes(2_000));
+            let mut e = Engine::new();
+            e.bind_document("dblp.xml", &xml).unwrap();
+            (e, xqr_clio::mapping_query(3))
+        }
+        q => {
+            let n: usize = q.trim_start_matches('q').parse().expect("qN");
+            let xml = xqr_xmark::generate(&xqr_xmark::GenOptions::for_bytes(20_000));
+            let mut e = Engine::new();
+            e.bind_document("auction.xml", &xml).unwrap();
+            (e, xqr_xmark::query(n).to_string())
+        }
+    };
+    let prepared = engine
+        .prepare(&q, &CompileOptions::mode(ExecutionMode::OptimHashJoin))
+        .unwrap();
+    println!("{}", prepared.explain());
+}

@@ -1,0 +1,58 @@
+//! Quick interleaved min-of-N timer for pipelined vs materialized
+//! (dev aid; `cargo run -p xqr-bench --example pipetime -- q10 4000000 7`).
+
+use std::time::{Duration, Instant};
+use xqr_engine::{CompileOptions, Engine, ExecutionMode};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let which = args.next().unwrap_or_else(|| "q10".into());
+    let bytes: usize = args
+        .next()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1_000_000);
+    let reps: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(7);
+    let (engine, q, len): (Engine, String, usize) = if let Some(n) = which.strip_prefix('n') {
+        let levels: usize = n.parse().expect("nN");
+        let xml = xqr_clio::generate_dblp(&xqr_clio::DblpOptions::for_bytes(bytes));
+        let len = xml.len();
+        let mut e = Engine::new();
+        e.bind_document("dblp.xml", &xml).unwrap();
+        (e, xqr_clio::mapping_query(levels), len)
+    } else {
+        let n: usize = which.trim_start_matches('q').parse().expect("qN");
+        let xml = xqr_xmark::generate(&xqr_xmark::GenOptions::for_bytes(bytes));
+        let len = xml.len();
+        let mut e = Engine::new();
+        e.bind_document("auction.xml", &xml).unwrap();
+        (e, xqr_xmark::query(n).to_string(), len)
+    };
+    let mode = ExecutionMode::OptimHashJoin;
+    let pipe = engine.prepare(&q, &CompileOptions::mode(mode)).unwrap();
+    let mat = engine
+        .prepare(&q, &CompileOptions::materialized(mode))
+        .unwrap();
+    let (mut tp, mut tm) = (Duration::MAX, Duration::MAX);
+    // Each rep times the two strategies back-to-back, so a per-pair ratio
+    // sees near-identical machine state; the median of those ratios is
+    // robust to load drift that min-of-N cannot cancel.
+    let mut ratios = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t = Instant::now();
+        pipe.run(&engine).unwrap();
+        let p = t.elapsed();
+        tp = tp.min(p);
+        let t = Instant::now();
+        mat.run(&engine).unwrap();
+        let m = t.elapsed();
+        tm = tm.min(m);
+        ratios.push(m.as_secs_f64() / p.as_secs_f64());
+    }
+    ratios.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = ratios[ratios.len() / 2];
+    println!(
+        "{which} doc={len}B  pipelined(min)={tp:?}  materialized(min)={tm:?}  \
+         min-ratio={:.3}  median-pair-ratio={median:.3}",
+        tm.as_secs_f64() / tp.as_secs_f64()
+    );
+}

@@ -53,7 +53,9 @@ fn main() {
             "--full" => full = true,
             other => {
                 eprintln!("unknown argument {other}");
-                eprintln!("usage: report [table3|table4|table5|all] [--mb N] [--sizes A,B,C] [--full]");
+                eprintln!(
+                    "usage: report [table3|table4|table5|all] [--mb N] [--sizes A,B,C] [--full]"
+                );
                 std::process::exit(2);
             }
         }
@@ -79,7 +81,11 @@ fn table3(mb: f64) {
     let load = std::time::Instant::now();
     let (engine, len) = xmark_engine(bytes);
     let load = load.elapsed();
-    println!("document: {} bytes, generated+loaded in {}\n", len, fmt_duration(load));
+    println!(
+        "document: {} bytes, generated+loaded in {}\n",
+        len,
+        fmt_duration(load)
+    );
     println!("{:<28} {:>10}", "Implementation", "Total time");
     for mode in ExecutionMode::ALL {
         let d = time_xmark_suite(&engine, mode) + load;
@@ -90,7 +96,10 @@ fn table3(mb: f64) {
 fn table4(sizes_mb: &[f64]) {
     println!("\n== Table 4: scalability of selected XMark queries ==");
     println!("(evaluation time only; NL join vs XQuery hash join)\n");
-    println!("{:<6} {:>8} {:>12} {:>12}", "Query", "Size", "NL Join", "Hash Join");
+    println!(
+        "{:<6} {:>8} {:>12} {:>12}",
+        "Query", "Size", "NL Join", "Hash Join"
+    );
     let queries = [8usize, 9, 10, 12, 20];
     for &mb in sizes_mb {
         let (engine, len) = xmark_engine((mb * 1_000_000.0) as usize);
@@ -156,6 +165,8 @@ fn table5(full: bool) {
         );
     }
     if !full {
-        println!("\n(*) cells with >minutes of nested-loop time are skipped; pass --full to run them");
+        println!(
+            "\n(*) cells with >minutes of nested-loop time are skipped; pass --full to run them"
+        );
     }
 }

@@ -13,7 +13,8 @@ pub fn xmark_engine(bytes: usize) -> (Engine, usize) {
     let xml = xqr_xmark::generate(&xqr_xmark::GenOptions::for_bytes(bytes));
     let len = xml.len();
     let mut e = Engine::new();
-    e.bind_document("auction.xml", &xml).expect("auction.xml parses");
+    e.bind_document("auction.xml", &xml)
+        .expect("auction.xml parses");
     (e, len)
 }
 
@@ -35,7 +36,23 @@ pub fn time_eval(engine: &Engine, query: &str, mode: ExecutionMode) -> Duration 
         .prepare(query, &CompileOptions::mode(mode))
         .unwrap_or_else(|e| panic!("prepare failed: {e}"));
     let t = Instant::now();
-    prepared.run(engine).unwrap_or_else(|e| panic!("run failed ({mode:?}): {e}"));
+    prepared
+        .run(engine)
+        .unwrap_or_else(|e| panic!("run failed ({mode:?}): {e}"));
+    t.elapsed()
+}
+
+/// Like [`time_eval`] but with explicit [`CompileOptions`] — used by the
+/// pipeline ablation bench to compare pipelined (cursor) execution against
+/// full materialization under otherwise identical settings.
+pub fn time_eval_with(engine: &Engine, query: &str, options: &CompileOptions) -> Duration {
+    let prepared = engine
+        .prepare(query, options)
+        .unwrap_or_else(|e| panic!("prepare failed: {e}"));
+    let t = Instant::now();
+    prepared
+        .run(engine)
+        .unwrap_or_else(|e| panic!("run failed: {e}"));
     t.elapsed()
 }
 
@@ -86,7 +103,11 @@ mod tests {
         let d = time_eval(&e, xqr_xmark::query(1), ExecutionMode::OptimHashJoin);
         assert!(d < Duration::from_secs(10));
         let (e, _) = clio_engine(5_000);
-        let d = time_eval(&e, &xqr_clio::mapping_query(2), ExecutionMode::OptimHashJoin);
+        let d = time_eval(
+            &e,
+            &xqr_clio::mapping_query(2),
+            ExecutionMode::OptimHashJoin,
+        );
         assert!(d < Duration::from_secs(10));
     }
 }

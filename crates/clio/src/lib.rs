@@ -30,15 +30,33 @@ impl DblpOptions {
     /// Approximately `bytes`-sized documents (~210 bytes/publication).
     pub fn for_bytes(bytes: usize) -> DblpOptions {
         let publications = (bytes / 210).max(10);
-        DblpOptions { publications, authors: (publications / 4).max(4), seed: 42 }
+        DblpOptions {
+            publications,
+            authors: (publications / 4).max(4),
+            seed: 42,
+        }
     }
 }
 
 const VENUES: &[&str] = &["ICDE", "VLDB", "SIGMOD", "PODS", "EDBT", "CIKM", "WWW"];
 
 const TITLE_WORDS: &[&str] = &[
-    "Efficient", "Algebraic", "Query", "Processing", "Streams", "Indexing", "XML", "Semantics",
-    "Optimization", "Adaptive", "Parallel", "Views", "Schema", "Mappings", "Joins", "Storage",
+    "Efficient",
+    "Algebraic",
+    "Query",
+    "Processing",
+    "Streams",
+    "Indexing",
+    "XML",
+    "Semantics",
+    "Optimization",
+    "Adaptive",
+    "Parallel",
+    "Views",
+    "Schema",
+    "Mappings",
+    "Joins",
+    "Storage",
 ];
 
 /// Generates a DBLP-like document:
@@ -91,13 +109,16 @@ pub fn mapping_query(levels: usize) -> String {
 
 /// Join keys available at each level; level k joins on key[j] with outer
 /// level j for every j < k.
-const KEYS: &[&str] = &["author/text()", "year/text()", "booktitle/text()", "pages/text()"];
+const KEYS: &[&str] = &[
+    "author/text()",
+    "year/text()",
+    "booktitle/text()",
+    "pages/text()",
+];
 
 fn nest(level: usize, max: usize) -> String {
     let x = format!("$x{level}");
-    let mut s = format!(
-        "clio:deep-distinct(for {x} in $doc0/dblp/inproceedings "
-    );
+    let mut s = format!("clio:deep-distinct(for {x} in $doc0/dblp/inproceedings ");
     if level > 1 {
         let preds: Vec<String> = (1..level)
             .map(|outer| format!("{x}/{key} = $x{outer}/{key}", key = KEYS[outer - 1]))
@@ -142,7 +163,11 @@ mod tests {
 
     #[test]
     fn dblp_deterministic() {
-        let o = DblpOptions { publications: 20, authors: 5, seed: 7 };
+        let o = DblpOptions {
+            publications: 20,
+            authors: 5,
+            seed: 7,
+        };
         assert_eq!(generate_dblp(&o), generate_dblp(&o));
     }
 

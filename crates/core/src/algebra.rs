@@ -58,7 +58,10 @@ impl Plan {
 
     /// `IN#field` — field access on the current input tuple.
     pub fn in_field(field: &str) -> Plan {
-        Plan::new(Op::FieldAccess { field: field.into(), input: Plan::boxed(Op::Input) })
+        Plan::new(Op::FieldAccess {
+            field: field.into(),
+            input: Plan::boxed(Op::Input),
+        })
     }
 
     pub fn scalar(v: AtomicValue) -> Plan {
@@ -66,7 +69,10 @@ impl Plan {
     }
 
     pub fn call(name: &str, args: Vec<Plan>) -> Plan {
-        Plan::new(Op::Call { name: QName::local(name), args })
+        Plan::new(Op::Call {
+            name: QName::local(name),
+            args,
+        })
     }
 }
 
@@ -94,18 +100,36 @@ pub enum Op {
     DocumentNode(Box<Plan>),
     /// `TreeJoin[axis, nodetest](S(i))` — set-at-a-time navigation,
     /// document order, duplicate-free.
-    TreeJoin { axis: Axis, test: NodeTest, input: Box<Plan> },
+    TreeJoin {
+        axis: Axis,
+        test: NodeTest,
+        input: Box<Plan>,
+    },
     /// `TreeProject[paths](i)` — structural projection: keeps only branches
     /// lying along one of the given step chains; subtrees at a chain's end
     /// are kept whole (the projection of Marian & Siméon that the paper's
     /// `TreeProject` operator names).
-    TreeProject { paths: Vec<Vec<(Axis, NodeTest)>>, input: Box<Plan> },
+    TreeProject {
+        paths: Vec<Vec<(Axis, NodeTest)>>,
+        input: Box<Plan>,
+    },
     /// `Castable[Type](a)`.
-    Castable { ty: xqr_xml::AtomicType, optional: bool, input: Box<Plan> },
+    Castable {
+        ty: xqr_xml::AtomicType,
+        optional: bool,
+        input: Box<Plan>,
+    },
     /// `Cast[Type](a)`.
-    Cast { ty: xqr_xml::AtomicType, optional: bool, input: Box<Plan> },
+    Cast {
+        ty: xqr_xml::AtomicType,
+        optional: bool,
+        input: Box<Plan>,
+    },
     /// `Validate[Type](i)`.
-    Validate { mode: ValidationMode, input: Box<Plan> },
+    Validate {
+        mode: ValidationMode,
+        input: Box<Plan>,
+    },
     /// `TypeMatches[Type](S(i))` — `instance of`.
     TypeMatches { st: SequenceType, input: Box<Plan> },
     /// `TypeAssert[Type](S(i))` — identity or dynamic error.
@@ -117,7 +141,11 @@ pub enum Op {
     Call { name: QName, args: Vec<Plan> },
     /// `Cond{S(i1), S(i2)}(boolean)` — the branches see the *enclosing*
     /// `IN` (they are lazily evaluated, not input-rebinding).
-    Cond { cond: Box<Plan>, then: Box<Plan>, els: Box<Plan> },
+    Cond {
+        cond: Box<Plan>,
+        then: Box<Plan>,
+        els: Box<Plan>,
+    },
     /// `Parse(URI)`.
     Parse { uri: Box<Plan> },
     /// `Serialize(URI, S(i))` — serializes to a string (URI-less form).
@@ -140,10 +168,19 @@ pub enum Op {
     /// `Product(S(τ1), S(τ2))`.
     Product(Box<Plan>, Box<Plan>),
     /// `Join{pred}(S(τ1), S(τ2))`.
-    Join { pred: Box<Plan>, left: Box<Plan>, right: Box<Plan> },
+    Join {
+        pred: Box<Plan>,
+        left: Box<Plan>,
+        right: Box<Plan>,
+    },
     /// `LOuterJoin[q]{pred}(S(τ1), S(τ2))` — adds boolean field `q`, true
     /// on null-padded rows.
-    LOuterJoin { null_field: Field, pred: Box<Plan>, left: Box<Plan>, right: Box<Plan> },
+    LOuterJoin {
+        null_field: Field,
+        pred: Box<Plan>,
+        left: Box<Plan>,
+        right: Box<Plan>,
+    },
     /// `Map{τ1→τ2}(S(τ1))`.
     MapOp { dep: Box<Plan>, input: Box<Plan> },
     /// `OMap[q](S(τ))` — outer map: emits `[q:true]` when the input table
@@ -152,13 +189,20 @@ pub enum Op {
     /// `MapConcat{τ1→S(τ2)}(S(τ1))` — the dependent join (D-Join).
     MapConcat { dep: Box<Plan>, input: Box<Plan> },
     /// `OMapConcat[q]{…}(…)` — outer dependent join.
-    OMapConcat { null_field: Field, dep: Box<Plan>, input: Box<Plan> },
+    OMapConcat {
+        null_field: Field,
+        dep: Box<Plan>,
+        input: Box<Plan>,
+    },
     /// `MapIndex[q](S(τ))` — consecutive 1-based indices.
     MapIndex { field: Field, input: Box<Plan> },
     /// `MapIndexStep[q](S(τ))` — ascending but not necessarily consecutive.
     MapIndexStep { field: Field, input: Box<Plan> },
     /// `OrderBy{keys}(S(τ))` — stable, with XQuery value coercion.
-    OrderBy { specs: Vec<OrderSpecPlan>, input: Box<Plan> },
+    OrderBy {
+        specs: Vec<OrderSpecPlan>,
+        input: Box<Plan>,
+    },
     /// `GroupBy[qAgg, qIndices, qNulls]{per-partition}{per-item}(S(τ))` —
     /// the XQuery-specific group-by of Section 5.
     GroupBy {
@@ -242,7 +286,9 @@ impl Op {
                 (left.as_ref(), Inherit),
                 (right.as_ref(), Inherit),
             ],
-            Op::LOuterJoin { pred, left, right, .. } => vec![
+            Op::LOuterJoin {
+                pred, left, right, ..
+            } => vec![
                 (pred.as_ref(), Rebinds),
                 (left.as_ref(), Inherit),
                 (right.as_ref(), Inherit),
@@ -262,7 +308,12 @@ impl Op {
                 v.push((input.as_ref(), Inherit));
                 v
             }
-            Op::GroupBy { per_partition, per_item, input, .. } => vec![
+            Op::GroupBy {
+                per_partition,
+                per_item,
+                input,
+                ..
+            } => vec![
                 (per_partition.as_ref(), Rebinds),
                 (per_item.as_ref(), Rebinds),
                 (input.as_ref(), Inherit),
@@ -319,7 +370,9 @@ impl Op {
                 (left.as_mut(), Inherit),
                 (right.as_mut(), Inherit),
             ],
-            Op::LOuterJoin { pred, left, right, .. } => vec![
+            Op::LOuterJoin {
+                pred, left, right, ..
+            } => vec![
                 (pred.as_mut(), Rebinds),
                 (left.as_mut(), Inherit),
                 (right.as_mut(), Inherit),
@@ -339,7 +392,12 @@ impl Op {
                 v.push((input.as_mut(), Inherit));
                 v
             }
-            Op::GroupBy { per_partition, per_item, input, .. } => vec![
+            Op::GroupBy {
+                per_partition,
+                per_item,
+                input,
+                ..
+            } => vec![
                 (per_partition.as_mut(), Rebinds),
                 (per_item.as_mut(), Rebinds),
                 (input.as_mut(), Inherit),
@@ -398,13 +456,23 @@ impl Op {
 
 /// Counts the operators in a plan (used by tests and stats).
 pub fn plan_size(p: &Plan) -> usize {
-    1 + p.op.children().iter().map(|(c, _)| plan_size(c)).sum::<usize>()
+    1 + p
+        .op
+        .children()
+        .iter()
+        .map(|(c, _)| plan_size(c))
+        .sum::<usize>()
 }
 
 /// Counts operators satisfying a predicate.
 pub fn count_ops(p: &Plan, f: &dyn Fn(&Op) -> bool) -> usize {
     let here = usize::from(f(&p.op));
-    here + p.op.children().iter().map(|(c, _)| count_ops(c, f)).sum::<usize>()
+    here + p
+        .op
+        .children()
+        .iter()
+        .map(|(c, _)| count_ops(c, f))
+        .sum::<usize>()
 }
 
 #[cfg(test)]
@@ -427,7 +495,9 @@ mod tests {
     #[test]
     fn in_field_shape() {
         let p = Plan::in_field("p");
-        let Op::FieldAccess { field, input } = &p.op else { panic!() };
+        let Op::FieldAccess { field, input } = &p.op else {
+            panic!()
+        };
         assert_eq!(&**field, "p");
         assert!(matches!(input.op, Op::Input));
     }

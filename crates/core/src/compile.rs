@@ -61,7 +61,11 @@ pub fn compile_module(m: &CoreModule) -> CompiledModule {
     let body = c.expr(&m.body, &Env::empty());
     c.allow_constant_lift = false;
     globals.extend(c.lifted.drain(..).map(|(q, p)| (q, Some(p))));
-    CompiledModule { functions, globals, body }
+    CompiledModule {
+        functions,
+        globals,
+        body,
+    }
 }
 
 /// Compiles a single expression with no variables in scope (for tests).
@@ -141,23 +145,36 @@ impl Compiler {
                     None => Plan::new(Op::Var(q.clone())),
                 },
             },
-            CoreExpr::Seq(items) => {
-                Plan::new(Op::Sequence(items.iter().map(|i| self.expr(i, env)).collect()))
-            }
+            CoreExpr::Seq(items) => Plan::new(Op::Sequence(
+                items.iter().map(|i| self.expr(i, env)).collect(),
+            )),
             CoreExpr::Empty => Plan::new(Op::Empty),
             CoreExpr::Flwor { clauses, ret } => self.flwor(clauses, ret, env),
-            CoreExpr::Quantified { every, clauses, satisfies } => {
+            CoreExpr::Quantified {
+                every,
+                clauses,
+                satisfies,
+            } => {
                 let (plan, inner_env) = self.clauses(clauses, env);
                 let pred = self.expr(satisfies, &inner_env);
                 if *every {
-                    Plan::new(Op::MapEvery { dep: Box::new(pred), input: Box::new(plan) })
+                    Plan::new(Op::MapEvery {
+                        dep: Box::new(pred),
+                        input: Box::new(plan),
+                    })
                 } else {
-                    Plan::new(Op::MapSome { dep: Box::new(pred), input: Box::new(plan) })
+                    Plan::new(Op::MapSome {
+                        dep: Box::new(pred),
+                        input: Box::new(plan),
+                    })
                 }
             }
-            CoreExpr::Typeswitch { var, input, cases, default } => {
-                self.typeswitch(var, input, cases, default, env)
-            }
+            CoreExpr::Typeswitch {
+                var,
+                input,
+                cases,
+                default,
+            } => self.typeswitch(var, input, cases, default, env),
             CoreExpr::If { cond, then, els } => {
                 let mut branch_env = env.clone();
                 branch_env.conditional = true;
@@ -182,7 +199,10 @@ impl Compiler {
                     "serialize" if args.len() == 1 => Plan::new(Op::Serialize {
                         input: Box::new(args.into_iter().next().expect("one arg")),
                     }),
-                    _ => Plan::new(Op::Call { name: name.clone(), args }),
+                    _ => Plan::new(Op::Call {
+                        name: name.clone(),
+                        args,
+                    }),
                 }
             }
             CoreExpr::ElementCtor { name, content } => Plan::new(Op::Element {
@@ -199,9 +219,7 @@ impl Compiler {
                 target: target.clone(),
                 content: Box::new(self.expr(content, env)),
             }),
-            CoreExpr::DocumentCtor(c) => {
-                Plan::new(Op::DocumentNode(Box::new(self.expr(c, env))))
-            }
+            CoreExpr::DocumentCtor(c) => Plan::new(Op::DocumentNode(Box::new(self.expr(c, env)))),
             CoreExpr::Cast { expr, ty, optional } => Plan::new(Op::Cast {
                 ty: *ty,
                 optional: *optional,
@@ -227,11 +245,7 @@ impl Compiler {
         }
     }
 
-    fn name_plan(
-        &mut self,
-        name: &Result<QName, Box<CoreExpr>>,
-        env: &Env,
-    ) -> NamePlan {
+    fn name_plan(&mut self, name: &Result<QName, Box<CoreExpr>>, env: &Env) -> NamePlan {
         match name {
             Ok(q) => NamePlan::Static(q.clone()),
             Err(e) => NamePlan::Dynamic(Box::new(self.expr(e, env))),
@@ -251,7 +265,12 @@ impl Compiler {
         env.in_tuple_context = true;
         for clause in clauses {
             match clause {
-                CoreClause::For { var, at, as_type, expr } => {
+                CoreClause::For {
+                    var,
+                    at,
+                    as_type,
+                    expr,
+                } => {
                     // (FOR): MapConcat{MapFromItem{[x : [as T](IN)]}(E)}(Op0)
                     let source = self.expr(expr, &env);
                     let field = self.fresh_field(var.local_part());
@@ -311,7 +330,10 @@ impl Compiler {
                 CoreClause::Where(pred) => {
                     // (WHERE): Select{E}(Op0)
                     let p = self.expr(pred, &env);
-                    plan = Plan::new(Op::Select { pred: Box::new(p), input: Box::new(plan) });
+                    plan = Plan::new(Op::Select {
+                        pred: Box::new(p),
+                        input: Box::new(plan),
+                    });
                 }
                 CoreClause::OrderBy(specs) => {
                     // (ORDERBY): OrderBy{keys}(Op0)
@@ -323,7 +345,10 @@ impl Compiler {
                             empty_least: s.empty_least,
                         })
                         .collect();
-                    plan = Plan::new(Op::OrderBy { specs, input: Box::new(plan) });
+                    plan = Plan::new(Op::OrderBy {
+                        specs,
+                        input: Box::new(plan),
+                    });
                 }
             }
         }
@@ -339,7 +364,10 @@ impl Compiler {
     fn flwor(&mut self, clauses: &[CoreClause], ret: &CoreExpr, env: &Env) -> Plan {
         let (plan, inner_env) = self.clauses(clauses, env);
         let ret_plan = self.expr(ret, &inner_env);
-        Plan::new(Op::MapToItem { dep: Box::new(ret_plan), input: Box::new(plan) })
+        Plan::new(Op::MapToItem {
+            dep: Box::new(ret_plan),
+            input: Box::new(plan),
+        })
     }
 
     /// Fig. 3: typeswitch compiles to a tuple holding the operand in the
@@ -382,7 +410,10 @@ impl Compiler {
                 els: Box::new(acc),
             });
         }
-        Plan::new(Op::MapToItem { dep: Box::new(acc), input: Box::new(table) })
+        Plan::new(Op::MapToItem {
+            dep: Box::new(acc),
+            input: Box::new(table),
+        })
     }
 }
 
@@ -410,13 +441,21 @@ mod tests {
         // Op_for from Section 4:
         // MapConcat{MapFromItem{[p:IN]}(TreeJoin…)}(([])) under MapToItem.
         let p = compile("for $p in $auction//person return $p");
-        let Op::MapToItem { dep, input } = &p.op else { panic!("MapToItem") };
+        let Op::MapToItem { dep, input } = &p.op else {
+            panic!("MapToItem")
+        };
         assert!(matches!(dep.op, Op::FieldAccess { .. }));
-        let Op::MapConcat { dep: mc_dep, input: mc_in } = &input.op else {
+        let Op::MapConcat {
+            dep: mc_dep,
+            input: mc_in,
+        } = &input.op
+        else {
             panic!("MapConcat, got {}", compact(input));
         };
         assert!(matches!(mc_in.op, Op::TupleTable));
-        let Op::MapFromItem { dep: tuple, .. } = &mc_dep.op else { panic!("MapFromItem") };
+        let Op::MapFromItem { dep: tuple, .. } = &mc_dep.op else {
+            panic!("MapFromItem")
+        };
         assert!(matches!(tuple.op, Op::Tuple(ref fs) if fs.len() == 1));
     }
 
@@ -424,9 +463,15 @@ mod tests {
     fn let_clause_matches_paper_rule() {
         let p = compile("for $p in $s let $a := count($p) return $a");
         // let compiles to MapConcat{[a: Call[count](IN#p)]}(…)
-        let Op::MapToItem { input, .. } = &p.op else { panic!() };
-        let Op::MapConcat { dep, .. } = &input.op else { panic!("let MapConcat") };
-        let Op::Tuple(fields) = &dep.op else { panic!("Tuple, got {}", compact(dep)) };
+        let Op::MapToItem { input, .. } = &p.op else {
+            panic!()
+        };
+        let Op::MapConcat { dep, .. } = &input.op else {
+            panic!("let MapConcat")
+        };
+        let Op::Tuple(fields) = &dep.op else {
+            panic!("Tuple, got {}", compact(dep))
+        };
         assert_eq!(fields.len(), 1);
         assert!(fields[0].0.starts_with('a'));
         assert!(matches!(fields[0].1.op, Op::Call { .. }));
@@ -466,7 +511,11 @@ mod tests {
             }
         }
         walk(&p, &mut found_inner_input);
-        assert!(found_inner_input, "nested FLWOR compiled against IN: {}", compact(&p));
+        assert!(
+            found_inner_input,
+            "nested FLWOR compiled against IN: {}",
+            compact(&p)
+        );
     }
 
     #[test]
@@ -504,11 +553,21 @@ mod tests {
              case xs:string return 1 default return 2",
         );
         // MapToItem{Cond{…, Cond{…}(TypeMatches)}(TypeMatches)}([x: $a])
-        let Op::MapToItem { dep, input } = &p.op else { panic!() };
-        assert!(matches!(input.op, Op::Tuple(_)), "top-level: no ++IN needed");
-        let Op::Cond { cond, els, .. } = &dep.op else { panic!("Cond cascade") };
+        let Op::MapToItem { dep, input } = &p.op else {
+            panic!()
+        };
+        assert!(
+            matches!(input.op, Op::Tuple(_)),
+            "top-level: no ++IN needed"
+        );
+        let Op::Cond { cond, els, .. } = &dep.op else {
+            panic!("Cond cascade")
+        };
         assert!(matches!(cond.op, Op::TypeMatches { .. }));
-        assert!(matches!(els.op, Op::Cond { .. }), "second case nested in else");
+        assert!(
+            matches!(els.op, Op::Cond { .. }),
+            "second case nested in else"
+        );
     }
 
     #[test]

@@ -15,8 +15,7 @@ pub fn uses_input(p: &Plan) -> bool {
     if matches!(p.op, Op::Input) {
         return true;
     }
-    p.op
-        .children()
+    p.op.children()
         .iter()
         .any(|(c, kind)| *kind == ChildKind::Inherit && uses_input(c))
 }
@@ -65,7 +64,12 @@ pub fn output_fields(p: &Plan) -> Option<BTreeSet<Field>> {
             fa.extend(output_fields(right)?);
             Some(fa)
         }
-        Op::LOuterJoin { null_field, left, right, .. } => {
+        Op::LOuterJoin {
+            null_field,
+            left,
+            right,
+            ..
+        } => {
             let mut fa = output_fields(left)?;
             fa.extend(output_fields(right)?);
             fa.insert(null_field.clone());
@@ -82,7 +86,11 @@ pub fn output_fields(p: &Plan) -> Option<BTreeSet<Field>> {
             fa.extend(output_fields(dep)?);
             Some(fa)
         }
-        Op::OMapConcat { null_field, dep, input } => {
+        Op::OMapConcat {
+            null_field,
+            dep,
+            input,
+        } => {
             let mut fa = output_fields(input)?;
             fa.extend(output_fields(dep)?);
             fa.insert(null_field.clone());
@@ -128,7 +136,12 @@ pub fn known_output_fields(p: &Plan) -> BTreeSet<Field> {
             fa.extend(known_output_fields(right));
             fa
         }
-        Op::LOuterJoin { null_field, left, right, .. } => {
+        Op::LOuterJoin {
+            null_field,
+            left,
+            right,
+            ..
+        } => {
             let mut fa = known_output_fields(left);
             fa.extend(known_output_fields(right));
             fa.insert(null_field.clone());
@@ -145,7 +158,11 @@ pub fn known_output_fields(p: &Plan) -> BTreeSet<Field> {
             fa.extend(known_output_fields(dep));
             fa
         }
-        Op::OMapConcat { null_field, dep, input } => {
+        Op::OMapConcat {
+            null_field,
+            dep,
+            input,
+        } => {
             let mut fa = known_output_fields(input);
             fa.extend(known_output_fields(dep));
             fa.insert(null_field.clone());

@@ -29,7 +29,13 @@ fn write_indented(out: &mut String, p: &Plan, depth: usize) {
         let _ = writeln!(out, "{}{}", "  ".repeat(depth), line);
         return;
     }
-    let _ = writeln!(out, "{}{}{}", "  ".repeat(depth), p.op.name(), params_of(&p.op));
+    let _ = writeln!(
+        out,
+        "{}{}{}",
+        "  ".repeat(depth),
+        p.op.name(),
+        params_of(&p.op)
+    );
     for (c, kind) in p.op.children() {
         let marker = match kind {
             crate::algebra::ChildKind::Rebinds => "{} ",
@@ -76,7 +82,12 @@ fn params_of(op: &Op) -> String {
             format!("[{null_field}]")
         }
         Op::MapIndex { field, .. } | Op::MapIndexStep { field, .. } => format!("[{field}]"),
-        Op::GroupBy { agg, index_fields, null_fields, .. } => {
+        Op::GroupBy {
+            agg,
+            index_fields,
+            null_fields,
+            ..
+        } => {
             format!(
                 "[{},[{}],[{}]]",
                 agg,
@@ -107,7 +118,10 @@ trait JoinExt {
 
 impl JoinExt for Vec<crate::algebra::Field> {
     fn join(&self, sep: &str) -> String {
-        self.iter().map(|f| f.to_string()).collect::<Vec<_>>().join(sep)
+        self.iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join(sep)
     }
 }
 
@@ -149,11 +163,10 @@ fn write_plan(out: &mut String, p: &Plan) {
         _ => {
             out.push_str(p.op.name());
             out.push_str(&params_of(&p.op));
-            let (deps, inputs): (Vec<_>, Vec<_>) = p
-                .op
-                .children()
-                .into_iter()
-                .partition(|(_, k)| *k == crate::algebra::ChildKind::Rebinds);
+            let (deps, inputs): (Vec<_>, Vec<_>) =
+                p.op.children()
+                    .into_iter()
+                    .partition(|(_, k)| *k == crate::algebra::ChildKind::Rebinds);
             if let Op::OrderBy { specs, .. } = &p.op {
                 let _ = specs;
             }
@@ -194,7 +207,10 @@ mod tests {
             }),
             input: Plan::boxed(Op::TupleTable),
         });
-        assert_eq!(compact(&p), "MapConcat{MapFromItem{[p:IN]}($auction)}(([]))");
+        assert_eq!(
+            compact(&p),
+            "MapConcat{MapFromItem{[p:IN]}($auction)}(([]))"
+        );
     }
 
     #[test]

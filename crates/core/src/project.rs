@@ -59,15 +59,19 @@ pub fn apply_document_projection(m: &mut CompiledModule) -> usize {
         return 0;
     }
     // Per-document usage analysis.
-    let mut usages: HashMap<QName, Option<Vec<ProjectionPath>>> =
-        doc_globals.iter().map(|q| (q.clone(), Some(Vec::new()))).collect();
+    let mut usages: HashMap<QName, Option<Vec<ProjectionPath>>> = doc_globals
+        .iter()
+        .map(|q| (q.clone(), Some(Vec::new())))
+        .collect();
     for plan in &all_plans {
         collect_usages(plan, &mut usages);
     }
     // Install the projections.
     let mut installed = 0;
     for (name, global) in m.globals.iter_mut() {
-        let Some(Some(paths)) = usages.get(name) else { continue };
+        let Some(Some(paths)) = usages.get(name) else {
+            continue;
+        };
         if paths.is_empty() {
             continue; // document never navigated (or unused): leave it.
         }
@@ -88,7 +92,10 @@ pub fn apply_document_projection(m: &mut CompiledModule) -> usize {
 /// Steps the projection can push through. Reverse and sideways axes make
 /// pruning unsafe anywhere in the module.
 fn axis_is_safe(axis: Axis) -> bool {
-    matches!(axis, Axis::Child | Axis::Descendant | Axis::DescendantOrSelf | Axis::Attribute | Axis::SelfAxis)
+    matches!(
+        axis,
+        Axis::Child | Axis::Descendant | Axis::DescendantOrSelf | Axis::Attribute | Axis::SelfAxis
+    )
 }
 
 fn has_unsafe_navigation(p: &Plan) -> bool {
@@ -96,7 +103,10 @@ fn has_unsafe_navigation(p: &Plan) -> bool {
     visit(p, &mut |node| match &node.op {
         Op::TreeJoin { axis, .. } if !axis_is_safe(*axis) => unsafe_found = true,
         Op::Call { name, .. }
-            if matches!(name.local_part(), "root" | "fs:root" | "fs:distinct-docorder") =>
+            if matches!(
+                name.local_part(),
+                "root" | "fs:root" | "fs:distinct-docorder"
+            ) =>
         {
             // root() escapes subtrees; ddo over arbitrary unions is fine
             // but may carry nodes reached through predicates on other
@@ -199,7 +209,9 @@ mod tests {
         );
         assert_eq!(n, 1);
         let p = projected_global(&m).expect("TreeProject installed");
-        let Op::TreeProject { paths, .. } = &p.op else { unreachable!() };
+        let Op::TreeProject { paths, .. } = &p.op else {
+            unreachable!()
+        };
         assert_eq!(paths.len(), 1, "one chain: /site/people/person");
         assert_eq!(paths[0].len(), 3);
     }
@@ -212,7 +224,9 @@ mod tests {
         );
         assert_eq!(n, 1);
         let p = projected_global(&m).expect("TreeProject installed");
-        let Op::TreeProject { paths, .. } = &p.op else { unreachable!() };
+        let Op::TreeProject { paths, .. } = &p.op else {
+            unreachable!()
+        };
         assert_eq!(paths.len(), 2);
     }
 

@@ -47,7 +47,12 @@ pub struct RuleConfig {
 
 impl Default for RuleConfig {
     fn default() -> Self {
-        RuleConfig { remove_map: true, unnesting: true, join_insertion: true, push_rules: true }
+        RuleConfig {
+            remove_map: true,
+            unnesting: true,
+            join_insertion: true,
+            push_rules: true,
+        }
     }
 }
 
@@ -95,7 +100,10 @@ pub fn rewrite_module(m: &mut CompiledModule) -> RewriteStats {
 /// Rewrites with an explicit rule configuration (ablation studies).
 pub fn rewrite_module_with(m: &mut CompiledModule, rules: RuleConfig) -> RewriteStats {
     let mut stats = RewriteStats::default();
-    let mut ctx = Ctx { rules, ..Ctx::default() };
+    let mut ctx = Ctx {
+        rules,
+        ..Ctx::default()
+    };
     fixpoint(&mut m.body, &mut ctx, &mut stats);
     let mut functions: Vec<_> = m.functions.values_mut().collect();
     functions.sort_by(|a, b| a.name.cmp(&b.name));
@@ -125,7 +133,10 @@ struct Ctx {
 
 impl Default for Ctx {
     fn default() -> Self {
-        Ctx { fresh: 0, rules: RuleConfig::all() }
+        Ctx {
+            fresh: 0,
+            rules: RuleConfig::all(),
+        }
     }
 }
 
@@ -181,7 +192,9 @@ fn pass(p: &mut Plan, ctx: &mut Ctx, stats: &mut RewriteStats) -> bool {
 
 /// (remove map): `MapConcat{Op1}(([])) → Op1` when Op1 independent of IN.
 fn remove_map(p: &mut Plan, stats: &mut RewriteStats) -> bool {
-    let Op::MapConcat { dep, input } = &p.op else { return false };
+    let Op::MapConcat { dep, input } = &p.op else {
+        return false;
+    };
     if !matches!(input.op, Op::TupleTable) || uses_input(dep) {
         return false;
     }
@@ -197,7 +210,9 @@ fn remove_map(p: &mut Plan, stats: &mut RewriteStats) -> bool {
 /// independent of IN. Tuple-constructor deps (`let` bindings) and GroupBy
 /// deps are excluded — those are handled by the group-by rules.
 fn insert_product(p: &mut Plan, stats: &mut RewriteStats) -> bool {
-    let Op::MapConcat { dep, input } = &p.op else { return false };
+    let Op::MapConcat { dep, input } = &p.op else {
+        return false;
+    };
     if matches!(input.op, Op::TupleTable) {
         return false;
     }
@@ -214,14 +229,18 @@ fn insert_product(p: &mut Plan, stats: &mut RewriteStats) -> bool {
 
 /// (insert join): `Select{p}(Product(l, r)) → Join{p}(l, r)`.
 fn insert_join(p: &mut Plan, stats: &mut RewriteStats) -> bool {
-    let Op::Select { input, .. } = &p.op else { return false };
+    let Op::Select { input, .. } = &p.op else {
+        return false;
+    };
     if !matches!(input.op, Op::Product(..)) {
         return false;
     }
     let Op::Select { pred, input } = std::mem::replace(&mut p.op, Op::Empty) else {
         unreachable!()
     };
-    let Op::Product(left, right) = input.op else { unreachable!() };
+    let Op::Product(left, right) = input.op else {
+        unreachable!()
+    };
     p.op = Op::Join { pred, left, right };
     stats.record("insert join");
     true
@@ -232,8 +251,12 @@ fn insert_join(p: &mut Plan, stats: &mut RewriteStats) -> bool {
 /// chain of unary item operators and Op3 is a correlated tuple stream. The
 /// constructor is a trivial GroupBy in which every partition has one tuple.
 fn insert_group_by(p: &mut Plan, ctx: &mut Ctx, stats: &mut RewriteStats) -> bool {
-    let Op::MapConcat { dep, .. } = &p.op else { return false };
-    let Op::Tuple(fields) = &dep.op else { return false };
+    let Op::MapConcat { dep, .. } = &p.op else {
+        return false;
+    };
+    let Op::Tuple(fields) = &dep.op else {
+        return false;
+    };
     if fields.len() != 1 {
         return false;
     }
@@ -244,7 +267,9 @@ fn insert_group_by(p: &mut Plan, ctx: &mut Ctx, stats: &mut RewriteStats) -> boo
     let Op::MapConcat { dep, input } = std::mem::replace(&mut p.op, Op::Empty) else {
         unreachable!()
     };
-    let Op::Tuple(mut fields) = dep.op else { unreachable!() };
+    let Op::Tuple(mut fields) = dep.op else {
+        unreachable!()
+    };
     let (agg_field, value) = fields.pop().expect("unary tuple");
     let null_field = ctx.fresh_field("null");
     // Split CTX(MapToItem{Op2}(Op3)).
@@ -255,9 +280,15 @@ fn insert_group_by(p: &mut Plan, ctx: &mut Ctx, stats: &mut RewriteStats) -> boo
         null_fields: vec![null_field.clone()],
         per_partition: Box::new(per_partition),
         per_item: Box::new(per_item),
-        input: Plan::boxed(Op::OMap { null_field, input: Box::new(inner) }),
+        input: Plan::boxed(Op::OMap {
+            null_field,
+            input: Box::new(inner),
+        }),
     });
-    p.op = Op::MapConcat { dep: Box::new(gb), input };
+    p.op = Op::MapConcat {
+        dep: Box::new(gb),
+        input,
+    };
     stats.record("insert group-by");
     true
 }
@@ -286,23 +317,64 @@ fn split_spine(v: Plan) -> (Plan, Plan, Plan) {
         Op::MapToItem { dep, input } => (Plan::input(), *dep, *input),
         Op::TypeAssert { st, input } => {
             let (pp, pi, inner) = split_spine(*input);
-            (Plan::new(Op::TypeAssert { st, input: Box::new(pp) }), pi, inner)
+            (
+                Plan::new(Op::TypeAssert {
+                    st,
+                    input: Box::new(pp),
+                }),
+                pi,
+                inner,
+            )
         }
-        Op::Cast { ty, optional, input } => {
+        Op::Cast {
+            ty,
+            optional,
+            input,
+        } => {
             let (pp, pi, inner) = split_spine(*input);
-            (Plan::new(Op::Cast { ty, optional, input: Box::new(pp) }), pi, inner)
+            (
+                Plan::new(Op::Cast {
+                    ty,
+                    optional,
+                    input: Box::new(pp),
+                }),
+                pi,
+                inner,
+            )
         }
         Op::TreeJoin { axis, test, input } => {
             let (pp, pi, inner) = split_spine(*input);
-            (Plan::new(Op::TreeJoin { axis, test, input: Box::new(pp) }), pi, inner)
+            (
+                Plan::new(Op::TreeJoin {
+                    axis,
+                    test,
+                    input: Box::new(pp),
+                }),
+                pi,
+                inner,
+            )
         }
         Op::Validate { mode, input } => {
             let (pp, pi, inner) = split_spine(*input);
-            (Plan::new(Op::Validate { mode, input: Box::new(pp) }), pi, inner)
+            (
+                Plan::new(Op::Validate {
+                    mode,
+                    input: Box::new(pp),
+                }),
+                pi,
+                inner,
+            )
         }
         Op::Call { name, mut args } => {
             let (pp, pi, inner) = split_spine(args.pop().expect("unary call"));
-            (Plan::new(Op::Call { name, args: vec![pp] }), pi, inner)
+            (
+                Plan::new(Op::Call {
+                    name,
+                    args: vec![pp],
+                }),
+                pi,
+                inner,
+            )
         }
         other => unreachable!("split_spine on {:?}", other.name()),
     }
@@ -334,11 +406,21 @@ fn map_through_group_by(p: &mut Plan, ctx: &mut Ctx, stats: &mut RewriteStats) -
     };
     let (dep, outer, existing_null) = match std::mem::replace(&mut p.op, Op::Empty) {
         Op::MapConcat { dep, input } => (dep, input, None),
-        Op::OMapConcat { null_field, dep, input } => (dep, input, Some(null_field)),
+        Op::OMapConcat {
+            null_field,
+            dep,
+            input,
+        } => (dep, input, Some(null_field)),
         _ => unreachable!(),
     };
-    let Op::GroupBy { agg, mut index_fields, mut null_fields, per_partition, per_item, input } =
-        dep.op
+    let Op::GroupBy {
+        agg,
+        mut index_fields,
+        mut null_fields,
+        per_partition,
+        per_item,
+        input,
+    } = dep.op
     else {
         unreachable!()
     };
@@ -346,7 +428,10 @@ fn map_through_group_by(p: &mut Plan, ctx: &mut Ctx, stats: &mut RewriteStats) -
     index_fields.push(ind1.clone());
     let null1 = existing_null.unwrap_or_else(|| ctx.fresh_field("null"));
     null_fields.push(null1.clone());
-    let indexed = Plan::new(Op::MapIndexStep { field: ind1, input: outer });
+    let indexed = Plan::new(Op::MapIndexStep {
+        field: ind1,
+        input: outer,
+    });
     let omc = Plan::new(Op::OMapConcat {
         null_field: null1,
         dep: input,
@@ -372,9 +457,23 @@ fn map_through_group_by(p: &mut Plan, ctx: &mut Ctx, stats: &mut RewriteStats) -
 /// `GroupBy[…, nulls ∋ n1,n2](OMapConcat[n1]{OMap[n2](inner)}(src))` drops
 /// the inner OMap and n2.
 fn remove_duplicate_null(p: &mut Plan, stats: &mut RewriteStats) -> bool {
-    let Op::GroupBy { null_fields, input, .. } = &mut p.op else { return false };
-    let Op::OMapConcat { null_field: n1, dep, .. } = &mut input.op else { return false };
-    let Op::OMap { null_field: n2, .. } = &dep.op else { return false };
+    let Op::GroupBy {
+        null_fields, input, ..
+    } = &mut p.op
+    else {
+        return false;
+    };
+    let Op::OMapConcat {
+        null_field: n1,
+        dep,
+        ..
+    } = &mut input.op
+    else {
+        return false;
+    };
+    let Op::OMap { null_field: n2, .. } = &dep.op else {
+        return false;
+    };
     if !null_fields.contains(n1) || !null_fields.contains(n2) {
         return false;
     }
@@ -399,23 +498,24 @@ fn insert_outer_join(p: &mut Plan, stats: &mut RewriteStats) -> bool {
         Product,
     }
     let shape = {
-        let Op::OMapConcat { dep, .. } = &p.op else { return false };
+        let Op::OMapConcat { dep, .. } = &p.op else {
+            return false;
+        };
         match &dep.op {
-            Op::Join { left, right, .. }
-                if matches!(left.op, Op::Input) && !uses_input(right) =>
-            {
+            Op::Join { left, right, .. } if matches!(left.op, Op::Input) && !uses_input(right) => {
                 Shape::Join
             }
-            Op::Product(left, right)
-                if matches!(left.op, Op::Input) && !uses_input(right) =>
-            {
+            Op::Product(left, right) if matches!(left.op, Op::Input) && !uses_input(right) => {
                 Shape::Product
             }
             _ => return false,
         }
     };
-    let Op::OMapConcat { null_field, dep, input: l } =
-        std::mem::replace(&mut p.op, Op::Empty)
+    let Op::OMapConcat {
+        null_field,
+        dep,
+        input: l,
+    } = std::mem::replace(&mut p.op, Op::Empty)
     else {
         unreachable!()
     };
@@ -427,7 +527,12 @@ fn insert_outer_join(p: &mut Plan, stats: &mut RewriteStats) -> bool {
         ),
         _ => unreachable!(),
     };
-    p.op = Op::LOuterJoin { null_field, pred, left: l, right };
+    p.op = Op::LOuterJoin {
+        null_field,
+        pred,
+        left: l,
+        right,
+    };
     stats.record("insert outer-join");
     true
 }
@@ -446,8 +551,15 @@ fn insert_outer_join(p: &mut Plan, stats: &mut RewriteStats) -> bool {
 /// (Clio N3/N4) into cascades of outer joins.
 fn push_omap_concat_into_outer_join(p: &mut Plan, stats: &mut RewriteStats) -> bool {
     {
-        let Op::OMapConcat { dep, .. } = &p.op else { return false };
-        let Op::LOuterJoin { pred, left, right, .. } = &dep.op else { return false };
+        let Op::OMapConcat { dep, .. } = &p.op else {
+            return false;
+        };
+        let Op::LOuterJoin {
+            pred, left, right, ..
+        } = &dep.op
+        else {
+            return false;
+        };
         if !uses_input(left) || uses_input(right) {
             return false;
         }
@@ -460,14 +572,34 @@ fn push_omap_concat_into_outer_join(p: &mut Plan, stats: &mut RewriteStats) -> b
             return false;
         }
     }
-    let Op::OMapConcat { null_field, dep, input: outer } =
-        std::mem::replace(&mut p.op, Op::Empty)
+    let Op::OMapConcat {
+        null_field,
+        dep,
+        input: outer,
+    } = std::mem::replace(&mut p.op, Op::Empty)
     else {
         unreachable!()
     };
-    let Op::LOuterJoin { null_field: m, pred, left, right } = dep.op else { unreachable!() };
-    let pushed = Plan::new(Op::OMapConcat { null_field, dep: left, input: outer });
-    p.op = Op::LOuterJoin { null_field: m, pred, left: Box::new(pushed), right };
+    let Op::LOuterJoin {
+        null_field: m,
+        pred,
+        left,
+        right,
+    } = dep.op
+    else {
+        unreachable!()
+    };
+    let pushed = Plan::new(Op::OMapConcat {
+        null_field,
+        dep: left,
+        input: outer,
+    });
+    p.op = Op::LOuterJoin {
+        null_field: m,
+        pred,
+        left: Box::new(pushed),
+        right,
+    };
     stats.record("push omap into outer-join");
     true
 }
@@ -492,7 +624,9 @@ fn pred_rejects_empty_left(pred: &Plan, left: &Plan) -> bool {
     let mut cs = Vec::new();
     conjuncts(pred, &mut cs);
     cs.iter().any(|c| {
-        let Op::Call { name, args } = &c.op else { return false };
+        let Op::Call { name, args } = &c.op else {
+            return false;
+        };
         if !name.local_part().starts_with("fs:general-") {
             return false;
         }
@@ -510,19 +644,33 @@ fn pred_rejects_empty_left(pred: &Plan, left: &Plan) -> bool {
 ///  MapIndexStep[f](OMapConcat[n]{x}(outer))`.
 fn push_omap_concat_through_index(p: &mut Plan, stats: &mut RewriteStats) -> bool {
     {
-        let Op::OMapConcat { dep, .. } = &p.op else { return false };
+        let Op::OMapConcat { dep, .. } = &p.op else {
+            return false;
+        };
         if !matches!(dep.op, Op::MapIndexStep { .. }) {
             return false;
         }
     }
-    let Op::OMapConcat { null_field, dep, input: outer } =
-        std::mem::replace(&mut p.op, Op::Empty)
+    let Op::OMapConcat {
+        null_field,
+        dep,
+        input: outer,
+    } = std::mem::replace(&mut p.op, Op::Empty)
     else {
         unreachable!()
     };
-    let Op::MapIndexStep { field, input: x } = dep.op else { unreachable!() };
-    let pushed = Plan::new(Op::OMapConcat { null_field, dep: x, input: outer });
-    p.op = Op::MapIndexStep { field, input: Box::new(pushed) };
+    let Op::MapIndexStep { field, input: x } = dep.op else {
+        unreachable!()
+    };
+    let pushed = Plan::new(Op::OMapConcat {
+        null_field,
+        dep: x,
+        input: outer,
+    });
+    p.op = Op::MapIndexStep {
+        field,
+        input: Box::new(pushed),
+    };
     stats.record("push omap through index");
     true
 }
@@ -547,7 +695,12 @@ mod tests {
     fn remove_map_on_top_level_flwor() {
         let (p, stats) = optimized("for $x in $s return $x");
         assert!(stats.count("remove map") >= 1);
-        assert_eq!(count_ops(&p, &|o| matches!(o, Op::TupleTable)), 0, "{}", compact(&p));
+        assert_eq!(
+            count_ops(&p, &|o| matches!(o, Op::TupleTable)),
+            0,
+            "{}",
+            compact(&p)
+        );
     }
 
     #[test]
@@ -567,7 +720,10 @@ mod tests {
         assert_eq!(count_ops(&p, &|o| matches!(o, Op::LOuterJoin { .. })), 1);
         assert_eq!(count_ops(&p, &|o| matches!(o, Op::MapIndexStep { .. })), 1);
         assert_eq!(
-            count_ops(&p, &|o| matches!(o, Op::MapConcat { .. } | Op::OMapConcat { .. })),
+            count_ops(&p, &|o| matches!(
+                o,
+                Op::MapConcat { .. } | Op::OMapConcat { .. }
+            )),
             0,
             "fully unnested: {}",
             compact(&p)
@@ -587,15 +743,26 @@ mod tests {
         );
         assert!(stats.count("insert group-by") >= 1);
         assert!(stats.count("insert outer-join") >= 1);
-        let Op::MapToItem { input, .. } = &p.op else { panic!("MapToItem root") };
-        let Op::GroupBy { per_partition, per_item, input: gb_in, index_fields, null_fields, .. } =
-            &input.op
+        let Op::MapToItem { input, .. } = &p.op else {
+            panic!("MapToItem root")
+        };
+        let Op::GroupBy {
+            per_partition,
+            per_item,
+            input: gb_in,
+            index_fields,
+            null_fields,
+            ..
+        } = &input.op
         else {
             panic!("GroupBy under root, got {}", compact(input));
         };
         assert_eq!(index_fields.len(), 1);
         assert_eq!(null_fields.len(), 1);
-        assert!(matches!(per_partition.op, Op::TypeAssert { .. }), "P2 line 7");
+        assert!(
+            matches!(per_partition.op, Op::TypeAssert { .. }),
+            "P2 line 7"
+        );
         assert!(matches!(per_item.op, Op::Validate { .. }), "P2 line 8");
         let Op::LOuterJoin { left, right, .. } = &gb_in.op else {
             panic!("LOuterJoin under GroupBy, got {}", compact(gb_in));
@@ -609,11 +776,14 @@ mod tests {
         // The nested block has no predicate against the outer tuple;
         // unnesting still applies and yields a constant-true LOuterJoin,
         // which evaluates the inner block once rather than per outer tuple.
-        let (p, stats) = optimized(
-            "for $x in $s let $a := (for $y in $t return $y) return ($x, $a)",
-        );
+        let (p, stats) =
+            optimized("for $x in $s let $a := (for $y in $t return $y) return ($x, $a)");
         assert!(stats.count("insert group-by") >= 1);
-        assert!(stats.count("insert outer-join") >= 1, "{stats:?}\n{}", compact(&p));
+        assert!(
+            stats.count("insert outer-join") >= 1,
+            "{stats:?}\n{}",
+            compact(&p)
+        );
         let mut found_const_pred = false;
         fn walk(p: &Plan, found: &mut bool) {
             if let Op::LOuterJoin { pred, .. } = &p.op {
@@ -631,9 +801,8 @@ mod tests {
 
     #[test]
     fn independent_for_becomes_product_then_join() {
-        let (p, stats) = optimized(
-            "for $x in $s for $y in $t where $x/@id = $y/@ref return ($x, $y)",
-        );
+        let (p, stats) =
+            optimized("for $x in $s for $y in $t where $x/@id = $y/@ref return ($x, $y)");
         assert!(stats.count("insert product") >= 1, "{stats:?}");
         assert!(stats.count("insert join") >= 1, "{stats:?}");
         assert_eq!(count_ops(&p, &|o| matches!(o, Op::Join { .. })), 1);
@@ -643,7 +812,12 @@ mod tests {
     fn correlated_for_stays_dependent() {
         let (p, stats) = optimized("for $x in $s for $y in $x/item return $y");
         assert_eq!(stats.count("insert product"), 0);
-        assert_eq!(count_ops(&p, &|o| matches!(o, Op::MapConcat { .. })), 1, "{}", compact(&p));
+        assert_eq!(
+            count_ops(&p, &|o| matches!(o, Op::MapConcat { .. })),
+            1,
+            "{}",
+            compact(&p)
+        );
     }
 
     #[test]
@@ -655,7 +829,11 @@ mod tests {
              let $a := $auction//closed_auction[.//@person = $p/@id] \
              return count($a)",
         );
-        assert!(stats.count("insert group-by") >= 1, "{stats:?}\n{}", compact(&p));
+        assert!(
+            stats.count("insert group-by") >= 1,
+            "{stats:?}\n{}",
+            compact(&p)
+        );
         assert!(stats.count("insert outer-join") >= 1, "{stats:?}");
     }
 

@@ -97,19 +97,43 @@ pub struct CompileOptions {
     /// `xqr_core::project`). Off by default: profitable for
     /// navigation-heavy queries over large documents.
     pub projection: bool,
+    /// Escape hatch: evaluate every tuple operator to a complete
+    /// intermediate table (the original strategy) instead of the default
+    /// pipelined cursor execution. Kept for ablation benchmarks and the
+    /// cross-strategy differential suite.
+    pub materialize_all: bool,
 }
 
 impl CompileOptions {
     pub fn mode(mode: ExecutionMode) -> CompileOptions {
-        CompileOptions { mode, ..CompileOptions::default() }
+        CompileOptions {
+            mode,
+            ..CompileOptions::default()
+        }
     }
 
     pub fn with_rules(mode: ExecutionMode, rules: RuleConfig) -> CompileOptions {
-        CompileOptions { mode, rules: Some(rules), ..CompileOptions::default() }
+        CompileOptions {
+            mode,
+            rules: Some(rules),
+            ..CompileOptions::default()
+        }
     }
 
     pub fn with_projection(mode: ExecutionMode) -> CompileOptions {
-        CompileOptions { mode, projection: true, ..CompileOptions::default() }
+        CompileOptions {
+            mode,
+            projection: true,
+            ..CompileOptions::default()
+        }
+    }
+
+    pub fn materialized(mode: ExecutionMode) -> CompileOptions {
+        CompileOptions {
+            mode,
+            materialize_all: true,
+            ..CompileOptions::default()
+        }
     }
 }
 
@@ -185,11 +209,22 @@ impl Engine {
     }
 
     /// Parses, normalizes, and (depending on the mode) compiles + rewrites.
-    pub fn prepare(&self, query: &str, options: &CompileOptions) -> Result<PreparedQuery, EngineError> {
+    pub fn prepare(
+        &self,
+        query: &str,
+        options: &CompileOptions,
+    ) -> Result<PreparedQuery, EngineError> {
         let core = frontend(query)?;
         let mode = options.mode;
+        let materialize_all = options.materialize_all;
         if mode == ExecutionMode::NoAlgebra {
-            return Ok(PreparedQuery { mode, core: Some(core), plan: None, stats: None });
+            return Ok(PreparedQuery {
+                mode,
+                core: Some(core),
+                plan: None,
+                stats: None,
+                materialize_all,
+            });
         }
         let mut compiled = compile_module(&core);
         let stats = if mode == ExecutionMode::AlgebraNoOptim {
@@ -202,7 +237,13 @@ impl Engine {
             }
             Some(stats)
         };
-        Ok(PreparedQuery { mode, core: None, plan: Some(compiled), stats })
+        Ok(PreparedQuery {
+            mode,
+            core: None,
+            plan: Some(compiled),
+            stats,
+            materialize_all,
+        })
     }
 
     /// One-shot convenience: prepare + run with default options.
@@ -222,6 +263,7 @@ pub struct PreparedQuery {
     core: Option<CoreModule>,
     plan: Option<CompiledModule>,
     stats: Option<RewriteStats>,
+    materialize_all: bool,
 }
 
 impl PreparedQuery {
@@ -234,10 +276,22 @@ impl PreparedQuery {
         self.stats.as_ref()
     }
 
-    /// The optimized (or naive) algebra plan, in the paper's notation.
+    /// The optimized (or naive) algebra plan, in the paper's notation,
+    /// followed by a note on which tuple operators stream through the
+    /// cursor pipeline and which materialize.
     pub fn explain(&self) -> String {
         match &self.plan {
-            Some(m) => pretty::indented(&m.body),
+            Some(m) => {
+                let strategy = if self.materialize_all {
+                    "execution: materialized (all operators evaluate to full tables)".to_string()
+                } else {
+                    format!(
+                        "execution: pipelined\n{}",
+                        xqr_runtime::pipeline_report(&m.body)
+                    )
+                };
+                format!("{}\n{strategy}", pretty::indented(&m.body))
+            }
             None => "(no algebra: direct Core interpretation)".to_string(),
         }
     }
@@ -267,6 +321,7 @@ impl PreparedQuery {
                     &engine.documents,
                     mode.join_algorithm(),
                 );
+                ctx.pipelined = !self.materialize_all;
                 ctx.globals = engine.externals.clone();
                 Ok(xqr_runtime::eval::eval_module(&mut ctx)?)
             }
@@ -370,14 +425,15 @@ mod tests {
             assert_modes_agree(&e, "doc('doc.xml')/r/a[2]/@id/string(.)"),
             "2"
         );
-        assert_eq!(assert_modes_agree(&e, "doc('doc.xml')/r/a[last()]/text()"), "y");
+        assert_eq!(
+            assert_modes_agree(&e, "doc('doc.xml')/r/a[last()]/text()"),
+            "y"
+        );
     }
 
     #[test]
     fn join_query_all_modes() {
-        let e = engine_with(
-            "<db><p id='1'/><p id='2'/><o ref='1'/><o ref='1'/><o ref='3'/></db>",
-        );
+        let e = engine_with("<db><p id='1'/><p id='2'/><o ref='1'/><o ref='1'/><o ref='3'/></db>");
         // Correlated count per p — the unnesting pipeline.
         assert_eq!(
             assert_modes_agree(
@@ -407,8 +463,14 @@ mod tests {
     #[test]
     fn quantifiers_and_conditionals() {
         let e = Engine::new();
-        assert_eq!(assert_modes_agree(&e, "some $x in (1,2,3) satisfies $x = 2"), "true");
-        assert_eq!(assert_modes_agree(&e, "every $x in (1,2,3) satisfies $x < 3"), "false");
+        assert_eq!(
+            assert_modes_agree(&e, "some $x in (1,2,3) satisfies $x = 2"),
+            "true"
+        );
+        assert_eq!(
+            assert_modes_agree(&e, "every $x in (1,2,3) satisfies $x < 3"),
+            "false"
+        );
         assert_eq!(assert_modes_agree(&e, "if (1 = 1) then 'y' else 'n'"), "y");
     }
 
@@ -437,9 +499,60 @@ mod tests {
         let prepared = e
             .prepare(q, &CompileOptions::mode(ExecutionMode::OptimHashJoin))
             .unwrap();
-        assert!(prepared.explain().contains("GroupBy"), "{}", prepared.explain());
+        assert!(
+            prepared.explain().contains("GroupBy"),
+            "{}",
+            prepared.explain()
+        );
         assert!(prepared.explain().contains("LOuterJoin"));
         assert!(prepared.rewrite_stats().unwrap().count("insert group-by") >= 1);
+    }
+
+    #[test]
+    fn explain_reports_execution_strategy() {
+        let e = Engine::new();
+        let q = "for $x in (1,2,3) where $x > 1 return $x";
+        let pipelined = e
+            .prepare(q, &CompileOptions::mode(ExecutionMode::OptimHashJoin))
+            .unwrap();
+        assert!(
+            pipelined.explain().contains("execution: pipelined"),
+            "{}",
+            pipelined.explain()
+        );
+        assert!(pipelined.explain().contains("pipelined (streaming):"));
+        let materialized = e
+            .prepare(
+                q,
+                &CompileOptions::materialized(ExecutionMode::OptimHashJoin),
+            )
+            .unwrap();
+        assert!(materialized.explain().contains("execution: materialized"));
+    }
+
+    #[test]
+    fn materialized_escape_hatch_agrees() {
+        let e = engine_with("<r><a id='1'>x</a><a id='2'>y</a></r>");
+        for q in [
+            "for $x in (1,2,3) where $x > 1 return $x * 10",
+            "for $a in doc('doc.xml')//a order by $a/@id descending return string($a)",
+            "some $x in (1,2,3) satisfies $x = 2",
+        ] {
+            let p = e
+                .prepare(q, &CompileOptions::mode(ExecutionMode::OptimHashJoin))
+                .unwrap()
+                .run_to_string(&e)
+                .unwrap();
+            let m = e
+                .prepare(
+                    q,
+                    &CompileOptions::materialized(ExecutionMode::OptimHashJoin),
+                )
+                .unwrap()
+                .run_to_string(&e)
+                .unwrap();
+            assert_eq!(p, m, "strategies disagree on {q:?}");
+        }
     }
 
     #[test]

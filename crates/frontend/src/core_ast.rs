@@ -146,7 +146,10 @@ pub enum CoreExpr {
 
 impl CoreExpr {
     pub fn call(name: &str, args: Vec<CoreExpr>) -> CoreExpr {
-        CoreExpr::Call { name: QName::local(name), args }
+        CoreExpr::Call {
+            name: QName::local(name),
+            args,
+        }
     }
 
     pub fn var(name: &str) -> CoreExpr {
@@ -238,13 +241,20 @@ pub fn visit_exprs(e: &CoreExpr, f: &mut dyn FnMut(&CoreExpr)) {
             }
             visit_exprs(ret, f);
         }
-        CoreExpr::Quantified { clauses, satisfies, .. } => {
+        CoreExpr::Quantified {
+            clauses, satisfies, ..
+        } => {
             for c in clauses {
                 visit_clause(c, f);
             }
             visit_exprs(satisfies, f);
         }
-        CoreExpr::Typeswitch { input, cases, default, .. } => {
+        CoreExpr::Typeswitch {
+            input,
+            cases,
+            default,
+            ..
+        } => {
             visit_exprs(input, f);
             for (_, b) in cases {
                 visit_exprs(b, f);
@@ -308,13 +318,20 @@ pub fn visit_exprs_mut(e: &mut CoreExpr, f: &mut dyn FnMut(&mut CoreExpr)) {
             }
             visit_exprs_mut(ret, f);
         }
-        CoreExpr::Quantified { clauses, satisfies, .. } => {
+        CoreExpr::Quantified {
+            clauses, satisfies, ..
+        } => {
             for c in clauses {
                 visit_clause_mut(c, f);
             }
             visit_exprs_mut(satisfies, f);
         }
-        CoreExpr::Typeswitch { input, cases, default, .. } => {
+        CoreExpr::Typeswitch {
+            input,
+            cases,
+            default,
+            ..
+        } => {
             visit_exprs_mut(input, f);
             for (_, b) in cases {
                 visit_exprs_mut(b, f);

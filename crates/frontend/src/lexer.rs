@@ -269,15 +269,16 @@ impl<'a> Lexer<'a> {
     }
 
     fn err(&self, message: impl Into<String>) -> LexError {
-        LexError { message: message.into(), offset: self.pos }
+        LexError {
+            message: message.into(),
+            offset: self.pos,
+        }
     }
 
     fn name(&mut self) -> Result<Token, LexError> {
         let first = self.read_ncname();
         // A following ':' + name char (but not '::' or ':=') is a QName.
-        if self.peek() == Some(b':')
-            && self.peek2().is_some_and(is_name_start)
-        {
+        if self.peek() == Some(b':') && self.peek2().is_some_and(is_name_start) {
             self.pos += 1;
             let second = self.read_ncname();
             return Ok(Token::Name(Some(first), second));
@@ -363,7 +364,9 @@ impl<'a> Lexer<'a> {
                 }
                 Some(b'&') => {
                     let rest = &self.input[self.pos..];
-                    let semi = rest.find(';').ok_or_else(|| self.err("bad entity reference"))?;
+                    let semi = rest
+                        .find(';')
+                        .ok_or_else(|| self.err("bad entity reference"))?;
                     let ent = &rest[1..semi];
                     let repl = match ent {
                         "lt" => "<".to_string(),
@@ -377,11 +380,11 @@ impl<'a> Lexer<'a> {
                         )
                         .ok_or_else(|| self.err("bad char ref"))?
                         .to_string(),
-                        _ if ent.starts_with('#') => char::from_u32(
-                            ent[1..].parse().map_err(|_| self.err("bad char ref"))?,
-                        )
-                        .ok_or_else(|| self.err("bad char ref"))?
-                        .to_string(),
+                        _ if ent.starts_with('#') => {
+                            char::from_u32(ent[1..].parse().map_err(|_| self.err("bad char ref"))?)
+                                .ok_or_else(|| self.err("bad char ref"))?
+                                .to_string()
+                        }
                         _ => return Err(self.err(format!("unknown entity &{ent};"))),
                     };
                     out.push_str(&repl);
@@ -473,12 +476,22 @@ mod tests {
     fn range_dots_not_swallowed() {
         assert_eq!(
             all_tokens("1 to 2"),
-            vec![Token::IntegerLit(1), Token::Name(None, "to".into()), Token::IntegerLit(2)]
+            vec![
+                Token::IntegerLit(1),
+                Token::Name(None, "to".into()),
+                Token::IntegerLit(2)
+            ]
         );
         // `(1,2.5)` style
         assert_eq!(
             all_tokens("(1,2)"),
-            vec![Token::LParen, Token::IntegerLit(1), Token::Comma, Token::IntegerLit(2), Token::RParen]
+            vec![
+                Token::LParen,
+                Token::IntegerLit(1),
+                Token::Comma,
+                Token::IntegerLit(2),
+                Token::RParen
+            ]
         );
     }
 

@@ -61,7 +61,11 @@ pub fn normalize_module(m: &Module) -> CoreModule {
         .collect();
     let mut body = n.expr(&m.body);
     hoist_nested_flwors(&mut body, &mut n.counter);
-    CoreModule { functions, variables, body }
+    CoreModule {
+        functions,
+        variables,
+        body,
+    }
 }
 
 /// Canonical function naming: `fn:`-prefixed builtins fold to their local
@@ -101,14 +105,21 @@ impl Normalizer {
                     CoreExpr::Seq(items.iter().map(|i| self.expr(i)).collect())
                 }
             }
-            Expr::Flwor { clauses, return_expr } => {
+            Expr::Flwor {
+                clauses,
+                return_expr,
+            } => {
                 let core_clauses = clauses.iter().map(|c| self.clause(c)).collect();
                 CoreExpr::Flwor {
                     clauses: core_clauses,
                     ret: Box::new(self.expr(return_expr)),
                 }
             }
-            Expr::Quantified { every, bindings, satisfies } => {
+            Expr::Quantified {
+                every,
+                bindings,
+                satisfies,
+            } => {
                 let clauses = bindings
                     .iter()
                     .map(|(v, t, e)| CoreClause::For {
@@ -124,7 +135,12 @@ impl Normalizer {
                     satisfies: Box::new(self.ebv(satisfies)),
                 }
             }
-            Expr::Typeswitch { input, cases, default_var, default } => {
+            Expr::Typeswitch {
+                input,
+                cases,
+                default_var,
+                default,
+            } => {
                 // The paper's common-variable form.
                 let var = self.fresh("fs:tsw");
                 let cases = cases
@@ -153,16 +169,27 @@ impl Normalizer {
             }
             Expr::Root => CoreExpr::call("root", vec![CoreExpr::var(FS_DOT)]),
             Expr::PathSlash(lhs, rhs) => self.path_slash(lhs, rhs),
-            Expr::AxisStep { axis, test, predicates } => {
+            Expr::AxisStep {
+                axis,
+                test,
+                predicates,
+            } => {
                 // A leading step applies to the context item.
                 self.step_with_predicates(CoreExpr::var(FS_DOT), *axis, test, predicates)
             }
-            Expr::Filter { primary, predicates } => {
+            Expr::Filter {
+                primary,
+                predicates,
+            } => {
                 let input = self.expr(primary);
                 self.apply_predicates(input, predicates)
             }
             Expr::FunctionCall { name, args } => self.function_call(name, args),
-            Expr::DirectElement { name, attributes, content } => {
+            Expr::DirectElement {
+                name,
+                attributes,
+                content,
+            } => {
                 let mut parts: Vec<CoreExpr> = Vec::new();
                 for (aname, avparts) in attributes {
                     parts.push(CoreExpr::AttributeCtor {
@@ -172,9 +199,9 @@ impl Normalizer {
                 }
                 for c in content {
                     parts.push(match c {
-                        DirectContent::Text(t) => CoreExpr::TextCtor(Box::new(
-                            CoreExpr::Literal(AtomicValue::string(t.as_str())),
-                        )),
+                        DirectContent::Text(t) => CoreExpr::TextCtor(Box::new(CoreExpr::Literal(
+                            AtomicValue::string(t.as_str()),
+                        ))),
                         DirectContent::Enclosed(e) | DirectContent::Child(e) => self.expr(e),
                     });
                 }
@@ -183,7 +210,10 @@ impl Normalizer {
                     1 => parts.pop().expect("one part"),
                     _ => CoreExpr::Seq(parts),
                 };
-                CoreExpr::ElementCtor { name: Ok(name.clone()), content: Box::new(content) }
+                CoreExpr::ElementCtor {
+                    name: Ok(name.clone()),
+                    content: Box::new(content),
+                }
             }
             Expr::CompElement { name, content } => CoreExpr::ElementCtor {
                 name: self.comp_name(name),
@@ -252,7 +282,12 @@ impl Normalizer {
 
     fn clause(&mut self, c: &FlworClause) -> CoreClause {
         match c {
-            FlworClause::For { var, as_type, at, expr } => CoreClause::For {
+            FlworClause::For {
+                var,
+                as_type,
+                at,
+                expr,
+            } => CoreClause::For {
                 var: var.clone(),
                 at: at.clone(),
                 as_type: as_type.clone(),
@@ -360,7 +395,10 @@ impl Normalizer {
             }
         }
         let args = args.iter().map(|a| self.expr(a)).collect();
-        CoreExpr::Call { name: QName::local(&canonical), args }
+        CoreExpr::Call {
+            name: QName::local(&canonical),
+            args,
+        }
     }
 
     fn comp_name(&mut self, name: &Result<QName, Box<Expr>>) -> Result<QName, Box<CoreExpr>> {
@@ -400,9 +438,11 @@ impl Normalizer {
     fn path_slash(&mut self, lhs: &Expr, rhs: &Expr) -> CoreExpr {
         let input = self.expr(lhs);
         match rhs {
-            Expr::AxisStep { axis, test, predicates } => {
-                self.step_with_predicates(input, *axis, test, predicates)
-            }
+            Expr::AxisStep {
+                axis,
+                test,
+                predicates,
+            } => self.step_with_predicates(input, *axis, test, predicates),
             other => {
                 // General `E1/E2`: map E2 over each node of E1 (binding the
                 // context item), then sort/dedup into document order.
@@ -431,7 +471,11 @@ impl Normalizer {
         predicates: &[Expr],
     ) -> CoreExpr {
         if predicates.is_empty() {
-            return CoreExpr::Step { input: Box::new(input), axis, test: test.clone() };
+            return CoreExpr::Step {
+                input: Box::new(input),
+                axis,
+                test: test.clone(),
+            };
         }
         // If every predicate is statically boolean, the step can stay
         // set-at-a-time: positions are never consulted, and filtering the
@@ -443,7 +487,11 @@ impl Normalizer {
                 && !expr_uses_var(p, FS_LAST)
         });
         if all_boolean {
-            let step = CoreExpr::Step { input: Box::new(input), axis, test: test.clone() };
+            let step = CoreExpr::Step {
+                input: Box::new(input),
+                axis,
+                test: test.clone(),
+            };
             return self.fold_boolean_predicates(step, normalized);
         }
         // Otherwise positions matter: one FLWOR block per context node, per
@@ -533,7 +581,10 @@ impl Normalizer {
                 expr: source,
             });
             clauses.push(CoreClause::Where(cond));
-            input = CoreExpr::Flwor { clauses, ret: Box::new(CoreExpr::var(FS_DOT)) };
+            input = CoreExpr::Flwor {
+                clauses,
+                ret: Box::new(CoreExpr::var(FS_DOT)),
+            };
         }
         input
     }
@@ -585,7 +636,9 @@ pub fn hoist_nested_flwors(e: &mut CoreExpr, counter: &mut usize) {
             extract_nested(ret, &mut lets, counter, true);
             clauses.extend(lets);
         }
-        CoreExpr::Quantified { clauses, satisfies, .. } => {
+        CoreExpr::Quantified {
+            clauses, satisfies, ..
+        } => {
             for c in clauses.iter_mut() {
                 if let CoreClause::For { expr, .. } = c {
                     hoist_nested_flwors(expr, counter);
@@ -593,7 +646,12 @@ pub fn hoist_nested_flwors(e: &mut CoreExpr, counter: &mut usize) {
             }
             hoist_nested_flwors(satisfies, counter);
         }
-        CoreExpr::Typeswitch { input, cases, default, .. } => {
+        CoreExpr::Typeswitch {
+            input,
+            cases,
+            default,
+            ..
+        } => {
             hoist_nested_flwors(input, counter);
             for (_, b) in cases {
                 hoist_nested_flwors(b, counter);
@@ -632,18 +690,17 @@ pub fn hoist_nested_flwors(e: &mut CoreExpr, counter: &mut usize) {
 /// Replaces hoistable nested FLWORs within `e` by fresh variables, pushing
 /// `let` clauses into `out`. `top` is true only for the return expression
 /// itself (which is never hoisted).
-fn extract_nested(
-    e: &mut CoreExpr,
-    out: &mut Vec<CoreClause>,
-    counter: &mut usize,
-    top: bool,
-) {
+fn extract_nested(e: &mut CoreExpr, out: &mut Vec<CoreClause>, counter: &mut usize, top: bool) {
     if !top {
         if matches!(e, CoreExpr::Flwor { .. }) {
             *counter += 1;
             let var = QName::local(&format!("fs:hoist#{counter}"));
             let flwor = std::mem::replace(e, CoreExpr::Var(var.clone()));
-            out.push(CoreClause::Let { var, as_type: None, expr: flwor });
+            out.push(CoreClause::Let {
+                var,
+                as_type: None,
+                expr: flwor,
+            });
             return;
         }
         // Do not cross binding or conditional constructs.
@@ -700,7 +757,10 @@ mod tests {
 
     #[test]
     fn literals_and_vars() {
-        assert!(matches!(norm("1"), CoreExpr::Literal(AtomicValue::Integer(1))));
+        assert!(matches!(
+            norm("1"),
+            CoreExpr::Literal(AtomicValue::Integer(1))
+        ));
         assert!(matches!(norm("$x"), CoreExpr::Var(_)));
         assert!(matches!(norm("()"), CoreExpr::Empty));
     }
@@ -708,7 +768,9 @@ mod tests {
     #[test]
     fn comparisons_become_fs_calls() {
         let c = norm("$a = $b");
-        let CoreExpr::Call { name, args } = c else { panic!() };
+        let CoreExpr::Call { name, args } = c else {
+            panic!()
+        };
         assert_eq!(name.local_part(), "fs:general-eq");
         assert_eq!(args.len(), 2);
         let c = norm("$a eq $b");
@@ -718,18 +780,35 @@ mod tests {
     #[test]
     fn and_or_become_conditionals() {
         let c = norm("$a = 1 and $b = 2");
-        let CoreExpr::If { els, .. } = c else { panic!("expected If") };
-        assert!(matches!(*els, CoreExpr::Literal(AtomicValue::Boolean(false))));
+        let CoreExpr::If { els, .. } = c else {
+            panic!("expected If")
+        };
+        assert!(matches!(
+            *els,
+            CoreExpr::Literal(AtomicValue::Boolean(false))
+        ));
         let c = norm("$a = 1 or $b = 2");
-        let CoreExpr::If { then, .. } = c else { panic!("expected If") };
-        assert!(matches!(*then, CoreExpr::Literal(AtomicValue::Boolean(true))));
+        let CoreExpr::If { then, .. } = c else {
+            panic!("expected If")
+        };
+        assert!(matches!(
+            *then,
+            CoreExpr::Literal(AtomicValue::Boolean(true))
+        ));
     }
 
     #[test]
     fn simple_paths_become_steps() {
         // Simple step chains stay set-at-a-time TreeJoins.
         let c = norm("$d/a/b");
-        let CoreExpr::Step { input, axis: Axis::Child, .. } = c else { panic!() };
+        let CoreExpr::Step {
+            input,
+            axis: Axis::Child,
+            ..
+        } = c
+        else {
+            panic!()
+        };
         assert!(matches!(*input, CoreExpr::Step { .. }));
     }
 
@@ -739,11 +818,17 @@ mod tests {
         let c = norm("$d/descendant::person[position() = 1]");
         // fs:distinct-docorder( for $fs:dot in $d return
         //   for $fs:dot at $fs:position in step where … return $fs:dot )
-        let CoreExpr::Call { name, args } = c else { panic!("expected ddo call") };
+        let CoreExpr::Call { name, args } = c else {
+            panic!("expected ddo call")
+        };
         assert_eq!(name.local_part(), "fs:distinct-docorder");
-        let CoreExpr::Flwor { clauses, ret } = &args[0] else { panic!("outer flwor") };
+        let CoreExpr::Flwor { clauses, ret } = &args[0] else {
+            panic!("outer flwor")
+        };
         assert_eq!(clauses.len(), 1);
-        let CoreExpr::Flwor { clauses: inner, .. } = &**ret else { panic!("inner flwor") };
+        let CoreExpr::Flwor { clauses: inner, .. } = &**ret else {
+            panic!("inner flwor")
+        };
         assert!(matches!(&inner[0], CoreClause::For { at: Some(_), .. }));
         assert!(matches!(&inner[1], CoreClause::Where(_)));
     }
@@ -752,24 +837,41 @@ mod tests {
     fn boolean_predicate_stays_set_at_a_time() {
         let c = norm("$auction//closed_auction[.//person = $p]");
         // No ddo wrapper needed: Flwor{for fs:dot in Step, where …}.
-        let CoreExpr::Flwor { clauses, .. } = c else { panic!("expected flwor, got {c:?}") };
-        assert!(matches!(&clauses[0], CoreClause::For { at: None, expr: CoreExpr::Step { .. }, .. }));
+        let CoreExpr::Flwor { clauses, .. } = c else {
+            panic!("expected flwor, got {c:?}")
+        };
+        assert!(matches!(
+            &clauses[0],
+            CoreClause::For {
+                at: None,
+                expr: CoreExpr::Step { .. },
+                ..
+            }
+        ));
         assert!(matches!(&clauses[1], CoreClause::Where(_)));
     }
 
     #[test]
     fn numeric_literal_predicate_is_position_test() {
         let c = norm("$items[3]");
-        let CoreExpr::Flwor { clauses, .. } = c else { panic!() };
-        let CoreClause::Where(w) = &clauses[1] else { panic!() };
-        let CoreExpr::Call { name, .. } = w else { panic!() };
+        let CoreExpr::Flwor { clauses, .. } = c else {
+            panic!()
+        };
+        let CoreClause::Where(w) = &clauses[1] else {
+            panic!()
+        };
+        let CoreExpr::Call { name, .. } = w else {
+            panic!()
+        };
         assert_eq!(name.local_part(), "fs:value-eq");
     }
 
     #[test]
     fn last_binds_context_size() {
         let c = norm("$items[last()]");
-        let CoreExpr::Flwor { clauses, .. } = c else { panic!() };
+        let CoreExpr::Flwor { clauses, .. } = c else {
+            panic!()
+        };
         assert!(matches!(&clauses[0], CoreClause::Let { var, .. } if var.local_part() == FS_SEQ));
         assert!(matches!(&clauses[1], CoreClause::Let { var, .. } if var.local_part() == FS_LAST));
     }
@@ -777,20 +879,32 @@ mod tests {
     #[test]
     fn context_item_becomes_fs_dot() {
         let c = norm("$x/a[. = 1]");
-        let CoreExpr::Flwor { clauses, .. } = c else { panic!() };
-        let CoreClause::Where(CoreExpr::Call { args, .. }) = &clauses[1] else { panic!() };
+        let CoreExpr::Flwor { clauses, .. } = c else {
+            panic!()
+        };
+        let CoreClause::Where(CoreExpr::Call { args, .. }) = &clauses[1] else {
+            panic!()
+        };
         assert!(matches!(&args[0], CoreExpr::Var(v) if v.local_part() == FS_DOT));
     }
 
     #[test]
     fn typeswitch_gets_common_variable() {
-        let c = norm(
-            "typeswitch ($a) case $u as xs:integer return $u default $o return $o",
-        );
-        let CoreExpr::Typeswitch { var, cases, default, .. } = c else { panic!() };
+        let c = norm("typeswitch ($a) case $u as xs:integer return $u default $o return $o");
+        let CoreExpr::Typeswitch {
+            var,
+            cases,
+            default,
+            ..
+        } = c
+        else {
+            panic!()
+        };
         assert!(var.local_part().starts_with("fs:tsw"));
         // The case body aliases the common variable via a let.
-        let CoreExpr::Flwor { clauses, .. } = &cases[0].1 else { panic!() };
+        let CoreExpr::Flwor { clauses, .. } = &cases[0].1 else {
+            panic!()
+        };
         assert!(matches!(&clauses[0], CoreClause::Let { expr: CoreExpr::Var(v), .. } if v == &var));
         assert!(matches!(&*default, CoreExpr::Flwor { .. }));
     }
@@ -798,29 +912,44 @@ mod tests {
     #[test]
     fn where_gets_ebv_only_when_needed() {
         let c = norm("for $x in $s where $x/a return $x");
-        let CoreExpr::Flwor { clauses, .. } = c else { panic!() };
-        let CoreClause::Where(w) = &clauses[1] else { panic!() };
+        let CoreExpr::Flwor { clauses, .. } = c else {
+            panic!()
+        };
+        let CoreClause::Where(w) = &clauses[1] else {
+            panic!()
+        };
         assert!(matches!(w, CoreExpr::Call { name, .. } if name.local_part() == "boolean"));
         let c = norm("for $x in $s where $x = 1 return $x");
-        let CoreExpr::Flwor { clauses, .. } = c else { panic!() };
-        let CoreClause::Where(w) = &clauses[1] else { panic!() };
+        let CoreExpr::Flwor { clauses, .. } = c else {
+            panic!()
+        };
+        let CoreClause::Where(w) = &clauses[1] else {
+            panic!()
+        };
         assert!(matches!(w, CoreExpr::Call { name, .. } if name.local_part() == "fs:general-eq"));
     }
 
     #[test]
     fn nested_flwor_in_constructor_is_hoisted() {
         // The Clio pattern: a nested FLWOR inside element content.
-        let c = norm(
-            "for $x in $s return <a>{ for $y in $t where $y = $x return $y }</a>",
-        );
-        let CoreExpr::Flwor { clauses, ret } = c else { panic!() };
+        let c = norm("for $x in $s return <a>{ for $y in $t where $y = $x return $y }</a>");
+        let CoreExpr::Flwor { clauses, ret } = c else {
+            panic!()
+        };
         assert_eq!(clauses.len(), 2, "for + hoisted let");
-        let CoreClause::Let { var, expr, .. } = &clauses[1] else { panic!("hoisted let") };
+        let CoreClause::Let { var, expr, .. } = &clauses[1] else {
+            panic!("hoisted let")
+        };
         assert!(var.local_part().starts_with("fs:hoist"));
         assert!(matches!(expr, CoreExpr::Flwor { .. }));
         // The constructor now references the hoisted variable.
-        let CoreExpr::ElementCtor { content, .. } = &*ret else { panic!() };
-        assert!(matches!(&**content, CoreExpr::Var(v) if v == var), "constructor references hoisted var");
+        let CoreExpr::ElementCtor { content, .. } = &*ret else {
+            panic!()
+        };
+        assert!(
+            matches!(&**content, CoreExpr::Var(v) if v == var),
+            "constructor references hoisted var"
+        );
     }
 
     #[test]
@@ -828,16 +957,22 @@ mod tests {
         let c = norm(
             "for $x in $s return <a>{ if ($x = 1) then (for $y in $t return $y) else () }</a>",
         );
-        let CoreExpr::Flwor { clauses, .. } = c else { panic!() };
+        let CoreExpr::Flwor { clauses, .. } = c else {
+            panic!()
+        };
         assert_eq!(clauses.len(), 1, "nothing hoisted out of the conditional");
     }
 
     #[test]
     fn direct_constructor_content() {
         let c = norm(r#"<item person="{$p}">x{ $n }</item>"#);
-        let CoreExpr::ElementCtor { name, content } = c else { panic!() };
+        let CoreExpr::ElementCtor { name, content } = c else {
+            panic!()
+        };
         assert_eq!(name.unwrap().local_part(), "item");
-        let CoreExpr::Seq(parts) = &*content else { panic!() };
+        let CoreExpr::Seq(parts) = &*content else {
+            panic!()
+        };
         assert_eq!(parts.len(), 3); // attribute, text, enclosed
         assert!(matches!(&parts[0], CoreExpr::AttributeCtor { .. }));
         assert!(matches!(&parts[1], CoreExpr::TextCtor(_)));
@@ -854,7 +989,9 @@ mod tests {
     #[test]
     fn arithmetic_calls() {
         let c = norm("1 + 2 * 3");
-        let CoreExpr::Call { name, args } = c else { panic!() };
+        let CoreExpr::Call { name, args } = c else {
+            panic!()
+        };
         assert_eq!(name.local_part(), "fs:numeric-add");
         assert!(
             matches!(&args[1], CoreExpr::Call { name, .. } if name.local_part() == "fs:numeric-multiply")
@@ -864,7 +1001,14 @@ mod tests {
     #[test]
     fn quantified_normalization() {
         let c = norm("some $x in (1,2) satisfies $x = 2");
-        let CoreExpr::Quantified { every: false, clauses, satisfies } = c else { panic!() };
+        let CoreExpr::Quantified {
+            every: false,
+            clauses,
+            satisfies,
+        } = c
+        else {
+            panic!()
+        };
         assert_eq!(clauses.len(), 1);
         assert!(satisfies.is_statically_boolean());
     }

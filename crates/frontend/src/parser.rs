@@ -24,7 +24,11 @@ pub struct SyntaxError {
 
 impl std::fmt::Display for SyntaxError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "syntax error at offset {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "syntax error at offset {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -32,7 +36,10 @@ impl std::error::Error for SyntaxError {}
 
 impl From<LexError> for SyntaxError {
     fn from(e: LexError) -> Self {
-        SyntaxError { message: e.message, offset: e.offset }
+        SyntaxError {
+            message: e.message,
+            offset: e.offset,
+        }
     }
 }
 
@@ -72,7 +79,12 @@ impl<'a> Parser<'a> {
         lexer.skip_trivia()?;
         let tok_pos = lexer.raw_pos();
         let tok = lexer.next_token()?;
-        Ok(Parser { lexer, tok, tok_pos, depth: 0 })
+        Ok(Parser {
+            lexer,
+            tok,
+            tok_pos,
+            depth: 0,
+        })
     }
 
     fn advance(&mut self) -> PResult<Token> {
@@ -83,7 +95,10 @@ impl<'a> Parser<'a> {
     }
 
     fn err(&self, message: impl Into<String>) -> SyntaxError {
-        SyntaxError { message: message.into(), offset: self.tok_pos }
+        SyntaxError {
+            message: message.into(),
+            offset: self.tok_pos,
+        }
     }
 
     fn expect(&mut self, t: &Token) -> PResult<()> {
@@ -168,8 +183,10 @@ impl<'a> Parser<'a> {
                 self.advance()?;
                 self.advance()?;
                 variables.push(self.parse_variable_decl()?);
-            } else if next.is_name("namespace") || next.is_name("default")
-                || next.is_name("boundary-space") || next.is_name("base-uri")
+            } else if next.is_name("namespace")
+                || next.is_name("default")
+                || next.is_name("boundary-space")
+                || next.is_name("base-uri")
             {
                 // Accepted and ignored: namespace bindings resolve lexically.
                 while self.tok != Token::Semicolon && self.tok != Token::Eof {
@@ -181,7 +198,11 @@ impl<'a> Parser<'a> {
             }
         }
         let body = self.parse_expr()?;
-        Ok(Module { functions, variables, body })
+        Ok(Module {
+            functions,
+            variables,
+            body,
+        })
     }
 
     fn parse_function_decl(&mut self) -> PResult<FunctionDecl> {
@@ -205,19 +226,30 @@ impl<'a> Parser<'a> {
             }
         }
         self.expect(&Token::RParen)?;
-        let return_type =
-            if self.eat_keyword("as")? { Some(self.parse_sequence_type()?) } else { None };
+        let return_type = if self.eat_keyword("as")? {
+            Some(self.parse_sequence_type()?)
+        } else {
+            None
+        };
         self.expect(&Token::LBrace)?;
         let body = self.parse_expr()?;
         self.expect(&Token::RBrace)?;
         self.expect(&Token::Semicolon)?;
-        Ok(FunctionDecl { name, params, return_type, body })
+        Ok(FunctionDecl {
+            name,
+            params,
+            return_type,
+            body,
+        })
     }
 
     fn parse_variable_decl(&mut self) -> PResult<VariableDecl> {
         let name = self.parse_var_name()?;
-        let as_type =
-            if self.eat_keyword("as")? { Some(self.parse_sequence_type()?) } else { None };
+        let as_type = if self.eat_keyword("as")? {
+            Some(self.parse_sequence_type()?)
+        } else {
+            None
+        };
         let value = if self.tok == Token::ColonEq {
             self.advance()?;
             Some(self.parse_expr_single()?)
@@ -226,7 +258,11 @@ impl<'a> Parser<'a> {
             None
         };
         self.expect(&Token::Semicolon)?;
-        Ok(VariableDecl { name, as_type, value })
+        Ok(VariableDecl {
+            name,
+            as_type,
+            value,
+        })
     }
 
     // ----- Expressions ---------------------------------------------------
@@ -294,7 +330,12 @@ impl<'a> Parser<'a> {
                     };
                     self.expect_keyword("in")?;
                     let expr = self.parse_expr_single()?;
-                    clauses.push(FlworClause::For { var, as_type, at, expr });
+                    clauses.push(FlworClause::For {
+                        var,
+                        as_type,
+                        at,
+                        expr,
+                    });
                     if self.tok == Token::Comma {
                         self.advance()?;
                     } else {
@@ -343,7 +384,11 @@ impl<'a> Parser<'a> {
                             self.expect_keyword("least")?;
                         }
                     }
-                    specs.push(OrderSpec { key, descending, empty_least });
+                    specs.push(OrderSpec {
+                        key,
+                        descending,
+                        empty_least,
+                    });
                     if self.tok == Token::Comma {
                         self.advance()?;
                     } else {
@@ -360,7 +405,10 @@ impl<'a> Parser<'a> {
         if clauses.is_empty() {
             return Err(self.err("FLWOR expression requires at least one for/let clause"));
         }
-        Ok(Expr::Flwor { clauses, return_expr })
+        Ok(Expr::Flwor {
+            clauses,
+            return_expr,
+        })
     }
 
     fn parse_quantified(&mut self) -> PResult<Expr> {
@@ -369,8 +417,11 @@ impl<'a> Parser<'a> {
         let mut bindings = Vec::new();
         loop {
             let var = self.parse_var_name()?;
-            let ty =
-                if self.eat_keyword("as")? { Some(self.parse_sequence_type()?) } else { None };
+            let ty = if self.eat_keyword("as")? {
+                Some(self.parse_sequence_type()?)
+            } else {
+                None
+            };
             self.expect_keyword("in")?;
             let expr = self.parse_expr_single()?;
             bindings.push((var, ty, expr));
@@ -382,7 +433,11 @@ impl<'a> Parser<'a> {
         }
         self.expect_keyword("satisfies")?;
         let satisfies = Box::new(self.parse_expr_single()?);
-        Ok(Expr::Quantified { every, bindings, satisfies })
+        Ok(Expr::Quantified {
+            every,
+            bindings,
+            satisfies,
+        })
     }
 
     fn parse_typeswitch(&mut self) -> PResult<Expr> {
@@ -403,17 +458,29 @@ impl<'a> Parser<'a> {
             let seq_type = self.parse_sequence_type()?;
             self.expect_keyword("return")?;
             let body = self.parse_expr_single()?;
-            cases.push(CaseClause { var, seq_type, body });
+            cases.push(CaseClause {
+                var,
+                seq_type,
+                body,
+            });
         }
         self.expect_keyword("default")?;
-        let default_var =
-            if self.tok == Token::Dollar { Some(self.parse_var_name()?) } else { None };
+        let default_var = if self.tok == Token::Dollar {
+            Some(self.parse_var_name()?)
+        } else {
+            None
+        };
         self.expect_keyword("return")?;
         let default = Box::new(self.parse_expr_single()?);
         if cases.is_empty() {
             return Err(self.err("typeswitch requires at least one case"));
         }
-        Ok(Expr::Typeswitch { input, cases, default_var, default })
+        Ok(Expr::Typeswitch {
+            input,
+            cases,
+            default_var,
+            default,
+        })
     }
 
     fn parse_if(&mut self) -> PResult<Expr> {
@@ -433,7 +500,11 @@ impl<'a> Parser<'a> {
         while self.tok.is_name("or") {
             self.advance()?;
             let rhs = self.parse_and()?;
-            lhs = Expr::Binary { op: BinOp::Or, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Binary {
+                op: BinOp::Or,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -443,7 +514,11 @@ impl<'a> Parser<'a> {
         while self.tok.is_name("and") {
             self.advance()?;
             let rhs = self.parse_comparison()?;
-            lhs = Expr::Binary { op: BinOp::And, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Binary {
+                op: BinOp::And,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -480,7 +555,11 @@ impl<'a> Parser<'a> {
         let lhs = self.parse_range()?;
         if let Some(op) = self.comparison_op()? {
             let rhs = self.parse_range()?;
-            return Ok(Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) });
+            return Ok(Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            });
         }
         Ok(lhs)
     }
@@ -490,7 +569,11 @@ impl<'a> Parser<'a> {
         if self.tok.is_name("to") {
             self.advance()?;
             let rhs = self.parse_additive()?;
-            return Ok(Expr::Binary { op: BinOp::Range, lhs: Box::new(lhs), rhs: Box::new(rhs) });
+            return Ok(Expr::Binary {
+                op: BinOp::Range,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            });
         }
         Ok(lhs)
     }
@@ -505,7 +588,11 @@ impl<'a> Parser<'a> {
             };
             self.advance()?;
             let rhs = self.parse_multiplicative()?;
-            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -522,7 +609,11 @@ impl<'a> Parser<'a> {
             };
             self.advance()?;
             let rhs = self.parse_union()?;
-            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -536,7 +627,11 @@ impl<'a> Parser<'a> {
             }
             self.advance()?;
             let rhs = self.parse_intersect_except()?;
-            lhs = Expr::Binary { op: BinOp::Union, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Binary {
+                op: BinOp::Union,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -553,7 +648,11 @@ impl<'a> Parser<'a> {
             };
             self.advance()?;
             let rhs = self.parse_postfix_type_exprs()?;
-            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -603,7 +702,11 @@ impl<'a> Parser<'a> {
             }
         }
         let e = self.parse_path()?;
-        Ok(if negate { Expr::UnaryMinus(Box::new(e)) } else { e })
+        Ok(if negate {
+            Expr::UnaryMinus(Box::new(e))
+        } else {
+            e
+        })
     }
 
     // ----- Paths ----------------------------------------------------------
@@ -689,7 +792,11 @@ impl<'a> Parser<'a> {
                 self.advance()?;
                 let test = self.parse_node_test(Axis::Attribute)?;
                 let predicates = self.parse_predicates()?;
-                return Ok(Expr::AxisStep { axis: Axis::Attribute, test, predicates });
+                return Ok(Expr::AxisStep {
+                    axis: Axis::Attribute,
+                    test,
+                    predicates,
+                });
             }
             Token::DotDot => {
                 self.advance()?;
@@ -708,7 +815,11 @@ impl<'a> Parser<'a> {
                         self.advance()?;
                         let test = self.parse_node_test(axis)?;
                         let predicates = self.parse_predicates()?;
-                        return Ok(Expr::AxisStep { axis, test, predicates });
+                        return Ok(Expr::AxisStep {
+                            axis,
+                            test,
+                            predicates,
+                        });
                     }
                 }
             }
@@ -736,7 +847,11 @@ impl<'a> Parser<'a> {
             let test = self.parse_node_test(Axis::Child)?;
             let axis = Axis::Child;
             let predicates = self.parse_predicates()?;
-            return Ok(Expr::AxisStep { axis, test, predicates });
+            return Ok(Expr::AxisStep {
+                axis,
+                test,
+                predicates,
+            });
         }
         // Otherwise: a primary expression with optional predicates.
         let primary = self.parse_primary()?;
@@ -744,7 +859,10 @@ impl<'a> Parser<'a> {
         if predicates.is_empty() {
             Ok(primary)
         } else {
-            Ok(Expr::Filter { primary: Box::new(primary), predicates })
+            Ok(Expr::Filter {
+                primary: Box::new(primary),
+                predicates,
+            })
         }
     }
 
@@ -835,9 +953,7 @@ impl<'a> Parser<'a> {
                             self.advance()?;
                             NameTest::local(&n)
                         }
-                        other => {
-                            return Err(self.err(format!("expected name or *, found {other}")))
-                        }
+                        other => return Err(self.err(format!("expected name or *, found {other}"))),
                     });
                     if self.tok == Token::Comma {
                         self.advance()?;
@@ -867,16 +983,16 @@ impl<'a> Parser<'a> {
     /// `unordered { … }` are primaries, not path steps.
     fn is_block_primary_start(&self, name: &str, next: &Token) -> bool {
         match name {
-            "validate" => {
-                *next == Token::LBrace || next.is_name("lax") || next.is_name("strict")
-            }
+            "validate" => *next == Token::LBrace || next.is_name("lax") || next.is_name("strict"),
             "ordered" | "unordered" => *next == Token::LBrace,
             _ => false,
         }
     }
 
     fn is_computed_ctor_start(&mut self) -> PResult<bool> {
-        let Token::Name(None, n) = &self.tok else { return Ok(false) };
+        let Token::Name(None, n) = &self.tok else {
+            return Ok(false);
+        };
         let n = n.clone();
         if !matches!(
             n.as_str(),
@@ -890,7 +1006,9 @@ impl<'a> Parser<'a> {
 
     fn parse_primary(&mut self) -> PResult<Expr> {
         match self.tok.clone() {
-            Token::IntegerLit(_) | Token::DecimalLit(_) | Token::DoubleLit(_)
+            Token::IntegerLit(_)
+            | Token::DecimalLit(_)
+            | Token::DoubleLit(_)
             | Token::StringLit(_) => {
                 let v = Lexer::literal_value(&self.tok).expect("literal");
                 self.advance()?;
@@ -932,14 +1050,13 @@ impl<'a> Parser<'a> {
                             return Ok(Expr::Validate(mode, Box::new(e)));
                         }
                     }
-                    "ordered" | "unordered"
-                        if self.peek_next()? == Token::LBrace => {
-                            self.advance()?;
-                            self.advance()?;
-                            let e = self.parse_expr()?;
-                            self.expect(&Token::RBrace)?;
-                            return Ok(e);
-                        }
+                    "ordered" | "unordered" if self.peek_next()? == Token::LBrace => {
+                        self.advance()?;
+                        self.advance()?;
+                        let e = self.parse_expr()?;
+                        self.expect(&Token::RBrace)?;
+                        return Ok(e);
+                    }
                     "element" | "attribute" if self.is_computed_ctor_start()? => {
                         self.advance()?;
                         let name = if self.tok == Token::LBrace {
@@ -1042,7 +1159,10 @@ impl<'a> Parser<'a> {
     }
 
     fn raw_err(&self, pos: usize, msg: impl Into<String>) -> SyntaxError {
-        SyntaxError { message: msg.into(), offset: pos }
+        SyntaxError {
+            message: msg.into(),
+            offset: pos,
+        }
     }
 
     fn read_raw_name(&self, input: &str, pos: &mut usize) -> PResult<String> {
@@ -1066,7 +1186,10 @@ impl<'a> Parser<'a> {
     }
 
     fn skip_raw_ws(&self, input: &str, pos: &mut usize) {
-        while matches!(input.as_bytes().get(*pos), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+        while matches!(
+            input.as_bytes().get(*pos),
+            Some(b' ' | b'\t' | b'\r' | b'\n')
+        ) {
             *pos += 1;
         }
     }
@@ -1092,7 +1215,11 @@ impl<'a> Parser<'a> {
                 Some(b'/') => {
                     if input.as_bytes().get(*pos + 1) == Some(&b'>') {
                         *pos += 2;
-                        return Ok(Expr::DirectElement { name, attributes, content: Vec::new() });
+                        return Ok(Expr::DirectElement {
+                            name,
+                            attributes,
+                            content: Vec::new(),
+                        });
                     }
                     return Err(self.raw_err(*pos, "expected '/>'"));
                 }
@@ -1136,7 +1263,11 @@ impl<'a> Parser<'a> {
                             return Err(self.raw_err(*pos, "expected '>'"));
                         }
                         *pos += 1;
-                        return Ok(Expr::DirectElement { name, attributes, content });
+                        return Ok(Expr::DirectElement {
+                            name,
+                            attributes,
+                            content,
+                        });
                     } else if input[*pos..].starts_with("<!--") {
                         flush_text(&mut content, &mut text);
                         let end = input[*pos + 4..]
@@ -1326,8 +1457,7 @@ impl<'a> Parser<'a> {
 
     fn parse_single_type(&mut self) -> PResult<(AtomicType, bool)> {
         let q = self.qname_from_token()?;
-        let t = atomic_type_of(&q)
-            .ok_or_else(|| self.err(format!("unknown atomic type {q}")))?;
+        let t = atomic_type_of(&q).ok_or_else(|| self.err(format!("unknown atomic type {q}")))?;
         let optional = if self.tok == Token::Question {
             self.advance()?;
             true
@@ -1405,8 +1535,14 @@ mod tests {
 
     #[test]
     fn literals_and_sequences() {
-        assert!(matches!(parse("42"), Expr::Literal(AtomicValue::Integer(42))));
-        assert!(matches!(parse("'x'"), Expr::Literal(AtomicValue::String(_))));
+        assert!(matches!(
+            parse("42"),
+            Expr::Literal(AtomicValue::Integer(42))
+        ));
+        assert!(matches!(
+            parse("'x'"),
+            Expr::Literal(AtomicValue::String(_))
+        ));
         assert!(matches!(parse("()"), Expr::Sequence(v) if v.is_empty()));
         assert!(matches!(parse("(1, 2, 3)"), Expr::Sequence(v) if v.len() == 3));
     }
@@ -1414,18 +1550,49 @@ mod tests {
     #[test]
     fn operators_and_precedence() {
         // 1 + 2 * 3 parses as 1 + (2 * 3)
-        let Expr::Binary { op: BinOp::Add, rhs, .. } = parse("1 + 2 * 3") else {
+        let Expr::Binary {
+            op: BinOp::Add,
+            rhs,
+            ..
+        } = parse("1 + 2 * 3")
+        else {
             panic!("expected +");
         };
         assert!(matches!(*rhs, Expr::Binary { op: BinOp::Mul, .. }));
         // comparisons beneath 'and'
-        let Expr::Binary { op: BinOp::And, lhs, .. } = parse("1 = 2 and 3 < 4") else {
+        let Expr::Binary {
+            op: BinOp::And,
+            lhs,
+            ..
+        } = parse("1 = 2 and 3 < 4")
+        else {
             panic!("expected and");
         };
-        assert!(matches!(*lhs, Expr::Binary { op: BinOp::GenEq, .. }));
-        assert!(matches!(parse("1 to 5"), Expr::Binary { op: BinOp::Range, .. }));
-        assert!(matches!(parse("$a is $b"), Expr::Binary { op: BinOp::Is, .. }));
-        assert!(matches!(parse("1 eq 1"), Expr::Binary { op: BinOp::ValEq, .. }));
+        assert!(matches!(
+            *lhs,
+            Expr::Binary {
+                op: BinOp::GenEq,
+                ..
+            }
+        ));
+        assert!(matches!(
+            parse("1 to 5"),
+            Expr::Binary {
+                op: BinOp::Range,
+                ..
+            }
+        ));
+        assert!(matches!(
+            parse("$a is $b"),
+            Expr::Binary { op: BinOp::Is, .. }
+        ));
+        assert!(matches!(
+            parse("1 eq 1"),
+            Expr::Binary {
+                op: BinOp::ValEq,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -1434,22 +1601,30 @@ mod tests {
             "for $x at $i in (1,2), $y in (3,4) let $z := $x + $y \
              where $z > 3 order by $z descending empty greatest return ($x, $z)",
         );
-        let Expr::Flwor { clauses, .. } = e else { panic!("expected flwor") };
+        let Expr::Flwor { clauses, .. } = e else {
+            panic!("expected flwor")
+        };
         assert_eq!(clauses.len(), 5);
         assert!(matches!(&clauses[0], FlworClause::For { at: Some(_), .. }));
         assert!(matches!(&clauses[2], FlworClause::Let { .. }));
         assert!(matches!(&clauses[3], FlworClause::Where(_)));
-        assert!(
-            matches!(&clauses[4], FlworClause::OrderBy { specs, .. }
-                if specs.len() == 1 && specs[0].descending && !specs[0].empty_least)
-        );
+        assert!(matches!(&clauses[4], FlworClause::OrderBy { specs, .. }
+                if specs.len() == 1 && specs[0].descending && !specs[0].empty_least));
     }
 
     #[test]
     fn for_with_type_declaration() {
         let e = parse("for $a as element(*,Auction)* in $x return $a");
-        let Expr::Flwor { clauses, .. } = e else { panic!() };
-        assert!(matches!(&clauses[0], FlworClause::For { as_type: Some(_), .. }));
+        let Expr::Flwor { clauses, .. } = e else {
+            panic!()
+        };
+        assert!(matches!(
+            &clauses[0],
+            FlworClause::For {
+                as_type: Some(_),
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -1457,7 +1632,14 @@ mod tests {
         let e = parse("some $x in (1,2) satisfies $x = 2");
         assert!(matches!(e, Expr::Quantified { every: false, .. }));
         let e = parse("every $x in (1,2), $y in (3,4) satisfies $x < $y");
-        let Expr::Quantified { every: true, bindings, .. } = e else { panic!() };
+        let Expr::Quantified {
+            every: true,
+            bindings,
+            ..
+        } = e
+        else {
+            panic!()
+        };
         assert_eq!(bindings.len(), 2);
     }
 
@@ -1467,7 +1649,12 @@ mod tests {
             "typeswitch ($a) case $u as element(*,USAuction) return $u \
              case element(*,EUAuction) return 1 default $o return $o",
         );
-        let Expr::Typeswitch { cases, default_var, .. } = e else { panic!() };
+        let Expr::Typeswitch {
+            cases, default_var, ..
+        } = e
+        else {
+            panic!()
+        };
         assert_eq!(cases.len(), 2);
         assert!(cases[0].var.is_some());
         assert!(cases[1].var.is_none());
@@ -1483,9 +1670,16 @@ mod tests {
     fn paths() {
         // $d/descendant::person[position() = 1]
         let e = parse("$d/descendant::person[position() = 1]");
-        let Expr::PathSlash(lhs, rhs) = e else { panic!("expected path") };
+        let Expr::PathSlash(lhs, rhs) = e else {
+            panic!("expected path")
+        };
         assert!(matches!(*lhs, Expr::VarRef(_)));
-        let Expr::AxisStep { axis: Axis::Descendant, predicates, .. } = *rhs else {
+        let Expr::AxisStep {
+            axis: Axis::Descendant,
+            predicates,
+            ..
+        } = *rhs
+        else {
             panic!("expected step")
         };
         assert_eq!(predicates.len(), 1);
@@ -1495,13 +1689,43 @@ mod tests {
     fn abbreviated_paths() {
         // $a//b/@id and ..
         let e = parse("$a//closed_auction/@person");
-        let Expr::PathSlash(inner, last) = e else { panic!() };
-        assert!(matches!(*last, Expr::AxisStep { axis: Axis::Attribute, .. }));
-        let Expr::PathSlash(inner2, step) = *inner else { panic!() };
-        assert!(matches!(*step, Expr::AxisStep { axis: Axis::Child, .. }));
-        let Expr::PathSlash(_, dos) = *inner2 else { panic!() };
-        assert!(matches!(*dos, Expr::AxisStep { axis: Axis::DescendantOrSelf, .. }));
-        assert!(matches!(parse(".."), Expr::AxisStep { axis: Axis::Parent, .. }));
+        let Expr::PathSlash(inner, last) = e else {
+            panic!()
+        };
+        assert!(matches!(
+            *last,
+            Expr::AxisStep {
+                axis: Axis::Attribute,
+                ..
+            }
+        ));
+        let Expr::PathSlash(inner2, step) = *inner else {
+            panic!()
+        };
+        assert!(matches!(
+            *step,
+            Expr::AxisStep {
+                axis: Axis::Child,
+                ..
+            }
+        ));
+        let Expr::PathSlash(_, dos) = *inner2 else {
+            panic!()
+        };
+        assert!(matches!(
+            *dos,
+            Expr::AxisStep {
+                axis: Axis::DescendantOrSelf,
+                ..
+            }
+        ));
+        assert!(matches!(
+            parse(".."),
+            Expr::AxisStep {
+                axis: Axis::Parent,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -1515,23 +1739,35 @@ mod tests {
     #[test]
     fn kind_test_steps() {
         let e = parse("$x/text()");
-        let Expr::PathSlash(_, step) = e else { panic!() };
+        let Expr::PathSlash(_, step) = e else {
+            panic!()
+        };
         assert!(matches!(
             *step,
-            Expr::AxisStep { test: NodeTest::Kind(KindTest::Text), .. }
+            Expr::AxisStep {
+                test: NodeTest::Kind(KindTest::Text),
+                ..
+            }
         ));
         let e = parse("$a/element(*, USSeller)");
-        let Expr::PathSlash(_, step) = e else { panic!() };
+        let Expr::PathSlash(_, step) = e else {
+            panic!()
+        };
         assert!(matches!(
             *step,
-            Expr::AxisStep { test: NodeTest::Kind(KindTest::Element(None, Some(_))), .. }
+            Expr::AxisStep {
+                test: NodeTest::Kind(KindTest::Element(None, Some(_))),
+                ..
+            }
         ));
     }
 
     #[test]
     fn function_calls_vs_steps() {
         let e = parse("count($x)");
-        assert!(matches!(e, Expr::FunctionCall { ref name, ref args } if name.local_part() == "count" && args.len() == 1));
+        assert!(
+            matches!(e, Expr::FunctionCall { ref name, ref args } if name.local_part() == "count" && args.len() == 1)
+        );
         let e = parse("$d/fn:data(.)");
         let Expr::PathSlash(_, rhs) = e else { panic!() };
         assert!(matches!(*rhs, Expr::FunctionCall { .. }));
@@ -1546,7 +1782,14 @@ mod tests {
     #[test]
     fn direct_constructor_simple() {
         let e = parse("<item/>");
-        let Expr::DirectElement { name, attributes, content } = e else { panic!() };
+        let Expr::DirectElement {
+            name,
+            attributes,
+            content,
+        } = e
+        else {
+            panic!()
+        };
         assert_eq!(name.local_part(), "item");
         assert!(attributes.is_empty());
         assert!(content.is_empty());
@@ -1555,7 +1798,14 @@ mod tests {
     #[test]
     fn direct_constructor_nested_with_enclosed() {
         let e = parse(r#"<item person="{$p/name}"><name>{ $n }</name>static</item>"#);
-        let Expr::DirectElement { attributes, content, .. } = e else { panic!() };
+        let Expr::DirectElement {
+            attributes,
+            content,
+            ..
+        } = e
+        else {
+            panic!()
+        };
         assert_eq!(attributes.len(), 1);
         assert!(matches!(&attributes[0].1[0], AttrValuePart::Enclosed(_)));
         assert_eq!(content.len(), 2);
@@ -1569,7 +1819,9 @@ mod tests {
     #[test]
     fn direct_constructor_escapes() {
         let e = parse("<a>x {{ y }} &amp; z</a>");
-        let Expr::DirectElement { content, .. } = e else { panic!() };
+        let Expr::DirectElement { content, .. } = e else {
+            panic!()
+        };
         assert!(matches!(&content[0], DirectContent::Text(t) if t == "x { y } & z"));
     }
 
@@ -1577,13 +1829,19 @@ mod tests {
     fn computed_constructors() {
         assert!(matches!(
             parse("element item { 1 }"),
-            Expr::CompElement { name: Ok(_), content: Some(_) }
+            Expr::CompElement {
+                name: Ok(_),
+                content: Some(_)
+            }
         ));
         assert!(matches!(
             parse("element { $n } { 1 }"),
             Expr::CompElement { name: Err(_), .. }
         ));
-        assert!(matches!(parse("attribute id { 'x' }"), Expr::CompAttribute { .. }));
+        assert!(matches!(
+            parse("attribute id { 'x' }"),
+            Expr::CompAttribute { .. }
+        ));
         assert!(matches!(parse("text { 'x' }"), Expr::CompText(_)));
         assert!(matches!(parse("comment { 'x' }"), Expr::CompComment(_)));
         assert!(matches!(parse("document { <a/> }"), Expr::CompDocument(_)));
@@ -1591,22 +1849,55 @@ mod tests {
 
     #[test]
     fn type_expressions() {
-        assert!(matches!(parse("$x instance of xs:integer+"), Expr::InstanceOf(..)));
-        assert!(matches!(parse("$x cast as xs:double?"), Expr::CastAs(_, AtomicType::Double, true)));
-        assert!(matches!(parse("$x castable as xs:date"), Expr::CastableAs(..)));
+        assert!(matches!(
+            parse("$x instance of xs:integer+"),
+            Expr::InstanceOf(..)
+        ));
+        assert!(matches!(
+            parse("$x cast as xs:double?"),
+            Expr::CastAs(_, AtomicType::Double, true)
+        ));
+        assert!(matches!(
+            parse("$x castable as xs:date"),
+            Expr::CastableAs(..)
+        ));
         assert!(matches!(
             parse("$x treat as element(*,Auction)*"),
             Expr::TreatAs(..)
         ));
-        assert!(matches!(parse("validate strict { $d }"), Expr::Validate(ValidationModeAst::Strict, _)));
-        assert!(matches!(parse("validate { $d }"), Expr::Validate(ValidationModeAst::Lax, _)));
+        assert!(matches!(
+            parse("validate strict { $d }"),
+            Expr::Validate(ValidationModeAst::Strict, _)
+        ));
+        assert!(matches!(
+            parse("validate { $d }"),
+            Expr::Validate(ValidationModeAst::Lax, _)
+        ));
     }
 
     #[test]
     fn union_and_set_ops() {
-        assert!(matches!(parse("$a | $b"), Expr::Binary { op: BinOp::Union, .. }));
-        assert!(matches!(parse("$a intersect $b"), Expr::Binary { op: BinOp::Intersect, .. }));
-        assert!(matches!(parse("$a except $b"), Expr::Binary { op: BinOp::Except, .. }));
+        assert!(matches!(
+            parse("$a | $b"),
+            Expr::Binary {
+                op: BinOp::Union,
+                ..
+            }
+        ));
+        assert!(matches!(
+            parse("$a intersect $b"),
+            Expr::Binary {
+                op: BinOp::Intersect,
+                ..
+            }
+        ));
+        assert!(matches!(
+            parse("$a except $b"),
+            Expr::Binary {
+                op: BinOp::Except,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -1630,7 +1921,9 @@ mod tests {
     fn keywords_usable_as_names() {
         // 'for' as an element name in a path.
         let e = parse("$x/for");
-        let Expr::PathSlash(_, step) = e else { panic!() };
+        let Expr::PathSlash(_, step) = e else {
+            panic!()
+        };
         assert!(matches!(*step, Expr::AxisStep { .. }));
         // 'if' as element name.
         assert!(matches!(parse("$x/if"), Expr::PathSlash(..)));

@@ -58,7 +58,9 @@ pub fn effective_boolean_value(seq: &Sequence) -> xqr_xml::Result<bool> {
             "effective boolean value of a multi-atomic sequence",
         ));
     }
-    let Item::Atomic(a) = seq.get(0).expect("non-empty") else { unreachable!() };
+    let Item::Atomic(a) = seq.get(0).expect("non-empty") else {
+        unreachable!()
+    };
     Ok(match a {
         AtomicValue::Boolean(b) => *b,
         AtomicValue::String(s) | AtomicValue::UntypedAtomic(s) | AtomicValue::AnyUri(s) => {
@@ -185,13 +187,20 @@ pub fn order_key_compare(
     let db = b.atomized();
     match (da.first(), db.first()) {
         (None, None) => Ok(Ordering::Equal),
-        (None, Some(_)) => Ok(if empty_least { Ordering::Less } else { Ordering::Greater }),
-        (Some(_), None) => Ok(if empty_least { Ordering::Greater } else { Ordering::Less }),
+        (None, Some(_)) => Ok(if empty_least {
+            Ordering::Less
+        } else {
+            Ordering::Greater
+        }),
+        (Some(_), None) => Ok(if empty_least {
+            Ordering::Greater
+        } else {
+            Ordering::Less
+        }),
         (Some(x), Some(y)) => {
             let (cx, cy) = convert_pair(x, y)?;
-            ordering_of(&cx, &cy).ok_or_else(|| {
-                XmlError::new("XPTY0004", "order keys are not comparable")
-            })
+            ordering_of(&cx, &cy)
+                .ok_or_else(|| XmlError::new("XPTY0004", "order keys are not comparable"))
         }
     }
 }
@@ -203,7 +212,10 @@ pub fn atomize_optional(seq: &Sequence) -> xqr_xml::Result<Option<AtomicValue>> 
     match atoms.len() {
         0 => Ok(None),
         1 => Ok(Some(atoms.into_iter().next().expect("one"))),
-        _ => Err(XmlError::new("XPTY0004", "expected at most one atomic value")),
+        _ => Err(XmlError::new(
+            "XPTY0004",
+            "expected at most one atomic value",
+        )),
     }
 }
 
@@ -252,20 +264,40 @@ mod tests {
     #[test]
     fn value_compare_with_promotion() {
         // integer vs double
-        assert!(value_compare(CmpOp::Eq, &AtomicValue::Integer(5), &AtomicValue::Double(5.0))
-            .unwrap());
+        assert!(value_compare(
+            CmpOp::Eq,
+            &AtomicValue::Integer(5),
+            &AtomicValue::Double(5.0)
+        )
+        .unwrap());
         // untyped vs integer → double
-        assert!(value_compare(CmpOp::Eq, &AtomicValue::untyped("5"), &AtomicValue::Integer(5))
-            .unwrap());
+        assert!(value_compare(
+            CmpOp::Eq,
+            &AtomicValue::untyped("5"),
+            &AtomicValue::Integer(5)
+        )
+        .unwrap());
         // untyped vs untyped → string comparison ("10" < "9")
-        assert!(value_compare(CmpOp::Lt, &AtomicValue::untyped("10"), &AtomicValue::untyped("9"))
-            .unwrap());
+        assert!(value_compare(
+            CmpOp::Lt,
+            &AtomicValue::untyped("10"),
+            &AtomicValue::untyped("9")
+        )
+        .unwrap());
         // but untyped vs numeric → numeric comparison (10 > 9)
-        assert!(value_compare(CmpOp::Gt, &AtomicValue::untyped("10"), &AtomicValue::Integer(9))
-            .unwrap());
+        assert!(value_compare(
+            CmpOp::Gt,
+            &AtomicValue::untyped("10"),
+            &AtomicValue::Integer(9)
+        )
+        .unwrap());
         // incomparable
-        assert!(value_compare(CmpOp::Eq, &AtomicValue::Integer(1), &AtomicValue::string("1"))
-            .is_err());
+        assert!(value_compare(
+            CmpOp::Eq,
+            &AtomicValue::Integer(1),
+            &AtomicValue::string("1")
+        )
+        .is_err());
     }
 
     #[test]
@@ -301,9 +333,18 @@ mod tests {
     fn order_key_semantics() {
         let empty = Sequence::empty();
         let one = Sequence::integers([1]);
-        assert_eq!(order_key_compare(&empty, &one, true).unwrap(), Ordering::Less);
-        assert_eq!(order_key_compare(&empty, &one, false).unwrap(), Ordering::Greater);
-        assert_eq!(order_key_compare(&one, &one, true).unwrap(), Ordering::Equal);
+        assert_eq!(
+            order_key_compare(&empty, &one, true).unwrap(),
+            Ordering::Less
+        );
+        assert_eq!(
+            order_key_compare(&empty, &one, false).unwrap(),
+            Ordering::Greater
+        );
+        assert_eq!(
+            order_key_compare(&one, &one, true).unwrap(),
+            Ordering::Equal
+        );
     }
 
     #[test]

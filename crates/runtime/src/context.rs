@@ -31,6 +31,10 @@ pub struct Ctx<'a> {
     /// Function-call frames (parameters by name).
     frames: Vec<HashMap<QName, Sequence>>,
     pub join_algorithm: JoinAlgorithm,
+    /// Pipelined (cursor) execution of the tuple operators; `false` forces
+    /// full materialization between all operators (the original strategy,
+    /// kept as `CompileOptions::materialize_all` and for ablation).
+    pub pipelined: bool,
     /// Recursion guard for user functions.
     depth: usize,
     max_depth: usize,
@@ -50,6 +54,7 @@ impl<'a> Ctx<'a> {
             globals: HashMap::new(),
             frames: Vec::new(),
             join_algorithm,
+            pipelined: true,
             depth: 0,
             max_depth: 200,
         }
@@ -71,7 +76,10 @@ impl<'a> Ctx<'a> {
     pub fn push_frame(&mut self, frame: HashMap<QName, Sequence>) -> xqr_xml::Result<()> {
         self.depth += 1;
         if self.depth > self.max_depth {
-            return Err(XmlError::new("XQRT0005", "function recursion limit exceeded"));
+            return Err(XmlError::new(
+                "XQRT0005",
+                "function recursion limit exceeded",
+            ));
         }
         self.frames.push(frame);
         Ok(())

@@ -7,13 +7,17 @@ use std::collections::HashMap;
 use xqr_core::algebra::{NamePlan, Op, OrderSpecPlan, Plan};
 use xqr_types::validate_sequence;
 use xqr_xml::axes::{tree_join, Axis, NodeTest};
-use xqr_xml::{AtomicValue, Item, NodeHandle, NodeKind, QName, Sequence, TreeBuilder, XmlError};
+use xqr_xml::{
+    AtomicValue, Item, NodeHandle, NodeKind, QName, Sequence, SequenceBuilder, TreeBuilder,
+    XmlError,
+};
 
 use crate::compare::{atomize_optional, effective_boolean_value, order_key_compare};
 use crate::context::Ctx;
 use crate::functions::{call_builtin, is_builtin, BuiltinCtx};
-use crate::groupby::execute_group_by;
+use crate::groupby::{execute_group_by, execute_group_by_streaming};
 use crate::joins::execute_join;
+use crate::pipeline;
 use crate::value::{InputVal, Table, Tuple, Value};
 
 /// Evaluates a module: globals in declaration order, then the body.
@@ -48,7 +52,7 @@ pub fn eval_dep_items(
     eval(plan, ctx, Some(input))?.into_items()
 }
 
-fn eval_items(
+pub(crate) fn eval_items(
     plan: &Plan,
     ctx: &mut Ctx<'_>,
     input: Option<&InputVal>,
@@ -56,35 +60,52 @@ fn eval_items(
     eval(plan, ctx, input)?.into_items()
 }
 
-fn eval_table(
+/// Evaluates a table-valued plan. In pipelined mode a *fusing* operator
+/// chain (two or more streaming operators stacked) runs through the cursor
+/// layer, materializing once here; otherwise (a lone streaming operator or
+/// a breaker) the all-at-once arms below run — a cursor over a single
+/// operator would do the same loop with extra indirection.
+pub(crate) fn eval_table(
     plan: &Plan,
     ctx: &mut Ctx<'_>,
     input: Option<&InputVal>,
 ) -> xqr_xml::Result<Table> {
+    if ctx.pipelined && pipeline::fuses(plan) {
+        let cur = pipeline::open_cursor(plan, ctx, input)?;
+        return pipeline::collect(cur, ctx);
+    }
     eval(plan, ctx, input)?.into_table()
 }
 
-fn eval(plan: &Plan, ctx: &mut Ctx<'_>, input: Option<&InputVal>) -> xqr_xml::Result<Value> {
+pub(crate) fn eval(
+    plan: &Plan,
+    ctx: &mut Ctx<'_>,
+    input: Option<&InputVal>,
+) -> xqr_xml::Result<Value> {
     match &plan.op {
         // ===== XML operators ==================================================
         Op::Sequence(items) => {
-            let mut out = Sequence::empty();
+            let mut out = SequenceBuilder::new();
             for i in items {
-                out = out.concat(&eval_items(i, ctx, input)?);
+                out.push(eval_items(i, ctx, input)?);
             }
-            Ok(Value::Items(out))
+            Ok(Value::Items(out.finish()))
         }
         Op::Empty => Ok(Value::empty_items()),
         Op::Scalar(v) => Ok(Value::Items(Sequence::singleton(v.clone()))),
         Op::Element { name, content } => {
             let q = resolve_name(name, ctx, input)?;
             let items = eval_items(content, ctx, input)?;
-            Ok(Value::Items(Sequence::singleton(construct_element(&q, &items)?)))
+            Ok(Value::Items(Sequence::singleton(construct_element(
+                &q, &items,
+            )?)))
         }
         Op::Attribute { name, content } => {
             let q = resolve_name(name, ctx, input)?;
             let items = eval_items(content, ctx, input)?;
-            Ok(Value::Items(Sequence::singleton(construct_attribute(&q, &items)?)))
+            Ok(Value::Items(Sequence::singleton(construct_attribute(
+                &q, &items,
+            )?)))
         }
         Op::Text(c) => {
             let items = eval_items(c, ctx, input)?;
@@ -108,9 +129,15 @@ fn eval(plan: &Plan, ctx: &mut Ctx<'_>, input: Option<&InputVal>) -> xqr_xml::Re
             b.start_document();
             copy_content(&mut b, &items)?;
             b.end_document();
-            Ok(Value::Items(Sequence::singleton(b.try_finish(None)?.root())))
+            Ok(Value::Items(Sequence::singleton(
+                b.try_finish(None)?.root(),
+            )))
         }
-        Op::TreeJoin { axis, test, input: src } => {
+        Op::TreeJoin {
+            axis,
+            test,
+            input: src,
+        } => {
             let items = eval_items(src, ctx, input)?;
             Ok(Value::Items(tree_join(&items, *axis, test, ctx.schema)?))
         }
@@ -118,15 +145,25 @@ fn eval(plan: &Plan, ctx: &mut Ctx<'_>, input: Option<&InputVal>) -> xqr_xml::Re
             let items = eval_items(src, ctx, input)?;
             Ok(Value::Items(tree_project(&items, paths, ctx)?))
         }
-        Op::Cast { ty, optional, input: src } => {
+        Op::Cast {
+            ty,
+            optional,
+            input: src,
+        } => {
             let items = eval_items(src, ctx, input)?;
             match atomize_optional(&items)? {
-                Some(a) => Ok(Value::Items(Sequence::singleton(xqr_types::cast_atomic(&a, *ty)?))),
+                Some(a) => Ok(Value::Items(Sequence::singleton(xqr_types::cast_atomic(
+                    &a, *ty,
+                )?))),
                 None if *optional => Ok(Value::empty_items()),
                 None => Err(XmlError::new("XPTY0004", "cast of an empty sequence")),
             }
         }
-        Op::Castable { ty, optional, input: src } => {
+        Op::Castable {
+            ty,
+            optional,
+            input: src,
+        } => {
             let items = eval_items(src, ctx, input)?;
             let ok = match atomize_optional(&items) {
                 Ok(Some(a)) => xqr_types::cast_atomic(&a, *ty).is_ok(),
@@ -182,7 +219,10 @@ fn eval(plan: &Plan, ctx: &mut Ctx<'_>, input: Option<&InputVal>) -> xqr_xml::Re
 
         // ===== Tuple operators ================================================
         Op::Input => match input {
-            None => Err(XmlError::new("XQRT0007", "IN referenced outside a dependent operator")),
+            None => Err(XmlError::new(
+                "XQRT0007",
+                "IN referenced outside a dependent operator",
+            )),
             Some(InputVal::Tuple(t)) => Ok(Value::Table(vec![t.clone()])),
             Some(InputVal::Item(i)) => Ok(Value::Items(Sequence::singleton(i.clone()))),
             Some(InputVal::Items(s)) => Ok(Value::Items(s.clone())),
@@ -226,7 +266,12 @@ fn eval(plan: &Plan, ctx: &mut Ctx<'_>, input: Option<&InputVal>) -> xqr_xml::Re
             let table = eval_table(src, ctx, input)?;
             let mut out = Table::with_capacity(table.len());
             for t in table {
-                let v = eval_dep_items(pred, ctx, &InputVal::Tuple(t.clone()))?;
+                // Move the tuple into the binding and back out: no clone.
+                let bound = InputVal::Tuple(t);
+                let v = eval_dep_items(pred, ctx, &bound)?;
+                let InputVal::Tuple(t) = bound else {
+                    unreachable!()
+                };
                 if effective_boolean_value(&v)? {
                     out.push(t);
                 }
@@ -247,9 +292,16 @@ fn eval(plan: &Plan, ctx: &mut Ctx<'_>, input: Option<&InputVal>) -> xqr_xml::Re
         Op::Join { pred, left, right } => {
             let tl = eval_table(left, ctx, input)?;
             let tr = eval_table(right, ctx, input)?;
-            Ok(Value::Table(execute_join(pred, left, right, &tl, &tr, None, ctx)?))
+            Ok(Value::Table(execute_join(
+                pred, left, right, &tl, &tr, None, ctx,
+            )?))
         }
-        Op::LOuterJoin { null_field, pred, left, right } => {
+        Op::LOuterJoin {
+            null_field,
+            pred,
+            left,
+            right,
+        } => {
             let tl = eval_table(left, ctx, input)?;
             let tr = eval_table(right, ctx, input)?;
             Ok(Value::Table(execute_join(
@@ -271,7 +323,10 @@ fn eval(plan: &Plan, ctx: &mut Ctx<'_>, input: Option<&InputVal>) -> xqr_xml::Re
             }
             Ok(Value::Table(out))
         }
-        Op::OMap { null_field, input: src } => {
+        Op::OMap {
+            null_field,
+            input: src,
+        } => {
             let table = eval_table(src, ctx, input)?;
             if table.is_empty() {
                 return Ok(Value::Table(vec![Tuple::from_fields(vec![(
@@ -302,7 +357,11 @@ fn eval(plan: &Plan, ctx: &mut Ctx<'_>, input: Option<&InputVal>) -> xqr_xml::Re
             }
             Ok(Value::Table(out))
         }
-        Op::OMapConcat { null_field, dep, input: src } => {
+        Op::OMapConcat {
+            null_field,
+            dep,
+            input: src,
+        } => {
             let table = eval_table(src, ctx, input)?;
             let mut out = Table::new();
             for t in table {
@@ -337,7 +396,31 @@ fn eval(plan: &Plan, ctx: &mut Ctx<'_>, input: Option<&InputVal>) -> xqr_xml::Re
             let table = eval_table(src, ctx, input)?;
             Ok(Value::Table(order_by(specs, table, ctx)?))
         }
-        Op::GroupBy { agg, index_fields, null_fields, per_partition, per_item, input: src } => {
+        Op::GroupBy {
+            agg,
+            index_fields,
+            null_fields,
+            per_partition,
+            per_item,
+            input: src,
+        } => {
+            // GroupBy breaks the pipeline on its output, but in pipelined
+            // mode it *consumes* a streaming input tuple-by-tuple,
+            // hash-partitioning on the fly — the grouped table (typically
+            // a join output, the largest intermediate of the unnesting
+            // pipeline) is never stored or sorted.
+            if ctx.pipelined && pipeline::streams(&src.op) {
+                let mut cur = pipeline::open_cursor(src, ctx, input)?;
+                return Ok(Value::Table(execute_group_by_streaming(
+                    agg,
+                    index_fields,
+                    null_fields,
+                    per_partition,
+                    per_item,
+                    &mut *cur,
+                    ctx,
+                )?));
+            }
             let table = eval_table(src, ctx, input)?;
             Ok(Value::Table(execute_group_by(
                 agg,
@@ -361,44 +444,83 @@ fn eval(plan: &Plan, ctx: &mut Ctx<'_>, input: Option<&InputVal>) -> xqr_xml::Re
             Ok(Value::Table(out))
         }
         Op::MapToItem { dep, input: src } => {
-            let table = eval_table(src, ctx, input)?;
-            let mut out = Sequence::empty();
-            for t in table {
-                out = out.concat(&eval_dep_items(dep, ctx, &InputVal::Tuple(t))?);
+            // The tuples-to-items boundary: in pipelined mode a streaming
+            // source feeds one tuple at a time into the output builder —
+            // its output table never exists.
+            let mut out = SequenceBuilder::new();
+            if ctx.pipelined && pipeline::streams(&src.op) {
+                let mut cur = pipeline::open_cursor(src, ctx, input)?;
+                while let Some(t) = cur.next(ctx) {
+                    out.push(eval_dep_items(dep, ctx, &InputVal::Tuple(t?))?);
+                }
+            } else {
+                for t in eval_table(src, ctx, input)? {
+                    out.push(eval_dep_items(dep, ctx, &InputVal::Tuple(t))?);
+                }
             }
-            Ok(Value::Items(out))
+            Ok(Value::Items(out.finish()))
         }
         Op::MapSome { dep, input: src } => {
-            let table = eval_table(src, ctx, input)?;
-            for t in table {
-                let v = eval_dep_items(dep, ctx, &InputVal::Tuple(t))?;
-                if effective_boolean_value(&v)? {
-                    return Ok(Value::Items(Sequence::singleton(AtomicValue::Boolean(true))));
+            // Existential quantifier: pipelining makes the short-circuit
+            // real — the source stops producing at the first witness.
+            if ctx.pipelined && pipeline::streams(&src.op) {
+                let mut cur = pipeline::open_cursor(src, ctx, input)?;
+                while let Some(t) = cur.next(ctx) {
+                    let v = eval_dep_items(dep, ctx, &InputVal::Tuple(t?))?;
+                    if effective_boolean_value(&v)? {
+                        return Ok(Value::Items(Sequence::singleton(AtomicValue::Boolean(
+                            true,
+                        ))));
+                    }
+                }
+            } else {
+                for t in eval_table(src, ctx, input)? {
+                    let v = eval_dep_items(dep, ctx, &InputVal::Tuple(t))?;
+                    if effective_boolean_value(&v)? {
+                        return Ok(Value::Items(Sequence::singleton(AtomicValue::Boolean(
+                            true,
+                        ))));
+                    }
                 }
             }
-            Ok(Value::Items(Sequence::singleton(AtomicValue::Boolean(false))))
+            Ok(Value::Items(Sequence::singleton(AtomicValue::Boolean(
+                false,
+            ))))
         }
         Op::MapEvery { dep, input: src } => {
-            let table = eval_table(src, ctx, input)?;
-            for t in table {
-                let v = eval_dep_items(dep, ctx, &InputVal::Tuple(t))?;
-                if !effective_boolean_value(&v)? {
-                    return Ok(Value::Items(Sequence::singleton(AtomicValue::Boolean(false))));
+            if ctx.pipelined && pipeline::streams(&src.op) {
+                let mut cur = pipeline::open_cursor(src, ctx, input)?;
+                while let Some(t) = cur.next(ctx) {
+                    let v = eval_dep_items(dep, ctx, &InputVal::Tuple(t?))?;
+                    if !effective_boolean_value(&v)? {
+                        return Ok(Value::Items(Sequence::singleton(AtomicValue::Boolean(
+                            false,
+                        ))));
+                    }
+                }
+            } else {
+                for t in eval_table(src, ctx, input)? {
+                    let v = eval_dep_items(dep, ctx, &InputVal::Tuple(t))?;
+                    if !effective_boolean_value(&v)? {
+                        return Ok(Value::Items(Sequence::singleton(AtomicValue::Boolean(
+                            false,
+                        ))));
+                    }
                 }
             }
-            Ok(Value::Items(Sequence::singleton(AtomicValue::Boolean(true))))
+            Ok(Value::Items(Sequence::singleton(AtomicValue::Boolean(
+                true,
+            ))))
         }
     }
 }
 
-fn call_function(
-    name: &QName,
-    argv: Vec<Sequence>,
-    ctx: &mut Ctx<'_>,
-) -> xqr_xml::Result<Value> {
+fn call_function(name: &QName, argv: Vec<Sequence>, ctx: &mut Ctx<'_>) -> xqr_xml::Result<Value> {
     let local = name.local_part();
     if is_builtin(local) {
-        let bctx = BuiltinCtx { documents: Some(ctx.documents) };
+        let bctx = BuiltinCtx {
+            documents: Some(ctx.documents),
+        };
         return Ok(Value::Items(call_builtin(local, &argv, &bctx)?));
     }
     // User-defined function from the algebra context.
@@ -431,11 +553,7 @@ fn call_function(
     Ok(Value::Items(v))
 }
 
-fn order_by(
-    specs: &[OrderSpecPlan],
-    table: Table,
-    ctx: &mut Ctx<'_>,
-) -> xqr_xml::Result<Table> {
+fn order_by(specs: &[OrderSpecPlan], table: Table, ctx: &mut Ctx<'_>) -> xqr_xml::Result<Table> {
     // Precompute keys (one pass), then stable sort.
     let mut keyed: Vec<(Vec<Sequence>, Tuple)> = Vec::with_capacity(table.len());
     for t in table {
@@ -589,9 +707,7 @@ fn tree_project(
                 project_node(&mut b, n, &active, ctx);
                 out.push(Item::Node(b.try_finish(None)?.root()));
             }
-            Item::Atomic(_) => {
-                return Err(XmlError::new("XPTY0020", "TreeProject on a non-node"))
-            }
+            Item::Atomic(_) => return Err(XmlError::new("XPTY0020", "TreeProject on a non-node")),
         }
     }
     Ok(Sequence::from_vec(out))

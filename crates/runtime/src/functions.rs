@@ -9,9 +9,7 @@
 use std::collections::HashMap;
 use std::collections::HashSet;
 
-use xqr_xml::{
-    AtomicType, AtomicValue, Decimal, Item, NodeHandle, NodeKind, Sequence, XmlError,
-};
+use xqr_xml::{AtomicType, AtomicValue, Decimal, Item, NodeHandle, NodeKind, Sequence, XmlError};
 
 use crate::compare::{
     arithmetic_pair, atomize_optional, effective_boolean_value, general_compare, value_compare,
@@ -56,24 +54,100 @@ pub fn is_builtin(name: &str) -> bool {
 }
 
 const BUILTINS: &[&str] = &[
-    "data", "string", "concat", "string-join", "contains", "starts-with", "ends-with",
-    "substring", "substring-before", "substring-after", "string-length", "upper-case",
-    "lower-case", "normalize-space", "translate", "count", "sum", "avg", "min", "max", "empty",
-    "exists", "not", "boolean", "distinct-values", "reverse", "subsequence", "insert-before",
-    "remove", "index-of", "zero-or-one", "one-or-more", "exactly-one", "number", "abs", "round",
-    "floor", "ceiling", "name", "local-name", "namespace-uri", "root", "deep-equal", "doc",
-    "document", "fs:avt", "fs:distinct-docorder", "fs:predicate-test", "fs:root",
-    "fs:general-eq", "fs:general-ne", "fs:general-lt", "fs:general-le", "fs:general-gt",
-    "fs:general-ge", "fs:value-eq", "fs:value-ne", "fs:value-lt", "fs:value-le", "fs:value-gt",
-    "fs:value-ge", "fs:numeric-add", "fs:numeric-subtract", "fs:numeric-multiply",
-    "fs:numeric-divide", "fs:numeric-integer-divide", "fs:numeric-mod",
-    "fs:numeric-unary-minus", "op:to", "op:union", "op:intersect", "op:except",
-    "op:is-same-node", "op:node-before", "op:node-after", "clio:deep-distinct",
-    "compare", "codepoints-to-string", "string-to-codepoints", "round-half-to-even",
-    "year-from-date", "month-from-date", "day-from-date", "hours-from-time",
-    "minutes-from-time", "seconds-from-time", "year-from-dateTime", "month-from-dateTime",
-    "day-from-dateTime", "hours-from-dateTime", "minutes-from-dateTime",
-    "seconds-from-dateTime", "timezone-from-date", "timezone-from-dateTime",
+    "data",
+    "string",
+    "concat",
+    "string-join",
+    "contains",
+    "starts-with",
+    "ends-with",
+    "substring",
+    "substring-before",
+    "substring-after",
+    "string-length",
+    "upper-case",
+    "lower-case",
+    "normalize-space",
+    "translate",
+    "count",
+    "sum",
+    "avg",
+    "min",
+    "max",
+    "empty",
+    "exists",
+    "not",
+    "boolean",
+    "distinct-values",
+    "reverse",
+    "subsequence",
+    "insert-before",
+    "remove",
+    "index-of",
+    "zero-or-one",
+    "one-or-more",
+    "exactly-one",
+    "number",
+    "abs",
+    "round",
+    "floor",
+    "ceiling",
+    "name",
+    "local-name",
+    "namespace-uri",
+    "root",
+    "deep-equal",
+    "doc",
+    "document",
+    "fs:avt",
+    "fs:distinct-docorder",
+    "fs:predicate-test",
+    "fs:root",
+    "fs:general-eq",
+    "fs:general-ne",
+    "fs:general-lt",
+    "fs:general-le",
+    "fs:general-gt",
+    "fs:general-ge",
+    "fs:value-eq",
+    "fs:value-ne",
+    "fs:value-lt",
+    "fs:value-le",
+    "fs:value-gt",
+    "fs:value-ge",
+    "fs:numeric-add",
+    "fs:numeric-subtract",
+    "fs:numeric-multiply",
+    "fs:numeric-divide",
+    "fs:numeric-integer-divide",
+    "fs:numeric-mod",
+    "fs:numeric-unary-minus",
+    "op:to",
+    "op:union",
+    "op:intersect",
+    "op:except",
+    "op:is-same-node",
+    "op:node-before",
+    "op:node-after",
+    "clio:deep-distinct",
+    "compare",
+    "codepoints-to-string",
+    "string-to-codepoints",
+    "round-half-to-even",
+    "year-from-date",
+    "month-from-date",
+    "day-from-date",
+    "hours-from-time",
+    "minutes-from-time",
+    "seconds-from-time",
+    "year-from-dateTime",
+    "month-from-dateTime",
+    "day-from-dateTime",
+    "hours-from-dateTime",
+    "minutes-from-dateTime",
+    "seconds-from-dateTime",
+    "timezone-from-date",
+    "timezone-from-dateTime",
 ];
 
 /// Calls a builtin on evaluated arguments.
@@ -102,8 +176,12 @@ pub fn call_builtin(
             }
         }
         // ----- arithmetic -------------------------------------------------
-        "fs:numeric-add" | "fs:numeric-subtract" | "fs:numeric-multiply" | "fs:numeric-divide"
-        | "fs:numeric-integer-divide" | "fs:numeric-mod" => {
+        "fs:numeric-add"
+        | "fs:numeric-subtract"
+        | "fs:numeric-multiply"
+        | "fs:numeric-divide"
+        | "fs:numeric-integer-divide"
+        | "fs:numeric-mod" => {
             need_args(args, 2, name)?;
             let x = atomize_optional(&args[0])?;
             let y = atomize_optional(&args[1])?;
@@ -277,8 +355,11 @@ pub fn call_builtin(
         }
         "string-join" => {
             let sep = singleton_string(args, 1)?;
-            let parts: Vec<String> =
-                args[0].atomized().iter().map(|a| a.string_value()).collect();
+            let parts: Vec<String> = args[0]
+                .atomized()
+                .iter()
+                .map(|a| a.string_value())
+                .collect();
             Ok(Sequence::singleton(AtomicValue::string(parts.join(&sep))))
         }
         "contains" => {
@@ -327,7 +408,9 @@ pub fn call_builtin(
             let s = singleton_string(args, 0)?;
             let n = singleton_string(args, 1)?;
             Ok(Sequence::singleton(AtomicValue::string(
-                s.find(&n).map(|i| s[i + n.len()..].to_string()).unwrap_or_default(),
+                s.find(&n)
+                    .map(|i| s[i + n.len()..].to_string())
+                    .unwrap_or_default(),
             )))
         }
         "string-length" => Ok(int_seq(singleton_string(args, 0)?.chars().count() as i64)),
@@ -394,7 +477,9 @@ pub fn call_builtin(
         }
         "root" | "fs:root" => {
             let node = singleton_node(&args[0])?;
-            Ok(node.map(|n| Sequence::singleton(n.tree_root())).unwrap_or_default())
+            Ok(node
+                .map(|n| Sequence::singleton(n.tree_root()))
+                .unwrap_or_default())
         }
         "deep-equal" => {
             need_args(args, 2, name)?;
@@ -467,15 +552,21 @@ pub fn call_builtin(
         }
         // ----- fs: helpers ------------------------------------------------------
         "fs:avt" => {
-            let parts: Vec<String> =
-                args[0].atomized().iter().map(|a| a.string_value()).collect();
+            let parts: Vec<String> = args[0]
+                .atomized()
+                .iter()
+                .map(|a| a.string_value())
+                .collect();
             Ok(Sequence::singleton(AtomicValue::string(parts.join(" "))))
         }
         "fs:distinct-docorder" => {
             // XPath 2.0 path results: all nodes → sort/dedup in document
             // order; all atomics (a final non-node step) → unchanged; a mix
             // is a type error (XPTY0018).
-            let nodes = args[0].iter().filter(|i| matches!(i, Item::Node(_))).count();
+            let nodes = args[0]
+                .iter()
+                .filter(|i| matches!(i, Item::Node(_)))
+                .count();
             if nodes == args[0].len() {
                 docorder_nodes(args[0].clone())
             } else if nodes == 0 {
@@ -558,13 +649,14 @@ pub fn call_builtin(
                     let units = d.units();
                     let rem = units.rem_euclid(UNIT);
                     let base = units - rem;
-                    let rounded = if rem * 2 > UNIT || (rem * 2 == UNIT && (base / UNIT) % 2 != 0)
-                    {
+                    let rounded = if rem * 2 > UNIT || (rem * 2 == UNIT && (base / UNIT) % 2 != 0) {
                         base + UNIT
                     } else {
                         base
                     };
-                    Ok(Sequence::singleton(AtomicValue::Decimal(Decimal::from_units(rounded))))
+                    Ok(Sequence::singleton(AtomicValue::Decimal(
+                        Decimal::from_units(rounded),
+                    )))
                 }
                 Some(v) => {
                     let d = v
@@ -588,7 +680,8 @@ pub fn call_builtin(
                 }
             }
         }
-        n if n.ends_with("-from-date") || n.ends_with("-from-dateTime")
+        n if n.ends_with("-from-date")
+            || n.ends_with("-from-dateTime")
             || n.ends_with("-from-time") =>
         {
             let v = atomize_optional(&args[0])?;
@@ -664,7 +757,10 @@ fn need_args(args: &[Sequence], n: usize, name: &str) -> xqr_xml::Result<()> {
     if args.len() == n {
         Ok(())
     } else {
-        Err(err("XPST0017", format!("{name}() expects {n} arguments, got {}", args.len())))
+        Err(err(
+            "XPST0017",
+            format!("{name}() expects {n} arguments, got {}", args.len()),
+        ))
     }
 }
 
@@ -706,7 +802,9 @@ fn docorder_nodes(seq: Sequence) -> xqr_xml::Result<Sequence> {
     let mut nodes = nodes_of(&seq)?;
     nodes.sort_by_key(|n| n.order_key());
     nodes.dedup_by(|a, b| a.same_node(b));
-    Ok(Sequence::from_vec(nodes.into_iter().map(Item::Node).collect()))
+    Ok(Sequence::from_vec(
+        nodes.into_iter().map(Item::Node).collect(),
+    ))
 }
 
 /// Arithmetic dispatch after pair promotion.
@@ -741,13 +839,18 @@ fn arithmetic(name: &str, x: &AtomicValue, y: &AtomicValue) -> xqr_xml::Result<A
     }
     Ok(match (x, y) {
         (V::Integer(a), V::Integer(b)) => match op {
-            "add" => V::Integer(a.checked_add(b).ok_or_else(|| err("FOAR0002", "overflow"))?),
-            "subtract" => {
-                V::Integer(a.checked_sub(b).ok_or_else(|| err("FOAR0002", "overflow"))?)
-            }
-            "multiply" => {
-                V::Integer(a.checked_mul(b).ok_or_else(|| err("FOAR0002", "overflow"))?)
-            }
+            "add" => V::Integer(
+                a.checked_add(b)
+                    .ok_or_else(|| err("FOAR0002", "overflow"))?,
+            ),
+            "subtract" => V::Integer(
+                a.checked_sub(b)
+                    .ok_or_else(|| err("FOAR0002", "overflow"))?,
+            ),
+            "multiply" => V::Integer(
+                a.checked_mul(b)
+                    .ok_or_else(|| err("FOAR0002", "overflow"))?,
+            ),
             "mod" => {
                 if b == 0 {
                     return Err(err("FOAR0001", "modulus by zero"));
@@ -757,19 +860,27 @@ fn arithmetic(name: &str, x: &AtomicValue, y: &AtomicValue) -> xqr_xml::Result<A
             _ => unreachable!("{op}"),
         },
         (V::Decimal(a), V::Decimal(b)) => match op {
-            "add" => V::Decimal(a.checked_add(b).ok_or_else(|| err("FOAR0002", "overflow"))?),
-            "subtract" => {
-                V::Decimal(a.checked_sub(b).ok_or_else(|| err("FOAR0002", "overflow"))?)
-            }
-            "multiply" => {
-                V::Decimal(a.checked_mul(b).ok_or_else(|| err("FOAR0002", "overflow"))?)
-            }
+            "add" => V::Decimal(
+                a.checked_add(b)
+                    .ok_or_else(|| err("FOAR0002", "overflow"))?,
+            ),
+            "subtract" => V::Decimal(
+                a.checked_sub(b)
+                    .ok_or_else(|| err("FOAR0002", "overflow"))?,
+            ),
+            "multiply" => V::Decimal(
+                a.checked_mul(b)
+                    .ok_or_else(|| err("FOAR0002", "overflow"))?,
+            ),
             "mod" => {
                 let q = a
                     .checked_div(b)
                     .ok_or_else(|| err("FOAR0001", "modulus by zero"))?;
                 let trunc = Decimal::from_i64(q.trunc_to_i64());
-                V::Decimal(a.checked_sub(trunc.checked_mul(b).expect("mod")).expect("mod"))
+                V::Decimal(
+                    a.checked_sub(trunc.checked_mul(b).expect("mod"))
+                        .expect("mod"),
+                )
             }
             _ => unreachable!("{op}"),
         },
@@ -880,9 +991,7 @@ pub fn deep_equal_sequences(a: &Sequence, b: &Sequence) -> bool {
 
 fn deep_equal_items(a: &Item, b: &Item) -> bool {
     match (a, b) {
-        (Item::Atomic(x), Item::Atomic(y)) => {
-            value_compare(CmpOp::Eq, x, y).unwrap_or(false)
-        }
+        (Item::Atomic(x), Item::Atomic(y)) => value_compare(CmpOp::Eq, x, y).unwrap_or(false),
         (Item::Node(x), Item::Node(y)) => deep_equal_nodes(x, y),
         _ => false,
     }
@@ -913,18 +1022,22 @@ fn deep_equal_nodes(a: &NodeHandle, b: &NodeHandle) -> bool {
             }
             let (ac, bc) = (a.children(), b.children());
             // Comments/PIs are ignored for element content comparison.
-            let keep = |n: &&NodeHandle| {
-                matches!(n.kind(), NodeKind::Element | NodeKind::Text)
-            };
+            let keep = |n: &&NodeHandle| matches!(n.kind(), NodeKind::Element | NodeKind::Text);
             let ac: Vec<&NodeHandle> = ac.iter().filter(keep).collect();
             let bc: Vec<&NodeHandle> = bc.iter().filter(keep).collect();
             ac.len() == bc.len()
-                && ac.iter().zip(bc.iter()).all(|(x, y)| deep_equal_nodes(x, y))
+                && ac
+                    .iter()
+                    .zip(bc.iter())
+                    .all(|(x, y)| deep_equal_nodes(x, y))
         }
         NodeKind::Document => {
             let (ac, bc) = (a.children(), b.children());
             ac.len() == bc.len()
-                && ac.iter().zip(bc.iter()).all(|(x, y)| deep_equal_nodes(x, y))
+                && ac
+                    .iter()
+                    .zip(bc.iter())
+                    .all(|(x, y)| deep_equal_nodes(x, y))
         }
     }
 }
@@ -945,9 +1058,15 @@ mod tests {
     fn string_functions() {
         assert_eq!(call("concat", &[s("a"), s("b"), s("c")]), s("abc"));
         assert_eq!(call("contains", &[s("hello"), s("ell")]), bool_seq(true));
-        assert_eq!(call("substring", &[s("hello"), Sequence::integers([2])]), s("ello"));
         assert_eq!(
-            call("substring", &[s("hello"), Sequence::integers([2]), Sequence::integers([2])]),
+            call("substring", &[s("hello"), Sequence::integers([2])]),
+            s("ello")
+        );
+        assert_eq!(
+            call(
+                "substring",
+                &[s("hello"), Sequence::integers([2]), Sequence::integers([2])]
+            ),
             s("el")
         );
         assert_eq!(call("string-length", &[s("héllo")]), int_seq(5));
@@ -955,7 +1074,10 @@ mod tests {
         assert_eq!(call("translate", &[s("abcab"), s("ab"), s("x")]), s("xcx"));
         assert_eq!(call("substring-before", &[s("a=b"), s("=")]), s("a"));
         assert_eq!(call("substring-after", &[s("a=b"), s("=")]), s("b"));
-        assert_eq!(call("string-join", &[Sequence::integers([1, 2]), s("-")]), s("1-2"));
+        assert_eq!(
+            call("string-join", &[Sequence::integers([1, 2]), s("-")]),
+            s("1-2")
+        );
     }
 
     #[test]
@@ -970,27 +1092,40 @@ mod tests {
         assert_eq!(call("min", &[Sequence::integers([3, 1, 2])]), int_seq(1));
         assert_eq!(call("max", &[Sequence::integers([3, 1, 2])]), int_seq(3));
         // untyped values aggregate as doubles
-        let m = call("max", &[Sequence::from_atomics(vec![
-            AtomicValue::untyped("10"),
-            AtomicValue::untyped("9"),
-        ])]);
+        let m = call(
+            "max",
+            &[Sequence::from_atomics(vec![
+                AtomicValue::untyped("10"),
+                AtomicValue::untyped("9"),
+            ])],
+        );
         assert_eq!(m.atomized()[0], AtomicValue::Double(10.0));
     }
 
     #[test]
     fn arithmetic_semantics() {
         // integer div integer → decimal
-        let r = call("fs:numeric-divide", &[Sequence::integers([1]), Sequence::integers([2])]);
+        let r = call(
+            "fs:numeric-divide",
+            &[Sequence::integers([1]), Sequence::integers([2])],
+        );
         assert_eq!(r.atomized()[0].string_value(), "0.5");
         let r = call(
             "fs:numeric-integer-divide",
             &[Sequence::integers([7]), Sequence::integers([2])],
         );
         assert_eq!(r, int_seq(3));
-        let r = call("fs:numeric-mod", &[Sequence::integers([7]), Sequence::integers([2])]);
+        let r = call(
+            "fs:numeric-mod",
+            &[Sequence::integers([7]), Sequence::integers([2])],
+        );
         assert_eq!(r, int_seq(1));
         // empty propagates
-        assert!(call("fs:numeric-add", &[Sequence::empty(), Sequence::integers([1])]).is_empty());
+        assert!(call(
+            "fs:numeric-add",
+            &[Sequence::empty(), Sequence::integers([1])]
+        )
+        .is_empty());
         // division by zero
         assert!(call_builtin(
             "fs:numeric-divide",
@@ -1007,7 +1142,10 @@ mod tests {
             &[Sequence::integers([1, 2, 3]), Sequence::integers([3, 9])],
         );
         assert_eq!(r, bool_seq(true));
-        let r = call("fs:value-eq", &[Sequence::integers([1]), Sequence::integers([1])]);
+        let r = call(
+            "fs:value-eq",
+            &[Sequence::integers([1]), Sequence::integers([1])],
+        );
         assert_eq!(r, bool_seq(true));
         let r = call("fs:value-eq", &[Sequence::empty(), Sequence::integers([1])]);
         assert!(r.is_empty());
@@ -1015,18 +1153,33 @@ mod tests {
 
     #[test]
     fn sequence_functions() {
-        assert_eq!(call("reverse", &[Sequence::integers([1, 2])]), Sequence::integers([2, 1]));
         assert_eq!(
-            call("subsequence", &[Sequence::integers([1, 2, 3, 4]), Sequence::integers([2]),
-                Sequence::integers([2])]),
+            call("reverse", &[Sequence::integers([1, 2])]),
+            Sequence::integers([2, 1])
+        );
+        assert_eq!(
+            call(
+                "subsequence",
+                &[
+                    Sequence::integers([1, 2, 3, 4]),
+                    Sequence::integers([2]),
+                    Sequence::integers([2])
+                ]
+            ),
             Sequence::integers([2, 3])
         );
         assert_eq!(
-            call("remove", &[Sequence::integers([1, 2, 3]), Sequence::integers([2])]),
+            call(
+                "remove",
+                &[Sequence::integers([1, 2, 3]), Sequence::integers([2])]
+            ),
             Sequence::integers([1, 3])
         );
         assert_eq!(
-            call("index-of", &[Sequence::integers([10, 20, 10]), Sequence::integers([10])]),
+            call(
+                "index-of",
+                &[Sequence::integers([10, 20, 10]), Sequence::integers([10])]
+            ),
             Sequence::integers([1, 3])
         );
         assert_eq!(
@@ -1036,7 +1189,10 @@ mod tests {
         // distinct-values merges integer and double forms of the same number
         let r = call(
             "distinct-values",
-            &[Sequence::from_atomics(vec![AtomicValue::Integer(1), AtomicValue::Double(1.0)])],
+            &[Sequence::from_atomics(vec![
+                AtomicValue::Integer(1),
+                AtomicValue::Double(1.0),
+            ])],
         );
         assert_eq!(r.len(), 1);
     }
@@ -1052,8 +1208,12 @@ mod tests {
 
     #[test]
     fn cardinality_checks() {
-        assert!(call_builtin("exactly-one", &[Sequence::integers([1, 2])], &BuiltinCtx::none())
-            .is_err());
+        assert!(call_builtin(
+            "exactly-one",
+            &[Sequence::integers([1, 2])],
+            &BuiltinCtx::none()
+        )
+        .is_err());
         assert!(call_builtin("one-or-more", &[Sequence::empty()], &BuiltinCtx::none()).is_err());
         assert_eq!(call("zero-or-one", &[Sequence::empty()]), Sequence::empty());
     }
@@ -1061,14 +1221,26 @@ mod tests {
     #[test]
     fn predicate_test_dynamic() {
         // Numeric value: position test.
-        let r = call("fs:predicate-test", &[Sequence::integers([2]), Sequence::integers([2])]);
+        let r = call(
+            "fs:predicate-test",
+            &[Sequence::integers([2]), Sequence::integers([2])],
+        );
         assert_eq!(r, bool_seq(true));
-        let r = call("fs:predicate-test", &[Sequence::integers([2]), Sequence::integers([3])]);
+        let r = call(
+            "fs:predicate-test",
+            &[Sequence::integers([2]), Sequence::integers([3])],
+        );
         assert_eq!(r, bool_seq(false));
         // Boolean-ish value: EBV.
-        let r = call("fs:predicate-test", &[s("nonempty"), Sequence::integers([9])]);
+        let r = call(
+            "fs:predicate-test",
+            &[s("nonempty"), Sequence::integers([9])],
+        );
         assert_eq!(r, bool_seq(true));
-        let r = call("fs:predicate-test", &[Sequence::empty(), Sequence::integers([1])]);
+        let r = call(
+            "fs:predicate-test",
+            &[Sequence::empty(), Sequence::integers([1])],
+        );
         assert_eq!(r, bool_seq(false));
     }
 
@@ -1081,8 +1253,14 @@ mod tests {
         let s1 = Sequence::singleton(d1.root().children()[0].clone());
         let s2 = Sequence::singleton(d2.root().children()[0].clone());
         let s3 = Sequence::singleton(d3.root().children()[0].clone());
-        assert_eq!(call("deep-equal", &[s1.clone(), s2.clone()]), bool_seq(true));
-        assert_eq!(call("deep-equal", &[s1.clone(), s3.clone()]), bool_seq(false));
+        assert_eq!(
+            call("deep-equal", &[s1.clone(), s2.clone()]),
+            bool_seq(true)
+        );
+        assert_eq!(
+            call("deep-equal", &[s1.clone(), s3.clone()]),
+            bool_seq(false)
+        );
         let all = s1.concat(&s2).concat(&s3);
         let distinct = call("clio:deep-distinct", &[all]);
         assert_eq!(distinct.len(), 2);
@@ -1130,8 +1308,11 @@ mod extended_tests {
     #[test]
     fn round_half_to_even_banker() {
         let half = |v: f64| {
-            call("round-half-to-even", &[Sequence::singleton(AtomicValue::Double(v))])
-                .atomized()[0]
+            call(
+                "round-half-to-even",
+                &[Sequence::singleton(AtomicValue::Double(v))],
+            )
+            .atomized()[0]
                 .string_value()
         };
         assert_eq!(half(0.5), "0");
@@ -1159,16 +1340,21 @@ mod extended_tests {
         let arg = [Sequence::singleton(t)];
         assert_eq!(call("hours-from-time", &arg), Sequence::integers([13]));
         assert_eq!(call("minutes-from-time", &arg), Sequence::integers([20]));
-        assert_eq!(call("seconds-from-time", &arg).atomized()[0].string_value(), "30.5");
-        let dt =
-            xqr_types::cast::cast_from_string("1999-05-31T13:20:00Z", AtomicType::DateTime)
-                .unwrap();
+        assert_eq!(
+            call("seconds-from-time", &arg).atomized()[0].string_value(),
+            "30.5"
+        );
+        let dt = xqr_types::cast::cast_from_string("1999-05-31T13:20:00Z", AtomicType::DateTime)
+            .unwrap();
         let arg = [Sequence::singleton(dt)];
         assert_eq!(call("year-from-dateTime", &arg), Sequence::integers([1999]));
         assert_eq!(call("hours-from-dateTime", &arg), Sequence::integers([13]));
         // Lexical convenience: untyped input is cast first.
         assert_eq!(
-            call("year-from-date", &[Sequence::singleton(AtomicValue::untyped("2003-01-02"))]),
+            call(
+                "year-from-date",
+                &[Sequence::singleton(AtomicValue::untyped("2003-01-02"))]
+            ),
             Sequence::integers([2003])
         );
     }
@@ -1219,8 +1405,9 @@ mod review_regression_tests {
 
     #[test]
     fn timezone_from_datetime_registered() {
-        let dt = xqr_types::cast::cast_from_string("2001-01-01T00:00:00+05:30", AtomicType::DateTime)
-            .unwrap();
+        let dt =
+            xqr_types::cast::cast_from_string("2001-01-01T00:00:00+05:30", AtomicType::DateTime)
+                .unwrap();
         let out = call_builtin(
             "timezone-from-dateTime",
             &[Sequence::singleton(dt)],

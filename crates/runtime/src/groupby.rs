@@ -15,12 +15,16 @@
 //!
 //! Fig. 4 of the paper is reproduced verbatim in this module's tests.
 
+use std::cmp::Ordering;
+use std::collections::HashMap;
+
 use xqr_core::algebra::{Field, Plan};
 use xqr_xml::{AtomicValue, Item, Sequence, XmlError};
 
 use crate::compare::effective_boolean_value;
 use crate::context::Ctx;
 use crate::eval::eval_dep_items;
+use crate::pipeline::TupleCursor;
 use crate::value::{InputVal, Table, Tuple};
 
 /// Executes a GroupBy over a materialized input table.
@@ -76,6 +80,118 @@ pub fn execute_group_by(
         i = j;
     }
     Ok(out)
+}
+
+/// One in-progress partition of the streaming GroupBy.
+struct Part {
+    key: Vec<i64>,
+    rep: Tuple,
+    items: Vec<Item>,
+}
+
+/// Streaming GroupBy: consumes its input as a cursor — the input table
+/// (typically a join output, the largest intermediate of the unnesting
+/// pipeline) never materializes, and each tuple is released as soon as its
+/// pre-grouping items are extracted. While keys arrive in non-decreasing
+/// order (which the unnesting pipeline guarantees by construction) no hash
+/// table and no sort are needed: a partition closes the moment its key is
+/// passed. The first out-of-order key switches to hash-merging, and the
+/// output is key-sorted at the end — producing exactly the tables of
+/// [`execute_group_by`] for any input: partitions with equal keys merge,
+/// output partitions are ordered by ascending key, the representative is
+/// the first tuple seen per partition, and items accumulate in input
+/// order.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn execute_group_by_streaming<'p>(
+    agg: &Field,
+    index_fields: &[Field],
+    null_fields: &[Field],
+    per_partition: &Plan,
+    per_item: &Plan,
+    src: &mut (dyn TupleCursor<'p> + 'p),
+    ctx: &mut Ctx<'_>,
+) -> xqr_xml::Result<Table> {
+    // Closed partitions; during the sorted phase their keys are strictly
+    // increasing and unique. `by_key` is `Some` once an out-of-order key
+    // has been seen.
+    let mut done: Vec<Part> = Vec::new();
+    let mut cur_part: Option<Part> = None;
+    let mut by_key: Option<HashMap<Vec<i64>, usize>> = None;
+    while let Some(t) = src.next(ctx) {
+        let t = t?;
+        let key = index_fields
+            .iter()
+            .map(|f| index_value(&t, f))
+            .collect::<xqr_xml::Result<Vec<i64>>>()?;
+        // Extract the tuple's items up front: the tuple moves through the
+        // binding and back out, so a new partition adopts it as its
+        // representative without a clone.
+        let (t, items) = if all_nulls_false(&t, null_fields)? {
+            let bound = InputVal::Tuple(t);
+            let produced = eval_dep_items(per_item, ctx, &bound)?;
+            let InputVal::Tuple(t) = bound else {
+                unreachable!()
+            };
+            (t, produced.into_vec())
+        } else {
+            (t, Vec::new())
+        };
+        if let Some(map) = &mut by_key {
+            merge_hash(&mut done, map, key, t, items);
+            continue;
+        }
+        match cur_part.as_ref().map(|p| p.key.cmp(&key)) {
+            Some(Ordering::Equal) => cur_part.as_mut().unwrap().items.extend(items),
+            Some(Ordering::Less) => {
+                done.push(cur_part.take().unwrap());
+                cur_part = Some(Part { key, rep: t, items });
+            }
+            None => cur_part = Some(Part { key, rep: t, items }),
+            Some(Ordering::Greater) => {
+                // Out-of-order key: merge via hash from here on.
+                done.push(cur_part.take().unwrap());
+                by_key = Some(
+                    done.iter()
+                        .enumerate()
+                        .map(|(i, p)| (p.key.clone(), i))
+                        .collect(),
+                );
+                merge_hash(&mut done, by_key.as_mut().unwrap(), key, t, items);
+            }
+        }
+    }
+    if let Some(p) = cur_part.take() {
+        done.push(p);
+    }
+    if by_key.is_some() {
+        done.sort_by(|a, b| a.key.cmp(&b.key));
+    }
+    let mut out = Table::with_capacity(done.len());
+    for p in done {
+        let agg_value = eval_dep_items(
+            per_partition,
+            ctx,
+            &InputVal::Items(Sequence::from_vec(p.items)),
+        )?;
+        out.push(p.rep.with(agg.clone(), agg_value));
+    }
+    Ok(out)
+}
+
+fn merge_hash(
+    done: &mut Vec<Part>,
+    map: &mut HashMap<Vec<i64>, usize>,
+    key: Vec<i64>,
+    t: Tuple,
+    mut items: Vec<Item>,
+) {
+    match map.get(&key) {
+        Some(&i) => done[i].items.append(&mut items),
+        None => {
+            map.insert(key.clone(), done.len());
+            done.push(Part { key, rep: t, items });
+        }
+    }
 }
 
 fn index_value(t: &Tuple, field: &Field) -> xqr_xml::Result<i64> {
@@ -182,7 +298,10 @@ mod tests {
         assert_eq!(out[1].get("x"), Sequence::integers([1]));
         assert_eq!(out[1].get("a").atomized()[0].string_value(), "15");
         assert_eq!(out[2].get("x"), Sequence::integers([3]));
-        assert!(out[2].get("a").is_empty(), "null partition aggregates the empty sequence");
+        assert!(
+            out[2].get("a").is_empty(),
+            "null partition aggregates the empty sequence"
+        );
     }
 
     #[test]
@@ -201,7 +320,10 @@ mod tests {
             &[],
             &["null".into()],
             &Plan::call("count", vec![Plan::input()]),
-            &Plan::new(Op::FieldAccess { field: "y".into(), input: Plan::boxed(Op::Input) }),
+            &Plan::new(Op::FieldAccess {
+                field: "y".into(),
+                input: Plan::boxed(Op::Input),
+            }),
             input,
             &mut ctx,
         )
@@ -225,7 +347,10 @@ mod tests {
             &["index".into()],
             &[],
             &Plan::call("count", vec![Plan::input()]),
-            &Plan::new(Op::FieldAccess { field: "v".into(), input: Plan::boxed(Op::Input) }),
+            &Plan::new(Op::FieldAccess {
+                field: "v".into(),
+                input: Plan::boxed(Op::Input),
+            }),
             input,
             &mut ctx,
         )

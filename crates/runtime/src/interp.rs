@@ -16,7 +16,7 @@ use std::rc::Rc;
 use xqr_frontend::core_ast::{CoreClause, CoreExpr, CoreModule, CoreOrderSpec};
 use xqr_types::Schema;
 use xqr_xml::axes::tree_join;
-use xqr_xml::{AtomicValue, NodeHandle, QName, Sequence, XmlError};
+use xqr_xml::{AtomicValue, NodeHandle, QName, Sequence, SequenceBuilder, XmlError};
 
 use crate::compare::{atomize_optional, effective_boolean_value, order_key_compare};
 use crate::eval::{construct_attribute, construct_element, construct_text};
@@ -35,7 +35,11 @@ struct EnvNode {
 
 impl Env {
     fn bind(&self, name: QName, value: Sequence) -> Env {
-        Env(Some(Rc::new(EnvNode { name, value, parent: self.clone() })))
+        Env(Some(Rc::new(EnvNode {
+            name,
+            value,
+            parent: self.clone(),
+        })))
     }
 
     fn lookup(&self, name: &QName) -> Option<Sequence> {
@@ -65,7 +69,13 @@ pub fn eval_core_module(
     documents: &HashMap<String, NodeHandle>,
     externals: HashMap<QName, Sequence>,
 ) -> xqr_xml::Result<Sequence> {
-    let mut it = Interp { module, schema, documents, globals: externals, depth: 0 };
+    let mut it = Interp {
+        module,
+        schema,
+        documents,
+        globals: externals,
+        depth: 0,
+    };
     for (name, value) in &module.variables {
         if let Some(v) = value {
             let evaluated = it.eval(v, &Env::default())?;
@@ -89,22 +99,26 @@ impl<'a> Interp<'a> {
                 .or_else(|| self.globals.get(q).cloned())
                 .ok_or_else(|| XmlError::new("XPDY0002", format!("unbound variable ${q}"))),
             CoreExpr::Seq(items) => {
-                let mut out = Sequence::empty();
+                let mut out = SequenceBuilder::new();
                 for i in items {
-                    out = out.concat(&self.eval(i, env)?);
+                    out.push(self.eval(i, env)?);
                 }
-                Ok(out)
+                Ok(out.finish())
             }
             CoreExpr::Empty => Ok(Sequence::empty()),
             CoreExpr::Flwor { clauses, ret } => {
                 let envs = self.clause_stream(clauses, env)?;
-                let mut out = Sequence::empty();
+                let mut out = SequenceBuilder::new();
                 for e2 in envs {
-                    out = out.concat(&self.eval(ret, &e2)?);
+                    out.push(self.eval(ret, &e2)?);
                 }
-                Ok(out)
+                Ok(out.finish())
             }
-            CoreExpr::Quantified { every, clauses, satisfies } => {
+            CoreExpr::Quantified {
+                every,
+                clauses,
+                satisfies,
+            } => {
                 let envs = self.clause_stream(clauses, env)?;
                 for e2 in envs {
                     let v = self.eval(satisfies, &e2)?;
@@ -118,7 +132,12 @@ impl<'a> Interp<'a> {
                 }
                 Ok(Sequence::singleton(AtomicValue::Boolean(*every)))
             }
-            CoreExpr::Typeswitch { var, input, cases, default } => {
+            CoreExpr::Typeswitch {
+                var,
+                input,
+                cases,
+                default,
+            } => {
                 let v = self.eval(input, env)?;
                 let env = env.bind(var.clone(), v.clone());
                 for (st, body) in cases {
@@ -164,16 +183,14 @@ impl<'a> Interp<'a> {
             CoreExpr::CommentCtor(c) => {
                 let items = self.eval(c, env)?;
                 let mut b = xqr_xml::TreeBuilder::new();
-                let s: Vec<String> =
-                    items.atomized().iter().map(|a| a.string_value()).collect();
+                let s: Vec<String> = items.atomized().iter().map(|a| a.string_value()).collect();
                 b.comment(&s.join(" "));
                 Ok(Sequence::singleton(b.finish(None).root()))
             }
             CoreExpr::PiCtor { target, content } => {
                 let items = self.eval(content, env)?;
                 let mut b = xqr_xml::TreeBuilder::new();
-                let s: Vec<String> =
-                    items.atomized().iter().map(|a| a.string_value()).collect();
+                let s: Vec<String> = items.atomized().iter().map(|a| a.string_value()).collect();
                 b.pi(target, &s.join(" "));
                 Ok(Sequence::singleton(b.finish(None).root()))
             }
@@ -213,7 +230,9 @@ impl<'a> Interp<'a> {
             }
             CoreExpr::InstanceOf { expr, st } => {
                 let items = self.eval(expr, env)?;
-                Ok(Sequence::singleton(AtomicValue::Boolean(st.matches(&items, self.schema))))
+                Ok(Sequence::singleton(AtomicValue::Boolean(
+                    st.matches(&items, self.schema),
+                )))
             }
             CoreExpr::Validate { mode, expr } => {
                 let items = self.eval(expr, env)?;
@@ -227,7 +246,12 @@ impl<'a> Interp<'a> {
         let mut envs = vec![env.clone()];
         for clause in clauses {
             match clause {
-                CoreClause::For { var, at, as_type, expr } => {
+                CoreClause::For {
+                    var,
+                    at,
+                    as_type,
+                    expr,
+                } => {
                     let mut next = Vec::new();
                     for e2 in &envs {
                         let items = self.eval(expr, e2)?;
@@ -242,10 +266,8 @@ impl<'a> Interp<'a> {
                             }
                             let mut bound = e2.bind(var.clone(), v);
                             if let Some(at_var) = at {
-                                bound = bound.bind(
-                                    at_var.clone(),
-                                    Sequence::integers([i as i64 + 1]),
-                                );
+                                bound =
+                                    bound.bind(at_var.clone(), Sequence::integers([i as i64 + 1]));
                             }
                             next.push(bound);
                         }
@@ -281,11 +303,7 @@ impl<'a> Interp<'a> {
         Ok(envs)
     }
 
-    fn order_envs(
-        &mut self,
-        specs: &[CoreOrderSpec],
-        envs: Vec<Env>,
-    ) -> xqr_xml::Result<Vec<Env>> {
+    fn order_envs(&mut self, specs: &[CoreOrderSpec], envs: Vec<Env>) -> xqr_xml::Result<Vec<Env>> {
         let mut keyed: Vec<(Vec<Sequence>, Env)> = Vec::with_capacity(envs.len());
         for e in envs {
             let mut keys = Vec::with_capacity(specs.len());
@@ -323,7 +341,9 @@ impl<'a> Interp<'a> {
     fn call(&mut self, name: &QName, argv: Vec<Sequence>) -> xqr_xml::Result<Sequence> {
         let local = name.local_part();
         if is_builtin(local) {
-            let bctx = BuiltinCtx { documents: Some(self.documents) };
+            let bctx = BuiltinCtx {
+                documents: Some(self.documents),
+            };
             return call_builtin(local, &argv, &bctx);
         }
         let func = self
@@ -342,7 +362,10 @@ impl<'a> Interp<'a> {
         self.depth += 1;
         if self.depth > 200 {
             self.depth -= 1;
-            return Err(XmlError::new("XQRT0005", "function recursion limit exceeded"));
+            return Err(XmlError::new(
+                "XQRT0005",
+                "function recursion limit exceeded",
+            ));
         }
         let mut env = Env::default();
         for ((p, ty), v) in func.params.iter().zip(argv) {
@@ -407,8 +430,14 @@ mod tests {
             .bind(QName::local("x"), Sequence::integers([1]))
             .bind(QName::local("y"), Sequence::integers([2]))
             .bind(QName::local("x"), Sequence::integers([3]));
-        assert_eq!(env.lookup(&QName::local("x")), Some(Sequence::integers([3])));
-        assert_eq!(env.lookup(&QName::local("y")), Some(Sequence::integers([2])));
+        assert_eq!(
+            env.lookup(&QName::local("x")),
+            Some(Sequence::integers([3]))
+        );
+        assert_eq!(
+            env.lookup(&QName::local("y")),
+            Some(Sequence::integers([2]))
+        );
         assert_eq!(env.lookup(&QName::local("z")), None);
     }
 
@@ -417,8 +446,14 @@ mod tests {
         let base = Env::default().bind(QName::local("x"), Sequence::integers([1]));
         let extended = base.bind(QName::local("x"), Sequence::integers([2]));
         // The original binding is untouched by the extension.
-        assert_eq!(base.lookup(&QName::local("x")), Some(Sequence::integers([1])));
-        assert_eq!(extended.lookup(&QName::local("x")), Some(Sequence::integers([2])));
+        assert_eq!(
+            base.lookup(&QName::local("x")),
+            Some(Sequence::integers([1]))
+        );
+        assert_eq!(
+            extended.lookup(&QName::local("x")),
+            Some(Sequence::integers([2]))
+        );
     }
 
     #[test]

@@ -27,7 +27,7 @@ use std::collections::{BTreeMap, HashMap};
 use xqr_core::algebra::{Field, Op, Plan};
 use xqr_core::fields::{output_fields, used_input_fields};
 use xqr_types::convert::{comparable_types, promote_to_simple_types};
-use xqr_xml::{AtomicType, AtomicValue, Sequence};
+use xqr_xml::{AtomicType, AtomicValue};
 
 use crate::compare::effective_boolean_value;
 use crate::context::{Ctx, JoinAlgorithm};
@@ -45,12 +45,111 @@ pub fn execute_join(
     outer_null: Option<&Field>,
     ctx: &mut Ctx<'_>,
 ) -> xqr_xml::Result<Table> {
-    match ctx.join_algorithm {
-        JoinAlgorithm::NestedLoop => nested_loop(pred, left, right, outer_null, ctx),
-        algo => match analyze_predicate(pred, left_plan, right_plan) {
-            Some(split) => indexed_join(&split, left, right, outer_null, ctx, algo),
-            None => nested_loop(pred, left, right, outer_null, ctx),
-        },
+    let probe = JoinProbe::build(pred, left_plan, right_plan, right, ctx)?;
+    let mut out = Table::with_capacity(left.len());
+    for lt in left {
+        let ms = probe.matches(lt, right, ctx)?;
+        if ms.is_empty() {
+            if let Some(nf) = outer_null {
+                out.push(lt.with_bool(nf.clone(), true));
+            }
+        } else if let Some(nf) = outer_null {
+            out.extend(ms.into_iter().map(|t| t.with_bool(nf.clone(), false)));
+        } else {
+            out.extend(ms);
+        }
+    }
+    Ok(out)
+}
+
+/// The probe side of a join, built once over the (materialized) inner
+/// input. Separating build from probe lets the pipelined executor stream
+/// the outer input through `matches` one tuple at a time — the inner table
+/// is the only materialization point — while `execute_join` keeps the
+/// all-at-once behaviour on top of the same code.
+pub(crate) enum JoinProbe<'p> {
+    /// Full-predicate nested loop (also the fallback when the predicate
+    /// has no separable equality).
+    NestedLoop { pred: &'p Plan },
+    /// Fig. 6 hash/B-tree index over the inner side's key values.
+    Indexed {
+        split: SplitPredicate<'p>,
+        index: KeyIndex,
+    },
+}
+
+impl<'p> JoinProbe<'p> {
+    pub(crate) fn build(
+        pred: &'p Plan,
+        left_plan: &'p Plan,
+        right_plan: &'p Plan,
+        right: &Table,
+        ctx: &mut Ctx<'_>,
+    ) -> xqr_xml::Result<JoinProbe<'p>> {
+        match ctx.join_algorithm {
+            JoinAlgorithm::NestedLoop => Ok(JoinProbe::NestedLoop { pred }),
+            algo => match analyze_predicate(pred, left_plan, right_plan) {
+                Some(split) => {
+                    let index = materialize(right, split.right_key, ctx, algo, split.specialized)?;
+                    Ok(JoinProbe::Indexed { split, index })
+                }
+                None => Ok(JoinProbe::NestedLoop { pred }),
+            },
+        }
+    }
+
+    /// The joined output tuples for one outer tuple, in inner order; empty
+    /// means unmatched (the caller decides between dropping the tuple and
+    /// outer-join null flagging).
+    pub(crate) fn matches(
+        &self,
+        lt: &Tuple,
+        right: &Table,
+        ctx: &mut Ctx<'_>,
+    ) -> xqr_xml::Result<Vec<Tuple>> {
+        let mut out = Vec::new();
+        match self {
+            JoinProbe::NestedLoop { pred } => {
+                // A constant-true predicate (cross products from unnesting)
+                // skips per-pair evaluation entirely.
+                if matches!(&pred.op, Op::Scalar(AtomicValue::Boolean(true))) {
+                    out.reserve(right.len());
+                    for rt in right {
+                        out.push(lt.concat(rt));
+                    }
+                    return Ok(out);
+                }
+                for rt in right {
+                    // Move the joined tuple into the binding and back out:
+                    // no per-pair clone.
+                    let input = InputVal::Tuple(lt.concat(rt));
+                    let v = eval_dep_items(pred, ctx, &input)?;
+                    let InputVal::Tuple(joined) = input else {
+                        unreachable!()
+                    };
+                    if effective_boolean_value(&v)? {
+                        out.push(joined);
+                    }
+                }
+            }
+            JoinProbe::Indexed { split, index } => {
+                let ms = all_matches(index, lt, split.left_key, ctx, split.specialized)?;
+                'candidates: for idx in ms {
+                    let input = InputVal::Tuple(lt.concat(&right[idx]));
+                    for residual in &split.residual {
+                        let v = eval_dep_items(residual, ctx, &input)?;
+                        if !effective_boolean_value(&v)? {
+                            continue 'candidates;
+                        }
+                    }
+                    let InputVal::Tuple(joined) = input else {
+                        unreachable!()
+                    };
+                    out.push(joined);
+                }
+            }
+        }
+        Ok(out)
     }
 }
 
@@ -74,10 +173,8 @@ pub fn static_key_type(p: &Plan) -> Option<AtomicType> {
         Op::Cast { ty, .. } => Some(*ty),
         Op::Call { name, args } => match name.local_part() {
             "count" | "string-length" | "op:to" => Some(AtomicType::Integer),
-            "string" | "concat" | "string-join" | "substring" | "upper-case"
-            | "lower-case" | "normalize-space" | "translate" | "fs:avt" => {
-                Some(AtomicType::String)
-            }
+            "string" | "concat" | "string-join" | "substring" | "upper-case" | "lower-case"
+            | "normalize-space" | "translate" | "fs:avt" => Some(AtomicType::String),
             "number" => Some(AtomicType::Double),
             "fs:numeric-add" | "fs:numeric-subtract" | "fs:numeric-multiply" => {
                 let a = static_key_type(args.first()?)?;
@@ -125,7 +222,9 @@ pub fn analyze_predicate<'p>(
     conjuncts(pred, &mut cs);
     let mut chosen: Option<(usize, &Plan, &Plan)> = None;
     for (i, c) in cs.iter().enumerate() {
-        let Op::Call { name, args } = &c.op else { continue };
+        let Op::Call { name, args } = &c.op else {
+            continue;
+        };
         if name.local_part() != "fs:general-eq" || args.len() != 2 {
             continue;
         }
@@ -151,55 +250,12 @@ pub fn analyze_predicate<'p>(
         .map(|(_, c)| c)
         .collect();
     let specialized = specialized_type(left_key, right_key);
-    Some(SplitPredicate { left_key, right_key, residual, specialized })
-}
-
-/// Order-preserving nested-loop join (the "NL Join" columns of Tables 4–5).
-fn nested_loop(
-    pred: &Plan,
-    left: &Table,
-    right: &Table,
-    outer_null: Option<&Field>,
-    ctx: &mut Ctx<'_>,
-) -> xqr_xml::Result<Table> {
-    let mut out = Table::with_capacity(left.len());
-    for lt in left {
-        let mut matched = false;
-        for rt in right {
-            let joined = lt.concat(rt);
-            let v = eval_dep_items(pred, ctx, &InputVal::Tuple(joined.clone()))?;
-            if effective_boolean_value(&v)? {
-                matched = true;
-                out.push(flagged(joined, outer_null, false));
-            }
-        }
-        if !matched {
-            if let Some(nf) = outer_null {
-                out.push(lt.with_bool(nf, true));
-            }
-        }
-    }
-    Ok(out)
-}
-
-trait TupleExt {
-    fn with_bool(&self, field: &Field, value: bool) -> Tuple;
-}
-
-impl TupleExt for Tuple {
-    fn with_bool(&self, field: &Field, value: bool) -> Tuple {
-        self.with(
-            field.clone(),
-            Sequence::singleton(AtomicValue::Boolean(value)),
-        )
-    }
-}
-
-fn flagged(t: Tuple, outer_null: Option<&Field>, is_null: bool) -> Tuple {
-    match outer_null {
-        Some(nf) => t.with_bool(nf, is_null),
-        None => t,
-    }
+    Some(SplitPredicate {
+        left_key,
+        right_key,
+        residual,
+        specialized,
+    })
 }
 
 // ===== Fig. 6: typed, order-preserving hash join ============================
@@ -208,7 +264,7 @@ fn flagged(t: Tuple, outer_null: Option<&Field>, is_null: bool) -> Tuple {
 /// pairs of Fig. 6 become `(AtomicType, KeyVal)` — two values collide only
 /// when they are equal *at that type*.
 #[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
-enum KeyVal {
+pub(crate) enum KeyVal {
     Bool(bool),
     Int(i64),
     Dec(i128),
@@ -232,14 +288,22 @@ fn key_of(v: &AtomicValue) -> Option<(AtomicType, KeyVal)> {
             if d.is_nan() {
                 return None;
             }
-            KeyVal::Bits(if *d == 0.0 { 0.0f64.to_bits() } else { d.to_bits() })
+            KeyVal::Bits(if *d == 0.0 {
+                0.0f64.to_bits()
+            } else {
+                d.to_bits()
+            })
         }
         V::Float(f) => {
             if f.is_nan() {
                 return None;
             }
             let d = *f as f64;
-            KeyVal::Bits(if d == 0.0 { 0.0f64.to_bits() } else { d.to_bits() })
+            KeyVal::Bits(if d == 0.0 {
+                0.0f64.to_bits()
+            } else {
+                d.to_bits()
+            })
         }
         V::String(s) | V::UntypedAtomic(s) | V::AnyUri(s) => KeyVal::Str(s.to_string()),
         V::Date(d) => KeyVal::Millis(d.epoch_millis()),
@@ -261,14 +325,14 @@ fn key_of(v: &AtomicValue) -> Option<(AtomicType, KeyVal)> {
 /// inner tuple's index/sequence order (Fig. 6 stores "the original value
 /// and type …, the corresponding tuple value, and the ordinal position").
 #[derive(Clone, Debug)]
-struct Entry {
+pub(crate) struct Entry {
     orig_value: AtomicValue,
     orig_type: AtomicType,
     tuple_idx: usize,
 }
 
 /// The two index structures share this small interface.
-enum KeyIndex {
+pub(crate) enum KeyIndex {
     Hash(HashMap<(AtomicType, KeyVal), Vec<Entry>>),
     BTree(BTreeMap<(AtomicType, KeyVal), Vec<Entry>>),
 }
@@ -307,14 +371,17 @@ fn materialize(
 ) -> xqr_xml::Result<KeyIndex> {
     let mut index = KeyIndex::new(algo);
     for (tuple_idx, tup) in inner.iter().enumerate() {
-        let key_vals =
-            eval_dep_items(key_expr, ctx, &InputVal::Tuple(tup.clone()))?.atomized();
+        let key_vals = eval_dep_items(key_expr, ctx, &InputVal::Tuple(tup.clone()))?.atomized();
         for key in key_vals {
             for promoted in promoted_keys(&key, specialized) {
                 if let Some(k) = key_of(&promoted) {
                     index.put(
                         k,
-                        Entry { orig_value: key.clone(), orig_type: key.type_of(), tuple_idx },
+                        Entry {
+                            orig_value: key.clone(),
+                            orig_type: key.type_of(),
+                            tuple_idx,
+                        },
                     );
                 }
             }
@@ -334,7 +401,9 @@ fn promoted_keys(key: &AtomicValue, specialized: Option<AtomicType>) -> Vec<Atom
             if key.type_of() == t {
                 vec![key.clone()]
             } else if key.type_of().is_numeric() && t.is_numeric() {
-                xqr_types::promote_numeric(key, t).map(|v| vec![v]).unwrap_or_default()
+                xqr_types::promote_numeric(key, t)
+                    .map(|v| vec![v])
+                    .unwrap_or_default()
             } else if t == AtomicType::String {
                 vec![AtomicValue::string(key.string_value())]
             } else {
@@ -387,40 +456,6 @@ fn all_matches(
     Ok(matches)
 }
 
-/// Fig. 6 `equalityJoin` plus outer-join and residual-predicate handling.
-fn indexed_join(
-    split: &SplitPredicate<'_>,
-    left: &Table,
-    right: &Table,
-    outer_null: Option<&Field>,
-    ctx: &mut Ctx<'_>,
-    algo: JoinAlgorithm,
-) -> xqr_xml::Result<Table> {
-    let index = materialize(right, split.right_key, ctx, algo, split.specialized)?;
-    let mut out = Table::with_capacity(left.len());
-    for lt in left {
-        let ms = all_matches(&index, lt, split.left_key, ctx, split.specialized)?;
-        let mut matched = false;
-        'candidates: for idx in ms {
-            let joined = lt.concat(&right[idx]);
-            for residual in &split.residual {
-                let v = eval_dep_items(residual, ctx, &InputVal::Tuple(joined.clone()))?;
-                if !effective_boolean_value(&v)? {
-                    continue 'candidates;
-                }
-            }
-            matched = true;
-            out.push(flagged(joined, outer_null, false));
-        }
-        if !matched {
-            if let Some(nf) = outer_null {
-                out.push(lt.with_bool(nf, true));
-            }
-        }
-    }
-    Ok(out)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -458,8 +493,20 @@ mod tests {
         let lp = table_plan("l");
         let rp = table_plan("r");
         let split = analyze_predicate(&pred, &lp, &rp).expect("splittable");
-        assert_eq!(used_input_fields(split.left_key).iter().next().map(|f| &**f), Some("l"));
-        assert_eq!(used_input_fields(split.right_key).iter().next().map(|f| &**f), Some("r"));
+        assert_eq!(
+            used_input_fields(split.left_key)
+                .iter()
+                .next()
+                .map(|f| &**f),
+            Some("l")
+        );
+        assert_eq!(
+            used_input_fields(split.right_key)
+                .iter()
+                .next()
+                .map(|f| &**f),
+            Some("r")
+        );
         assert!(split.residual.is_empty());
     }
 
@@ -469,7 +516,10 @@ mod tests {
         let pred = Plan::call(
             "fs:general-eq",
             vec![
-                Plan::call("fs:numeric-add", vec![Plan::in_field("l"), Plan::in_field("r")]),
+                Plan::call(
+                    "fs:numeric-add",
+                    vec![Plan::in_field("l"), Plan::in_field("r")],
+                ),
                 Plan::in_field("r"),
             ],
         );
@@ -491,12 +541,11 @@ mod tests {
             .iter()
             .filter_map(key_of)
             .collect();
-        let d5: Vec<_> = promote_to_simple_types(&AtomicValue::Decimal(
-            xqr_xml::Decimal::from_i64(5),
-        ))
-        .iter()
-        .filter_map(key_of)
-        .collect();
+        let d5: Vec<_> =
+            promote_to_simple_types(&AtomicValue::Decimal(xqr_xml::Decimal::from_i64(5)))
+                .iter()
+                .filter_map(key_of)
+                .collect();
         assert!(i5.iter().any(|k| d5.contains(k)));
     }
 }

@@ -10,6 +10,11 @@
 //!   quantification + `fs:convert-operand`), and XQuery ordering;
 //! * [`functions`] — the built-in function library (`fn:`, `op:`, `fs:`);
 //! * [`eval`] — the plan evaluator;
+//! * [`pipeline`] — the pipelined (cursor) execution layer for the tuple
+//!   operators: fused pull cursors that materialize only at genuine
+//!   pipeline breakers (`OrderBy`, `GroupBy`, join/product build sides);
+//!   the default strategy, with full materialization kept as an escape
+//!   hatch (`Ctx::pipelined = false`);
 //! * [`groupby`] — the physical XQuery `GroupBy` of Section 5 (pre-grouping
 //!   per-item operator, post-grouping per-partition operator, index/null
 //!   fields — Fig. 4);
@@ -28,9 +33,11 @@ pub mod functions;
 pub mod groupby;
 pub mod interp;
 pub mod joins;
+pub mod pipeline;
 pub mod value;
 
 pub use context::{Ctx, JoinAlgorithm};
 pub use eval::eval_plan;
 pub use interp::eval_core_module;
+pub use pipeline::pipeline_report;
 pub use value::{InputVal, Table, Tuple, Value};

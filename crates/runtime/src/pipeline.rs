@@ -1,0 +1,614 @@
+//! Pipelined (cursor) execution of the tuple operators.
+//!
+//! The logical model evaluates every operator to a complete table
+//! ([`crate::eval`]); the paper notes the physical engine instead runs the
+//! tuple algebra as a pull pipeline. This module supplies that layer: a
+//! [`TupleCursor`] per streaming operator, composed into a fused chain so
+//! that a tuple flows from the scan to the consumer without the
+//! intermediate tables ever existing. Materialization happens only at
+//! genuine pipeline breakers — `OrderBy`, `GroupBy`, and the build (inner)
+//! side of `Product`/`Join`/`LOuterJoin` — which keep their all-at-once
+//! implementations and consume cursors on their streaming side.
+//!
+//! The evaluator routes table-valued sub-plans here whenever
+//! `Ctx::pipelined` is set (the default); `CompileOptions::materialize_all`
+//! turns it off for ablation and differential testing. Both strategies
+//! compute the same tables in the same order; only the *interleaving* of
+//! dependent-plan evaluation differs, which can change *which* of several
+//! dynamic errors surfaces first (XQuery leaves that choice to the
+//! implementation) and lets `MapSome`/`MapEvery` stop consuming input at
+//! the first decisive tuple.
+
+use xqr_core::algebra::{Field, Op, Plan};
+use xqr_xml::{AtomicValue, Sequence};
+
+use crate::compare::effective_boolean_value;
+use crate::context::Ctx;
+use crate::eval::{eval, eval_items, eval_table};
+use crate::joins::JoinProbe;
+use crate::value::{InputVal, Table, Tuple};
+
+/// A pull-based tuple stream. `next` yields the stream's tuples in order;
+/// the dynamic context is threaded through each call because dependent
+/// sub-plans evaluate lazily inside the cursor.
+pub(crate) trait TupleCursor<'p> {
+    fn next(&mut self, ctx: &mut Ctx<'_>) -> Option<xqr_xml::Result<Tuple>>;
+
+    /// Drains the remaining tuples into `out`. Semantically identical to
+    /// looping `next`; producing cursors override it to push whole match
+    /// batches, skipping the per-tuple dispatch at the point where a fused
+    /// chain finally materializes.
+    fn drain_into(&mut self, ctx: &mut Ctx<'_>, out: &mut Table) -> xqr_xml::Result<()> {
+        while let Some(t) = self.next(ctx) {
+            out.push(t?);
+        }
+        Ok(())
+    }
+}
+
+pub(crate) type BoxCursor<'p> = Box<dyn TupleCursor<'p> + 'p>;
+
+/// Does this operator have a streaming cursor (true) or is it a pipeline
+/// breaker / non-tuple operator evaluated all at once (false)?
+pub fn streams(op: &Op) -> bool {
+    matches!(
+        op,
+        Op::Select { .. }
+            | Op::Product(..)
+            | Op::Join { .. }
+            | Op::LOuterJoin { .. }
+            | Op::MapOp { .. }
+            | Op::OMap { .. }
+            | Op::MapConcat { .. }
+            | Op::OMapConcat { .. }
+            | Op::MapIndex { .. }
+            | Op::MapIndexStep { .. }
+            | Op::MapFromItem { .. }
+            | Op::Cond { .. }
+    )
+}
+
+/// The child a streaming operator pulls tuples from (the probe side for
+/// joins/products); `None` for operators fed by items or breakers only.
+fn streamed_input(op: &Op) -> Option<&Plan> {
+    match op {
+        Op::Select { input, .. }
+        | Op::MapOp { input, .. }
+        | Op::OMap { input, .. }
+        | Op::MapConcat { input, .. }
+        | Op::OMapConcat { input, .. }
+        | Op::MapIndex { input, .. }
+        | Op::MapIndexStep { input, .. } => Some(input),
+        Op::Product(a, _) => Some(a),
+        Op::Join { left, .. } | Op::LOuterJoin { left, .. } => Some(left),
+        _ => None,
+    }
+}
+
+/// Is routing this plan through the cursor layer worthwhile? A cursor pays
+/// for itself only when it *fuses*: the operator streams **and** the child
+/// it pulls from streams too, so at least one intermediate table is never
+/// built. A lone streaming operator over a breaker degenerates to the
+/// eager loop plus cursor overhead — the evaluator keeps its direct
+/// implementation for that case (and for the thousands of small per-tuple
+/// dependent tables, where the overhead would be paid per source tuple).
+pub fn fuses(plan: &Plan) -> bool {
+    streams(&plan.op)
+        && match &plan.op {
+            // A conditional fuses when the branch it picks would; that is
+            // only known dynamically, so fuse if either branch does.
+            Op::Cond { then, els, .. } => fuses(then) || fuses(els),
+            op => streamed_input(op).is_some_and(|c| streams(&c.op)),
+        }
+}
+
+/// Opens a cursor over a table-valued plan. Streaming operators get their
+/// dedicated cursor over their (recursively opened) input; everything else
+/// is evaluated to a table here and replayed — the single materialization
+/// point of a fused chain.
+pub(crate) fn open_cursor<'p>(
+    plan: &'p Plan,
+    ctx: &mut Ctx<'_>,
+    input: Option<&InputVal>,
+) -> xqr_xml::Result<BoxCursor<'p>> {
+    match &plan.op {
+        Op::Select { pred, input: src } => Ok(Box::new(SelectCursor {
+            src: open_cursor(src, ctx, input)?,
+            pred,
+        })),
+        Op::Product(a, b) => Ok(Box::new(ProductCursor {
+            left: open_cursor(a, ctx, input)?,
+            right: eval_table(b, ctx, input)?,
+            cur: None,
+            ridx: 0,
+        })),
+        Op::Join { pred, left, right } => open_join(pred, left, right, None, ctx, input),
+        Op::LOuterJoin {
+            null_field,
+            pred,
+            left,
+            right,
+        } => open_join(pred, left, right, Some(null_field), ctx, input),
+        Op::MapOp { dep, input: src } => Ok(Box::new(DepCursor::new(
+            open_cursor(src, ctx, input)?,
+            dep,
+            DepMode::Replace,
+        ))),
+        Op::MapConcat { dep, input: src } => Ok(Box::new(DepCursor::new(
+            open_cursor(src, ctx, input)?,
+            dep,
+            DepMode::Concat,
+        ))),
+        Op::OMapConcat {
+            null_field,
+            dep,
+            input: src,
+        } => Ok(Box::new(DepCursor::new(
+            open_cursor(src, ctx, input)?,
+            dep,
+            DepMode::OuterConcat(null_field),
+        ))),
+        Op::OMap {
+            null_field,
+            input: src,
+        } => Ok(Box::new(OMapCursor {
+            src: open_cursor(src, ctx, input)?,
+            null_field,
+            emitted_any: false,
+            done: false,
+        })),
+        Op::MapIndex { field, input: src } | Op::MapIndexStep { field, input: src } => {
+            Ok(Box::new(IndexCursor {
+                src: open_cursor(src, ctx, input)?,
+                field,
+                i: 0,
+            }))
+        }
+        Op::MapFromItem { dep, input: src } => {
+            let items = eval_items(src, ctx, input)?;
+            Ok(Box::new(MapFromItemCursor {
+                items,
+                pos: 0,
+                dep,
+                pending: Vec::new().into_iter(),
+            }))
+        }
+        // A conditional in table position streams its chosen branch.
+        Op::Cond { cond, then, els } => {
+            let c = eval_items(cond, ctx, input)?;
+            if effective_boolean_value(&c)? {
+                open_cursor(then, ctx, input)
+            } else {
+                open_cursor(els, ctx, input)
+            }
+        }
+        // Pipeline breakers and the rest: evaluate fully, replay.
+        _ => {
+            let table = eval(plan, ctx, input)?.into_table()?;
+            Ok(Box::new(MaterializedCursor {
+                iter: table.into_iter(),
+            }))
+        }
+    }
+}
+
+fn open_join<'p>(
+    pred: &'p Plan,
+    left: &'p Plan,
+    right: &'p Plan,
+    outer_null: Option<&'p Field>,
+    ctx: &mut Ctx<'_>,
+    input: Option<&InputVal>,
+) -> xqr_xml::Result<BoxCursor<'p>> {
+    // The build (inner) side is a breaker: materialized and indexed up
+    // front. The probe (outer) side streams.
+    let right_table = eval_table(right, ctx, input)?;
+    let probe = JoinProbe::build(pred, left, right, &right_table, ctx)?;
+    Ok(Box::new(JoinCursor {
+        left: open_cursor(left, ctx, input)?,
+        right: right_table,
+        probe,
+        outer_null,
+        pending: Vec::new().into_iter(),
+    }))
+}
+
+/// Drains a cursor into a table.
+pub(crate) fn collect(mut cur: BoxCursor<'_>, ctx: &mut Ctx<'_>) -> xqr_xml::Result<Table> {
+    let mut out = Table::new();
+    cur.drain_into(ctx, &mut out)?;
+    Ok(out)
+}
+
+/// Replays an already-computed table.
+struct MaterializedCursor {
+    iter: std::vec::IntoIter<Tuple>,
+}
+
+impl<'p> TupleCursor<'p> for MaterializedCursor {
+    fn next(&mut self, _ctx: &mut Ctx<'_>) -> Option<xqr_xml::Result<Tuple>> {
+        self.iter.next().map(Ok)
+    }
+}
+
+/// `Select[pred]` — filters, evaluating the predicate with `IN` rebound.
+struct SelectCursor<'p> {
+    src: BoxCursor<'p>,
+    pred: &'p Plan,
+}
+
+impl<'p> TupleCursor<'p> for SelectCursor<'p> {
+    fn next(&mut self, ctx: &mut Ctx<'_>) -> Option<xqr_xml::Result<Tuple>> {
+        loop {
+            let t = match self.src.next(ctx)? {
+                Ok(t) => t,
+                Err(e) => return Some(Err(e)),
+            };
+            // Move the tuple into the binding and back out: no clone.
+            let bound = InputVal::Tuple(t);
+            let keep = crate::eval::eval_dep_items(self.pred, ctx, &bound)
+                .and_then(|v| effective_boolean_value(&v));
+            let InputVal::Tuple(t) = bound else {
+                unreachable!()
+            };
+            match keep {
+                Ok(true) => return Some(Ok(t)),
+                Ok(false) => continue,
+                Err(e) => return Some(Err(e)),
+            }
+        }
+    }
+}
+
+/// `Product` — streams the left input against a materialized right table.
+struct ProductCursor<'p> {
+    left: BoxCursor<'p>,
+    right: Table,
+    cur: Option<Tuple>,
+    ridx: usize,
+}
+
+impl<'p> TupleCursor<'p> for ProductCursor<'p> {
+    fn next(&mut self, ctx: &mut Ctx<'_>) -> Option<xqr_xml::Result<Tuple>> {
+        loop {
+            if let Some(lt) = &self.cur {
+                if self.ridx < self.right.len() {
+                    let out = lt.concat(&self.right[self.ridx]);
+                    self.ridx += 1;
+                    return Some(Ok(out));
+                }
+                self.cur = None;
+            }
+            match self.left.next(ctx)? {
+                Ok(t) => {
+                    self.cur = Some(t);
+                    self.ridx = 0;
+                }
+                Err(e) => return Some(Err(e)),
+            }
+        }
+    }
+
+    fn drain_into(&mut self, ctx: &mut Ctx<'_>, out: &mut Table) -> xqr_xml::Result<()> {
+        if let Some(lt) = self.cur.take() {
+            for rt in &self.right[self.ridx..] {
+                out.push(lt.concat(rt));
+            }
+        }
+        while let Some(lt) = self.left.next(ctx) {
+            let lt = lt?;
+            out.reserve(self.right.len());
+            for rt in &self.right {
+                out.push(lt.concat(rt));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The three dependent-map shapes share one cursor; they differ only in
+/// how a source tuple combines with its dependent table.
+enum DepMode<'p> {
+    /// `Map` — yield the dependent tuples as-is.
+    Replace,
+    /// `MapConcat` — yield `t ++ u` for each dependent tuple `u`.
+    Concat,
+    /// `OMapConcat` — like `Concat`, but an empty dependent table yields
+    /// `t` extended with the true null flag (and matches get false).
+    OuterConcat(&'p Field),
+}
+
+struct DepCursor<'p> {
+    src: BoxCursor<'p>,
+    dep: &'p Plan,
+    mode: DepMode<'p>,
+    /// Source tuple being expanded (`None` in `Replace` mode, which never
+    /// combines it with the dependent tuples).
+    cur: Option<Tuple>,
+    inner: std::vec::IntoIter<Tuple>,
+}
+
+impl<'p> DepCursor<'p> {
+    fn new(src: BoxCursor<'p>, dep: &'p Plan, mode: DepMode<'p>) -> DepCursor<'p> {
+        DepCursor {
+            src,
+            dep,
+            mode,
+            cur: None,
+            inner: Vec::new().into_iter(),
+        }
+    }
+
+    /// Pulls the next source tuple and evaluates its dependent table into
+    /// `inner`; `None` when the source is exhausted. In `OuterConcat` mode
+    /// an empty dependent table immediately yields the null-flagged source
+    /// tuple instead.
+    fn advance(&mut self, ctx: &mut Ctx<'_>) -> Option<xqr_xml::Result<Option<Tuple>>> {
+        let t = match self.src.next(ctx)? {
+            Ok(t) => t,
+            Err(e) => return Some(Err(e)),
+        };
+        // `Replace` never revisits the source tuple, so it moves into
+        // the binding without a clone (mirroring the eager `MapOp`).
+        let bound = match self.mode {
+            DepMode::Replace => InputVal::Tuple(t),
+            _ => {
+                let input = InputVal::Tuple(t.clone());
+                self.cur = Some(t);
+                input
+            }
+        };
+        let produced = match eval(self.dep, ctx, Some(&bound)).and_then(|v| v.into_table()) {
+            Ok(p) => p,
+            Err(e) => return Some(Err(e)),
+        };
+        if produced.is_empty() {
+            if let DepMode::OuterConcat(nf) = &self.mode {
+                let t = self.cur.take().unwrap();
+                return Some(Ok(Some(t.with_bool((*nf).clone(), true))));
+            }
+        }
+        self.inner = produced.into_iter();
+        Some(Ok(None))
+    }
+
+    fn combine(&self, u: Tuple) -> Tuple {
+        match &self.mode {
+            DepMode::Replace => u,
+            DepMode::Concat => self.cur.as_ref().unwrap().concat(&u),
+            DepMode::OuterConcat(nf) => self
+                .cur
+                .as_ref()
+                .unwrap()
+                .concat(&u)
+                .with_bool((*nf).clone(), false),
+        }
+    }
+}
+
+impl<'p> TupleCursor<'p> for DepCursor<'p> {
+    fn next(&mut self, ctx: &mut Ctx<'_>) -> Option<xqr_xml::Result<Tuple>> {
+        loop {
+            if let Some(u) = self.inner.next() {
+                return Some(Ok(self.combine(u)));
+            }
+            match self.advance(ctx)? {
+                Ok(None) => continue,
+                Ok(Some(t)) => return Some(Ok(t)),
+                Err(e) => return Some(Err(e)),
+            }
+        }
+    }
+
+    fn drain_into(&mut self, ctx: &mut Ctx<'_>, out: &mut Table) -> xqr_xml::Result<()> {
+        loop {
+            for u in &mut self.inner {
+                let t = match &self.mode {
+                    DepMode::Replace => u,
+                    DepMode::Concat => self.cur.as_ref().unwrap().concat(&u),
+                    DepMode::OuterConcat(nf) => self
+                        .cur
+                        .as_ref()
+                        .unwrap()
+                        .concat(&u)
+                        .with_bool((*nf).clone(), false),
+                };
+                out.push(t);
+            }
+            match self.advance(ctx) {
+                None => return Ok(()),
+                Some(Ok(None)) => {}
+                Some(Ok(Some(t))) => out.push(t),
+                Some(Err(e)) => return Err(e),
+            }
+        }
+    }
+}
+
+/// `OMap` — null-flags every tuple; an empty input produces the single
+/// all-null tuple.
+struct OMapCursor<'p> {
+    src: BoxCursor<'p>,
+    null_field: &'p Field,
+    emitted_any: bool,
+    done: bool,
+}
+
+impl<'p> TupleCursor<'p> for OMapCursor<'p> {
+    fn next(&mut self, ctx: &mut Ctx<'_>) -> Option<xqr_xml::Result<Tuple>> {
+        if self.done {
+            return None;
+        }
+        match self.src.next(ctx) {
+            Some(Ok(t)) => {
+                self.emitted_any = true;
+                Some(Ok(t.with_bool(self.null_field.clone(), false)))
+            }
+            Some(Err(e)) => Some(Err(e)),
+            None => {
+                self.done = true;
+                if self.emitted_any {
+                    None
+                } else {
+                    Some(Ok(Tuple::from_fields(vec![(
+                        self.null_field.clone(),
+                        Sequence::singleton(AtomicValue::Boolean(true)),
+                    )])))
+                }
+            }
+        }
+    }
+}
+
+/// `MapIndex` / `MapIndexStep` — adds the 1-based position field.
+struct IndexCursor<'p> {
+    src: BoxCursor<'p>,
+    field: &'p Field,
+    i: i64,
+}
+
+impl<'p> TupleCursor<'p> for IndexCursor<'p> {
+    fn next(&mut self, ctx: &mut Ctx<'_>) -> Option<xqr_xml::Result<Tuple>> {
+        match self.src.next(ctx)? {
+            Ok(t) => {
+                self.i += 1;
+                Some(Ok(t.with(self.field.clone(), Sequence::integers([self.i]))))
+            }
+            Err(e) => Some(Err(e)),
+        }
+    }
+}
+
+/// `MapFromItem` — the items-to-tuples boundary: walks an item sequence,
+/// streaming out each item's dependent table.
+struct MapFromItemCursor<'p> {
+    items: Sequence,
+    pos: usize,
+    dep: &'p Plan,
+    pending: std::vec::IntoIter<Tuple>,
+}
+
+impl<'p> TupleCursor<'p> for MapFromItemCursor<'p> {
+    fn next(&mut self, ctx: &mut Ctx<'_>) -> Option<xqr_xml::Result<Tuple>> {
+        loop {
+            if let Some(t) = self.pending.next() {
+                return Some(Ok(t));
+            }
+            let item = self.items.get(self.pos)?.clone();
+            self.pos += 1;
+            match eval(self.dep, ctx, Some(&InputVal::Item(item))).and_then(|v| v.into_table()) {
+                Ok(p) => self.pending = p.into_iter(),
+                Err(e) => return Some(Err(e)),
+            }
+        }
+    }
+}
+
+/// `Join` / `LOuterJoin` — probes the prebuilt index with each outer tuple.
+struct JoinCursor<'p> {
+    left: BoxCursor<'p>,
+    right: Table,
+    probe: JoinProbe<'p>,
+    outer_null: Option<&'p Field>,
+    pending: std::vec::IntoIter<Tuple>,
+}
+
+impl<'p> TupleCursor<'p> for JoinCursor<'p> {
+    fn next(&mut self, ctx: &mut Ctx<'_>) -> Option<xqr_xml::Result<Tuple>> {
+        loop {
+            // `pending` holds matched tuples only; the outer-join match
+            // flag is applied lazily as each one is yielded.
+            if let Some(t) = self.pending.next() {
+                return Some(Ok(match self.outer_null {
+                    Some(nf) => t.with_bool(nf.clone(), false),
+                    None => t,
+                }));
+            }
+            let lt = match self.left.next(ctx)? {
+                Ok(t) => t,
+                Err(e) => return Some(Err(e)),
+            };
+            let ms = match self.probe.matches(&lt, &self.right, ctx) {
+                Ok(ms) => ms,
+                Err(e) => return Some(Err(e)),
+            };
+            if ms.is_empty() {
+                if let Some(nf) = self.outer_null {
+                    return Some(Ok(lt.with_bool(nf.clone(), true)));
+                }
+                continue;
+            }
+            self.pending = ms.into_iter();
+        }
+    }
+
+    fn drain_into(&mut self, ctx: &mut Ctx<'_>, out: &mut Table) -> xqr_xml::Result<()> {
+        for t in &mut self.pending {
+            out.push(match self.outer_null {
+                Some(nf) => t.with_bool(nf.clone(), false),
+                None => t,
+            });
+        }
+        while let Some(lt) = self.left.next(ctx) {
+            let lt = lt?;
+            let ms = self.probe.matches(&lt, &self.right, ctx)?;
+            match self.outer_null {
+                Some(nf) if ms.is_empty() => out.push(lt.with_bool(nf.clone(), true)),
+                Some(nf) => out.extend(ms.into_iter().map(|t| t.with_bool(nf.clone(), false))),
+                None => out.extend(ms),
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Per-operator pipelining summary for `explain()`: which tuple operators
+/// of this plan stream through the cursor layer and which materialize.
+pub fn pipeline_report(plan: &Plan) -> String {
+    use std::collections::BTreeMap;
+    let mut streaming: BTreeMap<&'static str, usize> = BTreeMap::new();
+    let mut breaking: BTreeMap<&'static str, usize> = BTreeMap::new();
+    fn walk(
+        p: &Plan,
+        streaming: &mut BTreeMap<&'static str, usize>,
+        breaking: &mut BTreeMap<&'static str, usize>,
+    ) {
+        match &p.op {
+            // Cond appears on both sides of the boundary; don't count it.
+            Op::Cond { .. } => {}
+            op if streams(op) => *streaming.entry(op.name()).or_default() += 1,
+            Op::OrderBy { .. }
+            | Op::GroupBy { .. }
+            | Op::TupleTable
+            | Op::Tuple(_)
+            | Op::TupleConcat(..) => *breaking.entry(p.op.name()).or_default() += 1,
+            _ => {}
+        }
+        for (c, _) in p.op.children() {
+            walk(c, streaming, breaking);
+        }
+    }
+    walk(plan, &mut streaming, &mut breaking);
+    let fmt = |m: &BTreeMap<&'static str, usize>| {
+        if m.is_empty() {
+            "none".to_string()
+        } else {
+            m.iter()
+                .map(|(n, c)| {
+                    if *c == 1 {
+                        n.to_string()
+                    } else {
+                        format!("{n}\u{00d7}{c}")
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join(", ")
+        }
+    };
+    format!(
+        "pipelined (streaming): {}\nmaterialized (breakers; Join/Product inner side also \
+         materializes for the build): {}",
+        fmt(&streaming),
+        fmt(&breaking)
+    )
+}

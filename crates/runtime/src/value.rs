@@ -23,17 +23,31 @@ impl Tuple {
         Tuple(Rc::new(fields))
     }
 
+    /// Field-name comparison. The compiler allocates each field name once
+    /// (`Compiler::fresh_field`) and every later reference is an `Rc` clone
+    /// of it, so in the common case both sides point at the same string
+    /// data and the pointer/length check settles it without looking at a
+    /// single byte. Length inequality also settles it cheaply; only
+    /// distinct equal-length names fall through to a byte compare.
+    #[inline]
+    fn name_eq(f: &str, field: &str) -> bool {
+        if f.len() != field.len() {
+            return false;
+        }
+        std::ptr::eq(f.as_ptr(), field.as_ptr()) || f.as_bytes() == field.as_bytes()
+    }
+
     /// Field access — absent fields are the empty sequence.
     pub fn get(&self, field: &str) -> Sequence {
         self.0
             .iter()
-            .find(|(f, _)| &**f == field)
+            .find(|(f, _)| Self::name_eq(f, field))
             .map(|(_, s)| s.clone())
             .unwrap_or_default()
     }
 
     pub fn has(&self, field: &str) -> bool {
-        self.0.iter().any(|(f, _)| &**f == field)
+        self.0.iter().any(|(f, _)| Self::name_eq(f, field))
     }
 
     /// Tuple concatenation (`++`): right side wins on (rare) collisions.
@@ -54,12 +68,27 @@ impl Tuple {
         Tuple(Rc::new(v))
     }
 
-    /// Extends with one more field.
+    /// Extends with one more field, replacing an existing one of the same
+    /// name. The replace case is rare (fields are compiler-fresh), so the
+    /// common path is a straight copy-and-push without the retain scan.
     pub fn with(&self, field: Field, value: Sequence) -> Tuple {
-        let mut v: Vec<(Field, Sequence)> = (*self.0).clone();
-        v.retain(|(f, _)| f != &field);
+        let mut v: Vec<(Field, Sequence)> = Vec::with_capacity(self.0.len() + 1);
+        v.extend(
+            self.0
+                .iter()
+                .filter(|(f, _)| !Self::name_eq(f, &field))
+                .cloned(),
+        );
         v.push((field, value));
         Tuple(Rc::new(v))
+    }
+
+    /// Extends with a boolean flag field (the outer operators' null flags).
+    pub fn with_bool(&self, field: Field, flag: bool) -> Tuple {
+        self.with(
+            field,
+            Sequence::singleton(xqr_xml::AtomicValue::Boolean(flag)),
+        )
     }
 
     pub fn fields(&self) -> impl Iterator<Item = (&Field, &Sequence)> {

@@ -35,7 +35,10 @@ pub fn cast_atomic(v: &AtomicValue, to: AtomicType) -> xqr_xml::Result<AtomicVal
             if d.is_finite() {
                 Ok(AtomicValue::Integer(d.trunc() as i64))
             } else {
-                Err(XmlError::new("FOCA0002", "cannot cast non-finite double to integer"))
+                Err(XmlError::new(
+                    "FOCA0002",
+                    "cannot cast non-finite double to integer",
+                ))
             }
         }
         (AtomicValue::Double(d), T::Decimal) => Ok(AtomicValue::Decimal(Decimal::from_f64(*d)?)),
@@ -44,7 +47,10 @@ pub fn cast_atomic(v: &AtomicValue, to: AtomicType) -> xqr_xml::Result<AtomicVal
             if f.is_finite() {
                 Ok(AtomicValue::Integer(f.trunc() as i64))
             } else {
-                Err(XmlError::new("FOCA0002", "cannot cast non-finite float to integer"))
+                Err(XmlError::new(
+                    "FOCA0002",
+                    "cannot cast non-finite float to integer",
+                ))
             }
         }
         (AtomicValue::Float(f), T::Decimal) => {
@@ -68,9 +74,10 @@ pub fn cast_atomic(v: &AtomicValue, to: AtomicType) -> xqr_xml::Result<AtomicVal
             millis: dt.millis,
             tz_minutes: dt.date.tz_minutes,
         })),
-        (AtomicValue::Date(d), T::DateTime) => {
-            Ok(AtomicValue::DateTime(DateTime { date: *d, millis: 0 }))
-        }
+        (AtomicValue::Date(d), T::DateTime) => Ok(AtomicValue::DateTime(DateTime {
+            date: *d,
+            millis: 0,
+        })),
         _ => Err(XmlError::new(
             "XPTY0004",
             format!("cannot cast {} to {}", ty, to),
@@ -116,22 +123,28 @@ pub fn cast_from_string(s: &str, to: AtomicType) -> xqr_xml::Result<AtomicValue>
                 .strip_prefix("--")
                 .ok_or_else(|| XmlError::new("FORG0001", "invalid gMonth"))?;
             AtomicValue::GMonth(
-                body.parse().map_err(|_| XmlError::new("FORG0001", "invalid gMonth"))?,
+                body.parse()
+                    .map_err(|_| XmlError::new("FORG0001", "invalid gMonth"))?,
             )
         }
         T::GDay => {
             let body = trimmed
                 .strip_prefix("---")
                 .ok_or_else(|| XmlError::new("FORG0001", "invalid gDay"))?;
-            AtomicValue::GDay(body.parse().map_err(|_| XmlError::new("FORG0001", "invalid gDay"))?)
+            AtomicValue::GDay(
+                body.parse()
+                    .map_err(|_| XmlError::new("FORG0001", "invalid gDay"))?,
+            )
         }
         T::GYearMonth => {
             let (y, m) = trimmed
                 .rsplit_once('-')
                 .ok_or_else(|| XmlError::new("FORG0001", "invalid gYearMonth"))?;
             AtomicValue::GYearMonth(
-                y.parse().map_err(|_| XmlError::new("FORG0001", "invalid gYearMonth"))?,
-                m.parse().map_err(|_| XmlError::new("FORG0001", "invalid gYearMonth"))?,
+                y.parse()
+                    .map_err(|_| XmlError::new("FORG0001", "invalid gYearMonth"))?,
+                m.parse()
+                    .map_err(|_| XmlError::new("FORG0001", "invalid gYearMonth"))?,
             )
         }
         T::GMonthDay => {
@@ -142,8 +155,10 @@ pub fn cast_from_string(s: &str, to: AtomicType) -> xqr_xml::Result<AtomicValue>
                 .split_once('-')
                 .ok_or_else(|| XmlError::new("FORG0001", "invalid gMonthDay"))?;
             AtomicValue::GMonthDay(
-                m.parse().map_err(|_| XmlError::new("FORG0001", "invalid gMonthDay"))?,
-                d.parse().map_err(|_| XmlError::new("FORG0001", "invalid gMonthDay"))?,
+                m.parse()
+                    .map_err(|_| XmlError::new("FORG0001", "invalid gMonthDay"))?,
+                d.parse()
+                    .map_err(|_| XmlError::new("FORG0001", "invalid gMonthDay"))?,
             )
         }
         T::QName | T::Notation => {
@@ -161,19 +176,30 @@ mod tests {
 
     #[test]
     fn string_to_numerics() {
-        assert_eq!(cast_from_string("42", AtomicType::Integer).unwrap(), AtomicValue::Integer(42));
         assert_eq!(
-            cast_from_string(" 2.5 ", AtomicType::Decimal).unwrap().string_value(),
+            cast_from_string("42", AtomicType::Integer).unwrap(),
+            AtomicValue::Integer(42)
+        );
+        assert_eq!(
+            cast_from_string(" 2.5 ", AtomicType::Decimal)
+                .unwrap()
+                .string_value(),
             "2.5"
         );
-        assert_eq!(cast_from_string("1e2", AtomicType::Double).unwrap(), AtomicValue::Double(100.0));
+        assert_eq!(
+            cast_from_string("1e2", AtomicType::Double).unwrap(),
+            AtomicValue::Double(100.0)
+        );
         assert!(cast_from_string("abc", AtomicType::Integer).is_err());
     }
 
     #[test]
     fn untyped_behaves_like_string_source() {
         let u = AtomicValue::untyped("7");
-        assert_eq!(cast_atomic(&u, AtomicType::Integer).unwrap(), AtomicValue::Integer(7));
+        assert_eq!(
+            cast_atomic(&u, AtomicType::Integer).unwrap(),
+            AtomicValue::Integer(7)
+        );
         assert_eq!(
             cast_atomic(&u, AtomicType::Double).unwrap(),
             AtomicValue::Double(7.0)
@@ -199,8 +225,11 @@ mod tests {
             AtomicValue::Integer(2)
         );
         assert_eq!(
-            cast_atomic(&AtomicValue::Decimal(Decimal::parse("-3.7").unwrap()), AtomicType::Integer)
-                .unwrap(),
+            cast_atomic(
+                &AtomicValue::Decimal(Decimal::parse("-3.7").unwrap()),
+                AtomicType::Integer
+            )
+            .unwrap(),
             AtomicValue::Integer(-3)
         );
         assert!(cast_atomic(&AtomicValue::Double(f64::NAN), AtomicType::Integer).is_err());
@@ -246,7 +275,10 @@ mod tests {
             cast_from_string("--02-29", AtomicType::GMonthDay).unwrap(),
             AtomicValue::GMonthDay(2, 29)
         );
-        assert_eq!(cast_from_string("---15", AtomicType::GDay).unwrap(), AtomicValue::GDay(15));
+        assert_eq!(
+            cast_from_string("---15", AtomicType::GDay).unwrap(),
+            AtomicValue::GDay(15)
+        );
         assert_eq!(
             cast_from_string("2004-07", AtomicType::GYearMonth).unwrap(),
             AtomicValue::GYearMonth(2004, 7)

@@ -46,7 +46,10 @@ pub fn table2_target(first: AtomicType, second: AtomicType) -> Option<AtomicType
 
 /// `fs:convert-operand(actual, other)`: converts `actual` when it is
 /// untyped, based on `other`'s type; otherwise returns it unchanged.
-pub fn convert_operand(actual: &AtomicValue, other_type: AtomicType) -> xqr_xml::Result<AtomicValue> {
+pub fn convert_operand(
+    actual: &AtomicValue,
+    other_type: AtomicType,
+) -> xqr_xml::Result<AtomicValue> {
     match table2_target(actual.type_of(), other_type) {
         Some(target) => cast_atomic(actual, target),
         None => Ok(actual.clone()),
@@ -160,7 +163,10 @@ mod tests {
     /// Exhaustive check of Table 2, row by row.
     #[test]
     fn table2_row1_untyped_or_string_vs_untyped_or_string() {
-        assert_eq!(table2_target(T::UntypedAtomic, T::UntypedAtomic), Some(T::String));
+        assert_eq!(
+            table2_target(T::UntypedAtomic, T::UntypedAtomic),
+            Some(T::String)
+        );
         assert_eq!(table2_target(T::UntypedAtomic, T::String), Some(T::String));
         // A string first operand needs no conversion (it is already one).
         assert_eq!(table2_target(T::String, T::UntypedAtomic), None);
@@ -170,14 +176,29 @@ mod tests {
     #[test]
     fn table2_row2_untyped_vs_numeric() {
         for num in [T::Integer, T::Decimal, T::Float, T::Double] {
-            assert_eq!(table2_target(T::UntypedAtomic, num), Some(T::Double), "{num}");
+            assert_eq!(
+                table2_target(T::UntypedAtomic, num),
+                Some(T::Double),
+                "{num}"
+            );
         }
     }
 
     #[test]
     fn table2_row3_untyped_vs_other() {
-        for other in [T::Date, T::Time, T::DateTime, T::Boolean, T::AnyUri, T::Duration] {
-            assert_eq!(table2_target(T::UntypedAtomic, other), Some(other), "{other}");
+        for other in [
+            T::Date,
+            T::Time,
+            T::DateTime,
+            T::Boolean,
+            T::AnyUri,
+            T::Duration,
+        ] {
+            assert_eq!(
+                table2_target(T::UntypedAtomic, other),
+                Some(other),
+                "{other}"
+            );
         }
     }
 
@@ -196,9 +217,18 @@ mod tests {
     #[test]
     fn convert_operand_values() {
         let u = AtomicValue::untyped("42");
-        assert_eq!(convert_operand(&u, T::Integer).unwrap(), AtomicValue::Double(42.0));
-        assert_eq!(convert_operand(&u, T::String).unwrap(), AtomicValue::string("42"));
-        assert_eq!(convert_operand(&u, T::UntypedAtomic).unwrap(), AtomicValue::string("42"));
+        assert_eq!(
+            convert_operand(&u, T::Integer).unwrap(),
+            AtomicValue::Double(42.0)
+        );
+        assert_eq!(
+            convert_operand(&u, T::String).unwrap(),
+            AtomicValue::string("42")
+        );
+        assert_eq!(
+            convert_operand(&u, T::UntypedAtomic).unwrap(),
+            AtomicValue::string("42")
+        );
         let i = AtomicValue::Integer(42);
         assert_eq!(convert_operand(&i, T::UntypedAtomic).unwrap(), i);
     }
@@ -214,8 +244,14 @@ mod tests {
     #[test]
     fn comparable_type_computation() {
         assert_eq!(comparable_types(T::Integer, T::Double), Some(T::Double));
-        assert_eq!(comparable_types(T::UntypedAtomic, T::Integer), Some(T::Double));
-        assert_eq!(comparable_types(T::UntypedAtomic, T::UntypedAtomic), Some(T::String));
+        assert_eq!(
+            comparable_types(T::UntypedAtomic, T::Integer),
+            Some(T::Double)
+        );
+        assert_eq!(
+            comparable_types(T::UntypedAtomic, T::UntypedAtomic),
+            Some(T::String)
+        );
         assert_eq!(comparable_types(T::AnyUri, T::String), Some(T::String));
         assert_eq!(comparable_types(T::Date, T::Date), Some(T::Date));
         assert_eq!(comparable_types(T::Date, T::Integer), None);
@@ -227,8 +263,7 @@ mod tests {
         let (a, b) = convert_pair(&AtomicValue::untyped("5"), &AtomicValue::Integer(5)).unwrap();
         assert_eq!(a, AtomicValue::Double(5.0));
         assert_eq!(b, AtomicValue::Double(5.0));
-        let (a, b) =
-            convert_pair(&AtomicValue::untyped("x"), &AtomicValue::untyped("x")).unwrap();
+        let (a, b) = convert_pair(&AtomicValue::untyped("x"), &AtomicValue::untyped("x")).unwrap();
         assert_eq!(a, AtomicValue::string("x"));
         assert_eq!(b, AtomicValue::string("x"));
         assert!(convert_pair(&AtomicValue::Integer(1), &AtomicValue::string("1")).is_err());
@@ -240,7 +275,10 @@ mod tests {
         let types: Vec<T> = pairs.iter().map(|p| p.type_of()).collect();
         assert_eq!(types, [T::Integer, T::Decimal, T::Float, T::Double]);
         let pairs = promote_to_simple_types(&AtomicValue::Double(5.0));
-        assert_eq!(pairs.iter().map(|p| p.type_of()).collect::<Vec<_>>(), [T::Double]);
+        assert_eq!(
+            pairs.iter().map(|p| p.type_of()).collect::<Vec<_>>(),
+            [T::Double]
+        );
     }
 
     #[test]

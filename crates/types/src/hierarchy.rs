@@ -84,10 +84,22 @@ mod tests {
 
     #[test]
     fn derivation() {
-        assert!(atomic_derives_from(AtomicType::Integer, AtomicType::Decimal));
-        assert!(atomic_derives_from(AtomicType::Integer, AtomicType::Integer));
-        assert!(!atomic_derives_from(AtomicType::Decimal, AtomicType::Integer));
-        assert!(!atomic_derives_from(AtomicType::String, AtomicType::Decimal));
+        assert!(atomic_derives_from(
+            AtomicType::Integer,
+            AtomicType::Decimal
+        ));
+        assert!(atomic_derives_from(
+            AtomicType::Integer,
+            AtomicType::Integer
+        ));
+        assert!(!atomic_derives_from(
+            AtomicType::Decimal,
+            AtomicType::Integer
+        ));
+        assert!(!atomic_derives_from(
+            AtomicType::String,
+            AtomicType::Decimal
+        ));
     }
 
     #[test]
@@ -110,7 +122,10 @@ mod tests {
             widest_numeric(AtomicType::Decimal, AtomicType::Integer),
             Some(AtomicType::Decimal)
         );
-        assert_eq!(widest_numeric(AtomicType::String, AtomicType::Integer), None);
+        assert_eq!(
+            widest_numeric(AtomicType::String, AtomicType::Integer),
+            None
+        );
     }
 
     #[test]

@@ -54,7 +54,11 @@ impl Schema {
         let q = QName::local(name);
         self.types.insert(
             q.clone(),
-            TypeDef { name: q, base: base.map(QName::local), content: ContentKind::Complex },
+            TypeDef {
+                name: q,
+                base: base.map(QName::local),
+                content: ContentKind::Complex,
+            },
         );
         self
     }
@@ -75,13 +79,15 @@ impl Schema {
 
     /// Declares that elements named `element` have type `type_name`.
     pub fn element(&mut self, element: &str, type_name: &str) -> &mut Self {
-        self.elements.insert(QName::local(element), QName::local(type_name));
+        self.elements
+            .insert(QName::local(element), QName::local(type_name));
         self
     }
 
     /// Declares that attributes named `attribute` have type `type_name`.
     pub fn attribute(&mut self, attribute: &str, type_name: &str) -> &mut Self {
-        self.attributes.insert(QName::local(attribute), QName::local(type_name));
+        self.attributes
+            .insert(QName::local(attribute), QName::local(type_name));
         self
     }
 
@@ -107,7 +113,10 @@ impl Schema {
             }
             fuel -= 1;
             match self.types.get(&q) {
-                Some(TypeDef { content: ContentKind::Simple(a), .. }) => return Some(*a),
+                Some(TypeDef {
+                    content: ContentKind::Simple(a),
+                    ..
+                }) => return Some(*a),
                 Some(TypeDef { base, .. }) => cur = base.clone(),
                 None => {
                     // Built-in atomic type name, possibly written with its
@@ -178,9 +187,15 @@ mod tests {
             s.element_type(&QName::local("closed_auction")),
             Some(&QName::local("Auction"))
         );
-        assert_eq!(s.atomic_of(&QName::local("Price")), Some(AtomicType::Decimal));
+        assert_eq!(
+            s.atomic_of(&QName::local("Price")),
+            Some(AtomicType::Decimal)
+        );
         assert_eq!(s.atomic_of(&QName::local("Auction")), None);
-        assert_eq!(s.atomic_of(&QName::local("string")), Some(AtomicType::String));
+        assert_eq!(
+            s.atomic_of(&QName::local("string")),
+            Some(AtomicType::String)
+        );
     }
 
     #[test]

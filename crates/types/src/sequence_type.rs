@@ -68,11 +68,19 @@ pub struct SequenceType {
 
 impl SequenceType {
     pub fn new(item: ItemType, occ: Occurrence) -> Self {
-        SequenceType { item, occ, empty_only: false }
+        SequenceType {
+            item,
+            occ,
+            empty_only: false,
+        }
     }
 
     pub fn empty_sequence() -> Self {
-        SequenceType { item: ItemType::AnyItem, occ: Occurrence::Star, empty_only: true }
+        SequenceType {
+            item: ItemType::AnyItem,
+            occ: Occurrence::Star,
+            empty_only: true,
+        }
     }
 
     pub fn one(item: ItemType) -> Self {
@@ -170,7 +178,8 @@ mod tests {
 
     fn schema() -> Schema {
         let mut s = Schema::new();
-        s.complex_type("Auction", None).complex_type("USAuction", Some("Auction"));
+        s.complex_type("Auction", None)
+            .complex_type("USAuction", Some("Auction"));
         s
     }
 
@@ -205,7 +214,10 @@ mod tests {
     #[test]
     fn atomic_matching_uses_derivation() {
         let st = SequenceType::one(ItemType::Atomic(AtomicType::Decimal));
-        assert!(st.matches(&Sequence::integers([1]), &schema()), "integer ⊑ decimal");
+        assert!(
+            st.matches(&Sequence::integers([1]), &schema()),
+            "integer ⊑ decimal"
+        );
         let st_int = SequenceType::one(ItemType::Atomic(AtomicType::Integer));
         assert!(!st_int.matches(
             &Sequence::from_atomics(vec![AtomicValue::Double(1.0)]),
@@ -223,8 +235,14 @@ mod tests {
         let s = schema();
         let us = typed_element("closed_auction", Some("USAuction"));
         let untyped = typed_element("closed_auction", None);
-        assert!(st.matches(&Sequence::from_vec(vec![us.clone()]), &s), "derived type matches");
-        assert!(!st.matches(&Sequence::from_vec(vec![untyped]), &s), "untyped does not");
+        assert!(
+            st.matches(&Sequence::from_vec(vec![us.clone()]), &s),
+            "derived type matches"
+        );
+        assert!(
+            !st.matches(&Sequence::from_vec(vec![untyped]), &s),
+            "untyped does not"
+        );
         assert!(st.matches(&Sequence::empty(), &s));
         // With a name test too.
         let st_named = SequenceType::one(ItemType::Kind(KindTest::Element(
@@ -258,6 +276,9 @@ mod tests {
                 .to_string(),
             "xs:integer?"
         );
-        assert_eq!(SequenceType::empty_sequence().to_string(), "empty-sequence()");
+        assert_eq!(
+            SequenceType::empty_sequence().to_string(),
+            "empty-sequence()"
+        );
     }
 }

@@ -34,7 +34,10 @@ pub fn validate_sequence(
         match item {
             Item::Node(n) => out.push(Item::Node(validate_node(n, schema, mode)?)),
             Item::Atomic(_) => {
-                return Err(XmlError::new("XQTY0030", "validate applied to an atomic value"))
+                return Err(XmlError::new(
+                    "XQTY0030",
+                    "validate applied to an atomic value",
+                ))
             }
         }
     }
@@ -88,10 +91,7 @@ fn copy_validated(
                 match schema.attribute_type(&aname) {
                     Some(aty) => {
                         let atomic = schema.atomic_of(aty).ok_or_else(|| {
-                            XmlError::new(
-                                "XQDY0027",
-                                format!("attribute type {aty} is not simple"),
-                            )
+                            XmlError::new("XQDY0027", format!("attribute type {aty} is not simple"))
                         })?;
                         let raw = a.string_value();
                         let tv = cast_from_string(&raw, atomic)?;
@@ -180,7 +180,9 @@ mod tests {
         assert_eq!(price.type_name().unwrap().local_part(), "Price");
         assert_eq!(
             price.typed_value(),
-            vec![AtomicValue::Decimal(xqr_xml::Decimal::parse("42.5").unwrap())]
+            vec![AtomicValue::Decimal(
+                xqr_xml::Decimal::parse("42.5").unwrap()
+            )]
         );
         let id = &ca.attributes()[0];
         assert_eq!(id.typed_value(), vec![AtomicValue::Integer(7)]);
@@ -220,7 +222,9 @@ mod tests {
     fn validate_sequence_rejects_atomics() {
         let seq = Sequence::integers([1]);
         assert_eq!(
-            validate_sequence(&seq, &schema(), ValidationMode::Lax).unwrap_err().code,
+            validate_sequence(&seq, &schema(), ValidationMode::Lax)
+                .unwrap_err()
+                .code,
             "XQTY0030"
         );
     }

@@ -21,7 +21,10 @@ pub struct GenOptions {
 
 impl GenOptions {
     pub fn scale(factor: f64) -> GenOptions {
-        GenOptions { factor, seed: 0x9e3779b97f4a7c15 }
+        GenOptions {
+            factor,
+            seed: 0x9e3779b97f4a7c15,
+        }
     }
 
     /// Picks a scale factor so the output is approximately `bytes` long.
@@ -36,20 +39,59 @@ impl GenOptions {
 const BYTES_AT_SCALE_1: f64 = 38_000_000.0;
 
 const WORDS: &[&str] = &[
-    "great", "dusty", "gold", "silver", "quick", "shiny", "antique", "rare", "modest",
-    "preciously", "wrapped", "carefully", "summer", "winter", "harvest", "royal", "humble",
-    "bright", "patient", "marble", "walnut", "copper", "velvet", "crystal", "amber", "cedar",
-    "plain", "ornate", "sturdy", "fragile",
+    "great",
+    "dusty",
+    "gold",
+    "silver",
+    "quick",
+    "shiny",
+    "antique",
+    "rare",
+    "modest",
+    "preciously",
+    "wrapped",
+    "carefully",
+    "summer",
+    "winter",
+    "harvest",
+    "royal",
+    "humble",
+    "bright",
+    "patient",
+    "marble",
+    "walnut",
+    "copper",
+    "velvet",
+    "crystal",
+    "amber",
+    "cedar",
+    "plain",
+    "ornate",
+    "sturdy",
+    "fragile",
 ];
 
 const CITIES: &[&str] = &[
     "Tampa", "Lyon", "Bergen", "Osaka", "Perth", "Quito", "Leeds", "Turin", "Basel", "Cairns",
 ];
 
-const COUNTRIES: &[&str] =
-    &["United States", "Germany", "Australia", "Japan", "France", "Brazil"];
+const COUNTRIES: &[&str] = &[
+    "United States",
+    "Germany",
+    "Australia",
+    "Japan",
+    "France",
+    "Brazil",
+];
 
-const REGIONS: &[&str] = &["africa", "asia", "australia", "europe", "namerica", "samerica"];
+const REGIONS: &[&str] = &[
+    "africa",
+    "asia",
+    "australia",
+    "europe",
+    "namerica",
+    "samerica",
+];
 
 const FIRST: &[&str] = &[
     "Kasumi", "Erik", "Amina", "Lucia", "Priya", "Janek", "Moira", "Tarek", "Sofia", "Ulrich",
@@ -57,8 +99,18 @@ const FIRST: &[&str] = &[
 ];
 
 const LAST: &[&str] = &[
-    "Okafor", "Lindqvist", "Moreau", "Tanaka", "Novak", "Silva", "Haugen", "Iyer", "Keller",
-    "Brennan", "Castillo", "Duran",
+    "Okafor",
+    "Lindqvist",
+    "Moreau",
+    "Tanaka",
+    "Novak",
+    "Silva",
+    "Haugen",
+    "Iyer",
+    "Keller",
+    "Brennan",
+    "Castillo",
+    "Duran",
 ];
 
 struct Counts {
@@ -131,7 +183,11 @@ impl Gen {
         let mut id = 0;
         for (ri, region) in REGIONS.iter().enumerate() {
             let _ = write!(self.out, "<{region}>");
-            let count = if ri == REGIONS.len() - 1 { total - id } else { per };
+            let count = if ri == REGIONS.len() - 1 {
+                total - id
+            } else {
+                per
+            };
             for _ in 0..count {
                 self.item(id);
                 id += 1;
@@ -222,7 +278,10 @@ impl Gen {
         for _ in 0..edges {
             let from = self.rng.gen_range(0..self.counts.categories);
             let to = self.rng.gen_range(0..self.counts.categories);
-            let _ = write!(self.out, "<edge from=\"category{from}\" to=\"category{to}\"/>");
+            let _ = write!(
+                self.out,
+                "<edge from=\"category{from}\" to=\"category{to}\"/>"
+            );
         }
         self.out.push_str("</catgraph>");
     }
@@ -239,7 +298,11 @@ impl Gen {
             );
             if self.rng.gen_bool(0.4) {
                 let ph = self.rng.gen_range(1_000_000..9_999_999);
-                let _ = write!(self.out, "<phone>+1 ({}) {ph}</phone>", self.rng.gen_range(100..999));
+                let _ = write!(
+                    self.out,
+                    "<phone>+1 ({}) {ph}</phone>",
+                    self.rng.gen_range(100..999)
+                );
             }
             if self.rng.gen_bool(0.5) {
                 let city = CITIES[self.rng.gen_range(0..CITIES.len())];
@@ -260,7 +323,9 @@ impl Gen {
                 );
             }
             if self.rng.gen_bool(0.6) {
-                let cc: u64 = self.rng.gen_range(1_000_000_000_000_000..=9_999_999_999_999_999);
+                let cc: u64 = self
+                    .rng
+                    .gen_range(1_000_000_000_000_000..=9_999_999_999_999_999);
                 let _ = write!(self.out, "<creditcard>{cc}</creditcard>");
             }
             // Profile: income present for ~80% of people (Q20's fourth
@@ -412,7 +477,14 @@ mod tests {
             .collect();
         assert_eq!(
             names,
-            ["regions", "categories", "catgraph", "people", "open_auctions", "closed_auctions"]
+            [
+                "regions",
+                "categories",
+                "catgraph",
+                "people",
+                "open_auctions",
+                "closed_auctions"
+            ]
         );
     }
 

@@ -203,7 +203,10 @@ mod tests {
             let q = query(n);
             assert!(!q.is_empty());
             assert!(seen.insert(q), "duplicate query text for Q{n}");
-            assert!(q.contains("auction.xml"), "Q{n} must read the auction document");
+            assert!(
+                q.contains("auction.xml"),
+                "Q{n} must read the auction document"
+            );
         }
     }
 

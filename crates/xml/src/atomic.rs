@@ -182,9 +182,9 @@ impl AtomicValue {
     /// The XPath string value (`fn:string` on an atomic).
     pub fn string_value(&self) -> String {
         match self {
-            AtomicValue::String(s)
-            | AtomicValue::UntypedAtomic(s)
-            | AtomicValue::AnyUri(s) => s.to_string(),
+            AtomicValue::String(s) | AtomicValue::UntypedAtomic(s) | AtomicValue::AnyUri(s) => {
+                s.to_string()
+            }
             AtomicValue::Boolean(b) => b.to_string(),
             AtomicValue::Decimal(d) => d.to_string(),
             AtomicValue::Integer(i) => i.to_string(),
@@ -242,7 +242,10 @@ impl AtomicValue {
         match s.trim() {
             "true" | "1" => Ok(true),
             "false" | "0" => Ok(false),
-            other => Err(XmlError::new("FORG0001", format!("invalid xs:boolean: {other:?}"))),
+            other => Err(XmlError::new(
+                "FORG0001",
+                format!("invalid xs:boolean: {other:?}"),
+            )),
         }
     }
 }
@@ -273,12 +276,24 @@ const B64: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz012
 pub fn base64_encode(data: &[u8]) -> String {
     let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
     for chunk in data.chunks(3) {
-        let b = [chunk[0], *chunk.get(1).unwrap_or(&0), *chunk.get(2).unwrap_or(&0)];
+        let b = [
+            chunk[0],
+            *chunk.get(1).unwrap_or(&0),
+            *chunk.get(2).unwrap_or(&0),
+        ];
         let n = (b[0] as u32) << 16 | (b[1] as u32) << 8 | b[2] as u32;
         out.push(B64[(n >> 18) as usize & 63] as char);
         out.push(B64[(n >> 12) as usize & 63] as char);
-        out.push(if chunk.len() > 1 { B64[(n >> 6) as usize & 63] as char } else { '=' });
-        out.push(if chunk.len() > 2 { B64[n as usize & 63] as char } else { '=' });
+        out.push(if chunk.len() > 1 {
+            B64[(n >> 6) as usize & 63] as char
+        } else {
+            '='
+        });
+        out.push(if chunk.len() > 2 {
+            B64[n as usize & 63] as char
+        } else {
+            '='
+        });
     }
     out
 }
@@ -313,7 +328,10 @@ mod tests {
     #[test]
     fn type_of_matches_variant() {
         assert_eq!(AtomicValue::Integer(3).type_of(), AtomicType::Integer);
-        assert_eq!(AtomicValue::untyped("x").type_of(), AtomicType::UntypedAtomic);
+        assert_eq!(
+            AtomicValue::untyped("x").type_of(),
+            AtomicType::UntypedAtomic
+        );
         assert_eq!(AtomicValue::Boolean(true).type_of(), AtomicType::Boolean);
     }
 
@@ -345,8 +363,14 @@ mod tests {
 
     #[test]
     fn by_local_name_lookup() {
-        assert_eq!(AtomicType::by_local_name("string"), Some(AtomicType::String));
-        assert_eq!(AtomicType::by_local_name("untypedAtomic"), Some(AtomicType::UntypedAtomic));
+        assert_eq!(
+            AtomicType::by_local_name("string"),
+            Some(AtomicType::String)
+        );
+        assert_eq!(
+            AtomicType::by_local_name("untypedAtomic"),
+            Some(AtomicType::UntypedAtomic)
+        );
         assert_eq!(AtomicType::by_local_name("noSuchType"), None);
     }
 

@@ -87,15 +87,27 @@ pub struct NameTest {
 
 impl NameTest {
     pub fn any() -> Self {
-        NameTest { uri: None, local: None, any_uri: true }
+        NameTest {
+            uri: None,
+            local: None,
+            any_uri: true,
+        }
     }
 
     pub fn local(name: &str) -> Self {
-        NameTest { uri: None, local: Some(name.to_string()), any_uri: false }
+        NameTest {
+            uri: None,
+            local: Some(name.to_string()),
+            any_uri: false,
+        }
     }
 
     pub fn with_uri(uri: &str, name: &str) -> Self {
-        NameTest { uri: Some(uri.to_string()), local: Some(name.to_string()), any_uri: false }
+        NameTest {
+            uri: Some(uri.to_string()),
+            local: Some(name.to_string()),
+            any_uri: false,
+        }
     }
 
     pub fn matches(&self, name: &QName) -> bool {
@@ -148,8 +160,7 @@ impl NodeTest {
     pub fn matches(&self, node: &NodeHandle, axis: Axis, types: &dyn TypeHierarchy) -> bool {
         match self {
             NodeTest::Name(nt) => {
-                node.kind() == axis.principal_kind()
-                    && node.name().is_some_and(|n| nt.matches(n))
+                node.kind() == axis.principal_kind() && node.name().is_some_and(|n| nt.matches(n))
             }
             NodeTest::Kind(kt) => kind_test_matches(kt, node, types),
         }
@@ -171,12 +182,16 @@ pub fn kind_test_matches(kt: &KindTest, node: &NodeHandle, types: &dyn TypeHiera
         KindTest::Document => node.kind() == NodeKind::Document,
         KindTest::Element(name, ty) => {
             node.kind() == NodeKind::Element
-                && name.as_ref().is_none_or(|nt| node.name().is_some_and(|n| nt.matches(n)))
+                && name
+                    .as_ref()
+                    .is_none_or(|nt| node.name().is_some_and(|n| nt.matches(n)))
                 && type_constraint_ok(node, ty, types, "untyped")
         }
         KindTest::Attribute(name, ty) => {
             node.kind() == NodeKind::Attribute
-                && name.as_ref().is_none_or(|nt| node.name().is_some_and(|n| nt.matches(n)))
+                && name
+                    .as_ref()
+                    .is_none_or(|nt| node.name().is_some_and(|n| nt.matches(n)))
                 && type_constraint_ok(node, ty, types, "untypedAtomic")
         }
     }
@@ -191,7 +206,10 @@ fn type_constraint_ok(
     match constraint {
         None => true,
         Some(required) => {
-            let annotated = node.type_name().cloned().unwrap_or_else(|| QName::local(untyped_name));
+            let annotated = node
+                .type_name()
+                .cloned()
+                .unwrap_or_else(|| QName::local(untyped_name));
             types.derives_from(&annotated, required)
         }
     }
@@ -248,9 +266,7 @@ fn axis_nodes(node: &NodeHandle, axis: Axis) -> Vec<NodeHandle> {
             ancestors.push(root.clone());
             let mut v: Vec<NodeHandle> = Vec::new();
             collect_subtree(&root, &mut v);
-            v.retain(|n| {
-                n.order_key() < key && !ancestors.iter().any(|a| a.same_node(n))
-            });
+            v.retain(|n| n.order_key() < key && !ancestors.iter().any(|a| a.same_node(n)));
             v
         }
     }
@@ -288,9 +304,9 @@ pub fn tree_join(
 ) -> crate::Result<Sequence> {
     let mut out: Vec<NodeHandle> = Vec::new();
     for item in input.iter() {
-        let node = item.as_node().ok_or_else(|| {
-            XmlError::new("XPTY0020", "path step applied to a non-node item")
-        })?;
+        let node = item
+            .as_node()
+            .ok_or_else(|| XmlError::new("XPTY0020", "path step applied to a non-node item"))?;
         for candidate in axis_nodes(node, axis) {
             if test.matches(&candidate, axis, types) {
                 out.push(candidate);
@@ -299,7 +315,9 @@ pub fn tree_join(
     }
     out.sort_by_key(|n| n.order_key());
     out.dedup_by(|a, b| a.same_node(b));
-    Ok(Sequence::from_vec(out.into_iter().map(Item::Node).collect()))
+    Ok(Sequence::from_vec(
+        out.into_iter().map(Item::Node).collect(),
+    ))
 }
 
 #[cfg(test)]
@@ -335,13 +353,21 @@ mod tests {
         seq.iter()
             .map(|i| {
                 let n = i.as_node().unwrap();
-                n.name().map(|q| q.local_part().to_string()).unwrap_or_else(|| "#text".into())
+                n.name()
+                    .map(|q| q.local_part().to_string())
+                    .unwrap_or_else(|| "#text".into())
             })
             .collect()
     }
 
     fn step(input: &NodeHandle, axis: Axis, test: NodeTest) -> Sequence {
-        tree_join(&Sequence::singleton(input.clone()), axis, &test, &TrivialHierarchy).unwrap()
+        tree_join(
+            &Sequence::singleton(input.clone()),
+            axis,
+            &test,
+            &TrivialHierarchy,
+        )
+        .unwrap()
     }
 
     #[test]
@@ -359,7 +385,10 @@ mod tests {
         let doc = sample();
         let bs = step(&doc, Axis::Descendant, NodeTest::Name(NameTest::local("b")));
         assert_eq!(names(&bs), ["b", "b"]);
-        let keys: Vec<_> = bs.iter().map(|i| i.as_node().unwrap().order_key()).collect();
+        let keys: Vec<_> = bs
+            .iter()
+            .map(|i| i.as_node().unwrap().order_key())
+            .collect();
         assert!(keys[0] < keys[1]);
     }
 
@@ -413,10 +442,18 @@ mod tests {
         let doc = sample();
         let aa = step(&doc, Axis::Descendant, NodeTest::Name(NameTest::local("a")));
         let first_a = aa.get(0).unwrap().as_node().unwrap().clone();
-        let foll = step(&first_a, Axis::FollowingSibling, NodeTest::Kind(KindTest::AnyKind));
+        let foll = step(
+            &first_a,
+            Axis::FollowingSibling,
+            NodeTest::Kind(KindTest::AnyKind),
+        );
         assert_eq!(names(&foll), ["a", "#text"]);
         let second_a = aa.get(1).unwrap().as_node().unwrap().clone();
-        let prec = step(&second_a, Axis::PrecedingSibling, NodeTest::Kind(KindTest::AnyKind));
+        let prec = step(
+            &second_a,
+            Axis::PrecedingSibling,
+            NodeTest::Kind(KindTest::AnyKind),
+        );
         assert_eq!(names(&prec), ["a"]);
     }
 

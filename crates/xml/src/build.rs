@@ -22,7 +22,10 @@ pub struct TreeBuilder {
 
 impl TreeBuilder {
     pub fn new() -> Self {
-        TreeBuilder { nodes: Vec::new(), stack: Vec::new() }
+        TreeBuilder {
+            nodes: Vec::new(),
+            stack: Vec::new(),
+        }
     }
 
     fn push_node(&mut self, data: NodeData) -> NodeId {
@@ -165,7 +168,11 @@ impl TreeBuilder {
             NodeKind::Text => self.text(node.data().value.as_deref().unwrap_or("")),
             NodeKind::Comment => self.comment(node.data().value.as_deref().unwrap_or("")),
             NodeKind::Pi => self.pi(
-                node.data().name.clone().expect("pi has a target").local_part(),
+                node.data()
+                    .name
+                    .clone()
+                    .expect("pi has a target")
+                    .local_part(),
                 node.data().value.as_deref().unwrap_or(""),
             ),
         }

@@ -34,19 +34,26 @@ impl Decimal {
     }
 
     pub fn from_i64(v: i64) -> Self {
-        Decimal { units: v as i128 * UNIT }
+        Decimal {
+            units: v as i128 * UNIT,
+        }
     }
 
     /// Lossy conversion from a double (used by casting).
     pub fn from_f64(v: f64) -> crate::Result<Self> {
         if !v.is_finite() {
-            return Err(XmlError::new("FOCA0002", format!("cannot cast {v} to xs:decimal")));
+            return Err(XmlError::new(
+                "FOCA0002",
+                format!("cannot cast {v} to xs:decimal"),
+            ));
         }
         let scaled = v * UNIT as f64;
         if scaled.abs() > i128::MAX as f64 / 2.0 {
             return Err(XmlError::new("FOCA0001", "decimal overflow"));
         }
-        Ok(Decimal { units: scaled.round() as i128 })
+        Ok(Decimal {
+            units: scaled.round() as i128,
+        })
     }
 
     pub fn to_f64(self) -> f64 {
@@ -72,27 +79,36 @@ impl Decimal {
 
     pub fn checked_mul(self, rhs: Decimal) -> Option<Decimal> {
         // (a/U) * (b/U) = a*b/U^2; rescale down by U.
-        self.units.checked_mul(rhs.units).map(|p| Decimal::from_units(p / UNIT))
+        self.units
+            .checked_mul(rhs.units)
+            .map(|p| Decimal::from_units(p / UNIT))
     }
 
     pub fn checked_div(self, rhs: Decimal) -> Option<Decimal> {
         if rhs.units == 0 {
             return None;
         }
-        self.units.checked_mul(UNIT).map(|n| Decimal::from_units(n / rhs.units))
+        self.units
+            .checked_mul(UNIT)
+            .map(|n| Decimal::from_units(n / rhs.units))
     }
 
-
     pub fn abs(self) -> Decimal {
-        Decimal { units: self.units.abs() }
+        Decimal {
+            units: self.units.abs(),
+        }
     }
 
     pub fn floor(self) -> Decimal {
-        Decimal { units: self.units.div_euclid(UNIT) * UNIT }
+        Decimal {
+            units: self.units.div_euclid(UNIT) * UNIT,
+        }
     }
 
     pub fn ceiling(self) -> Decimal {
-        Decimal { units: -(-self.units).div_euclid(UNIT) * UNIT }
+        Decimal {
+            units: -(-self.units).div_euclid(UNIT) * UNIT,
+        }
     }
 
     /// Round half away from zero (fn:round semantics for positive halves:

@@ -84,7 +84,10 @@ impl Sequence {
 
     pub fn integers(values: impl IntoIterator<Item = i64>) -> Self {
         Sequence(Rc::new(
-            values.into_iter().map(|v| Item::Atomic(AtomicValue::Integer(v))).collect(),
+            values
+                .into_iter()
+                .map(|v| Item::Atomic(AtomicValue::Integer(v)))
+                .collect(),
         ))
     }
 
@@ -98,6 +101,11 @@ impl Sequence {
 
     pub fn iter(&self) -> std::slice::Iter<'_, Item> {
         self.0.iter()
+    }
+
+    /// Consumes the sequence, returning its items; clones only if shared.
+    pub fn into_vec(self) -> Vec<Item> {
+        Rc::try_unwrap(self.0).unwrap_or_else(|rc| (*rc).clone())
     }
 
     pub fn items(&self) -> &[Item] {
@@ -158,6 +166,66 @@ impl Default for Sequence {
     }
 }
 
+/// Incremental sequence concatenation in amortised O(total items).
+///
+/// Evaluator loops that previously folded with `out = out.concat(&next)`
+/// copied every already-accumulated item per step — O(n²) over the loop.
+/// The builder appends into one buffer instead, and keeps the common
+/// zero/one-input cases allocation-free: a single pushed sequence is
+/// returned as-is (sharing its `Rc`), not copied.
+#[derive(Default)]
+pub enum SequenceBuilder {
+    #[default]
+    Empty,
+    One(Sequence),
+    Many(Vec<Item>),
+}
+
+impl SequenceBuilder {
+    pub fn new() -> Self {
+        SequenceBuilder::Empty
+    }
+
+    /// Appends a whole sequence (XQuery `,` flattening).
+    pub fn push(&mut self, seq: Sequence) {
+        if seq.is_empty() {
+            return;
+        }
+        match self {
+            SequenceBuilder::Empty => *self = SequenceBuilder::One(seq),
+            SequenceBuilder::One(first) => {
+                let mut v = Vec::with_capacity(first.len() + seq.len());
+                v.extend_from_slice(first.items());
+                v.extend_from_slice(seq.items());
+                *self = SequenceBuilder::Many(v);
+            }
+            SequenceBuilder::Many(v) => v.extend_from_slice(seq.items()),
+        }
+    }
+
+    /// Appends a single item.
+    pub fn push_item(&mut self, item: Item) {
+        match self {
+            SequenceBuilder::Empty => *self = SequenceBuilder::Many(vec![item]),
+            SequenceBuilder::One(first) => {
+                let mut v = Vec::with_capacity(first.len() + 1);
+                v.extend_from_slice(first.items());
+                v.push(item);
+                *self = SequenceBuilder::Many(v);
+            }
+            SequenceBuilder::Many(v) => v.push(item),
+        }
+    }
+
+    pub fn finish(self) -> Sequence {
+        match self {
+            SequenceBuilder::Empty => Sequence::empty(),
+            SequenceBuilder::One(seq) => seq,
+            SequenceBuilder::Many(v) => Sequence::from_vec(v),
+        }
+    }
+}
+
 impl FromIterator<Item> for Sequence {
     fn from_iter<T: IntoIterator<Item = Item>>(iter: T) -> Self {
         Sequence(Rc::new(iter.into_iter().collect()))
@@ -199,6 +267,37 @@ mod tests {
         assert_eq!(c.len(), 3);
         assert_eq!(c.concat(&Sequence::empty()).len(), 3);
         assert_eq!(Sequence::empty().concat(&c).len(), 3);
+    }
+
+    #[test]
+    fn builder_matches_concat_fold() {
+        let parts = [
+            Sequence::integers([1, 2]),
+            Sequence::empty(),
+            Sequence::integers([3]),
+            Sequence::integers([4, 5, 6]),
+        ];
+        let mut builder = SequenceBuilder::new();
+        let mut folded = Sequence::empty();
+        for p in &parts {
+            builder.push(p.clone());
+            folded = folded.concat(p);
+        }
+        assert_eq!(builder.finish(), folded);
+
+        // Zero and one pushed sequences stay allocation-free.
+        assert!(SequenceBuilder::new().finish().is_empty());
+        let single = Sequence::integers([9]);
+        let mut b = SequenceBuilder::new();
+        b.push(Sequence::empty());
+        b.push(single.clone());
+        assert_eq!(b.finish(), single);
+
+        let mut b = SequenceBuilder::new();
+        b.push_item(Item::Atomic(AtomicValue::Integer(1)));
+        b.push(Sequence::integers([2]));
+        b.push_item(Item::Atomic(AtomicValue::Integer(3)));
+        assert_eq!(b.finish(), Sequence::integers([1, 2, 3]));
     }
 
     #[test]

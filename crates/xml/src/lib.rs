@@ -33,7 +33,7 @@ pub use atomic::{AtomicType, AtomicValue};
 pub use axes::{Axis, KindTest, NameTest, NodeTest};
 pub use build::TreeBuilder;
 pub use decimal::Decimal;
-pub use item::{Item, Sequence};
+pub use item::{Item, Sequence, SequenceBuilder};
 pub use node::{Document, NodeHandle, NodeId, NodeKind};
 pub use parse::{parse_document, ParseError, ParseOptions};
 pub use qname::QName;
@@ -50,7 +50,10 @@ pub struct XmlError {
 
 impl XmlError {
     pub fn new(code: &'static str, message: impl Into<String>) -> Self {
-        XmlError { code, message: message.into() }
+        XmlError {
+            code,
+            message: message.into(),
+        }
     }
 }
 

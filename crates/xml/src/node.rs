@@ -107,7 +107,10 @@ impl Document {
 
     /// Handle to the root node (id 0).
     pub fn root(self: &Rc<Self>) -> NodeHandle {
-        NodeHandle { doc: Rc::clone(self), id: NodeId(0) }
+        NodeHandle {
+            doc: Rc::clone(self),
+            id: NodeId(0),
+        }
     }
 }
 
@@ -140,7 +143,10 @@ impl NodeHandle {
     }
 
     fn at(&self, id: NodeId) -> NodeHandle {
-        NodeHandle { doc: Rc::clone(&self.doc), id }
+        NodeHandle {
+            doc: Rc::clone(&self.doc),
+            id,
+        }
     }
 
     pub fn parent(&self) -> Option<NodeHandle> {
@@ -339,7 +345,10 @@ mod tests {
         let a2 = &d2.root().children()[0];
         assert!(!a1.same_node(a2));
         assert!(a1.same_node(&d1.root().children()[0]));
-        assert!(a1.order_key() < a2.order_key(), "earlier-created doc sorts first");
+        assert!(
+            a1.order_key() < a2.order_key(),
+            "earlier-created doc sorts first"
+        );
     }
 
     #[test]

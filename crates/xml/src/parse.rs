@@ -19,13 +19,11 @@ use crate::qname::QName;
 use crate::XmlError;
 
 /// Parser configuration.
-#[derive(Clone, Debug)]
-#[derive(Default)]
+#[derive(Clone, Debug, Default)]
 pub struct ParseOptions {
     /// Keep whitespace-only text nodes (default: false).
     pub preserve_whitespace: bool,
 }
-
 
 /// A parse failure, with 1-based line/column info.
 #[derive(Debug, Clone, PartialEq)]
@@ -37,7 +35,11 @@ pub struct ParseError {
 
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "XML parse error at {}:{}: {}", self.line, self.column, self.message)
+        write!(
+            f,
+            "XML parse error at {}:{}: {}",
+            self.line, self.column, self.message
+        )
     }
 }
 
@@ -81,7 +83,10 @@ const MAX_ELEMENT_DEPTH: usize = 512;
 impl<'a> Parser<'a> {
     fn new(input: &'a str, options: ParseOptions) -> Self {
         let mut base = HashMap::new();
-        base.insert("xml".to_string(), Some("http://www.w3.org/XML/1998/namespace".to_string()));
+        base.insert(
+            "xml".to_string(),
+            Some("http://www.w3.org/XML/1998/namespace".to_string()),
+        );
         Parser {
             input,
             bytes: input.as_bytes(),
@@ -97,7 +102,11 @@ impl<'a> Parser<'a> {
         let consumed = &self.input[..self.pos.min(self.input.len())];
         let line = consumed.bytes().filter(|&b| b == b'\n').count() + 1;
         let column = consumed.len() - consumed.rfind('\n').map(|i| i + 1).unwrap_or(0) + 1;
-        ParseError { message: msg.into(), line, column }
+        ParseError {
+            message: msg.into(),
+            line,
+            column,
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -263,7 +272,11 @@ impl<'a> Parser<'a> {
             if aname == "xmlns" {
                 scope.insert(
                     String::new(),
-                    if avalue.is_empty() { None } else { Some(avalue) },
+                    if avalue.is_empty() {
+                        None
+                    } else {
+                        Some(avalue)
+                    },
                 );
             } else if let Some(prefix) = aname.strip_prefix("xmlns:") {
                 scope.insert(prefix.to_string(), Some(avalue));
@@ -476,7 +489,13 @@ mod tests {
         let src = "<a>\n  <b/>\n</a>";
         let d = parse(src);
         assert_eq!(d.root().children()[0].children().len(), 1);
-        let d2 = parse_document(src, &ParseOptions { preserve_whitespace: true }).unwrap();
+        let d2 = parse_document(
+            src,
+            &ParseOptions {
+                preserve_whitespace: true,
+            },
+        )
+        .unwrap();
         assert_eq!(d2.root().children()[0].children().len(), 3);
     }
 
@@ -536,7 +555,13 @@ mod tests {
         let kinds: Vec<NodeKind> = a.children().iter().map(|c| c.kind()).collect();
         assert_eq!(
             kinds,
-            [NodeKind::Text, NodeKind::Element, NodeKind::Text, NodeKind::Element, NodeKind::Text]
+            [
+                NodeKind::Text,
+                NodeKind::Element,
+                NodeKind::Text,
+                NodeKind::Element,
+                NodeKind::Text
+            ]
         );
         assert_eq!(a.string_value(), "onetwothree");
     }

@@ -18,12 +18,20 @@ pub struct QName {
 impl QName {
     /// A name in no namespace.
     pub fn local(local: &str) -> Self {
-        QName { prefix: None, local: local.into(), uri: None }
+        QName {
+            prefix: None,
+            local: local.into(),
+            uri: None,
+        }
     }
 
     /// A name with an explicit namespace URI (and no prefix).
     pub fn with_uri(uri: &str, local: &str) -> Self {
-        QName { prefix: None, local: local.into(), uri: Some(uri.into()) }
+        QName {
+            prefix: None,
+            local: local.into(),
+            uri: Some(uri.into()),
+        }
     }
 
     /// A fully specified name.

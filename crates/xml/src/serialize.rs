@@ -58,8 +58,9 @@ fn write_node(out: &mut String, node: &NodeHandle) {
             // a URI but no ancestor declared it; keep it simple: redeclare on
             // every element whose own name has a URI differing from parent's.
             if let Some(uri) = node.name().unwrap().uri() {
-                let parent_uri =
-                    node.parent().and_then(|p| p.name().and_then(|n| n.uri().map(String::from)));
+                let parent_uri = node
+                    .parent()
+                    .and_then(|p| p.name().and_then(|n| n.uri().map(String::from)));
                 if parent_uri.as_deref() != Some(uri) {
                     match node.name().unwrap().prefix() {
                         Some(p) => {
@@ -199,13 +200,19 @@ mod tests {
 
     #[test]
     fn simple_round_trip() {
-        assert_eq!(round_trip("<a><b x=\"1\">t</b><c/></a>"), "<a><b x=\"1\">t</b><c/></a>");
+        assert_eq!(
+            round_trip("<a><b x=\"1\">t</b><c/></a>"),
+            "<a><b x=\"1\">t</b><c/></a>"
+        );
     }
 
     #[test]
     fn escaping() {
         assert_eq!(round_trip("<a>&lt;&amp;</a>"), "<a>&lt;&amp;</a>");
-        assert_eq!(round_trip("<a x=\"&quot;q&quot;\"/>"), "<a x=\"&quot;q&quot;\"/>");
+        assert_eq!(
+            round_trip("<a x=\"&quot;q&quot;\"/>"),
+            "<a x=\"&quot;q&quot;\"/>"
+        );
     }
 
     #[test]
@@ -220,7 +227,10 @@ mod tests {
 
     #[test]
     fn comment_and_pi_round_trip() {
-        assert_eq!(round_trip("<a><!--c--><?t d?></a>"), "<a><!--c--><?t d?></a>");
+        assert_eq!(
+            round_trip("<a><!--c--><?t d?></a>"),
+            "<a><!--c--><?t d?></a>"
+        );
     }
 }
 
@@ -231,8 +241,7 @@ mod pretty_tests {
 
     #[test]
     fn pretty_indents_element_only_content() {
-        let d = parse_document("<a><b><c/></b><d>text</d></a>", &ParseOptions::default())
-            .unwrap();
+        let d = parse_document("<a><b><c/></b><d>text</d></a>", &ParseOptions::default()).unwrap();
         let out = serialize_node_pretty(&d.root());
         assert_eq!(out, "<a>\n  <b>\n    <c/>\n  </b>\n  <d>text</d>\n</a>\n");
     }

@@ -82,7 +82,12 @@ impl Date {
                 format!("invalid date: {year:04}-{month:02}-{day:02}"),
             ));
         }
-        Ok(Date { year, month, day, tz_minutes })
+        Ok(Date {
+            year,
+            month,
+            day,
+            tz_minutes,
+        })
     }
 
     /// Milliseconds since the Unix epoch of this date's midnight, normalized
@@ -97,7 +102,11 @@ impl Date {
         let t = s.trim();
         let (body, tz) = split_timezone(t)?;
         let err = || XmlError::new("FORG0001", format!("invalid xs:date: {s:?}"));
-        let (sign, body) = if let Some(rest) = body.strip_prefix('-') { (-1, rest) } else { (1, body) };
+        let (sign, body) = if let Some(rest) = body.strip_prefix('-') {
+            (-1, rest)
+        } else {
+            (1, body)
+        };
         let parts: Vec<&str> = body.splitn(3, '-').collect();
         if parts.len() != 3 || parts[0].len() < 4 || parts[1].len() != 2 || parts[2].len() != 2 {
             return Err(err());
@@ -110,15 +119,27 @@ impl Date {
 }
 
 impl Time {
-    pub fn new(hour: u8, minute: u8, second: u8, milli: u16, tz_minutes: Option<i32>) -> crate::Result<Self> {
-        if hour > 24 || minute > 59 || second > 59 || milli > 999
+    pub fn new(
+        hour: u8,
+        minute: u8,
+        second: u8,
+        milli: u16,
+        tz_minutes: Option<i32>,
+    ) -> crate::Result<Self> {
+        if hour > 24
+            || minute > 59
+            || second > 59
+            || milli > 999
             || (hour == 24 && (minute as u32 | second as u32 | milli as u32) != 0)
         {
             return Err(XmlError::new("FORG0001", "invalid time"));
         }
         let h = if hour == 24 { 0 } else { hour };
         Ok(Time {
-            millis: h as u32 * 3_600_000 + minute as u32 * 60_000 + second as u32 * 1000 + milli as u32,
+            millis: h as u32 * 3_600_000
+                + minute as u32 * 60_000
+                + second as u32 * 1000
+                + milli as u32,
             tz_minutes,
         })
     }
@@ -171,8 +192,14 @@ impl DateTime {
         let time = Time::parse(time_str)?;
         // The timezone belongs to the time part lexically; re-attach to date.
         let date_only = Date::parse(&format!("{date_str}Z"))?; // placeholder tz, replaced below
-        let date = Date { tz_minutes: time.tz_minutes, ..date_only };
-        Ok(DateTime { date, millis: time.millis })
+        let date = Date {
+            tz_minutes: time.tz_minutes,
+            ..date_only
+        };
+        Ok(DateTime {
+            date,
+            millis: time.millis,
+        })
     }
 }
 
@@ -350,7 +377,10 @@ impl fmt::Display for DateTime {
             "{:04}-{:02}-{:02}T",
             self.date.year, self.date.month, self.date.day
         )?;
-        let t = Time { millis: self.millis, tz_minutes: self.date.tz_minutes };
+        let t = Time {
+            millis: self.millis,
+            tz_minutes: self.date.tz_minutes,
+        };
         write!(f, "{t}")
     }
 }
@@ -380,7 +410,12 @@ impl fmt::Display for Duration {
         }
         if rem > 0 {
             write!(f, "T")?;
-            let (h, m, s, mil) = (rem / 3_600_000, rem / 60_000 % 60, rem / 1000 % 60, rem % 1000);
+            let (h, m, s, mil) = (
+                rem / 3_600_000,
+                rem / 60_000 % 60,
+                rem / 1000 % 60,
+                rem % 1000,
+            );
             if h > 0 {
                 write!(f, "{h}H")?;
             }

@@ -51,7 +51,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let q = engine.prepare(top_buyers, &CompileOptions::mode(mode))?;
         let t = Instant::now();
         let out = q.run(&engine)?;
-        println!("  {label:<14} {:>10.2?}  ({} buyers)", t.elapsed(), out.len());
+        println!(
+            "  {label:<14} {:>10.2?}  ({} buyers)",
+            t.elapsed(),
+            out.len()
+        );
     }
     Ok(())
 }

@@ -19,9 +19,7 @@ const QUERY: &str = "for $p in $auction//person \
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Query (paper Section 2, XMark Q8 variant):\n{QUERY}\n");
 
-    let core = frontend(&format!(
-        "declare variable $auction external; {QUERY}"
-    ))?;
+    let core = frontend(&format!("declare variable $auction external; {QUERY}"))?;
     let mut compiled = compile_module(&core);
 
     println!("— naive plan (P1): compilation rules of Section 4 —\n");

@@ -49,14 +49,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          return count($titles)",
         &CompileOptions::mode(ExecutionMode::OptimHashJoin),
     )?;
-    println!("\nrewrites applied : {:?}", prepared.rewrite_stats().unwrap().applications);
+    println!(
+        "\nrewrites applied : {:?}",
+        prepared.rewrite_stats().unwrap().applications
+    );
     println!("\noptimized plan:\n{}", prepared.explain());
 
     // Every execution mode computes the same answer.
     for mode in ExecutionMode::ALL {
         let out = engine
-            .prepare("sum(for $i in (1 to 100) where $i mod 3 = 0 return $i)",
-                     &CompileOptions::mode(mode))?
+            .prepare(
+                "sum(for $i in (1 to 100) where $i mod 3 = 0 return $i)",
+                &CompileOptions::mode(mode),
+            )?
             .run_to_string(&engine)?;
         println!("{:<28} -> {out}", mode.label());
     }

@@ -21,7 +21,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nN2 mapping query (doubly nested, 1 join):\n  {n2}\n");
 
     let out = engine.execute_to_string(&n2)?;
-    println!("mapped output (first 300 chars):\n  {}…\n", &out[..out.len().min(300)]);
+    println!(
+        "mapped output (first 300 chars):\n  {}…\n",
+        &out[..out.len().min(300)]
+    );
 
     for levels in [2usize, 3] {
         let q = mapping_query(levels);
@@ -40,11 +43,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // What the optimizer did to N3.
-    let prepared = engine.prepare(&mapping_query(3), &CompileOptions::mode(ExecutionMode::OptimHashJoin))?;
-    println!("\nN3 rewrites: {:?}", prepared.rewrite_stats().unwrap().applications);
+    let prepared = engine.prepare(
+        &mapping_query(3),
+        &CompileOptions::mode(ExecutionMode::OptimHashJoin),
+    )?;
+    println!(
+        "\nN3 rewrites: {:?}",
+        prepared.rewrite_stats().unwrap().applications
+    );
     let plan = prepared.explain();
     let joins = plan.matches("LOuterJoin").count();
     let groupbys = plan.matches("GroupBy").count();
-    println!("optimized N3 plan: {groupbys} GroupBy operators over a cascade of {joins} outer joins");
+    println!(
+        "optimized N3 plan: {groupbys} GroupBy operators over a cascade of {joins} outer joins"
+    );
     Ok(())
 }

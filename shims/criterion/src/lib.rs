@@ -1,0 +1,229 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API subset the xqr benches use — `Criterion`,
+//! `benchmark_group` / `sample_size` / `bench_function` /
+//! `bench_with_input` / `finish`, `Bencher::iter`, `BenchmarkId`, and the
+//! `criterion_group!` / `criterion_main!` macros — as a plain timing
+//! harness: per benchmark it runs a warm-up pass, then `sample_size`
+//! timed samples, and prints min/mean/max. `--test` (what CI smoke runs
+//! pass via `cargo bench -- --test`) executes each benchmark body exactly
+//! once. A positional argument filters benchmarks by substring, like the
+//! real crate.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Shared run configuration parsed from the command line.
+#[derive(Clone, Debug)]
+struct RunMode {
+    /// `--test`: run every benchmark once, don't measure.
+    test: bool,
+    filter: Option<String>,
+}
+
+impl RunMode {
+    fn from_args() -> RunMode {
+        let mut test = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test = true,
+                // Flags cargo-bench forwards that we accept and ignore.
+                "--bench" | "--benches" | "--nocapture" | "--quiet" | "--verbose" => {}
+                other if other.starts_with("--") => {}
+                other => filter = Some(other.to_string()),
+            }
+        }
+        RunMode { test, filter }
+    }
+}
+
+/// The top-level harness handle passed to benchmark functions.
+pub struct Criterion {
+    mode: RunMode,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            mode: RunMode::from_args(),
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            mode: self.mode.clone(),
+            sample_size: self.default_sample_size,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+/// A named benchmark id (`BenchmarkId::new(function, parameter)`).
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { id: s }
+    }
+}
+
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    mode: RunMode,
+    sample_size: usize,
+    // Tied to the Criterion borrow like the real API.
+    _marker: std::marker::PhantomData<&'c ()>,
+}
+
+impl<'c> BenchmarkGroup<'c> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().id);
+        self.run(&full, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into().id);
+        self.run(&full, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    pub fn finish(&mut self) {}
+
+    fn run(&self, full_name: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        if let Some(filter) = &self.mode.filter {
+            if !full_name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        if self.mode.test {
+            let mut b = Bencher {
+                mode: BenchMode::Once,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            println!("test {full_name} ... ok");
+            return;
+        }
+        // Warm-up: one untimed sample.
+        let mut warm = Bencher {
+            mode: BenchMode::Once,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut warm);
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                mode: BenchMode::Measure,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            samples.push(b.elapsed);
+        }
+        let min = samples.iter().min().copied().unwrap_or_default();
+        let max = samples.iter().max().copied().unwrap_or_default();
+        let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+        println!(
+            "{full_name}\n    time: [{} {} {}]  ({} samples)",
+            fmt(min),
+            fmt(mean),
+            fmt(max),
+            samples.len()
+        );
+    }
+}
+
+enum BenchMode {
+    Once,
+    Measure,
+}
+
+/// Passed to the closure given to `bench_function`; `iter` runs the body.
+pub struct Bencher {
+    mode: BenchMode,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        match self.mode {
+            BenchMode::Once => {
+                black_box(body());
+            }
+            BenchMode::Measure => {
+                let start = Instant::now();
+                black_box(body());
+                self.elapsed += start.elapsed();
+            }
+        }
+    }
+}
+
+fn fmt(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 1.0 {
+        format!("{s:.3}s")
+    } else if s >= 1e-3 {
+        format!("{:.3}ms", s * 1e3)
+    } else {
+        format!("{:.3}µs", s * 1e6)
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

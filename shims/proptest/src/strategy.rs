@@ -1,0 +1,335 @@
+//! Strategies: deterministic value generators (no shrinking).
+
+use std::ops::Range;
+use std::rc::Rc;
+
+use crate::test_runner::TestRng;
+
+/// A generator of values (`proptest::strategy::Strategy` analogue).
+/// `generate` replaces the real crate's value-tree machinery.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Recursive strategies: `f` receives the strategy for the level below
+    /// and builds one level of structure on top; `depth` bounds nesting.
+    /// The desired-size/branch hints are accepted for API compatibility
+    /// and ignored.
+    fn prop_recursive<S, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch: u32,
+        f: F,
+    ) -> Recursive<Self::Value>
+    where
+        Self: Sized + 'static,
+        S: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S + 'static,
+    {
+        let f = Rc::new(
+            move |inner: BoxedStrategy<Self::Value>| -> BoxedStrategy<Self::Value> {
+                Box::new(f(inner))
+            },
+        );
+        Recursive {
+            leaf: Rc::new(self),
+            depth,
+            f,
+        }
+    }
+}
+
+pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+/// Boxes a strategy (used by `prop_oneof!` to unify arm types).
+pub fn boxed<S: Strategy + 'static>(s: S) -> BoxedStrategy<S::Value> {
+    Box::new(s)
+}
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (**self).generate(rng)
+    }
+}
+
+impl<V> Strategy for Rc<dyn Strategy<Value = V>> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (**self).generate(rng)
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<V: Clone>(pub V);
+
+impl<V: Clone> Strategy for Just<V> {
+    type Value = V;
+    fn generate(&self, _rng: &mut TestRng) -> V {
+        self.0.clone()
+    }
+}
+
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform choice between boxed alternatives (`prop_oneof!`).
+pub struct OneOf<V> {
+    arms: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> OneOf<V> {
+    pub fn new(arms: Vec<BoxedStrategy<V>>) -> OneOf<V> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        OneOf { arms }
+    }
+}
+
+impl<V> Strategy for OneOf<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let i = rng.usize_inclusive(0, self.arms.len() - 1);
+        self.arms[i].generate(rng)
+    }
+}
+
+pub struct Recursive<V> {
+    pub(crate) leaf: Rc<dyn Strategy<Value = V>>,
+    pub(crate) depth: u32,
+    pub(crate) f: Rc<dyn Fn(BoxedStrategy<V>) -> BoxedStrategy<V>>,
+}
+
+impl<V: 'static> Strategy for Recursive<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        // Half the probability mass recurses at each level, bounded by
+        // `depth` — small trees dominate, deep ones still occur.
+        if self.depth == 0 || rng.bool_with(0.5) {
+            self.leaf.generate(rng)
+        } else {
+            let inner: BoxedStrategy<V> = Box::new(Recursive {
+                leaf: self.leaf.clone(),
+                depth: self.depth - 1,
+                f: self.f.clone(),
+            });
+            (self.f)(inner).generate(rng)
+        }
+    }
+}
+
+// ===== integer ranges =======================================================
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                rng.i128_inclusive(self.start as i128, self.end as i128 - 1) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.i128_inclusive(*self.start() as i128, *self.end() as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+// ===== tuples ===============================================================
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+        )
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy> Strategy for (A, B, C, D) {
+    type Value = (A::Value, B::Value, C::Value, D::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+            self.3.generate(rng),
+        )
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy, E: Strategy> Strategy for (A, B, C, D, E) {
+    type Value = (A::Value, B::Value, C::Value, D::Value, E::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+            self.3.generate(rng),
+            self.4.generate(rng),
+        )
+    }
+}
+
+// ===== string patterns ======================================================
+
+/// String literals act as regex-like strategies. Supported shapes (the
+/// ones the suites use): `[a-z]{m,n}`, `[a-z]{n}`, `\PC{m,n}` (printable
+/// non-control chars), and plain literals (yielded verbatim).
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_pattern(self, rng)
+    }
+}
+
+fn generate_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let bytes = pattern.as_bytes();
+    let (alphabet, rest): (Vec<char>, &str) = if bytes.first() == Some(&b'[') {
+        let close = pattern
+            .find(']')
+            .unwrap_or_else(|| panic!("unclosed class in {pattern:?}"));
+        (expand_class(&pattern[1..close]), &pattern[close + 1..])
+    } else if let Some(rest) = pattern.strip_prefix("\\PC") {
+        // "Not a control character": printable ASCII plus a few multibyte
+        // characters so parsers see non-ASCII input too.
+        let mut chars: Vec<char> = (' '..='~').collect();
+        chars.extend(['é', 'ß', '雪', '→', '𝄞']);
+        (chars, rest)
+    } else {
+        // Plain literal.
+        return pattern.to_string();
+    };
+    let (min, max) = parse_repeat(rest);
+    let n = rng.usize_inclusive(min, max);
+    let mut out = String::with_capacity(n);
+    for _ in 0..n {
+        out.push(alphabet[rng.usize_inclusive(0, alphabet.len() - 1)]);
+    }
+    out
+}
+
+/// Expands a character class body (`a-z`, `abc`, `a-zA-Z0-9`).
+fn expand_class(body: &str) -> Vec<char> {
+    let chars: Vec<char> = body.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        if i + 2 < chars.len() && chars[i + 1] == '-' {
+            let (lo, hi) = (chars[i], chars[i + 2]);
+            out.extend(lo..=hi);
+            i += 3;
+        } else {
+            out.push(chars[i]);
+            i += 1;
+        }
+    }
+    assert!(!out.is_empty(), "empty character class");
+    out
+}
+
+/// Parses `{m,n}` or `{n}`; an empty remainder means exactly one.
+fn parse_repeat(rest: &str) -> (usize, usize) {
+    if rest.is_empty() {
+        return (1, 1);
+    }
+    let body = rest
+        .strip_prefix('{')
+        .and_then(|r| r.strip_suffix('}'))
+        .unwrap_or_else(|| panic!("unsupported repeat syntax {rest:?}"));
+    match body.split_once(',') {
+        Some((m, n)) => (m.trim().parse().unwrap(), n.trim().parse().unwrap()),
+        None => {
+            let n: usize = body.trim().parse().unwrap();
+            (n, n)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::for_case("strategy-tests", 0)
+    }
+
+    #[test]
+    fn ranges_and_maps() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let v = (0i64..8).generate(&mut r);
+            assert!((0..8).contains(&v));
+            let s = (0i64..8).prop_map(|v| v.to_string()).generate(&mut r);
+            assert!(s.parse::<i64>().unwrap() < 8);
+        }
+    }
+
+    #[test]
+    fn class_patterns() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let s = "[a-z]{1,8}".generate(&mut r);
+            assert!((1..=8).contains(&s.chars().count()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+            let t = "\\PC{0,120}".generate(&mut r);
+            assert!(t.chars().count() <= 120);
+        }
+    }
+
+    #[test]
+    fn oneof_and_just() {
+        let mut r = rng();
+        let s = crate::prop_oneof![Just("a".to_string()), "[b-d]{1,2}".prop_map(|x| x),];
+        for _ in 0..50 {
+            let v = s.generate(&mut r);
+            assert!(!v.is_empty() && v.len() <= 2);
+        }
+    }
+
+    #[test]
+    fn recursion_bounded() {
+        let mut r = rng();
+        let depth_strategy = Just(0u32).prop_recursive(3, 8, 2, |inner| inner.prop_map(|d| d + 1));
+        for _ in 0..200 {
+            assert!(depth_strategy.generate(&mut r) <= 3);
+        }
+    }
+}

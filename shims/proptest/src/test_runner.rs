@@ -1,0 +1,96 @@
+//! Run configuration and the deterministic per-test RNG.
+
+/// `ProptestConfig` analogue — only `cases` is honoured.
+#[derive(Clone, Debug)]
+pub struct Config {
+    pub cases: u32,
+}
+
+impl Config {
+    pub fn with_cases(cases: u32) -> Config {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config { cases: 64 }
+    }
+}
+
+/// SplitMix64 seeded from the test name and case index, so every case is
+/// reproducible without a persisted seed file.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn for_case(test_name: &str, case: u32) -> TestRng {
+        // FNV-1a over the name, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng {
+            state: h ^ ((case as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform usize in `[lo, hi]` (inclusive).
+    pub fn usize_inclusive(&mut self, lo: usize, hi: usize) -> usize {
+        debug_assert!(lo <= hi);
+        let span = (hi - lo) as u128 + 1;
+        lo + ((self.next_u64() as u128) % span) as usize
+    }
+
+    /// Uniform i128 in `[lo, hi]` (inclusive) — wide enough for every
+    /// integer strategy the shim supports.
+    pub fn i128_inclusive(&mut self, lo: i128, hi: i128) -> i128 {
+        debug_assert!(lo <= hi);
+        let span = (hi - lo) as u128 + 1;
+        lo + ((self.next_u64() as u128) % span) as i128
+    }
+
+    pub fn bool_with(&mut self, p: f64) -> bool {
+        ((self.next_u64() >> 11) as f64 / (1u64 << 53) as f64) < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_name_and_case() {
+        let mut a = TestRng::for_case("t", 3);
+        let mut b = TestRng::for_case("t", 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRng::for_case("t", 4);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn inclusive_bounds_hit() {
+        let mut rng = TestRng::for_case("bounds", 0);
+        let mut saw_lo = false;
+        let mut saw_hi = false;
+        for _ in 0..200 {
+            match rng.usize_inclusive(0, 3) {
+                0 => saw_lo = true,
+                3 => saw_hi = true,
+                _ => {}
+            }
+        }
+        assert!(saw_lo && saw_hi);
+    }
+}

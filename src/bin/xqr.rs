@@ -7,6 +7,7 @@
 //!   -d, --doc URI=PATH      bind an XML file under a URI (repeatable)
 //!       --var NAME=VALUE    bind an external variable to a string value
 //!       --mode MODE         no-algebra | no-optim | nl | hash | sort  [hash]
+//!       --materialize       full intermediate tables instead of pipelined cursors
 //!       --explain           print the compiled plan instead of running
 //!       --stats             print rewrite-rule applications to stderr
 //!       --pretty            indent element-only output
@@ -32,6 +33,7 @@ struct Args {
     docs: Vec<(String, String)>,
     vars: Vec<(String, String)>,
     mode: ExecutionMode,
+    materialize: bool,
     explain: bool,
     stats: bool,
     pretty: bool,
@@ -43,6 +45,7 @@ const USAGE: &str = "usage: xqr [OPTIONS] (-q QUERY | QUERY_FILE)
   -d, --doc URI=PATH      bind an XML file under a URI (repeatable)
       --var NAME=VALUE    bind an external variable to a string value
       --mode MODE         no-algebra | no-optim | nl | hash | sort  [hash]
+      --materialize       full intermediate tables instead of pipelined cursors
       --explain           print the compiled plan instead of running
       --stats             print rewrite-rule applications to stderr
       --pretty            indent element-only output
@@ -55,6 +58,7 @@ fn parse_args() -> Result<Args, String> {
         docs: Vec::new(),
         vars: Vec::new(),
         mode: ExecutionMode::OptimHashJoin,
+        materialize: false,
         explain: false,
         stats: false,
         pretty: false,
@@ -66,7 +70,9 @@ fn parse_args() -> Result<Args, String> {
         let arg = argv[i].as_str();
         let value = |i: &mut usize| -> Result<String, String> {
             *i += 1;
-            argv.get(*i).cloned().ok_or_else(|| format!("{arg} requires a value"))
+            argv.get(*i)
+                .cloned()
+                .ok_or_else(|| format!("{arg} requires a value"))
         };
         match arg {
             "-q" | "--query" => out.query = Some(value(&mut i)?),
@@ -94,6 +100,7 @@ fn parse_args() -> Result<Args, String> {
                     other => return Err(format!("unknown mode {other:?}")),
                 };
             }
+            "--materialize" => out.materialize = true,
             "--explain" => out.explain = true,
             "--stats" => out.stats = true,
             "--pretty" => out.pretty = true,
@@ -125,8 +132,7 @@ fn run(args: Args) -> Result<(), String> {
     };
     let mut engine = Engine::new();
     for (uri, path) in &args.docs {
-        let xml =
-            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let xml = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
         engine
             .bind_document(uri, &xml)
             .map_err(|e| format!("cannot parse {path}: {e}"))?;
@@ -134,8 +140,10 @@ fn run(args: Args) -> Result<(), String> {
     for (name, val) in &args.vars {
         engine.bind_variable(name, Sequence::singleton(AtomicValue::string(val.as_str())));
     }
+    let mut options = CompileOptions::mode(args.mode);
+    options.materialize_all = args.materialize;
     let prepared = engine
-        .prepare(&query, &CompileOptions::mode(args.mode))
+        .prepare(&query, &options)
         .map_err(|e| e.to_string())?;
     if args.stats {
         if let Some(stats) = prepared.rewrite_stats() {

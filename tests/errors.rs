@@ -42,7 +42,10 @@ fn syntax_errors() {
         "(: unclosed comment",
     ] {
         assert!(
-            matches!(e.prepare(q, &CompileOptions::default()), Err(EngineError::Syntax(_))),
+            matches!(
+                e.prepare(q, &CompileOptions::default()),
+                Err(EngineError::Syntax(_))
+            ),
             "{q:?} should be a syntax error"
         );
     }
@@ -86,10 +89,7 @@ fn cast_errors() {
 #[test]
 fn type_assertion_errors() {
     check_error("('a', 'b') treat as xs:string", "XPDY0050");
-    check_error(
-        "for $x as xs:integer in ('a') return $x",
-        "XPDY0050",
-    );
+    check_error("for $x as xs:integer in ('a') return $x", "XPDY0050");
     check_error("let $x as xs:string := 5 return $x", "XPDY0050");
 }
 

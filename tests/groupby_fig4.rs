@@ -33,7 +33,10 @@ fn figure4_plan_shape() {
         assert!(plan.contains(op), "expected {op} in:\n{plan}");
     }
     // The fully unnested plan has no dependent joins left.
-    assert!(!plan.contains("MapConcat"), "no dependent joins left:\n{plan}");
+    assert!(
+        !plan.contains("MapConcat"),
+        "no dependent joins left:\n{plan}"
+    );
 }
 
 #[test]
@@ -42,7 +45,9 @@ fn index_field_distinguishes_duplicate_values() {
     // field, not the value of x, drives the partitioning.
     let e = Engine::new();
     let out = e
-        .execute("for $x in (5,5,5) let $a := count(for $y in (1) where $x = 5 return $y) return $a")
+        .execute(
+            "for $x in (5,5,5) let $a := count(for $y in (1) where $x = 5 return $y) return $a",
+        )
         .unwrap();
     assert_eq!(out.len(), 3);
 }

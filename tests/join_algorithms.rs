@@ -80,7 +80,8 @@ fn untyped_node_content_joins_numerically() {
     // Node content is untypedAtomic: per Table 2 it compares to numerics as
     // double — "07" matches 7 numerically but not the string "7".
     let mut e = Engine::new();
-    e.bind_document("d.xml", "<r><v>07</v><v>7</v><v>x</v></r>").unwrap();
+    e.bind_document("d.xml", "<r><v>07</v><v>7</v><v>x</v></r>")
+        .unwrap();
     for (pred_side, expected) in [("(7)", "2"), ("('7')", "1"), ("('07')", "1")] {
         let q = format!(
             "count(for $v in doc('d.xml')//v \

@@ -65,7 +65,10 @@ fn logic_and_ebv() {
 
 #[test]
 fn flwor_shapes() {
-    check("for $x in (1, 2), $y in ($x, $x * 10) return $y", "1 10 2 20");
+    check(
+        "for $x in (1, 2), $y in ($x, $x * 10) return $y",
+        "1 10 2 20",
+    );
     check(
         "for $x at $i in ('a', 'b', 'c') where $i mod 2 = 1 return $x",
         "a c",
@@ -151,10 +154,7 @@ fn constructors_nested() {
     check("<a b=\"x{1+1}y\"/>", "<a b=\"x2y\"/>");
     check("comment { 'note' }", "<!--note-->");
     check("processing-instruction tgt { 'data' }", "<?tgt data?>");
-    check(
-        "document { <r><c/></r> }/r/c instance of element()",
-        "true",
-    );
+    check("document { <r><c/></r> }/r/c instance of element()", "true");
 }
 
 #[test]
@@ -201,7 +201,10 @@ fn typeswitch_defaults() {
 fn string_functions_via_modes() {
     check("upper-case('mIxEd')", "MIXED");
     check("concat('a', 1, 'b', ())", "a1b");
-    check("string-join(for $i in 1 to 3 return string($i), '-')", "1-2-3");
+    check(
+        "string-join(for $i in 1 to 3 return string($i), '-')",
+        "1-2-3",
+    );
     check("substring('hello world', 7)", "world");
     check("normalize-space('  a  b  ')", "a b");
     check("translate('bare', 'ae', 'or')", "borr"); // a→o, e→r
@@ -224,15 +227,15 @@ fn path_over_constructed_tree() {
     );
     // Predicates apply per context node: each <a> has a first <b>; the
     // two text nodes serialize adjacently (no space between nodes).
-    check(
-        "<r><a><b>1</b></a><a><b>2</b></a></r>//b[1]/text()",
-        "12",
-    );
+    check("<r><a><b>1</b></a><a><b>2</b></a></r>//b[1]/text()", "12");
 }
 
 #[test]
 fn variables_shadowing() {
-    check("for $x in (1, 2) return (for $x in (10) return $x + 1)", "11 11");
+    check(
+        "for $x in (1, 2) return (for $x in (10) return $x + 1)",
+        "11 11",
+    );
     check("let $x := 1 return (let $x := $x + 1 return $x)", "2");
 }
 

@@ -23,7 +23,10 @@ fn xmark_results_unchanged_under_projection() {
             .run_to_string(&e)
             .unwrap();
         let projected = e
-            .prepare(q, &CompileOptions::with_projection(ExecutionMode::OptimHashJoin))
+            .prepare(
+                q,
+                &CompileOptions::with_projection(ExecutionMode::OptimHashJoin),
+            )
             .unwrap()
             .run_to_string(&e)
             .unwrap_or_else(|err| panic!("Q{n} with projection: {err}"));
@@ -36,19 +39,24 @@ fn projection_appears_in_plan_for_navigation_queries() {
     let e = engine();
     // Q1 only touches /site/people/person[@id]/name — heavy pruning.
     let p = e
-        .prepare(query(1), &CompileOptions::with_projection(ExecutionMode::OptimHashJoin))
+        .prepare(
+            query(1),
+            &CompileOptions::with_projection(ExecutionMode::OptimHashJoin),
+        )
         .unwrap();
-    assert!(p.explain().contains("TreeProject") || {
-        // The projection wraps a *global*, not the body; check via compiled
-        // module instead.
-        p.compiled()
-            .map(|m| {
-                m.globals.iter().any(|(_, g)| {
+    assert!(
+        p.explain().contains("TreeProject") || {
+            // The projection wraps a *global*, not the body; check via compiled
+            // module instead.
+            p.compiled()
+                .map(|m| {
+                    m.globals.iter().any(|(_, g)| {
                     matches!(g, Some(plan) if format!("{plan:?}").contains("TreeProject"))
                 })
-            })
-            .unwrap_or(false)
-    });
+                })
+                .unwrap_or(false)
+        }
+    );
 }
 
 #[test]
@@ -67,7 +75,10 @@ fn projection_prunes_most_of_the_tree() {
     // Build a tiny module around the operator through the public pipeline.
     let q = "let $d := doc('auction.xml') return count($d/site/people/person/name)";
     let with = e
-        .prepare(q, &CompileOptions::with_projection(ExecutionMode::OptimHashJoin))
+        .prepare(
+            q,
+            &CompileOptions::with_projection(ExecutionMode::OptimHashJoin),
+        )
         .unwrap()
         .run_to_string(&e)
         .unwrap();
@@ -111,7 +122,8 @@ fn project_via_runtime(
     let schema = xqr::types::Schema::new();
     let mut docs = HashMap::new();
     docs.insert("auction.xml".to_string(), root);
-    let mut ctx = xqr::runtime::Ctx::new(&module, &schema, &docs, xqr::runtime::JoinAlgorithm::Hash);
+    let mut ctx =
+        xqr::runtime::Ctx::new(&module, &schema, &docs, xqr::runtime::JoinAlgorithm::Hash);
     let out = xqr::runtime::eval::eval_module(&mut ctx).unwrap();
     let node = out.get(0).unwrap().as_node().unwrap().clone();
     node.doc.node_count()
@@ -125,7 +137,10 @@ fn unsafe_queries_still_correct_with_projection_flag() {
              count(for $n in $d//name return $n/..)";
     let plain = e.execute_to_string(q).unwrap();
     let flagged = e
-        .prepare(q, &CompileOptions::with_projection(ExecutionMode::OptimHashJoin))
+        .prepare(
+            q,
+            &CompileOptions::with_projection(ExecutionMode::OptimHashJoin),
+        )
         .unwrap()
         .run_to_string(&e)
         .unwrap();

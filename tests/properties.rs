@@ -27,8 +27,7 @@ fn key_literal() -> impl Strategy<Value = String> {
 }
 
 fn key_list(max: usize) -> impl Strategy<Value = String> {
-    prop::collection::vec(key_literal(), 0..max)
-        .prop_map(|v| format!("({})", v.join(", ")))
+    prop::collection::vec(key_literal(), 0..max).prop_map(|v| format!("({})", v.join(", ")))
 }
 
 proptest! {
@@ -136,9 +135,8 @@ fn arb_xml_tree() -> impl Strategy<Value = String> {
         "[a-z]{1,5}".prop_map(|v| format!("<e a=\"{v}\"/>")),
     ];
     leaf.prop_recursive(3, 24, 4, |inner| {
-        (prop::collection::vec(inner, 0..4), "[a-z]{1,6}").prop_map(|(children, name)| {
-            format!("<{name}>{}</{name}>", children.join(""))
-        })
+        (prop::collection::vec(inner, 0..4), "[a-z]{1,6}")
+            .prop_map(|(children, name)| format!("<{name}>{}</{name}>", children.join("")))
     })
 }
 

@@ -111,13 +111,17 @@ fn treat_as_schema_type_gates_results() {
 #[test]
 fn validation_failure_surfaces() {
     let mut e = engine();
-    e.bind_document("bad.xml", "<price>not-money</price>").unwrap();
+    e.bind_document("bad.xml", "<price>not-money</price>")
+        .unwrap();
     for mode in ExecutionMode::ALL {
         let r = e
             .prepare("validate { doc('bad.xml') }", &CompileOptions::mode(mode))
             .unwrap()
             .run(&e);
-        assert!(r.is_err(), "{mode:?}: invalid simple content must fail validation");
+        assert!(
+            r.is_err(),
+            "{mode:?}: invalid simple content must fail validation"
+        );
     }
 }
 
@@ -126,7 +130,8 @@ fn typed_join_keys_via_validation() {
     // Join on validated decimal content against integer-typed literals:
     // promotion through the typed hash join.
     let mut e = engine();
-    e.bind_document("k.xml", "<ks><k>2</k><k>3</k></ks>").unwrap();
+    e.bind_document("k.xml", "<ks><k>2</k><k>3</k></ks>")
+        .unwrap();
     let q = "let $s := validate { doc('sales.xml') } return \
              for $k in validate { doc('k.xml') }//qty \
              return count(for $u in $s//us where data($u/qty) = data($k) return $u)";

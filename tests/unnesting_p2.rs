@@ -68,16 +68,28 @@ fn p2_results_agree_across_modes() {
 fn p2_plan_contains_papers_operators() {
     let e = engine();
     let p = e
-        .prepare(&bound_query(), &CompileOptions::mode(ExecutionMode::OptimHashJoin))
+        .prepare(
+            &bound_query(),
+            &CompileOptions::mode(ExecutionMode::OptimHashJoin),
+        )
         .unwrap();
     let plan = p.explain();
-    for op in ["GroupBy", "LOuterJoin", "MapIndexStep", "TypeAssert", "Validate"] {
+    for op in [
+        "GroupBy",
+        "LOuterJoin",
+        "MapIndexStep",
+        "TypeAssert",
+        "Validate",
+    ] {
         assert!(plan.contains(op), "P2 must contain {op}:\n{plan}");
     }
     let stats = p.rewrite_stats().unwrap();
-    for rule in
-        ["insert group-by", "map through group-by", "remove duplicate null", "insert outer-join"]
-    {
+    for rule in [
+        "insert group-by",
+        "map through group-by",
+        "remove duplicate null",
+        "insert outer-join",
+    ] {
         assert!(stats.count(rule) >= 1, "rule {rule} must fire: {stats:?}");
     }
 }

@@ -79,7 +79,9 @@ fn xmp_q2() {
 fn xmp_q3() {
     let e = engine();
     let out = e
-        .execute("for $b in doc('bib.xml')/bib/book return <result>{ $b/title }{ $b/author }</result>")
+        .execute(
+            "for $b in doc('bib.xml')/bib/book return <result>{ $b/title }{ $b/author }</result>",
+        )
         .unwrap();
     assert_eq!(out.len(), 4);
 }
@@ -186,8 +188,14 @@ fn quantifier_use_case() {
 #[test]
 fn aggregates_use_case() {
     check("count(doc('bib.xml')//author)", "6");
-    check("count(distinct-values(doc('bib.xml')//author/last/text()))", "5");
-    check("min(for $b in doc('bib.xml')//book return xs:decimal($b/price))", "39.95");
+    check(
+        "count(distinct-values(doc('bib.xml')//author/last/text()))",
+        "5",
+    );
+    check(
+        "min(for $b in doc('bib.xml')//book return xs:decimal($b/price))",
+        "39.95",
+    );
 }
 
 /// Computed constructors + dynamic names.

@@ -8,7 +8,8 @@ use xqr_xmark::{generate, query, GenOptions, QUERY_COUNT};
 fn engine() -> Engine {
     let xml = generate(&GenOptions::for_bytes(120_000));
     let mut e = Engine::new();
-    e.bind_document("auction.xml", &xml).expect("auction document parses");
+    e.bind_document("auction.xml", &xml)
+        .expect("auction document parses");
     e
 }
 
@@ -51,7 +52,9 @@ fn sanity_of_selected_answers() {
     assert_eq!(r.len(), 1);
     // Q8: one element per person.
     let r = e.execute(query(8)).unwrap();
-    let people = e.execute("count(doc('auction.xml')/site/people/person)").unwrap();
+    let people = e
+        .execute("count(doc('auction.xml')/site/people/person)")
+        .unwrap();
     assert_eq!(r.len().to_string(), people.get(0).unwrap().string_value());
     // Q20: four buckets summing to the number of people with profiles
     // (every person has a profile) — na counts people, others profiles.
@@ -63,7 +66,10 @@ fn sanity_of_selected_answers() {
 fn q8_unnesting_produces_group_by_and_outer_join() {
     let e = engine();
     let prepared = e
-        .prepare(query(8), &CompileOptions::mode(ExecutionMode::OptimHashJoin))
+        .prepare(
+            query(8),
+            &CompileOptions::mode(ExecutionMode::OptimHashJoin),
+        )
         .unwrap();
     let stats = prepared.rewrite_stats().unwrap();
     assert!(stats.count("insert group-by") >= 1, "{stats:?}");
@@ -77,7 +83,10 @@ fn q8_unnesting_produces_group_by_and_outer_join() {
 fn q9_three_way_join_unnests() {
     let e = engine();
     let prepared = e
-        .prepare(query(9), &CompileOptions::mode(ExecutionMode::OptimHashJoin))
+        .prepare(
+            query(9),
+            &CompileOptions::mode(ExecutionMode::OptimHashJoin),
+        )
         .unwrap();
     let stats = prepared.rewrite_stats().unwrap();
     assert!(
