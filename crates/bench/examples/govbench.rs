@@ -1,0 +1,47 @@
+//! Governor-overhead timer: full XMark Q1–Q20 suite, min-of-N
+//! (`cargo run --release -p xqr-bench --example govbench -- 1000000 5`).
+//!
+//! For each mode it times the suite twice on the same build: once with the
+//! default (unlimited) governor and once with every budget enabled at
+//! generous values (deadline, tuple cardinality, bytes) — the difference
+//! is the cost of active limit accounting, reported in EXPERIMENTS.md.
+
+use std::time::Duration;
+use xqr_bench::{time_xmark_suite_opts, xmark_engine};
+use xqr_engine::{CompileOptions, ExecutionMode, Limits};
+
+fn min_of(reps: usize, mut f: impl FnMut() -> Duration) -> (Duration, Vec<Duration>) {
+    let mut best = Duration::MAX;
+    let mut all = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let d = f();
+        best = best.min(d);
+        all.push(d);
+    }
+    (best, all)
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let bytes: usize = args
+        .next()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1_000_000);
+    let reps: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(5);
+    let (engine, len) = xmark_engine(bytes);
+    let governed_limits = Limits::default()
+        .with_deadline(Duration::from_secs(600))
+        .with_max_tuples(u64::MAX / 2)
+        .with_max_bytes(u64::MAX / 2);
+    for mode in [ExecutionMode::OptimHashJoin, ExecutionMode::NoAlgebra] {
+        let free = CompileOptions::mode(mode);
+        let governed = CompileOptions::mode(mode).limits(governed_limits.clone());
+        let (base, base_runs) = min_of(reps, || time_xmark_suite_opts(&engine, &free));
+        let (gov, gov_runs) = min_of(reps, || time_xmark_suite_opts(&engine, &governed));
+        let overhead = 100.0 * (gov.as_secs_f64() / base.as_secs_f64() - 1.0);
+        println!("{mode:?} doc={len}B  Q1-Q20");
+        println!("  unlimited min={base:?}  runs={base_runs:?}");
+        println!("  governed  min={gov:?}  runs={gov_runs:?}");
+        println!("  overhead  {overhead:+.2}%");
+    }
+}

@@ -60,14 +60,21 @@ pub fn time_eval_with(engine: &Engine, query: &str, options: &CompileOptions) ->
 /// (Table 3 methodology: load once, evaluate all twenty, serialize all
 /// results).
 pub fn time_xmark_suite(engine: &Engine, mode: ExecutionMode) -> Duration {
+    time_xmark_suite_opts(engine, &CompileOptions::mode(mode))
+}
+
+/// Like [`time_xmark_suite`] but with explicit [`CompileOptions`] — used
+/// by the governor-overhead measurement to compare limit-enforced runs
+/// against the default (unlimited) path on the same build.
+pub fn time_xmark_suite_opts(engine: &Engine, options: &CompileOptions) -> Duration {
     let t = Instant::now();
     for n in 1..=xqr_xmark::QUERY_COUNT {
         let prepared = engine
-            .prepare(xqr_xmark::query(n), &CompileOptions::mode(mode))
+            .prepare(xqr_xmark::query(n), options)
             .unwrap_or_else(|e| panic!("Q{n} prepare failed: {e}"));
         let result = prepared
             .run(engine)
-            .unwrap_or_else(|e| panic!("Q{n} failed ({mode:?}): {e}"));
+            .unwrap_or_else(|e| panic!("Q{n} failed: {e}"));
         std::hint::black_box(xqr_xml::serialize_sequence(&result));
     }
     t.elapsed()

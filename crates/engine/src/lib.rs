@@ -29,18 +29,22 @@
 //! assert_eq!(result.len(), 2);
 //! ```
 
+use std::cell::RefCell;
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use xqr_core::{compile_module, pretty, rewrite_module_with, CompiledModule, RewriteStats};
 
 pub use xqr_core::RuleConfig;
-use xqr_frontend::{frontend, CoreModule, SyntaxError};
-use xqr_runtime::{eval_core_module, Ctx};
+use xqr_frontend::{frontend_with, CoreModule, SyntaxError};
+use xqr_runtime::{eval_core_module_with, Ctx};
 use xqr_types::Schema;
+use xqr_xml::limits::{ERR_BYTES, ERR_CANCELLED, ERR_DEADLINE, ERR_RECURSION, ERR_TUPLES};
 use xqr_xml::parse::{parse_document, ParseOptions};
-use xqr_xml::{NodeHandle, QName, Sequence, XmlError};
+use xqr_xml::{Governor, NodeHandle, QName, Sequence, XmlError};
 
 pub use xqr_runtime::JoinAlgorithm;
+pub use xqr_xml::{CancellationToken, Limits};
 
 /// How a prepared query executes.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -102,6 +106,15 @@ pub struct CompileOptions {
     /// pipelined cursor execution. Kept for ablation benchmarks and the
     /// cross-strategy differential suite.
     pub materialize_all: bool,
+    /// Per-query resource limits; `None` falls back to the engine-wide
+    /// limits installed with [`Engine::set_limits`] (and to
+    /// [`Limits::default`] when neither is set).
+    pub limits: Option<Limits>,
+    /// Opt-in graceful degradation: when a *pipelined* execution fails
+    /// with an internal error (a caught panic), retry once under the
+    /// materialized strategy. The fallback is recorded and reported by
+    /// [`PreparedQuery::explain`]. Limit violations are never retried.
+    pub fallback_to_materialized: bool,
 }
 
 impl CompileOptions {
@@ -135,6 +148,63 @@ impl CompileOptions {
             ..CompileOptions::default()
         }
     }
+
+    /// Attaches per-query resource limits.
+    pub fn limits(mut self, limits: Limits) -> CompileOptions {
+        self.limits = Some(limits);
+        self
+    }
+
+    /// Enables the materialized-strategy retry on pipelined failure.
+    pub fn with_fallback(mut self) -> CompileOptions {
+        self.fallback_to_materialized = true;
+        self
+    }
+}
+
+/// Which pipeline stage an error arose in.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Phase {
+    Parse,
+    Normalize,
+    Compile,
+    Rewrite,
+    Execute,
+}
+
+impl Phase {
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::Parse => "parse",
+            Phase::Normalize => "normalize",
+            Phase::Compile => "compile",
+            Phase::Rewrite => "rewrite",
+            Phase::Execute => "execute",
+        }
+    }
+}
+
+/// Which resource budget a [`EngineError::LimitExceeded`] tripped.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BudgetKind {
+    Deadline,
+    Cancelled,
+    Tuples,
+    Bytes,
+    Recursion,
+}
+
+impl BudgetKind {
+    fn from_code(code: &str) -> Option<BudgetKind> {
+        match code {
+            ERR_DEADLINE => Some(BudgetKind::Deadline),
+            ERR_CANCELLED => Some(BudgetKind::Cancelled),
+            ERR_TUPLES => Some(BudgetKind::Tuples),
+            ERR_BYTES => Some(BudgetKind::Bytes),
+            ERR_RECURSION => Some(BudgetKind::Recursion),
+            _ => None,
+        }
+    }
 }
 
 /// Errors from preparation or execution.
@@ -142,6 +212,38 @@ impl CompileOptions {
 pub enum EngineError {
     Syntax(SyntaxError),
     Dynamic(XmlError),
+    /// A resource budget tripped (governor codes `XQRG0001`–`XQRG0004`,
+    /// recursion `XQRT0005`).
+    LimitExceeded {
+        /// The stable `err:`-style code of the violated budget.
+        code: &'static str,
+        /// Pipeline stage where the budget tripped.
+        phase: Phase,
+        /// Which budget tripped.
+        budget: BudgetKind,
+        message: String,
+    },
+    /// A panic caught at the engine's isolation boundary: the fault is
+    /// contained to this query instead of unwinding through the caller.
+    Internal {
+        /// Pipeline stage that panicked.
+        phase: Phase,
+        /// What was being evaluated (mode label plus the plan's root).
+        plan_context: String,
+        message: String,
+    },
+}
+
+impl EngineError {
+    /// The `err:`-style code, when one applies.
+    pub fn code(&self) -> Option<&str> {
+        match self {
+            EngineError::Syntax(_) => None,
+            EngineError::Dynamic(e) => Some(e.code),
+            EngineError::LimitExceeded { code, .. } => Some(code),
+            EngineError::Internal { .. } => None,
+        }
+    }
 }
 
 impl std::fmt::Display for EngineError {
@@ -149,6 +251,25 @@ impl std::fmt::Display for EngineError {
         match self {
             EngineError::Syntax(e) => write!(f, "{e}"),
             EngineError::Dynamic(e) => write!(f, "{e}"),
+            EngineError::LimitExceeded {
+                code,
+                phase,
+                budget,
+                message,
+            } => write!(
+                f,
+                "[{code}] limit exceeded ({budget:?}, during {}): {message}",
+                phase.label()
+            ),
+            EngineError::Internal {
+                phase,
+                plan_context,
+                message,
+            } => write!(
+                f,
+                "internal error during {} of {plan_context}: {message}",
+                phase.label()
+            ),
         }
     }
 }
@@ -167,6 +288,40 @@ impl From<XmlError> for EngineError {
     }
 }
 
+/// Classifies a dynamic error: governor codes become structured
+/// [`EngineError::LimitExceeded`], everything else stays [`EngineError::Dynamic`].
+fn classify(e: XmlError, phase: Phase) -> EngineError {
+    match BudgetKind::from_code(e.code) {
+        Some(budget) => EngineError::LimitExceeded {
+            code: e.code,
+            phase,
+            budget,
+            message: e.message,
+        },
+        None => EngineError::Dynamic(e),
+    }
+}
+
+fn panic_message(p: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+/// Runs a closure behind the isolation boundary: a panic becomes
+/// [`EngineError::Internal`] instead of unwinding through the caller.
+fn isolate<T>(phase: Phase, plan_context: &str, f: impl FnOnce() -> T) -> Result<T, EngineError> {
+    catch_unwind(AssertUnwindSafe(f)).map_err(|p| EngineError::Internal {
+        phase,
+        plan_context: plan_context.to_string(),
+        message: panic_message(p),
+    })
+}
+
 /// The engine: documents, schema, and external variable bindings shared by
 /// prepared queries.
 #[derive(Default)]
@@ -174,6 +329,10 @@ pub struct Engine {
     documents: HashMap<String, NodeHandle>,
     schema: Schema,
     externals: HashMap<QName, Sequence>,
+    /// Engine-wide resource limits, the default for every prepare/run and
+    /// for document parsing. Overridden per query by
+    /// [`CompileOptions::limits`].
+    limits: Option<Limits>,
 }
 
 impl Engine {
@@ -181,10 +340,30 @@ impl Engine {
         Engine::default()
     }
 
-    /// Parses and registers a document under a URI for `fn:doc`.
+    /// Installs engine-wide resource limits (deadline, budgets, depth
+    /// guards) applied to every subsequent `bind_document`/`prepare`/`run`
+    /// unless a query overrides them via [`CompileOptions::limits`].
+    pub fn set_limits(&mut self, limits: Limits) {
+        self.limits = Some(limits);
+    }
+
+    /// Parses and registers a document under a URI for `fn:doc`. Document
+    /// parsing runs under the engine-wide limits: element nesting is
+    /// bounded by `max_document_depth`, and a configured deadline or a
+    /// cancelled token aborts the parse cooperatively.
     pub fn bind_document(&mut self, uri: &str, xml: &str) -> Result<(), EngineError> {
-        let doc = parse_document(xml, &ParseOptions::default())
-            .map_err(|e| EngineError::Dynamic(e.into()))?;
+        let opts = match &self.limits {
+            None => ParseOptions::default(),
+            Some(l) => ParseOptions {
+                max_depth: l.max_document_depth,
+                governor: Some(Governor::new(l, CancellationToken::new())),
+                ..ParseOptions::default()
+            },
+        };
+        let doc = parse_document(xml, &opts).map_err(|e| {
+            let e: XmlError = e.into();
+            classify(e, Phase::Parse)
+        })?;
         self.documents.insert(uri.to_string(), doc.root());
         Ok(())
     }
@@ -214,9 +393,17 @@ impl Engine {
         query: &str,
         options: &CompileOptions,
     ) -> Result<PreparedQuery, EngineError> {
-        let core = frontend(query)?;
+        let limits = options.limits.clone().or_else(|| self.limits.clone());
+        let parse_depth = limits
+            .as_ref()
+            .map(|l| l.max_parse_depth)
+            .unwrap_or(Limits::default().max_parse_depth);
+        let core = isolate(Phase::Normalize, "query frontend", || {
+            frontend_with(query, parse_depth)
+        })??;
         let mode = options.mode;
         let materialize_all = options.materialize_all;
+        let fallback = options.fallback_to_materialized;
         if mode == ExecutionMode::NoAlgebra {
             return Ok(PreparedQuery {
                 mode,
@@ -224,18 +411,26 @@ impl Engine {
                 plan: None,
                 stats: None,
                 materialize_all,
+                limits,
+                fallback,
+                fallback_note: RefCell::new(None),
             });
         }
-        let mut compiled = compile_module(&core);
+        let mut compiled = isolate(Phase::Compile, "normalized core module", || {
+            compile_module(&core)
+        })?;
         let stats = if mode == ExecutionMode::AlgebraNoOptim {
             None
         } else {
             let rules = options.rules.unwrap_or_default();
-            let stats = rewrite_module_with(&mut compiled, rules);
-            if options.projection {
-                xqr_core::apply_document_projection(&mut compiled);
-            }
-            Some(stats)
+            let projection = options.projection;
+            Some(isolate(Phase::Rewrite, "compiled plan", || {
+                let stats = rewrite_module_with(&mut compiled, rules);
+                if projection {
+                    xqr_core::apply_document_projection(&mut compiled);
+                }
+                stats
+            })?)
         };
         Ok(PreparedQuery {
             mode,
@@ -243,6 +438,9 @@ impl Engine {
             plan: Some(compiled),
             stats,
             materialize_all,
+            limits,
+            fallback,
+            fallback_note: RefCell::new(None),
         })
     }
 
@@ -264,6 +462,13 @@ pub struct PreparedQuery {
     plan: Option<CompiledModule>,
     stats: Option<RewriteStats>,
     materialize_all: bool,
+    /// Effective limits (query-level, else engine-wide) captured at
+    /// prepare time.
+    limits: Option<Limits>,
+    fallback: bool,
+    /// Set when a run fell back to the materialized strategy; surfaced by
+    /// [`PreparedQuery::explain`].
+    fallback_note: RefCell<Option<String>>,
 }
 
 impl PreparedQuery {
@@ -280,7 +485,7 @@ impl PreparedQuery {
     /// followed by a note on which tuple operators stream through the
     /// cursor pipeline and which materialize.
     pub fn explain(&self) -> String {
-        match &self.plan {
+        let base = match &self.plan {
             Some(m) => {
                 let strategy = if self.materialize_all {
                     "execution: materialized (all operators evaluate to full tables)".to_string()
@@ -293,6 +498,10 @@ impl PreparedQuery {
                 format!("{}\n{strategy}", pretty::indented(&m.body))
             }
             None => "(no algebra: direct Core interpretation)".to_string(),
+        };
+        match &*self.fallback_note.borrow() {
+            Some(note) => format!("{base}\n{note}"),
+            None => base,
         }
     }
 
@@ -301,17 +510,69 @@ impl PreparedQuery {
         self.plan.as_ref()
     }
 
-    /// Executes against the engine's documents/bindings.
+    /// Executes against the engine's documents/bindings under the
+    /// effective [`Limits`], behind the panic-isolation boundary.
     pub fn run(&self, engine: &Engine) -> Result<Sequence, EngineError> {
-        match self.mode {
+        self.run_cancellable(engine, CancellationToken::new())
+    }
+
+    /// [`PreparedQuery::run`] with an externally held cancellation handle:
+    /// `token.cancel()` from any thread makes the query fail with
+    /// `XQRG0002` at its next cooperative check.
+    pub fn run_cancellable(
+        &self,
+        engine: &Engine,
+        token: CancellationToken,
+    ) -> Result<Sequence, EngineError> {
+        let limits = self.limits.clone().unwrap_or_default();
+        let governor = Governor::new(&limits, token);
+        let pipelined = !self.materialize_all;
+        match self.run_once(engine, &governor, pipelined) {
+            Err(EngineError::Internal {
+                phase,
+                plan_context,
+                message,
+            }) if self.fallback && pipelined && self.plan.is_some() => {
+                // Graceful degradation: the pipelined attempt panicked;
+                // retry once fully materialized. The governor (and thus
+                // the deadline and the budgets already spent) carries
+                // over; only test-only fault injection is disarmed.
+                governor.disarm_fault_injection();
+                *self.fallback_note.borrow_mut() = Some(format!(
+                    "fallback: pipelined execution failed during {} ({message}); \
+                     retried under the materialized strategy",
+                    phase.label()
+                ));
+                match self.run_once(engine, &governor, false) {
+                    Ok(v) => Ok(v),
+                    Err(_retry_err) => Err(EngineError::Internal {
+                        phase,
+                        plan_context,
+                        message,
+                    }),
+                }
+            }
+            other => other,
+        }
+    }
+
+    /// One governed execution attempt behind `catch_unwind`.
+    fn run_once(
+        &self,
+        engine: &Engine,
+        governor: &Governor,
+        pipelined: bool,
+    ) -> Result<Sequence, EngineError> {
+        let outcome = catch_unwind(AssertUnwindSafe(|| match self.mode {
             ExecutionMode::NoAlgebra => {
                 let core = self.core.as_ref().expect("core kept for NoAlgebra");
-                Ok(eval_core_module(
+                eval_core_module_with(
                     core,
                     &engine.schema,
                     &engine.documents,
                     engine.externals.clone(),
-                )?)
+                    governor.clone(),
+                )
             }
             mode => {
                 let module = self.plan.as_ref().expect("compiled plan");
@@ -321,9 +582,31 @@ impl PreparedQuery {
                     &engine.documents,
                     mode.join_algorithm(),
                 );
-                ctx.pipelined = !self.materialize_all;
+                ctx.pipelined = pipelined;
                 ctx.globals = engine.externals.clone();
-                Ok(xqr_runtime::eval::eval_module(&mut ctx)?)
+                ctx.governor = governor.clone();
+                xqr_runtime::eval::eval_module(&mut ctx)
+            }
+        }));
+        match outcome {
+            Ok(Ok(v)) => Ok(v),
+            Ok(Err(e)) => Err(classify(e, Phase::Execute)),
+            Err(p) => Err(EngineError::Internal {
+                phase: Phase::Execute,
+                plan_context: self.plan_context(),
+                message: panic_message(p),
+            }),
+        }
+    }
+
+    /// Short description of what was executing, for [`EngineError::Internal`].
+    fn plan_context(&self) -> String {
+        match &self.plan {
+            None => format!("{} (Core interpreter)", self.mode.label()),
+            Some(m) => {
+                let plan = pretty::indented(&m.body);
+                let root = plan.lines().next().unwrap_or("?").trim().to_string();
+                format!("{} plan rooted at {root}", self.mode.label())
             }
         }
     }
@@ -331,6 +614,17 @@ impl PreparedQuery {
     /// Executes and serializes.
     pub fn run_to_string(&self, engine: &Engine) -> Result<String, EngineError> {
         Ok(xqr_xml::serialize_sequence(&self.run(engine)?))
+    }
+
+    /// [`PreparedQuery::run_cancellable`], serialized.
+    pub fn run_cancellable_to_string(
+        &self,
+        engine: &Engine,
+        token: CancellationToken,
+    ) -> Result<String, EngineError> {
+        Ok(xqr_xml::serialize_sequence(
+            &self.run_cancellable(engine, token)?,
+        ))
     }
 }
 

@@ -23,10 +23,17 @@ pub mod parser;
 pub use ast::{Expr, Module};
 pub use core_ast::{CoreClause, CoreExpr, CoreFunction, CoreModule};
 pub use normalize::normalize_module;
-pub use parser::{parse_query, SyntaxError};
+pub use parser::{parse_query, parse_query_with, SyntaxError};
 
 /// Parses and normalizes a query in one step.
 pub fn frontend(query: &str) -> Result<CoreModule, SyntaxError> {
     let module = parse_query(query)?;
+    Ok(normalize_module(&module))
+}
+
+/// [`frontend`] with a configurable parser nesting-depth ceiling
+/// (`Limits::max_parse_depth` at the engine boundary).
+pub fn frontend_with(query: &str, max_parse_depth: usize) -> Result<CoreModule, SyntaxError> {
+    let module = parse_query_with(query, max_parse_depth)?;
     Ok(normalize_module(&module))
 }

@@ -47,7 +47,13 @@ type PResult<T> = Result<T, SyntaxError>;
 
 /// Parses a complete query (prolog + body).
 pub fn parse_query(input: &str) -> PResult<Module> {
-    let mut p = Parser::new(input)?;
+    parse_query_with(input, MAX_PARSE_DEPTH)
+}
+
+/// Parses a complete query with a configurable nesting-depth ceiling
+/// (`Limits::max_parse_depth` at the engine boundary).
+pub fn parse_query_with(input: &str, max_depth: usize) -> PResult<Module> {
+    let mut p = Parser::new(input, max_depth)?;
     let module = p.parse_module()?;
     p.expect_eof()?;
     Ok(module)
@@ -55,7 +61,7 @@ pub fn parse_query(input: &str) -> PResult<Module> {
 
 /// Parses a single expression (no prolog) — convenient for tests.
 pub fn parse_expr_str(input: &str) -> PResult<Expr> {
-    let mut p = Parser::new(input)?;
+    let mut p = Parser::new(input, MAX_PARSE_DEPTH)?;
     let e = p.parse_expr()?;
     p.expect_eof()?;
     Ok(e)
@@ -69,12 +75,14 @@ struct Parser<'a> {
     /// Expression nesting depth (guards against stack exhaustion on
     /// pathological inputs).
     depth: usize,
+    /// Ceiling for `depth`; a structured syntax error past this.
+    max_depth: usize,
 }
 
-const MAX_PARSE_DEPTH: usize = 128;
+pub(crate) const MAX_PARSE_DEPTH: usize = 128;
 
 impl<'a> Parser<'a> {
-    fn new(input: &'a str) -> PResult<Self> {
+    fn new(input: &'a str, max_depth: usize) -> PResult<Self> {
         let mut lexer = Lexer::new(input);
         lexer.skip_trivia()?;
         let tok_pos = lexer.raw_pos();
@@ -84,6 +92,7 @@ impl<'a> Parser<'a> {
             tok,
             tok_pos,
             depth: 0,
+            max_depth,
         })
     }
 
@@ -282,7 +291,7 @@ impl<'a> Parser<'a> {
 
     fn parse_expr_single(&mut self) -> PResult<Expr> {
         self.depth += 1;
-        if self.depth > MAX_PARSE_DEPTH {
+        if self.depth > self.max_depth {
             self.depth -= 1;
             return Err(self.err("expression nesting too deep"));
         }
@@ -1196,7 +1205,7 @@ impl<'a> Parser<'a> {
 
     fn parse_direct_element(&mut self, input: &str, pos: &mut usize) -> PResult<Expr> {
         self.depth += 1;
-        if self.depth > MAX_PARSE_DEPTH {
+        if self.depth > self.max_depth {
             self.depth -= 1;
             return Err(self.raw_err(*pos, "constructor nesting too deep"));
         }

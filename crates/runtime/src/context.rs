@@ -6,7 +6,7 @@ use std::collections::HashMap;
 
 use xqr_core::CompiledModule;
 use xqr_types::Schema;
-use xqr_xml::{NodeHandle, QName, Sequence, XmlError};
+use xqr_xml::{Governor, NodeHandle, QName, Sequence, XmlError};
 
 /// Which physical algorithm `Join`/`LOuterJoin` use when an equality key
 /// can be split across the inputs.
@@ -35,9 +35,11 @@ pub struct Ctx<'a> {
     /// full materialization between all operators (the original strategy,
     /// kept as `CompileOptions::materialize_all` and for ablation).
     pub pipelined: bool,
-    /// Recursion guard for user functions.
-    depth: usize,
-    max_depth: usize,
+    /// The resource governor: budgets, deadline, cancellation, and the
+    /// single source of truth for user-function recursion depth (shared
+    /// with the Core interpreter, which tracks depth through the same
+    /// type).
+    pub governor: Governor,
 }
 
 impl<'a> Ctx<'a> {
@@ -55,8 +57,7 @@ impl<'a> Ctx<'a> {
             frames: Vec::new(),
             join_algorithm,
             pipelined: true,
-            depth: 0,
-            max_depth: 200,
+            governor: Governor::unlimited(),
         }
     }
 
@@ -74,20 +75,14 @@ impl<'a> Ctx<'a> {
     }
 
     pub fn push_frame(&mut self, frame: HashMap<QName, Sequence>) -> xqr_xml::Result<()> {
-        self.depth += 1;
-        if self.depth > self.max_depth {
-            return Err(XmlError::new(
-                "XQRT0005",
-                "function recursion limit exceeded",
-            ));
-        }
+        self.governor.enter_frame()?;
         self.frames.push(frame);
         Ok(())
     }
 
     pub fn pop_frame(&mut self) {
         self.frames.pop();
-        self.depth -= 1;
+        self.governor.exit_frame();
     }
 
     pub fn resolve_document(&self, uri: &str) -> xqr_xml::Result<NodeHandle> {

@@ -70,11 +70,22 @@ pub(crate) fn eval_table(
     ctx: &mut Ctx<'_>,
     input: Option<&InputVal>,
 ) -> xqr_xml::Result<Table> {
-    if ctx.pipelined && pipeline::fuses(plan) {
+    let table = if ctx.pipelined && pipeline::fuses(plan) {
         let cur = pipeline::open_cursor(plan, ctx, input)?;
-        return pipeline::collect(cur, ctx);
+        pipeline::collect(cur, ctx)?
+    } else {
+        eval(plan, ctx, input)?.into_table()?
+    };
+    // Every materialized intermediate passes through here; the byte budget
+    // counts their cumulative footprint. Skipped entirely when unlimited.
+    if ctx.governor.has_byte_budget() {
+        let mut n = 0u64;
+        for t in &table {
+            n += t.approx_bytes();
+        }
+        ctx.governor.charge_bytes(n)?;
     }
-    eval(plan, ctx, input)?.into_table()
+    Ok(table)
 }
 
 pub(crate) fn eval(
@@ -266,6 +277,7 @@ pub(crate) fn eval(
             let table = eval_table(src, ctx, input)?;
             let mut out = Table::with_capacity(table.len());
             for t in table {
+                ctx.governor.tick()?;
                 // Move the tuple into the binding and back out: no clone.
                 let bound = InputVal::Tuple(t);
                 let v = eval_dep_items(pred, ctx, &bound)?;
@@ -281,6 +293,10 @@ pub(crate) fn eval(
         Op::Product(a, b) => {
             let ta = eval_table(a, ctx, input)?;
             let tb = eval_table(b, ctx, input)?;
+            // Charge the full cross-product size before allocating it, so
+            // an exploding Product trips the budget pre-allocation.
+            ctx.governor
+                .charge_tuples(ta.len() as u64 * tb.len() as u64)?;
             let mut out = Table::with_capacity(ta.len() * tb.len());
             for x in &ta {
                 for y in &tb {
@@ -318,6 +334,7 @@ pub(crate) fn eval(
             let table = eval_table(src, ctx, input)?;
             let mut out = Table::with_capacity(table.len());
             for t in table {
+                ctx.governor.tick()?;
                 let mapped = eval(dep, ctx, Some(&InputVal::Tuple(t)))?.into_table()?;
                 out.extend(mapped);
             }
@@ -334,6 +351,7 @@ pub(crate) fn eval(
                     Sequence::singleton(AtomicValue::Boolean(true)),
                 )])]));
             }
+            ctx.governor.charge_tuples(table.len() as u64)?;
             Ok(Value::Table(
                 table
                     .into_iter()
@@ -350,7 +368,9 @@ pub(crate) fn eval(
             let table = eval_table(src, ctx, input)?;
             let mut out = Table::new();
             for t in table {
+                ctx.governor.tick()?;
                 let produced = eval(dep, ctx, Some(&InputVal::Tuple(t.clone())))?.into_table()?;
+                ctx.governor.charge_tuples(produced.len() as u64)?;
                 for u in produced {
                     out.push(t.concat(&u));
                 }
@@ -365,7 +385,9 @@ pub(crate) fn eval(
             let table = eval_table(src, ctx, input)?;
             let mut out = Table::new();
             for t in table {
+                ctx.governor.tick()?;
                 let produced = eval(dep, ctx, Some(&InputVal::Tuple(t.clone())))?.into_table()?;
+                ctx.governor.charge_tuples(produced.len() as u64)?;
                 if produced.is_empty() {
                     out.push(t.with(
                         null_field.clone(),
@@ -384,6 +406,7 @@ pub(crate) fn eval(
         }
         Op::MapIndex { field, input: src } | Op::MapIndexStep { field, input: src } => {
             let table = eval_table(src, ctx, input)?;
+            ctx.governor.charge_tuples(table.len() as u64)?;
             Ok(Value::Table(
                 table
                     .into_iter()
@@ -438,6 +461,7 @@ pub(crate) fn eval(
             let items = eval_items(src, ctx, input)?;
             let mut out = Table::with_capacity(items.len());
             for item in items.iter() {
+                ctx.governor.tick()?;
                 let t = eval(dep, ctx, Some(&InputVal::Item(item.clone())))?.into_table()?;
                 out.extend(t);
             }
@@ -455,6 +479,7 @@ pub(crate) fn eval(
                 }
             } else {
                 for t in eval_table(src, ctx, input)? {
+                    ctx.governor.tick()?;
                     out.push(eval_dep_items(dep, ctx, &InputVal::Tuple(t))?);
                 }
             }
@@ -475,6 +500,7 @@ pub(crate) fn eval(
                 }
             } else {
                 for t in eval_table(src, ctx, input)? {
+                    ctx.governor.tick()?;
                     let v = eval_dep_items(dep, ctx, &InputVal::Tuple(t))?;
                     if effective_boolean_value(&v)? {
                         return Ok(Value::Items(Sequence::singleton(AtomicValue::Boolean(
@@ -500,6 +526,7 @@ pub(crate) fn eval(
                 }
             } else {
                 for t in eval_table(src, ctx, input)? {
+                    ctx.governor.tick()?;
                     let v = eval_dep_items(dep, ctx, &InputVal::Tuple(t))?;
                     if !effective_boolean_value(&v)? {
                         return Ok(Value::Items(Sequence::singleton(AtomicValue::Boolean(
@@ -557,6 +584,7 @@ fn order_by(specs: &[OrderSpecPlan], table: Table, ctx: &mut Ctx<'_>) -> xqr_xml
     // Precompute keys (one pass), then stable sort.
     let mut keyed: Vec<(Vec<Sequence>, Tuple)> = Vec::with_capacity(table.len());
     for t in table {
+        ctx.governor.tick()?;
         let mut keys = Vec::with_capacity(specs.len());
         for s in specs {
             keys.push(eval_dep_items(&s.key, ctx, &InputVal::Tuple(t.clone()))?);

@@ -818,7 +818,13 @@ fn arithmetic(name: &str, x: &AtomicValue, y: &AtomicValue) -> xqr_xml::Result<A
         if fy == 0.0 {
             return Err(err("FOAR0001", "integer division by zero"));
         }
-        return Ok(V::Integer((fx / fy).trunc() as i64));
+        let q = (fx / fy).trunc();
+        // NaN operands or a quotient outside the i64 range must be a
+        // dynamic error, not a saturated/zeroed cast.
+        if !q.is_finite() || q < i64::MIN as f64 || q > i64::MAX as f64 {
+            return Err(err("FOAR0002", "integer division overflow"));
+        }
+        return Ok(V::Integer(q as i64));
     }
     if op == "divide" && matches!(t, AtomicType::Integer | AtomicType::Decimal) {
         // Integer ÷ integer is decimal division per F&O.
@@ -877,9 +883,14 @@ fn arithmetic(name: &str, x: &AtomicValue, y: &AtomicValue) -> xqr_xml::Result<A
                     .checked_div(b)
                     .ok_or_else(|| err("FOAR0001", "modulus by zero"))?;
                 let trunc = Decimal::from_i64(q.trunc_to_i64());
+                // a - trunc(a/b)*b can overflow the fixed-point range for
+                // extreme operands: a dynamic error, not a panic.
+                let prod = trunc
+                    .checked_mul(b)
+                    .ok_or_else(|| err("FOAR0002", "overflow in mod"))?;
                 V::Decimal(
-                    a.checked_sub(trunc.checked_mul(b).expect("mod"))
-                        .expect("mod"),
+                    a.checked_sub(prod)
+                        .ok_or_else(|| err("FOAR0002", "overflow in mod"))?,
                 )
             }
             _ => unreachable!("{op}"),
@@ -1133,6 +1144,38 @@ mod tests {
             &BuiltinCtx::none()
         )
         .is_err());
+    }
+
+    #[test]
+    fn integer_divide_overflow_is_dynamic_error() {
+        // Quotient far outside the i64 range: FOAR0002, not a silent
+        // saturated cast (and never a panic).
+        let huge = Sequence::singleton(AtomicValue::Double(1.0e300));
+        let tiny = Sequence::singleton(AtomicValue::Double(1.0e-300));
+        let err = call_builtin(
+            "fs:numeric-integer-divide",
+            &[huge, tiny],
+            &BuiltinCtx::none(),
+        )
+        .unwrap_err();
+        assert_eq!(err.code, "FOAR0002");
+        // NaN dividend: FOAR0002, not a silent zero.
+        let nan = Sequence::singleton(AtomicValue::Double(f64::NAN));
+        let err = call_builtin(
+            "fs:numeric-integer-divide",
+            &[nan, Sequence::integers([2])],
+            &BuiltinCtx::none(),
+        )
+        .unwrap_err();
+        assert_eq!(err.code, "FOAR0002");
+    }
+
+    #[test]
+    fn decimal_mod_stays_correct_after_hardening() {
+        let a = Sequence::singleton(AtomicValue::Decimal(Decimal::parse("7.5").unwrap()));
+        let b = Sequence::singleton(AtomicValue::Decimal(Decimal::parse("2").unwrap()));
+        let r = call("fs:numeric-mod", &[a, b]);
+        assert_eq!(r.atomized()[0].string_value(), "1.5");
     }
 
     #[test]

@@ -65,8 +65,10 @@ pub fn execute_group_by(
         // Pre-grouping: per-item operator on non-null tuples only.
         let mut items: Vec<Item> = Vec::new();
         for (_, tup) in partition {
+            ctx.governor.tick()?;
             if all_nulls_false(tup, null_fields)? {
                 let produced = eval_dep_items(per_item, ctx, &InputVal::Tuple(tup.clone()))?;
+                ctx.governor.charge_bytes(24 * produced.len() as u64)?;
                 items.extend(produced.iter().cloned());
             }
         }
@@ -132,6 +134,7 @@ pub(crate) fn execute_group_by_streaming<'p>(
             let InputVal::Tuple(t) = bound else {
                 unreachable!()
             };
+            ctx.governor.charge_bytes(24 * produced.len() as u64)?;
             (t, produced.into_vec())
         } else {
             (t, Vec::new())

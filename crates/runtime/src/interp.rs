@@ -16,7 +16,7 @@ use std::rc::Rc;
 use xqr_frontend::core_ast::{CoreClause, CoreExpr, CoreModule, CoreOrderSpec};
 use xqr_types::Schema;
 use xqr_xml::axes::tree_join;
-use xqr_xml::{AtomicValue, NodeHandle, QName, Sequence, SequenceBuilder, XmlError};
+use xqr_xml::{AtomicValue, Governor, NodeHandle, QName, Sequence, SequenceBuilder, XmlError};
 
 use crate::compare::{atomize_optional, effective_boolean_value, order_key_compare};
 use crate::eval::{construct_attribute, construct_element, construct_text};
@@ -59,22 +59,37 @@ struct Interp<'a> {
     schema: &'a Schema,
     documents: &'a HashMap<String, NodeHandle>,
     globals: HashMap<QName, Sequence>,
-    depth: usize,
+    /// Shared resource governor: budgets, deadline/cancellation, and the
+    /// single recursion-depth authority (the interpreter used to keep its
+    /// own `depth` counter next to the plan evaluator's — they now share
+    /// this one).
+    governor: Governor,
 }
 
-/// Evaluates a normalized Core module directly (no algebra).
+/// Evaluates a normalized Core module directly (no algebra), ungoverned.
 pub fn eval_core_module(
     module: &CoreModule,
     schema: &Schema,
     documents: &HashMap<String, NodeHandle>,
     externals: HashMap<QName, Sequence>,
 ) -> xqr_xml::Result<Sequence> {
+    eval_core_module_with(module, schema, documents, externals, Governor::unlimited())
+}
+
+/// Evaluates a normalized Core module under a resource governor.
+pub fn eval_core_module_with(
+    module: &CoreModule,
+    schema: &Schema,
+    documents: &HashMap<String, NodeHandle>,
+    externals: HashMap<QName, Sequence>,
+    governor: Governor,
+) -> xqr_xml::Result<Sequence> {
     let mut it = Interp {
         module,
         schema,
         documents,
         globals: externals,
-        depth: 0,
+        governor,
     };
     for (name, value) in &module.variables {
         if let Some(v) = value {
@@ -110,6 +125,7 @@ impl<'a> Interp<'a> {
                 let envs = self.clause_stream(clauses, env)?;
                 let mut out = SequenceBuilder::new();
                 for e2 in envs {
+                    self.governor.tick()?;
                     out.push(self.eval(ret, &e2)?);
                 }
                 Ok(out.finish())
@@ -121,6 +137,7 @@ impl<'a> Interp<'a> {
             } => {
                 let envs = self.clause_stream(clauses, env)?;
                 for e2 in envs {
+                    self.governor.tick()?;
                     let v = self.eval(satisfies, &e2)?;
                     let b = effective_boolean_value(&v)?;
                     if *every && !b {
@@ -256,6 +273,7 @@ impl<'a> Interp<'a> {
                     for e2 in &envs {
                         let items = self.eval(expr, e2)?;
                         for (i, item) in items.iter().enumerate() {
+                            self.governor.tick()?;
                             let v = Sequence::singleton_item(item.clone());
                             if let Some(st) = as_type {
                                 let single = xqr_types::SequenceType::new(
@@ -277,6 +295,7 @@ impl<'a> Interp<'a> {
                 CoreClause::Let { var, as_type, expr } => {
                     let mut next = Vec::with_capacity(envs.len());
                     for e2 in &envs {
+                        self.governor.tick()?;
                         let mut v = self.eval(expr, e2)?;
                         if let Some(st) = as_type {
                             v = st.assert(&v, self.schema)?;
@@ -288,6 +307,7 @@ impl<'a> Interp<'a> {
                 CoreClause::Where(pred) => {
                     let mut next = Vec::with_capacity(envs.len());
                     for e2 in envs {
+                        self.governor.tick()?;
                         let v = self.eval(pred, &e2)?;
                         if effective_boolean_value(&v)? {
                             next.push(e2);
@@ -306,6 +326,7 @@ impl<'a> Interp<'a> {
     fn order_envs(&mut self, specs: &[CoreOrderSpec], envs: Vec<Env>) -> xqr_xml::Result<Vec<Env>> {
         let mut keyed: Vec<(Vec<Sequence>, Env)> = Vec::with_capacity(envs.len());
         for e in envs {
+            self.governor.tick()?;
             let mut keys = Vec::with_capacity(specs.len());
             for s in specs {
                 keys.push(self.eval(&s.key, &e)?);
@@ -359,23 +380,19 @@ impl<'a> Interp<'a> {
                 format!("{name}() expects {} arguments", func.params.len()),
             ));
         }
-        self.depth += 1;
-        if self.depth > 200 {
-            self.depth -= 1;
-            return Err(XmlError::new(
-                "XQRT0005",
-                "function recursion limit exceeded",
-            ));
-        }
+        self.governor.enter_frame()?;
         let mut env = Env::default();
         for ((p, ty), v) in func.params.iter().zip(argv) {
             if let Some(st) = ty {
-                st.assert(&v, self.schema)?;
+                if let Err(e) = st.assert(&v, self.schema) {
+                    self.governor.exit_frame();
+                    return Err(e);
+                }
             }
             env = env.bind(p.clone(), v);
         }
         let result = self.eval(&func.body, &env);
-        self.depth -= 1;
+        self.governor.exit_frame();
         let v = result?;
         if let Some(st) = &func.return_type {
             st.assert(&v, self.schema)?;

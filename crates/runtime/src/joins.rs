@@ -48,7 +48,9 @@ pub fn execute_join(
     let probe = JoinProbe::build(pred, left_plan, right_plan, right, ctx)?;
     let mut out = Table::with_capacity(left.len());
     for lt in left {
+        ctx.governor.tick()?;
         let ms = probe.matches(lt, right, ctx)?;
+        ctx.governor.charge_tuples(ms.len() as u64)?;
         if ms.is_empty() {
             if let Some(nf) = outer_null {
                 out.push(lt.with_bool(nf.clone(), true));
@@ -113,6 +115,8 @@ impl<'p> JoinProbe<'p> {
                 // A constant-true predicate (cross products from unnesting)
                 // skips per-pair evaluation entirely.
                 if matches!(&pred.op, Op::Scalar(AtomicValue::Boolean(true))) {
+                    // Bulk-charge the cross product before building it.
+                    ctx.governor.charge_tuples(right.len() as u64)?;
                     out.reserve(right.len());
                     for rt in right {
                         out.push(lt.concat(rt));
@@ -120,6 +124,7 @@ impl<'p> JoinProbe<'p> {
                     return Ok(out);
                 }
                 for rt in right {
+                    ctx.governor.tick()?;
                     // Move the joined tuple into the binding and back out:
                     // no per-pair clone.
                     let input = InputVal::Tuple(lt.concat(rt));
@@ -371,6 +376,11 @@ fn materialize(
 ) -> xqr_xml::Result<KeyIndex> {
     let mut index = KeyIndex::new(algo);
     for (tuple_idx, tup) in inner.iter().enumerate() {
+        ctx.governor.tick()?;
+        if ctx.governor.has_byte_budget() {
+            // The index retains roughly one entry per key value per tuple.
+            ctx.governor.charge_bytes(tup.approx_bytes())?;
+        }
         let key_vals = eval_dep_items(key_expr, ctx, &InputVal::Tuple(tup.clone()))?.atomized();
         for key in key_vals {
             for promoted in promoted_keys(&key, specialized) {

@@ -38,6 +38,6 @@ pub mod value;
 
 pub use context::{Ctx, JoinAlgorithm};
 pub use eval::eval_plan;
-pub use interp::eval_core_module;
+pub use interp::{eval_core_module, eval_core_module_with};
 pub use pipeline::pipeline_report;
 pub use value::{InputVal, Table, Tuple, Value};

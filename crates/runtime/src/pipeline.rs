@@ -226,7 +226,10 @@ struct MaterializedCursor {
 }
 
 impl<'p> TupleCursor<'p> for MaterializedCursor {
-    fn next(&mut self, _ctx: &mut Ctx<'_>) -> Option<xqr_xml::Result<Tuple>> {
+    fn next(&mut self, ctx: &mut Ctx<'_>) -> Option<xqr_xml::Result<Tuple>> {
+        if let Err(e) = ctx.governor.tick() {
+            return Some(Err(e));
+        }
         self.iter.next().map(Ok)
     }
 }
@@ -239,6 +242,10 @@ struct SelectCursor<'p> {
 
 impl<'p> TupleCursor<'p> for SelectCursor<'p> {
     fn next(&mut self, ctx: &mut Ctx<'_>) -> Option<xqr_xml::Result<Tuple>> {
+        if let Err(e) = ctx.governor.tick() {
+            return Some(Err(e));
+        }
+
         loop {
             let t = match self.src.next(ctx)? {
                 Ok(t) => t,
@@ -270,6 +277,10 @@ struct ProductCursor<'p> {
 
 impl<'p> TupleCursor<'p> for ProductCursor<'p> {
     fn next(&mut self, ctx: &mut Ctx<'_>) -> Option<xqr_xml::Result<Tuple>> {
+        if let Err(e) = ctx.governor.tick() {
+            return Some(Err(e));
+        }
+
         loop {
             if let Some(lt) = &self.cur {
                 if self.ridx < self.right.len() {
@@ -291,12 +302,17 @@ impl<'p> TupleCursor<'p> for ProductCursor<'p> {
 
     fn drain_into(&mut self, ctx: &mut Ctx<'_>, out: &mut Table) -> xqr_xml::Result<()> {
         if let Some(lt) = self.cur.take() {
+            ctx.governor
+                .charge_tuples((self.right.len() - self.ridx) as u64)?;
             for rt in &self.right[self.ridx..] {
                 out.push(lt.concat(rt));
             }
         }
         while let Some(lt) = self.left.next(ctx) {
             let lt = lt?;
+            // Bulk charge before the batch is built: an exploding product
+            // trips the budget before its output is allocated.
+            ctx.governor.charge_tuples(self.right.len() as u64)?;
             out.reserve(self.right.len());
             for rt in &self.right {
                 out.push(lt.concat(rt));
@@ -388,6 +404,10 @@ impl<'p> DepCursor<'p> {
 
 impl<'p> TupleCursor<'p> for DepCursor<'p> {
     fn next(&mut self, ctx: &mut Ctx<'_>) -> Option<xqr_xml::Result<Tuple>> {
+        if let Err(e) = ctx.governor.tick() {
+            return Some(Err(e));
+        }
+
         loop {
             if let Some(u) = self.inner.next() {
                 return Some(Ok(self.combine(u)));
@@ -403,6 +423,7 @@ impl<'p> TupleCursor<'p> for DepCursor<'p> {
     fn drain_into(&mut self, ctx: &mut Ctx<'_>, out: &mut Table) -> xqr_xml::Result<()> {
         loop {
             for u in &mut self.inner {
+                ctx.governor.tick()?;
                 let t = match &self.mode {
                     DepMode::Replace => u,
                     DepMode::Concat => self.cur.as_ref().unwrap().concat(&u),
@@ -436,6 +457,10 @@ struct OMapCursor<'p> {
 
 impl<'p> TupleCursor<'p> for OMapCursor<'p> {
     fn next(&mut self, ctx: &mut Ctx<'_>) -> Option<xqr_xml::Result<Tuple>> {
+        if let Err(e) = ctx.governor.tick() {
+            return Some(Err(e));
+        }
+
         if self.done {
             return None;
         }
@@ -469,6 +494,10 @@ struct IndexCursor<'p> {
 
 impl<'p> TupleCursor<'p> for IndexCursor<'p> {
     fn next(&mut self, ctx: &mut Ctx<'_>) -> Option<xqr_xml::Result<Tuple>> {
+        if let Err(e) = ctx.governor.tick() {
+            return Some(Err(e));
+        }
+
         match self.src.next(ctx)? {
             Ok(t) => {
                 self.i += 1;
@@ -490,6 +519,10 @@ struct MapFromItemCursor<'p> {
 
 impl<'p> TupleCursor<'p> for MapFromItemCursor<'p> {
     fn next(&mut self, ctx: &mut Ctx<'_>) -> Option<xqr_xml::Result<Tuple>> {
+        if let Err(e) = ctx.governor.tick() {
+            return Some(Err(e));
+        }
+
         loop {
             if let Some(t) = self.pending.next() {
                 return Some(Ok(t));
@@ -515,6 +548,10 @@ struct JoinCursor<'p> {
 
 impl<'p> TupleCursor<'p> for JoinCursor<'p> {
     fn next(&mut self, ctx: &mut Ctx<'_>) -> Option<xqr_xml::Result<Tuple>> {
+        if let Err(e) = ctx.governor.tick() {
+            return Some(Err(e));
+        }
+
         loop {
             // `pending` holds matched tuples only; the outer-join match
             // flag is applied lazily as each one is yielded.
@@ -552,6 +589,7 @@ impl<'p> TupleCursor<'p> for JoinCursor<'p> {
         while let Some(lt) = self.left.next(ctx) {
             let lt = lt?;
             let ms = self.probe.matches(&lt, &self.right, ctx)?;
+            ctx.governor.charge_tuples(ms.len().max(1) as u64)?;
             match self.outer_null {
                 Some(nf) if ms.is_empty() => out.push(lt.with_bool(nf.clone(), true)),
                 Some(nf) => out.extend(ms.into_iter().map(|t| t.with_bool(nf.clone(), false))),

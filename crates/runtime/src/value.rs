@@ -102,6 +102,18 @@ impl Tuple {
     pub fn is_empty(&self) -> bool {
         self.0.is_empty()
     }
+
+    /// Approximate heap footprint in bytes, charged against the governor's
+    /// byte budget when a table is materialized. Items are costed at a
+    /// flat per-item rate rather than deep-traversed: the budget is a
+    /// tripwire for runaway materialization, not an allocator audit.
+    pub fn approx_bytes(&self) -> u64 {
+        let mut n = 48u64;
+        for (f, s) in self.0.iter() {
+            n += 48 + f.len() as u64 + 24 * s.len() as u64;
+        }
+        n
+    }
 }
 
 /// An ordered table of tuples.

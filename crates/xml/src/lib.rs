@@ -23,6 +23,7 @@ pub mod axes;
 pub mod build;
 pub mod decimal;
 pub mod item;
+pub mod limits;
 pub mod node;
 pub mod parse;
 pub mod qname;
@@ -34,6 +35,7 @@ pub use axes::{Axis, KindTest, NameTest, NodeTest};
 pub use build::TreeBuilder;
 pub use decimal::Decimal;
 pub use item::{Item, Sequence, SequenceBuilder};
+pub use limits::{CancellationToken, Governor, Limits};
 pub use node::{Document, NodeHandle, NodeId, NodeKind};
 pub use parse::{parse_document, ParseError, ParseOptions};
 pub use qname::QName;

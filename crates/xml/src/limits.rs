@@ -1,0 +1,481 @@
+//! The resource governor: execution limits, cooperative cancellation, and
+//! budget accounting shared by every evaluation path.
+//!
+//! The engine serves untrusted queries; a single deeply nested FLWOR or an
+//! exponential `Product` plan can otherwise pin a core or exhaust memory.
+//! [`Limits`] declares the budgets (wall-clock deadline, tuple-operation
+//! cardinality, approximate bytes of materialized state, recursion and
+//! nesting depths); a [`Governor`] carries the running counters plus a
+//! [`CancellationToken`] and is checked *cooperatively* from the hot loops
+//! of both execution strategies (every pipelined cursor `next()`, every
+//! materialized operator loop, join build/probe phases, the Core
+//! interpreter's clause streams, and document parsing).
+//!
+//! Violations surface as [`XmlError`]s with stable governor codes in the
+//! repo's `err:`-style convention:
+//!
+//! | code | budget |
+//! |---|---|
+//! | `XQRG0001` | wall-clock deadline exceeded |
+//! | `XQRG0002` | cancelled via [`CancellationToken`] |
+//! | `XQRG0003` | tuple-operation cardinality budget exceeded |
+//! | `XQRG0004` | memory (byte) budget exceeded |
+//! | `XQRT0005` | function recursion depth exceeded (pre-existing code) |
+//!
+//! Cost model: [`Governor::tick`] is one `Cell` increment, one integer
+//! compare, and a predictable branch; the clock and the atomic cancel flag
+//! are consulted only every [`TIME_CHECK_MASK`]+1 ticks, so an un-governed
+//! run (all budgets `None`) pays only the counter arithmetic.
+
+use std::cell::Cell;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::XmlError;
+
+/// Deadline exceeded.
+pub const ERR_DEADLINE: &str = "XQRG0001";
+/// Cancelled through a [`CancellationToken`].
+pub const ERR_CANCELLED: &str = "XQRG0002";
+/// Tuple-operation cardinality budget exceeded.
+pub const ERR_TUPLES: &str = "XQRG0003";
+/// Approximate-memory budget exceeded.
+pub const ERR_BYTES: &str = "XQRG0004";
+/// Function recursion depth exceeded (kept from the pre-governor guard so
+/// existing callers observe the same code).
+pub const ERR_RECURSION: &str = "XQRT0005";
+
+/// Ticks between clock/cancel-flag consultations (power of two minus one,
+/// used as a mask). 1023 ticks is well under a millisecond of tuple work,
+/// so a deadline is honored with far less than 2× slack.
+pub const TIME_CHECK_MASK: u64 = 0x3FF;
+
+/// Declarative resource limits for one execution. `None`/`usize::MAX`
+/// means unlimited; [`Limits::default`] is fully permissive apart from the
+/// depth guards, which keep their pre-governor defaults.
+#[derive(Clone, Debug)]
+pub struct Limits {
+    /// Wall-clock budget for one `run` (measured from governor creation).
+    pub deadline: Option<Duration>,
+    /// Budget on tuple *operations*: every tuple produced or inspected by
+    /// an operator loop (in either strategy) charges one unit, so the
+    /// bound scales with work done, not just output size.
+    pub max_tuples: Option<u64>,
+    /// Budget on the approximate bytes of materialized operator state
+    /// (intermediate tables, join indexes, group-by partitions).
+    pub max_bytes: Option<u64>,
+    /// User-function recursion depth (both strategies).
+    pub max_recursion_depth: usize,
+    /// Expression nesting depth in the query parser.
+    pub max_parse_depth: usize,
+    /// Element nesting depth in XML document parsing.
+    pub max_document_depth: usize,
+    /// Fault injection for testing the isolation boundary: panic after
+    /// this many governor ticks on the *first* attempt of a run. The
+    /// engine disarms it on a graceful-degradation retry, so tests can
+    /// prove a pipelined panic is caught and the materialized fallback
+    /// completes. Never set in production.
+    pub panic_after_ticks: Option<u64>,
+}
+
+impl Default for Limits {
+    fn default() -> Limits {
+        Limits {
+            deadline: None,
+            max_tuples: None,
+            max_bytes: None,
+            max_recursion_depth: 200,
+            max_parse_depth: 128,
+            max_document_depth: 512,
+            panic_after_ticks: None,
+        }
+    }
+}
+
+impl Limits {
+    /// Fully permissive limits (depth guards at their defaults).
+    pub fn none() -> Limits {
+        Limits::default()
+    }
+
+    pub fn with_deadline(mut self, d: Duration) -> Limits {
+        self.deadline = Some(d);
+        self
+    }
+
+    pub fn with_max_tuples(mut self, n: u64) -> Limits {
+        self.max_tuples = Some(n);
+        self
+    }
+
+    pub fn with_max_bytes(mut self, n: u64) -> Limits {
+        self.max_bytes = Some(n);
+        self
+    }
+
+    pub fn with_max_recursion_depth(mut self, n: usize) -> Limits {
+        self.max_recursion_depth = n;
+        self
+    }
+
+    pub fn with_max_parse_depth(mut self, n: usize) -> Limits {
+        self.max_parse_depth = n;
+        self
+    }
+
+    pub fn with_max_document_depth(mut self, n: usize) -> Limits {
+        self.max_document_depth = n;
+        self
+    }
+}
+
+/// A thread-safe cancellation handle. Clone it, hand the clone to another
+/// thread (the token is `Send + Sync` even though query values are not),
+/// and `cancel()` flips a flag the governor polls cooperatively.
+#[derive(Clone, Debug, Default)]
+pub struct CancellationToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancellationToken {
+    pub fn new() -> CancellationToken {
+        CancellationToken::default()
+    }
+
+    /// Requests cancellation; the running query observes it at its next
+    /// time-check tick and fails with `XQRG0002`.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+struct GovernorInner {
+    token: CancellationToken,
+    deadline: Option<Instant>,
+    max_tuples: u64,
+    max_bytes: u64,
+    max_depth: usize,
+    tuples: Cell<u64>,
+    /// Tuple count at which the slow path must run next: the minimum of
+    /// the next clock/cancel consultation, the budget trip point, and the
+    /// fault-injection point. Keeps the hot path to one compare.
+    next_event: Cell<u64>,
+    /// Next tick count at which to consult the clock and cancel flag.
+    next_time_check: Cell<u64>,
+    bytes: Cell<u64>,
+    depth: Cell<usize>,
+    /// Fault-injection trip point; `u64::MAX` when disarmed.
+    panic_at: Cell<u64>,
+}
+
+/// The running budget counters for one execution, shared (`Rc`) between
+/// the dynamic context, cursors, and the document parser. All methods take
+/// `&self`; the runtime is single-threaded, so plain `Cell` counters
+/// suffice — only the cancel flag crosses threads.
+#[derive(Clone)]
+pub struct Governor(Rc<GovernorInner>);
+
+impl std::fmt::Debug for Governor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Governor")
+            .field("tuples", &self.0.tuples.get())
+            .field("bytes", &self.0.bytes.get())
+            .field("depth", &self.0.depth.get())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for Governor {
+    fn default() -> Governor {
+        Governor::unlimited()
+    }
+}
+
+impl Governor {
+    /// A governor that enforces nothing beyond the default recursion
+    /// guard — the zero-configuration path.
+    pub fn unlimited() -> Governor {
+        Governor::new(&Limits::default(), CancellationToken::new())
+    }
+
+    /// Starts the clock: the deadline is measured from this call.
+    pub fn new(limits: &Limits, token: CancellationToken) -> Governor {
+        let g = Governor(Rc::new(GovernorInner {
+            token,
+            deadline: limits.deadline.map(|d| Instant::now() + d),
+            max_tuples: limits.max_tuples.unwrap_or(u64::MAX),
+            max_bytes: limits.max_bytes.unwrap_or(u64::MAX),
+            max_depth: limits.max_recursion_depth,
+            tuples: Cell::new(0),
+            next_event: Cell::new(0),
+            next_time_check: Cell::new(TIME_CHECK_MASK + 1),
+            bytes: Cell::new(0),
+            depth: Cell::new(0),
+            panic_at: Cell::new(limits.panic_after_ticks.unwrap_or(u64::MAX)),
+        }));
+        g.rearm();
+        g
+    }
+
+    /// Recomputes the single hot-path threshold from the pending events.
+    fn rearm(&self) {
+        let g = &*self.0;
+        let budget_trip = g.max_tuples.saturating_add(1);
+        let next = g
+            .next_time_check
+            .get()
+            .min(budget_trip)
+            .min(g.panic_at.get());
+        g.next_event.set(next);
+    }
+
+    /// One unit of tuple work: increments the cardinality counter and,
+    /// when the precomputed event threshold is reached, runs the slow path
+    /// (budget check, clock/cancel consultation every `TIME_CHECK_MASK+1`
+    /// ticks, fault injection). The common case is one `Cell` increment
+    /// and one compare.
+    #[inline]
+    pub fn tick(&self) -> crate::Result<()> {
+        let g = &*self.0;
+        let n = g.tuples.get() + 1;
+        g.tuples.set(n);
+        if n >= g.next_event.get() {
+            self.slow_tick(n)?;
+        }
+        Ok(())
+    }
+
+    /// Charges `n` units of tuple work at once (bulk operator loops charge
+    /// before allocating their output, so an exploding `Product` trips the
+    /// budget before the allocation is attempted).
+    #[inline]
+    pub fn charge_tuples(&self, n: u64) -> crate::Result<()> {
+        let g = &*self.0;
+        let total = g.tuples.get().saturating_add(n);
+        g.tuples.set(total);
+        if total >= g.next_event.get() {
+            self.slow_tick(total)?;
+        }
+        Ok(())
+    }
+
+    /// The amortized event path: runs only when the tick counter crosses
+    /// `next_event`, so its cost is spread over at least
+    /// `TIME_CHECK_MASK + 1` units of tuple work.
+    #[inline(never)]
+    fn slow_tick(&self, n: u64) -> crate::Result<()> {
+        let g = &*self.0;
+        if n > g.max_tuples {
+            return Err(self.trip_tuples());
+        }
+        let panic_at = g.panic_at.get();
+        if n >= panic_at {
+            g.panic_at.set(u64::MAX);
+            self.rearm();
+            panic!("governor fault injection: panic_after_ticks={panic_at} reached");
+        }
+        if n >= g.next_time_check.get() {
+            g.next_time_check.set(n + TIME_CHECK_MASK + 1);
+            self.rearm();
+            self.check_time()?;
+        }
+        Ok(())
+    }
+
+    /// Charges approximate bytes of materialized state.
+    #[inline]
+    pub fn charge_bytes(&self, n: u64) -> crate::Result<()> {
+        let g = &*self.0;
+        let total = g.bytes.get().saturating_add(n);
+        g.bytes.set(total);
+        if total > g.max_bytes {
+            return Err(XmlError::new(
+                ERR_BYTES,
+                format!(
+                    "memory budget exceeded: ~{total} bytes of materialized state \
+                     (limit {})",
+                    g.max_bytes
+                ),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Forces a clock/cancel check regardless of the tick phase. Cheap
+    /// enough for per-element use in the document parser.
+    pub fn check_time(&self) -> crate::Result<()> {
+        let g = &*self.0;
+        if g.token.is_cancelled() {
+            return Err(XmlError::new(ERR_CANCELLED, "execution cancelled"));
+        }
+        if let Some(dl) = g.deadline {
+            if Instant::now() > dl {
+                return Err(XmlError::new(ERR_DEADLINE, "wall-clock deadline exceeded"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Enters a user-function frame; the single recursion-depth authority
+    /// for both the plan evaluator and the Core interpreter.
+    pub fn enter_frame(&self) -> crate::Result<()> {
+        let g = &*self.0;
+        let d = g.depth.get() + 1;
+        if d > g.max_depth {
+            return Err(XmlError::new(
+                ERR_RECURSION,
+                "function recursion limit exceeded",
+            ));
+        }
+        g.depth.set(d);
+        Ok(())
+    }
+
+    pub fn exit_frame(&self) {
+        let g = &*self.0;
+        g.depth.set(g.depth.get().saturating_sub(1));
+    }
+
+    /// Disarms test-only fault injection (used by the engine before a
+    /// graceful-degradation retry).
+    pub fn disarm_fault_injection(&self) {
+        self.0.panic_at.set(u64::MAX);
+        self.rearm();
+    }
+
+    /// Tuple-work units consumed so far (diagnostics / tests).
+    pub fn tuples_used(&self) -> u64 {
+        self.0.tuples.get()
+    }
+
+    /// Approximate bytes charged so far (diagnostics / tests).
+    pub fn bytes_used(&self) -> u64 {
+        self.0.bytes.get()
+    }
+
+    /// Is a byte budget configured at all? Callers use this to skip the
+    /// O(table) footprint estimate when nobody is counting.
+    #[inline]
+    pub fn has_byte_budget(&self) -> bool {
+        self.0.max_bytes != u64::MAX
+    }
+
+    pub fn token(&self) -> &CancellationToken {
+        &self.0.token
+    }
+
+    #[cold]
+    fn trip_tuples(&self) -> XmlError {
+        XmlError::new(
+            ERR_TUPLES,
+            format!(
+                "cardinality budget exceeded: more than {} tuple operations",
+                self.0.max_tuples
+            ),
+        )
+    }
+}
+
+/// Is this error one of the governor's budget codes? (The engine boundary
+/// uses this to classify `Dynamic` vs `LimitExceeded`.)
+pub fn is_limit_code(code: &str) -> bool {
+    matches!(
+        code,
+        ERR_DEADLINE | ERR_CANCELLED | ERR_TUPLES | ERR_BYTES | ERR_RECURSION
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_trips_on_work() {
+        let g = Governor::unlimited();
+        for _ in 0..10_000 {
+            g.tick().unwrap();
+        }
+        g.charge_bytes(u64::MAX / 2).unwrap();
+        assert_eq!(g.tuples_used(), 10_000);
+    }
+
+    #[test]
+    fn tuple_budget_trips_exactly() {
+        let g = Governor::new(
+            &Limits::default().with_max_tuples(10),
+            CancellationToken::new(),
+        );
+        for _ in 0..10 {
+            g.tick().unwrap();
+        }
+        assert_eq!(g.tick().unwrap_err().code, ERR_TUPLES);
+    }
+
+    #[test]
+    fn byte_budget_trips() {
+        let g = Governor::new(
+            &Limits::default().with_max_bytes(1000),
+            CancellationToken::new(),
+        );
+        g.charge_bytes(600).unwrap();
+        assert_eq!(g.charge_bytes(600).unwrap_err().code, ERR_BYTES);
+    }
+
+    #[test]
+    fn deadline_trips_via_tick() {
+        let g = Governor::new(
+            &Limits::default().with_deadline(Duration::from_millis(0)),
+            CancellationToken::new(),
+        );
+        std::thread::sleep(Duration::from_millis(2));
+        let mut tripped = None;
+        for _ in 0..=TIME_CHECK_MASK + 1 {
+            if let Err(e) = g.tick() {
+                tripped = Some(e);
+                break;
+            }
+        }
+        assert_eq!(tripped.expect("deadline observed").code, ERR_DEADLINE);
+    }
+
+    #[test]
+    fn cancellation_crosses_threads() {
+        let g = Governor::new(&Limits::default(), CancellationToken::new());
+        let token = g.token().clone();
+        std::thread::spawn(move || token.cancel()).join().unwrap();
+        assert_eq!(g.check_time().unwrap_err().code, ERR_CANCELLED);
+    }
+
+    #[test]
+    fn recursion_depth_is_tracked_here() {
+        let g = Governor::new(
+            &Limits::default().with_max_recursion_depth(2),
+            CancellationToken::new(),
+        );
+        g.enter_frame().unwrap();
+        g.enter_frame().unwrap();
+        assert_eq!(g.enter_frame().unwrap_err().code, ERR_RECURSION);
+        g.exit_frame();
+        g.exit_frame();
+        g.enter_frame().unwrap();
+    }
+
+    #[test]
+    fn clones_share_counters() {
+        let g = Governor::new(
+            &Limits::default().with_max_tuples(5),
+            CancellationToken::new(),
+        );
+        let g2 = g.clone();
+        for _ in 0..5 {
+            g.tick().unwrap();
+        }
+        assert_eq!(g2.tick().unwrap_err().code, ERR_TUPLES);
+    }
+}

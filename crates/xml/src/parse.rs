@@ -14,23 +14,45 @@ use std::collections::HashMap;
 use std::rc::Rc;
 
 use crate::build::TreeBuilder;
+use crate::limits::Governor;
 use crate::node::Document;
 use crate::qname::QName;
 use crate::XmlError;
 
 /// Parser configuration.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct ParseOptions {
     /// Keep whitespace-only text nodes (default: false).
     pub preserve_whitespace: bool,
+    /// Element nesting limit: errors instead of exhausting the native
+    /// stack on pathological documents (default 512, the pre-governor
+    /// constant; configure via `Limits::max_document_depth`).
+    pub max_depth: usize,
+    /// Optional governor: when set, the parser consults its deadline and
+    /// cancellation flag periodically, so parsing a huge document is
+    /// interruptible like every other execution phase.
+    pub governor: Option<Governor>,
 }
 
-/// A parse failure, with 1-based line/column info.
+impl Default for ParseOptions {
+    fn default() -> ParseOptions {
+        ParseOptions {
+            preserve_whitespace: false,
+            max_depth: 512,
+            governor: None,
+        }
+    }
+}
+
+/// A parse failure, with 1-based line/column info. `code` carries the
+/// governor's budget code when the failure was a limit trip rather than
+/// malformed input.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ParseError {
     pub message: String,
     pub line: usize,
     pub column: usize,
+    pub code: Option<&'static str>,
 }
 
 impl std::fmt::Display for ParseError {
@@ -47,7 +69,7 @@ impl std::error::Error for ParseError {}
 
 impl From<ParseError> for XmlError {
     fn from(e: ParseError) -> Self {
-        XmlError::new("FODC0006", e.to_string())
+        XmlError::new(e.code.unwrap_or("FODC0006"), e.to_string())
     }
 }
 
@@ -74,11 +96,12 @@ struct Parser<'a> {
     /// Namespace scopes: stack of prefix→uri maps.
     ns_stack: Vec<HashMap<String, Option<String>>>,
     depth: usize,
+    /// Nodes parsed since the governor's clock was last consulted.
+    since_check: u32,
 }
 
-/// Element nesting limit: errors instead of exhausting the native stack on
-/// pathological documents.
-const MAX_ELEMENT_DEPTH: usize = 512;
+/// Nodes parsed between governor deadline/cancel checks.
+const GOVERNOR_CHECK_INTERVAL: u32 = 1024;
 
 impl<'a> Parser<'a> {
     fn new(input: &'a str, options: ParseOptions) -> Self {
@@ -95,10 +118,15 @@ impl<'a> Parser<'a> {
             builder: TreeBuilder::new(),
             ns_stack: vec![base],
             depth: 0,
+            since_check: 0,
         }
     }
 
     fn err(&self, msg: impl Into<String>) -> ParseError {
+        self.err_with_code(msg, None)
+    }
+
+    fn err_with_code(&self, msg: impl Into<String>, code: Option<&'static str>) -> ParseError {
         let consumed = &self.input[..self.pos.min(self.input.len())];
         let line = consumed.bytes().filter(|&b| b == b'\n').count() + 1;
         let column = consumed.len() - consumed.rfind('\n').map(|i| i + 1).unwrap_or(0) + 1;
@@ -106,7 +134,24 @@ impl<'a> Parser<'a> {
             message: msg.into(),
             line,
             column,
+            code,
         }
+    }
+
+    /// Cooperative governor check, consulted every
+    /// [`GOVERNOR_CHECK_INTERVAL`] parsed nodes.
+    fn governor_check(&mut self) -> Result<(), ParseError> {
+        self.since_check += 1;
+        if self.since_check < GOVERNOR_CHECK_INTERVAL {
+            return Ok(());
+        }
+        self.since_check = 0;
+        if let Some(g) = &self.options.governor {
+            if let Err(e) = g.check_time() {
+                return Err(self.err_with_code(e.message, Some(e.code)));
+            }
+        }
+        Ok(())
     }
 
     fn peek(&self) -> Option<u8> {
@@ -240,10 +285,11 @@ impl<'a> Parser<'a> {
 
     fn parse_element(&mut self) -> Result<(), ParseError> {
         self.depth += 1;
-        if self.depth > MAX_ELEMENT_DEPTH {
+        if self.depth > self.options.max_depth {
             self.depth -= 1;
             return Err(self.err("element nesting too deep"));
         }
+        self.governor_check()?;
         let result = self.parse_element_inner();
         self.depth -= 1;
         result
@@ -493,6 +539,7 @@ mod tests {
             src,
             &ParseOptions {
                 preserve_whitespace: true,
+                ..ParseOptions::default()
             },
         )
         .unwrap();

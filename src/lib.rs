@@ -18,4 +18,7 @@ pub use xqr_types as types;
 pub use xqr_xmark as xmark;
 pub use xqr_xml as xml;
 
-pub use xqr_engine::{CompileOptions, Engine, ExecutionMode, JoinAlgorithm, PreparedQuery};
+pub use xqr_engine::{
+    BudgetKind, CancellationToken, CompileOptions, Engine, EngineError, ExecutionMode,
+    JoinAlgorithm, Limits, Phase, PreparedQuery,
+};

@@ -5,14 +5,17 @@
 use xqr::engine::{CompileOptions, Engine, EngineError, ExecutionMode};
 
 fn error_code(engine: &Engine, q: &str, mode: ExecutionMode) -> Option<String> {
+    fn classify(e: EngineError) -> String {
+        match e {
+            EngineError::Syntax(_) => "XPST0003".into(),
+            EngineError::Dynamic(e) => e.code.to_string(),
+            EngineError::LimitExceeded { code, .. } => code.to_string(),
+            EngineError::Internal { .. } => "INTERNAL".into(),
+        }
+    }
     match engine.prepare(q, &CompileOptions::mode(mode)) {
-        Err(EngineError::Syntax(_)) => Some("XPST0003".into()),
-        Err(EngineError::Dynamic(e)) => Some(e.code.to_string()),
-        Ok(p) => match p.run(engine) {
-            Err(EngineError::Dynamic(e)) => Some(e.code.to_string()),
-            Err(EngineError::Syntax(_)) => Some("XPST0003".into()),
-            Ok(_) => None,
-        },
+        Err(e) => Some(classify(e)),
+        Ok(p) => p.run(engine).err().map(classify),
     }
 }
 

@@ -1,0 +1,128 @@
+//! Fuzz smoke test: randomly generated, deliberately pathological queries
+//! (deep nesting, explosive products, error-raising arithmetic) executed
+//! under tight resource limits. Every outcome must be a value or a
+//! structured `EngineError` — never a panic, never a hang. The loop is
+//! time-bounded: ~5 seconds by default, configurable via FUZZ_SMOKE_SECS
+//! (CI runs it for 30).
+
+use std::time::{Duration, Instant};
+
+use xqr::engine::{CompileOptions, Engine, ExecutionMode, Limits};
+
+/// Small deterministic xorshift64* PRNG — no external dependency, and a
+/// fixed seed keeps failures reproducible.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// One random pathological query. Shapes rotate through the constructions
+/// most likely to stress the guards: paren towers (parser depth), nested
+/// FLWORs (compiler recursion + tuple products), element-constructor
+/// towers (normalization depth), quantifier chains, and error-raising
+/// arithmetic mixed into large ranges (governed evaluation).
+fn gen_query(rng: &mut Rng) -> String {
+    match rng.below(6) {
+        0 => {
+            let depth = 1 + rng.below(300) as usize;
+            format!("{}1 + 1{}", "(".repeat(depth), ")".repeat(depth))
+        }
+        1 => {
+            let levels = 1 + rng.below(12);
+            let width = 1 + rng.below(50);
+            let mut q = format!("$v{levels}");
+            for i in (1..=levels).rev() {
+                q = format!("for $v{i} in (1 to {width}) return {q}");
+            }
+            format!("count({q})")
+        }
+        2 => {
+            let depth = 1 + rng.below(60) as usize;
+            format!("{}x{}", "<e>".repeat(depth), "</e>".repeat(depth))
+        }
+        3 => {
+            let n = 1 + rng.below(100_000);
+            let d = rng.below(3);
+            format!("count(for $x in 1 to {n} where $x idiv {d} = 1 return $x)")
+        }
+        4 => {
+            let n = 1 + rng.below(1000);
+            format!(
+                "some $x in (1 to {n}), $y in (1 to {n}) satisfies $x * $y = {}",
+                rng.below(1_000_000)
+            )
+        }
+        _ => {
+            // Linear growth: interpolating the body twice per level would
+            // make the query text (and AST) exponential in the depth.
+            let depth = 1 + rng.below(40);
+            let mut q = "1".to_string();
+            for i in 0..depth {
+                q = format!("if ({} mod 2 = 0) then ({q} + 1) else {i}", i % 3);
+            }
+            q
+        }
+    }
+}
+
+#[test]
+fn fuzz_smoke_no_panics_under_tight_limits() {
+    // Big-stack thread: debug-build frames are large and the depth guards
+    // are sized for the 8 MB main-thread stack, not a test thread's.
+    std::thread::Builder::new()
+        .stack_size(64 * 1024 * 1024)
+        .spawn(fuzz_body)
+        .unwrap()
+        .join()
+        .unwrap();
+}
+
+fn fuzz_body() {
+    let budget = Duration::from_secs(
+        std::env::var("FUZZ_SMOKE_SECS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(5),
+    );
+    let limits = Limits::default()
+        .with_deadline(Duration::from_millis(250))
+        .with_max_tuples(200_000)
+        .with_max_bytes(4 * 1024 * 1024);
+    let mut rng = Rng(0x9E37_79B9_7F4A_7C15);
+    let started = Instant::now();
+    let mut ran = 0u64;
+    while started.elapsed() < budget {
+        let q = gen_query(&mut rng);
+        let mode = ExecutionMode::ALL[(ran % ExecutionMode::ALL.len() as u64) as usize];
+        let e = Engine::new();
+        let per_query = Instant::now();
+        // Ok or a structured error are both fine; a panic unwinds through
+        // the harness and fails the test, a hang trips the per-query bound.
+        let _ = e
+            .prepare(&q, &CompileOptions::mode(mode).limits(limits.clone()))
+            .and_then(|p| p.run(&e));
+        assert!(
+            per_query.elapsed() < Duration::from_secs(10),
+            "query took {:?} under a 250ms deadline (mode {mode:?}): {}...",
+            per_query.elapsed(),
+            &q[..q.len().min(200)]
+        );
+        ran += 1;
+    }
+    assert!(
+        ran > 10,
+        "only {ran} queries in {budget:?} — generator hung?"
+    );
+}

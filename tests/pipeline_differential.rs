@@ -29,6 +29,8 @@ fn err_code(e: EngineError) -> String {
     match e {
         EngineError::Dynamic(x) => x.code.to_string(),
         EngineError::Syntax(_) => "SYNTAX".to_string(),
+        EngineError::LimitExceeded { code, .. } => code.to_string(),
+        EngineError::Internal { .. } => "INTERNAL".to_string(),
     }
 }
 
