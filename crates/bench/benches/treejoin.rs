@@ -1,0 +1,252 @@
+//! TreeJoin structural-kernel benchmarks (hand-rolled harness).
+//!
+//! Two layers:
+//!
+//! * **micro** — the indexed `tree_join` kernels against the naive
+//!   per-node reference walk (`axes::naive`, via the `naive-axes` feature)
+//!   on the shapes the ISSUE calls out: descendant-name steps over wide
+//!   fan-out, deep element chains (containment pruning), the `following`
+//!   group kernel, and an XMark document;
+//! * **xmark** — engine-level path-heavy XMark queries at ~1 MB with the
+//!   streaming `TreeJoin` cursor (the default pipelined strategy).
+//!
+//! Run with `cargo bench -p xqr-bench --bench treejoin`; results are
+//! written to `BENCH_treejoin.json` at the repo root so the perf
+//! trajectory is tracked across PRs. `--test` runs one iteration of
+//! everything and skips the JSON (CI smoke).
+
+use std::time::{Duration, Instant};
+
+use xqr_bench::xmark_engine;
+use xqr_engine::CompileOptions;
+use xqr_xml::axes::{self, naive, Axis, KindTest, NameTest, NodeTest};
+use xqr_xml::node::TrivialHierarchy;
+use xqr_xml::{parse_document, NodeHandle, ParseOptions, Sequence};
+
+/// Median of `samples` timed runs (one `f()` call each).
+fn time_median<F: FnMut()>(samples: usize, mut f: F) -> Duration {
+    let mut times: Vec<Duration> = (0..samples)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed()
+        })
+        .collect();
+    times.sort();
+    times[times.len() / 2]
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1_000.0
+}
+
+fn root_of(xml: &str) -> NodeHandle {
+    let opts = ParseOptions {
+        max_depth: 4_096,
+        ..ParseOptions::default()
+    };
+    parse_document(xml, &opts)
+        .expect("bench document parses")
+        .root()
+}
+
+/// ~20k-child element: one wide fan-out level, tags alternating a/b.
+fn wide_doc() -> String {
+    let mut s = String::with_capacity(200_000);
+    s.push_str("<r>");
+    for i in 0..20_000 {
+        s.push_str(if i % 2 == 0 { "<a/>" } else { "<b/>" });
+    }
+    s.push_str("</r>");
+    s
+}
+
+/// 2000 nested `<d>` elements, a `<leaf/>` at each level: every `<d>` is
+/// an overlapping descendant context (worst case for the naive walk, best
+/// case for containment pruning).
+fn deep_doc() -> String {
+    let n = 2_000;
+    let mut s = String::with_capacity(16 * n);
+    s.push_str("<r>");
+    for _ in 0..n {
+        s.push_str("<d><leaf/>");
+    }
+    for _ in 0..n {
+        s.push_str("</d>");
+    }
+    s.push_str("</r>");
+    s
+}
+
+struct Micro {
+    name: &'static str,
+    naive_ms: f64,
+    indexed_ms: f64,
+}
+
+fn bench_micro(samples: usize) -> Vec<Micro> {
+    let types = &TrivialHierarchy;
+    let mut out = Vec::new();
+    let case = |name: &'static str,
+                input: Sequence,
+                axis: Axis,
+                test: NodeTest,
+                samples: usize,
+                out: &mut Vec<Micro>| {
+        // Equal-output sanity check before timing anything.
+        let a = axes::tree_join(&input, axis, &test, types).expect("indexed");
+        let b = naive::tree_join(&input, axis, &test, types).expect("naive");
+        assert_eq!(a.len(), b.len(), "{name}: kernels disagree");
+        let indexed = time_median(samples, || {
+            std::hint::black_box(axes::tree_join(&input, axis, &test, types).unwrap());
+        });
+        let naive_t = time_median(samples, || {
+            std::hint::black_box(naive::tree_join(&input, axis, &test, types).unwrap());
+        });
+        out.push(Micro {
+            name,
+            naive_ms: ms(naive_t),
+            indexed_ms: ms(indexed),
+        });
+    };
+
+    let wide = root_of(&wide_doc());
+    let deep = root_of(&deep_doc());
+    let xmark = root_of(&xqr_xmark::generate(&xqr_xmark::GenOptions::for_bytes(
+        1_000_000,
+    )));
+
+    // //b over one wide fan-out: postings-list walk vs full subtree scan.
+    case(
+        "descendant-name/wide-20k",
+        Sequence::singleton(wide.clone()),
+        Axis::Descendant,
+        NodeTest::Name(NameTest::local("b")),
+        samples,
+        &mut out,
+    );
+    // //item over a real 1 MB XMark document.
+    case(
+        "descendant-name/xmark-1mb",
+        Sequence::singleton(xmark.clone()),
+        Axis::Descendant,
+        NodeTest::Name(NameTest::local("item")),
+        samples,
+        &mut out,
+    );
+    // Overlapping contexts: every node of the deep chain steps descendant —
+    // containment pruning makes this linear; the naive walk is quadratic.
+    let deep_ctxs = axes::tree_join(
+        &Sequence::singleton(deep.clone()),
+        Axis::DescendantOrSelf,
+        &NodeTest::Name(NameTest::local("d")),
+        types,
+    )
+    .unwrap();
+    case(
+        "descendant-overlap/deep-2k",
+        deep_ctxs.clone(),
+        Axis::Descendant,
+        NodeTest::Name(NameTest::local("leaf")),
+        samples,
+        &mut out,
+    );
+    // Group kernel: following over many contexts in one tree.
+    case(
+        "following/deep-2k",
+        deep_ctxs,
+        Axis::Following,
+        NodeTest::Kind(KindTest::AnyKind),
+        samples,
+        &mut out,
+    );
+    // Sibling kernel over the wide fan-out (binary-search vs linear scan).
+    // (`wide` is the document node; descend to the <a> children of <r>.)
+    let wide_kids = axes::tree_join(
+        &Sequence::singleton(wide),
+        Axis::Descendant,
+        &NodeTest::Name(NameTest::local("a")),
+        types,
+    )
+    .unwrap();
+    let some_kids = Sequence::from_vec(wide_kids.iter().step_by(100).cloned().collect::<Vec<_>>());
+    case(
+        "following-sibling/wide-20k",
+        some_kids,
+        Axis::FollowingSibling,
+        NodeTest::Name(NameTest::local("b")),
+        samples,
+        &mut out,
+    );
+    out
+}
+
+/// The path-heavy XMark queries (no joins): step-chain cost dominates.
+const XMARK_PATH_QUERIES: [usize; 8] = [1, 5, 6, 7, 13, 14, 15, 20];
+
+fn bench_xmark(samples: usize) -> Vec<(String, f64)> {
+    let (engine, _len) = xmark_engine(1_000_000);
+    let mut out = Vec::new();
+    for n in XMARK_PATH_QUERIES {
+        let prepared = engine
+            .prepare(xqr_xmark::query(n), &CompileOptions::default())
+            .expect("prepare");
+        let t = time_median(samples, || {
+            std::hint::black_box(prepared.run(&engine).expect("run"));
+        });
+        out.push((format!("Q{n}"), ms(t)));
+    }
+    out
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--test");
+    let samples = if smoke { 1 } else { 7 };
+
+    let micro = bench_micro(samples);
+    println!("treejoin micro (naive vs indexed kernels):");
+    for m in &micro {
+        println!(
+            "  {:<32} naive {:>9.3} ms   indexed {:>9.3} ms   speedup {:>6.1}x",
+            m.name,
+            m.naive_ms,
+            m.indexed_ms,
+            m.naive_ms / m.indexed_ms
+        );
+    }
+
+    let xmark = bench_xmark(samples);
+    println!("xmark path queries, 1 MB, pipelined (streaming TreeJoin):");
+    for (q, t) in &xmark {
+        println!("  {q:<6} {t:>9.3} ms");
+    }
+
+    if smoke {
+        return;
+    }
+
+    // Machine-readable record, tracked in-repo across PRs.
+    let mut json = String::from("{\n  \"bench\": \"treejoin\",\n  \"micro\": [\n");
+    for (i, m) in micro.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"naive_ms\": {:.3}, \"indexed_ms\": {:.3}, \
+             \"speedup\": {:.2}}}{}\n",
+            m.name,
+            m.naive_ms,
+            m.indexed_ms,
+            m.naive_ms / m.indexed_ms,
+            if i + 1 < micro.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n  \"xmark_1mb_pipelined_ms\": {\n");
+    for (i, (q, t)) in xmark.iter().enumerate() {
+        json.push_str(&format!(
+            "    \"{q}\": {t:.3}{}\n",
+            if i + 1 < xmark.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  }\n}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_treejoin.json");
+    std::fs::write(path, json).expect("write BENCH_treejoin.json");
+    println!("wrote {path}");
+}

@@ -16,6 +16,7 @@ use std::collections::HashMap;
 
 use xqr_frontend::core_ast::{CoreClause, CoreExpr, CoreModule, CoreOrderSpec};
 use xqr_frontend::CoreFunction;
+use xqr_xml::axes::{Axis, KindTest, NodeTest};
 use xqr_xml::QName;
 
 use crate::algebra::{Field, NamePlan, Op, OrderSpecPlan, Plan};
@@ -184,11 +185,35 @@ impl Compiler {
                     els: Box::new(self.expr(els, &branch_env)),
                 })
             }
-            CoreExpr::Step { input, axis, test } => Plan::new(Op::TreeJoin {
-                axis: *axis,
-                test: test.clone(),
-                input: Box::new(self.expr(input, env)),
-            }),
+            CoreExpr::Step { input, axis, test } => {
+                let input = self.expr(input, env);
+                // Peephole: `descendant-or-self::node()/child::T` (the
+                // expansion of `//T`) is exactly `descendant::T` — one
+                // range/postings scan instead of materializing every node
+                // of the subtree as an intermediate context set. Sound
+                // because child never yields attributes and the descendant
+                // kernel skips them; dedup/order are preserved (both sides
+                // emit a duplicate-free document-order set).
+                if *axis == Axis::Child {
+                    if let Op::TreeJoin {
+                        axis: Axis::DescendantOrSelf,
+                        test: NodeTest::Kind(KindTest::AnyKind),
+                        input: inner,
+                    } = &input.op
+                    {
+                        return Plan::new(Op::TreeJoin {
+                            axis: Axis::Descendant,
+                            test: test.clone(),
+                            input: inner.clone(),
+                        });
+                    }
+                }
+                Plan::new(Op::TreeJoin {
+                    axis: *axis,
+                    test: test.clone(),
+                    input: Box::new(input),
+                })
+            }
             CoreExpr::Call { name, args } => {
                 let args: Vec<Plan> = args.iter().map(|a| self.expr(a, env)).collect();
                 match name.local_part() {

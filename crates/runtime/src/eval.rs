@@ -6,7 +6,7 @@ use std::collections::HashMap;
 
 use xqr_core::algebra::{NamePlan, Op, OrderSpecPlan, Plan};
 use xqr_types::validate_sequence;
-use xqr_xml::axes::{tree_join, Axis, NodeTest};
+use xqr_xml::axes::{tree_join_governed, Axis, NodeTest};
 use xqr_xml::{
     AtomicValue, Item, NodeHandle, NodeKind, QName, Sequence, SequenceBuilder, TreeBuilder,
     XmlError,
@@ -149,8 +149,26 @@ pub(crate) fn eval(
             test,
             input: src,
         } => {
-            let items = eval_items(src, ctx, input)?;
-            Ok(Value::Items(tree_join(&items, *axis, test, ctx.schema)?))
+            // A fused step chain streams node-by-node: inner step outputs
+            // feed the outer stepper without materializing the intermediate
+            // sequence. A lone step runs the set-at-a-time kernel directly.
+            if ctx.pipelined && pipeline::treejoin_fuses(plan) {
+                let mut cur = pipeline::open_item_cursor(plan, ctx, input)?;
+                let mut out = SequenceBuilder::new();
+                while let Some(r) = cur.next(ctx) {
+                    out.push_item(r?);
+                }
+                Ok(Value::Items(out.finish()))
+            } else {
+                let items = eval_items(src, ctx, input)?;
+                Ok(Value::Items(tree_join_governed(
+                    &items,
+                    *axis,
+                    test,
+                    ctx.schema,
+                    Some(&ctx.governor),
+                )?))
+            }
         }
         Op::TreeProject { paths, input: src } => {
             let items = eval_items(src, ctx, input)?;

@@ -15,7 +15,7 @@ use std::rc::Rc;
 
 use xqr_frontend::core_ast::{CoreClause, CoreExpr, CoreModule, CoreOrderSpec};
 use xqr_types::Schema;
-use xqr_xml::axes::tree_join;
+use xqr_xml::axes::tree_join_governed;
 use xqr_xml::{AtomicValue, Governor, NodeHandle, QName, Sequence, SequenceBuilder, XmlError};
 
 use crate::compare::{atomize_optional, effective_boolean_value, order_key_compare};
@@ -174,7 +174,7 @@ impl<'a> Interp<'a> {
             }
             CoreExpr::Step { input, axis, test } => {
                 let items = self.eval(input, env)?;
-                tree_join(&items, *axis, test, self.schema)
+                tree_join_governed(&items, *axis, test, self.schema, Some(&self.governor))
             }
             CoreExpr::Call { name, args } => {
                 let mut argv = Vec::with_capacity(args.len());

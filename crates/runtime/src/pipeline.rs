@@ -20,7 +20,8 @@
 //! the first decisive tuple.
 
 use xqr_core::algebra::{Field, Op, Plan};
-use xqr_xml::{AtomicValue, Sequence};
+use xqr_xml::axes::{self, Axis};
+use xqr_xml::{AtomicValue, Item, NodeKind, Sequence, XmlError};
 
 use crate::compare::effective_boolean_value;
 use crate::context::Ctx;
@@ -98,8 +99,41 @@ pub fn fuses(plan: &Plan) -> bool {
             // A conditional fuses when the branch it picks would; that is
             // only known dynamically, so fuse if either branch does.
             Op::Cond { then, els, .. } => fuses(then) || fuses(els),
+            // The items-to-tuples boundary fuses when the item source is a
+            // fusing path chain: the step results are never materialized.
+            Op::MapFromItem { input, .. } => treejoin_fuses(input),
             op => streamed_input(op).is_some_and(|c| streams(&c.op)),
         }
+}
+
+/// Is this item-valued plan a path step the streaming `TreeJoin` cursor can
+/// evaluate incrementally? (Forward axes only; see [`axes::streamable_axis`].)
+pub fn treejoin_streams(plan: &Plan) -> bool {
+    matches!(&plan.op, Op::TreeJoin { axis, .. } if axes::streamable_axis(*axis))
+}
+
+/// Does a `TreeJoin` chain contain a descendant-axis step anywhere?
+fn chain_has_descendant(mut plan: &Plan) -> bool {
+    while let Op::TreeJoin { axis, input, .. } = &plan.op {
+        if matches!(axis, Axis::Descendant | Axis::DescendantOrSelf) {
+            return true;
+        }
+        plan = input;
+    }
+    false
+}
+
+/// A chain of at least two streamable steps, at least one of them a
+/// descendant axis: the inner steps' outputs feed the outer stepper
+/// context-by-context and are never materialized. A lone step over a
+/// materialized source gains nothing from a cursor (the evaluator's
+/// set-at-a-time kernel is the same loop without indirection), and a pure
+/// child/self/attribute chain has small intermediates — the per-node
+/// cursor dispatch measurably loses to the eager kernels there.
+pub fn treejoin_fuses(plan: &Plan) -> bool {
+    matches!(&plan.op, Op::TreeJoin { axis, input, .. }
+        if axes::streamable_axis(*axis) && treejoin_streams(input))
+        && chain_has_descendant(plan)
 }
 
 /// Opens a cursor over a table-valued plan. Streaming operators get their
@@ -164,15 +198,11 @@ pub(crate) fn open_cursor<'p>(
                 i: 0,
             }))
         }
-        Op::MapFromItem { dep, input: src } => {
-            let items = eval_items(src, ctx, input)?;
-            Ok(Box::new(MapFromItemCursor {
-                items,
-                pos: 0,
-                dep,
-                pending: Vec::new().into_iter(),
-            }))
-        }
+        Op::MapFromItem { dep, input: src } => Ok(Box::new(MapFromItemCursor {
+            src: open_item_cursor(src, ctx, input)?,
+            dep,
+            pending: Vec::new().into_iter(),
+        })),
         // A conditional in table position streams its chosen branch.
         Op::Cond { cond, then, els } => {
             let c = eval_items(cond, ctx, input)?;
@@ -508,11 +538,11 @@ impl<'p> TupleCursor<'p> for IndexCursor<'p> {
     }
 }
 
-/// `MapFromItem` — the items-to-tuples boundary: walks an item sequence,
-/// streaming out each item's dependent table.
+/// `MapFromItem` — the items-to-tuples boundary: pulls items from an item
+/// cursor (a streaming path step or a replayed sequence), streaming out
+/// each item's dependent table.
 struct MapFromItemCursor<'p> {
-    items: Sequence,
-    pos: usize,
+    src: BoxItemCursor<'p>,
     dep: &'p Plan,
     pending: std::vec::IntoIter<Tuple>,
 }
@@ -527,11 +557,183 @@ impl<'p> TupleCursor<'p> for MapFromItemCursor<'p> {
             if let Some(t) = self.pending.next() {
                 return Some(Ok(t));
             }
-            let item = self.items.get(self.pos)?.clone();
-            self.pos += 1;
+            let item = match self.src.next(ctx)? {
+                Ok(i) => i,
+                Err(e) => return Some(Err(e)),
+            };
             match eval(self.dep, ctx, Some(&InputVal::Item(item))).and_then(|v| v.into_table()) {
                 Ok(p) => self.pending = p.into_iter(),
                 Err(e) => return Some(Err(e)),
+            }
+        }
+    }
+}
+
+// ===== item cursors (streaming TreeJoin) ====================================
+
+/// A pull-based item stream — the item-sequence analogue of [`TupleCursor`],
+/// used below the items-to-tuples boundary and by the evaluator's `TreeJoin`
+/// arm so multi-step paths flow node-by-node instead of materializing every
+/// intermediate step result.
+pub(crate) trait ItemCursor<'p> {
+    fn next(&mut self, ctx: &mut Ctx<'_>) -> Option<xqr_xml::Result<Item>>;
+}
+
+pub(crate) type BoxItemCursor<'p> = Box<dyn ItemCursor<'p> + 'p>;
+
+/// Opens an item cursor over an item-valued plan. A *fusing* path chain
+/// (see [`treejoin_fuses`]) streams through the incremental steppers;
+/// anything else — including lone steps and pure child/self/attribute
+/// chains, where the eager kernels win — evaluates eagerly and replays.
+pub(crate) fn open_item_cursor<'p>(
+    plan: &'p Plan,
+    ctx: &mut Ctx<'_>,
+    input: Option<&InputVal>,
+) -> xqr_xml::Result<BoxItemCursor<'p>> {
+    if treejoin_fuses(plan) {
+        open_step_cursor(plan, ctx, input)
+    } else {
+        let items = eval_items(plan, ctx, input)?;
+        Ok(Box::new(SeqItemCursor { items, pos: 0 }))
+    }
+}
+
+/// Streaming arm of [`open_item_cursor`]: unconditionally streams any
+/// streamable step (the fuse decision was made at the chain's entry; inner
+/// steps of a qualifying chain must keep streaming so intermediates are
+/// never built).
+fn open_step_cursor<'p>(
+    plan: &'p Plan,
+    ctx: &mut Ctx<'_>,
+    input: Option<&InputVal>,
+) -> xqr_xml::Result<BoxItemCursor<'p>> {
+    if let Op::TreeJoin {
+        axis,
+        test,
+        input: src,
+    } = &plan.op
+    {
+        if axes::streamable_axis(*axis) {
+            // `descendant-or-self` over attribute contexts is the one case
+            // that can emit out of order (a "late" attribute's id exceeds
+            // its element's children); prove it can't happen or fall back.
+            let attr_sensitive =
+                *axis == Axis::DescendantOrSelf && axes::test_can_match_attributes(*axis, test);
+            let src_attr_free = matches!(&src.op, Op::TreeJoin { axis: a, test: t, .. }
+                if axes::step_never_yields_attributes(*a, t));
+            if treejoin_streams(src) && (!attr_sensitive || src_attr_free) {
+                return Ok(Box::new(TreeJoinItemCursor::new(
+                    open_step_cursor(src, ctx, input)?,
+                    *axis,
+                    test,
+                )));
+            }
+            // Materialized source: validate + sort once, then stream.
+            let items = eval_items(src, ctx, input)?;
+            let ctxs = axes::normalize_contexts(&items)?;
+            if !attr_sensitive || ctxs.iter().all(|n| n.kind() != NodeKind::Attribute) {
+                return Ok(Box::new(TreeJoinItemCursor::new(
+                    Box::new(NodeVecCursor {
+                        nodes: ctxs.into_iter(),
+                    }),
+                    *axis,
+                    test,
+                )));
+            }
+            // Rare unsafe case: evaluate the step set-at-a-time, replay.
+            let out =
+                axes::tree_join_governed(&items, *axis, test, ctx.schema, Some(&ctx.governor))?;
+            return Ok(Box::new(SeqItemCursor { items: out, pos: 0 }));
+        }
+    }
+    let items = eval_items(plan, ctx, input)?;
+    Ok(Box::new(SeqItemCursor { items, pos: 0 }))
+}
+
+/// Replays an already-computed item sequence.
+struct SeqItemCursor {
+    items: Sequence,
+    pos: usize,
+}
+
+impl<'p> ItemCursor<'p> for SeqItemCursor {
+    fn next(&mut self, ctx: &mut Ctx<'_>) -> Option<xqr_xml::Result<Item>> {
+        if let Err(e) = ctx.governor.tick() {
+            return Some(Err(e));
+        }
+        let item = self.items.get(self.pos)?.clone();
+        self.pos += 1;
+        Some(Ok(item))
+    }
+}
+
+/// Replays a normalized (document-ordered, deduplicated) context set.
+struct NodeVecCursor {
+    nodes: std::vec::IntoIter<xqr_xml::NodeHandle>,
+}
+
+impl<'p> ItemCursor<'p> for NodeVecCursor {
+    fn next(&mut self, ctx: &mut Ctx<'_>) -> Option<xqr_xml::Result<Item>> {
+        if let Err(e) = ctx.governor.tick() {
+            return Some(Err(e));
+        }
+        self.nodes.next().map(|n| Ok(Item::Node(n)))
+    }
+}
+
+/// Streaming `TreeJoin`: pulls context nodes from the source cursor and
+/// yields step results incrementally through [`axes::StepStream`], charging
+/// the governor one tuple per context and per produced node (mirroring the
+/// set-at-a-time kernel) so exploding steps trip the budget mid-stream.
+struct TreeJoinItemCursor<'p> {
+    src: BoxItemCursor<'p>,
+    stream: axes::StepStream<'p>,
+    src_done: bool,
+}
+
+impl<'p> TreeJoinItemCursor<'p> {
+    fn new(src: BoxItemCursor<'p>, axis: Axis, test: &'p xqr_xml::NodeTest) -> Self {
+        TreeJoinItemCursor {
+            src,
+            stream: axes::StepStream::new(axis, test),
+            src_done: false,
+        }
+    }
+}
+
+impl<'p> ItemCursor<'p> for TreeJoinItemCursor<'p> {
+    fn next(&mut self, ctx: &mut Ctx<'_>) -> Option<xqr_xml::Result<Item>> {
+        if let Err(e) = ctx.governor.tick() {
+            return Some(Err(e));
+        }
+        loop {
+            if let Some(n) = self.stream.pop(ctx.schema) {
+                if let Err(e) = ctx.governor.charge_tuples(1) {
+                    return Some(Err(e));
+                }
+                return Some(Ok(Item::Node(n)));
+            }
+            if self.src_done {
+                return None;
+            }
+            match self.src.next(ctx) {
+                None => {
+                    self.src_done = true;
+                    self.stream.finish();
+                }
+                Some(Ok(item)) => {
+                    let Some(node) = item.as_node() else {
+                        return Some(Err(XmlError::new(
+                            "XPTY0020",
+                            "path step applied to a non-node item",
+                        )));
+                    };
+                    if let Err(e) = ctx.governor.charge_tuples(1) {
+                        return Some(Err(e));
+                    }
+                    self.stream.push_context(node, ctx.schema);
+                }
+                Some(Err(e)) => return Some(Err(e)),
             }
         }
     }
@@ -614,6 +816,10 @@ pub fn pipeline_report(plan: &Plan) -> String {
         match &p.op {
             // Cond appears on both sides of the boundary; don't count it.
             Op::Cond { .. } => {}
+            // Path steps stream when fused into a step chain.
+            Op::TreeJoin { .. } if treejoin_fuses(p) => {
+                *streaming.entry(p.op.name()).or_default() += 1
+            }
             op if streams(op) => *streaming.entry(op.name()).or_default() += 1,
             Op::OrderBy { .. }
             | Op::GroupBy { .. }

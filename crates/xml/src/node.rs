@@ -11,6 +11,8 @@
 //! Documents are immutable once built; validation (in `xqr-types`) produces
 //! an annotated *copy* rather than mutating in place.
 
+use std::cell::OnceCell;
+use std::collections::HashMap;
 use std::rc::Rc;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -18,6 +20,9 @@ use crate::atomic::AtomicValue;
 use crate::qname::QName;
 
 static DOC_COUNTER: AtomicU64 = AtomicU64::new(1);
+
+/// Name id of nodes without a name (documents, text, comments).
+pub const NO_NAME: u32 = u32::MAX;
 
 /// Kinds of nodes in the XQuery data model.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
@@ -72,11 +77,51 @@ impl NodeData {
 /// An immutable tree of nodes. The root is always node 0 and may be a
 /// document node (parsed documents) or an element/text/… node (constructed
 /// fragments).
+///
+/// Beyond the arena itself the document carries a *structural index*,
+/// derived once at build time (see DESIGN.md §4d):
+///
+/// * `subtree_size` — node ids are assigned in preorder, so the subtree of
+///   node `i` is exactly the contiguous id range `[i, i + subtree_size[i])`.
+///   Descendant/following/preceding steps become range arithmetic.
+/// * `names` / `name_ids` — every distinct `QName` is interned to a `u32`,
+///   turning name tests into integer compares.
+/// * `postings` — lazily built per-name sorted lists of element ids, so a
+///   `//name` step scans one postings list instead of the whole subtree.
 #[derive(Debug)]
 pub struct Document {
     seq: u64,
     base_uri: Option<String>,
     nodes: Vec<NodeData>,
+    /// Structural index, derived on first structural access. Constructed
+    /// fragments that are only ever serialized or copied never pay for it —
+    /// eager derivation showed up as a measurable per-constructor tax on
+    /// constructor-heavy queries.
+    index: OnceCell<StructIndex>,
+    /// Lazily built name → sorted element-id postings lists.
+    postings: OnceCell<Postings>,
+}
+
+#[derive(Debug)]
+struct StructIndex {
+    /// `subtree_size[i]` = number of nodes (including attributes and `i`
+    /// itself) in the subtree rooted at node `i`.
+    subtree_size: Vec<u32>,
+    /// Interned name per node (`NO_NAME` for unnamed kinds).
+    name_ids: Vec<u32>,
+    /// Interned name table, indexed by name id.
+    names: Vec<QName>,
+    /// Reverse map for compiling name tests to ids.
+    name_index: HashMap<QName, u32>,
+    /// Ids of top-level (parentless) nodes; usually just `[0]`, but
+    /// constructed fragments may hold several trees in one arena.
+    top_roots: Vec<u32>,
+}
+
+#[derive(Debug)]
+struct Postings {
+    /// `by_name[name_id]` = element ids bearing that name, ascending.
+    by_name: Vec<Vec<u32>>,
 }
 
 impl Document {
@@ -85,7 +130,108 @@ impl Document {
             seq: DOC_COUNTER.fetch_add(1, Ordering::Relaxed),
             base_uri,
             nodes,
+            index: OnceCell::new(),
+            postings: OnceCell::new(),
         })
+    }
+
+    /// Whether the structural index has been derived yet (it is built on
+    /// first structural access and never discarded).
+    pub fn has_index(&self) -> bool {
+        self.index.get().is_some()
+    }
+
+    fn index(&self) -> &StructIndex {
+        self.index.get_or_init(|| {
+            let nodes = &self.nodes;
+            let n = nodes.len();
+            // Parents always precede children in the arena, so one reverse
+            // pass accumulates exact subtree sizes.
+            let mut subtree_size = vec![1u32; n];
+            for i in (1..n).rev() {
+                if let Some(p) = nodes[i].parent {
+                    subtree_size[p.0 as usize] += subtree_size[i];
+                }
+            }
+            let mut names: Vec<QName> = Vec::new();
+            let mut name_index: HashMap<QName, u32> = HashMap::new();
+            let mut name_ids = Vec::with_capacity(n);
+            for nd in nodes {
+                let nid = match &nd.name {
+                    None => NO_NAME,
+                    Some(q) => *name_index.entry(q.clone()).or_insert_with(|| {
+                        names.push(q.clone());
+                        (names.len() - 1) as u32
+                    }),
+                };
+                name_ids.push(nid);
+            }
+            // Top-level trees partition the arena into contiguous runs.
+            let mut top_roots = Vec::new();
+            let mut i = 0u32;
+            while (i as usize) < n {
+                debug_assert!(nodes[i as usize].parent.is_none());
+                top_roots.push(i);
+                i += subtree_size[i as usize];
+            }
+            StructIndex {
+                subtree_size,
+                name_ids,
+                names,
+                name_index,
+                top_roots,
+            }
+        })
+    }
+
+    /// Exclusive end of the preorder id range covering `id`'s subtree:
+    /// descendants-or-self of `id` are exactly the ids `id.0..end` (the
+    /// range includes attribute nodes, which axis kernels filter out).
+    pub fn subtree_end(&self, id: NodeId) -> u32 {
+        id.0 + self.index().subtree_size[id.0 as usize]
+    }
+
+    pub fn kind_of(&self, id: NodeId) -> NodeKind {
+        self.nodes[id.0 as usize].kind
+    }
+
+    /// Interned name id of a node (`NO_NAME` for unnamed kinds).
+    pub fn name_id_of(&self, id: NodeId) -> u32 {
+        self.index().name_ids[id.0 as usize]
+    }
+
+    /// Id of `name` in this document's intern table, if any node bears it.
+    pub fn lookup_name(&self, name: &QName) -> Option<u32> {
+        self.index().name_index.get(name).copied()
+    }
+
+    /// Root of the top-level tree containing `id` (O(log #trees)).
+    pub fn tree_root_of(&self, id: NodeId) -> NodeId {
+        let idx = self.index();
+        let k = idx.top_roots.partition_point(|&r| r <= id.0);
+        NodeId(idx.top_roots[k - 1])
+    }
+
+    /// Sorted element-id postings list for an interned name, built for the
+    /// whole document on first use.
+    pub fn element_postings(&self, name_id: u32) -> &[u32] {
+        let p = self.postings.get_or_init(|| {
+            let idx = self.index();
+            let mut by_name = vec![Vec::new(); idx.names.len()];
+            for (i, nd) in self.nodes.iter().enumerate() {
+                if nd.kind == NodeKind::Element {
+                    let nid = idx.name_ids[i];
+                    if nid != NO_NAME {
+                        by_name[nid as usize].push(i as u32);
+                    }
+                }
+            }
+            Postings { by_name }
+        });
+        p.by_name
+            .get(name_id as usize)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
     }
 
     pub fn base_uri(&self) -> Option<&str> {
@@ -171,29 +317,43 @@ impl NodeHandle {
         (self.doc.seq, self.id.0)
     }
 
-    /// The node's string value per the data model.
+    /// The node's string value per the data model. For elements and
+    /// documents this is one flat pass over the node's contiguous subtree
+    /// id range — no recursion, so arbitrarily deep trees are safe.
     pub fn string_value(&self) -> String {
         match self.kind() {
             NodeKind::Text | NodeKind::Comment | NodeKind::Pi | NodeKind::Attribute => {
                 self.data().value.as_deref().unwrap_or("").to_string()
             }
             NodeKind::Element | NodeKind::Document => {
+                // Flat scan when the structural index is already built;
+                // otherwise an explicit child stack (still no recursion, and
+                // it avoids forcing index derivation on fresh fragments).
                 let mut out = String::new();
-                self.collect_text(self.id, &mut out);
+                if self.doc.has_index() {
+                    let end = self.doc.subtree_end(self.id);
+                    for i in self.id.0..end {
+                        let data = self.doc.data(NodeId(i));
+                        if data.kind == NodeKind::Text {
+                            if let Some(v) = &data.value {
+                                out.push_str(v);
+                            }
+                        }
+                    }
+                } else {
+                    let mut stack: Vec<NodeId> = vec![self.id];
+                    while let Some(id) = stack.pop() {
+                        let data = self.doc.data(id);
+                        if data.kind == NodeKind::Text {
+                            if let Some(v) = &data.value {
+                                out.push_str(v);
+                            }
+                        }
+                        stack.extend(data.children.iter().rev().copied());
+                    }
+                }
                 out
             }
-        }
-    }
-
-    fn collect_text(&self, id: NodeId, out: &mut String) {
-        let data = self.doc.data(id);
-        if data.kind == NodeKind::Text {
-            if let Some(v) = &data.value {
-                out.push_str(v);
-            }
-        }
-        for &c in &data.children {
-            self.collect_text(c, out);
         }
     }
 
@@ -213,21 +373,18 @@ impl NodeHandle {
 
     /// Root of this node's tree.
     pub fn tree_root(&self) -> NodeHandle {
-        let mut cur = self.id;
-        while let Some(p) = self.doc.data(cur).parent {
-            cur = p;
-        }
-        self.at(cur)
+        self.at(self.doc.tree_root_of(self.id))
     }
 
     /// All descendant nodes in document order (excluding attributes),
-    /// not including `self`.
+    /// not including `self`: a scan of the subtree's preorder id range.
     pub fn descendants(&self) -> Vec<NodeHandle> {
+        let end = self.doc.subtree_end(self.id);
         let mut out = Vec::new();
-        let mut stack: Vec<NodeId> = self.data().children.iter().rev().copied().collect();
-        while let Some(id) = stack.pop() {
-            out.push(self.at(id));
-            stack.extend(self.doc.data(id).children.iter().rev().copied());
+        for i in (self.id.0 + 1)..end {
+            if self.doc.kind_of(NodeId(i)) != NodeKind::Attribute {
+                out.push(self.at(NodeId(i)));
+            }
         }
         out
     }
@@ -356,5 +513,56 @@ mod tests {
         let doc = sample();
         let a = &doc.root().children()[0];
         assert_eq!(a.typed_value(), vec![AtomicValue::untyped("hitail")]);
+    }
+
+    #[test]
+    fn subtree_ranges_cover_descendants() {
+        let doc = sample();
+        let root = doc.root();
+        // Document node covers the whole arena.
+        assert_eq!(doc.subtree_end(root.id), doc.node_count() as u32);
+        let a = &root.children()[0];
+        // <a>'s range holds itself, one attribute, b, "hi", c, "tail".
+        assert_eq!(doc.subtree_end(a.id) - a.id.0, 6);
+        for d in a.descendants() {
+            assert!(d.id.0 > a.id.0 && d.id.0 < doc.subtree_end(a.id));
+        }
+        assert_eq!(doc.tree_root_of(a.children()[0].id), root.id);
+    }
+
+    #[test]
+    fn name_interning_and_postings() {
+        let doc = sample();
+        let a_id = doc.lookup_name(&QName::local("a")).expect("a interned");
+        let b_id = doc.lookup_name(&QName::local("b")).expect("b interned");
+        assert_ne!(a_id, b_id);
+        assert!(doc.lookup_name(&QName::local("nope")).is_none());
+        let bs = doc.element_postings(b_id);
+        assert_eq!(bs.len(), 1);
+        let root = doc.root();
+        assert_eq!(doc.name_id_of(root.children()[0].id), a_id);
+        // Postings lists are ascending element ids of that name only.
+        for &i in bs {
+            assert_eq!(doc.kind_of(NodeId(i)), NodeKind::Element);
+            assert_eq!(doc.name_id_of(NodeId(i)), b_id);
+        }
+    }
+
+    #[test]
+    fn string_value_on_deep_tree_is_iterative() {
+        // 20k nested elements with one text leaf: the old recursive
+        // collector would blow the stack; the range scan must not.
+        let mut b = TreeBuilder::new();
+        for _ in 0..20_000 {
+            b.start_element(QName::local("d"));
+        }
+        b.text("leaf");
+        for _ in 0..20_000 {
+            b.end_element();
+        }
+        let doc = b.finish(None);
+        let root = doc.root();
+        assert_eq!(root.string_value(), "leaf");
+        assert_eq!(doc.subtree_end(root.id), doc.node_count() as u32);
     }
 }
