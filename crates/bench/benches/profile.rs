@@ -1,0 +1,172 @@
+//! Profiling-overhead benchmark (hand-rolled harness).
+//!
+//! Runs the twenty XMark queries at ~1 MB twice per query — profiling off
+//! (the default) and on (`CompileOptions::with_profiling`) — and reports
+//! the per-query overhead of the sampled per-operator instrumentation,
+//! plus each query's hottest operators by self time from the profiled run.
+//!
+//! Run with `cargo bench -p xqr-bench --bench profile`; results are
+//! written to `BENCH_profile.json` at the repo root. `--test` runs one
+//! iteration of everything and skips the JSON (CI smoke). The overhead
+//! budget is the ISSUE's: parity when disabled, ≤3% when profiling.
+
+use std::time::{Duration, Instant};
+
+use xqr_bench::xmark_engine;
+use xqr_engine::{CompileOptions, ProfileNode, QueryProfile};
+
+fn time_once<F: FnMut()>(f: &mut F) -> Duration {
+    let t = Instant::now();
+    f();
+    t.elapsed()
+}
+
+/// Minima of `samples` timed runs of each closure, with the runs
+/// *interleaved* (off, on, off, on, …) after one warmup apiece. The
+/// minimum is the noise-robust statistic for an overhead comparison —
+/// scheduler preemption and allocator jitter only ever add time — and the
+/// interleaving makes clock/load drift land on both sides equally instead
+/// of skewing whichever block ran second.
+fn time_pair<F: FnMut(), G: FnMut()>(
+    samples: usize,
+    mut off: F,
+    mut on: G,
+) -> (Duration, Duration) {
+    off();
+    on();
+    let mut best_off = Duration::MAX;
+    let mut best_on = Duration::MAX;
+    for _ in 0..samples {
+        best_off = best_off.min(time_once(&mut off));
+        best_on = best_on.min(time_once(&mut on));
+    }
+    (best_off, best_on)
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1_000.0
+}
+
+struct HotOp {
+    label: String,
+    self_ms: f64,
+    rows: u64,
+}
+
+/// The top operators by self (exclusive) time, heaviest first.
+fn hottest(profile: &QueryProfile, top: usize) -> Vec<HotOp> {
+    fn flatten(n: &ProfileNode, out: &mut Vec<HotOp>) {
+        if n.touched {
+            out.push(HotOp {
+                label: n.label.clone(),
+                self_ms: n.exclusive_nanos as f64 / 1e6,
+                rows: n.rows,
+            });
+        }
+        for c in &n.children {
+            flatten(c, out);
+        }
+    }
+    let mut out = Vec::new();
+    if let Some(r) = &profile.root {
+        flatten(r, &mut out);
+    }
+    out.sort_by(|a, b| b.self_ms.total_cmp(&a.self_ms));
+    out.truncate(top);
+    out
+}
+
+struct QueryRow {
+    name: String,
+    off_ms: f64,
+    on_ms: f64,
+    hot: Vec<HotOp>,
+}
+
+fn bench_queries(samples: usize) -> Vec<QueryRow> {
+    let (engine, _len) = xmark_engine(1_000_000);
+    let mut out = Vec::new();
+    for n in 1..=xqr_xmark::QUERY_COUNT {
+        let q = xqr_xmark::query(n);
+        let plain = engine
+            .prepare(q, &CompileOptions::default())
+            .expect("prepare");
+        let profiled = engine
+            .prepare(q, &CompileOptions::default().with_profiling())
+            .expect("prepare profiled");
+        let (off, on) = time_pair(
+            samples,
+            || {
+                std::hint::black_box(plain.run(&engine).expect("run"));
+            },
+            || {
+                std::hint::black_box(profiled.run(&engine).expect("run profiled"));
+            },
+        );
+        let profile = profiled.profile().expect("profile recorded");
+        out.push(QueryRow {
+            name: format!("Q{n}"),
+            off_ms: ms(off),
+            on_ms: ms(on),
+            hot: hottest(&profile, 3),
+        });
+    }
+    out
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--test");
+    let samples = if smoke { 1 } else { 15 };
+
+    let rows = bench_queries(samples);
+    println!("xmark 1 MB, pipelined: profiling off vs on (per-operator stats):");
+    let mut worst: f64 = 0.0;
+    for r in &rows {
+        let overhead = (r.on_ms / r.off_ms - 1.0) * 100.0;
+        worst = worst.max(overhead);
+        let hot = r
+            .hot
+            .iter()
+            .map(|h| format!("{} {:.2}ms/{} rows", h.label, h.self_ms, h.rows))
+            .collect::<Vec<_>>()
+            .join(", ");
+        println!(
+            "  {:<5} off {:>8.3} ms   on {:>8.3} ms   overhead {:>6.1}%   hottest: {hot}",
+            r.name, r.off_ms, r.on_ms, overhead
+        );
+    }
+    println!("worst-case overhead: {worst:.1}%");
+
+    if smoke {
+        return;
+    }
+
+    // Machine-readable record, tracked in-repo across PRs.
+    let mut json = String::from("{\n  \"bench\": \"profile\",\n  \"xmark_1mb\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let hot = r
+            .hot
+            .iter()
+            .map(|h| {
+                format!(
+                    "{{\"op\": \"{}\", \"self_ms\": {:.3}, \"rows\": {}}}",
+                    h.label, h.self_ms, h.rows
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"off_ms\": {:.3}, \"on_ms\": {:.3}, \
+             \"overhead_pct\": {:.2}, \"hottest\": [{hot}]}}{}\n",
+            r.name,
+            r.off_ms,
+            r.on_ms,
+            (r.on_ms / r.off_ms - 1.0) * 100.0,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str(&format!("  ],\n  \"worst_overhead_pct\": {worst:.2}\n}}\n"));
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_profile.json");
+    std::fs::write(path, json).expect("write BENCH_profile.json");
+    println!("wrote {path}");
+}

@@ -23,9 +23,14 @@ pub mod fields;
 pub mod pretty;
 pub mod project;
 pub mod rewrite;
+pub mod trace;
 
 pub use algebra::{Field, NamePlan, Op, OrderSpecPlan, Plan};
 pub use compile::{compile_module, CompiledFunction, CompiledModule};
 pub use fields::{output_fields, used_input_fields, uses_input};
 pub use project::apply_document_projection;
-pub use rewrite::{rewrite_module, rewrite_module_with, rewrite_plan, RewriteStats, RuleConfig};
+pub use rewrite::{
+    rewrite_module, rewrite_module_traced, rewrite_module_with, rewrite_plan, RewriteStats,
+    RuleConfig, RuleEvent,
+};
+pub use trace::{CollectingTracer, NoopTracer, StderrTracer, TraceEvent, Tracer};

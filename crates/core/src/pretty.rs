@@ -22,6 +22,101 @@ pub fn indented(p: &Plan) -> String {
     s
 }
 
+/// `Op` name plus its bracketed parameters — the per-operator label used
+/// by both the indented renderers and profile nodes.
+pub fn op_label(op: &Op) -> String {
+    format!("{}{}", op.name(), params_of(op))
+}
+
+/// Renders a plan indented with per-operator annotations.
+///
+/// `ann` is indexed by *preorder position* over the `Op::children()`
+/// traversal order (the same order `plan_size` counts), so callers build
+/// annotations by walking the plan once with a counter; indices beyond
+/// `ann.len()` are treated as unannotated. This is the single annotation
+/// mechanism shared by `explain()` (static execution notes) and
+/// `explain_analyze()` (measured cardinalities and timings), so the two
+/// renderings cannot drift apart structurally.
+///
+/// A subtree collapses to its one-line compact form only when *no strict
+/// descendant* carries an annotation; the node's own annotation rides on
+/// the compact line as a `  -- note` suffix.
+pub fn indented_annotated(p: &Plan, ann: &[Option<String>]) -> String {
+    let mut s = String::new();
+    let mut idx = 0usize;
+    write_annotated(&mut s, p, 0, ann, &mut idx);
+    s
+}
+
+fn ann_at(ann: &[Option<String>], i: usize) -> Option<&str> {
+    ann.get(i).and_then(|a| a.as_deref())
+}
+
+fn subtree_has_annotation(ann: &[Option<String>], start: usize, end: usize) -> bool {
+    ann.iter()
+        .take(end.min(ann.len()))
+        .skip(start.min(ann.len()))
+        .any(|a| a.is_some())
+}
+
+fn write_annotated(
+    out: &mut String,
+    p: &Plan,
+    depth: usize,
+    ann: &[Option<String>],
+    idx: &mut usize,
+) {
+    let i = *idx;
+    let size = crate::algebra::plan_size(p);
+    let line = compact(p);
+    // Collapse exactly when the unannotated renderer would, provided no
+    // strict descendant needs its own annotation line.
+    if line.len() <= 60 && !subtree_has_annotation(ann, i + 1, i + size) {
+        match ann_at(ann, i) {
+            Some(a) => {
+                let _ = writeln!(out, "{}{}  -- {}", "  ".repeat(depth), line, a);
+            }
+            None => {
+                let _ = writeln!(out, "{}{}", "  ".repeat(depth), line);
+            }
+        }
+        *idx = i + size;
+        return;
+    }
+    let label = op_label(&p.op);
+    match ann_at(ann, i) {
+        Some(a) => {
+            let _ = writeln!(out, "{}{}  -- {}", "  ".repeat(depth), label, a);
+        }
+        None => {
+            let _ = writeln!(out, "{}{}", "  ".repeat(depth), label);
+        }
+    }
+    *idx = i + 1;
+    for (c, kind) in p.op.children() {
+        let marker = match kind {
+            crate::algebra::ChildKind::Rebinds => "{} ",
+            crate::algebra::ChildKind::Inherit => "() ",
+        };
+        let _ = write!(out, "{}{}", "  ".repeat(depth + 1), marker);
+        let mut inner = String::new();
+        write_annotated(&mut inner, c, 0, ann, idx);
+        let shifted = inner
+            .lines()
+            .enumerate()
+            .map(|(j, l)| {
+                if j == 0 {
+                    l.to_string()
+                } else {
+                    format!("{}{}", "  ".repeat(depth + 2), l)
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        let _ = writeln!(out, "{shifted}");
+    }
+}
+
 fn write_indented(out: &mut String, p: &Plan, depth: usize) {
     // Small sub-plans print compactly; larger ones recurse.
     let line = compact(p);

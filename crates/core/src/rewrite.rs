@@ -71,16 +71,33 @@ impl RuleConfig {
     }
 }
 
-/// Rewrite statistics: rule name → number of applications.
+/// One rewrite-rule firing, recorded when per-rule tracing is enabled:
+/// which rule fired and the operator count of the subtree it fired on,
+/// immediately before and after.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RuleEvent {
+    pub rule: &'static str,
+    pub before_ops: usize,
+    pub after_ops: usize,
+    pub nanos: u64,
+}
+
+/// Rewrite statistics: rule name → number of applications. With `trace`
+/// set (see [`rewrite_module_traced`]) also one [`RuleEvent`] per firing,
+/// in firing order.
 #[derive(Clone, Debug, Default)]
 pub struct RewriteStats {
     pub applications: BTreeMap<&'static str, usize>,
     pub passes: usize,
+    pub events: Vec<RuleEvent>,
+    trace: bool,
+    last_rule: Option<&'static str>,
 }
 
 impl RewriteStats {
     fn record(&mut self, rule: &'static str) {
         *self.applications.entry(rule).or_insert(0) += 1;
+        self.last_rule = Some(rule);
     }
 
     pub fn total(&self) -> usize {
@@ -100,6 +117,33 @@ pub fn rewrite_module(m: &mut CompiledModule) -> RewriteStats {
 /// Rewrites with an explicit rule configuration (ablation studies).
 pub fn rewrite_module_with(m: &mut CompiledModule, rules: RuleConfig) -> RewriteStats {
     let mut stats = RewriteStats::default();
+    let mut ctx = Ctx {
+        rules,
+        ..Ctx::default()
+    };
+    fixpoint(&mut m.body, &mut ctx, &mut stats);
+    let mut functions: Vec<_> = m.functions.values_mut().collect();
+    functions.sort_by(|a, b| a.name.cmp(&b.name));
+    for f in functions {
+        fixpoint(&mut f.body, &mut ctx, &mut stats);
+    }
+    for (_, g) in m.globals.iter_mut() {
+        if let Some(p) = g {
+            fixpoint(p, &mut ctx, &mut stats);
+        }
+    }
+    stats
+}
+
+/// Like [`rewrite_module_with`], but records a [`RuleEvent`] per rule
+/// firing into the returned stats (`events`). The timing cost
+/// (`Instant::now` + `plan_size` around each firing) is paid only on this
+/// entry point; the untraced path is unchanged.
+pub fn rewrite_module_traced(m: &mut CompiledModule, rules: RuleConfig) -> RewriteStats {
+    let mut stats = RewriteStats {
+        trace: true,
+        ..RewriteStats::default()
+    };
     let mut ctx = Ctx {
         rules,
         ..Ctx::default()
@@ -167,6 +211,16 @@ fn pass(p: &mut Plan, ctx: &mut Ctx, stats: &mut RewriteStats) -> bool {
     // Apply rules at this node until stable.
     loop {
         let r = ctx.rules;
+        // The `||` chain below fires at most one rule per iteration, so a
+        // snapshot around the chain attributes exactly one firing. Taken
+        // only under per-rule tracing; the normal path pays one bool test.
+        let before_ops = if stats.trace {
+            crate::algebra::plan_size(p)
+        } else {
+            0
+        };
+        let t0 = stats.trace.then(std::time::Instant::now);
+        stats.last_rule = None;
         let fired = (r.remove_map && remove_map(p, stats))
             || (r.unnesting && insert_group_by(p, ctx, stats))
             || (r.unnesting && map_through_group_by(p, ctx, stats))
@@ -177,6 +231,14 @@ fn pass(p: &mut Plan, ctx: &mut Ctx, stats: &mut RewriteStats) -> bool {
             || (r.push_rules && push_omap_concat_through_index(p, stats))
             || (r.join_insertion && insert_product(p, stats));
         if fired {
+            if let Some(t0) = t0 {
+                stats.events.push(RuleEvent {
+                    rule: stats.last_rule.unwrap_or("unknown"),
+                    before_ops,
+                    after_ops: crate::algebra::plan_size(p),
+                    nanos: t0.elapsed().as_nanos() as u64,
+                });
+            }
             changed = true;
             // Newly exposed children may enable further rewrites below this
             // node within the same pass.

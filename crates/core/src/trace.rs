@@ -1,0 +1,167 @@
+//! Phase tracing: structured span events for the compile/execute pipeline.
+//!
+//! The engine emits one [`TraceEvent`] per pipeline phase (parse →
+//! normalize → compile → rewrite → execute) and one per rewrite rule that
+//! fired (with before/after operator counts of the subtree it fired on),
+//! behind the [`Tracer`] trait. The default is [`NoopTracer`]; when no
+//! tracer is installed the engine skips event construction entirely, so
+//! the untraced path does no extra work beyond an `Option` check per
+//! phase. [`CollectingTracer`] buffers events for programmatic inspection
+//! (tests, tooling); [`StderrTracer`] prints them as they happen, which
+//! turns "which rule produced this GroupBy?" into a flag instead of a
+//! print-statement session.
+
+use std::cell::RefCell;
+
+/// One structured trace event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A pipeline phase completed. `detail` carries phase-specific context
+    /// (operator counts, strategy, rule totals).
+    Span {
+        phase: &'static str,
+        nanos: u64,
+        detail: String,
+    },
+    /// A rewrite rule fired on some subtree; the operator counts are of
+    /// that subtree immediately before and after the rule.
+    Rule {
+        rule: &'static str,
+        before_ops: usize,
+        after_ops: usize,
+        nanos: u64,
+    },
+}
+
+impl TraceEvent {
+    /// One-line human-readable rendering.
+    pub fn render(&self) -> String {
+        match self {
+            TraceEvent::Span {
+                phase,
+                nanos,
+                detail,
+            } => {
+                if detail.is_empty() {
+                    format!("span {phase} {:.3}ms", *nanos as f64 / 1e6)
+                } else {
+                    format!("span {phase} {:.3}ms ({detail})", *nanos as f64 / 1e6)
+                }
+            }
+            TraceEvent::Rule {
+                rule,
+                before_ops,
+                after_ops,
+                nanos,
+            } => format!(
+                "rule {rule}: {before_ops} -> {after_ops} ops, {:.1}us",
+                *nanos as f64 / 1e3
+            ),
+        }
+    }
+}
+
+/// Receiver of trace events. Implementations must tolerate events from
+/// any phase in any order (a failing phase may emit no closing span).
+pub trait Tracer {
+    fn event(&self, ev: &TraceEvent);
+}
+
+/// Discards everything (the default when tracing is off).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopTracer;
+
+impl Tracer for NoopTracer {
+    fn event(&self, _ev: &TraceEvent) {}
+}
+
+/// Buffers events in memory for later inspection.
+#[derive(Debug, Default)]
+pub struct CollectingTracer {
+    events: RefCell<Vec<TraceEvent>>,
+}
+
+impl CollectingTracer {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A copy of all events received so far.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events.borrow().clone()
+    }
+
+    /// Drains and returns the buffered events.
+    pub fn take(&self) -> Vec<TraceEvent> {
+        std::mem::take(&mut *self.events.borrow_mut())
+    }
+
+    /// Phases of the `Span` events received, in order.
+    pub fn phases(&self) -> Vec<&'static str> {
+        self.events
+            .borrow()
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Span { phase, .. } => Some(*phase),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+impl Tracer for CollectingTracer {
+    fn event(&self, ev: &TraceEvent) {
+        self.events.borrow_mut().push(ev.clone());
+    }
+}
+
+/// Prints each event to stderr as it happens, prefixed `[xqr-trace]`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StderrTracer;
+
+impl Tracer for StderrTracer {
+    fn event(&self, ev: &TraceEvent) {
+        eprintln!("[xqr-trace] {}", ev.render());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collecting_tracer_buffers_in_order() {
+        let t = CollectingTracer::new();
+        t.event(&TraceEvent::Span {
+            phase: "parse",
+            nanos: 1_000,
+            detail: String::new(),
+        });
+        t.event(&TraceEvent::Rule {
+            rule: "remove map",
+            before_ops: 5,
+            after_ops: 3,
+            nanos: 200,
+        });
+        t.event(&TraceEvent::Span {
+            phase: "execute",
+            nanos: 2_000,
+            detail: "rows=1".into(),
+        });
+        assert_eq!(t.phases(), vec!["parse", "execute"]);
+        assert_eq!(t.events().len(), 3);
+        assert_eq!(t.take().len(), 3);
+        assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn render_is_human_readable() {
+        let ev = TraceEvent::Rule {
+            rule: "insert join",
+            before_ops: 10,
+            after_ops: 8,
+            nanos: 1_500,
+        };
+        assert_eq!(ev.render(), "rule insert join: 10 -> 8 ops, 1.5us");
+    }
+}

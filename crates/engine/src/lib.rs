@@ -32,19 +32,27 @@
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::rc::Rc;
+use std::time::Instant;
 
-use xqr_core::{compile_module, pretty, rewrite_module_with, CompiledModule, RewriteStats};
+use xqr_core::algebra::plan_size;
+use xqr_core::{
+    compile_module, pretty, rewrite_module_traced, rewrite_module_with, CompiledModule,
+    RewriteStats,
+};
 
 pub use xqr_core::RuleConfig;
-use xqr_frontend::{frontend_with, CoreModule, SyntaxError};
-use xqr_runtime::{eval_core_module_with, Ctx};
+pub use xqr_core::{CollectingTracer, NoopTracer, StderrTracer, TraceEvent, Tracer};
+use xqr_frontend::{frontend_with, normalize_module, parse_query_with, CoreModule, SyntaxError};
+use xqr_runtime::{eval_core_module_profiled, Ctx, InterpProfile, Profiler};
 use xqr_types::Schema;
 use xqr_xml::limits::{ERR_BYTES, ERR_CANCELLED, ERR_DEADLINE, ERR_RECURSION, ERR_TUPLES};
+use xqr_xml::metrics::metrics;
 use xqr_xml::parse::{parse_document, ParseOptions};
 use xqr_xml::{Governor, NodeHandle, QName, Sequence, XmlError};
 
-pub use xqr_runtime::JoinAlgorithm;
-pub use xqr_xml::{CancellationToken, Limits};
+pub use xqr_runtime::{JoinAlgorithm, ProfileNode, QueryProfile};
+pub use xqr_xml::{CancellationToken, Limits, MetricsSnapshot};
 
 /// How a prepared query executes.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -115,6 +123,10 @@ pub struct CompileOptions {
     /// materialized strategy. The fallback is recorded and reported by
     /// [`PreparedQuery::explain`]. Limit violations are never retried.
     pub fallback_to_materialized: bool,
+    /// Collect a per-operator runtime profile on every run (EXPLAIN
+    /// ANALYZE). Off by default: the disabled path is a single `Option`
+    /// check per operator open/dispatch.
+    pub profile: bool,
 }
 
 impl CompileOptions {
@@ -158,6 +170,12 @@ impl CompileOptions {
     /// Enables the materialized-strategy retry on pipelined failure.
     pub fn with_fallback(mut self) -> CompileOptions {
         self.fallback_to_materialized = true;
+        self
+    }
+
+    /// Enables per-operator runtime profiling ([`PreparedQuery::explain_analyze`]).
+    pub fn with_profiling(mut self) -> CompileOptions {
+        self.profile = true;
         self
     }
 }
@@ -333,11 +351,52 @@ pub struct Engine {
     /// for document parsing. Overridden per query by
     /// [`CompileOptions::limits`].
     limits: Option<Limits>,
+    /// Receiver of phase/rule trace events; `None` skips event
+    /// construction entirely.
+    tracer: Option<Rc<dyn Tracer>>,
 }
 
 impl Engine {
     pub fn new() -> Engine {
-        Engine::default()
+        #[allow(unused_mut)]
+        let mut e = Engine::default();
+        #[cfg(feature = "trace-log")]
+        if std::env::var_os("XQR_TRACE").is_some_and(|v| !v.is_empty() && v != "0") {
+            e.tracer = Some(Rc::new(StderrTracer));
+        }
+        e
+    }
+
+    /// Installs a tracer receiving one span per pipeline phase and one
+    /// event per rewrite rule that fires.
+    pub fn set_tracer(&mut self, tracer: Rc<dyn Tracer>) {
+        self.tracer = Some(tracer);
+    }
+
+    /// Removes the installed tracer.
+    pub fn clear_tracer(&mut self) {
+        self.tracer = None;
+    }
+
+    fn trace(&self, ev: TraceEvent) {
+        if let Some(t) = &self.tracer {
+            t.event(&ev);
+        }
+    }
+
+    /// Process-wide engine metrics, rendered as aligned text.
+    pub fn metrics_text(&self) -> String {
+        metrics().snapshot().dump_text()
+    }
+
+    /// Process-wide engine metrics as JSON.
+    pub fn metrics_json(&self) -> String {
+        metrics().snapshot().dump_json()
+    }
+
+    /// A frozen copy of the process-wide engine metrics.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        metrics().snapshot()
     }
 
     /// Installs engine-wide resource limits (deadline, budgets, depth
@@ -398,12 +457,37 @@ impl Engine {
             .as_ref()
             .map(|l| l.max_parse_depth)
             .unwrap_or(Limits::default().max_parse_depth);
-        let core = isolate(Phase::Normalize, "query frontend", || {
-            frontend_with(query, parse_depth)
-        })??;
+        // With a tracer installed, parse and normalize are timed as
+        // separate spans; otherwise the fused frontend path runs as before.
+        let core = if self.tracer.is_some() {
+            let t0 = Instant::now();
+            let module = isolate(Phase::Parse, "query parser", || {
+                parse_query_with(query, parse_depth)
+            })??;
+            self.trace(TraceEvent::Span {
+                phase: "parse",
+                nanos: t0.elapsed().as_nanos() as u64,
+                detail: String::new(),
+            });
+            let t0 = Instant::now();
+            let core = isolate(Phase::Normalize, "parsed module", || {
+                normalize_module(&module)
+            })?;
+            self.trace(TraceEvent::Span {
+                phase: "normalize",
+                nanos: t0.elapsed().as_nanos() as u64,
+                detail: String::new(),
+            });
+            core
+        } else {
+            isolate(Phase::Normalize, "query frontend", || {
+                frontend_with(query, parse_depth)
+            })??
+        };
         let mode = options.mode;
         let materialize_all = options.materialize_all;
         let fallback = options.fallback_to_materialized;
+        let profile = options.profile;
         if mode == ExecutionMode::NoAlgebra {
             return Ok(PreparedQuery {
                 mode,
@@ -414,23 +498,59 @@ impl Engine {
                 limits,
                 fallback,
                 fallback_note: RefCell::new(None),
+                profile,
+                last_profile: RefCell::new(None),
             });
         }
+        let t0 = self.tracer.as_ref().map(|_| Instant::now());
         let mut compiled = isolate(Phase::Compile, "normalized core module", || {
             compile_module(&core)
         })?;
+        if let Some(t0) = t0 {
+            self.trace(TraceEvent::Span {
+                phase: "compile",
+                nanos: t0.elapsed().as_nanos() as u64,
+                detail: format!("{} ops", plan_size(&compiled.body)),
+            });
+        }
         let stats = if mode == ExecutionMode::AlgebraNoOptim {
             None
         } else {
             let rules = options.rules.unwrap_or_default();
             let projection = options.projection;
-            Some(isolate(Phase::Rewrite, "compiled plan", || {
-                let stats = rewrite_module_with(&mut compiled, rules);
+            let tracing = self.tracer.is_some();
+            let t0 = tracing.then(Instant::now);
+            let stats = isolate(Phase::Rewrite, "compiled plan", || {
+                let stats = if tracing {
+                    rewrite_module_traced(&mut compiled, rules)
+                } else {
+                    rewrite_module_with(&mut compiled, rules)
+                };
                 if projection {
                     xqr_core::apply_document_projection(&mut compiled);
                 }
                 stats
-            })?)
+            })?;
+            if let Some(t0) = t0 {
+                for ev in &stats.events {
+                    self.trace(TraceEvent::Rule {
+                        rule: ev.rule,
+                        before_ops: ev.before_ops,
+                        after_ops: ev.after_ops,
+                        nanos: ev.nanos,
+                    });
+                }
+                self.trace(TraceEvent::Span {
+                    phase: "rewrite",
+                    nanos: t0.elapsed().as_nanos() as u64,
+                    detail: format!(
+                        "{} rule firings, {} ops",
+                        stats.events.len(),
+                        plan_size(&compiled.body)
+                    ),
+                });
+            }
+            Some(stats)
         };
         Ok(PreparedQuery {
             mode,
@@ -441,6 +561,8 @@ impl Engine {
             limits,
             fallback,
             fallback_note: RefCell::new(None),
+            profile,
+            last_profile: RefCell::new(None),
         })
     }
 
@@ -469,6 +591,10 @@ pub struct PreparedQuery {
     /// Set when a run fell back to the materialized strategy; surfaced by
     /// [`PreparedQuery::explain`].
     fallback_note: RefCell<Option<String>>,
+    /// Collect per-operator stats on every run.
+    profile: bool,
+    /// The profile of the most recent run (when `profile` is set).
+    last_profile: RefCell<Option<QueryProfile>>,
 }
 
 impl PreparedQuery {
@@ -482,11 +608,15 @@ impl PreparedQuery {
     }
 
     /// The optimized (or naive) algebra plan, in the paper's notation,
-    /// followed by a note on which tuple operators stream through the
-    /// cursor pipeline and which materialize.
+    /// with a per-operator streams/materializes note on the plan tree
+    /// itself, followed by a summary of the pipeline strategy. Uses the
+    /// same annotation mechanism as [`PreparedQuery::explain_analyze`].
     pub fn explain(&self) -> String {
         let base = match &self.plan {
             Some(m) => {
+                let pipelined = !self.materialize_all;
+                let ann = xqr_runtime::explain_annotations(&m.body, pipelined);
+                let plan = pretty::indented_annotated(&m.body, &ann);
                 let strategy = if self.materialize_all {
                     "execution: materialized (all operators evaluate to full tables)".to_string()
                 } else {
@@ -495,7 +625,7 @@ impl PreparedQuery {
                         xqr_runtime::pipeline_report(&m.body)
                     )
                 };
-                format!("{}\n{strategy}", pretty::indented(&m.body))
+                format!("{plan}\n{strategy}")
             }
             None => "(no algebra: direct Core interpretation)".to_string(),
         };
@@ -503,6 +633,46 @@ impl PreparedQuery {
             Some(note) => format!("{base}\n{note}"),
             None => base,
         }
+    }
+
+    /// The plan annotated with the measured per-operator stats of the most
+    /// recent run: rows produced, `next()`/eval calls, estimated inclusive
+    /// and self time, join build time, peak materialized bytes, group-by
+    /// partitions, and kernel dispatches. Requires preparing with
+    /// [`CompileOptions::with_profiling`] and running the query first.
+    pub fn explain_analyze(&self) -> String {
+        let profile = self.last_profile.borrow();
+        let Some(p) = &*profile else {
+            return "(no profile recorded: prepare with CompileOptions::with_profiling() \
+                    and run the query first)"
+                .to_string();
+        };
+        let mut out = String::new();
+        if let (Some(m), Some(_)) = (&self.plan, &p.root) {
+            out.push_str(&pretty::indented_annotated(&m.body, &p.annotations()));
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "strategy: {}\nwall: {}",
+            p.strategy,
+            xqr_runtime::fmt_nanos(p.wall_nanos)
+        ));
+        if let Some(counts) = &p.interp {
+            for (k, v) in counts {
+                out.push_str(&format!("\n{k}  {v}"));
+            }
+        }
+        out
+    }
+
+    /// The profile of the most recent run, if profiling was enabled.
+    pub fn profile(&self) -> Option<QueryProfile> {
+        self.last_profile.borrow().clone()
+    }
+
+    /// The most recent profile as JSON.
+    pub fn profile_json(&self) -> Option<String> {
+        self.last_profile.borrow().as_ref().map(|p| p.to_json())
     }
 
     /// The compiled module (algebra modes only).
@@ -524,10 +694,12 @@ impl PreparedQuery {
         engine: &Engine,
         token: CancellationToken,
     ) -> Result<Sequence, EngineError> {
+        metrics().record_query_start();
+        let t0 = Instant::now();
         let limits = self.limits.clone().unwrap_or_default();
         let governor = Governor::new(&limits, token);
         let pipelined = !self.materialize_all;
-        match self.run_once(engine, &governor, pipelined) {
+        let result = match self.run_once(engine, &governor, pipelined) {
             Err(EngineError::Internal {
                 phase,
                 plan_context,
@@ -538,6 +710,7 @@ impl PreparedQuery {
                 // the deadline and the budgets already spent) carries
                 // over; only test-only fault injection is disarmed.
                 governor.disarm_fault_injection();
+                metrics().record_fallback();
                 *self.fallback_note.borrow_mut() = Some(format!(
                     "fallback: pipelined execution failed during {} ({message}); \
                      retried under the materialized strategy",
@@ -553,7 +726,22 @@ impl PreparedQuery {
                 }
             }
             other => other,
+        };
+        let wall = t0.elapsed().as_nanos() as u64;
+        match &result {
+            Ok(v) => {
+                metrics().record_query_ok(wall);
+                if engine.tracer.is_some() {
+                    engine.trace(TraceEvent::Span {
+                        phase: "execute",
+                        nanos: wall,
+                        detail: format!("rows={}", v.len()),
+                    });
+                }
+            }
+            Err(e) => metrics().record_query_error(e.code().unwrap_or("internal")),
         }
+        result
     }
 
     /// One governed execution attempt behind `catch_unwind`.
@@ -563,15 +751,21 @@ impl PreparedQuery {
         governor: &Governor,
         pipelined: bool,
     ) -> Result<Sequence, EngineError> {
+        let profiler =
+            (self.profile && self.plan.is_some()).then(|| Profiler::new(governor.clone()));
+        let interp_profile =
+            (self.profile && self.plan.is_none()).then(|| Rc::new(InterpProfile::default()));
+        let t0 = self.profile.then(Instant::now);
         let outcome = catch_unwind(AssertUnwindSafe(|| match self.mode {
             ExecutionMode::NoAlgebra => {
                 let core = self.core.as_ref().expect("core kept for NoAlgebra");
-                eval_core_module_with(
+                eval_core_module_profiled(
                     core,
                     &engine.schema,
                     &engine.documents,
                     engine.externals.clone(),
                     governor.clone(),
+                    interp_profile.clone(),
                 )
             }
             mode => {
@@ -585,9 +779,31 @@ impl PreparedQuery {
                 ctx.pipelined = pipelined;
                 ctx.globals = engine.externals.clone();
                 ctx.governor = governor.clone();
+                ctx.profiler = profiler.clone();
                 xqr_runtime::eval::eval_module(&mut ctx)
             }
         }));
+        if let Some(t0) = t0 {
+            // Snapshot even on a failed run: the partial profile shows how
+            // far the plan got before the error.
+            let wall = t0.elapsed().as_nanos() as u64;
+            let snap = if let Some(p) = &profiler {
+                let strategy = if pipelined {
+                    "pipelined"
+                } else {
+                    "materialized"
+                };
+                p.snapshot(strategy, wall)
+            } else {
+                QueryProfile {
+                    strategy: "core-interp".to_string(),
+                    wall_nanos: wall,
+                    root: None,
+                    interp: interp_profile.as_ref().map(|ip| ip.counts()),
+                }
+            };
+            *self.last_profile.borrow_mut() = Some(snap);
+        }
         match outcome {
             Ok(Ok(v)) => Ok(v),
             Ok(Err(e)) => Err(classify(e, Phase::Execute)),

@@ -40,6 +40,9 @@ pub struct Ctx<'a> {
     /// with the Core interpreter, which tracks depth through the same
     /// type).
     pub governor: Governor,
+    /// Per-operator profiling (`explain_analyze`). `None` — the default —
+    /// leaves every instrumentation site at a single branch test.
+    pub profiler: Option<crate::profile::Profiler>,
 }
 
 impl<'a> Ctx<'a> {
@@ -58,6 +61,7 @@ impl<'a> Ctx<'a> {
             join_algorithm,
             pipelined: true,
             governor: Governor::unlimited(),
+            profiler: None,
         }
     }
 

@@ -35,6 +35,12 @@ pub fn eval_module(ctx: &mut Ctx<'_>) -> xqr_xml::Result<Sequence> {
         }
     }
     let body = ctx.module.body.clone();
+    // The profiler keys stats by node address over this exact clone; the
+    // clone outlives evaluation, so registered addresses stay valid for
+    // the whole run (globals and per-call function bodies run unprofiled).
+    if let Some(p) = &ctx.profiler {
+        p.register(&body);
+    }
     eval_plan(&body, ctx)
 }
 
@@ -77,22 +83,98 @@ pub(crate) fn eval_table(
         eval(plan, ctx, input)?.into_table()?
     };
     // Every materialized intermediate passes through here; the byte budget
-    // counts their cumulative footprint. Skipped entirely when unlimited.
+    // counts their cumulative footprint, and the profiler records the
+    // largest single materialization per operator. Skipped entirely when
+    // neither is on.
     if ctx.governor.has_byte_budget() {
+        // The budget needs the real footprint: full walk, and the profiler
+        // reuses the exact figure for free.
         let mut n = 0u64;
         for t in &table {
             n += t.approx_bytes();
         }
+        if let Some(s) = ctx.profiler.as_ref().and_then(|p| p.stats_for(plan)) {
+            s.record_peak_bytes(n);
+        }
         ctx.governor.charge_bytes(n)?;
+    } else if let Some(s) = ctx.profiler.as_ref().and_then(|p| p.stats_for(plan)) {
+        // Profiler only: estimate from a bounded prefix — a full
+        // `approx_bytes` walk of a large join input costs more than the
+        // operator being measured.
+        const PEAK_SAMPLE: usize = 64;
+        let mut n = 0u64;
+        for t in table.iter().take(PEAK_SAMPLE) {
+            n += t.approx_bytes();
+        }
+        if table.len() > PEAK_SAMPLE {
+            n = n * table.len() as u64 / PEAK_SAMPLE as u64;
+        }
+        s.record_peak_bytes(n);
     }
     Ok(table)
 }
 
+/// Is this operator in the profiled set? Tuple operators, path steps, the
+/// boundaries, and calls — the nodes where cardinality and time attribution
+/// is meaningful. Leaf scalar/variable/constructor plans stay out: they
+/// evaluate per tuple inside dependent sub-plans, where wrapping each
+/// `eval` would cost more than the work being measured.
+fn profiled_op(op: &Op) -> bool {
+    matches!(
+        op,
+        Op::Select { .. }
+            | Op::Product(..)
+            | Op::Join { .. }
+            | Op::LOuterJoin { .. }
+            | Op::MapOp { .. }
+            | Op::OMap { .. }
+            | Op::MapConcat { .. }
+            | Op::OMapConcat { .. }
+            | Op::MapIndex { .. }
+            | Op::MapIndexStep { .. }
+            | Op::MapFromItem { .. }
+            | Op::MapToItem { .. }
+            | Op::MapSome { .. }
+            | Op::MapEvery { .. }
+            | Op::OrderBy { .. }
+            | Op::GroupBy { .. }
+            | Op::TreeJoin { .. }
+            | Op::Cond { .. }
+            | Op::TupleConcat(..)
+            | Op::Call { .. }
+    )
+}
+
+/// Profiling dispatcher around [`eval_inner`]. With no profiler installed
+/// this is one `Option` branch. With one installed, instrumented operators
+/// record an invocation (sampled timing) and the rows of their result —
+/// except a fused `TreeJoin`, whose work the streaming item cursor layer
+/// records instead (the arm below merely drains that cursor, and timing it
+/// here too would double-count the node).
 pub(crate) fn eval(
     plan: &Plan,
     ctx: &mut Ctx<'_>,
     input: Option<&InputVal>,
 ) -> xqr_xml::Result<Value> {
+    let stats = match &ctx.profiler {
+        Some(p) if profiled_op(&plan.op) && !(ctx.pipelined && pipeline::treejoin_fuses(plan)) => {
+            p.stats_for(plan)
+        }
+        _ => None,
+    };
+    let Some(stats) = stats else {
+        return eval_inner(plan, ctx, input);
+    };
+    let t0 = stats.begin(ctx.governor.sampling_clock());
+    let r = eval_inner(plan, ctx, input);
+    stats.end(t0);
+    if let Ok(v) = &r {
+        stats.add_rows(v.row_count());
+    }
+    r
+}
+
+fn eval_inner(plan: &Plan, ctx: &mut Ctx<'_>, input: Option<&InputVal>) -> xqr_xml::Result<Value> {
     match &plan.op {
         // ===== XML operators ==================================================
         Op::Sequence(items) => {
@@ -161,6 +243,14 @@ pub(crate) fn eval(
                 Ok(Value::Items(out.finish()))
             } else {
                 let items = eval_items(src, ctx, input)?;
+                if let Some(s) = match &ctx.profiler {
+                    Some(p) => p.stats_for(plan),
+                    None => None,
+                } {
+                    // One kernel dispatch per context node fed to the
+                    // set-at-a-time stepper.
+                    s.add_kernel_dispatches(items.len() as u64);
+                }
                 Ok(Value::Items(tree_join_governed(
                     &items,
                     *axis,
@@ -326,8 +416,19 @@ pub(crate) fn eval(
         Op::Join { pred, left, right } => {
             let tl = eval_table(left, ctx, input)?;
             let tr = eval_table(right, ctx, input)?;
+            let stats = match &ctx.profiler {
+                Some(p) => p.stats_for(plan),
+                None => None,
+            };
             Ok(Value::Table(execute_join(
-                pred, left, right, &tl, &tr, None, ctx,
+                pred,
+                left,
+                right,
+                &tl,
+                &tr,
+                None,
+                ctx,
+                stats.as_deref(),
             )?))
         }
         Op::LOuterJoin {
@@ -338,6 +439,10 @@ pub(crate) fn eval(
         } => {
             let tl = eval_table(left, ctx, input)?;
             let tr = eval_table(right, ctx, input)?;
+            let stats = match &ctx.profiler {
+                Some(p) => p.stats_for(plan),
+                None => None,
+            };
             Ok(Value::Table(execute_join(
                 pred,
                 left,
@@ -346,6 +451,7 @@ pub(crate) fn eval(
                 &tr,
                 Some(null_field),
                 ctx,
+                stats.as_deref(),
             )?))
         }
         Op::MapOp { dep, input: src } => {
@@ -450,6 +556,10 @@ pub(crate) fn eval(
             // hash-partitioning on the fly — the grouped table (typically
             // a join output, the largest intermediate of the unnesting
             // pipeline) is never stored or sorted.
+            let stats = match &ctx.profiler {
+                Some(p) => p.stats_for(plan),
+                None => None,
+            };
             if ctx.pipelined && pipeline::streams(&src.op) {
                 let mut cur = pipeline::open_cursor(src, ctx, input)?;
                 return Ok(Value::Table(execute_group_by_streaming(
@@ -460,6 +570,7 @@ pub(crate) fn eval(
                     per_item,
                     &mut *cur,
                     ctx,
+                    stats.as_deref(),
                 )?));
             }
             let table = eval_table(src, ctx, input)?;
@@ -471,6 +582,7 @@ pub(crate) fn eval(
                 per_item,
                 table,
                 ctx,
+                stats.as_deref(),
             )?))
         }
 

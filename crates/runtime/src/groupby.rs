@@ -27,7 +27,8 @@ use crate::eval::eval_dep_items;
 use crate::pipeline::TupleCursor;
 use crate::value::{InputVal, Table, Tuple};
 
-/// Executes a GroupBy over a materialized input table.
+/// Executes a GroupBy over a materialized input table. `stats` (when
+/// profiling) receives the number of partitions produced.
 #[allow(clippy::too_many_arguments)]
 pub fn execute_group_by(
     agg: &Field,
@@ -37,6 +38,7 @@ pub fn execute_group_by(
     per_item: &Plan,
     input: Table,
     ctx: &mut Ctx<'_>,
+    stats: Option<&crate::profile::OpStats>,
 ) -> xqr_xml::Result<Table> {
     // Sort stably by the index-field vector (ascending). The unnesting
     // pipeline produces already-sorted input; the sort makes the operator
@@ -81,6 +83,9 @@ pub fn execute_group_by(
         out.push(representative.with(agg.clone(), agg_value));
         i = j;
     }
+    if let Some(s) = stats {
+        s.add_partitions(out.len() as u64);
+    }
     Ok(out)
 }
 
@@ -112,6 +117,7 @@ pub(crate) fn execute_group_by_streaming<'p>(
     per_item: &Plan,
     src: &mut (dyn TupleCursor<'p> + 'p),
     ctx: &mut Ctx<'_>,
+    stats: Option<&crate::profile::OpStats>,
 ) -> xqr_xml::Result<Table> {
     // Closed partitions; during the sorted phase their keys are strictly
     // increasing and unique. `by_key` is `Some` once an out-of-order key
@@ -168,6 +174,9 @@ pub(crate) fn execute_group_by_streaming<'p>(
     }
     if by_key.is_some() {
         done.sort_by(|a, b| a.key.cmp(&b.key));
+    }
+    if let Some(s) = stats {
+        s.add_partitions(done.len() as u64);
     }
     let mut out = Table::with_capacity(done.len());
     for p in done {
@@ -291,6 +300,7 @@ mod tests {
             &per_item,
             input,
             &mut ctx,
+            None,
         )
         .unwrap();
 
@@ -329,6 +339,7 @@ mod tests {
             }),
             input,
             &mut ctx,
+            None,
         )
         .unwrap();
         assert_eq!(out.len(), 1);
@@ -356,6 +367,7 @@ mod tests {
             }),
             input,
             &mut ctx,
+            None,
         )
         .unwrap();
         assert_eq!(out.len(), 2);

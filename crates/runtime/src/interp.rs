@@ -10,7 +10,8 @@
 //! environment maps; every nested block re-evaluates per binding
 //! (nested-loop semantics throughout, no join or unnesting optimization).
 
-use std::collections::HashMap;
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap};
 use std::rc::Rc;
 
 use xqr_frontend::core_ast::{CoreClause, CoreExpr, CoreModule, CoreOrderSpec};
@@ -54,6 +55,55 @@ impl Env {
     }
 }
 
+/// Evaluation counters for the "No algebra" baseline: one count per Core
+/// expression kind plus one per FLWOR clause kind (`clause:for`, …). The
+/// baseline has no plan tree to hang per-operator stats on, so the profile
+/// is a flat histogram of what the interpreter actually evaluated.
+#[derive(Default)]
+pub struct InterpProfile {
+    counts: RefCell<BTreeMap<&'static str, u64>>,
+}
+
+impl InterpProfile {
+    fn bump(&self, key: &'static str) {
+        *self.counts.borrow_mut().entry(key).or_insert(0) += 1;
+    }
+
+    pub fn counts(&self) -> BTreeMap<String, u64> {
+        self.counts
+            .borrow()
+            .iter()
+            .map(|(k, v)| (k.to_string(), *v))
+            .collect()
+    }
+}
+
+fn expr_kind(e: &CoreExpr) -> &'static str {
+    match e {
+        CoreExpr::Literal(_) => "Literal",
+        CoreExpr::Var(_) => "Var",
+        CoreExpr::Seq(_) => "Seq",
+        CoreExpr::Empty => "Empty",
+        CoreExpr::Flwor { .. } => "Flwor",
+        CoreExpr::Quantified { .. } => "Quantified",
+        CoreExpr::Typeswitch { .. } => "Typeswitch",
+        CoreExpr::If { .. } => "If",
+        CoreExpr::Step { .. } => "Step",
+        CoreExpr::Call { .. } => "Call",
+        CoreExpr::ElementCtor { .. } => "ElementCtor",
+        CoreExpr::AttributeCtor { .. } => "AttributeCtor",
+        CoreExpr::TextCtor(_) => "TextCtor",
+        CoreExpr::CommentCtor(_) => "CommentCtor",
+        CoreExpr::PiCtor { .. } => "PiCtor",
+        CoreExpr::DocumentCtor(_) => "DocumentCtor",
+        CoreExpr::Cast { .. } => "Cast",
+        CoreExpr::Castable { .. } => "Castable",
+        CoreExpr::TypeAssert { .. } => "TypeAssert",
+        CoreExpr::InstanceOf { .. } => "InstanceOf",
+        CoreExpr::Validate { .. } => "Validate",
+    }
+}
+
 struct Interp<'a> {
     module: &'a CoreModule,
     schema: &'a Schema,
@@ -64,6 +114,8 @@ struct Interp<'a> {
     /// own `depth` counter next to the plan evaluator's — they now share
     /// this one).
     governor: Governor,
+    /// Optional evaluation counters (EXPLAIN ANALYZE on the baseline).
+    profile: Option<Rc<InterpProfile>>,
 }
 
 /// Evaluates a normalized Core module directly (no algebra), ungoverned.
@@ -84,12 +136,25 @@ pub fn eval_core_module_with(
     externals: HashMap<QName, Sequence>,
     governor: Governor,
 ) -> xqr_xml::Result<Sequence> {
+    eval_core_module_profiled(module, schema, documents, externals, governor, None)
+}
+
+/// Evaluates under a governor with optional evaluation counters.
+pub fn eval_core_module_profiled(
+    module: &CoreModule,
+    schema: &Schema,
+    documents: &HashMap<String, NodeHandle>,
+    externals: HashMap<QName, Sequence>,
+    governor: Governor,
+    profile: Option<Rc<InterpProfile>>,
+) -> xqr_xml::Result<Sequence> {
     let mut it = Interp {
         module,
         schema,
         documents,
         globals: externals,
         governor,
+        profile,
     };
     for (name, value) in &module.variables {
         if let Some(v) = value {
@@ -107,6 +172,9 @@ pub fn eval_core_module_with(
 
 impl<'a> Interp<'a> {
     fn eval(&mut self, e: &CoreExpr, env: &Env) -> xqr_xml::Result<Sequence> {
+        if let Some(p) = &self.profile {
+            p.bump(expr_kind(e));
+        }
         match e {
             CoreExpr::Literal(v) => Ok(Sequence::singleton(v.clone())),
             CoreExpr::Var(q) => env
@@ -262,6 +330,14 @@ impl<'a> Interp<'a> {
     fn clause_stream(&mut self, clauses: &[CoreClause], env: &Env) -> xqr_xml::Result<Vec<Env>> {
         let mut envs = vec![env.clone()];
         for clause in clauses {
+            if let Some(p) = &self.profile {
+                p.bump(match clause {
+                    CoreClause::For { .. } => "clause:for",
+                    CoreClause::Let { .. } => "clause:let",
+                    CoreClause::Where(_) => "clause:where",
+                    CoreClause::OrderBy(_) => "clause:order-by",
+                });
+            }
             match clause {
                 CoreClause::For {
                     var,

@@ -35,7 +35,10 @@ use crate::eval::eval_dep_items;
 use crate::value::{InputVal, Table, Tuple};
 
 /// Executes a join with the configured algorithm. `outer_null` is the
-/// LOuterJoin flag field; `None` means an inner join.
+/// LOuterJoin flag field; `None` means an inner join. `stats` (when
+/// profiling) receives the build-phase time — the probe-index construction
+/// over the already-materialized inner side.
+#[allow(clippy::too_many_arguments)]
 pub fn execute_join(
     pred: &Plan,
     left_plan: &Plan,
@@ -44,8 +47,13 @@ pub fn execute_join(
     right: &Table,
     outer_null: Option<&Field>,
     ctx: &mut Ctx<'_>,
+    stats: Option<&crate::profile::OpStats>,
 ) -> xqr_xml::Result<Table> {
+    let t0 = stats.map(|_| std::time::Instant::now());
     let probe = JoinProbe::build(pred, left_plan, right_plan, right, ctx)?;
+    if let (Some(s), Some(t0)) = (stats, t0) {
+        s.add_build_nanos(t0.elapsed().as_nanos() as u64);
+    }
     let mut out = Table::with_capacity(left.len());
     for lt in left {
         ctx.governor.tick()?;

@@ -24,7 +24,10 @@
 //!   order-preserving B-tree (sort) join;
 //! * [`interp`] — the direct Core interpreter, reproducing the paper's "No
 //!   algebra" baseline (dynamic variable lookups in a QName-keyed context,
-//!   no tuple pipeline).
+//!   no tuple pipeline);
+//! * [`profile`] — per-operator runtime statistics (rows, calls, sampled
+//!   time, peak materialized bytes) collected into a [`profile::QueryProfile`]
+//!   tree mirroring the plan shape, the engine's `EXPLAIN ANALYZE` backend.
 
 pub mod compare;
 pub mod context;
@@ -34,10 +37,14 @@ pub mod groupby;
 pub mod interp;
 pub mod joins;
 pub mod pipeline;
+pub mod profile;
 pub mod value;
 
 pub use context::{Ctx, JoinAlgorithm};
 pub use eval::eval_plan;
-pub use interp::{eval_core_module, eval_core_module_with};
-pub use pipeline::pipeline_report;
+pub use interp::{
+    eval_core_module, eval_core_module_profiled, eval_core_module_with, InterpProfile,
+};
+pub use pipeline::{explain_annotations, pipeline_report};
+pub use profile::{fmt_nanos, OpStats, ProfileNode, Profiler, QueryProfile};
 pub use value::{InputVal, Table, Tuple, Value};

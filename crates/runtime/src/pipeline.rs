@@ -140,7 +140,33 @@ pub fn treejoin_fuses(plan: &Plan) -> bool {
 /// dedicated cursor over their (recursively opened) input; everything else
 /// is evaluated to a table here and replayed — the single materialization
 /// point of a fused chain.
+///
+/// With a profiler installed, streaming operators are wrapped in a
+/// [`ProfiledCursor`] attributing each `next()` to the plan node. Breakers
+/// (the `_` arm) are excluded: they run through `eval`, which records them
+/// itself. `Cond` is excluded too — it contributes no cursor of its own
+/// (the chosen branch's cursor is returned directly), so its time shows up
+/// on the branch.
 pub(crate) fn open_cursor<'p>(
+    plan: &'p Plan,
+    ctx: &mut Ctx<'_>,
+    input: Option<&InputVal>,
+) -> xqr_xml::Result<BoxCursor<'p>> {
+    let stats = match &ctx.profiler {
+        Some(p) if streams(&plan.op) && !matches!(plan.op, Op::Cond { .. }) => p.stats_for(plan),
+        _ => None,
+    };
+    let cur = open_cursor_raw(plan, ctx, input)?;
+    Ok(match stats {
+        Some(stats) => {
+            stats.record_open();
+            Box::new(ProfiledCursor { inner: cur, stats })
+        }
+        None => cur,
+    })
+}
+
+fn open_cursor_raw<'p>(
     plan: &'p Plan,
     ctx: &mut Ctx<'_>,
     input: Option<&InputVal>,
@@ -156,13 +182,13 @@ pub(crate) fn open_cursor<'p>(
             cur: None,
             ridx: 0,
         })),
-        Op::Join { pred, left, right } => open_join(pred, left, right, None, ctx, input),
+        Op::Join { pred, left, right } => open_join(plan, pred, left, right, None, ctx, input),
         Op::LOuterJoin {
             null_field,
             pred,
             left,
             right,
-        } => open_join(pred, left, right, Some(null_field), ctx, input),
+        } => open_join(plan, pred, left, right, Some(null_field), ctx, input),
         Op::MapOp { dep, input: src } => Ok(Box::new(DepCursor::new(
             open_cursor(src, ctx, input)?,
             dep,
@@ -223,6 +249,7 @@ pub(crate) fn open_cursor<'p>(
 }
 
 fn open_join<'p>(
+    plan: &'p Plan,
     pred: &'p Plan,
     left: &'p Plan,
     right: &'p Plan,
@@ -232,8 +259,19 @@ fn open_join<'p>(
 ) -> xqr_xml::Result<BoxCursor<'p>> {
     // The build (inner) side is a breaker: materialized and indexed up
     // front. The probe (outer) side streams.
+    let stats = match &ctx.profiler {
+        Some(p) => p.stats_for(plan),
+        None => None,
+    };
+    let t0 = stats.as_ref().map(|_| std::time::Instant::now());
     let right_table = eval_table(right, ctx, input)?;
     let probe = JoinProbe::build(pred, left, right, &right_table, ctx)?;
+    if let (Some(s), Some(t0)) = (&stats, t0) {
+        // Build phase: inner-side materialization plus probe-index
+        // construction (the inner side's own operators also record their
+        // share separately).
+        s.add_build_nanos(t0.elapsed().as_nanos() as u64);
+    }
     Ok(Box::new(JoinCursor {
         left: open_cursor(left, ctx, input)?,
         right: right_table,
@@ -261,6 +299,57 @@ impl<'p> TupleCursor<'p> for MaterializedCursor {
             return Some(Err(e));
         }
         self.iter.next().map(Ok)
+    }
+}
+
+/// Profiling wrapper: attributes each `next()` (sampled timing, see
+/// `crate::profile`) and every produced row to one plan node's stats. The
+/// wrapper never ticks the governor itself — budget behavior is identical
+/// with and without profiling.
+struct ProfiledCursor<'p> {
+    inner: BoxCursor<'p>,
+    stats: std::rc::Rc<crate::profile::OpStats>,
+}
+
+impl<'p> TupleCursor<'p> for ProfiledCursor<'p> {
+    fn next(&mut self, ctx: &mut Ctx<'_>) -> Option<xqr_xml::Result<Tuple>> {
+        let t0 = self.stats.begin(ctx.governor.sampling_clock());
+        let r = self.inner.next(ctx);
+        self.stats.end(t0);
+        if let Some(Ok(_)) = &r {
+            self.stats.add_rows(1);
+        }
+        r
+    }
+
+    fn drain_into(&mut self, ctx: &mut Ctx<'_>, out: &mut Table) -> xqr_xml::Result<()> {
+        // One exact measurement covers the whole batch; no extrapolation.
+        let before = out.len();
+        let t0 = std::time::Instant::now();
+        let r = self.inner.drain_into(ctx, out);
+        self.stats.add_exact_nanos(t0.elapsed().as_nanos() as u64);
+        self.stats.add_rows((out.len() - before) as u64);
+        r
+    }
+}
+
+/// Item-stream analogue of [`ProfiledCursor`], wrapping the streaming
+/// `TreeJoin` steppers (which never pass through `eval`, so nothing else
+/// would record them).
+struct ProfiledItemCursor<'p> {
+    inner: BoxItemCursor<'p>,
+    stats: std::rc::Rc<crate::profile::OpStats>,
+}
+
+impl<'p> ItemCursor<'p> for ProfiledItemCursor<'p> {
+    fn next(&mut self, ctx: &mut Ctx<'_>) -> Option<xqr_xml::Result<Item>> {
+        let t0 = self.stats.begin(ctx.governor.sampling_clock());
+        let r = self.inner.next(ctx);
+        self.stats.end(t0);
+        if let Some(Ok(_)) = &r {
+            self.stats.add_rows(1);
+        }
+        r
     }
 }
 
@@ -601,8 +690,29 @@ pub(crate) fn open_item_cursor<'p>(
 /// Streaming arm of [`open_item_cursor`]: unconditionally streams any
 /// streamable step (the fuse decision was made at the chain's entry; inner
 /// steps of a qualifying chain must keep streaming so intermediates are
-/// never built).
+/// never built). Each step of the chain gets its own [`ProfiledItemCursor`]
+/// when profiling, so per-step cardinalities are visible (a step's context
+/// count is its inner step's row count).
 fn open_step_cursor<'p>(
+    plan: &'p Plan,
+    ctx: &mut Ctx<'_>,
+    input: Option<&InputVal>,
+) -> xqr_xml::Result<BoxItemCursor<'p>> {
+    let stats = match &ctx.profiler {
+        Some(p) => p.stats_for(plan),
+        None => None,
+    };
+    let cur = open_step_cursor_raw(plan, ctx, input)?;
+    Ok(match stats {
+        Some(stats) => {
+            stats.record_open();
+            Box::new(ProfiledItemCursor { inner: cur, stats })
+        }
+        None => cur,
+    })
+}
+
+fn open_step_cursor_raw<'p>(
     plan: &'p Plan,
     ctx: &mut Ctx<'_>,
     input: Option<&InputVal>,
@@ -855,4 +965,46 @@ pub fn pipeline_report(plan: &Plan) -> String {
         fmt(&streaming),
         fmt(&breaking)
     )
+}
+
+/// Per-operator execution notes for `explain()`, preorder-aligned with the
+/// plan (`Op::children()` order) for `pretty::indented_annotated` — the
+/// same annotation mechanism `explain_analyze()` uses, so the static and
+/// measured renderings share one plan-tree shape instead of ad-hoc
+/// appended notes.
+pub fn explain_annotations(plan: &Plan, pipelined: bool) -> Vec<Option<String>> {
+    fn walk(p: &Plan, pipelined: bool, out: &mut Vec<Option<String>>) {
+        let note = if !pipelined {
+            match &p.op {
+                op if streams(op) && !matches!(op, Op::Cond { .. }) => {
+                    Some("materializes".to_string())
+                }
+                Op::OrderBy { .. } | Op::GroupBy { .. } => Some("materializes".to_string()),
+                _ => None,
+            }
+        } else {
+            match &p.op {
+                Op::Cond { .. } => None,
+                Op::TreeJoin { .. } if treejoin_fuses(p) => {
+                    Some("streams (fused step chain)".to_string())
+                }
+                Op::TreeJoin { .. } => None,
+                Op::Join { .. } | Op::LOuterJoin { .. } | Op::Product(..) => {
+                    Some("streams probe side; inner side materializes for the build".to_string())
+                }
+                op if streams(op) => Some("streams".to_string()),
+                Op::OrderBy { .. } | Op::GroupBy { .. } => {
+                    Some("materializes (pipeline breaker)".to_string())
+                }
+                _ => None,
+            }
+        };
+        out.push(note);
+        for (c, _) in p.op.children() {
+            walk(c, pipelined, out);
+        }
+    }
+    let mut out = Vec::new();
+    walk(plan, pipelined, &mut out);
+    out
 }

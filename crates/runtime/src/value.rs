@@ -150,6 +150,15 @@ impl Value {
             )),
         }
     }
+
+    /// Rows (tables) or items (sequences) in this value — the "rows
+    /// produced" unit of the profiler.
+    pub fn row_count(&self) -> u64 {
+        match self {
+            Value::Items(s) => s.len() as u64,
+            Value::Table(t) => t.len() as u64,
+        }
+    }
 }
 
 /// The value bound to `IN` while evaluating a dependent sub-operator.

@@ -24,6 +24,7 @@ pub mod build;
 pub mod decimal;
 pub mod item;
 pub mod limits;
+pub mod metrics;
 pub mod node;
 pub mod parse;
 pub mod qname;
@@ -36,6 +37,7 @@ pub use build::TreeBuilder;
 pub use decimal::Decimal;
 pub use item::{Item, Sequence, SequenceBuilder};
 pub use limits::{CancellationToken, Governor, Limits};
+pub use metrics::{metrics, MetricsRegistry, MetricsSnapshot};
 pub use node::{Document, NodeHandle, NodeId, NodeKind};
 pub use parse::{parse_document, ParseError, ParseOptions};
 pub use qname::QName;

@@ -354,6 +354,17 @@ impl Governor {
         self.0.tuples.get()
     }
 
+    /// The tuple-work counter doubling as the observability layer's
+    /// sampling clock: the profiler samples `Instant::now()` only when
+    /// this counter crosses a subsampling phase, so a profiled hot loop
+    /// pays one extra compare per tuple and no syscalls (see
+    /// `xqr-runtime`'s `profile` module). Reusing the governor counter
+    /// means profiling adds no second per-tuple increment.
+    #[inline]
+    pub fn sampling_clock(&self) -> u64 {
+        self.0.tuples.get()
+    }
+
     /// Approximate bytes charged so far (diagnostics / tests).
     pub fn bytes_used(&self) -> u64 {
         self.0.bytes.get()

@@ -1,0 +1,293 @@
+//! Process-wide engine metrics registry.
+//!
+//! A single static registry of counters and histograms covering the whole
+//! engine: queries run and failed (per error code, including the governor's
+//! `XQRG*` limit codes), strategy fallbacks taken, structural-index and
+//! postings builds, documents parsed, and a log2 histogram of query wall
+//! times. Everything is lock-free atomics except the per-error-code map,
+//! which sits behind a mutex on the (cold) error path.
+//!
+//! The registry is deliberately placed in the lowest crate of the
+//! workspace so both the node store (`node.rs` index builds) and the
+//! public engine facade can record into the same instance. Recording is a
+//! relaxed atomic increment — cheap enough to stay on unconditionally —
+//! and reads take a [`MetricsSnapshot`], so dumps never observe a torn
+//! multi-counter state worse than individual-counter skew.
+//!
+//! Counters are monotone for the life of the process; tests must assert
+//! *deltas* between two snapshots, never absolute values, because the test
+//! harness runs many queries in one process (and in parallel threads).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Number of log2 duration buckets: bucket `i` counts queries whose wall
+/// time in microseconds satisfies `floor(log2(max(us, 1))) == i`, with the
+/// final bucket absorbing everything longer (~ 36 minutes and up).
+pub const DURATION_BUCKETS: usize = 32;
+
+/// The process-wide registry. Obtain it with [`metrics`].
+pub struct MetricsRegistry {
+    queries_started: AtomicU64,
+    queries_ok: AtomicU64,
+    queries_failed: AtomicU64,
+    fallbacks_taken: AtomicU64,
+    struct_index_builds: AtomicU64,
+    postings_builds: AtomicU64,
+    postings_entries: AtomicU64,
+    documents_parsed: AtomicU64,
+    query_nanos_total: AtomicU64,
+    duration_buckets: [AtomicU64; DURATION_BUCKETS],
+    /// Error-code → count. String-keyed (codes arrive as `&str` of mixed
+    /// provenance) and mutex-guarded: the error path is cold.
+    error_codes: Mutex<BTreeMap<String, u64>>,
+}
+
+/// The process-wide registry instance.
+pub fn metrics() -> &'static MetricsRegistry {
+    static REGISTRY: OnceLock<MetricsRegistry> = OnceLock::new();
+    REGISTRY.get_or_init(|| MetricsRegistry {
+        queries_started: AtomicU64::new(0),
+        queries_ok: AtomicU64::new(0),
+        queries_failed: AtomicU64::new(0),
+        fallbacks_taken: AtomicU64::new(0),
+        struct_index_builds: AtomicU64::new(0),
+        postings_builds: AtomicU64::new(0),
+        postings_entries: AtomicU64::new(0),
+        documents_parsed: AtomicU64::new(0),
+        query_nanos_total: AtomicU64::new(0),
+        duration_buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        error_codes: Mutex::new(BTreeMap::new()),
+    })
+}
+
+fn bucket_of(nanos: u64) -> usize {
+    let us = (nanos / 1_000).max(1);
+    (63 - us.leading_zeros() as usize).min(DURATION_BUCKETS - 1)
+}
+
+impl MetricsRegistry {
+    pub fn record_query_start(&self) {
+        self.queries_started.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_query_ok(&self, wall_nanos: u64) {
+        self.queries_ok.fetch_add(1, Ordering::Relaxed);
+        self.query_nanos_total
+            .fetch_add(wall_nanos, Ordering::Relaxed);
+        self.duration_buckets[bucket_of(wall_nanos)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a failed query. `code` is the stable error code when one
+    /// applies (e.g. `XQRG0003`); codeless failures count under
+    /// `"internal"` / `"syntax"` supplied by the caller.
+    pub fn record_query_error(&self, code: &str) {
+        self.queries_failed.fetch_add(1, Ordering::Relaxed);
+        let mut m = self.error_codes.lock().unwrap_or_else(|p| p.into_inner());
+        *m.entry(code.to_string()).or_insert(0) += 1;
+    }
+
+    /// A pipelined run failed and was retried under the materialized
+    /// strategy.
+    pub fn record_fallback(&self) {
+        self.fallbacks_taken.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A per-document structural index was derived (node.rs, first
+    /// structural access).
+    pub fn record_struct_index_build(&self) {
+        self.struct_index_builds.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Per-name postings lists were built for a document; `entries` is the
+    /// total number of element ids across all lists.
+    pub fn record_postings_build(&self, entries: u64) {
+        self.postings_builds.fetch_add(1, Ordering::Relaxed);
+        self.postings_entries.fetch_add(entries, Ordering::Relaxed);
+    }
+
+    pub fn record_document_parsed(&self) {
+        self.documents_parsed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of every counter.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            queries_started: self.queries_started.load(Ordering::Relaxed),
+            queries_ok: self.queries_ok.load(Ordering::Relaxed),
+            queries_failed: self.queries_failed.load(Ordering::Relaxed),
+            fallbacks_taken: self.fallbacks_taken.load(Ordering::Relaxed),
+            struct_index_builds: self.struct_index_builds.load(Ordering::Relaxed),
+            postings_builds: self.postings_builds.load(Ordering::Relaxed),
+            postings_entries: self.postings_entries.load(Ordering::Relaxed),
+            documents_parsed: self.documents_parsed.load(Ordering::Relaxed),
+            query_nanos_total: self.query_nanos_total.load(Ordering::Relaxed),
+            duration_buckets: std::array::from_fn(|i| {
+                self.duration_buckets[i].load(Ordering::Relaxed)
+            }),
+            error_codes: self
+                .error_codes
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .clone(),
+        }
+    }
+}
+
+/// A point-in-time copy of the registry, with text and JSON renderings.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    pub queries_started: u64,
+    pub queries_ok: u64,
+    pub queries_failed: u64,
+    pub fallbacks_taken: u64,
+    pub struct_index_builds: u64,
+    pub postings_builds: u64,
+    pub postings_entries: u64,
+    pub documents_parsed: u64,
+    pub query_nanos_total: u64,
+    pub duration_buckets: [u64; DURATION_BUCKETS],
+    pub error_codes: BTreeMap<String, u64>,
+}
+
+impl MetricsSnapshot {
+    /// Count recorded under one error code.
+    pub fn error_count(&self, code: &str) -> u64 {
+        self.error_codes.get(code).copied().unwrap_or(0)
+    }
+
+    /// Human-readable dump, one metric per line.
+    pub fn dump_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(s, "queries_started       {}", self.queries_started);
+        let _ = writeln!(s, "queries_ok            {}", self.queries_ok);
+        let _ = writeln!(s, "queries_failed        {}", self.queries_failed);
+        let _ = writeln!(s, "fallbacks_taken       {}", self.fallbacks_taken);
+        let _ = writeln!(s, "struct_index_builds   {}", self.struct_index_builds);
+        let _ = writeln!(s, "postings_builds       {}", self.postings_builds);
+        let _ = writeln!(s, "postings_entries      {}", self.postings_entries);
+        let _ = writeln!(s, "documents_parsed      {}", self.documents_parsed);
+        let _ = writeln!(
+            s,
+            "query_time_total      {:.3} ms",
+            self.query_nanos_total as f64 / 1e6
+        );
+        for (i, n) in self.duration_buckets.iter().enumerate() {
+            if *n > 0 {
+                let _ = writeln!(s, "query_time_us[2^{i:<2}]   {n}");
+            }
+        }
+        for (code, n) in &self.error_codes {
+            let _ = writeln!(s, "error[{code}]        {n}");
+        }
+        s
+    }
+
+    /// Machine-readable dump (hand-rolled JSON; the workspace carries no
+    /// serialization dependency).
+    pub fn dump_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::from("{");
+        let _ = write!(
+            s,
+            "\"queries_started\":{},\"queries_ok\":{},\"queries_failed\":{},\
+             \"fallbacks_taken\":{},\"struct_index_builds\":{},\"postings_builds\":{},\
+             \"postings_entries\":{},\"documents_parsed\":{},\"query_nanos_total\":{}",
+            self.queries_started,
+            self.queries_ok,
+            self.queries_failed,
+            self.fallbacks_taken,
+            self.struct_index_builds,
+            self.postings_builds,
+            self.postings_entries,
+            self.documents_parsed,
+            self.query_nanos_total
+        );
+        s.push_str(",\"duration_buckets_us_log2\":[");
+        for (i, n) in self.duration_buckets.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "{n}");
+        }
+        s.push_str("],\"error_codes\":{");
+        for (i, (code, n)) in self.error_codes.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            // Codes are short alphanumerics; escape defensively anyway.
+            let _ = write!(s, "\"{}\":{n}", json_escape(code));
+        }
+        s.push_str("}}");
+        s
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+pub fn json_escape(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    for c in raw.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_are_monotone_deltas() {
+        let before = metrics().snapshot();
+        metrics().record_query_start();
+        metrics().record_query_ok(1_500_000); // 1.5 ms → bucket log2(1500)=10
+        metrics().record_query_error("XQRG0003");
+        metrics().record_fallback();
+        metrics().record_struct_index_build();
+        metrics().record_postings_build(42);
+        let after = metrics().snapshot();
+        assert!(after.queries_started >= before.queries_started + 1);
+        assert!(after.queries_ok >= before.queries_ok + 1);
+        assert!(after.queries_failed >= before.queries_failed + 1);
+        assert!(after.fallbacks_taken >= before.fallbacks_taken + 1);
+        assert!(after.struct_index_builds >= before.struct_index_builds + 1);
+        assert!(after.postings_entries >= before.postings_entries + 42);
+        assert!(after.error_count("XQRG0003") >= before.error_count("XQRG0003") + 1);
+        assert!(after.duration_buckets[10] >= before.duration_buckets[10] + 1);
+    }
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1_000), 0); // 1 µs
+        assert_eq!(bucket_of(2_000), 1);
+        assert_eq!(bucket_of(1_024_000), 10);
+        assert_eq!(bucket_of(u64::MAX), DURATION_BUCKETS - 1);
+    }
+
+    #[test]
+    fn dumps_render() {
+        let s = metrics().snapshot();
+        assert!(s.dump_text().contains("queries_started"));
+        let j = s.dump_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"queries_started\""));
+    }
+
+    #[test]
+    fn escape_covers_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

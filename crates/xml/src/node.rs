@@ -174,6 +174,7 @@ impl Document {
                 top_roots.push(i);
                 i += subtree_size[i as usize];
             }
+            crate::metrics::metrics().record_struct_index_build();
             StructIndex {
                 subtree_size,
                 name_ids,
@@ -226,6 +227,8 @@ impl Document {
                     }
                 }
             }
+            let entries: u64 = by_name.iter().map(|v| v.len() as u64).sum();
+            crate::metrics::metrics().record_postings_build(entries);
             Postings { by_name }
         });
         p.by_name

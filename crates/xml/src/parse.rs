@@ -84,6 +84,7 @@ pub fn parse_document(input: &str, options: &ParseOptions) -> Result<Rc<Document
         return Err(p.err("content after document element"));
     }
     p.builder.end_document();
+    crate::metrics::metrics().record_document_parsed();
     Ok(p.builder.finish(None))
 }
 

@@ -19,6 +19,7 @@ pub use xqr_xmark as xmark;
 pub use xqr_xml as xml;
 
 pub use xqr_engine::{
-    BudgetKind, CancellationToken, CompileOptions, Engine, EngineError, ExecutionMode,
-    JoinAlgorithm, Limits, Phase, PreparedQuery,
+    BudgetKind, CancellationToken, CollectingTracer, CompileOptions, Engine, EngineError,
+    ExecutionMode, JoinAlgorithm, Limits, MetricsSnapshot, NoopTracer, Phase, PreparedQuery,
+    ProfileNode, QueryProfile, StderrTracer, TraceEvent, Tracer,
 };

@@ -1,0 +1,513 @@
+//! Integration: the observability layer — per-operator profiles
+//! (`EXPLAIN ANALYZE`), phase/rule tracing, and the engine metrics
+//! registry.
+//!
+//! Structural invariants checked here:
+//!
+//! * a profile tree mirrors the executed plan node-for-node, on every
+//!   execution strategy (pipelined, materialized, Core interpreter);
+//! * the root operator's recorded row count equals the query result's
+//!   length (property-tested over random inputs);
+//! * with profiling disabled nothing is recorded and `explain()` output is
+//!   byte-identical before and after a run;
+//! * profile JSON parses with an independent mini JSON parser and carries
+//!   the tree through unchanged;
+//! * limit-code errors land in the metrics registry under their `XQRG*`
+//!   codes (delta-checked: the registry is process-wide).
+
+use std::rc::Rc;
+
+use proptest::prelude::*;
+use xqr::core::algebra::plan_size;
+use xqr::engine::{CollectingTracer, CompileOptions, Engine, ExecutionMode, Limits, TraceEvent};
+use xqr::xml::metrics::metrics;
+use xqr_xmark::{generate, query, GenOptions};
+
+fn xmark_engine() -> Engine {
+    let xml = generate(&GenOptions::for_bytes(120_000));
+    let mut e = Engine::new();
+    e.bind_document("auction.xml", &xml)
+        .expect("auction document parses");
+    e
+}
+
+// ===== profile tree shape ==================================================
+
+const SHAPE_QUERIES: [&str; 4] = [
+    "for $x in (1,2,3) where $x > 1 return $x * 10",
+    "for $x in (1,1,3) \
+     let $a := avg(for $y in (1,2) where $x <= $y return $y * 10) \
+     return ($x, $a)",
+    "for $x in (3,1,2) order by $x descending return $x",
+    "some $x in (1,2,3) satisfies $x = 2",
+];
+
+#[test]
+fn profile_tree_mirrors_plan_on_both_algebra_strategies() {
+    let e = Engine::new();
+    for q in SHAPE_QUERIES {
+        for materialize in [false, true] {
+            let mut opts = CompileOptions::mode(ExecutionMode::OptimHashJoin).with_profiling();
+            opts.materialize_all = materialize;
+            let prepared = e.prepare(q, &opts).unwrap();
+            prepared.run(&e).unwrap();
+            let profile = prepared.profile().expect("profile recorded");
+            let expected = if materialize {
+                "materialized"
+            } else {
+                "pipelined"
+            };
+            assert_eq!(profile.strategy, expected, "{q:?}");
+            let root = profile.root.as_ref().expect("operator tree");
+            let plan = &prepared.compiled().unwrap().body;
+            assert_eq!(
+                root.size(),
+                plan_size(plan),
+                "{q:?} ({expected}): profile tree and plan tree differ in shape"
+            );
+            assert!(root.touched, "{q:?} ({expected}): root never recorded");
+            // The annotation vector covers every plan node in preorder.
+            assert_eq!(profile.annotations().len(), plan_size(plan));
+            let rendered = prepared.explain_analyze();
+            assert!(rendered.contains("rows="), "{rendered}");
+            assert!(rendered.contains(&format!("strategy: {expected}")));
+        }
+    }
+}
+
+#[test]
+fn interp_profile_counts_expressions_and_clauses() {
+    let e = Engine::new();
+    let q = "for $x in (1,2,3) let $y := $x + 1 where $y > 2 return $y";
+    let prepared = e
+        .prepare(
+            q,
+            &CompileOptions::mode(ExecutionMode::NoAlgebra).with_profiling(),
+        )
+        .unwrap();
+    prepared.run(&e).unwrap();
+    let profile = prepared.profile().expect("profile recorded");
+    assert_eq!(profile.strategy, "core-interp");
+    assert!(profile.root.is_none(), "no plan tree on the interpreter");
+    let counts = profile.interp.expect("interpreter counters");
+    assert!(counts.get("clause:for").copied().unwrap_or(0) >= 1);
+    assert!(counts.get("clause:let").copied().unwrap_or(0) >= 1);
+    assert!(counts.get("clause:where").copied().unwrap_or(0) >= 1);
+    assert!(counts.get("Flwor").copied().unwrap_or(0) >= 1);
+    let rendered = prepared.explain_analyze();
+    assert!(rendered.contains("clause:for"), "{rendered}");
+}
+
+// ===== row counts agree with results (property) ============================
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The root operator's recorded rows must equal the result length on
+    /// both algebra strategies, for random integer inputs.
+    #[test]
+    fn root_rows_equal_result_length(vals in prop::collection::vec(0i64..20, 1..12), cut in 0i64..20) {
+        let list = vals.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(", ");
+        let q = format!("for $x in ({list}) where $x >= {cut} return $x");
+        let e = Engine::new();
+        for materialize in [false, true] {
+            let mut opts = CompileOptions::mode(ExecutionMode::OptimHashJoin).with_profiling();
+            opts.materialize_all = materialize;
+            let prepared = e.prepare(&q, &opts).unwrap();
+            let result = prepared.run(&e).unwrap();
+            let root = prepared.profile().unwrap().root.unwrap();
+            prop_assert_eq!(
+                root.rows,
+                result.len() as u64,
+                "{} (materialize={})", q, materialize
+            );
+        }
+    }
+}
+
+// ===== disabled mode leaves no residue =====================================
+
+#[test]
+fn disabled_profiling_records_nothing_and_explain_is_stable() {
+    let e = Engine::new();
+    let q = "for $x in (1,2,3) where $x > 1 return $x";
+    let prepared = e
+        .prepare(q, &CompileOptions::mode(ExecutionMode::OptimHashJoin))
+        .unwrap();
+    let before = prepared.explain();
+    prepared.run(&e).unwrap();
+    assert!(prepared.profile().is_none(), "profiling was not requested");
+    assert!(prepared.profile_json().is_none());
+    assert_eq!(
+        prepared.explain(),
+        before,
+        "explain() must be byte-identical across an unprofiled run"
+    );
+    assert!(prepared.explain_analyze().contains("no profile recorded"));
+}
+
+// ===== explain drift: rendered shape regression ============================
+
+#[test]
+fn explain_annotates_the_plan_tree_itself() {
+    let e = Engine::new();
+    let q = "for $x in (1,2) let $a := (for $y in (1,2) where $y = $x return $y) \
+             return count($a)";
+    let prepared = e
+        .prepare(q, &CompileOptions::mode(ExecutionMode::OptimHashJoin))
+        .unwrap();
+    let text = prepared.explain();
+    // Unnested plan shape survives (the PR 1 assertions)...
+    assert!(text.contains("GroupBy"), "{text}");
+    assert!(text.contains("LOuterJoin"), "{text}");
+    assert!(text.contains("execution: pipelined"), "{text}");
+    assert!(text.contains("pipelined (streaming):"), "{text}");
+    // ...and the streams/materializes notes now ride on the plan nodes.
+    assert!(
+        text.contains("-- materializes (pipeline breaker)"),
+        "{text}"
+    );
+    assert!(text.contains("-- streams"), "{text}");
+
+    let materialized = e
+        .prepare(
+            q,
+            &CompileOptions::materialized(ExecutionMode::OptimHashJoin),
+        )
+        .unwrap();
+    let text = materialized.explain();
+    assert!(text.contains("execution: materialized"), "{text}");
+    assert!(text.contains("-- materializes"), "{text}");
+}
+
+// ===== phase tracing =======================================================
+
+#[test]
+fn tracer_sees_phases_and_rewrite_rules() {
+    let tracer = Rc::new(CollectingTracer::new());
+    let mut e = Engine::new();
+    e.set_tracer(tracer.clone());
+    let q = "for $x in (1,2) let $a := (for $y in (1,2) where $y = $x return $y) \
+             return count($a)";
+    let prepared = e
+        .prepare(q, &CompileOptions::mode(ExecutionMode::OptimHashJoin))
+        .unwrap();
+    prepared.run(&e).unwrap();
+    assert_eq!(
+        tracer.phases(),
+        vec!["parse", "normalize", "compile", "rewrite", "execute"]
+    );
+    let events = tracer.events();
+    let rules: Vec<&TraceEvent> = events
+        .iter()
+        .filter(|ev| matches!(ev, TraceEvent::Rule { .. }))
+        .collect();
+    assert!(
+        !rules.is_empty(),
+        "an unnesting query must fire rewrite rules"
+    );
+    for ev in &rules {
+        if let TraceEvent::Rule {
+            rule,
+            before_ops,
+            after_ops,
+            ..
+        } = ev
+        {
+            assert!(!rule.is_empty() && *rule != "unknown");
+            assert!(*before_ops > 0 && *after_ops > 0, "{rule}");
+        }
+    }
+    // Clearing the tracer silences subsequent prepares.
+    e.clear_tracer();
+    let drained = tracer.take();
+    assert!(!drained.is_empty());
+    e.prepare(q, &CompileOptions::default()).unwrap();
+    assert!(tracer.events().is_empty());
+}
+
+// ===== JSON round-trip =====================================================
+
+/// A deliberately independent mini JSON parser (objects, arrays, strings,
+/// integers, booleans, null) — just enough to validate the hand-rolled
+/// profile/metrics emitters without a serde dependency.
+mod json {
+    #[derive(Debug, PartialEq)]
+    pub enum Value {
+        Null,
+        Bool(bool),
+        Int(i64),
+        Str(String),
+        Arr(Vec<Value>),
+        Obj(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            match self {
+                Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+                _ => None,
+            }
+        }
+
+        pub fn as_int(&self) -> Option<i64> {
+            match self {
+                Value::Int(i) => Some(*i),
+                _ => None,
+            }
+        }
+
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+    }
+
+    pub fn parse(s: &str) -> Result<Value, String> {
+        let b = s.as_bytes();
+        let mut i = 0;
+        let v = value(b, &mut i)?;
+        skip_ws(b, &mut i);
+        if i != b.len() {
+            return Err(format!("trailing data at byte {i}"));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(b: &[u8], i: &mut usize) {
+        while *i < b.len() && (b[*i] as char).is_ascii_whitespace() {
+            *i += 1;
+        }
+    }
+
+    fn value(b: &[u8], i: &mut usize) -> Result<Value, String> {
+        skip_ws(b, i);
+        match b.get(*i) {
+            Some(b'{') => {
+                *i += 1;
+                let mut fields = Vec::new();
+                skip_ws(b, i);
+                if b.get(*i) == Some(&b'}') {
+                    *i += 1;
+                    return Ok(Value::Obj(fields));
+                }
+                loop {
+                    skip_ws(b, i);
+                    let k = match value(b, i)? {
+                        Value::Str(s) => s,
+                        other => return Err(format!("non-string key {other:?}")),
+                    };
+                    skip_ws(b, i);
+                    if b.get(*i) != Some(&b':') {
+                        return Err(format!("expected ':' at byte {i}"));
+                    }
+                    *i += 1;
+                    fields.push((k, value(b, i)?));
+                    skip_ws(b, i);
+                    match b.get(*i) {
+                        Some(b',') => *i += 1,
+                        Some(b'}') => {
+                            *i += 1;
+                            return Ok(Value::Obj(fields));
+                        }
+                        _ => return Err(format!("expected ',' or '}}' at byte {i}")),
+                    }
+                }
+            }
+            Some(b'[') => {
+                *i += 1;
+                let mut items = Vec::new();
+                skip_ws(b, i);
+                if b.get(*i) == Some(&b']') {
+                    *i += 1;
+                    return Ok(Value::Arr(items));
+                }
+                loop {
+                    items.push(value(b, i)?);
+                    skip_ws(b, i);
+                    match b.get(*i) {
+                        Some(b',') => *i += 1,
+                        Some(b']') => {
+                            *i += 1;
+                            return Ok(Value::Arr(items));
+                        }
+                        _ => return Err(format!("expected ',' or ']' at byte {i}")),
+                    }
+                }
+            }
+            Some(b'"') => {
+                *i += 1;
+                let mut s = String::new();
+                while let Some(&c) = b.get(*i) {
+                    *i += 1;
+                    match c {
+                        b'"' => return Ok(Value::Str(s)),
+                        b'\\' => {
+                            let esc = *b.get(*i).ok_or("eof in escape")?;
+                            *i += 1;
+                            match esc {
+                                b'"' => s.push('"'),
+                                b'\\' => s.push('\\'),
+                                b'/' => s.push('/'),
+                                b'n' => s.push('\n'),
+                                b't' => s.push('\t'),
+                                b'r' => s.push('\r'),
+                                b'u' => {
+                                    let hex = std::str::from_utf8(&b[*i..*i + 4])
+                                        .map_err(|e| e.to_string())?;
+                                    let cp =
+                                        u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
+                                    s.push(char::from_u32(cp).ok_or("bad codepoint")?);
+                                    *i += 4;
+                                }
+                                other => return Err(format!("unknown escape \\{}", other as char)),
+                            }
+                        }
+                        other => s.push(other as char),
+                    }
+                }
+                Err("eof in string".to_string())
+            }
+            Some(b't') if b[*i..].starts_with(b"true") => {
+                *i += 4;
+                Ok(Value::Bool(true))
+            }
+            Some(b'f') if b[*i..].starts_with(b"false") => {
+                *i += 5;
+                Ok(Value::Bool(false))
+            }
+            Some(b'n') if b[*i..].starts_with(b"null") => {
+                *i += 4;
+                Ok(Value::Null)
+            }
+            Some(c) if c.is_ascii_digit() || *c == b'-' => {
+                let start = *i;
+                if b[*i] == b'-' {
+                    *i += 1;
+                }
+                while *i < b.len() && b[*i].is_ascii_digit() {
+                    *i += 1;
+                }
+                std::str::from_utf8(&b[start..*i])
+                    .unwrap()
+                    .parse::<i64>()
+                    .map(Value::Int)
+                    .map_err(|e| e.to_string())
+            }
+            other => Err(format!("unexpected {other:?} at byte {i}")),
+        }
+    }
+}
+
+#[test]
+fn profile_json_round_trips() {
+    let e = Engine::new();
+    let q = "for $x in (1,2,3) where $x > 1 return $x";
+    let prepared = e
+        .prepare(
+            q,
+            &CompileOptions::mode(ExecutionMode::OptimHashJoin).with_profiling(),
+        )
+        .unwrap();
+    let result = prepared.run(&e).unwrap();
+    let parsed = json::parse(&prepared.profile_json().unwrap()).expect("valid JSON");
+    assert_eq!(parsed.get("strategy").unwrap().as_str(), Some("pipelined"));
+    assert!(parsed.get("wall_nanos").unwrap().as_int().unwrap() > 0);
+    let root = parsed.get("root").unwrap();
+    assert_eq!(
+        root.get("rows").unwrap().as_int().unwrap(),
+        result.len() as i64
+    );
+    // The parsed tree's node count equals the in-memory profile tree's.
+    fn count(v: &json::Value) -> usize {
+        match v.get("children") {
+            Some(json::Value::Arr(kids)) => 1 + kids.iter().map(count).sum::<usize>(),
+            _ => 1,
+        }
+    }
+    let profile = prepared.profile().unwrap();
+    assert_eq!(count(root), profile.root.unwrap().size());
+}
+
+#[test]
+fn metrics_json_parses() {
+    let e = Engine::new();
+    e.execute("1 + 1").unwrap();
+    let parsed = json::parse(&e.metrics_json()).expect("valid JSON");
+    assert!(parsed.get("queries_started").unwrap().as_int().unwrap() >= 1);
+    assert!(e.metrics_text().contains("queries_started"));
+}
+
+// ===== metrics registry ====================================================
+
+#[test]
+fn limit_errors_are_counted_by_code() {
+    let e = Engine::new();
+    let before = metrics().snapshot();
+    let q = "for $x in 1 to 100000 return $x";
+    let err = e
+        .prepare(
+            q,
+            &CompileOptions::default().limits(Limits::none().with_max_tuples(50)),
+        )
+        .unwrap()
+        .run(&e)
+        .unwrap_err();
+    assert_eq!(err.code(), Some("XQRG0003"));
+    let after = metrics().snapshot();
+    // Deltas, not absolutes: the registry is process-wide and other tests
+    // in this binary also run queries.
+    assert!(after.queries_started > before.queries_started);
+    assert!(after.queries_failed > before.queries_failed);
+    assert!(after.error_count("XQRG0003") > before.error_count("XQRG0003"));
+
+    let ok_before = metrics().snapshot();
+    e.execute("1 + 1").unwrap();
+    let ok_after = metrics().snapshot();
+    assert!(ok_after.queries_ok > ok_before.queries_ok);
+}
+
+// ===== acceptance: XMark queries, time telescopes to wall ==================
+
+#[test]
+fn xmark_profiles_sum_to_wall_clock_on_both_strategies() {
+    let e = xmark_engine();
+    for n in [6, 7, 14] {
+        for materialize in [false, true] {
+            let mut opts = CompileOptions::mode(ExecutionMode::OptimHashJoin).with_profiling();
+            opts.materialize_all = materialize;
+            let prepared = e.prepare(query(n), &opts).unwrap();
+            let result = prepared.run(&e).unwrap();
+            let profile = prepared.profile().unwrap();
+            let root = profile.root.as_ref().unwrap();
+            assert_eq!(
+                root.rows,
+                result.len() as u64,
+                "Q{n} materialize={materialize}"
+            );
+            assert!(root.touched, "Q{n}");
+            // Per-operator self times telescope back to the root's
+            // inclusive estimate, and the root estimate cannot wildly
+            // exceed the measured wall clock (sampling error allowed: the
+            // estimate extrapolates 1-in-64 samples).
+            assert!(root.nanos > 0, "Q{n}: no time recorded");
+            // Self times telescope: the sum over the tree reconstructs at
+            // least the root's inclusive estimate (saturating subtraction
+            // can only push individual self times up, never down).
+            assert!(
+                root.exclusive_sum() >= root.nanos,
+                "Q{n}: exclusive times must telescope to the root inclusive"
+            );
+            assert!(
+                root.nanos <= profile.wall_nanos.saturating_mul(4).max(1_000_000),
+                "Q{n} materialize={materialize}: estimate {} vs wall {}",
+                root.nanos,
+                profile.wall_nanos
+            );
+            let rendered = prepared.explain_analyze();
+            assert!(rendered.contains("rows="), "Q{n}: {rendered}");
+        }
+    }
+}
