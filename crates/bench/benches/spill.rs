@@ -1,0 +1,144 @@
+//! Spill-overhead benchmark (hand-rolled harness).
+//!
+//! Runs the XMark join/sort-heavy queries at ~1 MB twice per query — with
+//! an unlimited memory budget (everything in memory) and under a 256 KB
+//! byte budget that degrades the joins, group-bys, and order-bys to their
+//! out-of-core variants — and reports the wall-clock cost of spilling plus
+//! the bytes each query pushed through the spill files.
+//!
+//! Run with `cargo bench -p xqr-bench --bench spill`; results are written
+//! to `BENCH_spill.json` at the repo root. `--test` runs one iteration of
+//! everything and skips the JSON (CI smoke).
+
+use std::time::{Duration, Instant};
+
+use xqr_bench::xmark_engine;
+use xqr_engine::{CompileOptions, Limits, ProfileNode};
+
+/// The XMark queries with a materialization-heavy core: the equality
+/// joins (Q8–Q12) and the sort/aggregation shapes the external operators
+/// rewrite (Q17–Q20 are path/aggregate heavy; Q10 builds the largest
+/// intermediate).
+const QUERIES: &[usize] = &[8, 9, 10, 11, 12, 17, 18, 19, 20];
+
+const SPILL_BUDGET: u64 = 256 * 1024;
+
+fn time_once<F: FnMut()>(f: &mut F) -> Duration {
+    let t = Instant::now();
+    f();
+    t.elapsed()
+}
+
+/// Minima of `samples` interleaved runs (in-memory, spilled, …) after one
+/// warmup apiece; see benches/profile.rs for why min + interleaving.
+fn time_pair<F: FnMut(), G: FnMut()>(
+    samples: usize,
+    mut mem: F,
+    mut spill: G,
+) -> (Duration, Duration) {
+    mem();
+    spill();
+    let mut best_mem = Duration::MAX;
+    let mut best_spill = Duration::MAX;
+    for _ in 0..samples {
+        best_mem = best_mem.min(time_once(&mut mem));
+        best_spill = best_spill.min(time_once(&mut spill));
+    }
+    (best_mem, best_spill)
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1_000.0
+}
+
+fn spilled_bytes(n: &ProfileNode) -> u64 {
+    n.spilled_bytes + n.children.iter().map(spilled_bytes).sum::<u64>()
+}
+
+struct Row {
+    name: String,
+    mem_ms: f64,
+    spill_ms: f64,
+    spilled_mb: f64,
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--test");
+    let samples = if smoke { 1 } else { 10 };
+
+    let (engine, _len) = xmark_engine(1_000_000);
+    let forced = Limits::none().with_max_bytes(SPILL_BUDGET);
+
+    let mut rows = Vec::new();
+    for &n in QUERIES {
+        let q = xqr_xmark::query(n);
+        let mem = engine
+            .prepare(q, &CompileOptions::default())
+            .expect("prepare");
+        let spill = engine
+            .prepare(q, &CompileOptions::default().limits(forced.clone()))
+            .expect("prepare spilled");
+        let (mem_t, spill_t) = time_pair(
+            samples,
+            || {
+                std::hint::black_box(mem.run(&engine).expect("run"));
+            },
+            || {
+                std::hint::black_box(spill.run(&engine).expect("run spilled"));
+            },
+        );
+        // One profiled run of the spilled plan for the bytes-to-disk column.
+        let profiled = engine
+            .prepare(
+                q,
+                &CompileOptions::default()
+                    .limits(forced.clone())
+                    .with_profiling(),
+            )
+            .expect("prepare profiled");
+        profiled.run(&engine).expect("profiled run");
+        let bytes = profiled
+            .profile()
+            .and_then(|p| p.root.as_ref().map(spilled_bytes))
+            .unwrap_or(0);
+        rows.push(Row {
+            name: format!("Q{n}"),
+            mem_ms: ms(mem_t),
+            spill_ms: ms(spill_t),
+            spilled_mb: bytes as f64 / (1024.0 * 1024.0),
+        });
+    }
+
+    println!("xmark 1 MB, pipelined: unlimited memory vs a 256 KB budget (spilling):");
+    for r in &rows {
+        let overhead = (r.spill_ms / r.mem_ms - 1.0) * 100.0;
+        println!(
+            "  {:<5} mem {:>8.3} ms   spill {:>8.3} ms   overhead {:>7.1}%   to-disk {:>7.2} MB",
+            r.name, r.mem_ms, r.spill_ms, overhead, r.spilled_mb
+        );
+    }
+
+    if smoke {
+        return;
+    }
+
+    let mut json = String::from(
+        "{\n  \"bench\": \"spill\",\n  \"budget_bytes\": 262144,\n  \"xmark_1mb\": [\n",
+    );
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"mem_ms\": {:.3}, \"spill_ms\": {:.3}, \
+             \"overhead_pct\": {:.2}, \"spilled_mb\": {:.2}}}{}\n",
+            r.name,
+            r.mem_ms,
+            r.spill_ms,
+            (r.spill_ms / r.mem_ms - 1.0) * 100.0,
+            r.spilled_mb,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_spill.json");
+    std::fs::write(path, json).expect("write BENCH_spill.json");
+    println!("wrote {path}");
+}

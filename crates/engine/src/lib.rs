@@ -46,7 +46,10 @@ pub use xqr_core::{CollectingTracer, NoopTracer, StderrTracer, TraceEvent, Trace
 use xqr_frontend::{frontend_with, normalize_module, parse_query_with, CoreModule, SyntaxError};
 use xqr_runtime::{eval_core_module_profiled, Ctx, InterpProfile, Profiler};
 use xqr_types::Schema;
-use xqr_xml::limits::{ERR_BYTES, ERR_CANCELLED, ERR_DEADLINE, ERR_RECURSION, ERR_TUPLES};
+use xqr_xml::limits::{
+    ERR_BYTES, ERR_CANCELLED, ERR_DEADLINE, ERR_RECURSION, ERR_SPILL_BUDGET, ERR_SPILL_IO,
+    ERR_TUPLES,
+};
 use xqr_xml::metrics::metrics;
 use xqr_xml::parse::{parse_document, ParseOptions};
 use xqr_xml::{Governor, NodeHandle, QName, Sequence, XmlError};
@@ -210,6 +213,12 @@ pub enum BudgetKind {
     Tuples,
     Bytes,
     Recursion,
+    /// Spill I/O failed irrecoverably (`XQRG0005`: retries exhausted or a
+    /// corrupt frame).
+    SpillIo,
+    /// The spill *disk* budget (`Limits::with_spill`) is exhausted
+    /// (`XQRG0006`).
+    SpillDisk,
 }
 
 impl BudgetKind {
@@ -220,6 +229,8 @@ impl BudgetKind {
             ERR_TUPLES => Some(BudgetKind::Tuples),
             ERR_BYTES => Some(BudgetKind::Bytes),
             ERR_RECURSION => Some(BudgetKind::Recursion),
+            ERR_SPILL_IO => Some(BudgetKind::SpillIo),
+            ERR_SPILL_BUDGET => Some(BudgetKind::SpillDisk),
             _ => None,
         }
     }
@@ -230,7 +241,7 @@ impl BudgetKind {
 pub enum EngineError {
     Syntax(SyntaxError),
     Dynamic(XmlError),
-    /// A resource budget tripped (governor codes `XQRG0001`–`XQRG0004`,
+    /// A resource budget tripped (governor codes `XQRG0001`–`XQRG0006`,
     /// recursion `XQRT0005`).
     LimitExceeded {
         /// The stable `err:`-style code of the violated budget.
@@ -452,6 +463,7 @@ impl Engine {
         query: &str,
         options: &CompileOptions,
     ) -> Result<PreparedQuery, EngineError> {
+        xqr_xml::failpoint::check("phase::parse").map_err(|e| classify(e, Phase::Parse))?;
         let limits = options.limits.clone().or_else(|| self.limits.clone());
         let parse_depth = limits
             .as_ref()
@@ -502,6 +514,7 @@ impl Engine {
                 last_profile: RefCell::new(None),
             });
         }
+        xqr_xml::failpoint::check("phase::compile").map_err(|e| classify(e, Phase::Compile))?;
         let t0 = self.tracer.as_ref().map(|_| Instant::now());
         let mut compiled = isolate(Phase::Compile, "normalized core module", || {
             compile_module(&core)
@@ -516,6 +529,7 @@ impl Engine {
         let stats = if mode == ExecutionMode::AlgebraNoOptim {
             None
         } else {
+            xqr_xml::failpoint::check("phase::rewrite").map_err(|e| classify(e, Phase::Rewrite))?;
             let rules = options.rules.unwrap_or_default();
             let projection = options.projection;
             let tracing = self.tracer.is_some();
@@ -697,7 +711,7 @@ impl PreparedQuery {
         metrics().record_query_start();
         let t0 = Instant::now();
         let limits = self.limits.clone().unwrap_or_default();
-        let governor = Governor::new(&limits, token);
+        let governor = Governor::new(&limits, token.clone());
         let pipelined = !self.materialize_all;
         let result = match self.run_once(engine, &governor, pipelined) {
             Err(EngineError::Internal {
@@ -725,6 +739,33 @@ impl PreparedQuery {
                     }),
                 }
             }
+            Err(EngineError::LimitExceeded {
+                code,
+                phase,
+                budget,
+                message,
+            }) if code == ERR_SPILL_IO && self.fallback && self.plan.is_some() => {
+                // Spilling itself failed irrecoverably (retries exhausted
+                // or a corrupt frame): retry once with spilling disabled,
+                // degrading to the strict in-memory byte budget — a broken
+                // disk shouldn't fail a query that fits in memory.
+                metrics().record_fallback();
+                *self.fallback_note.borrow_mut() = Some(format!(
+                    "fallback: spilling failed during {} ({message}); \
+                     retried with spilling disabled",
+                    phase.label()
+                ));
+                let strict = Governor::new(&limits.clone().with_spill(None), token);
+                match self.run_once(engine, &strict, pipelined) {
+                    Ok(v) => Ok(v),
+                    Err(_retry_err) => Err(EngineError::LimitExceeded {
+                        code,
+                        phase,
+                        budget,
+                        message,
+                    }),
+                }
+            }
             other => other,
         };
         let wall = t0.elapsed().as_nanos() as u64;
@@ -732,6 +773,16 @@ impl PreparedQuery {
             Ok(v) => {
                 metrics().record_query_ok(wall);
                 if engine.tracer.is_some() {
+                    if governor.spilled() {
+                        engine.trace(TraceEvent::Span {
+                            phase: "spill",
+                            nanos: 0,
+                            detail: format!(
+                                "memory watermark crossed; {} bytes spilled to disk",
+                                governor.spill_bytes_total()
+                            ),
+                        });
+                    }
                     engine.trace(TraceEvent::Span {
                         phase: "execute",
                         nanos: wall,
@@ -751,6 +802,7 @@ impl PreparedQuery {
         governor: &Governor,
         pipelined: bool,
     ) -> Result<Sequence, EngineError> {
+        xqr_xml::failpoint::check("phase::execute").map_err(|e| classify(e, Phase::Execute))?;
         let profiler =
             (self.profile && self.plan.is_some()).then(|| Profiler::new(governor.clone()));
         let interp_profile =

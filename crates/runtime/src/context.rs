@@ -43,6 +43,10 @@ pub struct Ctx<'a> {
     /// Per-operator profiling (`explain_analyze`). `None` — the default —
     /// leaves every instrumentation site at a single branch test.
     pub profiler: Option<crate::profile::Profiler>,
+    /// The query's scoped spill directory, created lazily on first spill
+    /// and removed (with everything in it) when the context drops — the
+    /// engine drops the context on every exit path, including unwinds.
+    spill: Option<std::rc::Rc<crate::spill::SpillManager>>,
 }
 
 impl<'a> Ctx<'a> {
@@ -62,7 +66,21 @@ impl<'a> Ctx<'a> {
             pipelined: true,
             governor: Governor::unlimited(),
             profiler: None,
+            spill: None,
         }
+    }
+
+    /// The query's spill manager, creating the scoped temp directory on
+    /// first use.
+    pub(crate) fn spill_manager(
+        &mut self,
+    ) -> xqr_xml::Result<std::rc::Rc<crate::spill::SpillManager>> {
+        if let Some(m) = &self.spill {
+            return Ok(m.clone());
+        }
+        let m = crate::spill::SpillManager::create(&self.governor)?;
+        self.spill = Some(m.clone());
+        Ok(m)
     }
 
     /// Resolves a free variable: innermost function frame, then globals.

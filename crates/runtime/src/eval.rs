@@ -541,6 +541,18 @@ fn eval_inner(plan: &Plan, ctx: &mut Ctx<'_>, input: Option<&InputVal>) -> xqr_x
         }
         Op::OrderBy { specs, input: src } => {
             let table = eval_table(src, ctx, input)?;
+            if ctx.governor.should_spill() {
+                let stats = match &ctx.profiler {
+                    Some(p) => p.stats_for(plan),
+                    None => None,
+                };
+                return Ok(Value::Table(crate::spill::external_sort(
+                    specs,
+                    table,
+                    ctx,
+                    stats.as_deref(),
+                )?));
+            }
             Ok(Value::Table(order_by(specs, table, ctx)?))
         }
         Op::GroupBy {

@@ -40,6 +40,20 @@ pub fn execute_group_by(
     ctx: &mut Ctx<'_>,
     stats: Option<&crate::profile::OpStats>,
 ) -> xqr_xml::Result<Table> {
+    // Past the governor's soft watermark, partitions accumulate on disk
+    // instead of in the keyed vector.
+    if ctx.governor.should_spill() {
+        return crate::spill::spill_group_by(
+            agg,
+            index_fields,
+            null_fields,
+            per_partition,
+            per_item,
+            input,
+            ctx,
+            stats,
+        );
+    }
     // Sort stably by the index-field vector (ascending). The unnesting
     // pipeline produces already-sorted input; the sort makes the operator
     // correct for any input.
@@ -125,6 +139,10 @@ pub(crate) fn execute_group_by_streaming<'p>(
     let mut done: Vec<Part> = Vec::new();
     let mut cur_part: Option<Part> = None;
     let mut by_key: Option<HashMap<Vec<i64>, usize>> = None;
+    // Set once the governor's watermark flips mid-stream: accumulated
+    // partitions migrate to disk and the rest of the cursor streams
+    // straight into the spiller.
+    let mut spiller: Option<crate::spill::GroupSpill> = None;
     while let Some(t) = src.next(ctx) {
         let t = t?;
         let key = index_fields
@@ -145,6 +163,21 @@ pub(crate) fn execute_group_by_streaming<'p>(
         } else {
             (t, Vec::new())
         };
+        if spiller.is_none() && ctx.governor.should_spill() {
+            let mut gs = crate::spill::GroupSpill::new(ctx)?;
+            for p in done.drain(..) {
+                gs.add(&p.key, &p.rep, &p.items)?;
+            }
+            if let Some(p) = cur_part.take() {
+                gs.add(&p.key, &p.rep, &p.items)?;
+            }
+            by_key = None;
+            spiller = Some(gs);
+        }
+        if let Some(gs) = &mut spiller {
+            gs.add(&key, &t, &items)?;
+            continue;
+        }
         if let Some(map) = &mut by_key {
             merge_hash(&mut done, map, key, t, items);
             continue;
@@ -168,6 +201,9 @@ pub(crate) fn execute_group_by_streaming<'p>(
                 merge_hash(&mut done, by_key.as_mut().unwrap(), key, t, items);
             }
         }
+    }
+    if let Some(gs) = spiller {
+        return gs.finish(agg, per_partition, ctx, stats);
     }
     if let Some(p) = cur_part.take() {
         done.push(p);
@@ -206,7 +242,7 @@ fn merge_hash(
     }
 }
 
-fn index_value(t: &Tuple, field: &Field) -> xqr_xml::Result<i64> {
+pub(crate) fn index_value(t: &Tuple, field: &Field) -> xqr_xml::Result<i64> {
     let seq = t.get(field);
     match seq.get(0) {
         Some(Item::Atomic(AtomicValue::Integer(i))) => Ok(*i),
@@ -218,7 +254,7 @@ fn index_value(t: &Tuple, field: &Field) -> xqr_xml::Result<i64> {
     }
 }
 
-fn all_nulls_false(t: &Tuple, null_fields: &[Field]) -> xqr_xml::Result<bool> {
+pub(crate) fn all_nulls_false(t: &Tuple, null_fields: &[Field]) -> xqr_xml::Result<bool> {
     for f in null_fields {
         let seq = t.get(f);
         if !seq.is_empty() && effective_boolean_value(&seq)? {

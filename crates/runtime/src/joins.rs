@@ -49,6 +49,16 @@ pub fn execute_join(
     ctx: &mut Ctx<'_>,
     stats: Option<&crate::profile::OpStats>,
 ) -> xqr_xml::Result<Table> {
+    // Past the governor's soft watermark, a splittable predicate goes to
+    // the Grace-style partitioned join instead of building the whole inner
+    // index in memory (nested-loop predicates have no key to partition on
+    // and keep the in-memory path — their per-pair loop holds only the
+    // output).
+    if ctx.governor.should_spill() && !matches!(ctx.join_algorithm, JoinAlgorithm::NestedLoop) {
+        if let Some(split) = analyze_predicate(pred, left_plan, right_plan) {
+            return crate::spill::grace_join(&split, left, right, outer_null, ctx, stats);
+        }
+    }
     let t0 = stats.map(|_| std::time::Instant::now());
     let probe = JoinProbe::build(pred, left_plan, right_plan, right, ctx)?;
     if let (Some(s), Some(t0)) = (stats, t0) {
@@ -81,10 +91,13 @@ pub(crate) enum JoinProbe<'p> {
     /// Full-predicate nested loop (also the fallback when the predicate
     /// has no separable equality).
     NestedLoop { pred: &'p Plan },
-    /// Fig. 6 hash/B-tree index over the inner side's key values.
+    /// Fig. 6 hash/B-tree index over the inner side's key values. The
+    /// charge is the build side's live-byte accounting: it releases back
+    /// to the governor when the probe (and with it the index) drops.
     Indexed {
         split: SplitPredicate<'p>,
         index: KeyIndex,
+        _charge: xqr_xml::ByteCharge,
     },
 }
 
@@ -100,8 +113,13 @@ impl<'p> JoinProbe<'p> {
             JoinAlgorithm::NestedLoop => Ok(JoinProbe::NestedLoop { pred }),
             algo => match analyze_predicate(pred, left_plan, right_plan) {
                 Some(split) => {
-                    let index = materialize(right, split.right_key, ctx, algo, split.specialized)?;
-                    Ok(JoinProbe::Indexed { split, index })
+                    let (index, charge) =
+                        materialize(right, split.right_key, ctx, algo, split.specialized)?;
+                    Ok(JoinProbe::Indexed {
+                        split,
+                        index,
+                        _charge: charge,
+                    })
                 }
                 None => Ok(JoinProbe::NestedLoop { pred }),
             },
@@ -145,7 +163,7 @@ impl<'p> JoinProbe<'p> {
                     }
                 }
             }
-            JoinProbe::Indexed { split, index } => {
+            JoinProbe::Indexed { split, index, .. } => {
                 let ms = all_matches(index, lt, split.left_key, ctx, split.specialized)?;
                 'candidates: for idx in ms {
                     let input = InputVal::Tuple(lt.concat(&right[idx]));
@@ -291,7 +309,7 @@ pub(crate) enum KeyVal {
     Name(String),
 }
 
-fn key_of(v: &AtomicValue) -> Option<(AtomicType, KeyVal)> {
+pub(crate) fn key_of(v: &AtomicValue) -> Option<(AtomicType, KeyVal)> {
     use AtomicValue as V;
     let kv = match v {
         V::Boolean(b) => KeyVal::Bool(*b),
@@ -339,9 +357,9 @@ fn key_of(v: &AtomicValue) -> Option<(AtomicType, KeyVal)> {
 /// and type …, the corresponding tuple value, and the ordinal position").
 #[derive(Clone, Debug)]
 pub(crate) struct Entry {
-    orig_value: AtomicValue,
-    orig_type: AtomicType,
-    tuple_idx: usize,
+    pub(crate) orig_value: AtomicValue,
+    pub(crate) orig_type: AtomicType,
+    pub(crate) tuple_idx: usize,
 }
 
 /// The two index structures share this small interface.
@@ -351,14 +369,14 @@ pub(crate) enum KeyIndex {
 }
 
 impl KeyIndex {
-    fn new(algo: JoinAlgorithm) -> KeyIndex {
+    pub(crate) fn new(algo: JoinAlgorithm) -> KeyIndex {
         match algo {
             JoinAlgorithm::Sort => KeyIndex::BTree(BTreeMap::new()),
             _ => KeyIndex::Hash(HashMap::new()),
         }
     }
 
-    fn put(&mut self, key: (AtomicType, KeyVal), e: Entry) {
+    pub(crate) fn put(&mut self, key: (AtomicType, KeyVal), e: Entry) {
         match self {
             KeyIndex::Hash(m) => m.entry(key).or_default().push(e),
             KeyIndex::BTree(m) => m.entry(key).or_default().push(e),
@@ -381,13 +399,16 @@ fn materialize(
     ctx: &mut Ctx<'_>,
     algo: JoinAlgorithm,
     specialized: Option<AtomicType>,
-) -> xqr_xml::Result<KeyIndex> {
+) -> xqr_xml::Result<(KeyIndex, xqr_xml::ByteCharge)> {
     let mut index = KeyIndex::new(algo);
+    let mut charge = xqr_xml::ByteCharge::new(&ctx.governor);
     for (tuple_idx, tup) in inner.iter().enumerate() {
         ctx.governor.tick()?;
+        xqr_xml::failpoint::check("join::build_charge")?;
         if ctx.governor.has_byte_budget() {
-            // The index retains roughly one entry per key value per tuple.
-            ctx.governor.charge_bytes(tup.approx_bytes())?;
+            // The index retains roughly one entry per key value per tuple;
+            // the charge releases when the probe index drops.
+            charge.add(tup.approx_bytes())?;
         }
         let key_vals = eval_dep_items(key_expr, ctx, &InputVal::Tuple(tup.clone()))?.atomized();
         for key in key_vals {
@@ -405,14 +426,17 @@ fn materialize(
             }
         }
     }
-    Ok(index)
+    Ok((index, charge))
 }
 
 /// The `(value, type)` pairs for one key: the full `promoteToSimpleTypes`
 /// enumeration, or — when the join is statically specialized — the single
 /// promoted value at the comparison type (values that cannot promote there
 /// cannot match and store nothing).
-fn promoted_keys(key: &AtomicValue, specialized: Option<AtomicType>) -> Vec<AtomicValue> {
+pub(crate) fn promoted_keys(
+    key: &AtomicValue,
+    specialized: Option<AtomicType>,
+) -> Vec<AtomicValue> {
     match specialized {
         None => promote_to_simple_types(key),
         Some(t) => {
@@ -436,7 +460,7 @@ fn promoted_keys(key: &AtomicValue, specialized: Option<AtomicType>) -> Vec<Atom
 /// Fig. 6 `allMatches`: probes the index with one outer tuple's key values,
 /// checks the original types against Table 2, and returns inner tuple
 /// indices sorted by the inner sequence order with duplicates removed.
-fn all_matches(
+pub(crate) fn all_matches(
     index: &KeyIndex,
     tup: &Tuple,
     key_expr: &Plan,

@@ -27,7 +27,11 @@
 //!   no tuple pipeline);
 //! * [`profile`] — per-operator runtime statistics (rows, calls, sampled
 //!   time, peak materialized bytes) collected into a [`profile::QueryProfile`]
-//!   tree mirroring the plan shape, the engine's `EXPLAIN ANALYZE` backend.
+//!   tree mirroring the plan shape, the engine's `EXPLAIN ANALYZE` backend;
+//! * [`spill`] — out-of-core operator variants engaged when the governor's
+//!   soft memory watermark trips: Grace-style partitioned hash join,
+//!   partitioned group-by, and a stable external merge sort, all over
+//!   CRC-checked, self-deleting spill files.
 
 pub mod compare;
 pub mod context;
@@ -38,6 +42,7 @@ pub mod interp;
 pub mod joins;
 pub mod pipeline;
 pub mod profile;
+pub mod spill;
 pub mod value;
 
 pub use context::{Ctx, JoinAlgorithm};

@@ -24,7 +24,7 @@ use xqr_xml::axes::{self, Axis};
 use xqr_xml::{AtomicValue, Item, NodeKind, Sequence, XmlError};
 
 use crate::compare::effective_boolean_value;
-use crate::context::Ctx;
+use crate::context::{Ctx, JoinAlgorithm};
 use crate::eval::{eval, eval_items, eval_table};
 use crate::joins::JoinProbe;
 use crate::value::{InputVal, Table, Tuple};
@@ -238,11 +238,14 @@ fn open_cursor_raw<'p>(
                 open_cursor(els, ctx, input)
             }
         }
-        // Pipeline breakers and the rest: evaluate fully, replay.
+        // Pipeline breakers and the rest: evaluate fully, replay. (The
+        // table's bytes were already charged at its materialization point;
+        // no second charge here.)
         _ => {
             let table = eval(plan, ctx, input)?.into_table()?;
             Ok(Box::new(MaterializedCursor {
                 iter: table.into_iter(),
+                _charge: None,
             }))
         }
     }
@@ -263,6 +266,33 @@ fn open_join<'p>(
         Some(p) => p.stats_for(plan),
         None => None,
     };
+    // Past the soft watermark a splittable join runs out-of-core: both
+    // sides materialize (the outer order must be recoverable across
+    // partitions), the Grace join produces the full output, and the cursor
+    // replays it. The result's footprint stays charged until the cursor
+    // drops.
+    if ctx.governor.should_spill() && !matches!(ctx.join_algorithm, JoinAlgorithm::NestedLoop) {
+        if let Some(split) = crate::joins::analyze_predicate(pred, left, right) {
+            let left_table = eval_table(left, ctx, input)?;
+            let right_table = eval_table(right, ctx, input)?;
+            let out = crate::spill::grace_join(
+                &split,
+                &left_table,
+                &right_table,
+                outer_null,
+                ctx,
+                stats.as_deref(),
+            )?;
+            let mut charge = xqr_xml::ByteCharge::new(&ctx.governor);
+            for t in &out {
+                charge.add(t.approx_bytes())?;
+            }
+            return Ok(Box::new(MaterializedCursor {
+                iter: out.into_iter(),
+                _charge: Some(charge),
+            }));
+        }
+    }
     let t0 = stats.as_ref().map(|_| std::time::Instant::now());
     let right_table = eval_table(right, ctx, input)?;
     let probe = JoinProbe::build(pred, left, right, &right_table, ctx)?;
@@ -288,9 +318,12 @@ pub(crate) fn collect(mut cur: BoxCursor<'_>, ctx: &mut Ctx<'_>) -> xqr_xml::Res
     Ok(out)
 }
 
-/// Replays an already-computed table.
+/// Replays an already-computed table. The optional charge is the table's
+/// live-byte accounting, released back to the governor when the cursor
+/// drops.
 struct MaterializedCursor {
     iter: std::vec::IntoIter<Tuple>,
+    _charge: Option<xqr_xml::ByteCharge>,
 }
 
 impl<'p> TupleCursor<'p> for MaterializedCursor {

@@ -69,6 +69,9 @@ pub struct OpStats {
     build_nanos: Cell<u64>,
     partitions: Cell<u64>,
     kernel_dispatches: Cell<u64>,
+    spilled_bytes: Cell<u64>,
+    spill_partitions: Cell<u64>,
+    spill_merge_passes: Cell<u64>,
 }
 
 impl OpStats {
@@ -136,6 +139,22 @@ impl OpStats {
     /// Context nodes dispatched through a set-at-a-time step kernel.
     pub fn add_kernel_dispatches(&self, n: u64) {
         self.kernel_dispatches.set(self.kernel_dispatches.get() + n);
+    }
+
+    /// Bytes this operator wrote to spill files (frame headers included).
+    pub fn add_spilled_bytes(&self, n: u64) {
+        self.spilled_bytes.set(self.spilled_bytes.get() + n);
+    }
+
+    /// Spill partitions / sorted runs this operator produced on disk.
+    pub fn add_spill_partitions(&self, n: u64) {
+        self.spill_partitions.set(self.spill_partitions.get() + n);
+    }
+
+    /// External-sort merge passes over spilled runs.
+    pub fn add_spill_merge_passes(&self, n: u64) {
+        self.spill_merge_passes
+            .set(self.spill_merge_passes.get() + n);
     }
 
     /// Estimated cumulative (inclusive) time: exactly measured units (the
@@ -310,6 +329,9 @@ fn build_node(nodes: &[NodeEntry], id: u32) -> ProfileNode {
         peak_bytes: e.stats.peak_bytes.get(),
         partitions: e.stats.partitions.get(),
         kernel_dispatches: e.stats.kernel_dispatches.get(),
+        spilled_bytes: e.stats.spilled_bytes.get(),
+        spill_partitions: e.stats.spill_partitions.get(),
+        spill_merge_passes: e.stats.spill_merge_passes.get(),
         touched: e.stats.touched(),
         children,
     }
@@ -333,6 +355,12 @@ pub struct ProfileNode {
     pub peak_bytes: u64,
     pub partitions: u64,
     pub kernel_dispatches: u64,
+    /// Bytes written to spill files by this operator (0 = never spilled).
+    pub spilled_bytes: u64,
+    /// Spill partitions / sorted runs written by this operator.
+    pub spill_partitions: u64,
+    /// External-sort merge passes performed by this operator.
+    pub spill_merge_passes: u64,
     /// Whether any instrumentation recorded into this node (false for
     /// plan nodes outside the instrumented operator set, or never
     /// reached).
@@ -376,6 +404,15 @@ impl ProfileNode {
         if self.kernel_dispatches > 0 {
             s.push_str(&format!(" kernel={}", self.kernel_dispatches));
         }
+        if self.spilled_bytes > 0 {
+            s.push_str(&format!(" spilled={}", fmt_bytes(self.spilled_bytes)));
+        }
+        if self.spill_partitions > 0 {
+            s.push_str(&format!(" spill_parts={}", self.spill_partitions));
+        }
+        if self.spill_merge_passes > 0 {
+            s.push_str(&format!(" merge_passes={}", self.spill_merge_passes));
+        }
         Some(s)
     }
 
@@ -385,7 +422,8 @@ impl ProfileNode {
             out,
             "{{\"label\":\"{}\",\"rows\":{},\"calls\":{},\"opens\":{},\"nanos\":{},\
              \"exclusive_nanos\":{},\"build_nanos\":{},\"peak_bytes\":{},\"partitions\":{},\
-             \"kernel_dispatches\":{},\"touched\":{},\"children\":[",
+             \"kernel_dispatches\":{},\"spilled_bytes\":{},\"spill_partitions\":{},\
+             \"spill_merge_passes\":{},\"touched\":{},\"children\":[",
             json_escape(&self.label),
             self.rows,
             self.calls,
@@ -396,6 +434,9 @@ impl ProfileNode {
             self.peak_bytes,
             self.partitions,
             self.kernel_dispatches,
+            self.spilled_bytes,
+            self.spill_partitions,
+            self.spill_merge_passes,
             self.touched
         );
         for (i, c) in self.children.iter().enumerate() {

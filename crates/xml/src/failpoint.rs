@@ -1,0 +1,343 @@
+//! Deterministic fault injection (failpoints).
+//!
+//! Named sites scattered through the engine's degradation-critical paths —
+//! spill I/O (`spill::open`, `spill::write`, `spill::read`), governor
+//! charges (`join::build_charge`, `groupby::flush`), document parsing
+//! (`parse::alloc`), and the engine's phase boundaries — call
+//! [`check`]. With the `failpoints` cargo feature **disabled** (the
+//! default) every call compiles to `Ok(())` and the whole registry is
+//! absent from the binary. With the feature enabled but no site armed, the
+//! cost is one relaxed atomic load per call.
+//!
+//! ## Configuration grammar
+//!
+//! Sites are armed either programmatically ([`configure`], usually through
+//! the RAII [`FailGuard`]) or from the environment at first use:
+//!
+//! ```text
+//! XQR_FAILPOINTS="spill::write=err(3);groupby::flush=panic"
+//! ```
+//!
+//! Entries are `site=action`, separated by `;` or `,`. Actions:
+//!
+//! | action | behaviour |
+//! |---|---|
+//! | `err` | fail every evaluation with an injected `XQRFP01` error |
+//! | `err(N)` | fail the first N evaluations, then pass |
+//! | `panic` / `panic(N)` | panic at the site (exercises the isolation boundary) |
+//! | `delay(Dms)` / `delay(Dms,N)` | sleep D milliseconds per evaluation |
+//! | `oneshot` | alias for `err(1)` |
+//! | `off` | disarm (useful to override an env entry per test) |
+//!
+//! Every non-pass evaluation counts into the process metrics
+//! (`failpoint_trips`), so chaos runs can assert that a schedule actually
+//! fired.
+
+/// Error code carried by injected failures. Spill call sites translate it
+/// into a transient I/O failure (exercising the retry path); everywhere
+/// else it surfaces as a dynamic error.
+pub const ERR_INJECTED: &str = "XQRFP01";
+
+/// Evaluates the failpoint `site`: passes, fails with an injected
+/// [`ERR_INJECTED`] error, sleeps, or panics according to the armed
+/// action. The no-feature build is an empty inline function.
+#[cfg(not(feature = "failpoints"))]
+#[inline(always)]
+pub fn check(_site: &str) -> crate::Result<()> {
+    Ok(())
+}
+
+#[cfg(feature = "failpoints")]
+pub use enabled::{check, clear, configure, configure_from_spec, remove, FailGuard};
+
+#[cfg(feature = "failpoints")]
+mod enabled {
+    use std::collections::HashMap;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Mutex, OnceLock};
+    use std::time::Duration;
+
+    use crate::metrics::metrics;
+    use crate::XmlError;
+
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    enum Kind {
+        Err,
+        Panic,
+        Delay(u64),
+    }
+
+    #[derive(Clone, Debug)]
+    struct Action {
+        kind: Kind,
+        /// Evaluations left before the site disarms itself; `None` is
+        /// unlimited.
+        remaining: Option<u64>,
+    }
+
+    struct Registry {
+        sites: Mutex<HashMap<String, Action>>,
+    }
+
+    /// Number of currently armed sites — the fast-path gate: an unarmed
+    /// process pays one relaxed load per `check`.
+    static ARMED: AtomicUsize = AtomicUsize::new(0);
+
+    fn registry() -> &'static Registry {
+        static R: OnceLock<Registry> = OnceLock::new();
+        R.get_or_init(|| {
+            let r = Registry {
+                sites: Mutex::new(HashMap::new()),
+            };
+            if let Ok(env) = std::env::var("XQR_FAILPOINTS") {
+                let mut sites = r.sites.lock().unwrap();
+                for entry in env.split([';', ',']).filter(|s| !s.trim().is_empty()) {
+                    match parse_entry(entry) {
+                        Ok((site, Some(action))) => {
+                            sites.insert(site, action);
+                        }
+                        Ok((site, None)) => {
+                            sites.remove(&site);
+                        }
+                        Err(e) => eprintln!("XQR_FAILPOINTS: ignoring {entry:?}: {e}"),
+                    }
+                }
+                ARMED.store(sites.len(), Ordering::Relaxed);
+            }
+            r
+        })
+    }
+
+    fn parse_entry(entry: &str) -> Result<(String, Option<Action>), String> {
+        let (site, spec) = entry
+            .split_once('=')
+            .ok_or_else(|| "expected site=action".to_string())?;
+        Ok((site.trim().to_string(), parse_action(spec.trim())?))
+    }
+
+    fn parse_action(spec: &str) -> Result<Option<Action>, String> {
+        let (head, arg) = match spec.split_once('(') {
+            Some((h, rest)) => {
+                let inner = rest
+                    .strip_suffix(')')
+                    .ok_or_else(|| format!("unclosed '(' in {spec:?}"))?;
+                (h, Some(inner))
+            }
+            None => (spec, None),
+        };
+        let count = |a: Option<&str>| -> Result<Option<u64>, String> {
+            match a {
+                None => Ok(None),
+                Some(s) => s
+                    .trim()
+                    .parse::<u64>()
+                    .map(Some)
+                    .map_err(|_| format!("bad count in {spec:?}")),
+            }
+        };
+        match head {
+            "off" => Ok(None),
+            "err" => Ok(Some(Action {
+                kind: Kind::Err,
+                remaining: count(arg)?,
+            })),
+            "oneshot" => Ok(Some(Action {
+                kind: Kind::Err,
+                remaining: Some(1),
+            })),
+            "panic" => Ok(Some(Action {
+                kind: Kind::Panic,
+                remaining: count(arg)?,
+            })),
+            "delay" => {
+                let inner = arg.ok_or_else(|| "delay needs (Dms)".to_string())?;
+                let (d, n) = match inner.split_once(',') {
+                    Some((d, n)) => (d, Some(n)),
+                    None => (inner, None),
+                };
+                let millis = d
+                    .trim()
+                    .strip_suffix("ms")
+                    .unwrap_or(d.trim())
+                    .trim()
+                    .parse::<u64>()
+                    .map_err(|_| format!("bad duration in {spec:?}"))?;
+                Ok(Some(Action {
+                    kind: Kind::Delay(millis),
+                    remaining: count(n)?,
+                }))
+            }
+            other => Err(format!("unknown action {other:?}")),
+        }
+    }
+
+    /// Arms `site` with an action in the `XQR_FAILPOINTS` grammar (e.g.
+    /// `"err(3)"`, `"panic"`, `"delay(10ms)"`, `"oneshot"`).
+    pub fn configure(site: &str, spec: &str) -> Result<(), String> {
+        let action = parse_action(spec)?;
+        let mut sites = registry().sites.lock().unwrap();
+        match action {
+            Some(a) => {
+                sites.insert(site.to_string(), a);
+            }
+            None => {
+                sites.remove(site);
+            }
+        }
+        ARMED.store(sites.len(), Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Applies a full `site=action;site=action` schedule string (the
+    /// `XQR_FAILPOINTS` grammar), e.g. from a seeded chaos scheduler.
+    pub fn configure_from_spec(schedule: &str) -> Result<(), String> {
+        for entry in schedule.split([';', ',']).filter(|s| !s.trim().is_empty()) {
+            let (site, action) = parse_entry(entry)?;
+            let mut sites = registry().sites.lock().unwrap();
+            match action {
+                Some(a) => {
+                    sites.insert(site, a);
+                }
+                None => {
+                    sites.remove(&site);
+                }
+            }
+            ARMED.store(sites.len(), Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    /// Disarms one site.
+    pub fn remove(site: &str) {
+        let mut sites = registry().sites.lock().unwrap();
+        sites.remove(site);
+        ARMED.store(sites.len(), Ordering::Relaxed);
+    }
+
+    /// Disarms every site.
+    pub fn clear() {
+        let mut sites = registry().sites.lock().unwrap();
+        sites.clear();
+        ARMED.store(0, Ordering::Relaxed);
+    }
+
+    /// RAII site arming for tests: disarms on drop (including on panic),
+    /// so one test's schedule never leaks into the next.
+    pub struct FailGuard(String);
+
+    impl FailGuard {
+        pub fn new(site: &str, spec: &str) -> Result<FailGuard, String> {
+            configure(site, spec)?;
+            Ok(FailGuard(site.to_string()))
+        }
+    }
+
+    impl Drop for FailGuard {
+        fn drop(&mut self) {
+            remove(&self.0);
+        }
+    }
+
+    /// See the module docs; the armed path takes the registry mutex, the
+    /// common (unarmed) path is one relaxed atomic load.
+    pub fn check(site: &str) -> crate::Result<()> {
+        // Touch the registry once so an env-only configuration arms even
+        // though nobody called configure().
+        let r = registry();
+        if ARMED.load(Ordering::Relaxed) == 0 {
+            return Ok(());
+        }
+        let action = {
+            let mut sites = r.sites.lock().unwrap();
+            let Some(a) = sites.get_mut(site) else {
+                return Ok(());
+            };
+            let fire = match &mut a.remaining {
+                None => true,
+                Some(0) => false,
+                Some(n) => {
+                    *n -= 1;
+                    true
+                }
+            };
+            if !fire {
+                return Ok(());
+            }
+            a.kind
+        };
+        metrics().record_failpoint_trip();
+        match action {
+            Kind::Err => Err(XmlError::new(
+                super::ERR_INJECTED,
+                format!("injected failure at failpoint {site}"),
+            )),
+            Kind::Panic => panic!("injected panic at failpoint {site}"),
+            Kind::Delay(ms) => {
+                std::thread::sleep(Duration::from_millis(ms));
+                Ok(())
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        // Each test uses a unique site name: the registry is process-wide
+        // and the harness runs tests in parallel.
+
+        #[test]
+        fn unarmed_site_passes() {
+            assert!(check("fp_test::unarmed").is_ok());
+        }
+
+        #[test]
+        fn err_counts_down_then_passes() {
+            let _g = FailGuard::new("fp_test::err2", "err(2)").unwrap();
+            assert_eq!(check("fp_test::err2").unwrap_err().code, "XQRFP01");
+            assert_eq!(check("fp_test::err2").unwrap_err().code, "XQRFP01");
+            assert!(check("fp_test::err2").is_ok());
+        }
+
+        #[test]
+        fn oneshot_is_err_once() {
+            let _g = FailGuard::new("fp_test::one", "oneshot").unwrap();
+            assert!(check("fp_test::one").is_err());
+            assert!(check("fp_test::one").is_ok());
+        }
+
+        #[test]
+        fn guard_disarms_on_drop() {
+            {
+                let _g = FailGuard::new("fp_test::guard", "err").unwrap();
+                assert!(check("fp_test::guard").is_err());
+            }
+            assert!(check("fp_test::guard").is_ok());
+        }
+
+        #[test]
+        fn schedule_string_parses() {
+            configure_from_spec("fp_test::a=err(1); fp_test::b=delay(1ms,1)").unwrap();
+            assert!(check("fp_test::a").is_err());
+            assert!(check("fp_test::b").is_ok()); // delay passes after sleeping
+            remove("fp_test::a");
+            remove("fp_test::b");
+        }
+
+        #[test]
+        fn bad_specs_are_rejected() {
+            assert!(parse_action("frobnicate").is_err());
+            assert!(parse_action("err(x)").is_err());
+            assert!(parse_action("delay").is_err());
+            assert!(parse_action("err(3").is_err());
+        }
+
+        #[test]
+        fn trips_are_counted() {
+            let before = metrics().snapshot().failpoint_trips;
+            let _g = FailGuard::new("fp_test::count", "err(1)").unwrap();
+            let _ = check("fp_test::count");
+            assert!(metrics().snapshot().failpoint_trips >= before + 1);
+        }
+    }
+}

@@ -22,6 +22,7 @@ pub mod atomic;
 pub mod axes;
 pub mod build;
 pub mod decimal;
+pub mod failpoint;
 pub mod item;
 pub mod limits;
 pub mod metrics;
@@ -36,7 +37,7 @@ pub use axes::{Axis, KindTest, NameTest, NodeTest};
 pub use build::TreeBuilder;
 pub use decimal::Decimal;
 pub use item::{Item, Sequence, SequenceBuilder};
-pub use limits::{CancellationToken, Governor, Limits};
+pub use limits::{ByteCharge, CancellationToken, Governor, Limits};
 pub use metrics::{metrics, MetricsRegistry, MetricsSnapshot};
 pub use node::{Document, NodeHandle, NodeId, NodeKind};
 pub use parse::{parse_document, ParseError, ParseOptions};

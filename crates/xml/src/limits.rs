@@ -19,8 +19,19 @@
 //! | `XQRG0001` | wall-clock deadline exceeded |
 //! | `XQRG0002` | cancelled via [`CancellationToken`] |
 //! | `XQRG0003` | tuple-operation cardinality budget exceeded |
-//! | `XQRG0004` | memory (byte) budget exceeded |
+//! | `XQRG0004` | memory (byte) budget exceeded (spilling disabled) |
+//! | `XQRG0005` | spill I/O failed after retries |
+//! | `XQRG0006` | spill disk budget exceeded |
 //! | `XQRT0005` | function recursion depth exceeded (pre-existing code) |
+//!
+//! With spilling **enabled** (the default), the byte budget degrades
+//! instead of killing: crossing the *soft watermark* (a percentage of
+//! `max_bytes`, default 80%) flips the governor into spill mode, and the
+//! memory-bound operators (join build, group-by partitions, order-by)
+//! switch to their out-of-core variants in `xqr-runtime`'s `spill`
+//! module. The hard `XQRG0004` trip then only fires when spilling is
+//! disabled with [`Limits::with_spill`]`(None)`; disk consumption is
+//! separately bounded by `max_spill_bytes` (`XQRG0006`).
 //!
 //! Cost model: [`Governor::tick`] is one `Cell` increment, one integer
 //! compare, and a predictable branch; the clock and the atomic cancel flag
@@ -28,11 +39,13 @@
 //! run (all budgets `None`) pays only the counter arithmetic.
 
 use std::cell::Cell;
+use std::path::PathBuf;
 use std::rc::Rc;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use crate::metrics::metrics;
 use crate::XmlError;
 
 /// Deadline exceeded.
@@ -43,6 +56,10 @@ pub const ERR_CANCELLED: &str = "XQRG0002";
 pub const ERR_TUPLES: &str = "XQRG0003";
 /// Approximate-memory budget exceeded.
 pub const ERR_BYTES: &str = "XQRG0004";
+/// Spill I/O failed after the retry budget (3 attempts, capped backoff).
+pub const ERR_SPILL_IO: &str = "XQRG0005";
+/// Spill disk budget (`max_spill_bytes`) exceeded.
+pub const ERR_SPILL_BUDGET: &str = "XQRG0006";
 /// Function recursion depth exceeded (kept from the pre-governor guard so
 /// existing callers observe the same code).
 pub const ERR_RECURSION: &str = "XQRT0005";
@@ -66,6 +83,19 @@ pub struct Limits {
     /// Budget on the approximate bytes of materialized operator state
     /// (intermediate tables, join indexes, group-by partitions).
     pub max_bytes: Option<u64>,
+    /// Whether the memory-bound operators may degrade to disk when the
+    /// byte budget comes under pressure (the default). When `false`, the
+    /// hard `XQRG0004` trip of PR 2 is restored.
+    pub spill_enabled: bool,
+    /// Budget on bytes written to spill files at any one time; `None` is
+    /// unlimited disk. Exceeding it fails the query with `XQRG0006`.
+    pub max_spill_bytes: Option<u64>,
+    /// Percentage of `max_bytes` at which the governor flips into spill
+    /// mode (the *soft watermark*). Clamped to 1..=100.
+    pub spill_watermark_pct: u8,
+    /// Directory for the per-query scoped spill dir; defaults to the
+    /// `XQR_SPILL_DIR` environment variable, then the system temp dir.
+    pub spill_dir: Option<PathBuf>,
     /// User-function recursion depth (both strategies).
     pub max_recursion_depth: usize,
     /// Expression nesting depth in the query parser.
@@ -86,6 +116,10 @@ impl Default for Limits {
             deadline: None,
             max_tuples: None,
             max_bytes: None,
+            spill_enabled: true,
+            max_spill_bytes: None,
+            spill_watermark_pct: 80,
+            spill_dir: None,
             max_recursion_depth: 200,
             max_parse_depth: 128,
             max_document_depth: 512,
@@ -112,6 +146,38 @@ impl Limits {
 
     pub fn with_max_bytes(mut self, n: u64) -> Limits {
         self.max_bytes = Some(n);
+        self
+    }
+
+    /// Configures spilling: `None` disables it entirely (restoring the
+    /// hard `XQRG0004` byte-budget trip), `Some(n)` enables it with a disk
+    /// budget of `n` bytes. Spilling is on with unlimited disk by default;
+    /// use `with_spill(Some(n))` to bound the disk footprint.
+    pub fn with_spill(mut self, disk_budget: Option<u64>) -> Limits {
+        match disk_budget {
+            None => {
+                self.spill_enabled = false;
+                self.max_spill_bytes = None;
+            }
+            Some(n) => {
+                self.spill_enabled = true;
+                self.max_spill_bytes = Some(n);
+            }
+        }
+        self
+    }
+
+    /// Sets the soft watermark as a percentage of `max_bytes` (default
+    /// 80). Values are clamped to 1..=100 at governor creation.
+    pub fn with_spill_watermark(mut self, pct: u8) -> Limits {
+        self.spill_watermark_pct = pct;
+        self
+    }
+
+    /// Overrides the parent directory for per-query spill dirs (takes
+    /// precedence over the `XQR_SPILL_DIR` environment variable).
+    pub fn with_spill_dir(mut self, dir: impl Into<PathBuf>) -> Limits {
+        self.spill_dir = Some(dir.into());
         self
     }
 
@@ -169,6 +235,22 @@ struct GovernorInner {
     /// Next tick count at which to consult the clock and cancel flag.
     next_time_check: Cell<u64>,
     bytes: Cell<u64>,
+    /// High-water mark of `bytes` (live accounting means `bytes` can go
+    /// down; profiling wants the peak).
+    peak_bytes: Cell<u64>,
+    /// Byte count at which spill mode flips on; `u64::MAX` when spilling
+    /// is disabled or no byte budget is set.
+    spill_watermark: Cell<u64>,
+    /// Sticky: once the watermark is crossed, spill-capable operators stay
+    /// in spill mode for the rest of the run.
+    spill_mode: Cell<bool>,
+    spill_enabled: bool,
+    max_spill_bytes: u64,
+    /// Live bytes currently held in spill files.
+    spill_bytes: Cell<u64>,
+    /// Total bytes ever written to spill files this run (observability).
+    spill_bytes_total: Cell<u64>,
+    spill_dir: Option<PathBuf>,
     depth: Cell<usize>,
     /// Fault-injection trip point; `u64::MAX` when disarmed.
     panic_at: Cell<u64>,
@@ -206,16 +288,31 @@ impl Governor {
 
     /// Starts the clock: the deadline is measured from this call.
     pub fn new(limits: &Limits, token: CancellationToken) -> Governor {
+        let max_bytes = limits.max_bytes.unwrap_or(u64::MAX);
+        let watermark = if limits.spill_enabled && max_bytes != u64::MAX {
+            let pct = limits.spill_watermark_pct.clamp(1, 100) as u64;
+            (max_bytes / 100).saturating_mul(pct).max(1)
+        } else {
+            u64::MAX
+        };
         let g = Governor(Rc::new(GovernorInner {
             token,
             deadline: limits.deadline.map(|d| Instant::now() + d),
             max_tuples: limits.max_tuples.unwrap_or(u64::MAX),
-            max_bytes: limits.max_bytes.unwrap_or(u64::MAX),
+            max_bytes,
             max_depth: limits.max_recursion_depth,
             tuples: Cell::new(0),
             next_event: Cell::new(0),
             next_time_check: Cell::new(TIME_CHECK_MASK + 1),
             bytes: Cell::new(0),
+            peak_bytes: Cell::new(0),
+            spill_watermark: Cell::new(watermark),
+            spill_mode: Cell::new(false),
+            spill_enabled: limits.spill_enabled,
+            max_spill_bytes: limits.max_spill_bytes.unwrap_or(u64::MAX),
+            spill_bytes: Cell::new(0),
+            spill_bytes_total: Cell::new(0),
+            spill_dir: limits.spill_dir.clone(),
             depth: Cell::new(0),
             panic_at: Cell::new(limits.panic_after_ticks.unwrap_or(u64::MAX)),
         }));
@@ -288,13 +385,27 @@ impl Governor {
         Ok(())
     }
 
-    /// Charges approximate bytes of materialized state.
+    /// Charges approximate bytes of materialized state. With spilling
+    /// enabled (the default), crossing the soft watermark flips the
+    /// governor into spill mode and the charge always succeeds — the byte
+    /// budget becomes advisory and enforcement moves to the disk budget.
+    /// With spilling disabled, exceeding `max_bytes` trips `XQRG0004`.
     #[inline]
     pub fn charge_bytes(&self, n: u64) -> crate::Result<()> {
         let g = &*self.0;
         let total = g.bytes.get().saturating_add(n);
         g.bytes.set(total);
-        if total > g.max_bytes {
+        if total > g.peak_bytes.get() {
+            g.peak_bytes.set(total);
+        }
+        if total >= g.spill_watermark.get() {
+            // One-time flip; the watermark cell is re-used as the "already
+            // flipped" latch so the hot path stays a single compare.
+            g.spill_watermark.set(u64::MAX);
+            g.spill_mode.set(true);
+            metrics().record_query_spilled();
+        }
+        if total > g.max_bytes && !g.spill_enabled {
             return Err(XmlError::new(
                 ERR_BYTES,
                 format!(
@@ -305,6 +416,91 @@ impl Governor {
             ));
         }
         Ok(())
+    }
+
+    /// Returns bytes of materialized state that have been freed (a join
+    /// build dropped, a partition flushed to disk). Live accounting: the
+    /// budget meters what is held *now*, not the cumulative total — the
+    /// peak is kept separately for profiling. Releasing does not unflip
+    /// spill mode (the flip is sticky by design: a query that crossed the
+    /// watermark once is assumed to be at risk of doing it again).
+    #[inline]
+    pub fn release_bytes(&self, n: u64) {
+        let g = &*self.0;
+        g.bytes.set(g.bytes.get().saturating_sub(n));
+    }
+
+    /// Charges bytes written to a spill file against the disk budget
+    /// (`XQRG0006` on exhaustion).
+    pub fn charge_spill_bytes(&self, n: u64) -> crate::Result<()> {
+        let g = &*self.0;
+        let total = g.spill_bytes.get().saturating_add(n);
+        g.spill_bytes.set(total);
+        g.spill_bytes_total
+            .set(g.spill_bytes_total.get().saturating_add(n));
+        if total > g.max_spill_bytes {
+            return Err(XmlError::new(
+                ERR_SPILL_BUDGET,
+                format!(
+                    "spill disk budget exceeded: ~{total} bytes spilled (limit {})",
+                    g.max_spill_bytes
+                ),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Returns disk bytes freed when a spill file is deleted.
+    pub fn release_spill_bytes(&self, n: u64) {
+        let g = &*self.0;
+        g.spill_bytes.set(g.spill_bytes.get().saturating_sub(n));
+    }
+
+    /// Should spill-capable operators run their out-of-core variant? True
+    /// once the soft watermark has been crossed (sticky for the run).
+    #[inline]
+    pub fn should_spill(&self) -> bool {
+        self.0.spill_mode.get()
+    }
+
+    /// Forces spill mode on (tests and the forced-spill CI run).
+    pub fn force_spill_mode(&self) {
+        let g = &*self.0;
+        if !g.spill_mode.get() && g.spill_enabled {
+            g.spill_watermark.set(u64::MAX);
+            g.spill_mode.set(true);
+            metrics().record_query_spilled();
+        }
+    }
+
+    /// Is spilling allowed by the limits at all?
+    pub fn spill_enabled(&self) -> bool {
+        self.0.spill_enabled
+    }
+
+    /// Did this run ever enter spill mode? (Engine trace/fallback notes.)
+    pub fn spilled(&self) -> bool {
+        self.0.spill_mode.get()
+    }
+
+    /// Configured parent directory for spill files, if any.
+    pub fn spill_dir(&self) -> Option<&PathBuf> {
+        self.0.spill_dir.as_ref()
+    }
+
+    /// High-water mark of live materialized bytes (profiling).
+    pub fn peak_bytes(&self) -> u64 {
+        self.0.peak_bytes.get()
+    }
+
+    /// Live bytes currently held in spill files.
+    pub fn spill_bytes_used(&self) -> u64 {
+        self.0.spill_bytes.get()
+    }
+
+    /// Total bytes ever written to spill files this run.
+    pub fn spill_bytes_total(&self) -> u64 {
+        self.0.spill_bytes_total.get()
     }
 
     /// Forces a clock/cancel check regardless of the tick phase. Cheap
@@ -377,6 +573,16 @@ impl Governor {
         self.0.max_bytes != u64::MAX
     }
 
+    /// The configured byte budget (spill operators size their in-memory
+    /// working sets — sort runs, join partitions — from it).
+    pub fn max_bytes(&self) -> Option<u64> {
+        if self.0.max_bytes == u64::MAX {
+            None
+        } else {
+            Some(self.0.max_bytes)
+        }
+    }
+
     pub fn token(&self) -> &CancellationToken {
         &self.0.token
     }
@@ -393,12 +599,64 @@ impl Governor {
     }
 }
 
+/// A scoped byte charge against the governor's live-byte accounting: bytes
+/// added through [`ByteCharge::add`] are released when the guard drops —
+/// on every exit path, including errors and unwinds — so a join build or
+/// materialized cursor stops counting against the budget the moment it is
+/// freed. Call [`ByteCharge::leak`] to keep the bytes charged past the
+/// guard's lifetime (the caller then owns the release).
+pub struct ByteCharge {
+    gov: Governor,
+    n: u64,
+}
+
+impl ByteCharge {
+    pub fn new(gov: &Governor) -> ByteCharge {
+        ByteCharge {
+            gov: gov.clone(),
+            n: 0,
+        }
+    }
+
+    /// Charges `n` more bytes, remembered for release on drop.
+    pub fn add(&mut self, n: u64) -> crate::Result<()> {
+        self.n += n;
+        self.gov.charge_bytes(n)
+    }
+
+    /// Bytes currently held by this guard.
+    pub fn amount(&self) -> u64 {
+        self.n
+    }
+
+    /// Forgets the held bytes without releasing them: the charge becomes
+    /// permanent for the run (pre-live-accounting behavior, used where the
+    /// charged state genuinely stays alive to the end of the query).
+    pub fn leak(mut self) {
+        self.n = 0;
+    }
+}
+
+impl Drop for ByteCharge {
+    fn drop(&mut self) {
+        if self.n > 0 {
+            self.gov.release_bytes(self.n);
+        }
+    }
+}
+
 /// Is this error one of the governor's budget codes? (The engine boundary
 /// uses this to classify `Dynamic` vs `LimitExceeded`.)
 pub fn is_limit_code(code: &str) -> bool {
     matches!(
         code,
-        ERR_DEADLINE | ERR_CANCELLED | ERR_TUPLES | ERR_BYTES | ERR_RECURSION
+        ERR_DEADLINE
+            | ERR_CANCELLED
+            | ERR_TUPLES
+            | ERR_BYTES
+            | ERR_SPILL_IO
+            | ERR_SPILL_BUDGET
+            | ERR_RECURSION
     )
 }
 
@@ -429,13 +687,105 @@ mod tests {
     }
 
     #[test]
-    fn byte_budget_trips() {
+    fn byte_budget_trips_when_spill_disabled() {
         let g = Governor::new(
-            &Limits::default().with_max_bytes(1000),
+            &Limits::default().with_max_bytes(1000).with_spill(None),
             CancellationToken::new(),
         );
         g.charge_bytes(600).unwrap();
         assert_eq!(g.charge_bytes(600).unwrap_err().code, ERR_BYTES);
+    }
+
+    #[test]
+    fn byte_budget_degrades_to_spill_mode_by_default() {
+        let g = Governor::new(
+            &Limits::default().with_max_bytes(1000),
+            CancellationToken::new(),
+        );
+        assert!(!g.should_spill());
+        g.charge_bytes(600).unwrap();
+        assert!(!g.should_spill());
+        // Crossing 80% of 1000 flips spill mode; the hard limit no longer
+        // trips because the operators are expected to shed state to disk.
+        g.charge_bytes(600).unwrap();
+        assert!(g.should_spill());
+        g.charge_bytes(10_000).unwrap();
+        assert!(g.spilled());
+    }
+
+    #[test]
+    fn release_restores_live_bytes_but_keeps_peak_and_spill_mode() {
+        let g = Governor::new(
+            &Limits::default().with_max_bytes(1000),
+            CancellationToken::new(),
+        );
+        g.charge_bytes(900).unwrap();
+        assert!(g.should_spill());
+        g.release_bytes(900);
+        assert_eq!(g.bytes_used(), 0);
+        assert_eq!(g.peak_bytes(), 900);
+        assert!(g.should_spill(), "spill flip is sticky");
+    }
+
+    #[test]
+    fn release_lets_sequential_state_fit_when_spill_disabled() {
+        // The live-accounting fix: two 600-byte builds that never coexist
+        // fit a 1000-byte budget once the first is released.
+        let g = Governor::new(
+            &Limits::default().with_max_bytes(1000).with_spill(None),
+            CancellationToken::new(),
+        );
+        g.charge_bytes(600).unwrap();
+        g.release_bytes(600);
+        g.charge_bytes(600).unwrap();
+        assert_eq!(g.peak_bytes(), 600);
+    }
+
+    #[test]
+    fn byte_charge_guard_releases_on_drop() {
+        let g = Governor::new(
+            &Limits::default().with_max_bytes(1000).with_spill(None),
+            CancellationToken::new(),
+        );
+        {
+            let mut c = ByteCharge::new(&g);
+            c.add(700).unwrap();
+            assert_eq!(g.bytes_used(), 700);
+        }
+        assert_eq!(g.bytes_used(), 0);
+        let mut c = ByteCharge::new(&g);
+        c.add(500).unwrap();
+        c.leak();
+        assert_eq!(g.bytes_used(), 500, "leaked charge stays");
+    }
+
+    #[test]
+    fn spill_disk_budget_trips() {
+        let g = Governor::new(
+            &Limits::default().with_max_bytes(100).with_spill(Some(1000)),
+            CancellationToken::new(),
+        );
+        g.charge_spill_bytes(800).unwrap();
+        assert_eq!(
+            g.charge_spill_bytes(800).unwrap_err().code,
+            ERR_SPILL_BUDGET
+        );
+        g.release_spill_bytes(1600);
+        assert_eq!(g.spill_bytes_used(), 0);
+        assert_eq!(g.spill_bytes_total(), 1600);
+    }
+
+    #[test]
+    fn force_spill_mode_respects_disablement() {
+        let g = Governor::new(
+            &Limits::default().with_spill(None),
+            CancellationToken::new(),
+        );
+        g.force_spill_mode();
+        assert!(!g.should_spill());
+        let g2 = Governor::unlimited();
+        g2.force_spill_mode();
+        assert!(g2.should_spill());
     }
 
     #[test]

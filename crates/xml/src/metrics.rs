@@ -33,6 +33,9 @@ pub struct MetricsRegistry {
     queries_ok: AtomicU64,
     queries_failed: AtomicU64,
     fallbacks_taken: AtomicU64,
+    queries_spilled: AtomicU64,
+    spill_io_retries: AtomicU64,
+    failpoint_trips: AtomicU64,
     struct_index_builds: AtomicU64,
     postings_builds: AtomicU64,
     postings_entries: AtomicU64,
@@ -52,6 +55,9 @@ pub fn metrics() -> &'static MetricsRegistry {
         queries_ok: AtomicU64::new(0),
         queries_failed: AtomicU64::new(0),
         fallbacks_taken: AtomicU64::new(0),
+        queries_spilled: AtomicU64::new(0),
+        spill_io_retries: AtomicU64::new(0),
+        failpoint_trips: AtomicU64::new(0),
         struct_index_builds: AtomicU64::new(0),
         postings_builds: AtomicU64::new(0),
         postings_entries: AtomicU64::new(0),
@@ -94,6 +100,23 @@ impl MetricsRegistry {
         self.fallbacks_taken.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// A query crossed the governor's soft memory watermark and entered
+    /// spill mode (recorded once per run, at the flip).
+    pub fn record_query_spilled(&self) {
+        self.queries_spilled.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A transient spill I/O failure was retried (one per retry attempt,
+    /// not per eventual outcome).
+    pub fn record_spill_io_retry(&self) {
+        self.spill_io_retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// An armed failpoint fired (injected error, panic, or delay).
+    pub fn record_failpoint_trip(&self) {
+        self.failpoint_trips.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// A per-document structural index was derived (node.rs, first
     /// structural access).
     pub fn record_struct_index_build(&self) {
@@ -118,6 +141,9 @@ impl MetricsRegistry {
             queries_ok: self.queries_ok.load(Ordering::Relaxed),
             queries_failed: self.queries_failed.load(Ordering::Relaxed),
             fallbacks_taken: self.fallbacks_taken.load(Ordering::Relaxed),
+            queries_spilled: self.queries_spilled.load(Ordering::Relaxed),
+            spill_io_retries: self.spill_io_retries.load(Ordering::Relaxed),
+            failpoint_trips: self.failpoint_trips.load(Ordering::Relaxed),
             struct_index_builds: self.struct_index_builds.load(Ordering::Relaxed),
             postings_builds: self.postings_builds.load(Ordering::Relaxed),
             postings_entries: self.postings_entries.load(Ordering::Relaxed),
@@ -142,6 +168,9 @@ pub struct MetricsSnapshot {
     pub queries_ok: u64,
     pub queries_failed: u64,
     pub fallbacks_taken: u64,
+    pub queries_spilled: u64,
+    pub spill_io_retries: u64,
+    pub failpoint_trips: u64,
     pub struct_index_builds: u64,
     pub postings_builds: u64,
     pub postings_entries: u64,
@@ -165,6 +194,9 @@ impl MetricsSnapshot {
         let _ = writeln!(s, "queries_ok            {}", self.queries_ok);
         let _ = writeln!(s, "queries_failed        {}", self.queries_failed);
         let _ = writeln!(s, "fallbacks_taken       {}", self.fallbacks_taken);
+        let _ = writeln!(s, "queries_spilled       {}", self.queries_spilled);
+        let _ = writeln!(s, "spill_io_retries      {}", self.spill_io_retries);
+        let _ = writeln!(s, "failpoint_trips       {}", self.failpoint_trips);
         let _ = writeln!(s, "struct_index_builds   {}", self.struct_index_builds);
         let _ = writeln!(s, "postings_builds       {}", self.postings_builds);
         let _ = writeln!(s, "postings_entries      {}", self.postings_entries);
@@ -193,12 +225,16 @@ impl MetricsSnapshot {
         let _ = write!(
             s,
             "\"queries_started\":{},\"queries_ok\":{},\"queries_failed\":{},\
-             \"fallbacks_taken\":{},\"struct_index_builds\":{},\"postings_builds\":{},\
+             \"fallbacks_taken\":{},\"queries_spilled\":{},\"spill_io_retries\":{},\
+             \"failpoint_trips\":{},\"struct_index_builds\":{},\"postings_builds\":{},\
              \"postings_entries\":{},\"documents_parsed\":{},\"query_nanos_total\":{}",
             self.queries_started,
             self.queries_ok,
             self.queries_failed,
             self.fallbacks_taken,
+            self.queries_spilled,
+            self.spill_io_retries,
+            self.failpoint_trips,
             self.struct_index_builds,
             self.postings_builds,
             self.postings_entries,
@@ -255,6 +291,9 @@ mod tests {
         metrics().record_query_ok(1_500_000); // 1.5 ms → bucket log2(1500)=10
         metrics().record_query_error("XQRG0003");
         metrics().record_fallback();
+        metrics().record_query_spilled();
+        metrics().record_spill_io_retry();
+        metrics().record_failpoint_trip();
         metrics().record_struct_index_build();
         metrics().record_postings_build(42);
         let after = metrics().snapshot();
@@ -262,6 +301,9 @@ mod tests {
         assert!(after.queries_ok >= before.queries_ok + 1);
         assert!(after.queries_failed >= before.queries_failed + 1);
         assert!(after.fallbacks_taken >= before.fallbacks_taken + 1);
+        assert!(after.queries_spilled >= before.queries_spilled + 1);
+        assert!(after.spill_io_retries >= before.spill_io_retries + 1);
+        assert!(after.failpoint_trips >= before.failpoint_trips + 1);
         assert!(after.struct_index_builds >= before.struct_index_builds + 1);
         assert!(after.postings_entries >= before.postings_entries + 42);
         assert!(after.error_count("XQRG0003") >= before.error_count("XQRG0003") + 1);

@@ -290,6 +290,10 @@ impl<'a> Parser<'a> {
             self.depth -= 1;
             return Err(self.err("element nesting too deep"));
         }
+        if let Err(e) = crate::failpoint::check("parse::alloc") {
+            self.depth -= 1;
+            return Err(self.err_with_code(e.message, Some(e.code)));
+        }
         self.governor_check()?;
         let result = self.parse_element_inner();
         self.depth -= 1;

@@ -122,14 +122,16 @@ fn tuple_budget_no_algebra() {
 
 /// (b) The byte budget trips with identical codes under both strategies.
 /// The query carries an `order by` pipeline breaker, so even the pipelined
-/// strategy must materialize the sorted table and charge for it.
+/// strategy must materialize the sorted table and charge for it. Spilling
+/// is disabled: with it on (the default), crossing the budget degrades to
+/// out-of-core execution instead of erroring — see `spill_differential.rs`.
 #[test]
 fn byte_budget_identical_across_strategies() {
     let q = "count(for $x in 1 to 50000 \
              order by -$x return string($x))";
     let mode = ExecutionMode::OptimHashJoin;
     let e = Engine::new();
-    let limits = Limits::none().with_max_bytes(64 * 1024);
+    let limits = Limits::none().with_max_bytes(64 * 1024).with_spill(None);
     let pipelined = e
         .prepare(q, &CompileOptions::mode(mode).limits(limits.clone()))
         .unwrap()
