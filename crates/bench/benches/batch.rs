@@ -1,0 +1,181 @@
+//! Batched-execution benchmark (hand-rolled harness).
+//!
+//! Runs the twenty XMark queries at ~1 MB twice per query — scalar
+//! kernels (`CompileOptions::with_scalar_kernels`) and batched (the
+//! pipelined default) — and reports the per-query speedup of the fused,
+//! type-specialized comparison kernels, plus the whole-suite geometric
+//! mean. For the kernel-dominated queries (Q11/Q12) it also extracts the
+//! fused predicate's `Call[fs:*]` self time from a profiled run of each
+//! mode, isolating the hot-path win from end-to-end noise.
+//!
+//! Run with `cargo bench -p xqr-bench --bench batch`; results are written
+//! to `BENCH_batch.json` at the repo root. `--test` runs one iteration of
+//! everything and skips the JSON (CI smoke). The acceptance floors are
+//! the ISSUE's: ≥2× on Q11/Q12 `Call[fs:*]` self time, ≥1.5× end-to-end
+//! on both, suite geomean no worse than 1.02× slower.
+
+use std::time::{Duration, Instant};
+
+use xqr_bench::xmark_engine;
+use xqr_engine::{CompileOptions, ProfileNode, QueryProfile};
+
+fn time_once<F: FnMut()>(f: &mut F) -> Duration {
+    let t = Instant::now();
+    f();
+    t.elapsed()
+}
+
+/// Minima of `samples` timed runs of each closure, with the runs
+/// *interleaved* (scalar, batched, scalar, …) after one warmup apiece —
+/// the minimum is the noise-robust statistic and the interleaving lands
+/// clock/load drift on both sides equally.
+fn time_pair<F: FnMut(), G: FnMut()>(
+    samples: usize,
+    mut scalar: F,
+    mut batched: G,
+) -> (Duration, Duration) {
+    scalar();
+    batched();
+    let mut best_scalar = Duration::MAX;
+    let mut best_batched = Duration::MAX;
+    for _ in 0..samples {
+        best_scalar = best_scalar.min(time_once(&mut scalar));
+        best_batched = best_batched.min(time_once(&mut batched));
+    }
+    (best_scalar, best_batched)
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1_000.0
+}
+
+/// Total self (exclusive) time of every `Call[fs:*]` operator in a
+/// profile — the scalar hot path the batched kernels replace.
+fn fs_call_self_ms(profile: &QueryProfile) -> f64 {
+    fn walk(n: &ProfileNode, acc: &mut u64) {
+        if n.label.starts_with("Call[fs:") {
+            *acc += n.exclusive_nanos;
+        }
+        for c in &n.children {
+            walk(c, acc);
+        }
+    }
+    let mut acc = 0u64;
+    if let Some(r) = &profile.root {
+        walk(r, &mut acc);
+    }
+    acc as f64 / 1e6
+}
+
+struct QueryRow {
+    name: String,
+    scalar_ms: f64,
+    batched_ms: f64,
+    /// `Call[fs:*]` self time per mode, measured on separate profiled
+    /// prepares (only recorded for the kernel-dominated queries).
+    fs_self: Option<(f64, f64)>,
+}
+
+/// Queries whose runtime is dominated by the fused predicate: the ISSUE's
+/// hot-path acceptance targets apply to these.
+const KERNEL_QUERIES: [usize; 2] = [11, 12];
+
+fn bench_queries(samples: usize) -> Vec<QueryRow> {
+    let (engine, _len) = xmark_engine(1_000_000);
+    let mut out = Vec::new();
+    for n in 1..=xqr_xmark::QUERY_COUNT {
+        let q = xqr_xmark::query(n);
+        let scalar = engine
+            .prepare(q, &CompileOptions::default().with_scalar_kernels())
+            .expect("prepare scalar");
+        let batched = engine
+            .prepare(q, &CompileOptions::default())
+            .expect("prepare batched");
+        let (s, b) = time_pair(
+            samples,
+            || {
+                std::hint::black_box(scalar.run(&engine).expect("run scalar"));
+            },
+            || {
+                std::hint::black_box(batched.run(&engine).expect("run batched"));
+            },
+        );
+        let fs_self = KERNEL_QUERIES.contains(&n).then(|| {
+            let ps = engine
+                .prepare(
+                    q,
+                    &CompileOptions::default()
+                        .with_scalar_kernels()
+                        .with_profiling(),
+                )
+                .expect("prepare scalar profiled");
+            ps.run(&engine).expect("run scalar profiled");
+            let pb = engine
+                .prepare(q, &CompileOptions::default().with_profiling())
+                .expect("prepare batched profiled");
+            pb.run(&engine).expect("run batched profiled");
+            (
+                fs_call_self_ms(&ps.profile().expect("scalar profile")),
+                fs_call_self_ms(&pb.profile().expect("batched profile")),
+            )
+        });
+        out.push(QueryRow {
+            name: format!("Q{n}"),
+            scalar_ms: ms(s),
+            batched_ms: ms(b),
+            fs_self,
+        });
+    }
+    out
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--test");
+    let samples = if smoke { 1 } else { 15 };
+
+    let rows = bench_queries(samples);
+    println!("xmark 1 MB, pipelined: scalar kernels vs batched (the default):");
+    let mut log_sum = 0.0;
+    for r in &rows {
+        let speedup = r.scalar_ms / r.batched_ms;
+        log_sum += speedup.ln();
+        let fs = match r.fs_self {
+            Some((s, b)) => format!("   Call[fs:*] self {s:.2}ms -> {b:.2}ms"),
+            None => String::new(),
+        };
+        println!(
+            "  {:<5} scalar {:>8.3} ms   batched {:>8.3} ms   speedup {:>5.2}x{fs}",
+            r.name, r.scalar_ms, r.batched_ms, speedup
+        );
+    }
+    let geomean = (log_sum / rows.len() as f64).exp();
+    println!("suite geomean speedup: {geomean:.3}x");
+
+    if smoke {
+        return;
+    }
+
+    // Machine-readable record, tracked in-repo across PRs.
+    let mut json = String::from("{\n  \"bench\": \"batch\",\n  \"xmark_1mb\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let fs = match r.fs_self {
+            Some((s, b)) => {
+                format!(", \"fs_call_self_scalar_ms\": {s:.3}, \"fs_call_self_batched_ms\": {b:.3}")
+            }
+            None => String::new(),
+        };
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"scalar_ms\": {:.3}, \"batched_ms\": {:.3}, \
+             \"speedup\": {:.3}{fs}}}{}\n",
+            r.name,
+            r.scalar_ms,
+            r.batched_ms,
+            r.scalar_ms / r.batched_ms,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str(&format!("  ],\n  \"geomean_speedup\": {geomean:.3}\n}}\n"));
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_batch.json");
+    std::fs::write(path, json).expect("write BENCH_batch.json");
+    println!("wrote {path}");
+}

@@ -20,6 +20,7 @@
 pub mod algebra;
 pub mod compile;
 pub mod fields;
+pub mod fuse;
 pub mod pretty;
 pub mod project;
 pub mod rewrite;

@@ -130,6 +130,14 @@ pub struct CompileOptions {
     /// ANALYZE). Off by default: the disabled path is a single `Option`
     /// check per operator open/dispatch.
     pub profile: bool,
+    /// Escape hatch: disable the batched (vectorized) execution of the
+    /// pipelined operators — fused, type-specialized comparison kernels
+    /// for provably safe predicate shapes — and force every predicate
+    /// down the row-at-a-time scalar path. Kept for ablation benchmarks
+    /// and the batched/scalar differential suite, mirroring
+    /// [`CompileOptions::materialize_all`]. No effect under the
+    /// materialized strategy, which is always scalar.
+    pub scalar_kernels: bool,
 }
 
 impl CompileOptions {
@@ -179,6 +187,13 @@ impl CompileOptions {
     /// Enables per-operator runtime profiling ([`PreparedQuery::explain_analyze`]).
     pub fn with_profiling(mut self) -> CompileOptions {
         self.profile = true;
+        self
+    }
+
+    /// Disables the batched (vectorized) kernels; every predicate runs
+    /// the row-at-a-time scalar path.
+    pub fn with_scalar_kernels(mut self) -> CompileOptions {
+        self.scalar_kernels = true;
         self
     }
 }
@@ -500,6 +515,7 @@ impl Engine {
         let materialize_all = options.materialize_all;
         let fallback = options.fallback_to_materialized;
         let profile = options.profile;
+        let scalar_kernels = options.scalar_kernels;
         if mode == ExecutionMode::NoAlgebra {
             return Ok(PreparedQuery {
                 mode,
@@ -512,6 +528,7 @@ impl Engine {
                 fallback_note: RefCell::new(None),
                 profile,
                 last_profile: RefCell::new(None),
+                scalar_kernels,
             });
         }
         xqr_xml::failpoint::check("phase::compile").map_err(|e| classify(e, Phase::Compile))?;
@@ -577,6 +594,7 @@ impl Engine {
             fallback_note: RefCell::new(None),
             profile,
             last_profile: RefCell::new(None),
+            scalar_kernels,
         })
     }
 
@@ -609,6 +627,8 @@ pub struct PreparedQuery {
     profile: bool,
     /// The profile of the most recent run (when `profile` is set).
     last_profile: RefCell<Option<QueryProfile>>,
+    /// Force the row-at-a-time scalar path (no batched kernels).
+    scalar_kernels: bool,
 }
 
 impl PreparedQuery {
@@ -829,6 +849,7 @@ impl PreparedQuery {
                     mode.join_algorithm(),
                 );
                 ctx.pipelined = pipelined;
+                ctx.batched = !self.scalar_kernels;
                 ctx.globals = engine.externals.clone();
                 ctx.governor = governor.clone();
                 ctx.profiler = profiler.clone();

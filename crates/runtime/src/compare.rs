@@ -164,15 +164,24 @@ pub fn general_compare(op: CmpOp, xs: &Sequence, ys: &Sequence) -> xqr_xml::Resu
     let dy = ys.atomized();
     for x in &dx {
         for y in &dy {
-            match value_compare(op, x, y) {
-                Ok(true) => return Ok(true),
-                Ok(false) => {}
-                Err(e) if matches!(e.code, "XPTY0004" | "FORG0001") => {}
-                Err(e) => return Err(e),
+            if general_pair(op, x, y)? {
+                return Ok(true);
             }
         }
     }
     Ok(false)
+}
+
+/// One atomic pair under general-comparison semantics: `value_compare`
+/// with the documented swallow rule (`XPTY0004`/`FORG0001` → non-match).
+/// Shared by [`general_compare`] and the batched kernels so the two paths
+/// cannot drift.
+pub(crate) fn general_pair(op: CmpOp, x: &AtomicValue, y: &AtomicValue) -> xqr_xml::Result<bool> {
+    match value_compare(op, x, y) {
+        Ok(b) => Ok(b),
+        Err(e) if matches!(e.code, "XPTY0004" | "FORG0001") => Ok(false),
+        Err(e) => Err(e),
+    }
 }
 
 /// Order for `OrderBy` keys: atomized singleton values, empty-sequence

@@ -35,6 +35,14 @@ pub struct Ctx<'a> {
     /// full materialization between all operators (the original strategy,
     /// kept as `CompileOptions::materialize_all` and for ablation).
     pub pipelined: bool,
+    /// Batched (vectorized) execution of the pipelined operators: fused,
+    /// type-specialized comparison kernels for provably safe predicate
+    /// shapes, with per-row scalar fallback everywhere else. On by
+    /// default; `false` (`CompileOptions::scalar_kernels`) forces every
+    /// predicate down the row-at-a-time scalar path. No effect when
+    /// `pipelined` is false — the materialized strategy stays the plain
+    /// scalar reference implementation.
+    pub batched: bool,
     /// The resource governor: budgets, deadline, cancellation, and the
     /// single source of truth for user-function recursion depth (shared
     /// with the Core interpreter, which tracks depth through the same
@@ -47,6 +55,16 @@ pub struct Ctx<'a> {
     /// and removed (with everything in it) when the context drops — the
     /// engine drops the context on every exit path, including unwinds.
     spill: Option<std::rc::Rc<crate::spill::SpillManager>>,
+    /// Per-step-site compiled-test caches for the eager `TreeJoin` arm,
+    /// keyed by plan address. A step inside a per-tuple dependent plan is
+    /// re-evaluated once per row; without this it recompiles its node test
+    /// (a `QName` allocation plus an interned-name hash lookup) every
+    /// time. Addresses can be recycled mid-run (per-call function-body
+    /// clones), which is safe: the cache verifies its own `(axis, test)`
+    /// site and self-clears on mismatch (see `xqr_xml::axes::TestCache`).
+    step_tests: std::cell::RefCell<
+        HashMap<usize, std::rc::Rc<std::cell::RefCell<xqr_xml::axes::TestCache>>>,
+    >,
 }
 
 impl<'a> Ctx<'a> {
@@ -64,10 +82,28 @@ impl<'a> Ctx<'a> {
             frames: Vec::new(),
             join_algorithm,
             pipelined: true,
+            batched: true,
             governor: Governor::unlimited(),
             profiler: None,
             spill: None,
+            step_tests: std::cell::RefCell::new(HashMap::new()),
         }
+    }
+
+    /// The compiled-test cache for a `TreeJoin` step site, creating it on
+    /// first use. Bounded defensively: a pathological plan churn (many
+    /// distinct sites) clears the whole map rather than growing without
+    /// limit.
+    pub(crate) fn step_cache(
+        &self,
+        plan: &xqr_core::algebra::Plan,
+    ) -> std::rc::Rc<std::cell::RefCell<xqr_xml::axes::TestCache>> {
+        let key = plan as *const _ as usize;
+        let mut map = self.step_tests.borrow_mut();
+        if map.len() > 1024 && !map.contains_key(&key) {
+            map.clear();
+        }
+        map.entry(key).or_default().clone()
     }
 
     /// The query's spill manager, creating the scoped temp directory on

@@ -6,7 +6,7 @@ use std::collections::HashMap;
 
 use xqr_core::algebra::{NamePlan, Op, OrderSpecPlan, Plan};
 use xqr_types::validate_sequence;
-use xqr_xml::axes::{tree_join_governed, Axis, NodeTest};
+use xqr_xml::axes::{tree_join_cached, Axis, NodeTest};
 use xqr_xml::{
     AtomicValue, Item, NodeHandle, NodeKind, QName, Sequence, SequenceBuilder, TreeBuilder,
     XmlError,
@@ -251,13 +251,19 @@ fn eval_inner(plan: &Plan, ctx: &mut Ctx<'_>, input: Option<&InputVal>) -> xqr_x
                     // set-at-a-time stepper.
                     s.add_kernel_dispatches(items.len() as u64);
                 }
-                Ok(Value::Items(tree_join_governed(
+                // Per-site compiled-test cache: this arm runs once per row
+                // when the step sits inside a dependent plan, and the test
+                // compilation (name interning) would otherwise repeat.
+                let cache = ctx.step_cache(plan);
+                let stepped = tree_join_cached(
                     &items,
                     *axis,
                     test,
                     ctx.schema,
                     Some(&ctx.governor),
-                )?))
+                    &mut cache.borrow_mut(),
+                )?;
+                Ok(Value::Items(stepped))
             }
         }
         Op::TreeProject { paths, input: src } => {
@@ -614,7 +620,31 @@ fn eval_inner(plan: &Plan, ctx: &mut Ctx<'_>, input: Option<&InputVal>) -> xqr_x
             // source feeds one tuple at a time into the output builder —
             // its output table never exists.
             let mut out = SequenceBuilder::new();
-            if ctx.pipelined && pipeline::streams(&src.op) {
+            if ctx.pipelined && ctx.batched && input.is_none() && pipeline::streams(&src.op) {
+                // Top-level boundary: the stream is long enough to
+                // amortize the batch buffer. (Dependent-position
+                // `MapToItem`s run per outer row over tiny streams, where
+                // the per-call buffer costs more than the loop it saves —
+                // those stay row-at-a-time below.)
+                let mut cur = pipeline::open_cursor(src, ctx, input)?;
+                let mut batch = Table::new();
+                loop {
+                    batch.clear();
+                    let more = cur.next_batch(ctx, &mut batch, crate::batch::BATCH_SIZE);
+                    // Tuples pulled before a source error must be processed
+                    // first: a downstream error from an earlier tuple takes
+                    // precedence over the source's later one, exactly as in
+                    // the row-at-a-time loop.
+                    for t in batch.drain(..) {
+                        out.push(eval_dep_items(dep, ctx, &InputVal::Tuple(t))?);
+                    }
+                    match more {
+                        Ok(true) => {}
+                        Ok(false) => break,
+                        Err(e) => return Err(e),
+                    }
+                }
+            } else if ctx.pipelined && pipeline::streams(&src.op) {
                 let mut cur = pipeline::open_cursor(src, ctx, input)?;
                 while let Some(t) = cur.next(ctx) {
                     out.push(eval_dep_items(dep, ctx, &InputVal::Tuple(t?))?);

@@ -808,7 +808,11 @@ fn docorder_nodes(seq: Sequence) -> xqr_xml::Result<Sequence> {
 }
 
 /// Arithmetic dispatch after pair promotion.
-fn arithmetic(name: &str, x: &AtomicValue, y: &AtomicValue) -> xqr_xml::Result<AtomicValue> {
+pub(crate) fn arithmetic(
+    name: &str,
+    x: &AtomicValue,
+    y: &AtomicValue,
+) -> xqr_xml::Result<AtomicValue> {
     use AtomicValue as V;
     let (x, y, t) = arithmetic_pair(x, y)?;
     let op = &name["fs:numeric-".len()..];

@@ -89,8 +89,15 @@ pub fn execute_join(
 /// all-at-once behaviour on top of the same code.
 pub(crate) enum JoinProbe<'p> {
     /// Full-predicate nested loop (also the fallback when the predicate
-    /// has no separable equality).
-    NestedLoop { pred: &'p Plan },
+    /// has no separable equality). When batched execution is on and the
+    /// predicate is a fusable comparison whose operands separate by side,
+    /// `kernel` memoizes the inner operand per inner row and compares
+    /// through a type-specialized lane instead of re-evaluating the
+    /// predicate per pair.
+    NestedLoop {
+        pred: &'p Plan,
+        kernel: Option<crate::batch::NlJoinKernel<'p>>,
+    },
     /// Fig. 6 hash/B-tree index over the inner side's key values. The
     /// charge is the build side's live-byte accounting: it releases back
     /// to the governor when the probe (and with it the index) drops.
@@ -110,7 +117,7 @@ impl<'p> JoinProbe<'p> {
         ctx: &mut Ctx<'_>,
     ) -> xqr_xml::Result<JoinProbe<'p>> {
         match ctx.join_algorithm {
-            JoinAlgorithm::NestedLoop => Ok(JoinProbe::NestedLoop { pred }),
+            JoinAlgorithm::NestedLoop => Ok(Self::nested_loop(pred, left_plan, right_plan, ctx)),
             algo => match analyze_predicate(pred, left_plan, right_plan) {
                 Some(split) => {
                     let (index, charge) =
@@ -121,9 +128,28 @@ impl<'p> JoinProbe<'p> {
                         _charge: charge,
                     })
                 }
-                None => Ok(JoinProbe::NestedLoop { pred }),
+                None => Ok(Self::nested_loop(pred, left_plan, right_plan, ctx)),
             },
         }
+    }
+
+    /// The nested-loop probe, with the batched kernel attached when the
+    /// pipelined+batched strategy is active and the predicate fuses. The
+    /// kernel's counters land on the predicate's own plan node, so
+    /// `EXPLAIN ANALYZE` shows batches/fused/fallback on the `Call` line.
+    fn nested_loop(
+        pred: &'p Plan,
+        left_plan: &Plan,
+        right_plan: &Plan,
+        ctx: &Ctx<'_>,
+    ) -> JoinProbe<'p> {
+        let kernel = if ctx.batched && ctx.pipelined {
+            let stats = ctx.profiler.as_ref().and_then(|p| p.stats_for(pred));
+            crate::batch::NlJoinKernel::build(pred, left_plan, right_plan, stats)
+        } else {
+            None
+        };
+        JoinProbe::NestedLoop { pred, kernel }
     }
 
     /// The joined output tuples for one outer tuple, in inner order; empty
@@ -137,7 +163,10 @@ impl<'p> JoinProbe<'p> {
     ) -> xqr_xml::Result<Vec<Tuple>> {
         let mut out = Vec::new();
         match self {
-            JoinProbe::NestedLoop { pred } => {
+            JoinProbe::NestedLoop { pred, kernel } => {
+                if let Some(k) = kernel {
+                    return k.matches(lt, right, ctx);
+                }
                 // A constant-true predicate (cross products from unnesting)
                 // skips per-pair evaluation entirely.
                 if matches!(&pred.op, Op::Scalar(AtomicValue::Boolean(true))) {

@@ -9,6 +9,10 @@
 //!   full general-comparison semantics (atomization + existential
 //!   quantification + `fs:convert-operand`), and XQuery ordering;
 //! * [`functions`] — the built-in function library (`fn:`, `op:`, `fs:`);
+//! * [`batch`] — batched execution: fused, type-specialized comparison
+//!   kernels for the `Call[fs:*]` predicate chains that dominate the
+//!   scalar hot path, with per-row scalar fallback preserving exact
+//!   semantics (the pipelined default; `Ctx::batched = false` opts out);
 //! * [`eval`] — the plan evaluator;
 //! * [`pipeline`] — the pipelined (cursor) execution layer for the tuple
 //!   operators: fused pull cursors that materialize only at genuine
@@ -33,6 +37,7 @@
 //!   partitioned group-by, and a stable external merge sort, all over
 //!   CRC-checked, self-deleting spill files.
 
+pub mod batch;
 pub mod compare;
 pub mod context;
 pub mod eval;

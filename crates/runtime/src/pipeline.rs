@@ -45,6 +45,33 @@ pub(crate) trait TupleCursor<'p> {
         }
         Ok(())
     }
+
+    /// Pulls roughly `n` more tuples into `out` (the batched pull
+    /// interface; `n` is a target — producing cursors may overshoot by
+    /// one match set). Returns `Ok(true)` while the stream may have more.
+    ///
+    /// Error contract: tuples pulled before an error **remain in `out`**,
+    /// and consumers that do per-tuple work must process them *before*
+    /// surfacing the error. That protocol keeps batched execution's
+    /// observable error precedence identical to the scalar interleaving:
+    /// an earlier tuple's downstream error still wins over a later
+    /// tuple's source error. Budgets are unaffected — every tuple is
+    /// still ticked/charged individually inside the batch loop.
+    fn next_batch(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        out: &mut Table,
+        n: usize,
+    ) -> xqr_xml::Result<bool> {
+        for _ in 0..n {
+            match self.next(ctx) {
+                Some(Ok(t)) => out.push(t),
+                Some(Err(e)) => return Err(e),
+                None => return Ok(false),
+            }
+        }
+        Ok(true)
+    }
 }
 
 pub(crate) type BoxCursor<'p> = Box<dyn TupleCursor<'p> + 'p>;
@@ -172,10 +199,21 @@ fn open_cursor_raw<'p>(
     input: Option<&InputVal>,
 ) -> xqr_xml::Result<BoxCursor<'p>> {
     match &plan.op {
-        Op::Select { pred, input: src } => Ok(Box::new(SelectCursor {
-            src: open_cursor(src, ctx, input)?,
-            pred,
-        })),
+        Op::Select { pred, input: src } => {
+            // Fusable comparison predicates run through the batched
+            // kernel (counters land on the predicate's plan node).
+            let kernel = if ctx.batched {
+                let stats = ctx.profiler.as_ref().and_then(|p| p.stats_for(pred));
+                crate::batch::SelectKernel::build(pred, stats)
+            } else {
+                None
+            };
+            Ok(Box::new(SelectCursor {
+                src: open_cursor(src, ctx, input)?,
+                pred,
+                kernel,
+            }))
+        }
         Op::Product(a, b) => Ok(Box::new(ProductCursor {
             left: open_cursor(a, ctx, input)?,
             right: eval_table(b, ctx, input)?,
@@ -364,6 +402,22 @@ impl<'p> TupleCursor<'p> for ProfiledCursor<'p> {
         self.stats.add_rows((out.len() - before) as u64);
         r
     }
+
+    fn next_batch(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        out: &mut Table,
+        n: usize,
+    ) -> xqr_xml::Result<bool> {
+        // Like `drain_into`: one exact measurement per batch.
+        let before = out.len();
+        let t0 = std::time::Instant::now();
+        let r = self.inner.next_batch(ctx, out, n);
+        self.stats.add_exact_nanos(t0.elapsed().as_nanos() as u64);
+        self.stats.add_rows((out.len() - before) as u64);
+        self.stats.add_batches(1);
+        r
+    }
 }
 
 /// Item-stream analogue of [`ProfiledCursor`], wrapping the streaming
@@ -387,9 +441,27 @@ impl<'p> ItemCursor<'p> for ProfiledItemCursor<'p> {
 }
 
 /// `Select[pred]` — filters, evaluating the predicate with `IN` rebound.
+/// A fusable comparison predicate runs through the [`crate::batch`]
+/// kernel (type promotion resolved once, no per-row boolean sequence);
+/// everything else evaluates the predicate plan per row.
 struct SelectCursor<'p> {
     src: BoxCursor<'p>,
     pred: &'p Plan,
+    kernel: Option<crate::batch::SelectKernel<'p>>,
+}
+
+impl<'p> SelectCursor<'p> {
+    /// The scalar predicate: evaluate, take the effective boolean value.
+    fn keep_scalar(&self, t: Tuple, ctx: &mut Ctx<'_>) -> (Tuple, xqr_xml::Result<bool>) {
+        // Move the tuple into the binding and back out: no clone.
+        let bound = InputVal::Tuple(t);
+        let keep = crate::eval::eval_dep_items(self.pred, ctx, &bound)
+            .and_then(|v| effective_boolean_value(&v));
+        let InputVal::Tuple(t) = bound else {
+            unreachable!()
+        };
+        (t, keep)
+    }
 }
 
 impl<'p> TupleCursor<'p> for SelectCursor<'p> {
@@ -403,12 +475,9 @@ impl<'p> TupleCursor<'p> for SelectCursor<'p> {
                 Ok(t) => t,
                 Err(e) => return Some(Err(e)),
             };
-            // Move the tuple into the binding and back out: no clone.
-            let bound = InputVal::Tuple(t);
-            let keep = crate::eval::eval_dep_items(self.pred, ctx, &bound)
-                .and_then(|v| effective_boolean_value(&v));
-            let InputVal::Tuple(t) = bound else {
-                unreachable!()
+            let (t, keep) = match &self.kernel {
+                Some(k) => k.matches(t, ctx),
+                None => self.keep_scalar(t, ctx),
             };
             match keep {
                 Ok(true) => return Some(Ok(t)),
@@ -416,6 +485,50 @@ impl<'p> TupleCursor<'p> for SelectCursor<'p> {
                 Err(e) => return Some(Err(e)),
             }
         }
+    }
+
+    fn next_batch(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        out: &mut Table,
+        n: usize,
+    ) -> xqr_xml::Result<bool> {
+        let Some(kernel) = &self.kernel else {
+            // Scalar predicate: the default per-tuple pull.
+            for _ in 0..n {
+                match self.next(ctx) {
+                    Some(Ok(t)) => out.push(t),
+                    Some(Err(e)) => return Err(e),
+                    None => return Ok(false),
+                }
+            }
+            return Ok(true);
+        };
+        // Pull a source batch, then filter. A source error is surfaced
+        // only after the rows pulled before it have been filtered — the
+        // scalar interleaving's error precedence.
+        kernel.note_batch();
+        let mut batch = Table::with_capacity(n);
+        let more = self.src.next_batch(ctx, &mut batch, n);
+        for t in batch {
+            let (t, keep) = kernel.matches(t, ctx);
+            if keep? {
+                ctx.governor.tick()?;
+                out.push(t);
+            }
+        }
+        more
+    }
+
+    fn drain_into(&mut self, ctx: &mut Ctx<'_>, out: &mut Table) -> xqr_xml::Result<()> {
+        if self.kernel.is_none() {
+            while let Some(t) = self.next(ctx) {
+                out.push(t?);
+            }
+            return Ok(());
+        }
+        while self.next_batch(ctx, out, crate::batch::BATCH_SIZE)? {}
+        Ok(())
     }
 }
 
@@ -471,6 +584,37 @@ impl<'p> TupleCursor<'p> for ProductCursor<'p> {
             }
         }
         Ok(())
+    }
+
+    fn next_batch(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        out: &mut Table,
+        n: usize,
+    ) -> xqr_xml::Result<bool> {
+        let target = out.len() + n;
+        if let Some(lt) = self.cur.take() {
+            ctx.governor
+                .charge_tuples((self.right.len() - self.ridx) as u64)?;
+            for rt in &self.right[self.ridx..] {
+                out.push(lt.concat(rt));
+            }
+            self.ridx = 0;
+        }
+        // Expand whole outer tuples (may overshoot the target by one
+        // right-table expansion), bulk-charging each before building it.
+        while out.len() < target {
+            let Some(lt) = self.left.next(ctx) else {
+                return Ok(false);
+            };
+            let lt = lt?;
+            ctx.governor.charge_tuples(self.right.len() as u64)?;
+            out.reserve(self.right.len());
+            for rt in &self.right {
+                out.push(lt.concat(rt));
+            }
+        }
+        Ok(true)
     }
 }
 
@@ -657,6 +801,31 @@ impl<'p> TupleCursor<'p> for IndexCursor<'p> {
             }
             Err(e) => Some(Err(e)),
         }
+    }
+
+    fn next_batch(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        out: &mut Table,
+        n: usize,
+    ) -> xqr_xml::Result<bool> {
+        // Pull the source batch through, then annotate in place. A budget
+        // trip mid-annotation keeps the rows already annotated (the
+        // scalar path would have yielded exactly those) and drops the
+        // rest with the error.
+        let start = out.len();
+        let more = self.src.next_batch(ctx, out, n);
+        let mut k = start;
+        while k < out.len() {
+            if let Err(e) = ctx.governor.tick() {
+                out.truncate(k);
+                return Err(e);
+            }
+            self.i += 1;
+            out[k] = out[k].with(self.field.clone(), Sequence::integers([self.i]));
+            k += 1;
+        }
+        more
     }
 }
 
@@ -943,6 +1112,40 @@ impl<'p> TupleCursor<'p> for JoinCursor<'p> {
         }
         Ok(())
     }
+
+    fn next_batch(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        out: &mut Table,
+        n: usize,
+    ) -> xqr_xml::Result<bool> {
+        let target = out.len() + n;
+        for t in &mut self.pending {
+            out.push(match self.outer_null {
+                Some(nf) => t.with_bool(nf.clone(), false),
+                None => t,
+            });
+            if out.len() >= target {
+                return Ok(true);
+            }
+        }
+        // Probe whole outer tuples; a probe's match set is pushed intact
+        // (the batch may overshoot the target by one set).
+        while out.len() < target {
+            let Some(lt) = self.left.next(ctx) else {
+                return Ok(false);
+            };
+            let lt = lt?;
+            let ms = self.probe.matches(&lt, &self.right, ctx)?;
+            ctx.governor.charge_tuples(ms.len().max(1) as u64)?;
+            match self.outer_null {
+                Some(nf) if ms.is_empty() => out.push(lt.with_bool(nf.clone(), true)),
+                Some(nf) => out.extend(ms.into_iter().map(|t| t.with_bool(nf.clone(), false))),
+                None => out.extend(ms),
+            }
+        }
+        Ok(true)
+    }
 }
 
 /// Per-operator pipelining summary for `explain()`: which tuple operators
@@ -1022,8 +1225,19 @@ pub fn explain_annotations(plan: &Plan, pipelined: bool) -> Vec<Option<String>> 
                     Some("streams (fused step chain)".to_string())
                 }
                 Op::TreeJoin { .. } => None,
-                Op::Join { .. } | Op::LOuterJoin { .. } | Op::Product(..) => {
+                Op::Join { pred, .. } | Op::LOuterJoin { pred, .. } => {
+                    let mut s =
+                        "streams probe side; inner side materializes for the build".to_string();
+                    if xqr_core::fuse::fusable_comparison(pred).is_some() {
+                        s.push_str("; batched comparison kernel candidate");
+                    }
+                    Some(s)
+                }
+                Op::Product(..) => {
                     Some("streams probe side; inner side materializes for the build".to_string())
+                }
+                Op::Select { pred, .. } if xqr_core::fuse::fusable_comparison(pred).is_some() => {
+                    Some("streams; batched comparison kernel".to_string())
                 }
                 op if streams(op) => Some("streams".to_string()),
                 Op::OrderBy { .. } | Op::GroupBy { .. } => {

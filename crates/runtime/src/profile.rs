@@ -72,6 +72,9 @@ pub struct OpStats {
     spilled_bytes: Cell<u64>,
     spill_partitions: Cell<u64>,
     spill_merge_passes: Cell<u64>,
+    batches: Cell<u64>,
+    fused_rows: Cell<u64>,
+    fallback_rows: Cell<u64>,
 }
 
 impl OpStats {
@@ -157,6 +160,22 @@ impl OpStats {
             .set(self.spill_merge_passes.get() + n);
     }
 
+    /// Batches processed by a batched cursor or fused kernel.
+    pub fn add_batches(&self, n: u64) {
+        self.batches.set(self.batches.get() + n);
+    }
+
+    /// Rows evaluated through a fused type-specialized comparison lane.
+    pub fn add_fused_rows(&self, n: u64) {
+        self.fused_rows.set(self.fused_rows.get() + n);
+    }
+
+    /// Rows a fused kernel handed back to the row-at-a-time scalar path
+    /// (heterogeneous or non-atomic operand batches).
+    pub fn add_fallback_rows(&self, n: u64) {
+        self.fallback_rows.set(self.fallback_rows.get() + n);
+    }
+
     /// Estimated cumulative (inclusive) time: exactly measured units (the
     /// prefix and batch drains) plus the steady-state samples extrapolated
     /// over the units past the prefix.
@@ -186,6 +205,7 @@ impl OpStats {
             || self.opens.get() > 0
             || self.exact_nanos.get() > 0
             || self.kernel_dispatches.get() > 0
+            || self.batches.get() > 0
     }
 }
 
@@ -302,7 +322,15 @@ impl Profiler {
         let root = if nodes.is_empty() {
             None
         } else {
-            Some(build_node(&nodes, 0))
+            // Clamp the root's extrapolated estimate to the measured wall
+            // clock (when known): sampling noise must never report an
+            // operator as costing more than the whole query took.
+            let limit = if wall_nanos == 0 {
+                u64::MAX
+            } else {
+                wall_nanos
+            };
+            Some(build_node(&nodes, 0, limit))
         };
         QueryProfile {
             strategy: strategy.to_string(),
@@ -313,10 +341,26 @@ impl Profiler {
     }
 }
 
-fn build_node(nodes: &[NodeEntry], id: u32) -> ProfileNode {
+/// Builds one profile node, clamping sampled extrapolation to the
+/// measured wall clock: a node's inclusive estimate never exceeds the
+/// whole query's `limit`, and therefore `self ≤ inclusive ≤ total` holds
+/// everywhere. Without the clamp, a handful of unlucky steady-state
+/// samples on a hot operator could extrapolate past the total — the
+/// annotation then showed a child's *self* time above the whole query's
+/// wall time. The clamp is deliberately *not* telescoped through parents:
+/// estimates err in both directions, and a parent with a skewed per-call
+/// distribution (a join cursor whose every Nth `next()` sweeps a probe
+/// partition) underestimates — capping its children to that bad estimate
+/// would zero out their own, better-sampled measurements. The wall clock
+/// is the only bound that is measured rather than extrapolated.
+fn build_node(nodes: &[NodeEntry], id: u32, limit: u64) -> ProfileNode {
     let e = &nodes[id as usize];
-    let children: Vec<ProfileNode> = e.children.iter().map(|&c| build_node(nodes, c)).collect();
-    let inclusive = e.stats.estimated_nanos();
+    let inclusive = e.stats.estimated_nanos().min(limit);
+    let children: Vec<ProfileNode> = e
+        .children
+        .iter()
+        .map(|&c| build_node(nodes, c, limit))
+        .collect();
     let child_sum: u64 = children.iter().map(|c| c.nanos).sum();
     ProfileNode {
         label: e.label.clone(),
@@ -332,6 +376,9 @@ fn build_node(nodes: &[NodeEntry], id: u32) -> ProfileNode {
         spilled_bytes: e.stats.spilled_bytes.get(),
         spill_partitions: e.stats.spill_partitions.get(),
         spill_merge_passes: e.stats.spill_merge_passes.get(),
+        batches: e.stats.batches.get(),
+        fused_rows: e.stats.fused_rows.get(),
+        fallback_rows: e.stats.fallback_rows.get(),
         touched: e.stats.touched(),
         children,
     }
@@ -361,6 +408,12 @@ pub struct ProfileNode {
     pub spill_partitions: u64,
     /// External-sort merge passes performed by this operator.
     pub spill_merge_passes: u64,
+    /// Batches processed by a batched cursor or fused kernel at this node.
+    pub batches: u64,
+    /// Rows that went through a fused type-specialized comparison lane.
+    pub fused_rows: u64,
+    /// Rows a fused kernel fell back to the scalar path for.
+    pub fallback_rows: u64,
     /// Whether any instrumentation recorded into this node (false for
     /// plan nodes outside the instrumented operator set, or never
     /// reached).
@@ -413,6 +466,15 @@ impl ProfileNode {
         if self.spill_merge_passes > 0 {
             s.push_str(&format!(" merge_passes={}", self.spill_merge_passes));
         }
+        if self.batches > 0 {
+            s.push_str(&format!(" batches={}", self.batches));
+        }
+        if self.fused_rows > 0 {
+            s.push_str(&format!(" fused={}", self.fused_rows));
+        }
+        if self.fallback_rows > 0 {
+            s.push_str(&format!(" fallback={}", self.fallback_rows));
+        }
         Some(s)
     }
 
@@ -423,7 +485,8 @@ impl ProfileNode {
             "{{\"label\":\"{}\",\"rows\":{},\"calls\":{},\"opens\":{},\"nanos\":{},\
              \"exclusive_nanos\":{},\"build_nanos\":{},\"peak_bytes\":{},\"partitions\":{},\
              \"kernel_dispatches\":{},\"spilled_bytes\":{},\"spill_partitions\":{},\
-             \"spill_merge_passes\":{},\"touched\":{},\"children\":[",
+             \"spill_merge_passes\":{},\"batches\":{},\"fused_rows\":{},\
+             \"fallback_rows\":{},\"touched\":{},\"children\":[",
             json_escape(&self.label),
             self.rows,
             self.calls,
@@ -437,6 +500,9 @@ impl ProfileNode {
             self.spilled_bytes,
             self.spill_partitions,
             self.spill_merge_passes,
+            self.batches,
+            self.fused_rows,
+            self.fallback_rows,
             self.touched
         );
         for (i, c) in self.children.iter().enumerate() {
@@ -624,6 +690,64 @@ mod tests {
         assert_eq!(s.estimated_nanos(), 50_000);
         s.add_exact_nanos(7);
         assert_eq!(s.estimated_nanos(), 50_007);
+    }
+
+    #[test]
+    fn estimates_are_clamped_to_wall() {
+        // Regression: sampled extrapolation on a hot child could estimate
+        // past the measured wall clock, so `EXPLAIN ANALYZE` reported a
+        // child's *self* time above the query's total (e.g. Q12's
+        // MapToItem at 395ms self against a 316ms wall). Snapshots must
+        // clamp every node's inclusive estimate to the wall clock — but
+        // only to the wall clock: a parent's own estimate can *under*shoot
+        // (skewed per-call cost distributions), and capping children to it
+        // would destroy their better-sampled measurements.
+        let p = small_plan();
+        let prof = Profiler::new(Governor::unlimited());
+        prof.register(&p);
+        let root = prof.stats_for(&p).expect("root registered");
+        let (pred, _) = p.op.children().into_iter().next().expect("pred child");
+        let child = prof.stats_for(pred).expect("pred registered");
+        // Parent: modest, fully measured time.
+        root.calls.set(10);
+        root.exact_nanos.set(2_000);
+        // Child: unlucky steady-state samples extrapolating to 50_000ns —
+        // far past the 3_000ns wall clock below.
+        child.calls.set(SAMPLE_FULL + 1000);
+        child.sampled_units.set(100);
+        child.sampled_nanos.set(5_000);
+        assert_eq!(child.estimated_nanos(), 50_000);
+
+        let wall = 3_000;
+        let snap = prof.snapshot("pipelined", wall);
+        let root = snap.root.expect("root");
+        fn check(n: &ProfileNode, wall: u64) {
+            assert!(
+                n.nanos <= wall,
+                "{}: inclusive {} > {wall}",
+                n.label,
+                n.nanos
+            );
+            assert!(
+                n.exclusive_nanos <= n.nanos,
+                "{}: self {} > inclusive {}",
+                n.label,
+                n.exclusive_nanos,
+                n.nanos
+            );
+            for c in &n.children {
+                check(c, wall);
+            }
+        }
+        check(&root, wall);
+        // The parent keeps its exact measurement; the child's runaway
+        // extrapolation is capped at the wall clock, not at the parent.
+        assert_eq!(root.nanos, 2_000);
+        assert_eq!(root.children[0].nanos, wall);
+        // A zero wall clock (sub-resolution run) disables the clamp rather
+        // than zeroing every estimate.
+        let unclamped = prof.snapshot("pipelined", 0);
+        assert_eq!(unclamped.root.expect("root").children[0].nanos, 50_000);
     }
 
     #[test]

@@ -355,6 +355,56 @@ fn gallop(list: &[u32], lo: usize, target: u32) -> usize {
 
 // ===== per-context step kernel ==============================================
 
+/// Cross-call cache of a step site's compiled tests, one per document.
+/// The set-at-a-time kernel recompiles its node test — a `QName`
+/// construction (an `Rc<str>` allocation) and an interned-name hash
+/// lookup — on every invocation; a step inside a per-tuple dependent plan
+/// pays that once per row. Callers that evaluate the same plan-site step
+/// repeatedly hold one `TestCache` per site and pass it to
+/// [`tree_join_cached`].
+///
+/// Two safety properties: entries key by document *identity* and hold the
+/// `Rc`, so a freed document's address can never be recycled into a false
+/// hit; and the cache records the `(axis, test)` it was built for and
+/// self-clears on mismatch, so a caller whose site key was itself
+/// recycled (per-call plan clones) degrades to a recompile, never a wrong
+/// test.
+#[derive(Default)]
+pub struct TestCache {
+    site: Option<(Axis, NodeTest)>,
+    entries: Vec<(Rc<Document>, CompiledTest)>,
+}
+
+impl TestCache {
+    /// Entries kept per site; effectively one in practice (multi-document
+    /// step inputs are rare), bounded defensively.
+    const MAX_ENTRIES: usize = 8;
+
+    fn ensure_site(&mut self, axis: Axis, test: &NodeTest) {
+        match &self.site {
+            Some((a, t)) if *a == axis && t == test => {}
+            _ => {
+                self.entries.clear();
+                self.site = Some((axis, test.clone()));
+            }
+        }
+    }
+
+    fn get(&self, doc: &Rc<Document>) -> Option<CompiledTest> {
+        self.entries
+            .iter()
+            .find(|(d, _)| Rc::ptr_eq(d, doc))
+            .map(|(_, c)| *c)
+    }
+
+    fn put(&mut self, doc: &Rc<Document>, compiled: CompiledTest) {
+        if self.entries.len() >= Self::MAX_ENTRIES {
+            self.entries.clear();
+        }
+        self.entries.push((Rc::clone(doc), compiled));
+    }
+}
+
 /// Per-document state of a step evaluation: the compiled test plus the
 /// cursors that make sorted multi-context evaluation linear.
 struct DocState {
@@ -375,6 +425,9 @@ struct StepKernel<'t> {
     axis: Axis,
     test: &'t NodeTest,
     state: Option<DocState>,
+    /// Optional cross-call compiled-test cache; must already be keyed to
+    /// this kernel's `(axis, test)` site (see [`TestCache::ensure_site`]).
+    cache: Option<&'t mut TestCache>,
 }
 
 impl<'t> StepKernel<'t> {
@@ -383,6 +436,16 @@ impl<'t> StepKernel<'t> {
             axis,
             test,
             state: None,
+            cache: None,
+        }
+    }
+
+    fn with_cache(axis: Axis, test: &'t NodeTest, cache: Option<&'t mut TestCache>) -> Self {
+        StepKernel {
+            axis,
+            test,
+            state: None,
+            cache,
         }
     }
 
@@ -392,9 +455,19 @@ impl<'t> StepKernel<'t> {
             None => true,
         };
         if stale {
+            let compiled = match self.cache.as_mut().and_then(|c| c.get(doc)) {
+                Some(c) => c,
+                None => {
+                    let c = compile_test(self.test, self.axis, doc);
+                    if let Some(cache) = self.cache.as_mut() {
+                        cache.put(doc, c);
+                    }
+                    c
+                }
+            };
             self.state = Some(DocState {
                 doc: Rc::clone(doc),
-                compiled: compile_test(self.test, self.axis, doc),
+                compiled,
                 prune_end: 0,
                 post_pos: 0,
             });
@@ -669,6 +742,32 @@ pub fn tree_join_governed(
     types: &dyn TypeHierarchy,
     gov: Option<&Governor>,
 ) -> crate::Result<Sequence> {
+    tree_join_inner(input, axis, test, types, gov, None)
+}
+
+/// [`tree_join_governed`] with a caller-held [`TestCache`], amortizing test
+/// compilation across repeated invocations of the same step site (a step
+/// inside a per-tuple dependent plan otherwise recompiles every row).
+pub fn tree_join_cached(
+    input: &Sequence,
+    axis: Axis,
+    test: &NodeTest,
+    types: &dyn TypeHierarchy,
+    gov: Option<&Governor>,
+    cache: &mut TestCache,
+) -> crate::Result<Sequence> {
+    cache.ensure_site(axis, test);
+    tree_join_inner(input, axis, test, types, gov, Some(cache))
+}
+
+fn tree_join_inner(
+    input: &Sequence,
+    axis: Axis,
+    test: &NodeTest,
+    types: &dyn TypeHierarchy,
+    gov: Option<&Governor>,
+    mut cache: Option<&mut TestCache>,
+) -> crate::Result<Sequence> {
     let mut out: Vec<NodeHandle> = Vec::new();
     match axis {
         Axis::Following | Axis::Preceding => {
@@ -680,7 +779,7 @@ pub fn tree_join_governed(
             // directly, verifying the document-order precondition inline —
             // no context vector is built for the common already-sorted case
             // (step outputs, single contexts).
-            let mut kernel = StepKernel::new(axis, test);
+            let mut kernel = StepKernel::with_cache(axis, test, cache.as_deref_mut());
             let mut prev: Option<(u64, u32)> = None;
             let mut sorted = true;
             for item in input.iter() {
@@ -699,12 +798,13 @@ pub fn tree_join_governed(
                     g.charge_tuples(1 + (out.len() - before) as u64)?;
                 }
             }
+            drop(kernel);
             if !sorted {
                 // Rare: unsorted or duplicate contexts (unnormalized input
                 // at the runtime boundary). Sort + dedup once and redo.
                 let ctxs = normalize_contexts(input)?;
                 out.clear();
-                let mut kernel = StepKernel::new(axis, test);
+                let mut kernel = StepKernel::with_cache(axis, test, cache);
                 for c in &ctxs {
                     let before = out.len();
                     kernel.apply(c, types, &mut out);

@@ -1,0 +1,213 @@
+//! Batched-vs-scalar differential suite: the vectorized kernels (fused,
+//! type-specialized comparison evaluation — the pipelined default) must be
+//! observationally identical to the row-at-a-time scalar path
+//! (`CompileOptions::with_scalar_kernels`) — same serialized results, and
+//! the same error codes where evaluation fails — on the XMark queries, a
+//! fixed corpus stressing every kernel shape (fused predicates,
+//! heterogeneous data that forces the per-row fallback, dynamic errors in
+//! operand chains), randomly generated comparison-heavy FLWORs, and
+//! governed runs (budget charging is per-tuple in both modes, so limit
+//! codes must also agree).
+
+use proptest::prelude::*;
+use std::time::Duration;
+use xqr::engine::{CompileOptions, Engine, EngineError, ExecutionMode, Limits};
+use xqr_xmark::{generate, query, GenOptions, QUERY_COUNT};
+
+/// Every mode that runs the algebra (NoAlgebra has no tuple pipeline, so
+/// there is nothing to batch).
+const ALGEBRA_MODES: [ExecutionMode; 4] = [
+    ExecutionMode::AlgebraNoOptim,
+    ExecutionMode::OptimNestedLoop,
+    ExecutionMode::OptimHashJoin,
+    ExecutionMode::OptimSortJoin,
+];
+
+fn err_code(e: EngineError) -> String {
+    match e {
+        EngineError::Dynamic(x) => x.code.to_string(),
+        EngineError::Syntax(_) => "SYNTAX".to_string(),
+        EngineError::LimitExceeded { code, .. } => code.to_string(),
+        EngineError::Internal { .. } => "INTERNAL".to_string(),
+    }
+}
+
+/// Runs to either the serialized result or the error code.
+fn outcome(e: &Engine, q: &str, opts: &CompileOptions) -> Result<String, String> {
+    match e.prepare(q, opts) {
+        Ok(p) => p.run_to_string(e).map_err(err_code),
+        Err(err) => Err(err_code(err)),
+    }
+}
+
+fn assert_kernels_agree(e: &Engine, q: &str, label: &str) {
+    for mode in ALGEBRA_MODES {
+        let batched = outcome(e, q, &CompileOptions::mode(mode));
+        let scalar = outcome(e, q, &CompileOptions::mode(mode).with_scalar_kernels());
+        assert_eq!(
+            batched, scalar,
+            "{label}: batched and scalar kernels disagree under {mode:?}\nquery: {q}"
+        );
+    }
+}
+
+#[test]
+fn xmark_q1_to_q20() {
+    let xml = generate(&GenOptions::for_bytes(60_000));
+    let mut e = Engine::new();
+    e.bind_document("auction.xml", &xml)
+        .expect("auction document parses");
+    for n in 1..=QUERY_COUNT {
+        assert_kernels_agree(&e, query(n), &format!("XMark Q{n}"));
+    }
+}
+
+/// Mixed-type element content: numeric strings, plain strings, doubles,
+/// empty elements. General comparisons over these exercise every branch of
+/// the kernels — the typed fast lanes, the promotion rules, the
+/// error-swallowing conversion semantics, and the per-row fallback.
+const MIXED: &str = r#"<data>
+  <row><a>1</a><b>10</b></row>
+  <row><a>2.5</a><b>2</b></row>
+  <row><a>abc</a><b>3</b></row>
+  <row><a></a><b>4</b></row>
+  <row><a>NaN</a><b>5</b></row>
+  <row><b>6</b></row>
+  <row><a>-0</a><b>0</b></row>
+  <row><a>7</a><a>8</a><b>7.5</b></row>
+</data>"#;
+
+#[test]
+fn fixed_corpus() {
+    let mut e = Engine::new();
+    e.bind_document("mixed.xml", MIXED).unwrap();
+    let queries: &[&str] = &[
+        // The exact fused join shape (Q11/Q12's predicate): a general
+        // comparison whose inner operand is const-times-field arithmetic.
+        "for $x in (1,2,3,4), $y in (10,20,30) \
+         where $x * 10 >= $y return ($x, $y)",
+        "for $x in (1.5, 2.5), $y in (1,2,3) where $x > $y return $x + $y",
+        // Select-over-Call: predicate over one generator (SelectKernel).
+        "for $x in (1,2,3,4,5) where $x * 3 > 7 return $x",
+        "for $x in (0.5, 1.5, 2.5) where $x >= 1.5 return $x * 2",
+        // Heterogeneous atomization: numeric strings vs numbers. The typed
+        // lane must reject (or swallow) exactly what the scalar path does.
+        "for $r in doc('mixed.xml')/data/row where $r/a > 3 return count($r/b)",
+        "for $r in doc('mixed.xml')/data/row where $r/a = $r/b return $r/b/text()",
+        "for $r in doc('mixed.xml')/data/row where number($r/a) <= 2.5 return $r/b/text()",
+        // NaN never compares (except ne); negative zero equals zero.
+        "for $x in (number('NaN'), 1) where $x = $x return $x",
+        "for $x in (number('NaN'), 2) where $x != $x return 'nan'",
+        "for $x in (-0.0, 1.0) where $x = 0 return 'zero'",
+        // Empty sequences: general comparison is existential (empty is
+        // never true), value comparison returns empty.
+        "for $r in doc('mixed.xml')/data/row where $r/missing > 1 return $r",
+        "for $r in doc('mixed.xml')/data/row where $r/a eq '1' return 1",
+        // Multi-item operands: general comparison quantifies over both
+        // sides; value comparison must raise the same code per row.
+        "for $r in doc('mixed.xml')/data/row where $r/a = 8 return count($r/a)",
+        "for $x in (1,2) where (1,2,3) = (3,4) return $x",
+        // Dynamic errors inside fused operand chains must surface
+        // identically (same code, same first-error semantics).
+        "for $x in (1,2,3) where $x idiv 0 = 1 return $x",
+        "for $x in (1,2) where exactly-one(()) = 1 return $x",
+        "for $r in doc('mixed.xml')/data/row where exactly-one($r/a) = 7 return $r",
+        "for $x in (1, 'two', 3) where $x lt 5 return $x",
+        // Value comparisons (strict, never a typed lane) beside general.
+        "for $x in (1,2,3) where $x eq 2 return $x",
+        "for $x in ('a','b') where $x le 'a' return $x",
+        // Comparison feeding construction (batch boundary at MapToItem).
+        "<out>{ for $x in (1,2,3,4), $y in (2,4) where $x >= $y \
+         return <p x='{$x}' y='{$y}'/> }</out>",
+    ];
+    for q in queries {
+        assert_kernels_agree(&e, q, "fixed corpus");
+    }
+}
+
+/// Budget charging is per-tuple in both kernel modes, so a governed run
+/// must trip (or not trip) identically: same code when over budget, same
+/// result when under.
+#[test]
+fn governed_budgets_agree() {
+    let queries = [
+        // Over a tight tuple budget: the cross product explodes.
+        (
+            "count(for $x in 1 to 200, $y in 1 to 200 where $x * 2 >= $y return 1)",
+            Limits::none().with_max_tuples(500),
+        ),
+        // Under a roomy budget: results must match the ungoverned run too.
+        (
+            "count(for $x in 1 to 50, $y in 1 to 50 where $x >= $y return 1)",
+            Limits::none()
+                .with_max_tuples(1_000_000)
+                .with_deadline(Duration::from_secs(30)),
+        ),
+    ];
+    for mode in ALGEBRA_MODES {
+        for (q, limits) in &queries {
+            let e = Engine::new();
+            let batched = outcome(&e, q, &CompileOptions::mode(mode).limits(limits.clone()));
+            let scalar = outcome(
+                &e,
+                q,
+                &CompileOptions::mode(mode)
+                    .with_scalar_kernels()
+                    .limits(limits.clone()),
+            );
+            assert_eq!(batched, scalar, "{mode:?} {q:?}");
+        }
+    }
+}
+
+// ===== randomized batched-vs-scalar property ================================
+
+/// Comparison-heavy FLWOR generator: integer and decimal-string data so
+/// batches land in the typed lanes and mixed data forces fallback; all six
+/// operators; fused const-arithmetic operand chains.
+fn comparison_flwor() -> impl Strategy<Value = String> {
+    (
+        prop::collection::vec(0i64..8, 1..6),
+        prop::collection::vec(0i64..8, 1..6),
+        0i64..8,
+        0usize..6,
+        0usize..4,
+    )
+        .prop_map(|(xs, ys, k, op_idx, shape)| {
+            let op = ["=", "!=", "<", "<=", ">", ">="][op_idx];
+            let xs = xs
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join(",");
+            let ys = ys
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join(",");
+            match shape {
+                // Select kernel: single generator, const on one side.
+                0 => format!("for $x in ({xs}) where $x * 2 {op} {k} return $x"),
+                // Join kernel: comparison split across generators.
+                1 => format!("for $x in ({xs}), $y in ({ys}) where $x {op} $y return $x + 10 * $y"),
+                // Fused arithmetic on the inner operand (the Q11 shape).
+                2 => format!("for $x in ({xs}), $y in ({ys}) where $x {op} 2 * $y return ($x, $y)"),
+                // Mixed double/integer promotion in the predicate.
+                _ => format!("for $x in ({xs}) where ($x * 0.5) {op} {k} return $x"),
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn random_comparisons_agree(q in comparison_flwor()) {
+        let e = Engine::new();
+        for mode in ALGEBRA_MODES {
+            let batched = outcome(&e, &q, &CompileOptions::mode(mode));
+            let scalar = outcome(&e, &q, &CompileOptions::mode(mode).with_scalar_kernels());
+            prop_assert_eq!(&batched, &scalar, "mode {:?} query {}", mode, q);
+        }
+    }
+}
