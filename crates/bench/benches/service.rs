@@ -1,0 +1,194 @@
+//! Concurrent query-service benchmark (hand-rolled harness).
+//!
+//! Measures the admission-controlled service end to end: throughput and
+//! latency quantiles of a mixed XMark workload at 1, 2, and 4 workers,
+//! and the shed rate when submissions are offered at roughly 2x the
+//! measured sustainable rate (the overload the admission controller is
+//! there to absorb).
+//!
+//! Run with `cargo bench -p xqr-bench --bench service`; results are
+//! written to `BENCH_service.json` at the repo root. `--test` runs a
+//! scaled-down pass and skips the JSON (CI smoke).
+
+use std::time::{Duration, Instant};
+
+use xqr_engine::service::{QueryRequest, QueryService, ServiceConfig};
+
+/// A mixed workload: path navigation (Q1, Q6), an aggregate (Q5), a
+/// join (Q8), and construction-heavy shapes (Q13, Q17).
+const QUERIES: &[usize] = &[1, 5, 6, 8, 13, 17];
+
+fn service(workers: usize, queue: usize, xml: &str) -> QueryService {
+    let svc = QueryService::new(ServiceConfig {
+        workers,
+        queue_capacity: queue,
+        ..ServiceConfig::default()
+    });
+    svc.bind_document("auction.xml", xml);
+    svc
+}
+
+fn ms(nanos: u64) -> f64 {
+    nanos as f64 / 1.0e6
+}
+
+fn quantile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+struct ConcurrencyRow {
+    workers: usize,
+    jobs: usize,
+    throughput_qps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+/// Submits `jobs` queries round-robin over the workload, waits for all,
+/// and reports wall throughput plus end-to-end (queue + run) latency
+/// quantiles.
+fn run_concurrency(xml: &str, workers: usize, jobs: usize) -> ConcurrencyRow {
+    let svc = service(workers, jobs + 1, xml);
+    // Warm every worker's private engine (first dispatch parses the
+    // document into the thread-local store).
+    for _ in 0..workers {
+        svc.run(QueryRequest::new("1")).expect("warmup");
+    }
+    let t0 = Instant::now();
+    let tickets: Vec<_> = (0..jobs)
+        .map(|i| {
+            svc.submit(QueryRequest::new(xqr_xmark::query(
+                QUERIES[i % QUERIES.len()],
+            )))
+            .expect("queue sized for the whole batch")
+        })
+        .collect();
+    let mut latencies: Vec<u64> = tickets
+        .into_iter()
+        .map(|t| {
+            let out = t.wait().expect("benchmark queries succeed");
+            out.queue_nanos + out.run_nanos
+        })
+        .collect();
+    let wall = t0.elapsed();
+    latencies.sort_unstable();
+    ConcurrencyRow {
+        workers,
+        jobs,
+        throughput_qps: jobs as f64 / wall.as_secs_f64(),
+        p50_ms: ms(quantile(&latencies, 0.50)),
+        p99_ms: ms(quantile(&latencies, 0.99)),
+    }
+}
+
+struct OverloadRow {
+    workers: usize,
+    offered: usize,
+    admitted: usize,
+    shed: usize,
+    shed_rate_pct: f64,
+}
+
+/// Offers submissions at ~2x the sustainable rate against a small queue
+/// and reports how many the admission controller shed (`XQRG0007`).
+fn run_overload(xml: &str, workers: usize, sustainable_qps: f64, offered: usize) -> OverloadRow {
+    let svc = service(workers, workers * 2, xml);
+    for _ in 0..workers {
+        svc.run(QueryRequest::new("1")).expect("warmup");
+    }
+    let interval = Duration::from_secs_f64(1.0 / (2.0 * sustainable_qps.max(1.0)));
+    let mut admitted_tickets = Vec::new();
+    let mut shed = 0usize;
+    let t0 = Instant::now();
+    for i in 0..offered {
+        match svc.submit(QueryRequest::new(xqr_xmark::query(
+            QUERIES[i % QUERIES.len()],
+        ))) {
+            Ok(t) => admitted_tickets.push(t),
+            Err(_) => shed += 1,
+        }
+        // Spin-paced: `thread::sleep` overshoots sub-millisecond
+        // intervals by far more than the interval itself, which would
+        // silently lower the offered rate well below 2x.
+        let next = t0 + interval.saturating_mul(i as u32 + 1);
+        while Instant::now() < next {
+            std::hint::spin_loop();
+        }
+    }
+    let admitted = admitted_tickets.len();
+    for t in admitted_tickets {
+        t.wait().expect("admitted queries complete");
+    }
+    OverloadRow {
+        workers,
+        offered,
+        admitted,
+        shed,
+        shed_rate_pct: 100.0 * shed as f64 / offered as f64,
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--test");
+    let xml = xqr_xmark::generate(&xqr_xmark::GenOptions::for_bytes(if smoke {
+        60_000
+    } else {
+        200_000
+    }));
+    let jobs_per_level = if smoke { 12 } else { 96 };
+
+    let rows: Vec<ConcurrencyRow> = [1usize, 2, 4]
+        .iter()
+        .map(|&w| run_concurrency(&xml, w, jobs_per_level))
+        .collect();
+    println!("service throughput vs concurrency ({jobs_per_level} queries per level):");
+    for r in &rows {
+        println!(
+            "  workers {}  {:>8.1} q/s   p50 {:>8.3} ms   p99 {:>8.3} ms",
+            r.workers, r.throughput_qps, r.p50_ms, r.p99_ms
+        );
+    }
+
+    // Overload: offer at 2x the 2-worker sustainable rate.
+    let sustainable = rows[1].throughput_qps;
+    let overload = run_overload(&xml, 2, sustainable, if smoke { 24 } else { 120 });
+    println!(
+        "overload at ~2x: offered {}  admitted {}  shed {}  ({:.1}% shed)",
+        overload.offered, overload.admitted, overload.shed, overload.shed_rate_pct
+    );
+
+    if smoke {
+        return;
+    }
+
+    let mut json = String::from("{\n  \"bench\": \"service\",\n  \"concurrency\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"workers\": {}, \"jobs\": {}, \"throughput_qps\": {:.1}, \
+             \"p50_ms\": {:.3}, \"p99_ms\": {:.3}}}{}\n",
+            r.workers,
+            r.jobs,
+            r.throughput_qps,
+            r.p50_ms,
+            r.p99_ms,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"overload_2x\": {{\"workers\": {}, \"offered\": {}, \"admitted\": {}, \
+         \"shed\": {}, \"shed_rate_pct\": {:.1}}}\n}}\n",
+        overload.workers,
+        overload.offered,
+        overload.admitted,
+        overload.shed,
+        overload.shed_rate_pct
+    ));
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_service.json");
+    std::fs::write(path, json).expect("write BENCH_service.json");
+    println!("wrote {path}");
+}

@@ -1,0 +1,367 @@
+//! Shared, byte-budgeted document **text** cache.
+//!
+//! The node stores are `Rc`-based and deliberately thread-local (the
+//! whole runtime is single-threaded per query), so parsed documents
+//! cannot be shared across the service's worker threads. What *can* be
+//! shared is the raw XML text: this cache holds one `Arc<str>`-style copy
+//! of each document's bytes so a hot document is fetched from its source
+//! once, not once per worker per re-bind, and each worker parses it into
+//! its thread-local arena only when the cached *version* changes.
+//!
+//! Entries are either bound directly ([`DocTextCache::insert`], the
+//! in-process analogue of `Engine::bind_document`) or registered against
+//! a pluggable loader ([`DocTextCache::register`] +
+//! [`DocTextCache::set_loader`]) that is invoked through the shared
+//! transient-retry policy at the `doc::load` failpoint site — a flaky
+//! source is retried with capped jittered backoff under the requesting
+//! query's governor, and exhaustion surfaces as the standard `FODC0002`.
+//!
+//! Eviction is LRU by total resident bytes: crossing the byte budget
+//! drops the least-recently-used texts (never the one just loaded).
+//! Evicting a loader-backed entry is safe (it reloads on next use, with a
+//! version bump forcing re-parse); evicting a directly-bound text would
+//! lose data, so bound entries are only evicted when a loader is
+//! installed to recover them. Hits, misses, and evictions are counted in
+//! the process metrics (`doc_cache_*`).
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use xqr_xml::limits::Governor;
+use xqr_xml::metrics::metrics;
+use xqr_xml::retry::{retry_transient, RetryPolicy};
+use xqr_xml::XmlError;
+
+/// Error code for an unloadable document, matching `fn:doc`'s standard
+/// "cannot retrieve resource" error.
+pub const ERR_DOC_LOAD: &str = "FODC0002";
+
+type Loader = Arc<dyn Fn(&str) -> std::io::Result<String> + Send + Sync>;
+
+struct Entry {
+    /// Resident text; `None` after eviction (reloaded on demand).
+    text: Option<Arc<String>>,
+    /// Bumped whenever the text (re)enters the cache; workers re-parse
+    /// when the version they bound differs.
+    version: u64,
+    /// Eviction of directly-bound texts is forbidden unless a loader can
+    /// recover them.
+    loader_backed: bool,
+    last_used: u64,
+}
+
+struct Inner {
+    entries: HashMap<String, Entry>,
+    resident_bytes: u64,
+    next_version: u64,
+    clock: u64,
+}
+
+/// The shared cache. All methods take `&self`; a short mutex guards the
+/// map (no I/O is performed under the lock except through [`Self::ensure`]
+/// on a miss, where the loader runs *outside* the lock).
+pub struct DocTextCache {
+    budget: u64,
+    inner: Mutex<Inner>,
+    loader: Mutex<Option<Loader>>,
+}
+
+impl DocTextCache {
+    /// `budget` bounds the resident raw-text bytes (not parsed arenas,
+    /// which are per-worker and proportional to text size).
+    pub fn new(budget: u64) -> DocTextCache {
+        DocTextCache {
+            budget,
+            inner: Mutex::new(Inner {
+                entries: HashMap::new(),
+                resident_bytes: 0,
+                next_version: 1,
+                clock: 0,
+            }),
+            loader: Mutex::new(None),
+        }
+    }
+
+    /// Installs the source loader used for registered and evicted
+    /// entries.
+    pub fn set_loader(&self, f: impl Fn(&str) -> std::io::Result<String> + Send + Sync + 'static) {
+        *self.loader.lock().unwrap_or_else(|p| p.into_inner()) = Some(Arc::new(f));
+    }
+
+    /// Binds `uri` to `text` directly (new version; workers re-parse).
+    pub fn insert(&self, uri: &str, text: String) {
+        let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        let bytes = text.len() as u64;
+        let version = inner.next_version;
+        inner.next_version += 1;
+        inner.clock += 1;
+        let clock = inner.clock;
+        let old = inner.entries.insert(
+            uri.to_string(),
+            Entry {
+                text: Some(Arc::new(text)),
+                version,
+                loader_backed: false,
+                last_used: clock,
+            },
+        );
+        if let Some(Entry { text: Some(t), .. }) = old {
+            inner.resident_bytes = inner.resident_bytes.saturating_sub(t.len() as u64);
+        }
+        inner.resident_bytes += bytes;
+        self.evict_over_budget(&mut inner);
+    }
+
+    /// Registers a loader-backed `uri` without loading it yet.
+    pub fn register(&self, uri: &str) {
+        let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        inner.clock += 1;
+        let clock = inner.clock;
+        inner.entries.entry(uri.to_string()).or_insert(Entry {
+            text: None,
+            version: 0,
+            loader_backed: true,
+            last_used: clock,
+        });
+    }
+
+    /// Every known URI (bound or registered), for workers to sync.
+    pub fn uris(&self) -> Vec<String> {
+        self.inner
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .entries
+            .keys()
+            .cloned()
+            .collect()
+    }
+
+    /// Resident raw-text bytes (diagnostics / tests).
+    pub fn resident_bytes(&self) -> u64 {
+        self.inner
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .resident_bytes
+    }
+
+    /// Returns `uri`'s text and version, loading it (under `gov` and
+    /// `policy`, through the `doc::load` failpoint) when not resident.
+    pub fn ensure(
+        &self,
+        uri: &str,
+        gov: &Governor,
+        policy: &RetryPolicy,
+    ) -> Result<(u64, Arc<String>), XmlError> {
+        {
+            let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+            inner.clock += 1;
+            let clock = inner.clock;
+            match inner.entries.get_mut(uri) {
+                Some(e) => {
+                    e.last_used = clock;
+                    if let Some(t) = &e.text {
+                        metrics().record_doc_cache_hit();
+                        return Ok((e.version, t.clone()));
+                    }
+                }
+                None => {
+                    return Err(XmlError::new(
+                        ERR_DOC_LOAD,
+                        format!("document {uri:?} is not bound or registered"),
+                    ))
+                }
+            }
+        }
+        // Miss: run the loader outside the lock (it may do slow I/O).
+        metrics().record_doc_cache_miss();
+        let loader = self
+            .loader
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .clone();
+        let Some(loader) = loader else {
+            return Err(XmlError::new(
+                ERR_DOC_LOAD,
+                format!("document {uri:?} was evicted and no loader is installed"),
+            ));
+        };
+        let text = retry_transient("doc::load", gov, policy, |_| loader(uri)).map_err(|e| {
+            e.into_xml_error(|attempts, last| {
+                XmlError::new(
+                    ERR_DOC_LOAD,
+                    format!("loading document {uri:?} failed after {attempts} attempts: {last}"),
+                )
+            })
+        })?;
+        let text = Arc::new(text);
+        let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        inner.clock += 1;
+        let clock = inner.clock;
+        let version = inner.next_version;
+        inner.next_version += 1;
+        let bytes = text.len() as u64;
+        // Two workers may race on the same miss; the second load wins and
+        // bumps the version again — wasteful but correct (idempotent
+        // re-parse), and only on cold/evicted paths.
+        let old = inner.entries.insert(
+            uri.to_string(),
+            Entry {
+                text: Some(text.clone()),
+                version,
+                loader_backed: true,
+                last_used: clock,
+            },
+        );
+        if let Some(Entry { text: Some(t), .. }) = old {
+            inner.resident_bytes = inner.resident_bytes.saturating_sub(t.len() as u64);
+        }
+        inner.resident_bytes += bytes;
+        self.evict_over_budget(&mut inner);
+        Ok((version, text))
+    }
+
+    /// Drops least-recently-used resident texts until under budget. The
+    /// most-recently-used entry is never evicted (it is the one the
+    /// caller is about to use), and directly-bound texts survive unless a
+    /// loader can recover them.
+    fn evict_over_budget(&self, inner: &mut Inner) {
+        if inner.resident_bytes <= self.budget {
+            return;
+        }
+        let loader_installed = self
+            .loader
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .is_some();
+        let newest = inner
+            .entries
+            .values()
+            .filter(|e| e.text.is_some())
+            .map(|e| e.last_used)
+            .max()
+            .unwrap_or(0);
+        let mut victims: Vec<(u64, String)> = inner
+            .entries
+            .iter()
+            .filter(|(_, e)| {
+                e.text.is_some() && e.last_used != newest && (e.loader_backed || loader_installed)
+            })
+            .map(|(uri, e)| (e.last_used, uri.clone()))
+            .collect();
+        victims.sort();
+        for (_, uri) in victims {
+            if inner.resident_bytes <= self.budget {
+                break;
+            }
+            if let Some(e) = inner.entries.get_mut(&uri) {
+                if let Some(t) = e.text.take() {
+                    inner.resident_bytes = inner.resident_bytes.saturating_sub(t.len() as u64);
+                    metrics().record_doc_cache_eviction();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn gov() -> Governor {
+        Governor::unlimited()
+    }
+
+    fn policy() -> RetryPolicy {
+        RetryPolicy::default().with_base(std::time::Duration::from_micros(10))
+    }
+
+    #[test]
+    fn bound_text_is_served_and_versioned() {
+        let c = DocTextCache::new(1 << 20);
+        c.insert("a.xml", "<a/>".to_string());
+        let (v1, t1) = c.ensure("a.xml", &gov(), &policy()).unwrap();
+        assert_eq!(&**t1, "<a/>");
+        let (v2, _) = c.ensure("a.xml", &gov(), &policy()).unwrap();
+        assert_eq!(v1, v2, "stable version between binds");
+        c.insert("a.xml", "<a x='1'/>".to_string());
+        let (v3, t3) = c.ensure("a.xml", &gov(), &policy()).unwrap();
+        assert!(v3 > v2, "re-bind bumps the version");
+        assert_eq!(&**t3, "<a x='1'/>");
+    }
+
+    #[test]
+    fn unknown_uri_is_fodc0002() {
+        let c = DocTextCache::new(1 << 20);
+        let err = c.ensure("nope.xml", &gov(), &policy()).unwrap_err();
+        assert_eq!(err.code, ERR_DOC_LOAD);
+    }
+
+    #[test]
+    fn loader_backed_entries_load_on_demand_and_reload_after_eviction() {
+        let c = DocTextCache::new(8); // tiny: each text is 4 bytes
+        let loads = Arc::new(AtomicU64::new(0));
+        let loads2 = loads.clone();
+        c.set_loader(move |uri| {
+            loads2.fetch_add(1, Ordering::Relaxed);
+            Ok(format!("<{}/>", uri.trim_end_matches(".xml")))
+        });
+        c.register("a.xml");
+        c.register("b.xml");
+        c.register("c.xml");
+        let (va, _) = c.ensure("a.xml", &gov(), &policy()).unwrap();
+        let _ = c.ensure("b.xml", &gov(), &policy()).unwrap();
+        let _ = c.ensure("c.xml", &gov(), &policy()).unwrap();
+        assert_eq!(loads.load(Ordering::Relaxed), 3);
+        assert!(c.resident_bytes() <= 8, "budget enforced by eviction");
+        // a.xml was evicted (LRU); re-ensuring reloads with a new version.
+        let (va2, ta2) = c.ensure("a.xml", &gov(), &policy()).unwrap();
+        assert_eq!(&**ta2, "<a/>");
+        assert!(va2 > va);
+        assert_eq!(loads.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn bound_texts_are_not_evicted_without_a_loader() {
+        let c = DocTextCache::new(4);
+        c.insert("a.xml", "<aaaa/>".to_string());
+        c.insert("b.xml", "<bbbb/>".to_string());
+        // Over budget, but nothing can recover a dropped bound text, so
+        // both stay resident.
+        assert!(c.ensure("a.xml", &gov(), &policy()).is_ok());
+        assert!(c.ensure("b.xml", &gov(), &policy()).is_ok());
+    }
+
+    #[test]
+    fn loader_failures_retry_then_surface_fodc0002() {
+        let c = DocTextCache::new(1 << 20);
+        let calls = Arc::new(AtomicU64::new(0));
+        let calls2 = calls.clone();
+        c.set_loader(move |_| {
+            calls2.fetch_add(1, Ordering::Relaxed);
+            Err(std::io::Error::other("source down"))
+        });
+        c.register("x.xml");
+        let err = c.ensure("x.xml", &gov(), &policy()).unwrap_err();
+        assert_eq!(err.code, ERR_DOC_LOAD);
+        assert!(err.message.contains("source down"));
+        assert_eq!(calls.load(Ordering::Relaxed), 3, "default retry budget");
+    }
+
+    #[test]
+    fn transient_loader_failure_is_absorbed() {
+        let c = DocTextCache::new(1 << 20);
+        let calls = Arc::new(AtomicU64::new(0));
+        let calls2 = calls.clone();
+        c.set_loader(move |_| {
+            if calls2.fetch_add(1, Ordering::Relaxed) == 0 {
+                Err(std::io::Error::other("blip"))
+            } else {
+                Ok("<ok/>".to_string())
+            }
+        });
+        c.register("y.xml");
+        let (_, t) = c.ensure("y.xml", &gov(), &policy()).unwrap();
+        assert_eq!(&**t, "<ok/>");
+    }
+}

@@ -29,6 +29,10 @@
 //! assert_eq!(result.len(), 2);
 //! ```
 
+pub mod breaker;
+pub mod doccache;
+pub mod service;
+
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -47,15 +51,19 @@ use xqr_frontend::{frontend_with, normalize_module, parse_query_with, CoreModule
 use xqr_runtime::{eval_core_module_profiled, Ctx, InterpProfile, Profiler};
 use xqr_types::Schema;
 use xqr_xml::limits::{
-    ERR_BYTES, ERR_CANCELLED, ERR_DEADLINE, ERR_RECURSION, ERR_SPILL_BUDGET, ERR_SPILL_IO,
-    ERR_TUPLES,
+    ERR_BREAKER, ERR_BYTES, ERR_CANCELLED, ERR_DEADLINE, ERR_OVERLOADED, ERR_RECURSION,
+    ERR_SPILL_BUDGET, ERR_SPILL_IO, ERR_TUPLES,
 };
 use xqr_xml::metrics::metrics;
 use xqr_xml::parse::{parse_document, ParseOptions};
 use xqr_xml::{Governor, NodeHandle, QName, Sequence, XmlError};
 
 pub use xqr_runtime::{JoinAlgorithm, ProfileNode, QueryProfile};
-pub use xqr_xml::{CancellationToken, Limits, MetricsSnapshot};
+pub use xqr_xml::{CancellationToken, Limits, MetricsSnapshot, RetryPolicy};
+
+pub use breaker::{BreakerConfig, CircuitBreakers};
+pub use doccache::DocTextCache;
+pub use service::{QueryRequest, QueryService, QueryTicket, ServiceConfig, ServiceOutput};
 
 /// How a prepared query executes.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -201,6 +209,9 @@ impl CompileOptions {
 /// Which pipeline stage an error arose in.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Phase {
+    /// Service-side admission/dispatch (queueing, shedding, breakers),
+    /// before the query pipeline proper starts.
+    Admit,
     Parse,
     Normalize,
     Compile,
@@ -211,6 +222,7 @@ pub enum Phase {
 impl Phase {
     pub fn label(self) -> &'static str {
         match self {
+            Phase::Admit => "admit",
             Phase::Parse => "parse",
             Phase::Normalize => "normalize",
             Phase::Compile => "compile",
@@ -234,6 +246,13 @@ pub enum BudgetKind {
     /// The spill *disk* budget (`Limits::with_spill`) is exhausted
     /// (`XQRG0006`).
     SpillDisk,
+    /// The query service shed this submission (`XQRG0007`): queue full,
+    /// reservation unservable, or deadline shorter than the estimated
+    /// queue wait.
+    Overloaded,
+    /// A circuit breaker fast-failed this plan shape (`XQRG0008`) after
+    /// repeated internal failures; retry after the cooldown.
+    BreakerOpen,
 }
 
 impl BudgetKind {
@@ -246,6 +265,8 @@ impl BudgetKind {
             ERR_RECURSION => Some(BudgetKind::Recursion),
             ERR_SPILL_IO => Some(BudgetKind::SpillIo),
             ERR_SPILL_BUDGET => Some(BudgetKind::SpillDisk),
+            ERR_OVERLOADED => Some(BudgetKind::Overloaded),
+            ERR_BREAKER => Some(BudgetKind::BreakerOpen),
             _ => None,
         }
     }
@@ -256,7 +277,7 @@ impl BudgetKind {
 pub enum EngineError {
     Syntax(SyntaxError),
     Dynamic(XmlError),
-    /// A resource budget tripped (governor codes `XQRG0001`–`XQRG0006`,
+    /// A resource budget tripped (governor codes `XQRG0001`–`XQRG0008`,
     /// recursion `XQRT0005`).
     LimitExceeded {
         /// The stable `err:`-style code of the violated budget.

@@ -1,0 +1,865 @@
+//! Admission-controlled concurrent query service.
+//!
+//! The engine core is deliberately single-threaded — node stores, tuple
+//! tables, and the governor are `Rc`-based — so concurrency lives one
+//! layer up: [`QueryService`] owns a pool of worker threads, each with a
+//! **private** [`Engine`] (its own parsed documents, its own arenas), and
+//! the only state crossing threads is plain data: query text, compile
+//! options, raw document bytes (the shared [`DocTextCache`]),
+//! cancellation flags, reply channels, and the service control plane.
+//!
+//! A submission passes three gates before it runs:
+//!
+//! 1. **Admission** ([`QueryService::submit`]) — the service holds a
+//!    bounded FIFO queue and an aggregate *memory-reservation* budget.
+//!    Each query reserves `Limits::max_bytes` (or
+//!    [`ServiceConfig::default_reservation`]); a full queue, a
+//!    reservation that can never fit, or a deadline that an EWMA-based
+//!    wait estimate says will expire in the queue are **shed**
+//!    immediately with `XQRG0007` — predictable rejection instead of
+//!    queue collapse.
+//! 2. **Dispatch** — a worker takes the queue head once its reservation
+//!    fits under the in-flight total (strict FIFO: the head blocks
+//!    rather than being bypassed, which is safe because reservations
+//!    larger than the whole budget were already shed). The query's
+//!    deadline is *rebased* by its queue wait, documents are synced from
+//!    the shared text cache (loading through the transient-retry policy
+//!    at the `doc::load` failpoint), and the `service::dispatch`
+//!    failpoint can inject faults for chaos tests.
+//! 3. **Circuit breakers** ([`CircuitBreakers`]) — a plan shape that
+//!    repeatedly dies with internal errors fast-fails with `XQRG0008`
+//!    until a cooldown half-opens it. Prepare-time panics are keyed by a
+//!    query-text hash; execution panics by the normalized plan hash.
+//!
+//! Workers run each query behind their own `catch_unwind` (in addition
+//! to the engine's internal isolation) so a worker thread survives any
+//! single query's failure; results are serialized to XML *inside* the
+//! worker (sequences hold `Rc` nodes and must not cross threads) and
+//! delivered through the ticket's channel.
+//!
+//! Shedding, admission, queue depth, breaker trips, and cache traffic
+//! are all metered in the process [`metrics`] registry; per-query
+//! `queue`/`admit` trace spans flow through any tracer installed by
+//! [`ServiceConfig::configure_engine`].
+
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use xqr_core::pretty;
+use xqr_core::TraceEvent;
+use xqr_xml::limits::{ERR_CANCELLED, ERR_DEADLINE, ERR_OVERLOADED};
+use xqr_xml::metrics::metrics;
+use xqr_xml::retry::RetryPolicy;
+use xqr_xml::{CancellationToken, Governor, Limits};
+
+use crate::breaker::{BreakerConfig, CircuitBreakers};
+use crate::doccache::DocTextCache;
+use crate::{classify, panic_message, BudgetKind, CompileOptions, Engine, EngineError, Phase};
+
+/// Per-worker engine setup hook (see [`ServiceConfig::configure_engine`]).
+pub type EngineHook = Arc<dyn Fn(&mut Engine) + Send + Sync>;
+
+/// Tuning for a [`QueryService`].
+#[derive(Clone)]
+pub struct ServiceConfig {
+    /// Worker threads (= concurrency slots).
+    pub workers: usize,
+    /// Bounded admission queue; submissions beyond it are shed.
+    pub queue_capacity: usize,
+    /// Aggregate memory-reservation budget across in-flight queries.
+    pub memory_budget: u64,
+    /// Reservation for queries without an explicit `Limits::max_bytes`.
+    pub default_reservation: u64,
+    /// Byte budget of the shared raw-document-text cache.
+    pub doc_cache_budget: u64,
+    /// Service-wide default [`Limits`] for requests that do not carry
+    /// their own (`CompileOptions::limits` wins).
+    pub default_limits: Option<Limits>,
+    /// Circuit-breaker tuning.
+    pub breaker: BreakerConfig,
+    /// Transient-retry policy for document loading.
+    pub retry: RetryPolicy,
+    /// Per-worker engine hook, run once when each worker builds its
+    /// private [`Engine`] — install tracers, schemas, or external
+    /// variable bindings here.
+    pub configure_engine: Option<EngineHook>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig {
+            workers: 2,
+            queue_capacity: 16,
+            memory_budget: 256 << 20,
+            default_reservation: 16 << 20,
+            doc_cache_budget: 64 << 20,
+            default_limits: None,
+            breaker: BreakerConfig::default(),
+            retry: RetryPolicy::default(),
+            configure_engine: None,
+        }
+    }
+}
+
+impl std::fmt::Debug for ServiceConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServiceConfig")
+            .field("workers", &self.workers)
+            .field("queue_capacity", &self.queue_capacity)
+            .field("memory_budget", &self.memory_budget)
+            .field("default_reservation", &self.default_reservation)
+            .field("doc_cache_budget", &self.doc_cache_budget)
+            .finish_non_exhaustive()
+    }
+}
+
+/// One query submission.
+#[derive(Clone, Debug)]
+pub struct QueryRequest {
+    pub query: String,
+    pub options: CompileOptions,
+}
+
+impl QueryRequest {
+    pub fn new(query: impl Into<String>) -> QueryRequest {
+        QueryRequest {
+            query: query.into(),
+            options: CompileOptions::default(),
+        }
+    }
+
+    pub fn with_options(mut self, options: CompileOptions) -> QueryRequest {
+        self.options = options;
+        self
+    }
+}
+
+/// A successful run's result, serialized inside the worker (node trees
+/// are thread-local and cannot cross the channel).
+#[derive(Clone, Debug)]
+pub struct ServiceOutput {
+    /// The serialized result sequence.
+    pub xml: String,
+    /// Items in the result sequence.
+    pub rows: usize,
+    /// Time spent queued before a worker picked the query up.
+    pub queue_nanos: u64,
+    /// Wall time of the worker-side execution (prepare + run + serialize).
+    pub run_nanos: u64,
+}
+
+/// Handle to an admitted submission.
+#[derive(Debug)]
+pub struct QueryTicket {
+    id: u64,
+    token: CancellationToken,
+    rx: Receiver<Result<ServiceOutput, EngineError>>,
+}
+
+impl QueryTicket {
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The cancellation handle: callable from any thread; the query
+    /// fails with `XQRG0002` at its next cooperative check (including
+    /// while still queued).
+    pub fn token(&self) -> CancellationToken {
+        self.token.clone()
+    }
+
+    pub fn cancel(&self) {
+        self.token.cancel();
+    }
+
+    /// Blocks until the query finishes (or is shed/cancelled/failed).
+    pub fn wait(self) -> Result<ServiceOutput, EngineError> {
+        match self.rx.recv() {
+            Ok(reply) => reply,
+            // Workers reply through `catch_unwind`, so a dropped sender
+            // means the whole service was torn down abnormally.
+            Err(_) => Err(EngineError::Internal {
+                phase: Phase::Execute,
+                plan_context: "query service".to_string(),
+                message: "worker dropped the reply channel".to_string(),
+            }),
+        }
+    }
+
+    /// Non-blocking poll; `None` while the query is still in flight.
+    pub fn try_wait(&self) -> Option<Result<ServiceOutput, EngineError>> {
+        self.rx.try_recv().ok()
+    }
+}
+
+struct Job {
+    id: u64,
+    query: String,
+    options: CompileOptions,
+    /// Effective limits (request-level, else service default) captured
+    /// at admission; the deadline is rebased by the queue wait at
+    /// dispatch.
+    limits: Option<Limits>,
+    reservation: u64,
+    token: CancellationToken,
+    reply: Sender<Result<ServiceOutput, EngineError>>,
+    enqueued: Instant,
+}
+
+struct State {
+    queue: VecDeque<Job>,
+    /// Sum of in-flight (dispatched, not yet finished) reservations.
+    reserved: u64,
+    /// Workers currently executing a query.
+    running: usize,
+    /// Exponentially weighted moving average of worker-side run time,
+    /// feeding the admission-time wait estimate. 0 = no history yet.
+    ewma_run_nanos: u64,
+    shutdown: bool,
+    next_id: u64,
+}
+
+struct Shared {
+    workers: usize,
+    queue_capacity: usize,
+    memory_budget: u64,
+    default_reservation: u64,
+    default_limits: Option<Limits>,
+    retry: RetryPolicy,
+    breakers: CircuitBreakers,
+    cache: DocTextCache,
+    state: Mutex<State>,
+    /// Signalled on new work, freed reservations, and shutdown.
+    work_ready: Condvar,
+    configure_engine: Option<EngineHook>,
+}
+
+/// The concurrent query service. See the module docs for the admission /
+/// dispatch / breaker pipeline.
+pub struct QueryService {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl QueryService {
+    pub fn new(cfg: ServiceConfig) -> QueryService {
+        let workers = cfg.workers.max(1);
+        let shared = Arc::new(Shared {
+            workers,
+            queue_capacity: cfg.queue_capacity.max(1),
+            memory_budget: cfg.memory_budget,
+            default_reservation: cfg.default_reservation.min(cfg.memory_budget).max(1),
+            default_limits: cfg.default_limits,
+            retry: cfg.retry,
+            breakers: CircuitBreakers::new(cfg.breaker),
+            cache: DocTextCache::new(cfg.doc_cache_budget),
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                reserved: 0,
+                running: 0,
+                ewma_run_nanos: 0,
+                shutdown: false,
+                next_id: 1,
+            }),
+            work_ready: Condvar::new(),
+            configure_engine: cfg.configure_engine,
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("xqr-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        QueryService { shared, handles }
+    }
+
+    /// Binds a document for all workers (new version; each worker
+    /// re-parses into its private store on its next dispatch).
+    pub fn bind_document(&self, uri: &str, xml: impl Into<String>) {
+        self.shared.cache.insert(uri, xml.into());
+    }
+
+    /// Registers a loader-backed document URI (see [`Self::set_loader`]).
+    pub fn register_document(&self, uri: &str) {
+        self.shared.cache.register(uri);
+    }
+
+    /// Installs the document source loader used for registered URIs and
+    /// for re-fetching evicted texts. Flaky loaders are retried under
+    /// the service's [`RetryPolicy`] at the `doc::load` failpoint site.
+    pub fn set_loader(&self, f: impl Fn(&str) -> std::io::Result<String> + Send + Sync + 'static) {
+        self.shared.cache.set_loader(f);
+    }
+
+    /// Submits a query. Returns a ticket on admission; sheds with
+    /// `XQRG0007` ([`EngineError::LimitExceeded`], phase `admit`) when
+    /// the service is overloaded.
+    pub fn submit(&self, req: QueryRequest) -> Result<QueryTicket, EngineError> {
+        xqr_xml::failpoint::check("service::admit").map_err(|e| classify(e, Phase::Admit))?;
+        let limits = req
+            .options
+            .limits
+            .clone()
+            .or_else(|| self.shared.default_limits.clone());
+        let reservation = limits
+            .as_ref()
+            .and_then(|l| l.max_bytes)
+            .unwrap_or(self.shared.default_reservation);
+        let mut st = self.shared.state.lock().unwrap_or_else(|p| p.into_inner());
+        if st.shutdown {
+            return Err(Self::shed("service is shutting down"));
+        }
+        if reservation > self.shared.memory_budget {
+            return Err(Self::shed(format!(
+                "memory reservation {reservation} exceeds the service budget {}",
+                self.shared.memory_budget
+            )));
+        }
+        if st.queue.len() >= self.shared.queue_capacity {
+            return Err(Self::shed(format!(
+                "admission queue full ({} queued)",
+                st.queue.len()
+            )));
+        }
+        // Deadline-aware shedding: estimate this query's queue wait from
+        // the run-time EWMA and the backlog; a deadline that would expire
+        // while waiting is refused now, not after burning a slot.
+        if let (Some(deadline), true) = (
+            limits.as_ref().and_then(|l| l.deadline),
+            st.ewma_run_nanos > 0,
+        ) {
+            let backlog = st.queue.len() as u64 + u64::from(st.running >= self.shared.workers);
+            let wait_estimate =
+                Duration::from_nanos((backlog * st.ewma_run_nanos) / self.shared.workers as u64);
+            if wait_estimate >= deadline {
+                return Err(Self::shed(format!(
+                    "estimated queue wait {wait_estimate:?} exceeds the query \
+                     deadline {deadline:?}"
+                )));
+            }
+        }
+        let id = st.next_id;
+        st.next_id += 1;
+        let token = CancellationToken::new();
+        let (tx, rx) = mpsc::channel();
+        st.queue.push_back(Job {
+            id,
+            query: req.query,
+            options: req.options,
+            limits,
+            reservation,
+            token: token.clone(),
+            reply: tx,
+            enqueued: Instant::now(),
+        });
+        metrics().record_service_admitted();
+        metrics().record_queue_enter();
+        drop(st);
+        self.shared.work_ready.notify_one();
+        Ok(QueryTicket { id, token, rx })
+    }
+
+    /// Convenience: submit and block for the result.
+    pub fn run(&self, req: QueryRequest) -> Result<ServiceOutput, EngineError> {
+        self.submit(req)?.wait()
+    }
+
+    /// Queries waiting for a worker (diagnostics / tests).
+    pub fn queue_depth(&self) -> usize {
+        self.shared
+            .state
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .queue
+            .len()
+    }
+
+    /// Sum of in-flight memory reservations (diagnostics / tests).
+    pub fn reserved_bytes(&self) -> u64 {
+        self.shared
+            .state
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .reserved
+    }
+
+    /// Open or half-open circuit breakers (diagnostics / tests).
+    pub fn open_breakers(&self) -> usize {
+        self.shared.breakers.open_count()
+    }
+
+    /// Resident bytes in the shared document text cache.
+    pub fn doc_cache_bytes(&self) -> u64 {
+        self.shared.cache.resident_bytes()
+    }
+
+    fn shed(message: impl Into<String>) -> EngineError {
+        metrics().record_service_shed();
+        EngineError::LimitExceeded {
+            code: ERR_OVERLOADED,
+            phase: Phase::Admit,
+            budget: BudgetKind::Overloaded,
+            message: message.into(),
+        }
+    }
+}
+
+impl Drop for QueryService {
+    /// Graceful teardown: in-flight queries finish, queued queries are
+    /// failed with `XQRG0002`, workers are joined.
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().unwrap_or_else(|p| p.into_inner());
+            st.shutdown = true;
+            while let Some(job) = st.queue.pop_front() {
+                metrics().record_queue_leave();
+                let _ = job.reply.send(Err(EngineError::LimitExceeded {
+                    code: ERR_CANCELLED,
+                    phase: Phase::Admit,
+                    budget: BudgetKind::Cancelled,
+                    message: "service shut down before the query was dispatched".to_string(),
+                }));
+            }
+        }
+        self.shared.work_ready.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    let mut engine = Engine::new();
+    if let Some(f) = &shared.configure_engine {
+        f(&mut engine);
+    }
+    // Versions of the cache texts this worker has parsed into its
+    // private document store.
+    let mut doc_versions: HashMap<String, u64> = HashMap::new();
+    loop {
+        let job = {
+            let mut st = shared.state.lock().unwrap_or_else(|p| p.into_inner());
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                // Strict FIFO with memory-fit gating: only the head is
+                // eligible, and only once its reservation fits. Safe from
+                // permanent starvation because reservations exceeding the
+                // whole budget are shed at submit.
+                let head_fits = st
+                    .queue
+                    .front()
+                    .is_some_and(|j| st.reserved + j.reservation <= shared.memory_budget);
+                if head_fits {
+                    let job = st.queue.pop_front().expect("head exists");
+                    st.reserved += job.reservation;
+                    st.running += 1;
+                    metrics().record_queue_leave();
+                    break job;
+                }
+                st = shared
+                    .work_ready
+                    .wait(st)
+                    .unwrap_or_else(|p| p.into_inner());
+            }
+        };
+        let reservation = job.reservation;
+        let run_nanos = execute_job(shared, &mut engine, &mut doc_versions, job);
+        let mut st = shared.state.lock().unwrap_or_else(|p| p.into_inner());
+        st.reserved = st.reserved.saturating_sub(reservation);
+        st.running -= 1;
+        if let Some(n) = run_nanos {
+            st.ewma_run_nanos = if st.ewma_run_nanos == 0 {
+                n
+            } else {
+                (st.ewma_run_nanos * 7 + n) / 8
+            };
+        }
+        drop(st);
+        // A freed reservation may unblock the queue head for every
+        // waiting worker, not just one.
+        shared.work_ready.notify_all();
+    }
+}
+
+/// Runs one dispatched job and replies on its channel. Returns the
+/// worker-side wall time when the query actually executed (feeding the
+/// admission EWMA); `None` for pre-execution rejections.
+fn execute_job(
+    shared: &Shared,
+    engine: &mut Engine,
+    doc_versions: &mut HashMap<String, u64>,
+    job: Job,
+) -> Option<u64> {
+    let queue_nanos = job.enqueued.elapsed().as_nanos() as u64;
+    engine.trace(TraceEvent::Span {
+        phase: "queue",
+        nanos: queue_nanos,
+        detail: format!("query {} waited for a worker", job.id),
+    });
+
+    // Rebase the deadline by the time already spent queued: a 100 ms
+    // deadline submitted 80 ms ago has 20 ms left, not 100.
+    let mut limits = job.limits.clone();
+    if let Some(l) = &mut limits {
+        if let Some(d) = l.deadline {
+            match d.checked_sub(Duration::from_nanos(queue_nanos)) {
+                Some(rem) if !rem.is_zero() => l.deadline = Some(rem),
+                _ => {
+                    let _ = job.reply.send(Err(EngineError::LimitExceeded {
+                        code: ERR_DEADLINE,
+                        phase: Phase::Admit,
+                        budget: BudgetKind::Deadline,
+                        message: format!("deadline {d:?} expired while queued ({queue_nanos} ns)"),
+                    }));
+                    return None;
+                }
+            }
+        }
+    }
+    let mut options = job.options.clone();
+    options.limits = limits.clone();
+    let effective = limits.clone().unwrap_or_default();
+    let gov = Governor::new(&effective, job.token.clone());
+
+    // Cancelled while queued (or deadline raced to zero just now).
+    if let Err(e) = gov.check_time() {
+        let _ = job.reply.send(Err(classify(e, Phase::Admit)));
+        return None;
+    }
+    engine.trace(TraceEvent::Span {
+        phase: "admit",
+        nanos: 0,
+        detail: format!(
+            "query {} dispatched; reservation={} bytes",
+            job.id, job.reservation
+        ),
+    });
+
+    // Sync this worker's private document store with the shared text
+    // cache: (re)parse any text whose version moved, loading evicted or
+    // registered texts through the retry policy under this query's
+    // governor (so a cancel or deadline aborts the backoff).
+    for uri in shared.cache.uris() {
+        match shared.cache.ensure(&uri, &gov, &shared.retry) {
+            Ok((version, text)) => {
+                if doc_versions.get(&uri) != Some(&version) {
+                    match engine.bind_document(&uri, &text) {
+                        Ok(()) => {
+                            doc_versions.insert(uri.clone(), version);
+                        }
+                        Err(e) => {
+                            let _ = job.reply.send(Err(e));
+                            return None;
+                        }
+                    }
+                }
+            }
+            Err(e) => {
+                let _ = job.reply.send(Err(classify(e, Phase::Admit)));
+                return None;
+            }
+        }
+    }
+
+    if let Err(e) = xqr_xml::failpoint::check("service::dispatch") {
+        let _ = job.reply.send(Err(classify(e, Phase::Execute)));
+        return None;
+    }
+
+    // Breaker pre-check on the query-text shape: repeated prepare-time
+    // panics fast-fail here without re-parsing.
+    let text_shape = fnv1a(job.query.as_bytes()) ^ fnv1a(options.mode.label().as_bytes());
+    if let Err(e) = shared.breakers.admit(text_shape) {
+        let _ = job.reply.send(Err(classify(e, Phase::Admit)));
+        return None;
+    }
+
+    let t0 = Instant::now();
+    // The run-time breaker key, published by the closure once the plan
+    // exists so that a panic unwinding past the closure is still charged
+    // to the right shape (not the text shape, whose count every
+    // successful prepare resets).
+    let run_shape = std::cell::Cell::new(text_shape);
+    // Belt and braces: the engine isolates panics itself, but the worker
+    // thread must survive even a panic outside that boundary (prepare
+    // glue, serialization). The reply is sent *after* the unwind edge.
+    let outcome = catch_unwind(AssertUnwindSafe(
+        || -> Result<(String, usize), (Option<u64>, EngineError)> {
+            let prepared = engine
+                .prepare(&job.query, &options)
+                .map_err(|e| (Some(text_shape), e))?;
+            shared.breakers.record(text_shape, false);
+            // The run-time breaker key: the normalized plan rendering, so
+            // syntactic variants compiling to the same plan share one
+            // breaker. NoAlgebra has no plan; the text shape stands in.
+            let shape = prepared
+                .compiled()
+                .map(|m| fnv1a(pretty::indented(&m.body).as_bytes()))
+                .unwrap_or(text_shape);
+            run_shape.set(shape);
+            if shape != text_shape {
+                if let Err(e) = shared.breakers.admit(shape) {
+                    return Err((None, classify(e, Phase::Admit)));
+                }
+            }
+            let seq = prepared
+                .run_cancellable(engine, job.token.clone())
+                .map_err(|e| (Some(shape), e))?;
+            let xml = xqr_xml::serialize_sequence(&seq);
+            shared.breakers.record(shape, false);
+            Ok((xml, seq.len()))
+        },
+    ));
+    let run_nanos = t0.elapsed().as_nanos() as u64;
+    let reply = match outcome {
+        Ok(Ok((xml, rows))) => Ok(ServiceOutput {
+            xml,
+            rows,
+            queue_nanos,
+            run_nanos,
+        }),
+        Ok(Err((record_shape, e))) => {
+            // Only engine-fault failures feed the breaker; budget trips
+            // and dynamic errors are the query's own problem. A `None`
+            // shape marks a breaker fast-fail (no outcome to record).
+            if let Some(shape) = record_shape {
+                shared
+                    .breakers
+                    .record(shape, matches!(e, EngineError::Internal { .. }));
+            }
+            Err(e)
+        }
+        Err(p) => {
+            shared.breakers.record(run_shape.get(), true);
+            Err(EngineError::Internal {
+                phase: Phase::Execute,
+                plan_context: "service worker".to_string(),
+                message: panic_message(p),
+            })
+        }
+    };
+    let _ = job.reply.send(reply);
+    Some(run_nanos)
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xqr_xml::limits::{ERR_CANCELLED as CANCELLED, ERR_DEADLINE as DEADLINE};
+
+    fn small_service(workers: usize, queue: usize) -> QueryService {
+        QueryService::new(ServiceConfig {
+            workers,
+            queue_capacity: queue,
+            ..ServiceConfig::default()
+        })
+    }
+
+    /// Blocks the single worker deterministically: the worker's document
+    /// sync stalls in the loader until a permit is sent. Returns the
+    /// permit sender.
+    fn block_worker_on_doc(svc: &QueryService) -> Sender<()> {
+        let (permit_tx, permit_rx) = mpsc::channel::<()>();
+        let permit_rx = Mutex::new(permit_rx);
+        svc.register_document("gate.xml");
+        svc.set_loader(move |_| {
+            let _ = permit_rx.lock().unwrap().recv();
+            Ok("<gate/>".to_string())
+        });
+        permit_tx
+    }
+
+    fn spin_until(deadline: Duration, mut cond: impl FnMut() -> bool) {
+        let t0 = Instant::now();
+        while !cond() {
+            assert!(t0.elapsed() < deadline, "condition never became true");
+            std::thread::yield_now();
+        }
+    }
+
+    #[test]
+    fn roundtrip_with_shared_documents() {
+        let svc = small_service(2, 8);
+        svc.bind_document("cat.xml", "<items><item id='1'/><item id='2'/></items>");
+        let out = svc
+            .run(QueryRequest::new("count(doc('cat.xml')//item)"))
+            .unwrap();
+        assert_eq!(out.xml, "2");
+        assert_eq!(out.rows, 1);
+        // Rebinding bumps the version; workers re-parse on next dispatch.
+        svc.bind_document("cat.xml", "<items><item/></items>");
+        let out = svc
+            .run(QueryRequest::new("count(doc('cat.xml')//item)"))
+            .unwrap();
+        assert_eq!(out.xml, "1");
+    }
+
+    #[test]
+    fn many_submissions_one_worker_stay_fifo_correct() {
+        let svc = small_service(1, 64);
+        let tickets: Vec<_> = (0..20)
+            .map(|i| svc.submit(QueryRequest::new(format!("{i} + 1"))).unwrap())
+            .collect();
+        for (i, t) in tickets.into_iter().enumerate() {
+            assert_eq!(t.wait().unwrap().xml, (i + 1).to_string());
+        }
+    }
+
+    #[test]
+    fn queue_overflow_is_shed_with_xqrg0007() {
+        let svc = small_service(1, 1);
+        let release = block_worker_on_doc(&svc);
+        let t1 = svc.submit(QueryRequest::new("1")).unwrap();
+        // Wait for the worker to take t1 off the queue, then fill the
+        // single queue slot.
+        spin_until(Duration::from_secs(10), || svc.queue_depth() == 0);
+        let t2 = svc.submit(QueryRequest::new("2")).unwrap();
+        let shed = svc.submit(QueryRequest::new("3")).unwrap_err();
+        match shed {
+            EngineError::LimitExceeded {
+                code,
+                phase,
+                budget,
+                ..
+            } => {
+                assert_eq!(code, ERR_OVERLOADED);
+                assert_eq!(phase, Phase::Admit);
+                assert_eq!(budget, BudgetKind::Overloaded);
+            }
+            other => panic!("expected overload shed, got {other}"),
+        }
+        release.send(()).unwrap();
+        assert_eq!(t1.wait().unwrap().xml, "1");
+        assert_eq!(t2.wait().unwrap().xml, "2");
+    }
+
+    #[test]
+    fn oversized_reservation_is_shed_immediately() {
+        let svc = QueryService::new(ServiceConfig {
+            workers: 1,
+            memory_budget: 1 << 20,
+            ..ServiceConfig::default()
+        });
+        let req = QueryRequest::new("1").with_options(
+            CompileOptions::default().limits(Limits::default().with_max_bytes(2 << 20)),
+        );
+        let err = svc.submit(req).unwrap_err();
+        assert_eq!(err.code(), Some(ERR_OVERLOADED));
+    }
+
+    #[test]
+    fn deadline_expired_in_queue_fails_at_admit() {
+        let svc = small_service(1, 8);
+        let release = block_worker_on_doc(&svc);
+        let t1 = svc.submit(QueryRequest::new("1")).unwrap();
+        spin_until(Duration::from_secs(10), || svc.queue_depth() == 0);
+        let req = QueryRequest::new("2").with_options(
+            CompileOptions::default()
+                .limits(Limits::default().with_deadline(Duration::from_millis(5))),
+        );
+        let t2 = svc.submit(req).unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        release.send(()).unwrap();
+        assert_eq!(t1.wait().unwrap().xml, "1");
+        let err = t2.wait().unwrap_err();
+        assert_eq!(err.code(), Some(DEADLINE), "{err}");
+        match err {
+            EngineError::LimitExceeded { phase, .. } => assert_eq!(phase, Phase::Admit),
+            other => panic!("expected limit error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn cancelling_a_queued_query_fails_with_xqrg0002() {
+        let svc = small_service(1, 8);
+        let release = block_worker_on_doc(&svc);
+        let t1 = svc.submit(QueryRequest::new("1")).unwrap();
+        spin_until(Duration::from_secs(10), || svc.queue_depth() == 0);
+        let t2 = svc.submit(QueryRequest::new("2")).unwrap();
+        t2.cancel();
+        release.send(()).unwrap();
+        assert_eq!(t1.wait().unwrap().xml, "1");
+        assert_eq!(t2.wait().unwrap_err().code(), Some(CANCELLED));
+    }
+
+    #[test]
+    fn shutdown_fails_queued_queries_and_joins_workers() {
+        let svc = small_service(1, 8);
+        let release = block_worker_on_doc(&svc);
+        let t1 = svc.submit(QueryRequest::new("1")).unwrap();
+        spin_until(Duration::from_secs(10), || svc.queue_depth() == 0);
+        let t2 = svc.submit(QueryRequest::new("2")).unwrap();
+        // The worker is stalled on t1's document load, so t2 is still
+        // queued when the drop below drains it. The helper releases the
+        // worker only after t2's drain reply proves the drain happened,
+        // then the join inside drop can complete.
+        let helper = std::thread::spawn(move || {
+            let err = t2.wait().unwrap_err();
+            release.send(()).unwrap();
+            err
+        });
+        drop(svc); // t1 in flight: completes; t2 queued: drained
+        assert_eq!(t1.wait().unwrap().xml, "1");
+        assert_eq!(helper.join().unwrap().code(), Some(CANCELLED));
+    }
+
+    #[test]
+    fn reservations_are_released_after_each_query() {
+        let svc = small_service(2, 8);
+        for _ in 0..4 {
+            svc.run(QueryRequest::new("sum(1 to 100)")).unwrap();
+        }
+        // The reply is sent before the worker returns its reservation,
+        // so give the bookkeeping a beat.
+        spin_until(Duration::from_secs(10), || svc.reserved_bytes() == 0);
+        assert_eq!(svc.queue_depth(), 0);
+    }
+
+    #[test]
+    fn syntax_and_dynamic_errors_pass_through() {
+        let svc = small_service(1, 8);
+        assert!(matches!(
+            svc.run(QueryRequest::new("for $x in")),
+            Err(EngineError::Syntax(_))
+        ));
+        assert!(matches!(
+            svc.run(QueryRequest::new("exactly-one(())")),
+            Err(EngineError::Dynamic(_))
+        ));
+        // The worker survived both failures.
+        assert_eq!(svc.run(QueryRequest::new("1 + 1")).unwrap().xml, "2");
+    }
+
+    #[test]
+    fn per_worker_engine_hook_runs() {
+        let svc = QueryService::new(ServiceConfig {
+            workers: 1,
+            configure_engine: Some(Arc::new(|e: &mut Engine| {
+                e.bind_variable("n", xqr_xml::Sequence::integers([21]));
+            })),
+            ..ServiceConfig::default()
+        });
+        let out = svc
+            .run(QueryRequest::new("declare variable $n external; $n * 2"))
+            .unwrap();
+        assert_eq!(out.xml, "42");
+    }
+}

@@ -42,8 +42,10 @@
 //!
 //! ## Transient-failure handling
 //!
-//! Every I/O call goes through [`retry_io`]: 3 attempts with capped
-//! exponential backoff (1 ms, 2 ms), a failpoint evaluation per attempt
+//! Every I/O call goes through [`retry_io`], a thin adapter over the
+//! shared `xqr_xml::retry` policy: 3 attempts with capped jittered
+//! backoff whose sleeps are trimmed to the governor's remaining
+//! deadline, a failpoint evaluation per attempt
 //! (`spill::open`, `spill::write`, `spill::read`), and `XQRG0005` when
 //! the attempts are exhausted. The engine treats `XQRG0005` as a signal
 //! to retry the query once with spilling disabled (the PR 2 fallback
@@ -63,7 +65,6 @@ use std::time::Instant;
 use xqr_core::algebra::{Field, OrderSpecPlan, Plan};
 use xqr_xml::failpoint;
 use xqr_xml::limits::ERR_SPILL_IO;
-use xqr_xml::metrics::metrics;
 use xqr_xml::{
     AtomicType, AtomicValue, ByteCharge, Date, DateTime, Decimal, Document, Governor, Item,
     NodeHandle, NodeId, QName, Sequence, Time, XmlError,
@@ -95,8 +96,9 @@ fn working_budget(gov: &Governor) -> u64 {
     }
 }
 
-/// Retries a spill I/O operation up to 3 times with capped exponential
-/// backoff, evaluating the `site` failpoint before each attempt (an
+/// Retries a spill I/O operation through the shared transient-retry
+/// policy (`xqr_xml::retry`): 3 attempts, capped jittered backoff with
+/// governor-deadline-aware sleeps, a failpoint evaluation per attempt (an
 /// injected `XQRFP01` counts as a transient failure and consumes an
 /// attempt). Retries are counted into the process metrics; exhaustion
 /// surfaces as `XQRG0005`. The closure receives the attempt index so it
@@ -104,34 +106,16 @@ fn working_budget(gov: &Governor) -> u64 {
 pub(crate) fn retry_io<T>(
     site: &str,
     gov: &Governor,
-    mut f: impl FnMut(u32) -> std::io::Result<T>,
+    f: impl FnMut(u32) -> std::io::Result<T>,
 ) -> xqr_xml::Result<T> {
-    const ATTEMPTS: u32 = 3;
-    let mut last = String::new();
-    for attempt in 0..ATTEMPTS {
-        if attempt > 0 {
-            // Don't let backoff mask a cancellation or deadline.
-            gov.check_time()?;
-            metrics().record_spill_io_retry();
-            std::thread::sleep(std::time::Duration::from_millis(1 << (attempt - 1)));
-        }
-        match failpoint::check(site) {
-            Ok(()) => {}
-            Err(e) if e.code == failpoint::ERR_INJECTED => {
-                last = e.message;
-                continue;
-            }
-            Err(e) => return Err(e),
-        }
-        match f(attempt) {
-            Ok(v) => return Ok(v),
-            Err(e) => last = e.to_string(),
-        }
-    }
-    Err(XmlError::new(
-        ERR_SPILL_IO,
-        format!("spill I/O failed after {ATTEMPTS} attempts at {site}: {last}"),
-    ))
+    xqr_xml::retry::retry_transient(site, gov, &xqr_xml::RetryPolicy::default(), f).map_err(|e| {
+        e.into_xml_error(|attempts, last| {
+            XmlError::new(
+                ERR_SPILL_IO,
+                format!("spill I/O failed after {attempts} attempts at {site}: {last}"),
+            )
+        })
+    })
 }
 
 // ===== Spill directory and files ===========================================

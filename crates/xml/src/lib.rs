@@ -29,6 +29,7 @@ pub mod metrics;
 pub mod node;
 pub mod parse;
 pub mod qname;
+pub mod retry;
 pub mod serialize;
 pub mod temporal;
 
@@ -42,6 +43,7 @@ pub use metrics::{metrics, MetricsRegistry, MetricsSnapshot};
 pub use node::{Document, NodeHandle, NodeId, NodeKind};
 pub use parse::{parse_document, ParseError, ParseOptions};
 pub use qname::QName;
+pub use retry::{retry_transient, RetryError, RetryPolicy};
 pub use serialize::serialize_sequence;
 pub use temporal::{Date, DateTime, Duration, Time};
 

@@ -22,6 +22,8 @@
 //! | `XQRG0004` | memory (byte) budget exceeded (spilling disabled) |
 //! | `XQRG0005` | spill I/O failed after retries |
 //! | `XQRG0006` | spill disk budget exceeded |
+//! | `XQRG0007` | shed by the query service's admission controller |
+//! | `XQRG0008` | fast-failed by an open per-shape circuit breaker |
 //! | `XQRT0005` | function recursion depth exceeded (pre-existing code) |
 //!
 //! With spilling **enabled** (the default), the byte budget degrades
@@ -60,6 +62,14 @@ pub const ERR_BYTES: &str = "XQRG0004";
 pub const ERR_SPILL_IO: &str = "XQRG0005";
 /// Spill disk budget (`max_spill_bytes`) exceeded.
 pub const ERR_SPILL_BUDGET: &str = "XQRG0006";
+/// The query service's admission controller shed the request (overload:
+/// queue full, aggregate memory over-committed, or the remaining deadline
+/// cannot cover the expected queue wait).
+pub const ERR_OVERLOADED: &str = "XQRG0007";
+/// The per-query-shape circuit breaker is open: this plan shape has
+/// repeatedly failed with internal errors and is fast-failed until the
+/// cooldown half-opens the breaker.
+pub const ERR_BREAKER: &str = "XQRG0008";
 /// Function recursion depth exceeded (kept from the pre-governor guard so
 /// existing callers observe the same code).
 pub const ERR_RECURSION: &str = "XQRT0005";
@@ -503,6 +513,15 @@ impl Governor {
         self.0.spill_bytes_total.get()
     }
 
+    /// Time left until the wall-clock deadline (`None` when no deadline is
+    /// configured; zero once it has passed). Retry backoff and admission
+    /// queues consult this so waiting never overshoots the budget.
+    pub fn remaining_deadline(&self) -> Option<Duration> {
+        self.0
+            .deadline
+            .map(|dl| dl.saturating_duration_since(Instant::now()))
+    }
+
     /// Forces a clock/cancel check regardless of the tick phase. Cheap
     /// enough for per-element use in the document parser.
     pub fn check_time(&self) -> crate::Result<()> {
@@ -656,6 +675,8 @@ pub fn is_limit_code(code: &str) -> bool {
             | ERR_BYTES
             | ERR_SPILL_IO
             | ERR_SPILL_BUDGET
+            | ERR_OVERLOADED
+            | ERR_BREAKER
             | ERR_RECURSION
     )
 }

@@ -35,7 +35,19 @@ pub struct MetricsRegistry {
     fallbacks_taken: AtomicU64,
     queries_spilled: AtomicU64,
     spill_io_retries: AtomicU64,
+    transient_retries: AtomicU64,
     failpoint_trips: AtomicU64,
+    service_admitted: AtomicU64,
+    service_shed: AtomicU64,
+    breaker_trips: AtomicU64,
+    breaker_fast_fails: AtomicU64,
+    doc_cache_hits: AtomicU64,
+    doc_cache_misses: AtomicU64,
+    doc_cache_evictions: AtomicU64,
+    /// Gauge, not a counter: the number of requests queued in query
+    /// services right now (incremented on enqueue, decremented on
+    /// dispatch/drain).
+    service_queue_depth: AtomicU64,
     struct_index_builds: AtomicU64,
     postings_builds: AtomicU64,
     postings_entries: AtomicU64,
@@ -57,7 +69,16 @@ pub fn metrics() -> &'static MetricsRegistry {
         fallbacks_taken: AtomicU64::new(0),
         queries_spilled: AtomicU64::new(0),
         spill_io_retries: AtomicU64::new(0),
+        transient_retries: AtomicU64::new(0),
         failpoint_trips: AtomicU64::new(0),
+        service_admitted: AtomicU64::new(0),
+        service_shed: AtomicU64::new(0),
+        breaker_trips: AtomicU64::new(0),
+        breaker_fast_fails: AtomicU64::new(0),
+        doc_cache_hits: AtomicU64::new(0),
+        doc_cache_misses: AtomicU64::new(0),
+        doc_cache_evictions: AtomicU64::new(0),
+        service_queue_depth: AtomicU64::new(0),
         struct_index_builds: AtomicU64::new(0),
         postings_builds: AtomicU64::new(0),
         postings_entries: AtomicU64::new(0),
@@ -112,9 +133,65 @@ impl MetricsRegistry {
         self.spill_io_retries.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Any transient operation (spill I/O, document load) was retried
+    /// through `xqr_xml::retry` (one per retry attempt).
+    pub fn record_transient_retry(&self) {
+        self.transient_retries.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// An armed failpoint fired (injected error, panic, or delay).
     pub fn record_failpoint_trip(&self) {
         self.failpoint_trips.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The query service admitted a submission (queued or dispatched).
+    pub fn record_service_admitted(&self) {
+        self.service_admitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The admission controller shed a submission (`XQRG0007`).
+    pub fn record_service_shed(&self) {
+        self.service_shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A per-shape circuit breaker transitioned closed → open.
+    pub fn record_breaker_trip(&self) {
+        self.breaker_trips.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// An open circuit breaker fast-failed a submission (`XQRG0008`).
+    pub fn record_breaker_fast_fail(&self) {
+        self.breaker_fast_fails.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Shared document-text cache hit (raw bytes served without a reload).
+    pub fn record_doc_cache_hit(&self) {
+        self.doc_cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Shared document-text cache miss (loader invoked).
+    pub fn record_doc_cache_miss(&self) {
+        self.doc_cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A cached document text was evicted to fit the cache byte budget.
+    pub fn record_doc_cache_eviction(&self) {
+        self.doc_cache_evictions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A request entered a service queue (gauge increment).
+    pub fn record_queue_enter(&self) {
+        self.service_queue_depth.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A request left a service queue by dispatch or drain (gauge
+    /// decrement; saturates at zero defensively).
+    pub fn record_queue_leave(&self) {
+        let _ = self
+            .service_queue_depth
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(1))
+            });
     }
 
     /// A per-document structural index was derived (node.rs, first
@@ -143,7 +220,16 @@ impl MetricsRegistry {
             fallbacks_taken: self.fallbacks_taken.load(Ordering::Relaxed),
             queries_spilled: self.queries_spilled.load(Ordering::Relaxed),
             spill_io_retries: self.spill_io_retries.load(Ordering::Relaxed),
+            transient_retries: self.transient_retries.load(Ordering::Relaxed),
             failpoint_trips: self.failpoint_trips.load(Ordering::Relaxed),
+            service_admitted: self.service_admitted.load(Ordering::Relaxed),
+            service_shed: self.service_shed.load(Ordering::Relaxed),
+            breaker_trips: self.breaker_trips.load(Ordering::Relaxed),
+            breaker_fast_fails: self.breaker_fast_fails.load(Ordering::Relaxed),
+            doc_cache_hits: self.doc_cache_hits.load(Ordering::Relaxed),
+            doc_cache_misses: self.doc_cache_misses.load(Ordering::Relaxed),
+            doc_cache_evictions: self.doc_cache_evictions.load(Ordering::Relaxed),
+            service_queue_depth: self.service_queue_depth.load(Ordering::Relaxed),
             struct_index_builds: self.struct_index_builds.load(Ordering::Relaxed),
             postings_builds: self.postings_builds.load(Ordering::Relaxed),
             postings_entries: self.postings_entries.load(Ordering::Relaxed),
@@ -170,7 +256,17 @@ pub struct MetricsSnapshot {
     pub fallbacks_taken: u64,
     pub queries_spilled: u64,
     pub spill_io_retries: u64,
+    pub transient_retries: u64,
     pub failpoint_trips: u64,
+    pub service_admitted: u64,
+    pub service_shed: u64,
+    pub breaker_trips: u64,
+    pub breaker_fast_fails: u64,
+    pub doc_cache_hits: u64,
+    pub doc_cache_misses: u64,
+    pub doc_cache_evictions: u64,
+    /// Gauge: queued requests at snapshot time, not a monotone counter.
+    pub service_queue_depth: u64,
     pub struct_index_builds: u64,
     pub postings_builds: u64,
     pub postings_entries: u64,
@@ -196,7 +292,16 @@ impl MetricsSnapshot {
         let _ = writeln!(s, "fallbacks_taken       {}", self.fallbacks_taken);
         let _ = writeln!(s, "queries_spilled       {}", self.queries_spilled);
         let _ = writeln!(s, "spill_io_retries      {}", self.spill_io_retries);
+        let _ = writeln!(s, "transient_retries     {}", self.transient_retries);
         let _ = writeln!(s, "failpoint_trips       {}", self.failpoint_trips);
+        let _ = writeln!(s, "service_admitted      {}", self.service_admitted);
+        let _ = writeln!(s, "service_shed          {}", self.service_shed);
+        let _ = writeln!(s, "breaker_trips         {}", self.breaker_trips);
+        let _ = writeln!(s, "breaker_fast_fails    {}", self.breaker_fast_fails);
+        let _ = writeln!(s, "doc_cache_hits        {}", self.doc_cache_hits);
+        let _ = writeln!(s, "doc_cache_misses      {}", self.doc_cache_misses);
+        let _ = writeln!(s, "doc_cache_evictions   {}", self.doc_cache_evictions);
+        let _ = writeln!(s, "service_queue_depth   {}", self.service_queue_depth);
         let _ = writeln!(s, "struct_index_builds   {}", self.struct_index_builds);
         let _ = writeln!(s, "postings_builds       {}", self.postings_builds);
         let _ = writeln!(s, "postings_entries      {}", self.postings_entries);
@@ -226,7 +331,10 @@ impl MetricsSnapshot {
             s,
             "\"queries_started\":{},\"queries_ok\":{},\"queries_failed\":{},\
              \"fallbacks_taken\":{},\"queries_spilled\":{},\"spill_io_retries\":{},\
-             \"failpoint_trips\":{},\"struct_index_builds\":{},\"postings_builds\":{},\
+             \"transient_retries\":{},\"failpoint_trips\":{},\"service_admitted\":{},\
+             \"service_shed\":{},\"breaker_trips\":{},\"breaker_fast_fails\":{},\
+             \"doc_cache_hits\":{},\"doc_cache_misses\":{},\"doc_cache_evictions\":{},\
+             \"service_queue_depth\":{},\"struct_index_builds\":{},\"postings_builds\":{},\
              \"postings_entries\":{},\"documents_parsed\":{},\"query_nanos_total\":{}",
             self.queries_started,
             self.queries_ok,
@@ -234,7 +342,16 @@ impl MetricsSnapshot {
             self.fallbacks_taken,
             self.queries_spilled,
             self.spill_io_retries,
+            self.transient_retries,
             self.failpoint_trips,
+            self.service_admitted,
+            self.service_shed,
+            self.breaker_trips,
+            self.breaker_fast_fails,
+            self.doc_cache_hits,
+            self.doc_cache_misses,
+            self.doc_cache_evictions,
+            self.service_queue_depth,
             self.struct_index_builds,
             self.postings_builds,
             self.postings_entries,
@@ -308,6 +425,42 @@ mod tests {
         assert!(after.postings_entries >= before.postings_entries + 42);
         assert!(after.error_count("XQRG0003") >= before.error_count("XQRG0003") + 1);
         assert!(after.duration_buckets[10] >= before.duration_buckets[10] + 1);
+    }
+
+    #[test]
+    fn service_counters_are_monotone_deltas() {
+        let before = metrics().snapshot();
+        metrics().record_transient_retry();
+        metrics().record_service_admitted();
+        metrics().record_service_shed();
+        metrics().record_breaker_trip();
+        metrics().record_breaker_fast_fail();
+        metrics().record_doc_cache_hit();
+        metrics().record_doc_cache_miss();
+        metrics().record_doc_cache_eviction();
+        let after = metrics().snapshot();
+        assert!(after.transient_retries >= before.transient_retries + 1);
+        assert!(after.service_admitted >= before.service_admitted + 1);
+        assert!(after.service_shed >= before.service_shed + 1);
+        assert!(after.breaker_trips >= before.breaker_trips + 1);
+        assert!(after.breaker_fast_fails >= before.breaker_fast_fails + 1);
+        assert!(after.doc_cache_hits >= before.doc_cache_hits + 1);
+        assert!(after.doc_cache_misses >= before.doc_cache_misses + 1);
+        assert!(after.doc_cache_evictions >= before.doc_cache_evictions + 1);
+    }
+
+    #[test]
+    fn queue_depth_gauge_tracks_enter_and_leave() {
+        // The gauge is global; other tests do not touch it (services in
+        // integration tests run in separate processes), so enter/leave
+        // pairs net to the starting value.
+        let base = metrics().snapshot().service_queue_depth;
+        metrics().record_queue_enter();
+        metrics().record_queue_enter();
+        assert!(metrics().snapshot().service_queue_depth >= base + 2);
+        metrics().record_queue_leave();
+        metrics().record_queue_leave();
+        assert_eq!(metrics().snapshot().service_queue_depth, base);
     }
 
     #[test]

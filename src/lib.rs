@@ -19,7 +19,8 @@ pub use xqr_xmark as xmark;
 pub use xqr_xml as xml;
 
 pub use xqr_engine::{
-    BudgetKind, CancellationToken, CollectingTracer, CompileOptions, Engine, EngineError,
-    ExecutionMode, JoinAlgorithm, Limits, MetricsSnapshot, NoopTracer, Phase, PreparedQuery,
-    ProfileNode, QueryProfile, StderrTracer, TraceEvent, Tracer,
+    BreakerConfig, BudgetKind, CancellationToken, CollectingTracer, CompileOptions, Engine,
+    EngineError, ExecutionMode, JoinAlgorithm, Limits, MetricsSnapshot, NoopTracer, Phase,
+    PreparedQuery, ProfileNode, QueryProfile, QueryRequest, QueryService, QueryTicket, RetryPolicy,
+    ServiceConfig, ServiceOutput, StderrTracer, TraceEvent, Tracer,
 };
