@@ -36,9 +36,30 @@ pub struct CompiledFunction {
 #[derive(Clone, Debug)]
 pub struct CompiledModule {
     pub functions: HashMap<QName, CompiledFunction>,
-    /// Globals in declaration order (`None` = external).
-    pub globals: Vec<(QName, Option<Plan>)>,
+    /// Globals in declaration order (externals are the plan's parameters).
+    pub globals: Vec<CompiledGlobal>,
     pub body: Plan,
+}
+
+/// One compiled global variable.
+///
+/// External globals are the compiled plan's *parameters*: `plan` (when
+/// present) compiles the declared default value, and the actual argument
+/// bound at execution time is checked against `as_type`. For ordinary
+/// globals and lifted constants `plan` is the initializer.
+#[derive(Clone, Debug)]
+pub struct CompiledGlobal {
+    pub name: QName,
+    pub as_type: Option<xqr_types::SequenceType>,
+    pub external: bool,
+    pub plan: Option<Plan>,
+}
+
+impl CompiledModule {
+    /// The module's external parameters (name, declared type, has-default).
+    pub fn parameters(&self) -> impl Iterator<Item = &CompiledGlobal> {
+        self.globals.iter().filter(|g| g.external)
+    }
 }
 
 /// Compiles a normalized module.
@@ -48,10 +69,15 @@ pub fn compile_module(m: &CoreModule) -> CompiledModule {
     for f in &m.functions {
         functions.insert(f.name.clone(), compile_function(&mut c, f));
     }
-    let mut globals: Vec<(QName, Option<Plan>)> = m
+    let mut globals: Vec<CompiledGlobal> = m
         .variables
         .iter()
-        .map(|(q, e)| (q.clone(), e.as_ref().map(|e| c.expr(e, &Env::empty()))))
+        .map(|g| CompiledGlobal {
+            name: g.name.clone(),
+            as_type: g.as_type.clone(),
+            external: g.external,
+            plan: g.value.as_ref().map(|e| c.expr(e, &Env::empty())),
+        })
         .collect();
     // Constant lifting applies only to the main body: leading `let` clauses
     // of the top-level FLWOR whose values reference no tuple fields (e.g.
@@ -61,7 +87,12 @@ pub fn compile_module(m: &CoreModule) -> CompiledModule {
     c.allow_constant_lift = true;
     let body = c.expr(&m.body, &Env::empty());
     c.allow_constant_lift = false;
-    globals.extend(c.lifted.drain(..).map(|(q, p)| (q, Some(p))));
+    globals.extend(c.lifted.drain(..).map(|(q, p)| CompiledGlobal {
+        name: q,
+        as_type: None,
+        external: false,
+        plan: Some(p),
+    }));
     CompiledModule {
         functions,
         globals,

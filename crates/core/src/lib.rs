@@ -18,6 +18,7 @@
 //!   group-by)*, *(remove duplicate null)*, *(insert outer-join)*.
 
 pub mod algebra;
+pub mod canon;
 pub mod compile;
 pub mod fields;
 pub mod fuse;
@@ -27,7 +28,8 @@ pub mod rewrite;
 pub mod trace;
 
 pub use algebra::{Field, NamePlan, Op, OrderSpecPlan, Plan};
-pub use compile::{compile_module, CompiledFunction, CompiledModule};
+pub use canon::{canonicalize_module, module_hash};
+pub use compile::{compile_module, CompiledFunction, CompiledGlobal, CompiledModule};
 pub use fields::{output_fields, used_input_fields, uses_input};
 pub use project::apply_document_projection;
 pub use rewrite::{

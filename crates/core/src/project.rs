@@ -38,8 +38,8 @@ pub fn apply_document_projection(m: &mut CompiledModule) -> usize {
     let doc_globals: Vec<QName> = m
         .globals
         .iter()
-        .filter(|(_, p)| matches!(p, Some(plan) if matches!(plan.op, Op::Parse { .. })))
-        .map(|(q, _)| q.clone())
+        .filter(|g| matches!(&g.plan, Some(plan) if matches!(plan.op, Op::Parse { .. })))
+        .map(|g| g.name.clone())
         .collect();
     if doc_globals.is_empty() {
         return 0;
@@ -50,8 +50,8 @@ pub fn apply_document_projection(m: &mut CompiledModule) -> usize {
     for f in m.functions.values() {
         all_plans.push(&f.body);
     }
-    for (_, g) in &m.globals {
-        if let Some(p) = g {
+    for g in &m.globals {
+        if let Some(p) = &g.plan {
             all_plans.push(p);
         }
     }
@@ -68,14 +68,14 @@ pub fn apply_document_projection(m: &mut CompiledModule) -> usize {
     }
     // Install the projections.
     let mut installed = 0;
-    for (name, global) in m.globals.iter_mut() {
-        let Some(Some(paths)) = usages.get(name) else {
+    for global in m.globals.iter_mut() {
+        let Some(Some(paths)) = usages.get(&global.name) else {
             continue;
         };
         if paths.is_empty() {
             continue; // document never navigated (or unused): leave it.
         }
-        if let Some(plan) = global {
+        if let Some(plan) = &mut global.plan {
             if matches!(plan.op, Op::Parse { .. }) {
                 let parse = std::mem::replace(plan, Plan::new(Op::Empty));
                 *plan = Plan::new(Op::TreeProject {
@@ -195,7 +195,7 @@ mod tests {
     }
 
     fn projected_global(m: &CompiledModule) -> Option<&Plan> {
-        m.globals.iter().find_map(|(_, g)| match g {
+        m.globals.iter().find_map(|g| match &g.plan {
             Some(p) if matches!(p.op, Op::TreeProject { .. }) => Some(p),
             _ => None,
         })

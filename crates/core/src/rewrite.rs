@@ -127,8 +127,8 @@ pub fn rewrite_module_with(m: &mut CompiledModule, rules: RuleConfig) -> Rewrite
     for f in functions {
         fixpoint(&mut f.body, &mut ctx, &mut stats);
     }
-    for (_, g) in m.globals.iter_mut() {
-        if let Some(p) = g {
+    for g in m.globals.iter_mut() {
+        if let Some(p) = &mut g.plan {
             fixpoint(p, &mut ctx, &mut stats);
         }
     }
@@ -154,8 +154,8 @@ pub fn rewrite_module_traced(m: &mut CompiledModule, rules: RuleConfig) -> Rewri
     for f in functions {
         fixpoint(&mut f.body, &mut ctx, &mut stats);
     }
-    for (_, g) in m.globals.iter_mut() {
-        if let Some(p) = g {
+    for g in m.globals.iter_mut() {
+        if let Some(p) = &mut g.plan {
             fixpoint(p, &mut ctx, &mut stats);
         }
     }

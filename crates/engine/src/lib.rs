@@ -31,6 +31,7 @@
 
 pub mod breaker;
 pub mod doccache;
+pub mod plancache;
 pub mod service;
 
 use std::cell::RefCell;
@@ -63,6 +64,7 @@ pub use xqr_xml::{CancellationToken, Limits, MetricsSnapshot, RetryPolicy};
 
 pub use breaker::{BreakerConfig, CircuitBreakers};
 pub use doccache::DocTextCache;
+pub use plancache::{PlanCache, PlanCacheConfig};
 pub use service::{QueryRequest, QueryService, QueryTicket, ServiceConfig, ServiceOutput};
 
 /// How a prepared query executes.
@@ -401,6 +403,9 @@ pub struct Engine {
     /// Receiver of phase/rule trace events; `None` skips event
     /// construction entirely.
     tracer: Option<Rc<dyn Tracer>>,
+    /// The plan cache behind [`Engine::prepare_cached`] (plain
+    /// [`Engine::prepare`] never consults it).
+    plan_cache: RefCell<PlanCache>,
 }
 
 impl Engine {
@@ -540,9 +545,11 @@ impl Engine {
         if mode == ExecutionMode::NoAlgebra {
             return Ok(PreparedQuery {
                 mode,
-                core: Some(core),
+                core: Some(Rc::new(core)),
                 plan: None,
                 stats: None,
+                canonical_hash: None,
+                params: HashMap::new(),
                 materialize_all,
                 limits,
                 fallback,
@@ -604,11 +611,21 @@ impl Engine {
             }
             Some(stats)
         };
+        // Canonical normalization (deterministic field/constant renaming,
+        // commutative-operand ordering) runs last, so the plan that
+        // executes, renders in EXPLAIN, and keys the plan cache and the
+        // circuit breakers is the same canonical form.
+        let canonical_hash = isolate(Phase::Rewrite, "canonicalization", || {
+            xqr_core::canonicalize_module(&mut compiled);
+            xqr_core::module_hash(&compiled)
+        })?;
         Ok(PreparedQuery {
             mode,
             core: None,
-            plan: Some(compiled),
-            stats,
+            plan: Some(Rc::new(compiled)),
+            stats: stats.map(Rc::new),
+            canonical_hash: Some(canonical_hash),
+            params: HashMap::new(),
             materialize_all,
             limits,
             fallback,
@@ -617,6 +634,107 @@ impl Engine {
             last_profile: RefCell::new(None),
             scalar_kernels,
         })
+    }
+
+    /// Like [`Engine::prepare`], but consults (and fills) the engine's
+    /// plan cache: a repeat preparation of the same query shape skips
+    /// parse/normalize/compile/rewrite entirely and costs one hash lookup
+    /// plus an `Rc` clone. Records `plan_cache_hits`/`plan_cache_misses`
+    /// in the process metrics.
+    pub fn prepare_cached(
+        &self,
+        query: &str,
+        options: &CompileOptions,
+    ) -> Result<PreparedQuery, EngineError> {
+        let (prepared, hit) = self.prepare_cached_outcome(query, options)?;
+        if hit {
+            metrics().record_plan_cache_hit();
+        } else {
+            metrics().record_plan_cache_miss();
+        }
+        Ok(prepared)
+    }
+
+    /// [`Engine::prepare_cached`] without the metrics recording; returns
+    /// whether the plan came out of this engine's cache. The service uses
+    /// this to distinguish a true miss (shape never seen anywhere) from a
+    /// per-worker re-hydration of a shape the shared registry knows.
+    pub fn prepare_cached_outcome(
+        &self,
+        query: &str,
+        options: &CompileOptions,
+    ) -> Result<(PreparedQuery, bool), EngineError> {
+        xqr_xml::failpoint::check("engine::prepare").map_err(|e| classify(e, Phase::Parse))?;
+        let text_key = text_cache_key(query, options);
+        if let Some(cached) = self.plan_cache.borrow_mut().get(text_key) {
+            return Ok((self.rehydrate_prepared(&cached, options), true));
+        }
+        let prepared = self.prepare(query, options)?;
+        if !self.plan_cache.borrow().enabled() {
+            return Ok((prepared, false));
+        }
+        let estimated_bytes = prepared.estimated_bytes(query.len());
+        let cached = Rc::new(plancache::CachedPlan {
+            core: prepared.core.clone(),
+            plan: prepared.plan.clone(),
+            stats: prepared.stats.clone(),
+            canonical_hash: prepared
+                .canonical_hash
+                // NoAlgebra keeps no plan to canonicalize; the text key
+                // stands in as the entry identity.
+                .unwrap_or(text_key),
+            estimated_bytes,
+        });
+        // A syntactic variant may already be cached under the same
+        // canonical hash; adopt the shared entry so equal plans are
+        // stored (and counted) once.
+        let shared = self.plan_cache.borrow_mut().insert(text_key, cached);
+        Ok((self.rehydrate_prepared(&shared, options), false))
+    }
+
+    /// Builds a [`PreparedQuery`] from a cached artifact: the immutable
+    /// compiled plan is shared by `Rc`, the mutable execution state
+    /// (params, fallback note, profile) is fresh per instance.
+    fn rehydrate_prepared(
+        &self,
+        cached: &plancache::CachedPlan,
+        options: &CompileOptions,
+    ) -> PreparedQuery {
+        PreparedQuery {
+            mode: options.mode,
+            core: cached.core.clone(),
+            plan: cached.plan.clone(),
+            stats: cached.stats.clone(),
+            canonical_hash: cached.plan.is_some().then_some(cached.canonical_hash),
+            params: HashMap::new(),
+            materialize_all: options.materialize_all,
+            limits: options.limits.clone().or_else(|| self.limits.clone()),
+            fallback: options.fallback_to_materialized,
+            fallback_note: RefCell::new(None),
+            profile: options.profile,
+            last_profile: RefCell::new(None),
+            scalar_kernels: options.scalar_kernels,
+        }
+    }
+
+    /// Replaces the plan-cache configuration (and drops cached plans).
+    pub fn set_plan_cache_config(&mut self, cfg: PlanCacheConfig) {
+        *self.plan_cache.borrow_mut() = PlanCache::new(cfg);
+    }
+
+    /// Number of plans in this engine's cache.
+    pub fn plan_cache_len(&self) -> usize {
+        self.plan_cache.borrow().len()
+    }
+
+    /// Estimated bytes retained by this engine's plan cache.
+    pub fn plan_cache_bytes(&self) -> usize {
+        self.plan_cache.borrow().bytes()
+    }
+
+    /// Drops every cached plan (benchmarks use this for cold-cache runs).
+    pub fn clear_plan_cache(&self) {
+        self.plan_cache.borrow_mut().clear();
     }
 
     /// One-shot convenience: prepare + run with default options.
@@ -630,12 +748,43 @@ impl Engine {
     }
 }
 
-/// A prepared query, bound to an execution mode.
+/// The plan-cache text key: FNV over the query text plus every compile
+/// option that affects the resulting plan. Execution-only options
+/// (limits, materialization, profiling, kernels, fallback) are *not*
+/// keyed — they live on the `PreparedQuery`, not the cached plan.
+fn text_cache_key(query: &str, options: &CompileOptions) -> u64 {
+    let rules = options.rules.unwrap_or_default();
+    let fingerprint = [
+        options.mode as u8,
+        u8::from(options.projection),
+        u8::from(rules.remove_map),
+        u8::from(rules.unnesting),
+        u8::from(rules.join_insertion),
+        u8::from(rules.push_rules),
+    ];
+    let mut h = xqr_core::canon::fnv1a(query.as_bytes());
+    for b in fingerprint {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A prepared query, bound to an execution mode. The compiled artifacts
+/// are shared (`Rc`) so cache hits re-use one plan across many prepared
+/// instances; per-run state (parameter bindings, profiles) is per
+/// instance.
 pub struct PreparedQuery {
     mode: ExecutionMode,
-    core: Option<CoreModule>,
-    plan: Option<CompiledModule>,
-    stats: Option<RewriteStats>,
+    core: Option<Rc<CoreModule>>,
+    plan: Option<Rc<CompiledModule>>,
+    stats: Option<Rc<RewriteStats>>,
+    /// Canonical plan hash (`None` for NoAlgebra, which keeps no plan).
+    canonical_hash: Option<u64>,
+    /// Per-instance external-variable bindings ([`PreparedQuery::bind_param`]),
+    /// overlaid over the engine-wide [`Engine::bind_variable`] bindings at
+    /// run time — one compiled plan serves many argument sets.
+    params: HashMap<QName, Sequence>,
     materialize_all: bool,
     /// Effective limits (query-level, else engine-wide) captured at
     /// prepare time.
@@ -659,7 +808,73 @@ impl PreparedQuery {
 
     /// Rewrite statistics (None for NoAlgebra / AlgebraNoOptim).
     pub fn rewrite_stats(&self) -> Option<&RewriteStats> {
-        self.stats.as_ref()
+        self.stats.as_deref()
+    }
+
+    /// The canonical plan hash ([`xqr_core::canon`]): identical for
+    /// queries whose plans normalize to the same form. `None` for
+    /// NoAlgebra, which compiles no plan.
+    pub fn canonical_hash(&self) -> Option<u64> {
+        self.canonical_hash
+    }
+
+    /// The query's external parameters: name, declared type (if any), and
+    /// whether a default value exists.
+    pub fn parameters(&self) -> Vec<(QName, Option<xqr_types::SequenceType>, bool)> {
+        match (&self.plan, &self.core) {
+            (Some(m), _) => m
+                .parameters()
+                .map(|g| (g.name.clone(), g.as_type.clone(), g.plan.is_some()))
+                .collect(),
+            (None, Some(core)) => core
+                .variables
+                .iter()
+                .filter(|g| g.external)
+                .map(|g| (g.name.clone(), g.as_type.clone(), g.value.is_some()))
+                .collect(),
+            (None, None) => Vec::new(),
+        }
+    }
+
+    /// Binds a value to a declared external variable for this prepared
+    /// instance (overriding any engine-wide [`Engine::bind_variable`]
+    /// binding of the same name). Fails with `XPST0008` when the query
+    /// declares no such external variable; a declared-type mismatch
+    /// surfaces as `XPTY0004` at run time.
+    pub fn bind_param(&mut self, name: &str, value: Sequence) -> Result<(), EngineError> {
+        let q = QName::local(name);
+        if !self.parameters().iter().any(|(n, _, _)| *n == q) {
+            return Err(EngineError::Dynamic(XmlError::new(
+                "XPST0008",
+                format!("query declares no external variable ${name}"),
+            )));
+        }
+        self.params.insert(q, value);
+        Ok(())
+    }
+
+    /// Removes every [`PreparedQuery::bind_param`] binding.
+    pub fn clear_params(&mut self) {
+        self.params.clear();
+    }
+
+    /// Estimated retained bytes of the compiled artifacts (for the plan
+    /// cache's byte budget): ~200 bytes per algebra op plus the query
+    /// text.
+    fn estimated_bytes(&self, query_len: usize) -> usize {
+        let mut ops = 0usize;
+        if let Some(m) = &self.plan {
+            ops += plan_size(&m.body);
+            for g in &m.globals {
+                if let Some(p) = &g.plan {
+                    ops += plan_size(p);
+                }
+            }
+            for f in m.functions.values() {
+                ops += plan_size(&f.body);
+            }
+        }
+        ops * 200 + query_len + 64
     }
 
     /// The optimized (or naive) algebra plan, in the paper's notation,
@@ -732,7 +947,7 @@ impl PreparedQuery {
 
     /// The compiled module (algebra modes only).
     pub fn compiled(&self) -> Option<&CompiledModule> {
-        self.plan.as_ref()
+        self.plan.as_deref()
     }
 
     /// Executes against the engine's documents/bindings under the
@@ -849,20 +1064,27 @@ impl PreparedQuery {
         let interp_profile =
             (self.profile && self.plan.is_none()).then(|| Rc::new(InterpProfile::default()));
         let t0 = self.profile.then(Instant::now);
+        // Engine-wide externals overlaid by this instance's bind_param
+        // bindings: the parameter-binding half of the prepared-query path.
+        let globals = || {
+            let mut g = engine.externals.clone();
+            g.extend(self.params.iter().map(|(k, v)| (k.clone(), v.clone())));
+            g
+        };
         let outcome = catch_unwind(AssertUnwindSafe(|| match self.mode {
             ExecutionMode::NoAlgebra => {
-                let core = self.core.as_ref().expect("core kept for NoAlgebra");
+                let core = self.core.as_deref().expect("core kept for NoAlgebra");
                 eval_core_module_profiled(
                     core,
                     &engine.schema,
                     &engine.documents,
-                    engine.externals.clone(),
+                    globals(),
                     governor.clone(),
                     interp_profile.clone(),
                 )
             }
             mode => {
-                let module = self.plan.as_ref().expect("compiled plan");
+                let module = self.plan.as_deref().expect("compiled plan");
                 let mut ctx = Ctx::new(
                     module,
                     &engine.schema,
@@ -871,7 +1093,7 @@ impl PreparedQuery {
                 );
                 ctx.pipelined = pipelined;
                 ctx.batched = !self.scalar_kernels;
-                ctx.globals = engine.externals.clone();
+                ctx.globals = globals();
                 ctx.governor = governor.clone();
                 ctx.profiler = profiler.clone();
                 xqr_runtime::eval::eval_module(&mut ctx)
@@ -1169,5 +1391,143 @@ mod tests {
                 .run(&e);
             assert!(r.is_err(), "{m:?}");
         }
+    }
+
+    #[test]
+    fn prepare_cached_hits_on_repeat() {
+        let e = Engine::new();
+        let opts = CompileOptions::mode(ExecutionMode::OptimHashJoin);
+        let q = "for $x in (1,2,3) where $x > 1 return $x * 10";
+        let (p1, hit1) = e.prepare_cached_outcome(q, &opts).unwrap();
+        assert!(!hit1, "first preparation is a miss");
+        assert_eq!(e.plan_cache_len(), 1);
+        let (p2, hit2) = e.prepare_cached_outcome(q, &opts).unwrap();
+        assert!(hit2, "repeat preparation hits the cache");
+        assert_eq!(p1.run_to_string(&e).unwrap(), p2.run_to_string(&e).unwrap());
+        assert_eq!(
+            p1.explain(),
+            p2.explain(),
+            "cached plan explains identically"
+        );
+        assert_eq!(p1.canonical_hash(), p2.canonical_hash());
+    }
+
+    #[test]
+    fn prepare_cached_dedups_renamed_queries() {
+        // Alpha-renamed queries canonicalize to the same plan: two text
+        // keys, one cache entry, equal canonical hashes.
+        let e = Engine::new();
+        let opts = CompileOptions::mode(ExecutionMode::OptimHashJoin);
+        let a = e
+            .prepare_cached("for $x in (1,2,3) where $x > 1 return $x * 10", &opts)
+            .unwrap();
+        let b = e
+            .prepare_cached("for $y in (1,2,3) where $y > 1 return $y * 10", &opts)
+            .unwrap();
+        assert_eq!(a.canonical_hash(), b.canonical_hash());
+        assert_eq!(e.plan_cache_len(), 1, "variants share one entry");
+    }
+
+    #[test]
+    fn cache_keys_by_mode_and_options() {
+        let e = Engine::new();
+        let q = "1 + 2";
+        e.prepare_cached(q, &CompileOptions::mode(ExecutionMode::OptimHashJoin))
+            .unwrap();
+        let (_, hit) = e
+            .prepare_cached_outcome(q, &CompileOptions::mode(ExecutionMode::AlgebraNoOptim))
+            .unwrap();
+        assert!(!hit, "a different mode is a different plan");
+    }
+
+    #[test]
+    fn bind_param_runs_with_bound_value() {
+        let e = Engine::new();
+        let q = "declare variable $n as xs:integer external; $n * 2";
+        let mut p = e
+            .prepare_cached(q, &CompileOptions::mode(ExecutionMode::OptimHashJoin))
+            .unwrap();
+        let params = p.parameters();
+        assert_eq!(params.len(), 1);
+        assert_eq!(params[0].0, QName::local("n"));
+        assert!(params[0].1.is_some(), "declared type is surfaced");
+        assert!(!params[0].2, "no default value");
+        p.bind_param("n", Sequence::integers([21])).unwrap();
+        assert_eq!(p.run_to_string(&e).unwrap(), "42");
+        // Re-binding the same prepared instance re-uses the plan.
+        p.bind_param("n", Sequence::integers([5])).unwrap();
+        assert_eq!(p.run_to_string(&e).unwrap(), "10");
+    }
+
+    #[test]
+    fn bind_param_overrides_engine_binding_per_instance() {
+        let mut e = Engine::new();
+        e.bind_variable("n", Sequence::integers([1]));
+        let q = "declare variable $n as xs:integer external; $n";
+        let mut p = e
+            .prepare(q, &CompileOptions::mode(ExecutionMode::OptimHashJoin))
+            .unwrap();
+        assert_eq!(p.run_to_string(&e).unwrap(), "1");
+        p.bind_param("n", Sequence::integers([7])).unwrap();
+        assert_eq!(p.run_to_string(&e).unwrap(), "7");
+        p.clear_params();
+        assert_eq!(p.run_to_string(&e).unwrap(), "1");
+    }
+
+    #[test]
+    fn external_default_used_when_unbound() {
+        let e = Engine::new();
+        let q = "declare variable $n as xs:integer external := 9; $n + 1";
+        assert_eq!(assert_modes_agree(&e, q), "10");
+        let mut p = e
+            .prepare(q, &CompileOptions::mode(ExecutionMode::OptimHashJoin))
+            .unwrap();
+        assert!(p.parameters()[0].2, "default value is surfaced");
+        p.bind_param("n", Sequence::integers([99])).unwrap();
+        assert_eq!(p.run_to_string(&e).unwrap(), "100");
+    }
+
+    #[test]
+    fn external_binding_errors() {
+        let e = Engine::new();
+        let q = "declare variable $n as xs:integer external; $n";
+        let mut p = e
+            .prepare(q, &CompileOptions::mode(ExecutionMode::OptimHashJoin))
+            .unwrap();
+        // Unbound required external: XPDY0002 at run time, all modes.
+        for m in ExecutionMode::ALL {
+            let err = e
+                .prepare(q, &CompileOptions::mode(m))
+                .unwrap()
+                .run(&e)
+                .unwrap_err();
+            assert!(err.to_string().contains("XPDY0002"), "{m:?}: {err}");
+        }
+        // Unknown parameter name: XPST0008 at bind time.
+        let err = p.bind_param("nope", Sequence::integers([1])).unwrap_err();
+        assert!(err.to_string().contains("XPST0008"), "{err}");
+        // Declared-type mismatch: XPTY0004 at run time.
+        p.bind_param("n", Sequence::singleton(xqr_xml::AtomicValue::string("x")))
+            .unwrap();
+        let err = p.run(&e).unwrap_err();
+        assert!(err.to_string().contains("XPTY0004"), "{err}");
+    }
+
+    #[cfg(feature = "failpoints")]
+    #[test]
+    fn prepare_failpoint_fails_cached_preparation() {
+        let _g = xqr_xml::failpoint::FailGuard::new("engine::prepare", "err(1)").unwrap();
+        let e = Engine::new();
+        let err = match e.prepare_cached("1", &CompileOptions::default()) {
+            Err(err) => err,
+            Ok(_) => panic!("prepare should trip the armed failpoint"),
+        };
+        assert!(
+            err.to_string().contains(xqr_xml::failpoint::ERR_INJECTED),
+            "{err}"
+        );
+        // The failure is injected before the cache is consulted; the next
+        // preparation succeeds and populates the cache.
+        assert!(e.prepare_cached("1", &CompileOptions::default()).is_ok());
     }
 }

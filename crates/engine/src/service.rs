@@ -49,7 +49,6 @@ use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use xqr_core::pretty;
 use xqr_core::TraceEvent;
 use xqr_xml::limits::{ERR_CANCELLED, ERR_DEADLINE, ERR_OVERLOADED};
 use xqr_xml::metrics::metrics;
@@ -58,6 +57,7 @@ use xqr_xml::{CancellationToken, Governor, Limits};
 
 use crate::breaker::{BreakerConfig, CircuitBreakers};
 use crate::doccache::DocTextCache;
+use crate::plancache::PlanCacheConfig;
 use crate::{classify, panic_message, BudgetKind, CompileOptions, Engine, EngineError, Phase};
 
 /// Per-worker engine setup hook (see [`ServiceConfig::configure_engine`]).
@@ -87,6 +87,10 @@ pub struct ServiceConfig {
     /// private [`Engine`] — install tracers, schemas, or external
     /// variable bindings here.
     pub configure_engine: Option<EngineHook>,
+    /// Per-worker plan-cache tuning (each worker caches compiled plans
+    /// privately; the shapes seen are shared through a `Send` registry
+    /// of canonical hashes).
+    pub plan_cache: PlanCacheConfig,
 }
 
 impl Default for ServiceConfig {
@@ -101,6 +105,7 @@ impl Default for ServiceConfig {
             breaker: BreakerConfig::default(),
             retry: RetryPolicy::default(),
             configure_engine: None,
+            plan_cache: PlanCacheConfig::default(),
         }
     }
 }
@@ -223,6 +228,55 @@ struct State {
     next_id: u64,
 }
 
+/// The cross-worker view of the plan cache. Compiled plans are `Rc`-based
+/// and live in each worker's private [`Engine`] cache; the only plan state
+/// that crosses threads is plain data — text key → canonical plan hash.
+/// The registry serves two purposes:
+///
+/// * **miss accounting**: the first worker anywhere to compile a shape
+///   records a `plan_cache_miss`; later workers compiling the same shape
+///   into their private caches record `plan_cache_rehydrations` instead,
+///   keeping the reported miss count O(distinct shapes), not
+///   O(shapes × workers);
+/// * **breaker keying**: once any worker has published a shape's
+///   canonical hash, dispatches of that shape consult the *plan-keyed*
+///   circuit breaker before compiling — a tripped plan fast-fails even
+///   on a worker that never compiled it.
+pub(crate) struct SharedPlanRegistry {
+    map: Mutex<HashMap<u64, u64>>,
+}
+
+impl SharedPlanRegistry {
+    fn new() -> SharedPlanRegistry {
+        SharedPlanRegistry {
+            map: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Canonical hash for a text key, if any worker published it.
+    fn lookup(&self, text_key: u64) -> Option<u64> {
+        self.map
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .get(&text_key)
+            .copied()
+    }
+
+    /// Publishes a freshly compiled shape; `true` when this is the first
+    /// sighting of the text key anywhere in the service.
+    fn register(&self, text_key: u64, canonical: u64) -> bool {
+        self.map
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .insert(text_key, canonical)
+            .is_none()
+    }
+
+    fn len(&self) -> usize {
+        self.map.lock().unwrap_or_else(|p| p.into_inner()).len()
+    }
+}
+
 struct Shared {
     workers: usize,
     queue_capacity: usize,
@@ -232,6 +286,8 @@ struct Shared {
     retry: RetryPolicy,
     breakers: CircuitBreakers,
     cache: DocTextCache,
+    plans: SharedPlanRegistry,
+    plan_cache: PlanCacheConfig,
     state: Mutex<State>,
     /// Signalled on new work, freed reservations, and shutdown.
     work_ready: Condvar,
@@ -257,6 +313,8 @@ impl QueryService {
             retry: cfg.retry,
             breakers: CircuitBreakers::new(cfg.breaker),
             cache: DocTextCache::new(cfg.doc_cache_budget),
+            plans: SharedPlanRegistry::new(),
+            plan_cache: cfg.plan_cache,
             state: Mutex::new(State {
                 queue: VecDeque::new(),
                 reserved: 0,
@@ -400,6 +458,13 @@ impl QueryService {
         self.shared.cache.resident_bytes()
     }
 
+    /// Distinct plan shapes the shared registry has seen (diagnostics /
+    /// tests); service-wide `plan_cache_misses` is bounded by this, not
+    /// by shapes × workers.
+    pub fn known_plan_shapes(&self) -> usize {
+        self.shared.plans.len()
+    }
+
     fn shed(message: impl Into<String>) -> EngineError {
         metrics().record_service_shed();
         EngineError::LimitExceeded {
@@ -437,6 +502,7 @@ impl Drop for QueryService {
 
 fn worker_loop(shared: &Shared) {
     let mut engine = Engine::new();
+    engine.set_plan_cache_config(shared.plan_cache.clone());
     if let Some(f) = &shared.configure_engine {
         f(&mut engine);
     }
@@ -575,10 +641,16 @@ fn execute_job(
         return None;
     }
 
-    // Breaker pre-check on the query-text shape: repeated prepare-time
-    // panics fast-fail here without re-parsing.
-    let text_shape = fnv1a(job.query.as_bytes()) ^ fnv1a(options.mode.label().as_bytes());
-    if let Err(e) = shared.breakers.admit(text_shape) {
+    // Breaker pre-check: by *canonical plan hash* when the shared
+    // registry already knows this text key's plan (so a tripped plan
+    // shape fast-fails before any worker pays a compile), else by the
+    // query-text hash — the fallback key that catches prepare-time
+    // failures, which happen before a plan (and its canonical hash)
+    // exists.
+    let text_key = crate::text_cache_key(&job.query, &options);
+    let text_shape = text_key;
+    let known_shape = shared.plans.lookup(text_key);
+    if let Err(e) = shared.breakers.admit(known_shape.unwrap_or(text_shape)) {
         let _ = job.reply.send(Err(classify(e, Phase::Admit)));
         return None;
     }
@@ -588,25 +660,34 @@ fn execute_job(
     // exists so that a panic unwinding past the closure is still charged
     // to the right shape (not the text shape, whose count every
     // successful prepare resets).
-    let run_shape = std::cell::Cell::new(text_shape);
+    let run_shape = std::cell::Cell::new(known_shape.unwrap_or(text_shape));
     // Belt and braces: the engine isolates panics itself, but the worker
     // thread must survive even a panic outside that boundary (prepare
     // glue, serialization). The reply is sent *after* the unwind edge.
     let outcome = catch_unwind(AssertUnwindSafe(
         || -> Result<(String, usize), (Option<u64>, EngineError)> {
-            let prepared = engine
-                .prepare(&job.query, &options)
+            let (prepared, local_hit) = engine
+                .prepare_cached_outcome(&job.query, &options)
                 .map_err(|e| (Some(text_shape), e))?;
             shared.breakers.record(text_shape, false);
-            // The run-time breaker key: the normalized plan rendering, so
-            // syntactic variants compiling to the same plan share one
+            // Cache traffic accounting through the shared registry: a
+            // true miss is the first sighting of the shape *anywhere* in
+            // the service; a worker-local miss on a registered shape is
+            // a re-hydration (each worker compiles each shape once), so
+            // `plan_cache_misses` stays O(distinct shapes).
+            // The run-time breaker key: the canonical plan hash, so
+            // syntactic variants normalizing to the same plan share one
             // breaker. NoAlgebra has no plan; the text shape stands in.
-            let shape = prepared
-                .compiled()
-                .map(|m| fnv1a(pretty::indented(&m.body).as_bytes()))
-                .unwrap_or(text_shape);
+            let shape = prepared.canonical_hash().unwrap_or(text_shape);
+            if local_hit {
+                metrics().record_plan_cache_hit();
+            } else if known_shape.is_some() || !shared.plans.register(text_key, shape) {
+                metrics().record_plan_cache_rehydration();
+            } else {
+                metrics().record_plan_cache_miss();
+            }
             run_shape.set(shape);
-            if shape != text_shape {
+            if shape != text_shape && known_shape != Some(shape) {
                 if let Err(e) = shared.breakers.admit(shape) {
                     return Err((None, classify(e, Phase::Admit)));
                 }
@@ -649,15 +730,6 @@ fn execute_job(
     };
     let _ = job.reply.send(reply);
     Some(run_nanos)
-}
-
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
 }
 
 #[cfg(test)]
@@ -846,6 +918,39 @@ mod tests {
         ));
         // The worker survived both failures.
         assert_eq!(svc.run(QueryRequest::new("1 + 1")).unwrap().xml, "2");
+    }
+
+    #[test]
+    fn plan_registry_counts_shapes_not_submissions() {
+        let svc = small_service(2, 32);
+        for _ in 0..4 {
+            assert_eq!(
+                svc.run(QueryRequest::new(
+                    "for $x in (1,2,3) where $x > 1 return $x"
+                ))
+                .unwrap()
+                .xml,
+                "2 3"
+            );
+            assert_eq!(svc.run(QueryRequest::new("1 + 1")).unwrap().xml, "2");
+        }
+        // 8 submissions, 2 shapes: the registry is keyed by shape.
+        assert_eq!(svc.known_plan_shapes(), 2);
+    }
+
+    #[test]
+    fn disabled_plan_cache_still_serves_queries() {
+        let svc = QueryService::new(ServiceConfig {
+            workers: 1,
+            plan_cache: PlanCacheConfig {
+                enabled: false,
+                ..PlanCacheConfig::default()
+            },
+            ..ServiceConfig::default()
+        });
+        for _ in 0..3 {
+            assert_eq!(svc.run(QueryRequest::new("2 * 3")).unwrap().xml, "6");
+        }
     }
 
     #[test]

@@ -21,12 +21,17 @@ pub struct FunctionDecl {
     pub body: Expr,
 }
 
-/// `declare variable $x := expr;` or `declare variable $x external;`.
+/// `declare variable $x := expr;`, `declare variable $x external;`, or
+/// `declare variable $x external := default;`.
 #[derive(Clone, Debug)]
 pub struct VariableDecl {
     pub name: QName,
     pub as_type: Option<SequenceType>,
-    /// `None` means `external`.
+    /// `true` for `external` declarations: the value is supplied (or the
+    /// default below is used) at execution time, not at compile time.
+    pub external: bool,
+    /// The initializer for ordinary declarations; the optional default
+    /// value for external ones (`external := expr`, XQuery 3.0 style).
     pub value: Option<Expr>,
 }
 

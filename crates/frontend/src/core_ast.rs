@@ -23,9 +23,23 @@ use xqr_xml::{AtomicType, AtomicValue, QName};
 #[derive(Clone, Debug)]
 pub struct CoreModule {
     pub functions: Vec<CoreFunction>,
-    /// Global variables in declaration order; `None` value means external.
-    pub variables: Vec<(QName, Option<CoreExpr>)>,
+    /// Global variables in declaration order.
+    pub variables: Vec<CoreGlobal>,
     pub body: CoreExpr,
+}
+
+/// A normalized global variable declaration.
+///
+/// External globals are the module's *parameters*: their value is bound
+/// by the caller at execution time (falling back to `value` as a default
+/// when present), checked against `as_type` when one was declared. For
+/// ordinary globals `value` is the initializer (always `Some`).
+#[derive(Clone, Debug)]
+pub struct CoreGlobal {
+    pub name: QName,
+    pub as_type: Option<SequenceType>,
+    pub external: bool,
+    pub value: Option<CoreExpr>,
 }
 
 /// A normalized user function.

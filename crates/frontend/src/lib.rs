@@ -21,7 +21,7 @@ pub mod normalize;
 pub mod parser;
 
 pub use ast::{Expr, Module};
-pub use core_ast::{CoreClause, CoreExpr, CoreFunction, CoreModule};
+pub use core_ast::{CoreClause, CoreExpr, CoreFunction, CoreGlobal, CoreModule};
 pub use normalize::normalize_module;
 pub use parser::{parse_query, parse_query_with, SyntaxError};
 

@@ -57,7 +57,12 @@ pub fn normalize_module(m: &Module) -> CoreModule {
     let variables = m
         .variables
         .iter()
-        .map(|v| (v.name.clone(), v.value.as_ref().map(|e| n.expr(e))))
+        .map(|v| CoreGlobal {
+            name: v.name.clone(),
+            as_type: v.as_type.clone(),
+            external: v.external,
+            value: v.value.as_ref().map(|e| n.expr(e)),
+        })
         .collect();
     let mut body = n.expr(&m.body);
     hoist_nested_flwors(&mut body, &mut n.counter);

@@ -259,17 +259,24 @@ impl<'a> Parser<'a> {
         } else {
             None
         };
-        let value = if self.tok == Token::ColonEq {
+        let (external, value) = if self.tok == Token::ColonEq {
             self.advance()?;
-            Some(self.parse_expr_single()?)
+            (false, Some(self.parse_expr_single()?))
         } else {
             self.expect_keyword("external")?;
-            None
+            // XQuery 3.0-style default: `external := expr`.
+            if self.tok == Token::ColonEq {
+                self.advance()?;
+                (true, Some(self.parse_expr_single()?))
+            } else {
+                (true, None)
+            }
         };
         self.expect(&Token::Semicolon)?;
         Ok(VariableDecl {
             name,
             as_type,
+            external,
             value,
         })
     }
@@ -1922,8 +1929,19 @@ mod tests {
         .unwrap();
         assert_eq!(m.functions.len(), 1);
         assert_eq!(m.variables.len(), 2);
+        assert!(!m.variables[0].external);
+        assert!(m.variables[1].external);
         assert!(m.variables[1].value.is_none());
         assert_eq!(m.functions[0].params.len(), 1);
+    }
+
+    #[test]
+    fn external_variable_with_type_and_default() {
+        let m = parse_query("declare variable $n as xs:integer external := 42; $n").unwrap();
+        assert_eq!(m.variables.len(), 1);
+        assert!(m.variables[0].external);
+        assert!(m.variables[0].as_type.is_some());
+        assert!(m.variables[0].value.is_some());
     }
 
     #[test]

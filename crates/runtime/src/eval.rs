@@ -21,17 +21,40 @@ use crate::pipeline;
 use crate::value::{InputVal, Table, Tuple, Value};
 
 /// Evaluates a module: globals in declaration order, then the body.
+///
+/// External globals are the plan's parameters: a caller-supplied binding
+/// (already in `ctx.globals`) wins and is checked against the declared
+/// type; otherwise the compiled default plan runs; otherwise `XPDY0002`.
 pub fn eval_module(ctx: &mut Ctx<'_>) -> xqr_xml::Result<Sequence> {
-    let globals: Vec<(QName, Option<Plan>)> = ctx.module.globals.clone();
-    for (name, plan) in globals {
-        if let Some(p) = plan {
-            let v = eval_plan(&p, ctx)?;
-            ctx.globals.insert(name, v);
-        } else if !ctx.globals.contains_key(&name) {
-            return Err(XmlError::new(
-                "XPDY0002",
-                format!("external variable ${name} was not bound"),
-            ));
+    let globals: Vec<xqr_core::CompiledGlobal> = ctx.module.globals.clone();
+    for g in globals {
+        if g.external {
+            if let Some(bound) = ctx.globals.get(&g.name) {
+                if let Some(st) = &g.as_type {
+                    if !st.matches(bound, ctx.schema) {
+                        return Err(XmlError::new(
+                            "XPTY0004",
+                            format!(
+                                "value bound to external variable ${} does not \
+                                 match its declared type {st}",
+                                g.name
+                            ),
+                        ));
+                    }
+                }
+                continue;
+            }
+            let Some(p) = &g.plan else {
+                return Err(XmlError::new(
+                    "XPDY0002",
+                    format!("external variable ${} was not bound", g.name),
+                ));
+            };
+            let v = eval_plan(p, ctx)?;
+            ctx.globals.insert(g.name, v);
+        } else if let Some(p) = &g.plan {
+            let v = eval_plan(p, ctx)?;
+            ctx.globals.insert(g.name, v);
         }
     }
     let body = ctx.module.body.clone();

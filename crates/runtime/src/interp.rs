@@ -156,15 +156,34 @@ pub fn eval_core_module_profiled(
         governor,
         profile,
     };
-    for (name, value) in &module.variables {
-        if let Some(v) = value {
+    for g in &module.variables {
+        if g.external {
+            if let Some(bound) = it.globals.get(&g.name) {
+                if let Some(st) = &g.as_type {
+                    if !st.matches(bound, it.schema) {
+                        return Err(XmlError::new(
+                            "XPTY0004",
+                            format!(
+                                "value bound to external variable ${} does not \
+                                 match its declared type {st}",
+                                g.name
+                            ),
+                        ));
+                    }
+                }
+                continue;
+            }
+            let Some(v) = &g.value else {
+                return Err(XmlError::new(
+                    "XPDY0002",
+                    format!("external variable ${} was not bound", g.name),
+                ));
+            };
             let evaluated = it.eval(v, &Env::default())?;
-            it.globals.insert(name.clone(), evaluated);
-        } else if !it.globals.contains_key(name) {
-            return Err(XmlError::new(
-                "XPDY0002",
-                format!("external variable ${name} was not bound"),
-            ));
+            it.globals.insert(g.name.clone(), evaluated);
+        } else if let Some(v) = &g.value {
+            let evaluated = it.eval(v, &Env::default())?;
+            it.globals.insert(g.name.clone(), evaluated);
         }
     }
     it.eval(&module.body, &Env::default())

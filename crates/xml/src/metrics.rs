@@ -44,6 +44,10 @@ pub struct MetricsRegistry {
     doc_cache_hits: AtomicU64,
     doc_cache_misses: AtomicU64,
     doc_cache_evictions: AtomicU64,
+    plan_cache_hits: AtomicU64,
+    plan_cache_misses: AtomicU64,
+    plan_cache_evictions: AtomicU64,
+    plan_cache_rehydrations: AtomicU64,
     /// Gauge, not a counter: the number of requests queued in query
     /// services right now (incremented on enqueue, decremented on
     /// dispatch/drain).
@@ -78,6 +82,10 @@ pub fn metrics() -> &'static MetricsRegistry {
         doc_cache_hits: AtomicU64::new(0),
         doc_cache_misses: AtomicU64::new(0),
         doc_cache_evictions: AtomicU64::new(0),
+        plan_cache_hits: AtomicU64::new(0),
+        plan_cache_misses: AtomicU64::new(0),
+        plan_cache_evictions: AtomicU64::new(0),
+        plan_cache_rehydrations: AtomicU64::new(0),
         service_queue_depth: AtomicU64::new(0),
         struct_index_builds: AtomicU64::new(0),
         postings_builds: AtomicU64::new(0),
@@ -179,6 +187,29 @@ impl MetricsRegistry {
         self.doc_cache_evictions.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Plan cache hit: a prepared plan was served without recompiling.
+    pub fn record_plan_cache_hit(&self) {
+        self.plan_cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Plan cache miss: the full compilation pipeline ran for a shape not
+    /// seen before (by this engine, or — in a service — by any worker).
+    pub fn record_plan_cache_miss(&self) {
+        self.plan_cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A cached plan was evicted to fit the cache entry/byte budget.
+    pub fn record_plan_cache_eviction(&self) {
+        self.plan_cache_evictions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A service worker recompiled a shape already known to the shared
+    /// registry into its private `Rc`-based cache (plans cannot cross
+    /// threads; only the canonical hash does).
+    pub fn record_plan_cache_rehydration(&self) {
+        self.plan_cache_rehydrations.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// A request entered a service queue (gauge increment).
     pub fn record_queue_enter(&self) {
         self.service_queue_depth.fetch_add(1, Ordering::Relaxed);
@@ -229,6 +260,10 @@ impl MetricsRegistry {
             doc_cache_hits: self.doc_cache_hits.load(Ordering::Relaxed),
             doc_cache_misses: self.doc_cache_misses.load(Ordering::Relaxed),
             doc_cache_evictions: self.doc_cache_evictions.load(Ordering::Relaxed),
+            plan_cache_hits: self.plan_cache_hits.load(Ordering::Relaxed),
+            plan_cache_misses: self.plan_cache_misses.load(Ordering::Relaxed),
+            plan_cache_evictions: self.plan_cache_evictions.load(Ordering::Relaxed),
+            plan_cache_rehydrations: self.plan_cache_rehydrations.load(Ordering::Relaxed),
             service_queue_depth: self.service_queue_depth.load(Ordering::Relaxed),
             struct_index_builds: self.struct_index_builds.load(Ordering::Relaxed),
             postings_builds: self.postings_builds.load(Ordering::Relaxed),
@@ -265,6 +300,10 @@ pub struct MetricsSnapshot {
     pub doc_cache_hits: u64,
     pub doc_cache_misses: u64,
     pub doc_cache_evictions: u64,
+    pub plan_cache_hits: u64,
+    pub plan_cache_misses: u64,
+    pub plan_cache_evictions: u64,
+    pub plan_cache_rehydrations: u64,
     /// Gauge: queued requests at snapshot time, not a monotone counter.
     pub service_queue_depth: u64,
     pub struct_index_builds: u64,
@@ -301,6 +340,10 @@ impl MetricsSnapshot {
         let _ = writeln!(s, "doc_cache_hits        {}", self.doc_cache_hits);
         let _ = writeln!(s, "doc_cache_misses      {}", self.doc_cache_misses);
         let _ = writeln!(s, "doc_cache_evictions   {}", self.doc_cache_evictions);
+        let _ = writeln!(s, "plan_cache_hits       {}", self.plan_cache_hits);
+        let _ = writeln!(s, "plan_cache_misses     {}", self.plan_cache_misses);
+        let _ = writeln!(s, "plan_cache_evictions  {}", self.plan_cache_evictions);
+        let _ = writeln!(s, "plan_cache_rehydrs    {}", self.plan_cache_rehydrations);
         let _ = writeln!(s, "service_queue_depth   {}", self.service_queue_depth);
         let _ = writeln!(s, "struct_index_builds   {}", self.struct_index_builds);
         let _ = writeln!(s, "postings_builds       {}", self.postings_builds);
@@ -334,7 +377,8 @@ impl MetricsSnapshot {
              \"transient_retries\":{},\"failpoint_trips\":{},\"service_admitted\":{},\
              \"service_shed\":{},\"breaker_trips\":{},\"breaker_fast_fails\":{},\
              \"doc_cache_hits\":{},\"doc_cache_misses\":{},\"doc_cache_evictions\":{},\
-             \"service_queue_depth\":{},\"struct_index_builds\":{},\"postings_builds\":{},\
+             \"plan_cache_hits\":{},\"plan_cache_misses\":{},\"plan_cache_evictions\":{},\
+             \"plan_cache_rehydrations\":{},\"service_queue_depth\":{},\"struct_index_builds\":{},\"postings_builds\":{},\
              \"postings_entries\":{},\"documents_parsed\":{},\"query_nanos_total\":{}",
             self.queries_started,
             self.queries_ok,
@@ -351,6 +395,10 @@ impl MetricsSnapshot {
             self.doc_cache_hits,
             self.doc_cache_misses,
             self.doc_cache_evictions,
+            self.plan_cache_hits,
+            self.plan_cache_misses,
+            self.plan_cache_evictions,
+            self.plan_cache_rehydrations,
             self.service_queue_depth,
             self.struct_index_builds,
             self.postings_builds,
@@ -438,6 +486,10 @@ mod tests {
         metrics().record_doc_cache_hit();
         metrics().record_doc_cache_miss();
         metrics().record_doc_cache_eviction();
+        metrics().record_plan_cache_hit();
+        metrics().record_plan_cache_miss();
+        metrics().record_plan_cache_eviction();
+        metrics().record_plan_cache_rehydration();
         let after = metrics().snapshot();
         assert!(after.transient_retries >= before.transient_retries + 1);
         assert!(after.service_admitted >= before.service_admitted + 1);
@@ -447,6 +499,10 @@ mod tests {
         assert!(after.doc_cache_hits >= before.doc_cache_hits + 1);
         assert!(after.doc_cache_misses >= before.doc_cache_misses + 1);
         assert!(after.doc_cache_evictions >= before.doc_cache_evictions + 1);
+        assert!(after.plan_cache_hits >= before.plan_cache_hits + 1);
+        assert!(after.plan_cache_misses >= before.plan_cache_misses + 1);
+        assert!(after.plan_cache_evictions >= before.plan_cache_evictions + 1);
+        assert!(after.plan_cache_rehydrations >= before.plan_cache_rehydrations + 1);
     }
 
     #[test]

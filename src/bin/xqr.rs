@@ -6,6 +6,9 @@
 //!   -q, --query TEXT        inline query text
 //!   -d, --doc URI=PATH      bind an XML file under a URI (repeatable)
 //!       --var NAME=VALUE    bind an external variable to a string value
+//!       --param NAME=VALUE  bind a declared external variable, cast to its
+//!                           declared type (repeatable)
+//!       --repeat N          run the query N times through the plan cache
 //!       --mode MODE         no-algebra | no-optim | nl | hash | sort  [hash]
 //!       --materialize       full intermediate tables instead of pipelined cursors
 //!       --explain           print the compiled plan instead of running
@@ -13,6 +16,14 @@
 //!       --pretty            indent element-only output
 //!       --time              print evaluation time to stderr
 //! ```
+//!
+//! `--var` binds an untyped string engine-wide; `--param` goes through the
+//! prepared-query parameter API: the name must be a `declare variable $x
+//! ... external`, and the value is cast to the declared sequence type (a
+//! `--param` for an undeclared name is an `XPST0008` error, an unbound
+//! required external fails with `XPDY0002`). `--repeat` re-prepares
+//! through the engine's plan cache each iteration, so `--repeat 100
+//! --time` shows the compile-once/run-many effect directly.
 //!
 //! Example:
 //!
@@ -32,6 +43,8 @@ struct Args {
     query_file: Option<String>,
     docs: Vec<(String, String)>,
     vars: Vec<(String, String)>,
+    params: Vec<(String, String)>,
+    repeat: usize,
     mode: ExecutionMode,
     materialize: bool,
     explain: bool,
@@ -44,6 +57,9 @@ const USAGE: &str = "usage: xqr [OPTIONS] (-q QUERY | QUERY_FILE)
   -q, --query TEXT        inline query text
   -d, --doc URI=PATH      bind an XML file under a URI (repeatable)
       --var NAME=VALUE    bind an external variable to a string value
+      --param NAME=VALUE  bind a declared external variable, cast to its
+                          declared type (repeatable)
+      --repeat N          run the query N times through the plan cache
       --mode MODE         no-algebra | no-optim | nl | hash | sort  [hash]
       --materialize       full intermediate tables instead of pipelined cursors
       --explain           print the compiled plan instead of running
@@ -57,6 +73,8 @@ fn parse_args() -> Result<Args, String> {
         query_file: None,
         docs: Vec::new(),
         vars: Vec::new(),
+        params: Vec::new(),
+        repeat: 1,
         mode: ExecutionMode::OptimHashJoin,
         materialize: false,
         explain: false,
@@ -89,6 +107,21 @@ fn parse_args() -> Result<Args, String> {
                     .split_once('=')
                     .ok_or_else(|| format!("--var expects NAME=VALUE, got {v:?}"))?;
                 out.vars.push((name.to_string(), val.to_string()));
+            }
+            "--param" => {
+                let v = value(&mut i)?;
+                let (name, val) = v
+                    .split_once('=')
+                    .ok_or_else(|| format!("--param expects NAME=VALUE, got {v:?}"))?;
+                out.params.push((name.to_string(), val.to_string()));
+            }
+            "--repeat" => {
+                let v = value(&mut i)?;
+                out.repeat = v
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|n| *n >= 1)
+                    .ok_or_else(|| format!("--repeat expects a count >= 1, got {v:?}"))?;
             }
             "--mode" => {
                 out.mode = match value(&mut i)?.as_str() {
@@ -142,9 +175,12 @@ fn run(args: Args) -> Result<(), String> {
     }
     let mut options = CompileOptions::mode(args.mode);
     options.materialize_all = args.materialize;
-    let prepared = engine
-        .prepare(&query, &options)
+    let t_prepare = Instant::now();
+    let mut prepared = engine
+        .prepare_cached(&query, &options)
         .map_err(|e| e.to_string())?;
+    let prepare_elapsed = t_prepare.elapsed();
+    bind_params(&mut prepared, &args.params)?;
     if args.stats {
         if let Some(stats) = prepared.rewrite_stats() {
             for (rule, n) in &stats.applications {
@@ -157,9 +193,28 @@ fn run(args: Args) -> Result<(), String> {
         return Ok(());
     }
     let t = Instant::now();
-    let result = prepared.run(&engine).map_err(|e| e.to_string())?;
+    let mut result = prepared.run(&engine).map_err(|e| e.to_string())?;
+    // Further iterations re-prepare through the plan cache — each one is
+    // a hash lookup plus an execution, the compile-once/run-many path.
+    for _ in 1..args.repeat {
+        let mut p = engine
+            .prepare_cached(&query, &options)
+            .map_err(|e| e.to_string())?;
+        bind_params(&mut p, &args.params)?;
+        result = p.run(&engine).map_err(|e| e.to_string())?;
+    }
     if args.time {
-        eprintln!("evaluation: {:?}", t.elapsed());
+        eprintln!("prepare: {prepare_elapsed:?} (first; repeats hit the plan cache)");
+        let total = t.elapsed();
+        if args.repeat > 1 {
+            eprintln!(
+                "evaluation: {total:?} over {} runs ({:?}/run)",
+                args.repeat,
+                total / args.repeat as u32
+            );
+        } else {
+            eprintln!("evaluation: {total:?}");
+        }
     }
     if args.pretty {
         for item in result.iter() {
@@ -170,6 +225,37 @@ fn run(args: Args) -> Result<(), String> {
         }
     } else {
         println!("{}", xqr::xml::serialize_sequence(&result));
+    }
+    Ok(())
+}
+
+/// Binds every `--param` through the prepared-query parameter API,
+/// casting the string value to the parameter's declared type (a bare
+/// `declare variable $x external` without a type gets the string as-is).
+fn bind_params(
+    prepared: &mut xqr::engine::PreparedQuery,
+    params: &[(String, String)],
+) -> Result<(), String> {
+    use xqr::types::{ItemType, SequenceType};
+    for (name, val) in params {
+        let declared: Option<SequenceType> = prepared
+            .parameters()
+            .into_iter()
+            .find(|(n, _, _)| n.local_part() == name.as_str())
+            .and_then(|(_, t, _)| t);
+        let value = match declared {
+            Some(SequenceType {
+                item: ItemType::Atomic(t),
+                ..
+            }) => Sequence::singleton(
+                xqr::types::cast::cast_from_string(val, t)
+                    .map_err(|e| format!("--param {name}: {e}"))?,
+            ),
+            _ => Sequence::singleton(AtomicValue::string(val.as_str())),
+        };
+        prepared
+            .bind_param(name, value)
+            .map_err(|e| e.to_string())?;
     }
     Ok(())
 }

@@ -21,6 +21,7 @@ pub use xqr_xml as xml;
 pub use xqr_engine::{
     BreakerConfig, BudgetKind, CancellationToken, CollectingTracer, CompileOptions, Engine,
     EngineError, ExecutionMode, JoinAlgorithm, Limits, MetricsSnapshot, NoopTracer, Phase,
-    PreparedQuery, ProfileNode, QueryProfile, QueryRequest, QueryService, QueryTicket, RetryPolicy,
-    ServiceConfig, ServiceOutput, StderrTracer, TraceEvent, Tracer,
+    PlanCache, PlanCacheConfig, PreparedQuery, ProfileNode, QueryProfile, QueryRequest,
+    QueryService, QueryTicket, RetryPolicy, ServiceConfig, ServiceOutput, StderrTracer, TraceEvent,
+    Tracer,
 };

@@ -50,8 +50,8 @@ fn projection_appears_in_plan_for_navigation_queries() {
             // module instead.
             p.compiled()
                 .map(|m| {
-                    m.globals.iter().any(|(_, g)| {
-                    matches!(g, Some(plan) if format!("{plan:?}").contains("TreeProject"))
+                    m.globals.iter().any(|g| {
+                    matches!(&g.plan, Some(plan) if format!("{plan:?}").contains("TreeProject"))
                 })
                 })
                 .unwrap_or(false)
