@@ -171,6 +171,26 @@ impl CircuitBreakers {
         }
     }
 
+    /// The current state of `shape`'s breaker: `"closed"` (including
+    /// never-seen and disabled), `"open"`, or `"half-open"`. Read-only —
+    /// does not advance the open → half-open transition.
+    pub fn state_of(&self, shape: u64) -> &'static str {
+        if !self.cfg.enabled {
+            return "closed";
+        }
+        match self
+            .shapes
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .get(&shape)
+            .map(|s| s.state)
+        {
+            None | Some(State::Closed) => "closed",
+            Some(State::Open) => "open",
+            Some(State::HalfOpen) => "half-open",
+        }
+    }
+
     /// The current number of open or half-open breakers (diagnostics).
     pub fn open_count(&self) -> usize {
         self.shapes

@@ -144,6 +144,15 @@ impl DocTextCache {
             .resident_bytes
     }
 
+    /// Known entries (bound or registered), for observability gauges.
+    pub fn entries(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .entries
+            .len()
+    }
+
     /// Returns `uri`'s text and version, loading it (under `gov` and
     /// `policy`, through the `doc::load` failpoint) when not resident.
     pub fn ensure(

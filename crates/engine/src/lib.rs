@@ -31,10 +31,11 @@
 
 pub mod breaker;
 pub mod doccache;
+pub mod observe;
 pub mod plancache;
 pub mod service;
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::rc::Rc;
@@ -64,8 +65,13 @@ pub use xqr_xml::{CancellationToken, Limits, MetricsSnapshot, RetryPolicy};
 
 pub use breaker::{BreakerConfig, CircuitBreakers};
 pub use doccache::DocTextCache;
+pub use observe::{
+    LifecyclePhase, MetricsServer, ObserveConfig, ObserveReport, PhaseLatency, QueryTimeline,
+    ShapeStats, LIFECYCLE_PHASES,
+};
 pub use plancache::{PlanCache, PlanCacheConfig};
 pub use service::{QueryRequest, QueryService, QueryTicket, ServiceConfig, ServiceOutput};
+pub use xqr_xml::metrics::ShedReason;
 
 /// How a prepared query executes.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -451,6 +457,13 @@ impl Engine {
         metrics().snapshot()
     }
 
+    /// Process-wide engine metrics in Prometheus text exposition format
+    /// (counters, per-reason/per-code label series, and the query duration
+    /// histogram in cumulative bucket form).
+    pub fn metrics_prometheus(&self) -> String {
+        metrics().snapshot().prometheus_text()
+    }
+
     /// Installs engine-wide resource limits (deadline, budgets, depth
     /// guards) applied to every subsequent `bind_document`/`prepare`/`run`
     /// unless a query overrides them via [`CompileOptions::limits`].
@@ -557,6 +570,9 @@ impl Engine {
                 profile,
                 last_profile: RefCell::new(None),
                 scalar_kernels,
+                query_id: Cell::new(None),
+                last_spilled: Cell::new(false),
+                last_fell_back: Cell::new(false),
             });
         }
         xqr_xml::failpoint::check("phase::compile").map_err(|e| classify(e, Phase::Compile))?;
@@ -633,6 +649,9 @@ impl Engine {
             profile,
             last_profile: RefCell::new(None),
             scalar_kernels,
+            query_id: Cell::new(None),
+            last_spilled: Cell::new(false),
+            last_fell_back: Cell::new(false),
         })
     }
 
@@ -714,6 +733,9 @@ impl Engine {
             profile: options.profile,
             last_profile: RefCell::new(None),
             scalar_kernels: options.scalar_kernels,
+            query_id: Cell::new(None),
+            last_spilled: Cell::new(false),
+            last_fell_back: Cell::new(false),
         }
     }
 
@@ -799,6 +821,13 @@ pub struct PreparedQuery {
     last_profile: RefCell<Option<QueryProfile>>,
     /// Force the row-at-a-time scalar path (no batched kernels).
     scalar_kernels: bool,
+    /// Service query id ([`PreparedQuery::set_query_id`]); stamped into
+    /// recorded profiles so `EXPLAIN ANALYZE` joins to lifecycle journals.
+    query_id: Cell<Option<u64>>,
+    /// Whether the most recent run crossed the spill watermark.
+    last_spilled: Cell<bool>,
+    /// Whether the most recent run degraded to a fallback strategy.
+    last_fell_back: Cell<bool>,
 }
 
 impl PreparedQuery {
@@ -816,6 +845,30 @@ impl PreparedQuery {
     /// NoAlgebra, which compiles no plan.
     pub fn canonical_hash(&self) -> Option<u64> {
         self.canonical_hash
+    }
+
+    /// Tags subsequent runs with a service query id: profiles recorded by
+    /// those runs carry the id (see [`QueryProfile::query_id`]), joining
+    /// `EXPLAIN ANALYZE` output to the service's lifecycle journal.
+    pub fn set_query_id(&self, id: u64) {
+        self.query_id.set(Some(id));
+    }
+
+    /// The service query id, if one was set.
+    pub fn query_id(&self) -> Option<u64> {
+        self.query_id.get()
+    }
+
+    /// Whether the most recent run crossed the spill watermark (wrote
+    /// intermediate state to disk).
+    pub fn last_run_spilled(&self) -> bool {
+        self.last_spilled.get()
+    }
+
+    /// Whether the most recent run degraded to a fallback strategy
+    /// (materialized retry or spill-disabled retry).
+    pub fn last_run_fell_back(&self) -> bool {
+        self.last_fell_back.get()
     }
 
     /// The query's external parameters: name, declared type (if any), and
@@ -927,6 +980,15 @@ impl PreparedQuery {
             p.strategy,
             xqr_runtime::fmt_nanos(p.wall_nanos)
         ));
+        // The journal join keys: a service-assigned query id and the
+        // canonical plan hash correlate this rendering with the lifecycle
+        // timeline and the per-shape statistics table.
+        if let Some(id) = p.query_id {
+            out.push_str(&format!("\nquery: {id}"));
+        }
+        if let Some(h) = p.plan_hash {
+            out.push_str(&format!("\nplan: {h:016x}"));
+        }
         if let Some(counts) = &p.interp {
             for (k, v) in counts {
                 out.push_str(&format!("\n{k}  {v}"));
@@ -969,6 +1031,8 @@ impl PreparedQuery {
         let limits = self.limits.clone().unwrap_or_default();
         let governor = Governor::new(&limits, token.clone());
         let pipelined = !self.materialize_all;
+        self.last_spilled.set(false);
+        self.last_fell_back.set(false);
         let result = match self.run_once(engine, &governor, pipelined) {
             Err(EngineError::Internal {
                 phase,
@@ -981,6 +1045,7 @@ impl PreparedQuery {
                 // over; only test-only fault injection is disarmed.
                 governor.disarm_fault_injection();
                 metrics().record_fallback();
+                self.last_fell_back.set(true);
                 *self.fallback_note.borrow_mut() = Some(format!(
                     "fallback: pipelined execution failed during {} ({message}); \
                      retried under the materialized strategy",
@@ -1006,6 +1071,7 @@ impl PreparedQuery {
                 // degrading to the strict in-memory byte budget — a broken
                 // disk shouldn't fail a query that fits in memory.
                 metrics().record_fallback();
+                self.last_fell_back.set(true);
                 *self.fallback_note.borrow_mut() = Some(format!(
                     "fallback: spilling failed during {} ({message}); \
                      retried with spilling disabled",
@@ -1025,6 +1091,9 @@ impl PreparedQuery {
             other => other,
         };
         let wall = t0.elapsed().as_nanos() as u64;
+        if governor.spilled() {
+            self.last_spilled.set(true);
+        }
         match &result {
             Ok(v) => {
                 metrics().record_query_ok(wall);
@@ -1103,7 +1172,7 @@ impl PreparedQuery {
             // Snapshot even on a failed run: the partial profile shows how
             // far the plan got before the error.
             let wall = t0.elapsed().as_nanos() as u64;
-            let snap = if let Some(p) = &profiler {
+            let mut snap = if let Some(p) = &profiler {
                 let strategy = if pipelined {
                     "pipelined"
                 } else {
@@ -1114,10 +1183,14 @@ impl PreparedQuery {
                 QueryProfile {
                     strategy: "core-interp".to_string(),
                     wall_nanos: wall,
+                    query_id: None,
+                    plan_hash: None,
                     root: None,
                     interp: interp_profile.as_ref().map(|ip| ip.counts()),
                 }
             };
+            snap.query_id = self.query_id.get();
+            snap.plan_hash = self.canonical_hash;
             *self.last_profile.borrow_mut() = Some(snap);
         }
         match outcome {

@@ -41,8 +41,20 @@
 //! are all metered in the process [`metrics`] registry; per-query
 //! `queue`/`admit` trace spans flow through any tracer installed by
 //! [`ServiceConfig::configure_engine`].
+//!
+//! Every submission additionally carries a **query id** through its whole
+//! lifecycle: the service's [`crate::observe`] layer turns each finished
+//! query into a [`QueryTimeline`] wide event (per-phase durations, plan
+//! hash, reservation, cache outcome, error code) feeding per-phase latency
+//! histograms, a per-plan-shape statistics table, a bounded journal, and a
+//! slow-query log. [`QueryService::observe`] snapshots all of it;
+//! [`QueryService::serve_metrics`] serves it over HTTP (Prometheus text at
+//! `/metrics`, process counters at `/metrics.json`, the full report at
+//! `/observe.json`).
 
+use std::cell::Cell;
 use std::collections::{HashMap, VecDeque};
+use std::net::ToSocketAddrs;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
@@ -51,12 +63,15 @@ use std::time::{Duration, Instant};
 
 use xqr_core::TraceEvent;
 use xqr_xml::limits::{ERR_CANCELLED, ERR_DEADLINE, ERR_OVERLOADED};
-use xqr_xml::metrics::metrics;
+use xqr_xml::metrics::{metrics, ShedReason};
 use xqr_xml::retry::RetryPolicy;
 use xqr_xml::{CancellationToken, Governor, Limits};
 
 use crate::breaker::{BreakerConfig, CircuitBreakers};
 use crate::doccache::DocTextCache;
+use crate::observe::{
+    self, MetricsServer, ObserveConfig, ObserveReport, QueryTimeline, ServiceObservability,
+};
 use crate::plancache::PlanCacheConfig;
 use crate::{classify, panic_message, BudgetKind, CompileOptions, Engine, EngineError, Phase};
 
@@ -91,6 +106,9 @@ pub struct ServiceConfig {
     /// privately; the shapes seen are shared through a `Send` registry
     /// of canonical hashes).
     pub plan_cache: PlanCacheConfig,
+    /// Lifecycle-observability tuning (journal size, slow-query
+    /// threshold, sampling); on by default.
+    pub observe: ObserveConfig,
 }
 
 impl Default for ServiceConfig {
@@ -106,6 +124,7 @@ impl Default for ServiceConfig {
             retry: RetryPolicy::default(),
             configure_engine: None,
             plan_cache: PlanCacheConfig::default(),
+            observe: ObserveConfig::default(),
         }
     }
 }
@@ -118,6 +137,7 @@ impl std::fmt::Debug for ServiceConfig {
             .field("memory_budget", &self.memory_budget)
             .field("default_reservation", &self.default_reservation)
             .field("doc_cache_budget", &self.doc_cache_budget)
+            .field("observe", &self.observe)
             .finish_non_exhaustive()
     }
 }
@@ -147,6 +167,10 @@ impl QueryRequest {
 /// are thread-local and cannot cross the channel).
 #[derive(Clone, Debug)]
 pub struct ServiceOutput {
+    /// The query id assigned at admission (same as the ticket's); joins
+    /// this result to the service's lifecycle journal and to profile
+    /// output.
+    pub id: u64,
     /// The serialized result sequence.
     pub xml: String,
     /// Items in the result sequence.
@@ -213,6 +237,8 @@ struct Job {
     token: CancellationToken,
     reply: Sender<Result<ServiceOutput, EngineError>>,
     enqueued: Instant,
+    /// Admission-decision duration, carried into the lifecycle timeline.
+    admit_nanos: u64,
 }
 
 struct State {
@@ -292,6 +318,9 @@ struct Shared {
     /// Signalled on new work, freed reservations, and shutdown.
     work_ready: Condvar,
     configure_engine: Option<EngineHook>,
+    /// The lifecycle-observability accumulator (timelines, histograms,
+    /// journal, per-shape stats).
+    observe: ServiceObservability,
 }
 
 /// The concurrent query service. See the module docs for the admission /
@@ -325,6 +354,7 @@ impl QueryService {
             }),
             work_ready: Condvar::new(),
             configure_engine: cfg.configure_engine,
+            observe: ServiceObservability::new(cfg.observe),
         });
         let handles = (0..workers)
             .map(|i| {
@@ -361,6 +391,7 @@ impl QueryService {
     /// the service is overloaded.
     pub fn submit(&self, req: QueryRequest) -> Result<QueryTicket, EngineError> {
         xqr_xml::failpoint::check("service::admit").map_err(|e| classify(e, Phase::Admit))?;
+        let t_admit = Instant::now();
         let limits = req
             .options
             .limits
@@ -372,19 +403,28 @@ impl QueryService {
             .unwrap_or(self.shared.default_reservation);
         let mut st = self.shared.state.lock().unwrap_or_else(|p| p.into_inner());
         if st.shutdown {
-            return Err(Self::shed("service is shutting down"));
+            return Err(self.shed(
+                ShedReason::Shutdown,
+                t_admit,
+                "service is shutting down".into(),
+            ));
         }
         if reservation > self.shared.memory_budget {
-            return Err(Self::shed(format!(
-                "memory reservation {reservation} exceeds the service budget {}",
-                self.shared.memory_budget
-            )));
+            return Err(self.shed(
+                ShedReason::Reservation,
+                t_admit,
+                format!(
+                    "memory reservation {reservation} exceeds the service budget {}",
+                    self.shared.memory_budget
+                ),
+            ));
         }
         if st.queue.len() >= self.shared.queue_capacity {
-            return Err(Self::shed(format!(
-                "admission queue full ({} queued)",
-                st.queue.len()
-            )));
+            return Err(self.shed(
+                ShedReason::QueueFull,
+                t_admit,
+                format!("admission queue full ({} queued)", st.queue.len()),
+            ));
         }
         // Deadline-aware shedding: estimate this query's queue wait from
         // the run-time EWMA and the backlog; a deadline that would expire
@@ -397,16 +437,21 @@ impl QueryService {
             let wait_estimate =
                 Duration::from_nanos((backlog * st.ewma_run_nanos) / self.shared.workers as u64);
             if wait_estimate >= deadline {
-                return Err(Self::shed(format!(
-                    "estimated queue wait {wait_estimate:?} exceeds the query \
-                     deadline {deadline:?}"
-                )));
+                return Err(self.shed(
+                    ShedReason::Deadline,
+                    t_admit,
+                    format!(
+                        "estimated queue wait {wait_estimate:?} exceeds the query \
+                         deadline {deadline:?}"
+                    ),
+                ));
             }
         }
         let id = st.next_id;
         st.next_id += 1;
         let token = CancellationToken::new();
         let (tx, rx) = mpsc::channel();
+        let admit_nanos = t_admit.elapsed().as_nanos() as u64;
         st.queue.push_back(Job {
             id,
             query: req.query,
@@ -416,10 +461,13 @@ impl QueryService {
             token: token.clone(),
             reply: tx,
             enqueued: Instant::now(),
+            admit_nanos,
         });
         metrics().record_service_admitted();
         metrics().record_queue_enter();
         drop(st);
+        self.shared.observe.record_admitted();
+        self.shared.observe.record_admit_decision(admit_nanos);
         self.shared.work_ready.notify_one();
         Ok(QueryTicket { id, token, rx })
     }
@@ -465,15 +513,92 @@ impl QueryService {
         self.shared.plans.len()
     }
 
-    fn shed(message: impl Into<String>) -> EngineError {
-        metrics().record_service_shed();
+    /// Builds the overload rejection for one shed submission, counting it
+    /// per reason (process-wide and per-service) and recording the
+    /// admission-decision duration — overload leaves a latency trace too.
+    fn shed(&self, reason: ShedReason, t_admit: Instant, message: String) -> EngineError {
+        metrics().record_service_shed(reason);
+        self.shared.observe.record_shed(reason);
+        self.shared
+            .observe
+            .record_admit_decision(t_admit.elapsed().as_nanos() as u64);
         EngineError::LimitExceeded {
             code: ERR_OVERLOADED,
             phase: Phase::Admit,
             budget: BudgetKind::Overloaded,
-            message: message.into(),
+            message,
         }
     }
+
+    /// A frozen view of the lifecycle-observability layer: per-phase
+    /// latency quantiles, the per-plan-shape statistics table (annotated
+    /// with each shape's breaker state), the recent-query journal, the
+    /// slow-query log, and point-in-time service gauges.
+    pub fn observe(&self) -> ObserveReport {
+        observe_of(&self.shared)
+    }
+
+    /// [`QueryService::observe`] as JSON.
+    pub fn observe_json(&self) -> String {
+        self.observe().to_json()
+    }
+
+    /// Prometheus text exposition: the process-wide counter registry
+    /// (including the query-duration histogram in cumulative bucket form)
+    /// followed by this service's series (shed reasons, per-phase and
+    /// per-shape latency summaries).
+    pub fn prometheus_text(&self) -> String {
+        prometheus_of(&self.shared)
+    }
+
+    /// Starts a minimal blocking HTTP scrape listener on `addr` serving:
+    ///
+    /// * `GET /metrics` — Prometheus text exposition,
+    /// * `GET /metrics.json` — the process-wide counter registry as JSON,
+    /// * `GET /observe.json` — the full [`ObserveReport`] as JSON.
+    ///
+    /// Bind to port 0 to pick a free port ([`MetricsServer::addr`] has
+    /// the bound address). The listener stops when the returned handle is
+    /// dropped; it holds the service's shared state alive (but not the
+    /// workers), so it may outlive the `QueryService` itself.
+    pub fn serve_metrics(&self, addr: impl ToSocketAddrs) -> std::io::Result<MetricsServer> {
+        let shared = Arc::clone(&self.shared);
+        observe::serve(addr, move |path| match path {
+            "/metrics" => Some((
+                "text/plain; version=0.0.4; charset=utf-8",
+                prometheus_of(&shared),
+            )),
+            "/metrics.json" => Some(("application/json", metrics().snapshot().dump_json())),
+            "/observe.json" | "/observe" => {
+                Some(("application/json", observe_of(&shared).to_json()))
+            }
+            _ => None,
+        })
+    }
+}
+
+/// Builds the observe report for a shared service handle: the layer's own
+/// counters plus the service gauges and per-shape breaker states.
+fn observe_of(shared: &Shared) -> ObserveReport {
+    let mut r = shared.observe.report();
+    {
+        let st = shared.state.lock().unwrap_or_else(|p| p.into_inner());
+        r.queue_depth = st.queue.len();
+        r.reserved_bytes = st.reserved;
+    }
+    r.doc_cache_bytes = shared.cache.resident_bytes();
+    r.known_plan_shapes = shared.plans.len();
+    r.open_breakers = shared.breakers.open_count();
+    for s in &mut r.shapes {
+        s.breaker = shared.breakers.state_of(s.plan_hash);
+    }
+    r
+}
+
+fn prometheus_of(shared: &Shared) -> String {
+    let mut s = metrics().snapshot().prometheus_text();
+    s.push_str(&observe_of(shared).prometheus_text());
+    s
 }
 
 impl Drop for QueryService {
@@ -485,12 +610,37 @@ impl Drop for QueryService {
             st.shutdown = true;
             while let Some(job) = st.queue.pop_front() {
                 metrics().record_queue_leave();
-                let _ = job.reply.send(Err(EngineError::LimitExceeded {
+                let err = EngineError::LimitExceeded {
                     code: ERR_CANCELLED,
                     phase: Phase::Admit,
                     budget: BudgetKind::Cancelled,
                     message: "service shut down before the query was dispatched".to_string(),
-                }));
+                };
+                // Drained queries still leave a complete timeline: they
+                // were admitted, waited, and never dispatched.
+                if self.shared.observe.enabled() {
+                    let queue_nanos = job.enqueued.elapsed().as_nanos() as u64;
+                    self.shared.observe.complete(QueryTimeline {
+                        id: job.id,
+                        query: self.shared.observe.clip_query(&job.query),
+                        plan_hash: None,
+                        reservation: job.reservation,
+                        admit_nanos: job.admit_nanos,
+                        queue_nanos,
+                        prepare_nanos: 0,
+                        execute_nanos: 0,
+                        serialize_nanos: 0,
+                        total_nanos: job.admit_nanos + queue_nanos,
+                        rows: 0,
+                        cache: "none",
+                        error: Some(ERR_CANCELLED.to_string()),
+                        spilled: false,
+                        fell_back: false,
+                        dispatched: false,
+                        finished_unix_ms: observe::unix_ms(),
+                    });
+                }
+                let _ = job.reply.send(Err(err));
             }
         }
         self.shared.work_ready.notify_all();
@@ -556,6 +706,59 @@ fn worker_loop(shared: &Shared) {
     }
 }
 
+/// Per-run observability state, filled in by the execution closure via
+/// `Cell`s so the values survive the `catch_unwind` edge on every exit
+/// path (including panics).
+#[derive(Default)]
+struct RunMeta {
+    prepare_nanos: Cell<u64>,
+    execute_nanos: Cell<u64>,
+    serialize_nanos: Cell<u64>,
+    plan_hash: Cell<Option<u64>>,
+    rows: Cell<u64>,
+    spilled: Cell<bool>,
+    fell_back: Cell<bool>,
+}
+
+/// Completes the lifecycle timeline for one job picked up by a worker.
+/// `worker_nanos` counts from dispatch; `dispatched` is false when the
+/// query never reached its execution closure (deadline expired in queue,
+/// cancelled while queued, document sync failure, breaker fast-fail).
+#[allow(clippy::too_many_arguments)]
+fn finish_timeline(
+    shared: &Shared,
+    job: &Job,
+    queue_nanos: u64,
+    worker_nanos: u64,
+    meta: &RunMeta,
+    cache: &'static str,
+    error: Option<&EngineError>,
+    dispatched: bool,
+) {
+    if !shared.observe.enabled() {
+        return;
+    }
+    shared.observe.complete(QueryTimeline {
+        id: job.id,
+        query: shared.observe.clip_query(&job.query),
+        plan_hash: meta.plan_hash.get(),
+        reservation: job.reservation,
+        admit_nanos: job.admit_nanos,
+        queue_nanos,
+        prepare_nanos: meta.prepare_nanos.get(),
+        execute_nanos: meta.execute_nanos.get(),
+        serialize_nanos: meta.serialize_nanos.get(),
+        total_nanos: job.admit_nanos + queue_nanos + worker_nanos,
+        rows: meta.rows.get(),
+        cache,
+        error: error.map(|e| e.code().unwrap_or("internal").to_string()),
+        spilled: meta.spilled.get(),
+        fell_back: meta.fell_back.get(),
+        dispatched,
+        finished_unix_ms: observe::unix_ms(),
+    });
+}
+
 /// Runs one dispatched job and replies on its channel. Returns the
 /// worker-side wall time when the query actually executed (feeding the
 /// admission EWMA); `None` for pre-execution rejections.
@@ -566,6 +769,22 @@ fn execute_job(
     job: Job,
 ) -> Option<u64> {
     let queue_nanos = job.enqueued.elapsed().as_nanos() as u64;
+    let t_dispatch = Instant::now();
+    let meta = RunMeta::default();
+    // Pre-execution rejection: reply + timeline in one place.
+    let reject = |e: EngineError| {
+        finish_timeline(
+            shared,
+            &job,
+            queue_nanos,
+            t_dispatch.elapsed().as_nanos() as u64,
+            &meta,
+            "none",
+            Some(&e),
+            false,
+        );
+        let _ = job.reply.send(Err(e));
+    };
     engine.trace(TraceEvent::Span {
         phase: "queue",
         nanos: queue_nanos,
@@ -580,12 +799,12 @@ fn execute_job(
             match d.checked_sub(Duration::from_nanos(queue_nanos)) {
                 Some(rem) if !rem.is_zero() => l.deadline = Some(rem),
                 _ => {
-                    let _ = job.reply.send(Err(EngineError::LimitExceeded {
+                    reject(EngineError::LimitExceeded {
                         code: ERR_DEADLINE,
                         phase: Phase::Admit,
                         budget: BudgetKind::Deadline,
                         message: format!("deadline {d:?} expired while queued ({queue_nanos} ns)"),
-                    }));
+                    });
                     return None;
                 }
             }
@@ -598,7 +817,7 @@ fn execute_job(
 
     // Cancelled while queued (or deadline raced to zero just now).
     if let Err(e) = gov.check_time() {
-        let _ = job.reply.send(Err(classify(e, Phase::Admit)));
+        reject(classify(e, Phase::Admit));
         return None;
     }
     engine.trace(TraceEvent::Span {
@@ -623,21 +842,21 @@ fn execute_job(
                             doc_versions.insert(uri.clone(), version);
                         }
                         Err(e) => {
-                            let _ = job.reply.send(Err(e));
+                            reject(e);
                             return None;
                         }
                     }
                 }
             }
             Err(e) => {
-                let _ = job.reply.send(Err(classify(e, Phase::Admit)));
+                reject(classify(e, Phase::Admit));
                 return None;
             }
         }
     }
 
     if let Err(e) = xqr_xml::failpoint::check("service::dispatch") {
-        let _ = job.reply.send(Err(classify(e, Phase::Execute)));
+        reject(classify(e, Phase::Execute));
         return None;
     }
 
@@ -651,7 +870,8 @@ fn execute_job(
     let text_shape = text_key;
     let known_shape = shared.plans.lookup(text_key);
     if let Err(e) = shared.breakers.admit(known_shape.unwrap_or(text_shape)) {
-        let _ = job.reply.send(Err(classify(e, Phase::Admit)));
+        meta.plan_hash.set(known_shape);
+        reject(classify(e, Phase::Admit));
         return None;
     }
 
@@ -660,15 +880,19 @@ fn execute_job(
     // exists so that a panic unwinding past the closure is still charged
     // to the right shape (not the text shape, whose count every
     // successful prepare resets).
-    let run_shape = std::cell::Cell::new(known_shape.unwrap_or(text_shape));
+    let run_shape = Cell::new(known_shape.unwrap_or(text_shape));
+    // Plan-cache outcome for the timeline, set once preparation resolves.
+    let cache_outcome = Cell::new("none");
     // Belt and braces: the engine isolates panics itself, but the worker
     // thread must survive even a panic outside that boundary (prepare
     // glue, serialization). The reply is sent *after* the unwind edge.
     let outcome = catch_unwind(AssertUnwindSafe(
         || -> Result<(String, usize), (Option<u64>, EngineError)> {
+            let t_prep = Instant::now();
             let (prepared, local_hit) = engine
                 .prepare_cached_outcome(&job.query, &options)
                 .map_err(|e| (Some(text_shape), e))?;
+            meta.prepare_nanos.set(t_prep.elapsed().as_nanos() as u64);
             shared.breakers.record(text_shape, false);
             // Cache traffic accounting through the shared registry: a
             // true miss is the first sighting of the shape *anywhere* in
@@ -681,21 +905,34 @@ fn execute_job(
             let shape = prepared.canonical_hash().unwrap_or(text_shape);
             if local_hit {
                 metrics().record_plan_cache_hit();
+                cache_outcome.set("hit");
             } else if known_shape.is_some() || !shared.plans.register(text_key, shape) {
                 metrics().record_plan_cache_rehydration();
+                cache_outcome.set("rehydrated");
             } else {
                 metrics().record_plan_cache_miss();
+                cache_outcome.set("miss");
             }
             run_shape.set(shape);
+            meta.plan_hash.set(Some(shape));
+            // Profiles recorded by this run carry the query id, joining
+            // EXPLAIN ANALYZE output to the lifecycle journal.
+            prepared.set_query_id(job.id);
             if shape != text_shape && known_shape != Some(shape) {
                 if let Err(e) = shared.breakers.admit(shape) {
                     return Err((None, classify(e, Phase::Admit)));
                 }
             }
-            let seq = prepared
-                .run_cancellable(engine, job.token.clone())
-                .map_err(|e| (Some(shape), e))?;
+            let t_exec = Instant::now();
+            let run = prepared.run_cancellable(engine, job.token.clone());
+            meta.execute_nanos.set(t_exec.elapsed().as_nanos() as u64);
+            meta.spilled.set(prepared.last_run_spilled());
+            meta.fell_back.set(prepared.last_run_fell_back());
+            let seq = run.map_err(|e| (Some(shape), e))?;
+            let t_ser = Instant::now();
             let xml = xqr_xml::serialize_sequence(&seq);
+            meta.serialize_nanos.set(t_ser.elapsed().as_nanos() as u64);
+            meta.rows.set(seq.len() as u64);
             shared.breakers.record(shape, false);
             Ok((xml, seq.len()))
         },
@@ -703,6 +940,7 @@ fn execute_job(
     let run_nanos = t0.elapsed().as_nanos() as u64;
     let reply = match outcome {
         Ok(Ok((xml, rows))) => Ok(ServiceOutput {
+            id: job.id,
             xml,
             rows,
             queue_nanos,
@@ -728,6 +966,16 @@ fn execute_job(
             })
         }
     };
+    finish_timeline(
+        shared,
+        &job,
+        queue_nanos,
+        t_dispatch.elapsed().as_nanos() as u64,
+        &meta,
+        cache_outcome.get(),
+        reply.as_ref().err(),
+        true,
+    );
     let _ = job.reply.send(reply);
     Some(run_nanos)
 }

@@ -335,6 +335,8 @@ impl Profiler {
         QueryProfile {
             strategy: strategy.to_string(),
             wall_nanos,
+            query_id: None,
+            plan_hash: None,
             root,
             interp: None,
         }
@@ -521,6 +523,13 @@ impl ProfileNode {
 pub struct QueryProfile {
     pub strategy: String,
     pub wall_nanos: u64,
+    /// Service query id, when the run was dispatched through a
+    /// `QueryService` (joins `EXPLAIN ANALYZE` output to the service's
+    /// lifecycle journal).
+    pub query_id: Option<u64>,
+    /// Canonical plan hash of the prepared plan, when one exists (joins
+    /// to the service's per-shape statistics table and breaker registry).
+    pub plan_hash: Option<u64>,
     /// The profiled operator tree; `None` on the Core-interpreter path,
     /// which has no algebraic plan.
     pub root: Option<ProfileNode>,
@@ -557,6 +566,12 @@ impl QueryProfile {
             self.strategy,
             fmt_nanos(self.wall_nanos)
         );
+        if let Some(id) = self.query_id {
+            let _ = writeln!(s, "query: {id}");
+        }
+        if let Some(h) = self.plan_hash {
+            let _ = writeln!(s, "plan: {h:016x}");
+        }
         fn walk(n: &ProfileNode, depth: usize, out: &mut String) {
             let ann = n.annotation().unwrap_or_else(|| "-".to_string());
             let _ = writeln!(out, "{}{}  {}", "  ".repeat(depth), n.label, ann);
@@ -579,9 +594,18 @@ impl QueryProfile {
     pub fn to_json(&self) -> String {
         use std::fmt::Write as _;
         let mut s = format!(
-            "{{\"strategy\":\"{}\",\"wall_nanos\":{},\"root\":",
+            "{{\"strategy\":\"{}\",\"wall_nanos\":{},\"query_id\":{},\"plan_hash\":{},\"root\":",
             json_escape(&self.strategy),
-            self.wall_nanos
+            self.wall_nanos,
+            match self.query_id {
+                Some(id) => id.to_string(),
+                None => "null".to_string(),
+            },
+            // Hex string: u64 hashes can exceed JSON's exact-integer range.
+            match self.plan_hash {
+                Some(h) => format!("\"{h:016x}\""),
+                None => "null".to_string(),
+            }
         );
         match &self.root {
             Some(r) => r.to_json(&mut s),

@@ -27,6 +27,167 @@ use std::sync::{Mutex, OnceLock};
 /// final bucket absorbing everything longer (~ 36 minutes and up).
 pub const DURATION_BUCKETS: usize = 32;
 
+// ===== log-linear latency histogram ========================================
+
+/// Linear sub-buckets per power-of-two octave (HDR-style): 16 sub-buckets
+/// bound the relative quantile error at 1/16 ≈ 6.25%.
+pub const HIST_SUB_BITS: u32 = 4;
+const HIST_SUB: usize = 1 << HIST_SUB_BITS;
+/// Largest exponent tracked exactly; values at or above 2^46 ns (~19.5 h)
+/// saturate into the top bucket.
+const HIST_MAX_EXP: u32 = 45;
+/// Total buckets of a [`LatencyHistogram`].
+pub const HIST_BUCKETS: usize = ((HIST_MAX_EXP - HIST_SUB_BITS + 2) as usize) << HIST_SUB_BITS;
+
+/// Bucket index for a nanosecond value: exact below 2^`HIST_SUB_BITS`,
+/// log-linear above (the octave selects a block of [`HIST_SUB`] linear
+/// sub-buckets).
+fn hist_index(nanos: u64) -> usize {
+    let v = nanos.min((1 << (HIST_MAX_EXP + 1)) - 1);
+    let e = 63 - (v | 1).leading_zeros();
+    if e < HIST_SUB_BITS {
+        v as usize
+    } else {
+        let sub = (v >> (e - HIST_SUB_BITS)) as usize & (HIST_SUB - 1);
+        (((e - HIST_SUB_BITS + 1) as usize) << HIST_SUB_BITS) + sub
+    }
+}
+
+/// Inclusive lower bound of bucket `i` (nanoseconds).
+fn hist_lower(i: usize) -> u64 {
+    let block = i >> HIST_SUB_BITS;
+    if block < 2 {
+        i as u64
+    } else {
+        let e = block as u32 + HIST_SUB_BITS - 1;
+        (1u64 << e) + (((i & (HIST_SUB - 1)) as u64) << (e - HIST_SUB_BITS))
+    }
+}
+
+/// A thread-safe log-linear (HDR-style) latency histogram. Recording is
+/// three relaxed atomic adds plus one `fetch_max` — cheap enough to stay
+/// on the per-query service path unconditionally. Quantiles are estimated
+/// from a [`HistogramSnapshot`] with ≤ 2^-`HIST_SUB_BITS` relative error.
+pub struct LatencyHistogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+    buckets: Box<[AtomicU64]>,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> LatencyHistogram {
+        LatencyHistogram::new()
+    }
+}
+
+impl LatencyHistogram {
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+            buckets: (0..HIST_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Records one observation (nanoseconds).
+    pub fn record(&self, nanos: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(nanos, Ordering::Relaxed);
+        self.max.fetch_max(nanos, Ordering::Relaxed);
+        self.buckets[hist_index(nanos)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy. Concurrent recording can skew `count` against
+    /// the bucket sum by in-flight increments, never backwards.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+/// Frozen histogram state with quantile estimation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum: u64,
+    pub max: u64,
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Estimated value at quantile `q` in [0, 1] (nanoseconds): linear
+    /// interpolation inside the covering log-linear bucket, clamped to
+    /// the observed maximum. 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total: u64 = self.buckets.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).clamp(1, total);
+        let mut cum = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if cum + n >= rank {
+                let lo = hist_lower(i);
+                let hi = if i + 1 < HIST_BUCKETS {
+                    hist_lower(i + 1)
+                } else {
+                    self.max.max(lo + 1)
+                };
+                let frac = (rank - cum) as f64 / n as f64;
+                let est = lo as f64 + (hi - lo) as f64 * frac;
+                return (est as u64).min(self.max.max(lo));
+            }
+            cum += n;
+        }
+        self.max
+    }
+
+    /// Mean observation (nanoseconds), 0 when empty.
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+/// Why the service admission controller refused a submission. Each reason
+/// is counted separately (plus the `service_shed` aggregate) so an
+/// operator can tell queue collapse from reservation misconfiguration
+/// from deadline-infeasible work.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The bounded admission queue was full.
+    QueueFull,
+    /// The memory reservation can never fit the service budget.
+    Reservation,
+    /// The EWMA queue-wait estimate exceeded the query's deadline.
+    Deadline,
+    /// The service was shutting down.
+    Shutdown,
+}
+
+impl ShedReason {
+    pub fn label(self) -> &'static str {
+        match self {
+            ShedReason::QueueFull => "queue-full",
+            ShedReason::Reservation => "unservable-reservation",
+            ShedReason::Deadline => "ewma-deadline",
+            ShedReason::Shutdown => "shutdown",
+        }
+    }
+}
+
 /// The process-wide registry. Obtain it with [`metrics`].
 pub struct MetricsRegistry {
     queries_started: AtomicU64,
@@ -39,6 +200,10 @@ pub struct MetricsRegistry {
     failpoint_trips: AtomicU64,
     service_admitted: AtomicU64,
     service_shed: AtomicU64,
+    service_shed_queue_full: AtomicU64,
+    service_shed_reservation: AtomicU64,
+    service_shed_deadline: AtomicU64,
+    service_shed_shutdown: AtomicU64,
     breaker_trips: AtomicU64,
     breaker_fast_fails: AtomicU64,
     doc_cache_hits: AtomicU64,
@@ -77,6 +242,10 @@ pub fn metrics() -> &'static MetricsRegistry {
         failpoint_trips: AtomicU64::new(0),
         service_admitted: AtomicU64::new(0),
         service_shed: AtomicU64::new(0),
+        service_shed_queue_full: AtomicU64::new(0),
+        service_shed_reservation: AtomicU64::new(0),
+        service_shed_deadline: AtomicU64::new(0),
+        service_shed_shutdown: AtomicU64::new(0),
         breaker_trips: AtomicU64::new(0),
         breaker_fast_fails: AtomicU64::new(0),
         doc_cache_hits: AtomicU64::new(0),
@@ -157,9 +326,17 @@ impl MetricsRegistry {
         self.service_admitted.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// The admission controller shed a submission (`XQRG0007`).
-    pub fn record_service_shed(&self) {
+    /// The admission controller shed a submission (`XQRG0007`), counted
+    /// both in the aggregate and under its [`ShedReason`].
+    pub fn record_service_shed(&self, reason: ShedReason) {
         self.service_shed.fetch_add(1, Ordering::Relaxed);
+        let per_reason = match reason {
+            ShedReason::QueueFull => &self.service_shed_queue_full,
+            ShedReason::Reservation => &self.service_shed_reservation,
+            ShedReason::Deadline => &self.service_shed_deadline,
+            ShedReason::Shutdown => &self.service_shed_shutdown,
+        };
+        per_reason.fetch_add(1, Ordering::Relaxed);
     }
 
     /// A per-shape circuit breaker transitioned closed → open.
@@ -255,6 +432,10 @@ impl MetricsRegistry {
             failpoint_trips: self.failpoint_trips.load(Ordering::Relaxed),
             service_admitted: self.service_admitted.load(Ordering::Relaxed),
             service_shed: self.service_shed.load(Ordering::Relaxed),
+            service_shed_queue_full: self.service_shed_queue_full.load(Ordering::Relaxed),
+            service_shed_reservation: self.service_shed_reservation.load(Ordering::Relaxed),
+            service_shed_deadline: self.service_shed_deadline.load(Ordering::Relaxed),
+            service_shed_shutdown: self.service_shed_shutdown.load(Ordering::Relaxed),
             breaker_trips: self.breaker_trips.load(Ordering::Relaxed),
             breaker_fast_fails: self.breaker_fast_fails.load(Ordering::Relaxed),
             doc_cache_hits: self.doc_cache_hits.load(Ordering::Relaxed),
@@ -295,6 +476,10 @@ pub struct MetricsSnapshot {
     pub failpoint_trips: u64,
     pub service_admitted: u64,
     pub service_shed: u64,
+    pub service_shed_queue_full: u64,
+    pub service_shed_reservation: u64,
+    pub service_shed_deadline: u64,
+    pub service_shed_shutdown: u64,
     pub breaker_trips: u64,
     pub breaker_fast_fails: u64,
     pub doc_cache_hits: u64,
@@ -335,6 +520,10 @@ impl MetricsSnapshot {
         let _ = writeln!(s, "failpoint_trips       {}", self.failpoint_trips);
         let _ = writeln!(s, "service_admitted      {}", self.service_admitted);
         let _ = writeln!(s, "service_shed          {}", self.service_shed);
+        let _ = writeln!(s, "  shed[queue-full]    {}", self.service_shed_queue_full);
+        let _ = writeln!(s, "  shed[reservation]   {}", self.service_shed_reservation);
+        let _ = writeln!(s, "  shed[ewma-deadline] {}", self.service_shed_deadline);
+        let _ = writeln!(s, "  shed[shutdown]      {}", self.service_shed_shutdown);
         let _ = writeln!(s, "breaker_trips         {}", self.breaker_trips);
         let _ = writeln!(s, "breaker_fast_fails    {}", self.breaker_fast_fails);
         let _ = writeln!(s, "doc_cache_hits        {}", self.doc_cache_hits);
@@ -375,7 +564,9 @@ impl MetricsSnapshot {
             "\"queries_started\":{},\"queries_ok\":{},\"queries_failed\":{},\
              \"fallbacks_taken\":{},\"queries_spilled\":{},\"spill_io_retries\":{},\
              \"transient_retries\":{},\"failpoint_trips\":{},\"service_admitted\":{},\
-             \"service_shed\":{},\"breaker_trips\":{},\"breaker_fast_fails\":{},\
+             \"service_shed\":{},\"service_shed_queue_full\":{},\
+             \"service_shed_reservation\":{},\"service_shed_deadline\":{},\
+             \"service_shed_shutdown\":{},\"breaker_trips\":{},\"breaker_fast_fails\":{},\
              \"doc_cache_hits\":{},\"doc_cache_misses\":{},\"doc_cache_evictions\":{},\
              \"plan_cache_hits\":{},\"plan_cache_misses\":{},\"plan_cache_evictions\":{},\
              \"plan_cache_rehydrations\":{},\"service_queue_depth\":{},\"struct_index_builds\":{},\"postings_builds\":{},\
@@ -390,6 +581,10 @@ impl MetricsSnapshot {
             self.failpoint_trips,
             self.service_admitted,
             self.service_shed,
+            self.service_shed_queue_full,
+            self.service_shed_reservation,
+            self.service_shed_deadline,
+            self.service_shed_shutdown,
             self.breaker_trips,
             self.breaker_fast_fails,
             self.doc_cache_hits,
@@ -422,6 +617,86 @@ impl MetricsSnapshot {
             let _ = write!(s, "\"{}\":{n}", json_escape(code));
         }
         s.push_str("}}");
+        s
+    }
+
+    /// Prometheus text exposition (format 0.0.4) of the whole registry,
+    /// including the log2 query-duration histogram in cumulative
+    /// `_bucket{le=...}` form (bucket `i` covers wall times up to
+    /// `2^(i+1)` µs) — the piece `dump_text` only showed as raw per-bucket
+    /// counts.
+    pub fn prometheus_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let counters: [(&str, u64); 24] = [
+            ("queries_started", self.queries_started),
+            ("queries_ok", self.queries_ok),
+            ("queries_failed", self.queries_failed),
+            ("fallbacks_taken", self.fallbacks_taken),
+            ("queries_spilled", self.queries_spilled),
+            ("spill_io_retries", self.spill_io_retries),
+            ("transient_retries", self.transient_retries),
+            ("failpoint_trips", self.failpoint_trips),
+            ("service_admitted", self.service_admitted),
+            ("service_shed", self.service_shed),
+            ("breaker_trips", self.breaker_trips),
+            ("breaker_fast_fails", self.breaker_fast_fails),
+            ("doc_cache_hits", self.doc_cache_hits),
+            ("doc_cache_misses", self.doc_cache_misses),
+            ("doc_cache_evictions", self.doc_cache_evictions),
+            ("plan_cache_hits", self.plan_cache_hits),
+            ("plan_cache_misses", self.plan_cache_misses),
+            ("plan_cache_evictions", self.plan_cache_evictions),
+            ("plan_cache_rehydrations", self.plan_cache_rehydrations),
+            ("struct_index_builds", self.struct_index_builds),
+            ("postings_builds", self.postings_builds),
+            ("postings_entries", self.postings_entries),
+            ("documents_parsed", self.documents_parsed),
+            ("query_nanos_total", self.query_nanos_total),
+        ];
+        for (name, v) in counters.iter() {
+            let _ = writeln!(s, "# TYPE xqr_{name} counter\nxqr_{name} {v}");
+        }
+        let _ = writeln!(s, "# TYPE xqr_service_shed_reason counter");
+        for (reason, v) in [
+            ("queue-full", self.service_shed_queue_full),
+            ("unservable-reservation", self.service_shed_reservation),
+            ("ewma-deadline", self.service_shed_deadline),
+            ("shutdown", self.service_shed_shutdown),
+        ] {
+            let _ = writeln!(s, "xqr_service_shed_reason{{reason=\"{reason}\"}} {v}");
+        }
+        let _ = writeln!(
+            s,
+            "# TYPE xqr_service_queue_depth gauge\nxqr_service_queue_depth {}",
+            self.service_queue_depth
+        );
+        let _ = writeln!(s, "# TYPE xqr_queries_failed_by_code counter");
+        for (code, n) in &self.error_codes {
+            let _ = writeln!(s, "xqr_queries_failed_by_code{{code=\"{code}\"}} {n}");
+        }
+        // The log2 wall-time histogram, cumulative Prometheus form. The
+        // `le` bound of bucket i is its exclusive upper edge, 2^(i+1) µs;
+        // the final bucket is open-ended and doubles as `+Inf`.
+        let _ = writeln!(s, "# TYPE xqr_query_duration_us histogram");
+        let mut cum = 0u64;
+        for (i, n) in self.duration_buckets.iter().enumerate() {
+            cum += n;
+            if i + 1 < DURATION_BUCKETS {
+                let _ = writeln!(
+                    s,
+                    "xqr_query_duration_us_bucket{{le=\"{}\"}} {cum}",
+                    1u64 << (i + 1)
+                );
+            } else {
+                let _ = writeln!(s, "xqr_query_duration_us_bucket{{le=\"+Inf\"}} {cum}");
+            }
+        }
+        let _ = writeln!(
+            s,
+            "xqr_query_duration_us_sum {}\nxqr_query_duration_us_count {cum}",
+            self.query_nanos_total / 1_000
+        );
         s
     }
 }
@@ -480,7 +755,8 @@ mod tests {
         let before = metrics().snapshot();
         metrics().record_transient_retry();
         metrics().record_service_admitted();
-        metrics().record_service_shed();
+        metrics().record_service_shed(ShedReason::QueueFull);
+        metrics().record_service_shed(ShedReason::Deadline);
         metrics().record_breaker_trip();
         metrics().record_breaker_fast_fail();
         metrics().record_doc_cache_hit();
@@ -493,7 +769,9 @@ mod tests {
         let after = metrics().snapshot();
         assert!(after.transient_retries >= before.transient_retries + 1);
         assert!(after.service_admitted >= before.service_admitted + 1);
-        assert!(after.service_shed >= before.service_shed + 1);
+        assert!(after.service_shed >= before.service_shed + 2);
+        assert!(after.service_shed_queue_full >= before.service_shed_queue_full + 1);
+        assert!(after.service_shed_deadline >= before.service_shed_deadline + 1);
         assert!(after.breaker_trips >= before.breaker_trips + 1);
         assert!(after.breaker_fast_fails >= before.breaker_fast_fails + 1);
         assert!(after.doc_cache_hits >= before.doc_cache_hits + 1);
@@ -540,5 +818,88 @@ mod tests {
     #[test]
     fn escape_covers_specials() {
         assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn hist_index_is_monotone_and_bounded() {
+        // Exact small values, continuity at octave edges, clamp at top.
+        assert_eq!(hist_index(0), 0);
+        assert_eq!(hist_index(15), 15);
+        assert_eq!(hist_index(16), 16);
+        assert_eq!(hist_index(31), 31);
+        let mut prev = 0usize;
+        for shift in 0..50u32 {
+            let v = 1u64 << shift;
+            for probe in [v, v + v / 3, v + v / 2, v * 2 - 1] {
+                let i = hist_index(probe);
+                assert!(i >= prev || probe < 32, "non-monotone at {probe}");
+                assert!(i < HIST_BUCKETS, "index {i} out of range for {probe}");
+                prev = prev.max(i);
+            }
+        }
+        // Bucket lower bounds are consistent with indexing: every lower
+        // bound maps back into its own bucket.
+        for i in 0..HIST_BUCKETS {
+            assert_eq!(hist_index(hist_lower(i)), i, "lower bound of {i}");
+        }
+    }
+
+    #[test]
+    fn histogram_quantiles_within_relative_error() {
+        let h = LatencyHistogram::new();
+        // 10_000 observations uniform over [1ms, 2ms): p50 ≈ 1.5ms.
+        for k in 0..10_000u64 {
+            h.record(1_000_000 + k * 100);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 10_000);
+        assert_eq!(s.max, 1_999_900);
+        for (q, expect) in [(0.5, 1_500_000.0), (0.95, 1_950_000.0), (0.99, 1_990_000.0)] {
+            let got = s.quantile(q) as f64;
+            let rel = (got - expect).abs() / expect;
+            assert!(rel < 0.08, "q{q}: got {got}, want ~{expect} (rel {rel:.3})");
+        }
+        assert!(s.quantile(1.0) <= s.max);
+        assert!(s.mean() >= 1_400_000 && s.mean() <= 1_600_000);
+    }
+
+    #[test]
+    fn empty_histogram_quantiles_are_zero() {
+        let s = LatencyHistogram::new().snapshot();
+        assert_eq!(s.quantile(0.5), 0);
+        assert_eq!(s.mean(), 0);
+    }
+
+    #[test]
+    fn prometheus_exposition_has_cumulative_buckets() {
+        metrics().record_query_ok(3_000_000); // 3 ms → log2 bucket 11
+        let s = metrics().snapshot();
+        let text = s.prometheus_text();
+        assert!(text.contains("# TYPE xqr_queries_ok counter"));
+        assert!(text.contains("# TYPE xqr_query_duration_us histogram"));
+        assert!(text.contains("xqr_query_duration_us_bucket{le=\"+Inf\"}"));
+        assert!(text.contains("xqr_service_shed_reason{reason=\"queue-full\"}"));
+        // Cumulative buckets are monotone non-decreasing and the +Inf
+        // bucket equals the count.
+        let mut last = 0u64;
+        let mut inf = 0u64;
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("xqr_query_duration_us_bucket") {
+                let v: u64 = rest.split_whitespace().last().unwrap().parse().unwrap();
+                assert!(v >= last, "cumulative bucket decreased: {line}");
+                last = v;
+                if rest.contains("+Inf") {
+                    inf = v;
+                }
+            }
+        }
+        let count: u64 = text
+            .lines()
+            .find_map(|l| l.strip_prefix("xqr_query_duration_us_count "))
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert_eq!(inf, count);
+        assert!(count >= 1);
     }
 }

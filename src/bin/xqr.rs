@@ -15,6 +15,10 @@
 //!       --stats             print rewrite-rule applications to stderr
 //!       --pretty            indent element-only output
 //!       --time              print evaluation time to stderr
+//!       --metrics           print the engine metrics in Prometheus text
+//!                           exposition format to stderr after the run
+//!       --slow-query-ms N   emit a wide-event JSON line to stderr for any
+//!                           run slower than N milliseconds
 //! ```
 //!
 //! `--var` binds an untyped string engine-wide; `--param` goes through the
@@ -51,6 +55,8 @@ struct Args {
     stats: bool,
     pretty: bool,
     time: bool,
+    metrics: bool,
+    slow_query_ms: Option<u64>,
 }
 
 const USAGE: &str = "usage: xqr [OPTIONS] (-q QUERY | QUERY_FILE)
@@ -65,7 +71,10 @@ const USAGE: &str = "usage: xqr [OPTIONS] (-q QUERY | QUERY_FILE)
       --explain           print the compiled plan instead of running
       --stats             print rewrite-rule applications to stderr
       --pretty            indent element-only output
-      --time              print evaluation time to stderr";
+      --time              print evaluation time to stderr
+      --metrics           print Prometheus-format engine metrics to stderr
+      --slow-query-ms N   emit a wide-event JSON line to stderr for any
+                          run slower than N milliseconds";
 
 fn parse_args() -> Result<Args, String> {
     let mut out = Args {
@@ -81,6 +90,8 @@ fn parse_args() -> Result<Args, String> {
         stats: false,
         pretty: false,
         time: false,
+        metrics: false,
+        slow_query_ms: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -132,6 +143,14 @@ fn parse_args() -> Result<Args, String> {
                     "sort" => ExecutionMode::OptimSortJoin,
                     other => return Err(format!("unknown mode {other:?}")),
                 };
+            }
+            "--metrics" => out.metrics = true,
+            "--slow-query-ms" => {
+                let v = value(&mut i)?;
+                out.slow_query_ms = Some(
+                    v.parse::<u64>()
+                        .map_err(|_| format!("--slow-query-ms expects milliseconds, got {v:?}"))?,
+                );
             }
             "--materialize" => out.materialize = true,
             "--explain" => out.explain = true,
@@ -193,7 +212,9 @@ fn run(args: Args) -> Result<(), String> {
         return Ok(());
     }
     let t = Instant::now();
+    let t_run = Instant::now();
     let mut result = prepared.run(&engine).map_err(|e| e.to_string())?;
+    slow_query_event(&args, &query, &prepared, t_run.elapsed(), result.len());
     // Further iterations re-prepare through the plan cache — each one is
     // a hash lookup plus an execution, the compile-once/run-many path.
     for _ in 1..args.repeat {
@@ -201,7 +222,9 @@ fn run(args: Args) -> Result<(), String> {
             .prepare_cached(&query, &options)
             .map_err(|e| e.to_string())?;
         bind_params(&mut p, &args.params)?;
+        let t_run = Instant::now();
         result = p.run(&engine).map_err(|e| e.to_string())?;
+        slow_query_event(&args, &query, &p, t_run.elapsed(), result.len());
     }
     if args.time {
         eprintln!("prepare: {prepare_elapsed:?} (first; repeats hit the plan cache)");
@@ -226,7 +249,39 @@ fn run(args: Args) -> Result<(), String> {
     } else {
         println!("{}", xqr::xml::serialize_sequence(&result));
     }
+    if args.metrics {
+        eprint!("{}", engine.metrics_prometheus());
+    }
     Ok(())
+}
+
+/// Emits one wide-event JSON line to stderr when a run exceeded the
+/// `--slow-query-ms` threshold: the query head, the canonical plan hash,
+/// the wall clock, and the result cardinality.
+fn slow_query_event(
+    args: &Args,
+    query: &str,
+    prepared: &xqr::engine::PreparedQuery,
+    elapsed: std::time::Duration,
+    rows: usize,
+) {
+    let Some(threshold) = args.slow_query_ms else {
+        return;
+    };
+    if (elapsed.as_millis() as u64) < threshold {
+        return;
+    }
+    let head: String = query.chars().take(120).collect();
+    eprintln!(
+        "{{\"event\":\"slow-query\",\"wall_ms\":{:.3},\"threshold_ms\":{threshold},\
+         \"rows\":{rows},\"plan_hash\":{},\"query\":\"{}\"}}",
+        elapsed.as_secs_f64() * 1e3,
+        match prepared.canonical_hash() {
+            Some(h) => format!("\"{h:016x}\""),
+            None => "null".to_string(),
+        },
+        xqr::xml::metrics::json_escape(&head)
+    );
 }
 
 /// Binds every `--param` through the prepared-query parameter API,

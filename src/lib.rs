@@ -20,8 +20,9 @@ pub use xqr_xml as xml;
 
 pub use xqr_engine::{
     BreakerConfig, BudgetKind, CancellationToken, CollectingTracer, CompileOptions, Engine,
-    EngineError, ExecutionMode, JoinAlgorithm, Limits, MetricsSnapshot, NoopTracer, Phase,
-    PlanCache, PlanCacheConfig, PreparedQuery, ProfileNode, QueryProfile, QueryRequest,
-    QueryService, QueryTicket, RetryPolicy, ServiceConfig, ServiceOutput, StderrTracer, TraceEvent,
-    Tracer,
+    EngineError, ExecutionMode, JoinAlgorithm, LifecyclePhase, Limits, MetricsServer,
+    MetricsSnapshot, NoopTracer, ObserveConfig, ObserveReport, Phase, PhaseLatency, PlanCache,
+    PlanCacheConfig, PreparedQuery, ProfileNode, QueryProfile, QueryRequest, QueryService,
+    QueryTicket, QueryTimeline, RetryPolicy, ServiceConfig, ServiceOutput, ShapeStats, ShedReason,
+    StderrTracer, TraceEvent, Tracer,
 };

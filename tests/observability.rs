@@ -12,11 +12,16 @@
 //!   byte-identical before and after a run;
 //! * profile JSON parses with an independent mini JSON parser and carries
 //!   the tree through unchanged;
+//! * a profile tagged with a query id and canonical plan hash joins to the
+//!   service's lifecycle journal on exactly those keys;
 //! * limit-code errors land in the metrics registry under their `XQRG*`
 //!   codes (delta-checked: the registry is process-wide).
 
+mod common;
+
 use std::rc::Rc;
 
+use common::json;
 use proptest::prelude::*;
 use xqr::core::algebra::plan_size;
 use xqr::engine::{CollectingTracer, CompileOptions, Engine, ExecutionMode, Limits, TraceEvent};
@@ -227,180 +232,8 @@ fn tracer_sees_phases_and_rewrite_rules() {
 }
 
 // ===== JSON round-trip =====================================================
-
-/// A deliberately independent mini JSON parser (objects, arrays, strings,
-/// integers, booleans, null) — just enough to validate the hand-rolled
-/// profile/metrics emitters without a serde dependency.
-mod json {
-    #[derive(Debug, PartialEq)]
-    pub enum Value {
-        Null,
-        Bool(bool),
-        Int(i64),
-        Str(String),
-        Arr(Vec<Value>),
-        Obj(Vec<(String, Value)>),
-    }
-
-    impl Value {
-        pub fn get(&self, key: &str) -> Option<&Value> {
-            match self {
-                Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-                _ => None,
-            }
-        }
-
-        pub fn as_int(&self) -> Option<i64> {
-            match self {
-                Value::Int(i) => Some(*i),
-                _ => None,
-            }
-        }
-
-        pub fn as_str(&self) -> Option<&str> {
-            match self {
-                Value::Str(s) => Some(s),
-                _ => None,
-            }
-        }
-    }
-
-    pub fn parse(s: &str) -> Result<Value, String> {
-        let b = s.as_bytes();
-        let mut i = 0;
-        let v = value(b, &mut i)?;
-        skip_ws(b, &mut i);
-        if i != b.len() {
-            return Err(format!("trailing data at byte {i}"));
-        }
-        Ok(v)
-    }
-
-    fn skip_ws(b: &[u8], i: &mut usize) {
-        while *i < b.len() && (b[*i] as char).is_ascii_whitespace() {
-            *i += 1;
-        }
-    }
-
-    fn value(b: &[u8], i: &mut usize) -> Result<Value, String> {
-        skip_ws(b, i);
-        match b.get(*i) {
-            Some(b'{') => {
-                *i += 1;
-                let mut fields = Vec::new();
-                skip_ws(b, i);
-                if b.get(*i) == Some(&b'}') {
-                    *i += 1;
-                    return Ok(Value::Obj(fields));
-                }
-                loop {
-                    skip_ws(b, i);
-                    let k = match value(b, i)? {
-                        Value::Str(s) => s,
-                        other => return Err(format!("non-string key {other:?}")),
-                    };
-                    skip_ws(b, i);
-                    if b.get(*i) != Some(&b':') {
-                        return Err(format!("expected ':' at byte {i}"));
-                    }
-                    *i += 1;
-                    fields.push((k, value(b, i)?));
-                    skip_ws(b, i);
-                    match b.get(*i) {
-                        Some(b',') => *i += 1,
-                        Some(b'}') => {
-                            *i += 1;
-                            return Ok(Value::Obj(fields));
-                        }
-                        _ => return Err(format!("expected ',' or '}}' at byte {i}")),
-                    }
-                }
-            }
-            Some(b'[') => {
-                *i += 1;
-                let mut items = Vec::new();
-                skip_ws(b, i);
-                if b.get(*i) == Some(&b']') {
-                    *i += 1;
-                    return Ok(Value::Arr(items));
-                }
-                loop {
-                    items.push(value(b, i)?);
-                    skip_ws(b, i);
-                    match b.get(*i) {
-                        Some(b',') => *i += 1,
-                        Some(b']') => {
-                            *i += 1;
-                            return Ok(Value::Arr(items));
-                        }
-                        _ => return Err(format!("expected ',' or ']' at byte {i}")),
-                    }
-                }
-            }
-            Some(b'"') => {
-                *i += 1;
-                let mut s = String::new();
-                while let Some(&c) = b.get(*i) {
-                    *i += 1;
-                    match c {
-                        b'"' => return Ok(Value::Str(s)),
-                        b'\\' => {
-                            let esc = *b.get(*i).ok_or("eof in escape")?;
-                            *i += 1;
-                            match esc {
-                                b'"' => s.push('"'),
-                                b'\\' => s.push('\\'),
-                                b'/' => s.push('/'),
-                                b'n' => s.push('\n'),
-                                b't' => s.push('\t'),
-                                b'r' => s.push('\r'),
-                                b'u' => {
-                                    let hex = std::str::from_utf8(&b[*i..*i + 4])
-                                        .map_err(|e| e.to_string())?;
-                                    let cp =
-                                        u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
-                                    s.push(char::from_u32(cp).ok_or("bad codepoint")?);
-                                    *i += 4;
-                                }
-                                other => return Err(format!("unknown escape \\{}", other as char)),
-                            }
-                        }
-                        other => s.push(other as char),
-                    }
-                }
-                Err("eof in string".to_string())
-            }
-            Some(b't') if b[*i..].starts_with(b"true") => {
-                *i += 4;
-                Ok(Value::Bool(true))
-            }
-            Some(b'f') if b[*i..].starts_with(b"false") => {
-                *i += 5;
-                Ok(Value::Bool(false))
-            }
-            Some(b'n') if b[*i..].starts_with(b"null") => {
-                *i += 4;
-                Ok(Value::Null)
-            }
-            Some(c) if c.is_ascii_digit() || *c == b'-' => {
-                let start = *i;
-                if b[*i] == b'-' {
-                    *i += 1;
-                }
-                while *i < b.len() && b[*i].is_ascii_digit() {
-                    *i += 1;
-                }
-                std::str::from_utf8(&b[start..*i])
-                    .unwrap()
-                    .parse::<i64>()
-                    .map(Value::Int)
-                    .map_err(|e| e.to_string())
-            }
-            other => Err(format!("unexpected {other:?} at byte {i}")),
-        }
-    }
-}
-
+// (The mini JSON parser lives in `tests/common/mod.rs`, shared with the
+// observability stress suite.)
 #[test]
 fn profile_json_round_trips() {
     let e = Engine::new();
@@ -429,6 +262,76 @@ fn profile_json_round_trips() {
     }
     let profile = prepared.profile().unwrap();
     assert_eq!(count(root), profile.root.unwrap().size());
+}
+
+// ===== query-id / plan-hash join keys ======================================
+
+/// A profile tagged with a query id and the canonical plan hash joins to
+/// the service journal on exactly those two keys: `EXPLAIN ANALYZE` of a
+/// service query can be correlated with its lifecycle timeline.
+#[test]
+fn profile_joins_to_service_journal_on_query_id_and_plan_hash() {
+    use xqr::engine::{QueryRequest, QueryService, ServiceConfig};
+
+    let q = "for $x in (1,2,3) where $x > 1 return $x";
+
+    // Engine side: tag a prepared query the way a service worker does.
+    let e = Engine::new();
+    let prepared = e
+        .prepare(
+            q,
+            &CompileOptions::mode(ExecutionMode::OptimHashJoin).with_profiling(),
+        )
+        .unwrap();
+    prepared.set_query_id(42);
+    prepared.run(&e).unwrap();
+    assert_eq!(prepared.query_id(), Some(42));
+    let hash = prepared.canonical_hash().expect("algebra plan hash");
+    let parsed = json::parse(&prepared.profile_json().unwrap()).expect("valid JSON");
+    assert_eq!(parsed.get("query_id").unwrap().as_int(), Some(42));
+    assert_eq!(
+        parsed.get("plan_hash").unwrap().as_str(),
+        Some(format!("{hash:016x}").as_str())
+    );
+    let rendered = prepared.explain_analyze();
+    assert!(rendered.contains("query: 42"), "{rendered}");
+    assert!(
+        rendered.contains(&format!("plan: {hash:016x}")),
+        "{rendered}"
+    );
+
+    // Service side: the ticket id is the journal id, and the journal's
+    // plan hash equals the out-of-band canonical hash of the same text.
+    let svc = QueryService::new(ServiceConfig {
+        workers: 1,
+        ..ServiceConfig::default()
+    });
+    let ticket = svc.submit(QueryRequest::new(q)).unwrap();
+    let id = ticket.id();
+    let out = ticket.wait().unwrap();
+    assert_eq!(out.id, id, "the ticket id rides on the output");
+    let report = svc.observe();
+    let tl = report
+        .journal
+        .iter()
+        .find(|t| t.id == id)
+        .expect("journal entry for the completed query");
+    assert_eq!(tl.plan_hash, Some(hash), "journal joins on the plan hash");
+    assert!(
+        report.shapes.iter().any(|s| s.plan_hash == hash),
+        "shape table joins on the plan hash"
+    );
+    // The journal JSON spells the hash the same way the profile does.
+    let rj = json::parse(&svc.observe_json()).expect("valid observe JSON");
+    let journal = rj.get("journal").unwrap().as_arr().unwrap();
+    let entry = journal
+        .iter()
+        .find(|t| t.get("id").and_then(json::Value::as_int) == Some(id as i64))
+        .expect("journal JSON entry");
+    assert_eq!(
+        entry.get("plan_hash").unwrap().as_str(),
+        Some(format!("{hash:016x}").as_str())
+    );
 }
 
 #[test]
