@@ -22,6 +22,13 @@
 //!   probe is in flight. A successful probe closes the breaker; an
 //!   internal failure re-opens it for another cooldown.
 //!
+//! Failures flow in from two directions: the worker records each run's
+//! outcome itself, and the network frontend's stuck-query watchdog
+//! ([`crate::server`]) records an *escalation* — a query cancelled for
+//! running past its deadline without governor progress — as an internal
+//! failure too, so a plan shape that repeatedly wedges starts
+//! fast-failing even though each wedged run "only" times out.
+//!
 //! The registry is shared across worker threads behind a mutex; every
 //! operation is a short map lookup, far off any per-tuple path.
 

@@ -33,7 +33,9 @@ pub mod breaker;
 pub mod doccache;
 pub mod observe;
 pub mod plancache;
+pub mod server;
 pub mod service;
+pub mod session;
 
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
@@ -54,7 +56,7 @@ use xqr_runtime::{eval_core_module_profiled, Ctx, InterpProfile, Profiler};
 use xqr_types::Schema;
 use xqr_xml::limits::{
     ERR_BREAKER, ERR_BYTES, ERR_CANCELLED, ERR_DEADLINE, ERR_OVERLOADED, ERR_RECURSION,
-    ERR_SPILL_BUDGET, ERR_SPILL_IO, ERR_TUPLES,
+    ERR_SPILL_BUDGET, ERR_SPILL_IO, ERR_TENANT, ERR_TUPLES,
 };
 use xqr_xml::metrics::metrics;
 use xqr_xml::parse::{parse_document, ParseOptions};
@@ -70,7 +72,12 @@ pub use observe::{
     ShapeStats, LIFECYCLE_PHASES,
 };
 pub use plancache::{PlanCache, PlanCacheConfig};
-pub use service::{QueryRequest, QueryService, QueryTicket, ServiceConfig, ServiceOutput};
+pub use server::{QueryServer, ServerConfig, ServerDrainReport, WatchdogConfig};
+pub use service::{
+    DrainReport, InflightQuery, QueryRequest, QueryService, QueryTicket, ServiceConfig,
+    ServiceOutput,
+};
+pub use session::{QuotaError, SessionConfig, SessionManager, SessionPermit, TenantQuotas};
 pub use xqr_xml::metrics::ShedReason;
 
 /// How a prepared query executes.
@@ -261,6 +268,10 @@ pub enum BudgetKind {
     /// A circuit breaker fast-failed this plan shape (`XQRG0008`) after
     /// repeated internal failures; retry after the cooldown.
     BreakerOpen,
+    /// A per-tenant session quota refused the request (`XQRG0009`):
+    /// concurrent-query cap, aggregate reservation share, or request
+    /// rate. The service itself may be perfectly healthy.
+    TenantQuota,
 }
 
 impl BudgetKind {
@@ -275,6 +286,7 @@ impl BudgetKind {
             ERR_SPILL_BUDGET => Some(BudgetKind::SpillDisk),
             ERR_OVERLOADED => Some(BudgetKind::Overloaded),
             ERR_BREAKER => Some(BudgetKind::BreakerOpen),
+            ERR_TENANT => Some(BudgetKind::TenantQuota),
             _ => None,
         }
     }

@@ -36,7 +36,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::{Duration, SystemTime};
+use std::time::{Duration, Instant, SystemTime};
 
 use xqr_xml::metrics::{json_escape, HistogramSnapshot, LatencyHistogram, ShedReason};
 
@@ -818,28 +818,58 @@ impl Drop for MetricsServer {
     }
 }
 
+/// Hard ceiling on the bytes of request line + headers the scrape
+/// listener reads before answering `431`.
+pub(crate) const MAX_SCRAPE_HEAD_BYTES: usize = 8192;
+/// Total wall-clock budget for receiving one request head. A client that
+/// dribbles bytes (slow-loris) keeps each individual read under the
+/// socket timeout but cannot stretch the head past this.
+const SCRAPE_HEAD_DEADLINE: Duration = Duration::from_secs(2);
+/// Concurrent scrape connections served at once; extras get a fast 503.
+const MAX_SCRAPE_CONNS: usize = 16;
+
 /// Starts a minimal blocking HTTP/1.1 listener serving GET requests
-/// through `router` (path → `(content type, body)`; `None` → 404). One
-/// request per connection, 2 s I/O timeouts, no keep-alive — a scrape
-/// surface, not a web server.
+/// through `router` (path → `(status, content type, body)`; `None` →
+/// 404). One request per connection, bounded head size, per-read *and*
+/// whole-head deadlines, no keep-alive — a scrape surface, not a web
+/// server. Each connection is served on its own short-lived thread
+/// (capped at [`MAX_SCRAPE_CONNS`]) so one stalled scraper cannot pin
+/// the accept loop.
 pub(crate) fn serve(
     addr: impl ToSocketAddrs,
-    router: impl Fn(&str) -> Option<(&'static str, String)> + Send + Sync + 'static,
+    router: impl Fn(&str) -> Option<(u16, &'static str, String)> + Send + Sync + 'static,
 ) -> std::io::Result<MetricsServer> {
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
     listener.set_nonblocking(true)?;
     let stop = Arc::new(AtomicBool::new(false));
     let stop_flag = stop.clone();
+    let router = Arc::new(router);
+    let active = Arc::new(std::sync::atomic::AtomicUsize::new(0));
     let handle = std::thread::Builder::new()
         .name("xqr-metrics".to_string())
         .spawn(move || {
             while !stop_flag.load(Ordering::SeqCst) {
                 match listener.accept() {
                     Ok((stream, _)) => {
-                        // Serve inline: scrapes are rare and tiny, and a
-                        // single serving thread bounds resource use.
-                        let _ = handle_conn(stream, &router);
+                        if active.load(Ordering::SeqCst) >= MAX_SCRAPE_CONNS {
+                            // Refuse inline with tight timeouts; never
+                            // block the accept loop on a hostile peer.
+                            let _ = refuse_busy(stream);
+                            continue;
+                        }
+                        active.fetch_add(1, Ordering::SeqCst);
+                        let router = Arc::clone(&router);
+                        let conn_active = Arc::clone(&active);
+                        let spawned = std::thread::Builder::new()
+                            .name("xqr-scrape-conn".to_string())
+                            .spawn(move || {
+                                let _ = handle_conn(stream, &*router);
+                                conn_active.fetch_sub(1, Ordering::SeqCst);
+                            });
+                        if spawned.is_err() {
+                            active.fetch_sub(1, Ordering::SeqCst);
+                        }
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                         std::thread::sleep(Duration::from_millis(5));
@@ -856,50 +886,136 @@ pub(crate) fn serve(
     })
 }
 
-fn handle_conn(
-    mut stream: TcpStream,
-    router: &impl Fn(&str) -> Option<(&'static str, String)>,
-) -> std::io::Result<()> {
-    stream.set_nonblocking(false)?;
-    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
-    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
-    // Read until the end of the request head (bounded; the body, if any,
-    // is ignored — the surface is GET-only).
+fn refuse_busy(mut stream: TcpStream) -> std::io::Result<()> {
+    stream.set_write_timeout(Some(Duration::from_millis(250)))?;
+    stream.write_all(
+        http_response(
+            503,
+            "text/plain; charset=utf-8",
+            "scrape listener busy\n",
+            &[],
+        )
+        .as_bytes(),
+    )
+}
+
+/// Reads one request head from `stream` — bounded by `max_bytes` and a
+/// total `deadline` — and returns the raw bytes. `Ok(None)` means the
+/// peer closed before completing a head. An oversized or slow-dribbled
+/// head is an `InvalidData`/`TimedOut` error for the caller to map.
+pub(crate) fn read_head(
+    stream: &mut TcpStream,
+    max_bytes: usize,
+    deadline: Duration,
+) -> std::io::Result<Option<Vec<u8>>> {
+    let t0 = Instant::now();
     let mut buf = Vec::with_capacity(512);
     let mut chunk = [0u8; 512];
-    while !buf.windows(4).any(|w| w == b"\r\n\r\n") && buf.len() < 8192 {
-        match stream.read(&mut chunk) {
-            Ok(0) => break,
+    while !buf.windows(4).any(|w| w == b"\r\n\r\n") {
+        if buf.len() >= max_bytes {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "request head exceeds the configured bound",
+            ));
+        }
+        let remaining = deadline.saturating_sub(t0.elapsed());
+        if remaining.is_zero() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                "request head not completed within the deadline",
+            ));
+        }
+        // Cap each read by the remaining head budget so a byte-at-a-time
+        // dribble cannot stretch the head past the deadline.
+        stream.set_read_timeout(Some(remaining.max(Duration::from_millis(1))))?;
+        let want = (max_bytes - buf.len()).min(chunk.len());
+        match stream.read(&mut chunk[..want]) {
+            Ok(0) => {
+                if buf.is_empty() {
+                    return Ok(None);
+                }
+                break;
+            }
             Ok(n) => buf.extend_from_slice(&chunk[..n]),
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
             Err(e) => return Err(e),
         }
     }
+    Ok(Some(buf))
+}
+
+fn handle_conn(
+    mut stream: TcpStream,
+    router: &impl Fn(&str) -> Option<(u16, &'static str, String)>,
+) -> std::io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    let buf = match read_head(&mut stream, MAX_SCRAPE_HEAD_BYTES, SCRAPE_HEAD_DEADLINE) {
+        Ok(Some(buf)) => buf,
+        Ok(None) => return Ok(()),
+        Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+            let resp = http_response(
+                431,
+                "text/plain; charset=utf-8",
+                "request head too large\n",
+                &[],
+            );
+            let _ = stream.write_all(resp.as_bytes());
+            return Ok(());
+        }
+        Err(e) => return Err(e),
+    };
     let head = String::from_utf8_lossy(&buf);
     let mut parts = head.lines().next().unwrap_or("").split_whitespace();
     let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or("/"));
     let response = if method != "GET" {
-        http_response(405, "text/plain; charset=utf-8", "method not allowed\n")
+        http_response(
+            405,
+            "text/plain; charset=utf-8",
+            "method not allowed\n",
+            &[],
+        )
     } else {
         match router(path) {
-            Some((ctype, body)) => http_response(200, ctype, &body),
-            None => http_response(404, "text/plain; charset=utf-8", "not found\n"),
+            Some((status, ctype, body)) => http_response(status, ctype, &body, &[]),
+            None => http_response(404, "text/plain; charset=utf-8", "not found\n", &[]),
         }
     };
     stream.write_all(response.as_bytes())?;
     stream.flush()
 }
 
-fn http_response(status: u16, ctype: &str, body: &str) -> String {
+/// Renders one `Connection: close` HTTP/1.1 response. `extra` headers
+/// (e.g. `Retry-After`) are emitted after the standard ones.
+pub(crate) fn http_response(
+    status: u16,
+    ctype: &str,
+    body: &str,
+    extra: &[(&str, String)],
+) -> String {
     let reason = match status {
         200 => "OK",
+        400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
         _ => "Error",
     };
+    let mut headers = String::new();
+    for (k, v) in extra {
+        headers.push_str(k);
+        headers.push_str(": ");
+        headers.push_str(v);
+        headers.push_str("\r\n");
+    }
     format!(
         "HTTP/1.1 {status} {reason}\r\nContent-Type: {ctype}\r\n\
-         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+         Content-Length: {}\r\nConnection: close\r\n{headers}\r\n{body}",
         body.len()
     )
 }
@@ -1057,7 +1173,7 @@ mod tests {
     #[test]
     fn http_server_serves_and_404s() {
         let srv = serve("127.0.0.1:0", |path| match path {
-            "/metrics" => Some(("text/plain; version=0.0.4", "xqr_up 1\n".to_string())),
+            "/metrics" => Some((200, "text/plain; version=0.0.4", "xqr_up 1\n".to_string())),
             _ => None,
         })
         .expect("bind");
@@ -1081,6 +1197,37 @@ mod tests {
         let mut resp = String::new();
         s.read_to_string(&mut resp).unwrap();
         assert!(resp.starts_with("HTTP/1.1 405"), "{resp}");
+        srv.shutdown();
+    }
+
+    #[test]
+    fn http_server_bounds_header_floods() {
+        let srv = serve("127.0.0.1:0", |_| {
+            Some((200, "text/plain", "ok".to_string()))
+        })
+        .expect("bind");
+        let addr = srv.addr();
+        // A head larger than the bound gets 431, not unbounded buffering.
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(b"GET / HTTP/1.1\r\n").unwrap();
+        let filler = format!("X-Flood: {}\r\n", "y".repeat(1000));
+        for _ in 0..(MAX_SCRAPE_HEAD_BYTES / filler.len() + 2) {
+            if s.write_all(filler.as_bytes()).is_err() {
+                break; // server already hung up on us — also acceptable
+            }
+        }
+        let mut resp = String::new();
+        let _ = s.read_to_string(&mut resp);
+        assert!(
+            resp.is_empty() || resp.starts_with("HTTP/1.1 431"),
+            "{resp}"
+        );
+        // The listener survives and keeps serving well-formed requests.
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(b"GET / HTTP/1.1\r\n\r\n").unwrap();
+        let mut resp = String::new();
+        s.read_to_string(&mut resp).unwrap();
+        assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
         srv.shutdown();
     }
 }

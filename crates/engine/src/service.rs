@@ -62,7 +62,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use xqr_core::TraceEvent;
-use xqr_xml::limits::{ERR_CANCELLED, ERR_DEADLINE, ERR_OVERLOADED};
+use xqr_xml::limits::{ERR_DEADLINE, ERR_OVERLOADED};
 use xqr_xml::metrics::{metrics, ShedReason};
 use xqr_xml::retry::RetryPolicy;
 use xqr_xml::{CancellationToken, Governor, Limits};
@@ -241,6 +241,49 @@ struct Job {
     admit_nanos: u64,
 }
 
+/// One running query, as seen by [`QueryService::inflight`]. Everything
+/// here is plain data or `Send` handles: the snapshot is safe to poll
+/// from any thread (the server's stuck-query watchdog does).
+#[derive(Clone, Debug)]
+pub struct InflightQuery {
+    pub id: u64,
+    /// The breaker shape key: the canonical plan hash when the shared
+    /// registry already knows this query's shape, else the text hash.
+    pub shape: u64,
+    /// The query's cancellation handle (escalation path).
+    pub token: CancellationToken,
+    /// Wall time since the worker picked the query up.
+    pub running_for: Duration,
+    /// The queue-rebased deadline, when the query carries one.
+    pub deadline: Option<Duration>,
+    /// The governor's liveness counter at snapshot time; it advances on
+    /// every governed clock consultation, so a stalled value means the
+    /// query is not reaching cooperative checkpoints.
+    pub progress: u64,
+}
+
+/// Outcome of [`QueryService::drain`].
+#[derive(Clone, Copy, Debug)]
+pub struct DrainReport {
+    /// Queued-but-undispatched queries shed with `XQRG0007`.
+    pub drained_queued: usize,
+    /// In-flight queries still running at the drain deadline, cancelled
+    /// through their tokens.
+    pub cancelled: usize,
+    /// True when every in-flight query finished inside the deadline
+    /// without needing cancellation.
+    pub completed_in_time: bool,
+}
+
+/// Worker-side registration of a running query (see
+/// [`QueryService::inflight`]).
+struct InflightEntry {
+    shape: u64,
+    token: CancellationToken,
+    started: Instant,
+    deadline: Option<Duration>,
+}
+
 struct State {
     queue: VecDeque<Job>,
     /// Sum of in-flight (dispatched, not yet finished) reservations.
@@ -314,6 +357,9 @@ struct Shared {
     cache: DocTextCache,
     plans: SharedPlanRegistry,
     plan_cache: PlanCacheConfig,
+    /// Queries currently executing on workers, keyed by id; polled by
+    /// the watchdog, drained by [`QueryService::drain`].
+    inflight: Mutex<HashMap<u64, InflightEntry>>,
     state: Mutex<State>,
     /// Signalled on new work, freed reservations, and shutdown.
     work_ready: Condvar,
@@ -344,6 +390,7 @@ impl QueryService {
             cache: DocTextCache::new(cfg.doc_cache_budget),
             plans: SharedPlanRegistry::new(),
             plan_cache: cfg.plan_cache,
+            inflight: Mutex::new(HashMap::new()),
             state: Mutex::new(State {
                 queue: VecDeque::new(),
                 reserved: 0,
@@ -551,11 +598,100 @@ impl QueryService {
         prometheus_of(&self.shared)
     }
 
+    /// Liveness/readiness gate shared by `/readyz` on both listeners:
+    /// the service accepts work (not shutting down) *and* the admission
+    /// queue is below its shed threshold, so an admitted probe query
+    /// would not be rejected outright.
+    pub fn ready(&self) -> bool {
+        let st = self.shared.state.lock().unwrap_or_else(|p| p.into_inner());
+        !st.shutdown && st.queue.len() < self.shared.queue_capacity
+    }
+
+    /// Snapshot of the queries currently executing on workers: id, the
+    /// breaker shape key, a clone of the cancellation token, wall time
+    /// since dispatch, the (queue-rebased) deadline, and the governor's
+    /// liveness counter. The stuck-query watchdog polls this.
+    pub fn inflight(&self) -> Vec<InflightQuery> {
+        self.shared
+            .inflight
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .iter()
+            .map(|(&id, e)| InflightQuery {
+                id,
+                shape: e.shape,
+                token: e.token.clone(),
+                running_for: e.started.elapsed(),
+                deadline: e.deadline,
+                progress: e.token.progress(),
+            })
+            .collect()
+    }
+
+    /// The per-shape circuit breakers (crate-internal: the server's
+    /// watchdog records escalations as breaker failures).
+    pub(crate) fn breakers(&self) -> &CircuitBreakers {
+        &self.shared.breakers
+    }
+
+    /// The memory reservation [`Self::submit`] would charge for a query
+    /// running under `limits` — the same arithmetic, exposed so the
+    /// network frontend can charge tenant reservation shares
+    /// consistently with service admission.
+    pub(crate) fn effective_reservation(&self, limits: Option<&Limits>) -> u64 {
+        limits
+            .and_then(|l| l.max_bytes)
+            .unwrap_or(self.shared.default_reservation)
+    }
+
+    /// Drains the service for shutdown. Three stages, in order:
+    ///
+    /// 1. **Stop admitting.** The shutdown flag flips; new submissions
+    ///    shed with `ShedReason::Shutdown`.
+    /// 2. **Shed the queue.** Every queued-but-undispatched query is
+    ///    failed with `XQRG0007`, counted as a `shutdown` shed, and
+    ///    journaled with a `dispatched: false` timeline.
+    /// 3. **Drain in-flight.** Running queries get up to `deadline` to
+    ///    finish; survivors are cancelled through their tokens (failing
+    ///    with `XQRG0002`, journaled like any other error) and given the
+    ///    same grace again to unwind.
+    ///
+    /// Idempotent; [`Drop`] performs the same teardown with an
+    /// effectively unbounded in-flight wait (it must join the workers).
+    pub fn drain(&self, deadline: Duration) -> DrainReport {
+        let drained_queued = shed_queue_for_shutdown(&self.shared);
+        self.shared.work_ready.notify_all();
+        let t0 = Instant::now();
+        let completed_before = |shared: &Shared| {
+            let st = shared.state.lock().unwrap_or_else(|p| p.into_inner());
+            st.running == 0
+        };
+        while !completed_before(&self.shared) && t0.elapsed() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // Cancel the survivors; they unwind at their next governed tick.
+        let survivors = self.inflight();
+        for q in &survivors {
+            q.token.cancel();
+        }
+        let grace = Instant::now();
+        while !completed_before(&self.shared) && grace.elapsed() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        DrainReport {
+            drained_queued,
+            cancelled: survivors.len(),
+            completed_in_time: survivors.is_empty(),
+        }
+    }
+
     /// Starts a minimal blocking HTTP scrape listener on `addr` serving:
     ///
     /// * `GET /metrics` — Prometheus text exposition,
     /// * `GET /metrics.json` — the process-wide counter registry as JSON,
-    /// * `GET /observe.json` — the full [`ObserveReport`] as JSON.
+    /// * `GET /observe.json` — the full [`ObserveReport`] as JSON,
+    /// * `GET /healthz` — 200 while the listener is up,
+    /// * `GET /readyz` — 200 when [`QueryService::ready`], else 503.
     ///
     /// Bind to port 0 to pick a free port ([`MetricsServer::addr`] has
     /// the bound address). The listener stops when the returned handle is
@@ -563,17 +699,49 @@ impl QueryService {
     /// workers), so it may outlive the `QueryService` itself.
     pub fn serve_metrics(&self, addr: impl ToSocketAddrs) -> std::io::Result<MetricsServer> {
         let shared = Arc::clone(&self.shared);
-        observe::serve(addr, move |path| match path {
-            "/metrics" => Some((
-                "text/plain; version=0.0.4; charset=utf-8",
-                prometheus_of(&shared),
-            )),
-            "/metrics.json" => Some(("application/json", metrics().snapshot().dump_json())),
-            "/observe.json" | "/observe" => {
-                Some(("application/json", observe_of(&shared).to_json()))
+        observe::serve(addr, move |path| route_shared(&shared, path))
+    }
+
+    /// Routes the scrape/health GET endpoints (`/metrics`,
+    /// `/metrics.json`, `/observe.json`, `/healthz`, `/readyz`) for this
+    /// service; shared by [`Self::serve_metrics`] and the full query
+    /// frontend ([`crate::server::QueryServer`]) so the two surfaces
+    /// never drift.
+    pub(crate) fn route(&self, path: &str) -> Option<(u16, &'static str, String)> {
+        route_shared(&self.shared, path)
+    }
+}
+
+/// Routes the scrape/health endpoints for a shared service handle.
+fn route_shared(shared: &Shared, path: &str) -> Option<(u16, &'static str, String)> {
+    const TEXT: &str = "text/plain; charset=utf-8";
+    match path {
+        "/metrics" => Some((
+            200,
+            "text/plain; version=0.0.4; charset=utf-8",
+            prometheus_of(shared),
+        )),
+        "/metrics.json" => Some((200, "application/json", metrics().snapshot().dump_json())),
+        "/observe.json" | "/observe" => {
+            Some((200, "application/json", observe_of(shared).to_json()))
+        }
+        "/healthz" => Some((200, TEXT, "ok\n".to_string())),
+        "/readyz" => {
+            let (shutdown, depth, cap) = {
+                let st = shared.state.lock().unwrap_or_else(|p| p.into_inner());
+                (st.shutdown, st.queue.len(), shared.queue_capacity)
+            };
+            if !shutdown && depth < cap {
+                Some((200, TEXT, "ready\n".to_string()))
+            } else {
+                Some((
+                    503,
+                    TEXT,
+                    format!("not ready (shutdown={shutdown}, queue {depth}/{cap})\n"),
+                ))
             }
-            _ => None,
-        })
+        }
+        _ => None,
     }
 }
 
@@ -601,48 +769,63 @@ fn prometheus_of(shared: &Shared) -> String {
     s
 }
 
+/// Flips the shutdown flag and sheds every queued-but-undispatched job:
+/// `XQRG0007` reply, a `shutdown` shed in both the process registry and
+/// the service accumulator, and a `dispatched: false` timeline (the
+/// query was admitted, waited, and never ran — so it counts as admitted
+/// *and* failed *and* shutdown-shed, keeping the accounting identity
+/// `completed_ok + completed_err == admitted` intact). Returns the
+/// number of jobs shed. Shared by [`QueryService::drain`] and [`Drop`];
+/// idempotent — an already-empty queue sheds nothing.
+fn shed_queue_for_shutdown(shared: &Shared) -> usize {
+    let mut st = shared.state.lock().unwrap_or_else(|p| p.into_inner());
+    st.shutdown = true;
+    let mut drained = 0usize;
+    while let Some(job) = st.queue.pop_front() {
+        drained += 1;
+        metrics().record_queue_leave();
+        metrics().record_service_shed(ShedReason::Shutdown);
+        shared.observe.record_shed(ShedReason::Shutdown);
+        let err = EngineError::LimitExceeded {
+            code: ERR_OVERLOADED,
+            phase: Phase::Admit,
+            budget: BudgetKind::Overloaded,
+            message: "service shut down before the query was dispatched".to_string(),
+        };
+        if shared.observe.enabled() {
+            let queue_nanos = job.enqueued.elapsed().as_nanos() as u64;
+            shared.observe.complete(QueryTimeline {
+                id: job.id,
+                query: shared.observe.clip_query(&job.query),
+                plan_hash: None,
+                reservation: job.reservation,
+                admit_nanos: job.admit_nanos,
+                queue_nanos,
+                prepare_nanos: 0,
+                execute_nanos: 0,
+                serialize_nanos: 0,
+                total_nanos: job.admit_nanos + queue_nanos,
+                rows: 0,
+                cache: "none",
+                error: Some(ERR_OVERLOADED.to_string()),
+                spilled: false,
+                fell_back: false,
+                dispatched: false,
+                finished_unix_ms: observe::unix_ms(),
+            });
+        }
+        let _ = job.reply.send(Err(err));
+    }
+    drained
+}
+
 impl Drop for QueryService {
     /// Graceful teardown: in-flight queries finish, queued queries are
-    /// failed with `XQRG0002`, workers are joined.
+    /// shed through the shutdown drain path (`XQRG0007` with a
+    /// `shutdown` shed timeline — same as [`QueryService::drain`]),
+    /// workers are joined.
     fn drop(&mut self) {
-        {
-            let mut st = self.shared.state.lock().unwrap_or_else(|p| p.into_inner());
-            st.shutdown = true;
-            while let Some(job) = st.queue.pop_front() {
-                metrics().record_queue_leave();
-                let err = EngineError::LimitExceeded {
-                    code: ERR_CANCELLED,
-                    phase: Phase::Admit,
-                    budget: BudgetKind::Cancelled,
-                    message: "service shut down before the query was dispatched".to_string(),
-                };
-                // Drained queries still leave a complete timeline: they
-                // were admitted, waited, and never dispatched.
-                if self.shared.observe.enabled() {
-                    let queue_nanos = job.enqueued.elapsed().as_nanos() as u64;
-                    self.shared.observe.complete(QueryTimeline {
-                        id: job.id,
-                        query: self.shared.observe.clip_query(&job.query),
-                        plan_hash: None,
-                        reservation: job.reservation,
-                        admit_nanos: job.admit_nanos,
-                        queue_nanos,
-                        prepare_nanos: 0,
-                        execute_nanos: 0,
-                        serialize_nanos: 0,
-                        total_nanos: job.admit_nanos + queue_nanos,
-                        rows: 0,
-                        cache: "none",
-                        error: Some(ERR_CANCELLED.to_string()),
-                        spilled: false,
-                        fell_back: false,
-                        dispatched: false,
-                        finished_unix_ms: observe::unix_ms(),
-                    });
-                }
-                let _ = job.reply.send(Err(err));
-            }
-        }
+        shed_queue_for_shutdown(&self.shared);
         self.shared.work_ready.notify_all();
         for h in self.handles.drain(..) {
             let _ = h.join();
@@ -829,6 +1012,45 @@ fn execute_job(
         ),
     });
 
+    // The breaker/watchdog shape key: the canonical plan hash when the
+    // shared registry already knows this text key's plan, else the
+    // query-text hash (computed up front so the in-flight registration
+    // below covers document sync too — loader stalls are watchable).
+    let text_key = crate::text_cache_key(&job.query, &options);
+    let text_shape = text_key;
+    let known_shape = shared.plans.lookup(text_key);
+
+    // Register with the watchdog-visible in-flight table for the whole
+    // worker-side lifetime; the guard removes the entry on every exit
+    // path, including panics unwinding past `catch_unwind` below.
+    shared
+        .inflight
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .insert(
+            job.id,
+            InflightEntry {
+                shape: known_shape.unwrap_or(text_shape),
+                token: job.token.clone(),
+                started: t_dispatch,
+                deadline: limits.as_ref().and_then(|l| l.deadline),
+            },
+        );
+    struct InflightGuard<'a> {
+        shared: &'a Shared,
+        id: u64,
+    }
+    impl Drop for InflightGuard<'_> {
+        fn drop(&mut self) {
+            self.shared
+                .inflight
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .remove(&self.id);
+        }
+    }
+    let _inflight = InflightGuard { shared, id: job.id };
+
     // Sync this worker's private document store with the shared text
     // cache: (re)parse any text whose version moved, loading evicted or
     // registered texts through the retry policy under this query's
@@ -866,9 +1088,6 @@ fn execute_job(
     // query-text hash — the fallback key that catches prepare-time
     // failures, which happen before a plan (and its canonical hash)
     // exists.
-    let text_key = crate::text_cache_key(&job.query, &options);
-    let text_shape = text_key;
-    let known_shape = shared.plans.lookup(text_key);
     if let Err(e) = shared.breakers.admit(known_shape.unwrap_or(text_shape)) {
         meta.plan_hash.set(known_shape);
         reject(classify(e, Phase::Admit));
@@ -1138,7 +1357,52 @@ mod tests {
         });
         drop(svc); // t1 in flight: completes; t2 queued: drained
         assert_eq!(t1.wait().unwrap().xml, "1");
-        assert_eq!(helper.join().unwrap().code(), Some(CANCELLED));
+        // Drop goes through the shutdown drain path: queued queries shed
+        // with the overload code (reason `shutdown`), not a bare cancel.
+        let err = helper.join().unwrap();
+        assert_eq!(err.code(), Some(ERR_OVERLOADED));
+        assert!(err.to_string().contains("shut down"), "{err}");
+    }
+
+    #[test]
+    fn drain_sheds_queue_and_cancels_survivors() {
+        let svc = small_service(1, 8);
+        let release = block_worker_on_doc(&svc);
+        let t1 = svc.submit(QueryRequest::new("1")).unwrap();
+        spin_until(Duration::from_secs(10), || svc.queue_depth() == 0);
+        let t2 = svc.submit(QueryRequest::new("2")).unwrap();
+        assert!(!svc.inflight().is_empty(), "t1 should be in flight");
+        // Short deadline: t1 is stalled in the loader (which ignores the
+        // token), so drain cancels it and reports the survivor.
+        let report = svc.drain(Duration::from_millis(50));
+        assert_eq!(report.drained_queued, 1);
+        assert_eq!(report.cancelled, 1);
+        assert!(!report.completed_in_time);
+        assert_eq!(t2.wait().unwrap_err().code(), Some(ERR_OVERLOADED));
+        release.send(()).unwrap();
+        // The cancelled survivor unwinds at its next governed check; a
+        // trivial query racing past every checkpoint may still finish.
+        match t1.wait() {
+            Err(e) => assert_eq!(e.code(), Some(CANCELLED)),
+            Ok(out) => assert_eq!(out.xml, "1"),
+        }
+        // New submissions shed with the shutdown reason.
+        let err = svc.submit(QueryRequest::new("3")).unwrap_err();
+        assert_eq!(err.code(), Some(ERR_OVERLOADED));
+    }
+
+    #[test]
+    fn inflight_snapshot_tracks_progress_and_empties() {
+        let svc = small_service(1, 8);
+        let release = block_worker_on_doc(&svc);
+        let t1 = svc.submit(QueryRequest::new("sum(1 to 50)")).unwrap();
+        spin_until(Duration::from_secs(10), || !svc.inflight().is_empty());
+        let snap = svc.inflight();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].id, t1.id());
+        release.send(()).unwrap();
+        assert_eq!(t1.wait().unwrap().xml, "1275");
+        spin_until(Duration::from_secs(10), || svc.inflight().is_empty());
     }
 
     #[test]

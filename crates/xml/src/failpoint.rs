@@ -3,7 +3,9 @@
 //! Named sites scattered through the engine's degradation-critical paths —
 //! spill I/O (`spill::open`, `spill::write`, `spill::read`), governor
 //! charges (`join::build_charge`, `groupby::flush`), document parsing
-//! (`parse::alloc`), and the engine's phase boundaries — call
+//! (`parse::alloc`), the network frontend's connection path
+//! (`server::accept`, `server::read`, `server::write`), its stuck-query
+//! watchdog (`watchdog::escalate`), and the engine's phase boundaries — call
 //! [`check`]. With the `failpoints` cargo feature **disabled** (the
 //! default) every call compiles to `Ok(())` and the whole registry is
 //! absent from the binary. With the feature enabled but no site armed, the

@@ -43,7 +43,7 @@
 use std::cell::Cell;
 use std::path::PathBuf;
 use std::rc::Rc;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -70,6 +70,12 @@ pub const ERR_OVERLOADED: &str = "XQRG0007";
 /// repeatedly failed with internal errors and is fast-failed until the
 /// cooldown half-opens the breaker.
 pub const ERR_BREAKER: &str = "XQRG0008";
+/// A per-tenant session quota refused the request before service
+/// admission: too many concurrent queries for the tenant, the tenant's
+/// aggregate reservation share is exhausted, or its request rate bucket
+/// is empty. Distinct from `XQRG0007` (service-wide overload) so clients
+/// can tell "you are over *your* budget" from "the service is full".
+pub const ERR_TENANT: &str = "XQRG0009";
 /// Function recursion depth exceeded (kept from the pre-governor guard so
 /// existing callers observe the same code).
 pub const ERR_RECURSION: &str = "XQRT0005";
@@ -210,9 +216,19 @@ impl Limits {
 /// A thread-safe cancellation handle. Clone it, hand the clone to another
 /// thread (the token is `Send + Sync` even though query values are not),
 /// and `cancel()` flips a flag the governor polls cooperatively.
+///
+/// The token doubles as a **liveness probe**: every time the governor
+/// consults the clock/cancel flag (the sampled `tick` path, an explicit
+/// `check_time`, the document parser's per-element check) it bumps a
+/// shared progress counter. A supervisor on another thread can read
+/// [`CancellationToken::progress`] periodically — a query whose counter
+/// stops moving is stuck somewhere that never reaches the governor (a
+/// blocked loader, a stalled syscall), which is exactly the case the
+/// deadline alone cannot catch.
 #[derive(Clone, Debug, Default)]
 pub struct CancellationToken {
     flag: Arc<AtomicBool>,
+    progress: Arc<AtomicU64>,
 }
 
 impl CancellationToken {
@@ -228,6 +244,21 @@ impl CancellationToken {
 
     pub fn is_cancelled(&self) -> bool {
         self.flag.load(Ordering::Relaxed)
+    }
+
+    /// Monotone liveness counter: incremented on every governor
+    /// clock/cancel consultation for the run holding this token. Two
+    /// equal reads spaced in time mean the run made no governed progress
+    /// in between.
+    pub fn progress(&self) -> u64 {
+        self.progress.load(Ordering::Relaxed)
+    }
+
+    /// Bumps the liveness counter (called by the governor; also available
+    /// to long blocking operations that want to report liveness without a
+    /// governor in reach).
+    pub fn mark_progress(&self) {
+        self.progress.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -523,9 +554,13 @@ impl Governor {
     }
 
     /// Forces a clock/cancel check regardless of the tick phase. Cheap
-    /// enough for per-element use in the document parser.
+    /// enough for per-element use in the document parser. Each check also
+    /// bumps the token's liveness counter ([`CancellationToken::progress`])
+    /// so an external watchdog can distinguish "slow but alive" from
+    /// "stuck outside the governor's reach".
     pub fn check_time(&self) -> crate::Result<()> {
         let g = &*self.0;
+        g.token.mark_progress();
         if g.token.is_cancelled() {
             return Err(XmlError::new(ERR_CANCELLED, "execution cancelled"));
         }
@@ -677,6 +712,7 @@ pub fn is_limit_code(code: &str) -> bool {
             | ERR_SPILL_BUDGET
             | ERR_OVERLOADED
             | ERR_BREAKER
+            | ERR_TENANT
             | ERR_RECURSION
     )
 }

@@ -213,6 +213,11 @@ pub struct MetricsRegistry {
     plan_cache_misses: AtomicU64,
     plan_cache_evictions: AtomicU64,
     plan_cache_rehydrations: AtomicU64,
+    server_connections: AtomicU64,
+    server_requests: AtomicU64,
+    server_conn_kills: AtomicU64,
+    watchdog_escalations: AtomicU64,
+    tenant_rejections: AtomicU64,
     /// Gauge, not a counter: the number of requests queued in query
     /// services right now (incremented on enqueue, decremented on
     /// dispatch/drain).
@@ -255,6 +260,11 @@ pub fn metrics() -> &'static MetricsRegistry {
         plan_cache_misses: AtomicU64::new(0),
         plan_cache_evictions: AtomicU64::new(0),
         plan_cache_rehydrations: AtomicU64::new(0),
+        server_connections: AtomicU64::new(0),
+        server_requests: AtomicU64::new(0),
+        server_conn_kills: AtomicU64::new(0),
+        watchdog_escalations: AtomicU64::new(0),
+        tenant_rejections: AtomicU64::new(0),
         service_queue_depth: AtomicU64::new(0),
         struct_index_builds: AtomicU64::new(0),
         postings_builds: AtomicU64::new(0),
@@ -387,6 +397,35 @@ impl MetricsRegistry {
         self.plan_cache_rehydrations.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// The network frontend accepted a client connection.
+    pub fn record_server_connection(&self) {
+        self.server_connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The network frontend parsed one HTTP request (any route, any
+    /// outcome).
+    pub fn record_server_request(&self) {
+        self.server_requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A connection was killed defensively: slow-loris header dribble,
+    /// an oversized head/body, an idle or I/O deadline, or an
+    /// over-capacity accept.
+    pub fn record_server_conn_kill(&self) {
+        self.server_conn_kills.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The stuck-query watchdog cancelled a query that ran past its
+    /// deadline without governor progress.
+    pub fn record_watchdog_escalation(&self) {
+        self.watchdog_escalations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A per-tenant session quota refused a request (`XQRG0009`).
+    pub fn record_tenant_rejection(&self) {
+        self.tenant_rejections.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// A request entered a service queue (gauge increment).
     pub fn record_queue_enter(&self) {
         self.service_queue_depth.fetch_add(1, Ordering::Relaxed);
@@ -445,6 +484,11 @@ impl MetricsRegistry {
             plan_cache_misses: self.plan_cache_misses.load(Ordering::Relaxed),
             plan_cache_evictions: self.plan_cache_evictions.load(Ordering::Relaxed),
             plan_cache_rehydrations: self.plan_cache_rehydrations.load(Ordering::Relaxed),
+            server_connections: self.server_connections.load(Ordering::Relaxed),
+            server_requests: self.server_requests.load(Ordering::Relaxed),
+            server_conn_kills: self.server_conn_kills.load(Ordering::Relaxed),
+            watchdog_escalations: self.watchdog_escalations.load(Ordering::Relaxed),
+            tenant_rejections: self.tenant_rejections.load(Ordering::Relaxed),
             service_queue_depth: self.service_queue_depth.load(Ordering::Relaxed),
             struct_index_builds: self.struct_index_builds.load(Ordering::Relaxed),
             postings_builds: self.postings_builds.load(Ordering::Relaxed),
@@ -489,6 +533,11 @@ pub struct MetricsSnapshot {
     pub plan_cache_misses: u64,
     pub plan_cache_evictions: u64,
     pub plan_cache_rehydrations: u64,
+    pub server_connections: u64,
+    pub server_requests: u64,
+    pub server_conn_kills: u64,
+    pub watchdog_escalations: u64,
+    pub tenant_rejections: u64,
     /// Gauge: queued requests at snapshot time, not a monotone counter.
     pub service_queue_depth: u64,
     pub struct_index_builds: u64,
@@ -533,6 +582,11 @@ impl MetricsSnapshot {
         let _ = writeln!(s, "plan_cache_misses     {}", self.plan_cache_misses);
         let _ = writeln!(s, "plan_cache_evictions  {}", self.plan_cache_evictions);
         let _ = writeln!(s, "plan_cache_rehydrs    {}", self.plan_cache_rehydrations);
+        let _ = writeln!(s, "server_connections    {}", self.server_connections);
+        let _ = writeln!(s, "server_requests       {}", self.server_requests);
+        let _ = writeln!(s, "server_conn_kills     {}", self.server_conn_kills);
+        let _ = writeln!(s, "watchdog_escalations  {}", self.watchdog_escalations);
+        let _ = writeln!(s, "tenant_rejections     {}", self.tenant_rejections);
         let _ = writeln!(s, "service_queue_depth   {}", self.service_queue_depth);
         let _ = writeln!(s, "struct_index_builds   {}", self.struct_index_builds);
         let _ = writeln!(s, "postings_builds       {}", self.postings_builds);
@@ -569,7 +623,9 @@ impl MetricsSnapshot {
              \"service_shed_shutdown\":{},\"breaker_trips\":{},\"breaker_fast_fails\":{},\
              \"doc_cache_hits\":{},\"doc_cache_misses\":{},\"doc_cache_evictions\":{},\
              \"plan_cache_hits\":{},\"plan_cache_misses\":{},\"plan_cache_evictions\":{},\
-             \"plan_cache_rehydrations\":{},\"service_queue_depth\":{},\"struct_index_builds\":{},\"postings_builds\":{},\
+             \"plan_cache_rehydrations\":{},\"server_connections\":{},\"server_requests\":{},\
+             \"server_conn_kills\":{},\"watchdog_escalations\":{},\"tenant_rejections\":{},\
+             \"service_queue_depth\":{},\"struct_index_builds\":{},\"postings_builds\":{},\
              \"postings_entries\":{},\"documents_parsed\":{},\"query_nanos_total\":{}",
             self.queries_started,
             self.queries_ok,
@@ -594,6 +650,11 @@ impl MetricsSnapshot {
             self.plan_cache_misses,
             self.plan_cache_evictions,
             self.plan_cache_rehydrations,
+            self.server_connections,
+            self.server_requests,
+            self.server_conn_kills,
+            self.watchdog_escalations,
+            self.tenant_rejections,
             self.service_queue_depth,
             self.struct_index_builds,
             self.postings_builds,
@@ -628,7 +689,7 @@ impl MetricsSnapshot {
     pub fn prometheus_text(&self) -> String {
         use std::fmt::Write as _;
         let mut s = String::new();
-        let counters: [(&str, u64); 24] = [
+        let counters: [(&str, u64); 29] = [
             ("queries_started", self.queries_started),
             ("queries_ok", self.queries_ok),
             ("queries_failed", self.queries_failed),
@@ -648,6 +709,11 @@ impl MetricsSnapshot {
             ("plan_cache_misses", self.plan_cache_misses),
             ("plan_cache_evictions", self.plan_cache_evictions),
             ("plan_cache_rehydrations", self.plan_cache_rehydrations),
+            ("server_connections", self.server_connections),
+            ("server_requests", self.server_requests),
+            ("server_conn_kills", self.server_conn_kills),
+            ("watchdog_escalations", self.watchdog_escalations),
+            ("tenant_rejections", self.tenant_rejections),
             ("struct_index_builds", self.struct_index_builds),
             ("postings_builds", self.postings_builds),
             ("postings_entries", self.postings_entries),

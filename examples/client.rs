@@ -1,0 +1,134 @@
+//! Minimal HTTP client for the hardened query frontend — and, with no
+//! arguments, a self-serving demo that starts a server in-process,
+//! exercises the protocol end to end, and drains it gracefully.
+//!
+//! ```sh
+//! # Self-contained demo (starts its own server on a free port):
+//! cargo run --example client
+//!
+//! # Against an already-running `xqr --serve` instance:
+//! cargo run --example client -- 127.0.0.1:7700 "1 + 1"
+//! ```
+//!
+//! The client side is deliberately dependency-free std TCP — the same
+//! dozen lines any caller needs: write a `POST /query` with a
+//! `Content-Length`, read to EOF, split head from body. Errors come
+//! back as JSON with a stable `XQR*` code; `429`/`503` carry a
+//! `Retry-After` hint worth honouring.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use xqr::engine::{
+    QueryServer, QueryService, ServerConfig, ServiceConfig, SessionConfig, TenantQuotas,
+};
+use xqr::xmark::{generate, GenOptions};
+
+/// One request/response exchange: returns `(status, body)`.
+fn post_query(addr: &str, query: &str, headers: &[(&str, &str)]) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    let mut extra = String::new();
+    for (k, v) in headers {
+        extra.push_str(&format!("{k}: {v}\r\n"));
+    }
+    stream.write_all(
+        format!(
+            "POST /query HTTP/1.1\r\nHost: xqr\r\nContent-Length: {}\r\n{extra}\r\n{query}",
+            query.len()
+        )
+        .as_bytes(),
+    )?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    let text = String::from_utf8_lossy(&raw);
+    let (head, body) = text.split_once("\r\n\r\n").unwrap_or((&text, ""));
+    let status = head
+        .lines()
+        .next()
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    Ok((status, body.to_string()))
+}
+
+fn get(addr: &str, path: &str) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    stream.write_all(format!("GET {path} HTTP/1.1\r\nHost: xqr\r\n\r\n").as_bytes())?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    let text = String::from_utf8_lossy(&raw);
+    let (head, body) = text.split_once("\r\n\r\n").unwrap_or((&text, ""));
+    let status = head
+        .lines()
+        .next()
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    Ok((status, body.to_string()))
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let (addr, query, server) = match args.next() {
+        // Client mode: talk to an existing server.
+        Some(addr) => (
+            addr,
+            args.next().unwrap_or_else(|| "1 + 1".to_string()),
+            None,
+        ),
+        // Demo mode: start a server in-process on a free port.
+        None => {
+            let svc = Arc::new(QueryService::new(ServiceConfig {
+                workers: 2,
+                queue_capacity: 32,
+                ..ServiceConfig::default()
+            }));
+            svc.bind_document("auction.xml", generate(&GenOptions::for_bytes(60_000)));
+            let cfg = ServerConfig {
+                sessions: SessionConfig::default()
+                    .with_tenant("bursty", TenantQuotas::default().with_rate(1, 1)),
+                drain_deadline: Duration::from_secs(2),
+                ..ServerConfig::default()
+            };
+            let server = QueryServer::start(svc, "127.0.0.1:0", cfg).expect("bind server");
+            let addr = server.addr().to_string();
+            println!("listening on {addr}");
+            (
+                addr,
+                "count(doc('auction.xml')//item)".to_string(),
+                Some(server),
+            )
+        }
+    };
+
+    let (status, body) = post_query(&addr, &query, &[]).expect("query roundtrip");
+    println!("query     -> {status}: {body}");
+    let (status, body) = get(&addr, "/readyz").expect("readyz");
+    println!("/readyz   -> {status}: {}", body.trim());
+
+    if let Some(mut server) = server {
+        // Demo the per-tenant quota: the second burst request is
+        // refused with the stable XQRG0009 code and a Retry-After.
+        let tenant = [("X-Tenant", "bursty")];
+        let (s1, _) = post_query(&addr, "1", &tenant).expect("tenant ok");
+        let (s2, body) = post_query(&addr, "1", &tenant).expect("tenant limited");
+        println!("tenant    -> first {s1}, burst {s2}: {}", body.trim());
+        // And a per-request budget trip mapping to 413.
+        let (s, body) = post_query(
+            &addr,
+            "for $x in 1 to 1000000 where $x > 1 return $x",
+            &[("X-Max-Tuples", "100")],
+        )
+        .expect("budget trip");
+        println!("budget    -> {s}: {}", body.trim());
+        let report = server.stop(None);
+        println!(
+            "drained   -> queued shed {}, cancelled {}, in time: {}",
+            report.service.drained_queued, report.service.cancelled, report.conns_drained_in_time
+        );
+    }
+}

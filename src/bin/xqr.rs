@@ -19,7 +19,24 @@
 //!                           exposition format to stderr after the run
 //!       --slow-query-ms N   emit a wide-event JSON line to stderr for any
 //!                           run slower than N milliseconds
+//!       --serve ADDR        serve queries over HTTP on ADDR (e.g.
+//!                           127.0.0.1:7700; port 0 picks a free port)
+//!                           instead of running one query
+//!       --drain-ms N        graceful-drain budget on shutdown  [5000]
 //! ```
+//!
+//! ## Serve mode
+//!
+//! `--serve ADDR` starts the hardened network frontend
+//! ([`xqr::engine::QueryServer`]) over an admission-controlled
+//! [`xqr::engine::QueryService`]: `POST /query` with the query text as
+//! the body (optional `X-Tenant`, `X-Deadline-Ms`, `X-Max-Tuples`,
+//! `X-Max-Bytes` headers), plus `GET /healthz`, `/readyz`, `/metrics`,
+//! `/metrics.json`, `/observe.json`, and `/server.json`. Documents
+//! bound with `--doc` are served to every worker. The process drains
+//! gracefully — stop accepting, finish in-flight work under the
+//! `--drain-ms` budget, cancel survivors — on SIGTERM, SIGINT, or
+//! stdin closing (whichever comes first).
 //!
 //! `--var` binds an untyped string engine-wide; `--param` goes through the
 //! prepared-query parameter API: the name must be a `declare variable $x
@@ -57,6 +74,8 @@ struct Args {
     time: bool,
     metrics: bool,
     slow_query_ms: Option<u64>,
+    serve: Option<String>,
+    drain_ms: u64,
 }
 
 const USAGE: &str = "usage: xqr [OPTIONS] (-q QUERY | QUERY_FILE)
@@ -74,7 +93,10 @@ const USAGE: &str = "usage: xqr [OPTIONS] (-q QUERY | QUERY_FILE)
       --time              print evaluation time to stderr
       --metrics           print Prometheus-format engine metrics to stderr
       --slow-query-ms N   emit a wide-event JSON line to stderr for any
-                          run slower than N milliseconds";
+                          run slower than N milliseconds
+      --serve ADDR        serve queries over HTTP on ADDR (POST /query;
+                          port 0 picks a free port)
+      --drain-ms N        graceful-drain budget on shutdown  [5000]";
 
 fn parse_args() -> Result<Args, String> {
     let mut out = Args {
@@ -92,6 +114,8 @@ fn parse_args() -> Result<Args, String> {
         time: false,
         metrics: false,
         slow_query_ms: None,
+        serve: None,
+        drain_ms: 5000,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -152,6 +176,13 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|_| format!("--slow-query-ms expects milliseconds, got {v:?}"))?,
                 );
             }
+            "--serve" => out.serve = Some(value(&mut i)?),
+            "--drain-ms" => {
+                let v = value(&mut i)?;
+                out.drain_ms = v
+                    .parse::<u64>()
+                    .map_err(|_| format!("--drain-ms expects milliseconds, got {v:?}"))?;
+            }
             "--materialize" => out.materialize = true,
             "--explain" => out.explain = true,
             "--stats" => out.stats = true,
@@ -168,13 +199,98 @@ fn parse_args() -> Result<Args, String> {
         }
         i += 1;
     }
-    if out.query.is_none() && out.query_file.is_none() {
-        return Err("a query is required (use -q TEXT or a QUERY_FILE)".into());
+    if out.serve.is_none() && out.query.is_none() && out.query_file.is_none() {
+        return Err("a query is required (use -q TEXT or a QUERY_FILE, or --serve ADDR)".into());
     }
     Ok(out)
 }
 
+/// SIGTERM/SIGINT land here (set from a raw signal handler, so only
+/// async-signal-safe work happens in the handler itself).
+static SHUTDOWN: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+#[cfg(unix)]
+fn install_signal_handlers() {
+    // Raw libc signal(2) via FFI — no crates, no allocation in the
+    // handler, just a flag store the serve loop polls.
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    extern "C" fn on_signal(_sig: i32) {
+        SHUTDOWN.store(true, std::sync::atomic::Ordering::SeqCst);
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    let handler = on_signal as extern "C" fn(i32) as usize;
+    unsafe {
+        signal(SIGINT, handler);
+        signal(SIGTERM, handler);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_signal_handlers() {}
+
+/// `--serve` mode: an admission-controlled service behind the hardened
+/// network frontend, drained gracefully on SIGTERM/SIGINT/stdin-EOF.
+fn serve(args: &Args, addr: &str) -> Result<(), String> {
+    use xqr::engine::{QueryServer, QueryService, ServerConfig, ServiceConfig};
+
+    let svc = std::sync::Arc::new(QueryService::new(ServiceConfig {
+        workers: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(2),
+        ..ServiceConfig::default()
+    }));
+    for (uri, path) in &args.docs {
+        let xml = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        svc.bind_document(uri, xml);
+    }
+    let drain = std::time::Duration::from_millis(args.drain_ms);
+    let cfg = ServerConfig {
+        drain_deadline: drain,
+        ..ServerConfig::default()
+    };
+    let mut server =
+        QueryServer::start(svc, addr, cfg).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    // The exact line scripts and the example client wait for.
+    println!("listening on {}", server.addr());
+    install_signal_handlers();
+    // Closing stdin also triggers the drain, so orchestration that
+    // pipes into the process gets clean shutdown without signals.
+    std::thread::spawn(|| {
+        let mut sink = String::new();
+        loop {
+            sink.clear();
+            match std::io::BufRead::read_line(&mut std::io::stdin().lock(), &mut sink) {
+                Ok(0) | Err(_) => break,
+                Ok(_) => {}
+            }
+        }
+        SHUTDOWN.store(true, std::sync::atomic::Ordering::SeqCst);
+    });
+    while !SHUTDOWN.load(std::sync::atomic::Ordering::SeqCst) {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    eprintln!("draining (budget {}ms)...", args.drain_ms);
+    let report = server.stop(Some(drain));
+    eprintln!(
+        "drained: {} queued shed, {} in-flight cancelled, connections {}",
+        report.service.drained_queued,
+        report.service.cancelled,
+        if report.conns_drained_in_time {
+            "closed in time"
+        } else {
+            "timed out"
+        }
+    );
+    Ok(())
+}
+
 fn run(args: Args) -> Result<(), String> {
+    if let Some(addr) = &args.serve {
+        return serve(&args, addr);
+    }
     let query = match (&args.query, &args.query_file) {
         (Some(q), _) => q.clone(),
         (None, Some(f)) => {

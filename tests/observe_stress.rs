@@ -434,3 +434,101 @@ fn http_scrape_serves_text_and_json_under_concurrent_load() {
     server.shutdown();
     assert_eq!(svc.run(QueryRequest::new("1 + 1")).unwrap().xml, "2");
 }
+
+// ===== graceful drain ======================================================
+
+/// Draining a service with a wedged worker and a populated queue keeps
+/// the accounting identities *exact*: every queued job is shed with the
+/// shutdown reason, replied to with the stable overload code, journaled
+/// as an undispatched timeline — and still counts as admitted and
+/// completed-with-error, so `completed_ok + completed_err == admitted`
+/// holds after the dust settles.
+#[test]
+fn drain_sheds_queue_with_exact_shutdown_accounting() {
+    let svc = QueryService::new(ServiceConfig {
+        workers: 1,
+        queue_capacity: 4,
+        ..ServiceConfig::default()
+    });
+    // Seed one clean completion before the gate exists (workers sync
+    // every registered document ahead of each job).
+    svc.run(QueryRequest::new("sum(1 to 1000)")).unwrap();
+
+    let (gate_tx, gate_rx) = mpsc::channel::<()>();
+    let gate_rx = Mutex::new(gate_rx);
+    svc.register_document("gate.xml");
+    svc.set_loader(move |uri| {
+        if uri == "gate.xml" {
+            let _ = gate_rx.lock().unwrap().recv();
+        }
+        Ok("<gate/>".to_string())
+    });
+
+    // Wedge the single worker in its document sync, then stack three
+    // queued jobs behind it.
+    let wedged = svc
+        .submit(QueryRequest::new("count(doc('gate.xml')/*)"))
+        .unwrap();
+    while svc.queue_depth() > 0 {
+        std::thread::yield_now();
+    }
+    let queued: Vec<_> = (0..3)
+        .map(|i| svc.submit(QueryRequest::new(format!("{i} + 10"))).unwrap())
+        .collect();
+    let queued_ids: Vec<u64> = queued.iter().map(|t| t.id()).collect();
+
+    // Drain under a deadline far shorter than the wedge.
+    let drained = svc.drain(Duration::from_millis(50));
+    assert_eq!(drained.drained_queued, 3);
+    assert_eq!(drained.cancelled, 1, "the wedged query's token");
+    assert!(!drained.completed_in_time);
+
+    // Exact bucket split at this instant: seed + wedge + 3 queued were
+    // admitted; seed completed ok; the three sheds completed with an
+    // error; the wedged query is still in flight.
+    let r = svc.observe();
+    assert_eq!(r.admitted, 5);
+    assert_eq!(r.completed_ok, 1);
+    assert_eq!(r.completed_err, 3);
+    assert_eq!(r.shed_shutdown, 3);
+    assert_eq!(r.shed, 3, "no other shed reason fired");
+
+    // Every shed job got the stable overload reply and an undispatched
+    // journal timeline carrying the same code.
+    for t in queued {
+        let err = t.wait().unwrap_err();
+        assert_eq!(err.code(), Some("XQRG0007"), "{err}");
+    }
+    for id in &queued_ids {
+        let tl = r
+            .journal
+            .iter()
+            .find(|tl| tl.id == *id)
+            .expect("shed job journaled");
+        assert!(!tl.dispatched);
+        assert_eq!(tl.error.as_deref(), Some("XQRG0007"));
+    }
+
+    // The per-reason split surfaces in the exposition with exact values,
+    // and the document still validates.
+    let text = svc.prometheus_text();
+    assert!(
+        text.contains("xqr_service_sheds_total{reason=\"shutdown\"} 3"),
+        "{text}"
+    );
+    validate_prometheus(&text).expect("valid exposition");
+
+    // New work is refused outright after the drain.
+    assert!(svc.submit(QueryRequest::new("1")).is_err());
+
+    // Open the gate: the cancelled survivor unwinds (either observing
+    // its cancellation or finishing), and the ledger balances.
+    gate_tx.send(()).unwrap();
+    match wedged.wait() {
+        Err(e) => assert_eq!(e.code(), Some("XQRG0002"), "{e}"),
+        Ok(out) => assert_eq!(out.xml, "1"),
+    }
+    let r = svc.observe();
+    assert_eq!(r.admitted, 5);
+    assert_eq!(r.completed_ok + r.completed_err, 5);
+}
